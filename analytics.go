@@ -1,0 +1,92 @@
+package cameo
+
+import (
+	"repro/internal/anomaly"
+	"repro/internal/datasets"
+	"repro/internal/features"
+	"repro/internal/forecast"
+)
+
+// Forecaster is a univariate forecasting model (Fit then Forecast).
+type Forecaster = forecast.Forecaster
+
+// HoltWinters is additive triple exponential smoothing.
+type HoltWinters = forecast.HoltWinters
+
+// SES is simple exponential smoothing.
+type SES = forecast.SES
+
+// AR is a Yule-Walker autoregressive model (the ARIMA stand-in).
+type AR = forecast.AR
+
+// DHR is dynamic harmonic regression with AR errors.
+type DHR = forecast.DHR
+
+// LSTM is a from-scratch recurrent forecaster trained with Adam.
+type LSTM = forecast.LSTM
+
+// STLForecaster decomposes with STL and forecasts the seasonally adjusted
+// part with an inner model.
+type STLForecaster = forecast.STLForecaster
+
+// NewSTLETS builds the STL-ETS pipeline of the paper's experiments.
+func NewSTLETS(period int) *STLForecaster { return forecast.NewSTLETS(period) }
+
+// NewSTLAR builds the STL-AR (ARIMA stand-in) pipeline.
+func NewSTLAR(period int) *STLForecaster { return forecast.NewSTLAR(period) }
+
+// EvaluateForecast trains the model on train and scores an h-step forecast
+// against the raw actual values (mSMAPE, MSE, MAPE).
+func EvaluateForecast(model Forecaster, train, actual []float64, h int) (*forecast.Evaluation, error) {
+	return forecast.Evaluate(model, train, actual, h)
+}
+
+// SeasonalStrength is the STL-based seasonal strength in [0, 1].
+func SeasonalStrength(xs []float64, period int) float64 {
+	return forecast.SeasonalStrength(xs, period)
+}
+
+// MatrixProfile computes the z-normalized matrix profile (STOMP) for
+// discord-based anomaly detection.
+func MatrixProfile(xs []float64, m int) *anomaly.Profile {
+	return anomaly.MatrixProfile(xs, m)
+}
+
+// IrregularMatrixProfile computes the paper's iMP directly over a
+// compressed series' retained points, avoiding materialization.
+func IrregularMatrixProfile(ir *Irregular, m int) *anomaly.Profile {
+	return anomaly.IrregularMatrixProfile(ir, m)
+}
+
+// DetectDiscord sweeps segment sizes and returns the strongest discord's
+// location and segment size.
+func DetectDiscord(xs []float64, sizes []int) (loc, size int) {
+	return anomaly.DetectDiscord(xs, sizes)
+}
+
+// Features extracts the tsfeatures-style feature vector (trend/seasonal
+// strength, linearity, curvature, nonlinearity, ACF/PACF summaries).
+func Features(xs []float64, period int) features.Vector {
+	return features.Compute(xs, period)
+}
+
+// CompareFeatures computes per-feature deviations between an original and a
+// reconstructed series (the Figure 1 study's x-axis).
+func CompareFeatures(orig, recon []float64, period int) features.Deviation {
+	return features.Compare(orig, recon, period)
+}
+
+// DatasetSpec describes one replica of the paper's eight datasets.
+type DatasetSpec = datasets.Spec
+
+// Datasets returns the eight dataset replicas of the paper's Table 1.
+func Datasets() []DatasetSpec { return datasets.Replicas() }
+
+// DatasetByName looks a replica up by its paper name.
+func DatasetByName(name string) (DatasetSpec, error) { return datasets.ByName(name) }
+
+// LoadCSV reads a numeric column from a CSV file (header auto-skipped).
+func LoadCSV(path string, column int) ([]float64, error) { return datasets.LoadCSV(path, column) }
+
+// SaveCSV writes values as a single-column CSV.
+func SaveCSV(path, header string, xs []float64) error { return datasets.SaveCSV(path, header, xs) }

@@ -1,0 +1,90 @@
+package cameo
+
+import (
+	"repro/internal/lossless"
+	"repro/internal/lossy"
+	"repro/internal/simplify"
+)
+
+// SimplifyOptions configures an ACF-constrained line-simplification
+// baseline run (VW, Turning Points, PIP, RDP).
+type SimplifyOptions = simplify.Options
+
+// SimplifyResult reports a baseline simplification outcome.
+type SimplifyResult = simplify.Result
+
+// ErrBoundExceeded is returned by baselines that cannot satisfy the
+// requested ACF bound at all (e.g. Turning Points' initial phase).
+var ErrBoundExceeded = simplify.ErrBoundExceeded
+
+// TPVariant selects the Turning Points evaluation function.
+type TPVariant = simplify.TPVariant
+
+// Turning Points variants.
+const (
+	TPSum = simplify.TPSum // sum of absolute value differences (TPs)
+	TPMae = simplify.TPMae // mean absolute gap error (TPm)
+)
+
+// PIPVariant selects the PIP importance (distance) function.
+type PIPVariant = simplify.PIPVariant
+
+// PIP variants.
+const (
+	PIPVertical      = simplify.PIPVertical
+	PIPEuclidean     = simplify.PIPEuclidean
+	PIPPerpendicular = simplify.PIPPerpendicular
+)
+
+// VW runs the ACF-constrained Visvalingam-Whyatt baseline.
+func VW(xs []float64, opt SimplifyOptions) (*SimplifyResult, error) {
+	return simplify.VW(xs, opt)
+}
+
+// TurningPoints runs the ACF-constrained Turning Points baseline.
+func TurningPoints(xs []float64, v TPVariant, opt SimplifyOptions) (*SimplifyResult, error) {
+	return simplify.TurningPoints(xs, v, opt)
+}
+
+// PIP runs the ACF-constrained Perceptually Important Points baseline.
+func PIP(xs []float64, v PIPVariant, opt SimplifyOptions) (*SimplifyResult, error) {
+	return simplify.PIP(xs, v, opt)
+}
+
+// RDP runs the ACF-constrained Ramer-Douglas-Peucker baseline.
+func RDP(xs []float64, opt SimplifyOptions) (*SimplifyResult, error) {
+	return simplify.RDP(xs, opt)
+}
+
+// LossyCompressed is a decodable compact representation produced by the
+// functional-approximation and transform baselines.
+type LossyCompressed = lossy.Compressed
+
+// PMC compresses with Poor Man's Compression (constant segments, midrange
+// variant) under a per-value absolute error bound.
+func PMC(xs []float64, errBound float64) *LossyCompressed { return lossy.PMC(xs, errBound) }
+
+// Swing compresses with the Swing filter (connected linear segments) under
+// a per-value absolute error bound.
+func Swing(xs []float64, errBound float64) *LossyCompressed { return lossy.Swing(xs, errBound) }
+
+// SimPiece compresses with Sim-Piece (quantized-intercept PLA with merged
+// slopes) under a per-value absolute error bound.
+func SimPiece(xs []float64, errBound float64) *LossyCompressed { return lossy.SimPiece(xs, errBound) }
+
+// FFTTopK compresses by keeping the k largest half-spectrum FFT
+// coefficients.
+func FFTTopK(xs []float64, k int) *LossyCompressed { return lossy.FFTTopK(xs, k) }
+
+// LosslessEncoded is a bitstream produced by the lossless codecs.
+type LosslessEncoded = lossless.Encoded
+
+// Gorilla compresses losslessly with the Gorilla XOR codec.
+func Gorilla(xs []float64) *LosslessEncoded { return lossless.Gorilla(xs) }
+
+// Chimp compresses losslessly with the Chimp XOR codec.
+func Chimp(xs []float64) *LosslessEncoded { return lossless.Chimp(xs) }
+
+// Elf compresses losslessly with the erase-based Elf-style codec, which
+// excels on values that are short decimals (typical sensor readings).
+func Elf(xs []float64) *LosslessEncoded { return lossless.Elf(xs) }

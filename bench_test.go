@@ -1,0 +1,240 @@
+package cameo
+
+import (
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchConfig keeps the per-artifact benchmarks small enough to run as a
+// suite; use cmd/experiments -scale 1.0 for paper-sized runs.
+func benchConfig() experiments.Config {
+	return experiments.Config{Out: io.Discard, Scale: 0.02, MaxN: 2500, Seed: 1, Quick: true}
+}
+
+// benchArtifact runs one experiment runner b.N times.
+func benchArtifact(b *testing.B, id string) {
+	b.Helper()
+	run := experiments.Registry()[id]
+	if run == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	cfg := benchConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper table.
+
+func BenchmarkTable1DatasetSummary(b *testing.B)     { benchArtifact(b, "tab1") }
+func BenchmarkTable2BitsPerValue(b *testing.B)       { benchArtifact(b, "tab2") }
+func BenchmarkTable3CompressionTimes(b *testing.B)   { benchArtifact(b, "tab3") }
+func BenchmarkTable4DecompressionTimes(b *testing.B) { benchArtifact(b, "tab4") }
+
+// One benchmark per paper figure.
+
+func BenchmarkFigure1FeatureCorrelation(b *testing.B)  { benchArtifact(b, "fig1") }
+func BenchmarkFigure3ImportanceSkew(b *testing.B)      { benchArtifact(b, "fig3") }
+func BenchmarkFigure6LineSimplification(b *testing.B)  { benchArtifact(b, "fig6") }
+func BenchmarkFigure7LossyBaselines(b *testing.B)      { benchArtifact(b, "fig7") }
+func BenchmarkFigure8NRMSEvsCR(b *testing.B)           { benchArtifact(b, "fig8") }
+func BenchmarkFigure9Blocking(b *testing.B)            { benchArtifact(b, "fig9") }
+func BenchmarkFigure10aFineGrained(b *testing.B)       { benchArtifact(b, "fig10a") }
+func BenchmarkFigure10bCoarseGrained(b *testing.B)     { benchArtifact(b, "fig10b") }
+func BenchmarkFigure11Hybrid(b *testing.B)             { benchArtifact(b, "fig11") }
+func BenchmarkFigure12aMeasureVariants(b *testing.B)   { benchArtifact(b, "fig12a") }
+func BenchmarkFigure12bForecastingModels(b *testing.B) { benchArtifact(b, "fig12b") }
+func BenchmarkFigure12cHighlySeasonal(b *testing.B)    { benchArtifact(b, "fig12c") }
+func BenchmarkFigure13Anomaly(b *testing.B)            { benchArtifact(b, "fig13") }
+
+// Micro-benchmarks of the core operations (compression throughput, the
+// numbers behind Tables 3-4).
+
+func benchSeries(n, period int, noise float64) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 10 + 5*math.Sin(2*math.Pi*float64(i)/float64(period)) + noise*rng.NormFloat64()
+	}
+	return xs
+}
+
+func BenchmarkCompressEpsilon10k(b *testing.B) {
+	xs := benchSeries(10000, 48, 0.5)
+	opt := Options{Lags: 48, Epsilon: 0.01}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(xs, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompressRatio10k(b *testing.B) {
+	xs := benchSeries(10000, 48, 0.5)
+	opt := Options{Lags: 48, TargetRatio: 10}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(xs, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompressPACF2k(b *testing.B) {
+	xs := benchSeries(2000, 24, 0.5)
+	opt := Options{Lags: 24, Epsilon: 0.01, Statistic: StatPACF}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(xs, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompressAggregates10k(b *testing.B) {
+	xs := benchSeries(10000, 240, 0.5)
+	opt := Options{Lags: 10, Epsilon: 0.01, AggWindow: 24, AggFunc: AggMean}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(xs, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompressCoarse4x10k(b *testing.B) {
+	xs := benchSeries(10000, 48, 0.5)
+	opt := CoarseOptions{Options: Options{Lags: 48, Epsilon: 0.01}, Partitions: 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompressCoarse(xs, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress100k(b *testing.B) {
+	// Table 4's CAMEO row: linear-interpolation decompression at 10x. The
+	// retained set is built directly (uniform 10x downsample) so the bench
+	// isolates decompression.
+	xs := benchSeries(100000, 480, 0.5)
+	pts := make([]Point, 0, len(xs)/10+1)
+	for i := 0; i < len(xs); i += 10 {
+		pts = append(pts, Point{Index: i, Value: xs[i]})
+	}
+	if pts[len(pts)-1].Index != len(xs)-1 {
+		pts = append(pts, Point{Index: len(xs) - 1, Value: xs[len(xs)-1]})
+	}
+	ir := &Irregular{N: len(xs), Points: pts}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ir.Decompress()
+	}
+}
+
+func BenchmarkInitialImpacts10k(b *testing.B) {
+	xs := benchSeries(10000, 48, 0.5)
+	opt := Options{Lags: 48, Epsilon: 0.01}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := InitialImpacts(xs, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkACF10kx48(b *testing.B) {
+	xs := benchSeries(10000, 48, 0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ACF(xs, 48)
+	}
+}
+
+// Ablation benchmarks for the design choices DESIGN.md calls out.
+
+// BenchmarkAblationRevalidation measures the cost of the lazy
+// pop-revalidation step (exactness of the greedy order under blocking).
+func BenchmarkAblationRevalidation(b *testing.B) {
+	xs := benchSeries(5000, 48, 0.5)
+	for _, noReval := range []bool{false, true} {
+		name := "revalidate"
+		if noReval {
+			name = "no-revalidate"
+		}
+		b.Run(name, func(b *testing.B) {
+			opt := Options{Lags: 48, Epsilon: 0.01, NoRevalidate: noReval}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Compress(xs, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLagSubset measures the §5.5 "preserve specific lags"
+// speedup: 3 seasonal lags vs the full 48-lag constraint.
+func BenchmarkAblationLagSubset(b *testing.B) {
+	xs := benchSeries(5000, 48, 0.5)
+	for _, sub := range []struct {
+		name string
+		lags []int
+	}{
+		{"full-48", nil},
+		{"subset-3", []int{1, 24, 48}},
+	} {
+		b.Run(sub.name, func(b *testing.B) {
+			opt := Options{Lags: 48, Epsilon: 0.01, LagSubset: sub.lags}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Compress(xs, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBlocking measures compression time vs blocking size
+// (the Table 3 columns) on one mid-size series.
+func BenchmarkAblationBlocking(b *testing.B) {
+	xs := benchSeries(4000, 48, 0.5)
+	for _, hops := range []struct {
+		name string
+		h    int
+	}{
+		{"h1", 1}, {"h-log-n", 12}, {"h-5log-n", 60}, {"unblocked", -1},
+	} {
+		b.Run(hops.name, func(b *testing.B) {
+			opt := Options{Lags: 48, Epsilon: 0.01, TargetRatio: 10, BlockHops: hops.h}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Compress(xs, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,117 @@
+package cameo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func demoSeries(n, period int, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 10 + 5*math.Sin(2*math.Pi*float64(i)/float64(period)) + noise*rng.NormFloat64()
+	}
+	return xs
+}
+
+func TestFacadeCompressRoundtrip(t *testing.T) {
+	xs := demoSeries(480, 24, 0.5, 1)
+	res, err := Compress(xs, Options{Lags: 24, Epsilon: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompressionRatio() <= 1 {
+		t.Fatal("no compression")
+	}
+	dev, err := Deviation(xs, res.Compressed, Options{Lags: 24, Epsilon: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev > 0.02+1e-9 {
+		t.Fatalf("deviation %v exceeds bound", dev)
+	}
+	if got := len(res.Compressed.Decompress()); got != len(xs) {
+		t.Fatalf("reconstruction length %d", got)
+	}
+}
+
+func TestFacadeACFPACF(t *testing.T) {
+	xs := demoSeries(480, 24, 0.3, 2)
+	a := ACF(xs, 24)
+	p := PACF(xs, 5)
+	if len(a) != 24 || len(p) != 5 {
+		t.Fatalf("lengths %d/%d", len(a), len(p))
+	}
+	if a[0] < 0.5 {
+		t.Fatalf("ACF1 = %v", a[0])
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	xs := demoSeries(300, 24, 0.5, 3)
+	opt := SimplifyOptions{Lags: 24, Epsilon: 0.05}
+	if _, err := VW(xs, opt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PIP(xs, PIPVertical, opt); err != nil {
+		t.Fatal(err)
+	}
+	if c := PMC(xs, 2.5); c.CompressionRatio() <= 1 {
+		t.Fatal("PMC did not compress")
+	}
+	if enc := Gorilla(xs); enc.BitsPerValue() <= 0 {
+		t.Fatal("Gorilla produced no bits")
+	}
+}
+
+func TestFacadeAnalytics(t *testing.T) {
+	xs := demoSeries(600, 24, 0.3, 4)
+	if s := SeasonalStrength(xs, 24); s < 0.5 {
+		t.Fatalf("seasonal strength %v", s)
+	}
+	f := Features(xs, 24)
+	if f.ACF1 <= 0 {
+		t.Fatalf("features: %+v", f)
+	}
+	specs := Datasets()
+	if len(specs) != 8 {
+		t.Fatalf("%d datasets", len(specs))
+	}
+	if _, err := DatasetByName("MinTemp"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeForecastPipeline(t *testing.T) {
+	xs := demoSeries(600, 24, 0.3, 5)
+	res, err := Compress(xs[:576], Options{Lags: 24, TargetRatio: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := res.Compressed.Decompress()
+	hw := &HoltWinters{Period: 24}
+	ev, err := EvaluateForecast(hw, train, xs[576:], 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(ev.MSMAPE) {
+		t.Fatal("NaN mSMAPE")
+	}
+}
+
+func TestFacadeAnomalyPipeline(t *testing.T) {
+	xs := demoSeries(1000, 40, 0.1, 6)
+	for i := 700; i < 740; i++ {
+		xs[i] += 8
+	}
+	res, err := Compress(xs, Options{Lags: 40, TargetRatio: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := IrregularMatrixProfile(res.Compressed, 80)
+	loc, _ := p.Discord()
+	if loc < 600 || loc > 800 {
+		t.Fatalf("discord at %d, want ~700", loc)
+	}
+}

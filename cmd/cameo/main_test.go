@@ -1,0 +1,82 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/series"
+)
+
+func TestWriteCompressedAndDecompressRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	ir := &series.Irregular{N: 10, Points: []series.Point{
+		{Index: 0, Value: 1.5}, {Index: 4, Value: -2.25}, {Index: 9, Value: 3},
+	}}
+	cpath := filepath.Join(dir, "c.csv")
+	if err := writeCompressed(cpath, ir); err != nil {
+		t.Fatal(err)
+	}
+	dpath := filepath.Join(dir, "d.csv")
+	if err := decompress(cpath, dpath, 10); err != nil {
+		t.Fatal(err)
+	}
+	got, err := datasets.LoadCSV(dpath, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ir.Decompress()
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("value %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDecompressInfersLength(t *testing.T) {
+	dir := t.TempDir()
+	ir := &series.Irregular{N: 6, Points: []series.Point{
+		{Index: 0, Value: 2}, {Index: 5, Value: 7},
+	}}
+	cpath := filepath.Join(dir, "c.csv")
+	if err := writeCompressed(cpath, ir); err != nil {
+		t.Fatal(err)
+	}
+	dpath := filepath.Join(dir, "d.csv")
+	if err := decompress(cpath, dpath, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := datasets.LoadCSV(dpath, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("inferred length %d, want 6", len(got))
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(bad, []byte("index,value\nx,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := decompress(bad, filepath.Join(dir, "out.csv"), 0); err == nil {
+		t.Fatal("expected parse error")
+	}
+	empty := filepath.Join(dir, "empty.csv")
+	if err := os.WriteFile(empty, []byte("index,value\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := decompress(empty, filepath.Join(dir, "out.csv"), 0); err == nil {
+		t.Fatal("expected empty error")
+	}
+	if err := decompress(filepath.Join(dir, "missing.csv"), filepath.Join(dir, "out.csv"), 0); err == nil {
+		t.Fatal("expected missing-file error")
+	}
+}

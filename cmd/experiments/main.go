@@ -1,0 +1,61 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp fig6            # one artifact
+//	experiments -exp all             # everything
+//	experiments -exp tab3 -scale 0.5 # larger replicas (slower, closer to paper)
+//
+// Output is printed as markdown-ish tables; EXPERIMENTS.md records the
+// expected shapes next to measured runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id ("+strings.Join(experiments.IDs(), ", ")+") or 'all'")
+		scale = flag.Float64("scale", 0.1, "dataset length scale factor (1.0 = paper-sized)")
+		maxN  = flag.Int("maxn", 40000, "cap on generated series length")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		quick = flag.Bool("quick", false, "trim sweeps for a fast smoke run")
+	)
+	flag.Parse()
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := experiments.Config{
+		Out:   os.Stdout,
+		Scale: *scale,
+		MaxN:  *maxN,
+		Seed:  *seed,
+		Quick: *quick,
+	}
+	reg := experiments.Registry()
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		run, ok := reg[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s\n", id, strings.Join(experiments.IDs(), ", "))
+			os.Exit(2)
+		}
+		start := time.Now()
+		if err := run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n[%s completed in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

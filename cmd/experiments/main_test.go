@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEndToEnd builds the binary and drives it like a user would.
+func TestEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping e2e build in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "experiments")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build failed: %v\n%s", err, out)
+	}
+
+	t.Run("runs one artifact", func(t *testing.T) {
+		out, err := exec.Command(bin, "-exp", "tab1", "-quick", "-scale", "0.01", "-maxn", "2000").CombinedOutput()
+		if err != nil {
+			t.Fatalf("tab1 failed: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "Table 1") || !strings.Contains(string(out), "SolarPower") {
+			t.Fatalf("unexpected output:\n%s", out)
+		}
+	})
+
+	t.Run("rejects unknown id", func(t *testing.T) {
+		out, err := exec.Command(bin, "-exp", "nope").CombinedOutput()
+		if err == nil {
+			t.Fatalf("expected failure, got:\n%s", out)
+		}
+		if !strings.Contains(string(out), "unknown experiment") {
+			t.Fatalf("unexpected error output:\n%s", out)
+		}
+	})
+
+	t.Run("requires an id", func(t *testing.T) {
+		if err := exec.Command(bin).Run(); err == nil {
+			t.Fatal("expected usage failure without -exp")
+		}
+	})
+}

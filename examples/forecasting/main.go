@@ -1,0 +1,66 @@
+// Forecasting pipeline (paper EXP3): compress a highly seasonal series at
+// increasing ratios with CAMEO and with Visvalingam-Whyatt, train the
+// paper's EXP3 models (DHR and LSTM) on the reconstructions, and score the
+// forecasts against the raw future. Preserving the ACF keeps forecasting
+// accuracy nearly flat even at high compression.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cameo "repro"
+)
+
+func main() {
+	// The UKElecDem replica: half-hourly national electricity demand with a
+	// strong daily cycle of 48 samples.
+	spec, err := cameo.DatasetByName("UKElecDem")
+	if err != nil {
+		log.Fatal(err)
+	}
+	xs := spec.GenerateN(48*120, 7) // 120 days
+	period := spec.Period
+	horizon := period // forecast one day ahead
+
+	train := xs[:len(xs)-horizon]
+	test := xs[len(xs)-horizon:]
+	fmt.Printf("dataset: %s (n=%d, period=%d, seasonal strength %.2f)\n\n",
+		spec.Name, len(xs), period, cameo.SeasonalStrength(xs, period))
+
+	fmt.Println("CR      method  DHR-mSMAPE   LSTM-mSMAPE")
+	for _, cr := range []float64{1, 10, 25, 50, 100} {
+		for _, method := range []string{"CAMEO", "VW"} {
+			recon := train
+			if cr > 1 {
+				switch method {
+				case "CAMEO":
+					res, err := cameo.Compress(train, cameo.Options{Lags: period, TargetRatio: cr})
+					if err != nil {
+						log.Fatal(err)
+					}
+					recon = res.Compressed.Decompress()
+				case "VW":
+					r, err := cameo.VW(train, cameo.SimplifyOptions{Lags: period, TargetRatio: cr})
+					if err != nil {
+						log.Fatal(err)
+					}
+					recon = r.Compressed.Decompress()
+				}
+			}
+			dhr, err := cameo.EvaluateForecast(&cameo.DHR{Period: period}, recon, test, horizon)
+			if err != nil {
+				log.Fatal(err)
+			}
+			lstm := &cameo.LSTM{Window: period, Hidden: 12, Epochs: 15, Seed: 1}
+			lev, err := cameo.EvaluateForecast(lstm, recon, test, horizon)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-7.0f %-7s %-12.4f %-12.4f\n", cr, method, dhr.MSMAPE, lev.MSMAPE)
+			if cr == 1 {
+				break // the raw baseline is method-independent
+			}
+		}
+	}
+}

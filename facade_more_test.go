@@ -1,0 +1,247 @@
+package cameo
+
+import (
+	"errors"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestFacadeAllSimplifiers(t *testing.T) {
+	xs := demoSeries(300, 24, 0.5, 11)
+	opt := SimplifyOptions{Lags: 24, Epsilon: 0.05}
+	if r, err := RDP(xs, opt); err != nil || r.CompressionRatio() < 1 {
+		t.Fatalf("RDP: %v", err)
+	}
+	if r, err := PIP(xs, PIPEuclidean, opt); err != nil || r.CompressionRatio() < 1 {
+		t.Fatalf("PIPe: %v", err)
+	}
+	if _, err := TurningPoints(xs, TPMae, opt); err != nil && !errors.Is(err, ErrBoundExceeded) {
+		t.Fatalf("TPm: %v", err)
+	}
+}
+
+func TestFacadeAllLossyCompressors(t *testing.T) {
+	xs := demoSeries(512, 32, 0.4, 12)
+	for name, c := range map[string]*LossyCompressed{
+		"swing":    Swing(xs, 1.0),
+		"simpiece": SimPiece(xs, 1.0),
+		"fft":      FFTTopK(xs, 20),
+	} {
+		recon := c.Decompress()
+		if len(recon) != len(xs) {
+			t.Fatalf("%s: recon length %d", name, len(recon))
+		}
+		if c.CompressionRatio() <= 0 {
+			t.Fatalf("%s: CR %v", name, c.CompressionRatio())
+		}
+	}
+}
+
+func TestFacadeChimpRoundtrip(t *testing.T) {
+	xs := demoSeries(200, 24, 0.5, 13)
+	enc := Chimp(xs)
+	dec, err := enc.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if xs[i] != dec[i] {
+			t.Fatalf("chimp roundtrip mismatch at %d", i)
+		}
+	}
+}
+
+func TestFacadeCompressMulti(t *testing.T) {
+	channels := [][]float64{
+		demoSeries(240, 24, 0.4, 14),
+		demoSeries(240, 12, 0.4, 15),
+	}
+	results, err := CompressMulti(channels, Options{Lags: 24, Epsilon: 0.05}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.CompressionRatio() <= 1 {
+			t.Fatalf("channel %d did not compress", i)
+		}
+	}
+}
+
+func TestFacadeSTLForecastersAndAR(t *testing.T) {
+	xs := demoSeries(600, 24, 0.4, 16)
+	train, test := xs[:576], xs[576:]
+	for _, m := range []Forecaster{NewSTLETS(24), NewSTLAR(24), &AR{}, &SES{}, &DHR{Period: 24}} {
+		ev, err := EvaluateForecast(m, train, test, 24)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if math.IsNaN(ev.MSMAPE) {
+			t.Fatalf("%s: NaN mSMAPE", m.Name())
+		}
+	}
+}
+
+func TestFacadeLSTMSmoke(t *testing.T) {
+	xs := demoSeries(200, 20, 0.1, 17)
+	m := &LSTM{Window: 20, Hidden: 6, Epochs: 3, Seed: 1}
+	if err := m.Fit(xs); err != nil {
+		t.Fatal(err)
+	}
+	if fc := m.Forecast(5); len(fc) != 5 {
+		t.Fatalf("forecast length %d", len(fc))
+	}
+}
+
+func TestFacadeDetectDiscordAndMP(t *testing.T) {
+	xs := demoSeries(1200, 40, 0.1, 18)
+	for i := 800; i < 840; i++ {
+		xs[i] += 15
+	}
+	loc, size := DetectDiscord(xs, []int{80})
+	if size != 80 || loc < 700 || loc > 900 {
+		t.Fatalf("discord at %d size %d", loc, size)
+	}
+	p := MatrixProfile(xs, 80)
+	if l2, _ := p.Discord(); l2 < 700 || l2 > 900 {
+		t.Fatalf("MP discord at %d", l2)
+	}
+}
+
+func TestFacadeCompareFeatures(t *testing.T) {
+	xs := demoSeries(400, 24, 0.3, 19)
+	res, err := Compress(xs, Options{Lags: 24, TargetRatio: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := CompareFeatures(xs, res.Compressed.Decompress(), 24)
+	if d.ACF1 < 0 || math.IsNaN(d.NRMSE) {
+		t.Fatalf("deviation: %+v", d)
+	}
+}
+
+func TestFacadeCSVAndAggregate(t *testing.T) {
+	xs := demoSeries(50, 10, 0.2, 20)
+	path := filepath.Join(t.TempDir(), "x.csv")
+	if err := SaveCSV(path, "v", xs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(xs) {
+		t.Fatalf("%d values", len(back))
+	}
+	agg := Aggregate(xs, 5, AggMax)
+	if len(agg) != 10 {
+		t.Fatalf("aggregate length %d", len(agg))
+	}
+}
+
+func TestFacadeInitialImpactsAndPACF(t *testing.T) {
+	xs := demoSeries(200, 20, 0.5, 21)
+	imp, err := InitialImpacts(xs, Options{Lags: 20, Epsilon: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(imp[0], 1) {
+		t.Fatal("first impact should be +Inf")
+	}
+	if p := PACF(xs, 5); len(p) != 5 {
+		t.Fatalf("PACF length %d", len(p))
+	}
+}
+
+func TestFacadeStreamingAndEncoding(t *testing.T) {
+	xs := demoSeries(1200, 24, 0.4, 23)
+	sc, err := NewStreamCompressor(Options{Lags: 24, Epsilon: 0.05}, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Push(xs...); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompressionRatio() <= 1 {
+		t.Fatal("stream did not compress")
+	}
+	// Binary roundtrip through the compact encoding.
+	data := res.Compressed.Encode()
+	back, err := DecodeIrregular(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != res.Compressed.Len() {
+		t.Fatalf("encode roundtrip lost points: %d vs %d", back.Len(), res.Compressed.Len())
+	}
+	// The binary form must undercut naive (index, value) storage — 128
+	// bits per retained point. (Against the paper's 64-bit value-only
+	// accounting the XOR coding only wins on low-entropy values.)
+	if float64(len(data)*8) >= float64(res.Compressed.Len()*128) {
+		t.Fatalf("encoding %d bits >= naive %d bits", len(data)*8, res.Compressed.Len()*128)
+	}
+}
+
+func TestFacadeStore(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir, Options{Lags: 24, Epsilon: 0.05}, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := demoSeries(600, 24, 0.3, 24)
+	if err := store.Append("s1", xs...); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Query("s1", 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("query returned %d samples", len(got))
+	}
+	if _, err := store.Query("absent", 0, 1); !errors.Is(err, ErrUnknownSeries) {
+		t.Fatalf("expected ErrUnknownSeries, got %v", err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeElf(t *testing.T) {
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = math.Round(float64(i)*1.7) / 10
+	}
+	enc := Elf(xs)
+	dec, err := enc.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if dec[i] != xs[i] {
+			t.Fatalf("elf roundtrip broken at %d", i)
+		}
+	}
+	if enc.BitsPerValue() >= Gorilla(xs).BitsPerValue() {
+		t.Fatalf("Elf %v should beat Gorilla %v on decimal data",
+			enc.BitsPerValue(), Gorilla(xs).BitsPerValue())
+	}
+}
+
+func TestFacadeCoarseAndStatistics(t *testing.T) {
+	xs := demoSeries(2000, 48, 0.4, 22)
+	res, err := CompressCoarse(xs, CoarseOptions{
+		Options:    Options{Lags: 48, Epsilon: 0.02, Statistic: StatACF, Measure: MAE},
+		Partitions: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompressionRatio() <= 1 {
+		t.Fatal("coarse run did not compress")
+	}
+}

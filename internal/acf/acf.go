@@ -1,0 +1,156 @@
+// Package acf implements the autocorrelation (ACF) and partial
+// autocorrelation (PACF) machinery at the core of CAMEO (paper §2.4, §4.2):
+// direct estimators, the aggregate form of the ACF (Eq. 2) whose basic
+// aggregates (Eq. 7) can be maintained incrementally under point updates
+// (Eq. 8, 9), the windowed-aggregation variant (Eq. 10, 11), and the
+// Durbin-Levinson recursion for the PACF (Eq. 3).
+package acf
+
+import "math"
+
+// tiny guards divisions: per-lag variances below this are treated as zero
+// (constant sub-series have undefined autocorrelation; we report 0).
+const tiny = 1e-12
+
+// ACF computes the autocorrelation function for lags 1..L using the
+// non-stationary estimator of paper Eq. 1/Eq. 2: per-lag Pearson correlation
+// between X[0:n-l] and X[l:n]. The returned slice has length L; index i
+// holds lag i+1. Lags with l >= n or zero variance yield 0.
+func ACF(xs []float64, L int) []float64 {
+	out := make([]float64, L)
+	n := len(xs)
+	for l := 1; l <= L; l++ {
+		if l >= n {
+			break
+		}
+		out[l-1] = lagCorr(xs, l)
+	}
+	return out
+}
+
+// lagCorr returns the Pearson correlation between the head X[0:n-l] and the
+// lagged tail X[l:n].
+func lagCorr(xs []float64, l int) float64 {
+	n := len(xs)
+	m := n - l
+	var sx, sxl, sxx, sx2, sx2l float64
+	for t := 0; t < m; t++ {
+		a, b := xs[t], xs[t+l]
+		sx += a
+		sxl += b
+		sxx += a * b
+		sx2 += a * a
+		sx2l += b * b
+	}
+	return corrFromAggregates(float64(m), sx, sxl, sxx, sx2, sx2l)
+}
+
+// corrFromAggregates evaluates paper Eq. 2 given the five basic aggregates
+// over m lag pairs. The zero-variance guard is relative to the magnitude of
+// the aggregate products: the subtraction m*sx2 - sx^2 cancels
+// catastrophically on (near-)constant series, so an absolute threshold
+// would misclassify them.
+func corrFromAggregates(m, sx, sxl, sxx, sx2, sx2l float64) float64 {
+	if m <= 1 {
+		return 0
+	}
+	num := m*sxx - sx*sxl
+	va := m*sx2 - sx*sx
+	vb := m*sx2l - sxl*sxl
+	if va <= tiny+1e-10*(m*sx2+sx*sx) || vb <= tiny+1e-10*(m*sx2l+sxl*sxl) {
+		return 0
+	}
+	r := num / math.Sqrt(va*vb)
+	// Clamp rounding overshoot: a correlation is in [-1, 1] by definition.
+	if r > 1 {
+		r = 1
+	} else if r < -1 {
+		r = -1
+	}
+	return r
+}
+
+// ACFStationary computes the classical stationary estimator of paper Eq. 1:
+//
+//	ACF_l = 1/((n-l) * sigma^2) * sum_t (x_t - mu)(x_{t+l} - mu)
+//
+// with the global mean mu and population variance sigma^2. It is provided
+// for reference and comparison; CAMEO itself maintains the Eq. 2 form.
+func ACFStationary(xs []float64, L int) []float64 {
+	out := make([]float64, L)
+	n := len(xs)
+	if n == 0 {
+		return out
+	}
+	var mu float64
+	for _, x := range xs {
+		mu += x
+	}
+	mu /= float64(n)
+	var v float64
+	for _, x := range xs {
+		d := x - mu
+		v += d * d
+	}
+	v /= float64(n)
+	if v <= tiny {
+		return out
+	}
+	for l := 1; l <= L && l < n; l++ {
+		var s float64
+		for t := 0; t+l < n; t++ {
+			s += (xs[t] - mu) * (xs[t+l] - mu)
+		}
+		out[l-1] = s / (float64(n-l) * v)
+	}
+	return out
+}
+
+// PACF computes the partial autocorrelation function for lags 1..L from a
+// series, via the Durbin-Levinson recursion on its ACF (paper Eq. 3).
+func PACF(xs []float64, L int) []float64 {
+	return PACFFromACF(ACF(xs, L))
+}
+
+// PACFFromACF runs the Durbin-Levinson recursion (paper Eq. 3) on an ACF
+// vector (lags 1..L) and returns the PACF vector (lags 1..L):
+//
+//	phi_{1,1} = rho_1
+//	phi_{l,l} = (rho_l - sum_{k<l} phi_{l-1,k} rho_{l-k})
+//	            / (1 - sum_{k<l} phi_{l-1,k} rho_k)
+//	phi_{l,k} = phi_{l-1,k} - phi_{l,l} phi_{l-1,l-k}
+//
+// Degenerate denominators (|den| <= tiny) yield a 0 coefficient at that lag
+// and stop the recursion, mirroring the behaviour of statistical packages on
+// numerically singular systems.
+func PACFFromACF(rho []float64) []float64 {
+	L := len(rho)
+	out := make([]float64, L)
+	if L == 0 {
+		return out
+	}
+	phiPrev := make([]float64, L+1) // phi_{l-1,k}
+	phiCur := make([]float64, L+1)  // phi_{l,k}
+	out[0] = rho[0]
+	phiPrev[1] = rho[0]
+	for l := 2; l <= L; l++ {
+		var num, den float64
+		num = rho[l-1]
+		den = 1.0
+		for k := 1; k < l; k++ {
+			num -= phiPrev[k] * rho[l-k-1]
+			den -= phiPrev[k] * rho[k-1]
+		}
+		if math.Abs(den) <= tiny {
+			break
+		}
+		pll := num / den
+		out[l-1] = pll
+		for k := 1; k < l; k++ {
+			phiCur[k] = phiPrev[k] - pll*phiPrev[l-k]
+		}
+		phiCur[l] = pll
+		copy(phiPrev[:l+1], phiCur[:l+1])
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package acf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func seasonal(n, period int, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 10 + 5*math.Sin(2*math.Pi*float64(i)/float64(period)) + noise*rng.NormFloat64()
+	}
+	return xs
+}
+
+func TestACFLagOneOfAlternatingSeries(t *testing.T) {
+	// Perfectly alternating series has lag-1 ACF of -1.
+	xs := make([]float64, 100)
+	for i := range xs {
+		if i%2 == 0 {
+			xs[i] = 1
+		} else {
+			xs[i] = -1
+		}
+	}
+	got := ACF(xs, 2)
+	if math.Abs(got[0]-(-1)) > 1e-9 {
+		t.Fatalf("ACF1 = %v, want -1", got[0])
+	}
+	if math.Abs(got[1]-1) > 1e-9 {
+		t.Fatalf("ACF2 = %v, want 1", got[1])
+	}
+}
+
+func TestACFPeriodicPeaksAtPeriod(t *testing.T) {
+	period := 24
+	xs := seasonal(24*20, period, 0, 1)
+	a := ACF(xs, period)
+	// The ACF at the full period should be ~1, higher than at half period.
+	if a[period-1] < 0.95 {
+		t.Fatalf("ACF at period = %v, want ~1", a[period-1])
+	}
+	if a[period/2-1] > -0.9 {
+		t.Fatalf("ACF at half period = %v, want ~-1", a[period/2-1])
+	}
+}
+
+func TestACFConstantSeriesIsZero(t *testing.T) {
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = 3.14
+	}
+	for _, v := range ACF(xs, 5) {
+		if v != 0 {
+			t.Fatalf("constant series ACF = %v, want 0", v)
+		}
+	}
+}
+
+func TestACFLagBeyondLength(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	a := ACF(xs, 10)
+	if len(a) != 10 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for l := 3; l < 10; l++ {
+		if a[l] != 0 {
+			t.Fatalf("ACF beyond length = %v at lag %d, want 0", a[l], l+1)
+		}
+	}
+}
+
+func TestACFWhiteNoiseNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	for l, v := range ACF(xs, 10) {
+		if math.Abs(v) > 0.05 {
+			t.Fatalf("white-noise ACF lag %d = %v, want ~0", l+1, v)
+		}
+	}
+}
+
+func TestACFStationaryMatchesDirectOnLongStationarySeries(t *testing.T) {
+	xs := seasonal(5000, 50, 0.5, 3)
+	a1 := ACF(xs, 50)
+	a2 := ACFStationary(xs, 50)
+	for l := 0; l < 50; l++ {
+		if math.Abs(a1[l]-a2[l]) > 0.05 {
+			t.Fatalf("lag %d: direct %v vs stationary %v differ too much", l+1, a1[l], a2[l])
+		}
+	}
+}
+
+func TestACFStationaryEmptyAndConstant(t *testing.T) {
+	if got := ACFStationary(nil, 3); len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	xs := []float64{2, 2, 2, 2}
+	for _, v := range ACFStationary(xs, 2) {
+		if v != 0 {
+			t.Fatalf("constant stationary ACF = %v", v)
+		}
+	}
+}
+
+func TestPACFAR1Process(t *testing.T) {
+	// For an AR(1) process, PACF cuts off after lag 1.
+	rng := rand.New(rand.NewSource(5))
+	n := 50000
+	phi := 0.7
+	xs := make([]float64, n)
+	for i := 1; i < n; i++ {
+		xs[i] = phi*xs[i-1] + rng.NormFloat64()
+	}
+	p := PACF(xs, 5)
+	if math.Abs(p[0]-phi) > 0.05 {
+		t.Fatalf("PACF1 = %v, want ~%v", p[0], phi)
+	}
+	for l := 1; l < 5; l++ {
+		if math.Abs(p[l]) > 0.05 {
+			t.Fatalf("PACF lag %d = %v, want ~0 for AR(1)", l+1, p[l])
+		}
+	}
+}
+
+func TestPACFAR2Process(t *testing.T) {
+	// AR(2): PACF lag 2 should recover phi2, lag 3+ near zero.
+	rng := rand.New(rand.NewSource(6))
+	n := 50000
+	phi1, phi2 := 0.5, 0.3
+	xs := make([]float64, n)
+	for i := 2; i < n; i++ {
+		xs[i] = phi1*xs[i-1] + phi2*xs[i-2] + rng.NormFloat64()
+	}
+	p := PACF(xs, 4)
+	if math.Abs(p[1]-phi2) > 0.05 {
+		t.Fatalf("PACF2 = %v, want ~%v", p[1], phi2)
+	}
+	if math.Abs(p[2]) > 0.05 || math.Abs(p[3]) > 0.05 {
+		t.Fatalf("PACF3/4 = %v/%v, want ~0", p[2], p[3])
+	}
+}
+
+func TestPACFFromACFFirstLagIdentity(t *testing.T) {
+	rho := []float64{0.6, 0.3, 0.1}
+	p := PACFFromACF(rho)
+	if p[0] != 0.6 {
+		t.Fatalf("PACF1 = %v, want rho1", p[0])
+	}
+}
+
+func TestPACFFromACFEmpty(t *testing.T) {
+	if got := PACFFromACF(nil); len(got) != 0 {
+		t.Fatalf("PACF(nil) len = %d", len(got))
+	}
+}
+
+func TestPACFFromACFDegenerateDenominator(t *testing.T) {
+	// rho1 = 1 makes the lag-2 denominator zero; recursion must stop, not NaN.
+	p := PACFFromACF([]float64{1, 1, 1})
+	if p[0] != 1 {
+		t.Fatalf("PACF1 = %v", p[0])
+	}
+	for _, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("degenerate PACF contains %v", v)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package acf
+
+// Aggregates maintains the five basic per-lag aggregates of paper Eq. 7 for
+// lags 1..L over a fixed-length series, enabling O(L) (single point) or
+// O(m*L) (m-point gap) incremental recomputation of the ACF under value
+// updates (paper Eq. 8 and Eq. 9) instead of O(n*L) from scratch.
+//
+// The reconstruction of a line-simplified series always keeps its original
+// length n — removing a point changes interior *values* via interpolation,
+// never the length — so N is fixed for the lifetime of the struct.
+//
+// Index convention: slice index i holds lag l = i+1.
+type Aggregates struct {
+	N int // series length (fixed)
+	L int // max lag
+
+	sx   []float64 // sum of head x_t, t in [0, n-l)
+	sxl  []float64 // sum of tail x_{t+l}, t in [0, n-l)
+	sxx  []float64 // sum of x_t * x_{t+l}
+	sx2  []float64 // sum of head x_t^2
+	sx2l []float64 // sum of tail x_{t+l}^2
+}
+
+// NewAggregates extracts the aggregates from xs for lags 1..L in O(n*L)
+// (paper function ExtractAggregates).
+func NewAggregates(xs []float64, L int) *Aggregates {
+	n := len(xs)
+	a := &Aggregates{
+		N:    n,
+		L:    L,
+		sx:   make([]float64, L),
+		sxl:  make([]float64, L),
+		sxx:  make([]float64, L),
+		sx2:  make([]float64, L),
+		sx2l: make([]float64, L),
+	}
+	// Head/tail sums derive from total minus a suffix/prefix; the cross
+	// products need the per-lag pass.
+	var total, total2 float64
+	for _, x := range xs {
+		total += x
+		total2 += x * x
+	}
+	var suffix, suffix2, prefix, prefix2 float64
+	for l := 1; l <= L; l++ {
+		i := l - 1
+		if l >= n {
+			// Fewer than one pair: all aggregates stay zero.
+			continue
+		}
+		suffix += xs[n-l]
+		suffix2 += xs[n-l] * xs[n-l]
+		prefix += xs[l-1]
+		prefix2 += xs[l-1] * xs[l-1]
+		a.sx[i] = total - suffix
+		a.sx2[i] = total2 - suffix2
+		a.sxl[i] = total - prefix
+		a.sx2l[i] = total2 - prefix2
+		var sxx float64
+		for t := 0; t+l < n; t++ {
+			sxx += xs[t] * xs[t+l]
+		}
+		a.sxx[i] = sxx
+	}
+	return a
+}
+
+// ACF evaluates paper Eq. 2 from the current aggregates into a fresh slice
+// (lags 1..L).
+func (a *Aggregates) ACF() []float64 {
+	out := make([]float64, a.L)
+	a.ACFInto(out)
+	return out
+}
+
+// ACFInto evaluates the ACF into dst, which must have length L.
+func (a *Aggregates) ACFInto(dst []float64) {
+	for l := 1; l <= a.L; l++ {
+		i := l - 1
+		m := float64(a.N - l)
+		dst[i] = corrFromAggregates(m, a.sx[i], a.sxl[i], a.sxx[i], a.sx2[i], a.sx2l[i])
+	}
+}
+
+// Apply commits a contiguous block of value changes: the reconstruction
+// values at indices [start, start+len(deltas)) change by deltas. cur must
+// hold the reconstruction values *before* the change (the update rules of
+// Eq. 8/9 are expressed in terms of old values); the caller updates cur
+// afterwards. Zero deltas are skipped.
+func (a *Aggregates) Apply(cur []float64, start int, deltas []float64) {
+	a.applyTo(cur, start, deltas, a.sx, a.sxl, a.sxx, a.sx2, a.sx2l)
+}
+
+// applyTo applies the Eq. 8/9 update rules against the given aggregate
+// slices (either the live ones or a scratch copy).
+func (a *Aggregates) applyTo(cur []float64, start int, deltas []float64, sx, sxl, sxx, sx2, sx2l []float64) {
+	n := a.N
+	m := len(deltas)
+	for l := 1; l <= a.L; l++ {
+		i := l - 1
+		if l >= n {
+			continue
+		}
+		var dsx, dsxl, dsxx, dsx2, dsx2l float64
+		for j := 0; j < m; j++ {
+			d := deltas[j]
+			if d == 0 {
+				continue
+			}
+			k := start + j
+			x := cur[k]
+			dsq := d * (2*x + d) // (x+d)^2 - x^2
+			if k <= n-1-l {      // k participates as a head element
+				dsx += d
+				dsx2 += dsq
+			}
+			if k >= l { // k participates as a tail element
+				dsxl += d
+				dsx2l += dsq
+			}
+			// Cross products with old neighbour values (Eq. 9 first sum).
+			if k >= l {
+				dsxx += d * cur[k-l]
+			}
+			if k+l < n {
+				dsxx += d * cur[k+l]
+				// Eq. 9 second sum: both ends of the pair changed.
+				if j+l < m {
+					dsxx += d * deltas[j+l]
+				}
+			}
+		}
+		sx[i] += dsx
+		sxl[i] += dsxl
+		sxx[i] += dsxx
+		sx2[i] += dsx2
+		sx2l[i] += dsx2l
+	}
+}
+
+// Scratch holds reusable buffers for hypothetical (non-mutating) ACF
+// evaluation. A Scratch must not be shared between goroutines; allocate one
+// per worker.
+type Scratch struct {
+	sx, sxl, sxx, sx2, sx2l []float64
+	acf                     []float64
+	wdeltas                 []float64 // window-delta buffer (WindowTracker only)
+}
+
+// NewScratch allocates scratch buffers for an L-lag tracker.
+func NewScratch(L int) *Scratch {
+	return &Scratch{
+		sx:   make([]float64, L),
+		sxl:  make([]float64, L),
+		sxx:  make([]float64, L),
+		sx2:  make([]float64, L),
+		sx2l: make([]float64, L),
+		acf:  make([]float64, L),
+	}
+}
+
+// HypotheticalACF evaluates the ACF the series would have after applying the
+// given contiguous change, without mutating the aggregates. The returned
+// slice aliases sc.acf and is valid until the next call with the same sc.
+func (a *Aggregates) HypotheticalACF(cur []float64, start int, deltas []float64, sc *Scratch) []float64 {
+	copy(sc.sx, a.sx)
+	copy(sc.sxl, a.sxl)
+	copy(sc.sxx, a.sxx)
+	copy(sc.sx2, a.sx2)
+	copy(sc.sx2l, a.sx2l)
+	a.applyTo(cur, start, deltas, sc.sx, sc.sxl, sc.sxx, sc.sx2, sc.sx2l)
+	for l := 1; l <= a.L; l++ {
+		i := l - 1
+		m := float64(a.N - l)
+		sc.acf[i] = corrFromAggregates(m, sc.sx[i], sc.sxl[i], sc.sxx[i], sc.sx2[i], sc.sx2l[i])
+	}
+	return sc.acf
+}
+
+// Clone returns an independent deep copy of the aggregates.
+func (a *Aggregates) Clone() *Aggregates {
+	return &Aggregates{
+		N:    a.N,
+		L:    a.L,
+		sx:   append([]float64(nil), a.sx...),
+		sxl:  append([]float64(nil), a.sxl...),
+		sxx:  append([]float64(nil), a.sxx...),
+		sx2:  append([]float64(nil), a.sx2...),
+		sx2l: append([]float64(nil), a.sx2l...),
+	}
+}

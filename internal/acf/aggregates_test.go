@@ -1,0 +1,205 @@
+package acf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func acfClose(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAggregatesACFMatchesDirect(t *testing.T) {
+	xs := seasonal(500, 24, 1.0, 11)
+	agg := NewAggregates(xs, 30)
+	if !acfClose(agg.ACF(), ACF(xs, 30), 1e-9) {
+		t.Fatal("aggregate-form ACF != direct ACF")
+	}
+}
+
+func TestAggregatesACFShortSeries(t *testing.T) {
+	xs := []float64{1, 2}
+	agg := NewAggregates(xs, 5)
+	got := agg.ACF()
+	want := ACF(xs, 5)
+	if !acfClose(got, want, 1e-12) {
+		t.Fatalf("short series ACF %v != %v", got, want)
+	}
+}
+
+func TestApplySinglePointMatchesRecompute(t *testing.T) {
+	xs := seasonal(300, 12, 0.5, 13)
+	agg := NewAggregates(xs, 15)
+	// Change one interior point.
+	delta := 2.5
+	agg.Apply(xs, 100, []float64{delta})
+	xs[100] += delta
+	if !acfClose(agg.ACF(), ACF(xs, 15), 1e-9) {
+		t.Fatal("incremental single-point update diverges from recompute")
+	}
+}
+
+func TestApplyBoundaryPoints(t *testing.T) {
+	// Points within L of either boundary exercise the head/tail guards.
+	xs := seasonal(100, 10, 0.3, 17)
+	agg := NewAggregates(xs, 8)
+	for _, idx := range []int{0, 1, 7, 92, 98, 99} {
+		d := 1.0 + float64(idx)*0.1
+		agg.Apply(xs, idx, []float64{d})
+		xs[idx] += d
+	}
+	if !acfClose(agg.ACF(), ACF(xs, 8), 1e-9) {
+		t.Fatal("boundary updates diverge from recompute")
+	}
+}
+
+func TestApplyMultiPointGapMatchesRecompute(t *testing.T) {
+	// A contiguous gap wider than L exercises the Eq. 9 cross term.
+	xs := seasonal(400, 24, 0.5, 19)
+	agg := NewAggregates(xs, 10)
+	start := 150
+	deltas := make([]float64, 30) // gap wider than L=10
+	for i := range deltas {
+		deltas[i] = math.Sin(float64(i)) * 3
+	}
+	agg.Apply(xs, start, deltas)
+	for i, d := range deltas {
+		xs[start+i] += d
+	}
+	if !acfClose(agg.ACF(), ACF(xs, 10), 1e-9) {
+		t.Fatal("multi-point update diverges from recompute (cross-term bug?)")
+	}
+}
+
+func TestApplyZeroDeltasNoop(t *testing.T) {
+	xs := seasonal(200, 10, 0.5, 23)
+	agg := NewAggregates(xs, 5)
+	before := agg.ACF()
+	agg.Apply(xs, 50, make([]float64, 20))
+	if !acfClose(agg.ACF(), before, 0) {
+		t.Fatal("zero deltas changed the aggregates")
+	}
+}
+
+func TestHypotheticalDoesNotMutate(t *testing.T) {
+	xs := seasonal(200, 10, 0.5, 29)
+	agg := NewAggregates(xs, 6)
+	sc := NewScratch(6)
+	before := agg.ACF()
+	hyp := agg.HypotheticalACF(xs, 80, []float64{5, -3, 2}, sc)
+	if acfClose(hyp, before, 1e-15) {
+		t.Fatal("hypothetical ACF should differ after a large change")
+	}
+	if !acfClose(agg.ACF(), before, 0) {
+		t.Fatal("HypotheticalACF mutated the aggregates")
+	}
+}
+
+func TestHypotheticalMatchesCommit(t *testing.T) {
+	xs := seasonal(250, 12, 0.4, 31)
+	agg := NewAggregates(xs, 8)
+	sc := NewScratch(8)
+	deltas := []float64{1, -2, 0.5, 3}
+	hyp := append([]float64(nil), agg.HypotheticalACF(xs, 60, deltas, sc)...)
+	agg.Apply(xs, 60, deltas)
+	if !acfClose(hyp, agg.ACF(), 1e-12) {
+		t.Fatal("hypothetical and committed ACF disagree")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	xs := seasonal(100, 10, 0.5, 37)
+	agg := NewAggregates(xs, 4)
+	cl := agg.Clone()
+	agg.Apply(xs, 50, []float64{10})
+	if acfClose(agg.ACF(), cl.ACF(), 1e-15) {
+		t.Fatal("clone shares state with original")
+	}
+}
+
+// Property: a long random sequence of random contiguous updates keeps the
+// incremental aggregates consistent with a from-scratch recompute. This is
+// the central invariant CAMEO's correctness rests on (paper §4.2).
+func TestIncrementalConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(200)
+		L := 1 + rng.Intn(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		agg := NewAggregates(xs, L)
+		for step := 0; step < 25; step++ {
+			start := rng.Intn(n)
+			width := 1 + rng.Intn(n-start)
+			if width > 40 {
+				width = 40
+			}
+			deltas := make([]float64, width)
+			for i := range deltas {
+				deltas[i] = rng.NormFloat64() * 5
+			}
+			agg.Apply(xs, start, deltas)
+			for i, d := range deltas {
+				xs[start+i] += d
+			}
+		}
+		return acfClose(agg.ACF(), ACF(xs, L), 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ACF values always stay within [-1, 1] (it is a correlation).
+func TestACFRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(500)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		for _, v := range ACF(xs, 20) {
+			if v < -1-1e-9 || v > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkNewAggregates10k(b *testing.B) {
+	xs := seasonal(10000, 48, 0.5, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewAggregates(xs, 48)
+	}
+}
+
+func BenchmarkHypotheticalACF(b *testing.B) {
+	xs := seasonal(10000, 48, 0.5, 1)
+	agg := NewAggregates(xs, 48)
+	sc := NewScratch(48)
+	deltas := []float64{1.5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg.HypotheticalACF(xs, 5000, deltas, sc)
+	}
+}

@@ -1,0 +1,75 @@
+package acf
+
+import (
+	"math"
+
+	"repro/internal/fft"
+)
+
+// NewAggregatesAuto extracts the Eq. 7 aggregates like NewAggregates but
+// switches to an FFT-based computation of the lagged cross products when
+// the lag count is large: the full autocorrelation sequence
+// sum_t x_t*x_{t+l} for all lags at once is the inverse transform of
+// |FFT(x)|^2 (Wiener-Khinchin), costing O(n log n) instead of O(n*L).
+// The direct pass does one multiply-add per (t, l) pair while the FFT path
+// pays roughly three complex transforms of length 2n, so the crossover sits
+// near L ~ 32*log2(n) (measured; see the package benchmarks). The paper's
+// motivating 21,600-lag daily-seasonality example (§3) is far beyond it.
+func NewAggregatesAuto(xs []float64, L int) *Aggregates {
+	n := len(xs)
+	if n < 64 || float64(L) < 32*math.Log2(float64(n)) {
+		return NewAggregates(xs, L)
+	}
+	return newAggregatesFFT(xs, L)
+}
+
+// newAggregatesFFT computes the aggregates with the FFT cross-product path.
+func newAggregatesFFT(xs []float64, L int) *Aggregates {
+	n := len(xs)
+	a := &Aggregates{
+		N:    n,
+		L:    L,
+		sx:   make([]float64, L),
+		sxl:  make([]float64, L),
+		sxx:  make([]float64, L),
+		sx2:  make([]float64, L),
+		sx2l: make([]float64, L),
+	}
+	var total, total2 float64
+	for _, x := range xs {
+		total += x
+		total2 += x * x
+	}
+	var suffix, suffix2, prefix, prefix2 float64
+	for l := 1; l <= L && l < n; l++ {
+		i := l - 1
+		suffix += xs[n-l]
+		suffix2 += xs[n-l] * xs[n-l]
+		prefix += xs[l-1]
+		prefix2 += xs[l-1] * xs[l-1]
+		a.sx[i] = total - suffix
+		a.sx2[i] = total2 - suffix2
+		a.sxl[i] = total - prefix
+		a.sx2l[i] = total2 - prefix2
+	}
+	// Wiener-Khinchin: zero-pad to >= 2n to make the circular convolution
+	// linear, then sxx_l = ifft(|fft(x)|^2)[l].
+	m := 1
+	for m < 2*n {
+		m <<= 1
+	}
+	cx := make([]complex128, m)
+	for i, v := range xs {
+		cx[i] = complex(v, 0)
+	}
+	coeffs := fft.Forward(cx)
+	for i, c := range coeffs {
+		re, im := real(c), imag(c)
+		coeffs[i] = complex(re*re+im*im, 0)
+	}
+	auto := fft.Inverse(coeffs)
+	for l := 1; l <= L && l < n; l++ {
+		a.sxx[l-1] = real(auto[l])
+	}
+	return a
+}

@@ -1,0 +1,84 @@
+package acf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFFTAggregatesMatchDirect(t *testing.T) {
+	xs := seasonal(5000, 48, 1.0, 71)
+	direct := NewAggregates(xs, 100)
+	viaFFT := newAggregatesFFT(xs, 100)
+	if !acfClose(direct.ACF(), viaFFT.ACF(), 1e-7) {
+		t.Fatal("FFT aggregate path diverges from direct computation")
+	}
+}
+
+func TestFFTAggregatesShortSeries(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	direct := NewAggregates(xs, 10)
+	viaFFT := newAggregatesFFT(xs, 10)
+	if !acfClose(direct.ACF(), viaFFT.ACF(), 1e-9) {
+		t.Fatal("FFT path wrong on short series")
+	}
+}
+
+func TestNewAggregatesAutoSelectsPath(t *testing.T) {
+	// Small input: identical to the direct path (it IS the direct path).
+	xs := seasonal(500, 24, 0.5, 72)
+	auto := NewAggregatesAuto(xs, 24)
+	direct := NewAggregates(xs, 24)
+	if !acfClose(auto.ACF(), direct.ACF(), 0) {
+		t.Fatal("auto path differs on small input")
+	}
+}
+
+func TestFFTAggregatesSupportIncrementalUpdates(t *testing.T) {
+	// The FFT-built aggregates must behave identically under Apply.
+	xs := seasonal(2000, 24, 0.5, 73)
+	agg := newAggregatesFFT(xs, 50)
+	deltas := []float64{2, -1, 0.5}
+	agg.Apply(xs, 700, deltas)
+	for i, d := range deltas {
+		xs[700+i] += d
+	}
+	if !acfClose(agg.ACF(), ACF(xs, 50), 1e-7) {
+		t.Fatal("incremental update on FFT-built aggregates diverges")
+	}
+}
+
+// Property: both construction paths agree for arbitrary series and lags.
+func TestFFTAggregatesEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(2000)
+		L := 1 + rng.Intn(60)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 50
+		}
+		return acfClose(NewAggregates(xs, L).ACF(), newAggregatesFFT(xs, L).ACF(), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAggregatesDirect100kx365(b *testing.B) {
+	xs := seasonal(100000, 365, 0.5, 74)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewAggregates(xs, 365)
+	}
+}
+
+func BenchmarkAggregatesFFT100kx365(b *testing.B) {
+	xs := seasonal(100000, 365, 0.5, 74)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		newAggregatesFFT(xs, 365)
+	}
+}

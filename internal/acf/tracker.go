@@ -1,0 +1,203 @@
+package acf
+
+import "repro/internal/series"
+
+// Tracker is the abstraction CAMEO's core uses to maintain the preserved
+// statistic: it reports the current ACF, evaluates the hypothetical ACF
+// after a contiguous block of reconstruction-value changes, and commits such
+// changes. Implementations: direct per-point tracking (Definition 1) and
+// tumbling-window aggregate tracking (Definition 2).
+type Tracker interface {
+	// Lags returns the number of maintained lags L.
+	Lags() int
+	// ACF returns the current ACF (lags 1..L) into a fresh slice.
+	ACF() []float64
+	// Hypothetical returns the ACF after changing reconstruction values at
+	// [start, start+len(deltas)) by deltas, without committing. cur holds
+	// values before the change. The result may alias sc's buffers.
+	Hypothetical(cur []float64, start int, deltas []float64, sc *Scratch) []float64
+	// Commit applies the change to the tracked aggregates. cur holds values
+	// before the change; the caller updates cur afterwards.
+	Commit(cur []float64, start int, deltas []float64)
+	// NewScratch allocates a scratch buffer sized for this tracker.
+	NewScratch() *Scratch
+}
+
+// DirectTracker tracks the ACF of the series itself (Definition 1).
+type DirectTracker struct {
+	agg *Aggregates
+}
+
+// NewDirectTracker builds a direct tracker over xs for lags 1..L. The
+// initial aggregate extraction picks the direct or FFT path automatically.
+func NewDirectTracker(xs []float64, L int) *DirectTracker {
+	return &DirectTracker{agg: NewAggregatesAuto(xs, L)}
+}
+
+// Lags returns L.
+func (d *DirectTracker) Lags() int { return d.agg.L }
+
+// ACF returns the current ACF.
+func (d *DirectTracker) ACF() []float64 { return d.agg.ACF() }
+
+// Hypothetical evaluates the post-change ACF without mutation.
+func (d *DirectTracker) Hypothetical(cur []float64, start int, deltas []float64, sc *Scratch) []float64 {
+	return d.agg.HypotheticalACF(cur, start, deltas, sc)
+}
+
+// Commit applies the change.
+func (d *DirectTracker) Commit(cur []float64, start int, deltas []float64) {
+	d.agg.Apply(cur, start, deltas)
+}
+
+// NewScratch allocates scratch for L lags.
+func (d *DirectTracker) NewScratch() *Scratch { return NewScratch(d.agg.L) }
+
+// WindowTracker tracks the ACF of Agg_kappa(X) — the Statistical Important
+// Points on Aggregates problem (paper Definition 2, Eq. 10/11). It maintains
+// the aggregated series a alongside the ACF aggregates of a.
+type WindowTracker struct {
+	agg   *Aggregates
+	kappa int
+	f     series.AggFunc
+	a     []float64 // current aggregated values
+
+	wbuf []float64 // scratch for window deltas (committed path)
+}
+
+// NewWindowTracker builds a tracker over the tumbling-window aggregation of
+// xs with window size kappa, function f, and lags 1..L on the aggregated
+// series.
+func NewWindowTracker(xs []float64, kappa int, f series.AggFunc, L int) *WindowTracker {
+	a := series.Aggregate(xs, kappa, f)
+	return &WindowTracker{
+		agg:   NewAggregatesAuto(a, L),
+		kappa: kappa,
+		f:     f,
+		a:     a,
+		wbuf:  make([]float64, 0, 16),
+	}
+}
+
+// Lags returns L.
+func (w *WindowTracker) Lags() int { return w.agg.L }
+
+// ACF returns the current ACF of the aggregated series.
+func (w *WindowTracker) ACF() []float64 { return w.agg.ACF() }
+
+// Kappa returns the window size.
+func (w *WindowTracker) Kappa() int { return w.kappa }
+
+// windowDeltas translates a contiguous block of X-value changes into the
+// induced contiguous block of aggregate-value changes (Eq. 10/11): the first
+// affected window index and the per-window deltas, written into buf (grown
+// as needed) and returned.
+func (w *WindowTracker) windowDeltas(cur []float64, start int, deltas []float64, buf []float64) (int, []float64) {
+	w0 := start / w.kappa
+	w1 := (start + len(deltas) - 1) / w.kappa
+	buf = buf[:0]
+	for wi := w0; wi <= w1; wi++ {
+		lo := wi * w.kappa
+		hi := lo + w.kappa
+		if hi > len(cur) {
+			hi = len(cur)
+		}
+		var d float64
+		switch w.f {
+		case series.AggSum, series.AggMean:
+			// Additive: the aggregate delta is the sum of member deltas
+			// (scaled by the window length for the mean), as in Eq. 11.
+			for t := max(lo, start); t < min(hi, start+len(deltas)); t++ {
+				d += deltas[t-start]
+			}
+			if w.f == series.AggMean {
+				d /= float64(hi - lo)
+			}
+		default:
+			// Semi-additive (max/min): recompute the window over the new
+			// values (Eq. 11 discussion: Delta a_i = Agg(x-hat) - a_i).
+			newAgg := w.aggregateWindow(cur, lo, hi, start, deltas)
+			d = newAgg - w.a[wi]
+		}
+		buf = append(buf, d)
+	}
+	return w0, buf
+}
+
+// aggregateWindow applies the aggregation function to window [lo,hi) using
+// post-change values.
+func (w *WindowTracker) aggregateWindow(cur []float64, lo, hi, start int, deltas []float64) float64 {
+	val := func(t int) float64 {
+		v := cur[t]
+		if t >= start && t < start+len(deltas) {
+			v += deltas[t-start]
+		}
+		return v
+	}
+	switch w.f {
+	case series.AggMax:
+		m := val(lo)
+		for t := lo + 1; t < hi; t++ {
+			if v := val(t); v > m {
+				m = v
+			}
+		}
+		return m
+	case series.AggMin:
+		m := val(lo)
+		for t := lo + 1; t < hi; t++ {
+			if v := val(t); v < m {
+				m = v
+			}
+		}
+		return m
+	default:
+		var s float64
+		for t := lo; t < hi; t++ {
+			s += val(t)
+		}
+		if w.f == series.AggMean {
+			s /= float64(hi - lo)
+		}
+		return s
+	}
+}
+
+// Hypothetical evaluates the post-change ACF of the aggregated series
+// without mutation.
+func (w *WindowTracker) Hypothetical(cur []float64, start int, deltas []float64, sc *Scratch) []float64 {
+	w0, ad := w.windowDeltas(cur, start, deltas, sc.wdeltas)
+	sc.wdeltas = ad // keep grown buffer
+	return w.agg.HypotheticalACF(w.a, w0, ad, sc)
+}
+
+// Commit applies the change to the aggregated series and its ACF aggregates.
+func (w *WindowTracker) Commit(cur []float64, start int, deltas []float64) {
+	w0, ad := w.windowDeltas(cur, start, deltas, w.wbuf)
+	w.wbuf = ad
+	w.agg.Apply(w.a, w0, ad)
+	for i, d := range ad {
+		w.a[w0+i] += d
+	}
+}
+
+// NewScratch allocates scratch sized for this tracker.
+func (w *WindowTracker) NewScratch() *Scratch {
+	sc := NewScratch(w.agg.L)
+	sc.wdeltas = make([]float64, 0, 16)
+	return sc
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

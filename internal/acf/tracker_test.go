@@ -1,0 +1,162 @@
+package acf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/series"
+)
+
+func TestDirectTrackerMatchesAggregates(t *testing.T) {
+	xs := seasonal(300, 24, 0.5, 41)
+	tr := NewDirectTracker(xs, 12)
+	if tr.Lags() != 12 {
+		t.Fatalf("Lags = %d", tr.Lags())
+	}
+	if !acfClose(tr.ACF(), ACF(xs, 12), 1e-9) {
+		t.Fatal("direct tracker ACF mismatch")
+	}
+	sc := tr.NewScratch()
+	deltas := []float64{2, -1}
+	hyp := append([]float64(nil), tr.Hypothetical(xs, 100, deltas, sc)...)
+	tr.Commit(xs, 100, deltas)
+	xs[100] += 2
+	xs[101] -= 1
+	if !acfClose(hyp, ACF(xs, 12), 1e-9) {
+		t.Fatal("hypothetical != committed recompute")
+	}
+}
+
+func TestWindowTrackerMatchesAggregatedACF(t *testing.T) {
+	xs := seasonal(24*40, 24, 0.5, 43)
+	kappa := 4
+	L := 6
+	tr := NewWindowTracker(xs, kappa, series.AggMean, L)
+	want := ACF(series.Aggregate(xs, kappa, series.AggMean), L)
+	if !acfClose(tr.ACF(), want, 1e-9) {
+		t.Fatal("window tracker initial ACF mismatch")
+	}
+}
+
+func TestWindowTrackerCommitMean(t *testing.T) {
+	xs := seasonal(200, 20, 0.5, 47)
+	kappa, L := 5, 4
+	tr := NewWindowTracker(xs, kappa, series.AggMean, L)
+	// Change a block crossing window boundaries.
+	start := 48
+	deltas := []float64{3, -1, 2, 5, -2, 1, 4}
+	tr.Commit(xs, start, deltas)
+	for i, d := range deltas {
+		xs[start+i] += d
+	}
+	want := ACF(series.Aggregate(xs, kappa, series.AggMean), L)
+	if !acfClose(tr.ACF(), want, 1e-9) {
+		t.Fatal("window tracker mean commit diverges from recompute")
+	}
+}
+
+func TestWindowTrackerCommitMax(t *testing.T) {
+	xs := seasonal(120, 12, 0.8, 53)
+	kappa, L := 6, 3
+	tr := NewWindowTracker(xs, kappa, series.AggMax, L)
+	start := 30
+	deltas := []float64{10, -20, 5}
+	tr.Commit(xs, start, deltas)
+	for i, d := range deltas {
+		xs[start+i] += d
+	}
+	want := ACF(series.Aggregate(xs, kappa, series.AggMax), L)
+	if !acfClose(tr.ACF(), want, 1e-9) {
+		t.Fatal("window tracker max commit diverges from recompute")
+	}
+}
+
+func TestWindowTrackerPartialLastWindow(t *testing.T) {
+	// Length not divisible by kappa: the trailing partial window must be
+	// aggregated over its actual length.
+	xs := seasonal(103, 10, 0.5, 59)
+	kappa, L := 10, 3
+	tr := NewWindowTracker(xs, kappa, series.AggMean, L)
+	start := 100 // inside the 3-point partial window
+	deltas := []float64{7, -4, 2}
+	tr.Commit(xs, start, deltas)
+	for i, d := range deltas {
+		xs[start+i] += d
+	}
+	want := ACF(series.Aggregate(xs, kappa, series.AggMean), L)
+	if !acfClose(tr.ACF(), want, 1e-9) {
+		t.Fatal("partial-window commit diverges from recompute")
+	}
+}
+
+func TestWindowTrackerHypotheticalDoesNotMutate(t *testing.T) {
+	xs := seasonal(200, 20, 0.5, 61)
+	tr := NewWindowTracker(xs, 5, series.AggMean, 4)
+	sc := tr.NewScratch()
+	before := tr.ACF()
+	_ = tr.Hypothetical(xs, 50, []float64{5, 5, 5}, sc)
+	if !acfClose(tr.ACF(), before, 0) {
+		t.Fatal("Hypothetical mutated window tracker state")
+	}
+}
+
+// Property: for any random sequence of contiguous updates, the window
+// tracker's ACF equals the ACF of the re-aggregated series.
+func TestWindowTrackerConsistencyProperty(t *testing.T) {
+	aggFuncs := []series.AggFunc{series.AggMean, series.AggSum, series.AggMax, series.AggMin}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 60 + rng.Intn(300)
+		kappa := 2 + rng.Intn(8)
+		L := 1 + rng.Intn(5)
+		fn := aggFuncs[rng.Intn(len(aggFuncs))]
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		tr := NewWindowTracker(xs, kappa, fn, L)
+		for step := 0; step < 15; step++ {
+			start := rng.Intn(n)
+			width := 1 + rng.Intn(n-start)
+			if width > 25 {
+				width = 25
+			}
+			deltas := make([]float64, width)
+			for i := range deltas {
+				deltas[i] = rng.NormFloat64() * 3
+			}
+			tr.Commit(xs, start, deltas)
+			for i, d := range deltas {
+				xs[start+i] += d
+			}
+		}
+		want := ACF(series.Aggregate(xs, kappa, fn), L)
+		return acfClose(tr.ACF(), want, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrackerInterfaceCompliance(t *testing.T) {
+	var _ Tracker = (*DirectTracker)(nil)
+	var _ Tracker = (*WindowTracker)(nil)
+	xs := seasonal(100, 10, 0.5, 67)
+	trackers := []Tracker{
+		NewDirectTracker(xs, 5),
+		NewWindowTracker(xs, 4, series.AggMean, 5),
+	}
+	for _, tr := range trackers {
+		if tr.Lags() != 5 {
+			t.Fatalf("Lags = %d", tr.Lags())
+		}
+		acf := tr.ACF()
+		for _, v := range acf {
+			if math.IsNaN(v) {
+				t.Fatal("tracker ACF contains NaN")
+			}
+		}
+	}
+}

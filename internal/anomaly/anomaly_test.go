@@ -1,0 +1,210 @@
+package anomaly
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/series"
+)
+
+func sineWithSpike(n, period, spikeAt, spikeLen int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(2*math.Pi*float64(i)/float64(period)) + 0.05*rng.NormFloat64()
+	}
+	for i := spikeAt; i < spikeAt+spikeLen && i < n; i++ {
+		xs[i] += 3 * math.Sin(math.Pi*float64(i-spikeAt)/float64(spikeLen))
+	}
+	return xs
+}
+
+func TestMatrixProfileFindsPlantedDiscord(t *testing.T) {
+	xs := sineWithSpike(2000, 50, 1200, 60, 1)
+	p := MatrixProfile(xs, 100)
+	loc, v := p.Discord()
+	if v <= 0 {
+		t.Fatal("degenerate discord value")
+	}
+	if loc < 1100 || loc > 1300 {
+		t.Fatalf("discord at %d, want near 1200", loc)
+	}
+}
+
+func TestMatrixProfileMatchesNaiveZnormOrdering(t *testing.T) {
+	// STOMP and the naive profile use different normalizations, but both
+	// must rank the planted discord region on top.
+	xs := sineWithSpike(800, 40, 500, 50, 2)
+	mp := MatrixProfile(xs, 80)
+	np := NaiveMatrixProfile(xs, 80)
+	li, _ := mp.Discord()
+	lj, _ := np.Discord()
+	if absInt(li-500) > 120 || absInt(lj-500) > 120 {
+		t.Fatalf("discords at %d (stomp) and %d (naive), want ~500", li, lj)
+	}
+}
+
+func TestMatrixProfileSelfMatchExcluded(t *testing.T) {
+	// A perfectly periodic series has near-zero profile everywhere when
+	// trivial matches are excluded (each cycle matches another cycle).
+	n, period := 1000, 50
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(2 * math.Pi * float64(i) / float64(period))
+	}
+	p := MatrixProfile(xs, period)
+	_, v := p.Discord()
+	if v > 0.5 {
+		t.Fatalf("periodic series discord value %v, want ~0", v)
+	}
+}
+
+func TestMatrixProfileTinyInput(t *testing.T) {
+	p := MatrixProfile([]float64{1, 2, 3}, 3)
+	if len(p.Dist) != 1 || !math.IsInf(p.Dist[0], 1) {
+		t.Fatalf("single-window profile = %v", p.Dist)
+	}
+	loc, _ := p.Discord()
+	if loc != -1 {
+		t.Fatalf("discord of degenerate profile = %d, want -1", loc)
+	}
+}
+
+func TestMatrixProfileConstantSeries(t *testing.T) {
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = 2
+	}
+	p := MatrixProfile(xs, 50)
+	for i, v := range p.Dist {
+		if math.IsNaN(v) {
+			t.Fatalf("NaN at %d on constant series", i)
+		}
+	}
+}
+
+func TestNaiveMatrixProfileFindsSpike(t *testing.T) {
+	xs := sineWithSpike(600, 40, 380, 40, 3)
+	p := NaiveMatrixProfile(xs, 80)
+	loc, _ := p.Discord()
+	if absInt(loc-380) > 100 {
+		t.Fatalf("naive discord at %d, want ~380", loc)
+	}
+}
+
+func TestIrregularMatrixProfileOnDenseMatchesNaive(t *testing.T) {
+	// With every point retained, iMP computes exactly the naive profile.
+	xs := sineWithSpike(400, 40, 250, 40, 4)
+	ir := series.FromDense(xs)
+	a := NaiveMatrixProfile(xs, 60)
+	b := IrregularMatrixProfile(ir, 60)
+	if len(a.Dist) != len(b.Dist) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a.Dist {
+		if math.Abs(a.Dist[i]-b.Dist[i]) > 1e-9 {
+			t.Fatalf("profile mismatch at %d: %v vs %v", i, a.Dist[i], b.Dist[i])
+		}
+	}
+}
+
+func TestIrregularMatrixProfileFindsDiscordOnCompressed(t *testing.T) {
+	xs := sineWithSpike(1200, 50, 800, 60, 5)
+	// Keep every 4th point (CR 4) plus endpoints.
+	var pts []series.Point
+	for i := 0; i < len(xs); i += 4 {
+		pts = append(pts, series.Point{Index: i, Value: xs[i]})
+	}
+	if pts[len(pts)-1].Index != len(xs)-1 {
+		pts = append(pts, series.Point{Index: len(xs) - 1, Value: xs[len(xs)-1]})
+	}
+	ir := &series.Irregular{N: len(xs), Points: pts}
+	p := IrregularMatrixProfile(ir, 100)
+	loc, _ := p.Discord()
+	if absInt(loc-800) > 150 {
+		t.Fatalf("iMP discord at %d, want ~800", loc)
+	}
+}
+
+func TestIrregularMatrixProfileSparseSegments(t *testing.T) {
+	// Very aggressive compression: some segments contain no retained point.
+	xs := sineWithSpike(500, 50, 300, 50, 6)
+	pts := []series.Point{{Index: 0, Value: xs[0]}}
+	for i := 60; i < len(xs); i += 60 {
+		pts = append(pts, series.Point{Index: i, Value: xs[i]})
+	}
+	pts = append(pts, series.Point{Index: len(xs) - 1, Value: xs[len(xs)-1]})
+	ir := &series.Irregular{N: len(xs), Points: pts}
+	p := IrregularMatrixProfile(ir, 40)
+	for i, v := range p.Dist {
+		if math.IsNaN(v) {
+			t.Fatalf("NaN at %d with sparse segments", i)
+		}
+	}
+}
+
+func TestDetectDiscordSweep(t *testing.T) {
+	xs := sineWithSpike(1500, 60, 900, 80, 7)
+	loc, size := DetectDiscord(xs, []int{75, 100, 125})
+	if loc < 0 {
+		t.Fatal("no discord found")
+	}
+	if size != 75 && size != 100 && size != 125 {
+		t.Fatalf("size = %d", size)
+	}
+	if absInt(loc-900) > 200 {
+		t.Fatalf("sweep discord at %d, want ~900", loc)
+	}
+}
+
+func TestDetectDiscordDegenerateSizes(t *testing.T) {
+	xs := sineWithSpike(100, 20, 60, 10, 8)
+	loc, _ := DetectDiscord(xs, []int{1, 500})
+	if loc != -1 {
+		t.Fatalf("expected no detection with unusable sizes, got %d", loc)
+	}
+}
+
+func TestUCRHitTolerance(t *testing.T) {
+	if !UCRHit(450, 500, 520) {
+		t.Fatal("prediction within -100 tolerance should hit")
+	}
+	if !UCRHit(620, 500, 520) {
+		t.Fatal("prediction within +100 tolerance should hit")
+	}
+	if UCRHit(399, 500, 520) {
+		t.Fatal("prediction outside tolerance should miss")
+	}
+	if UCRHit(-1, 500, 520) {
+		t.Fatal("no prediction should miss")
+	}
+	// Wide anomaly: tolerance grows to its length.
+	if !UCRHit(280, 500, 900) {
+		t.Fatal("tolerance should extend to the anomaly length")
+	}
+}
+
+type suiteCase struct{ c datasets.AnomalyCase }
+
+func (s suiteCase) Data() []float64  { return s.c.Data }
+func (s suiteCase) Span() (int, int) { return s.c.Start, s.c.End }
+
+func TestUCRScoreOnSuite(t *testing.T) {
+	suite := datasets.AnomalySuite(8, 1500, 9)
+	cases := make([]ucrCase, len(suite))
+	for i, c := range suite {
+		cases[i] = suiteCase{c}
+	}
+	score := UCRScore(cases, []int{75, 100, 125})
+	if score < 0.5 {
+		t.Fatalf("UCR score on raw suite = %v, want >= 0.5", score)
+	}
+}
+
+func TestUCRScoreEmpty(t *testing.T) {
+	if got := UCRScore(nil, []int{100}); got != 0 {
+		t.Fatalf("empty suite score = %v", got)
+	}
+}

@@ -1,0 +1,257 @@
+// Package anomaly implements the Matrix Profile [95] machinery of the
+// paper's anomaly-detection study (§5.9): the standard z-normalized profile
+// for discord detection and UCR-scoring, the naive O(N^2 m) rMP reference,
+// and the irregular-series iMP that computes distances directly over the
+// retained points of a compressed series in O(N^2 m') with m' << m.
+package anomaly
+
+import (
+	"math"
+
+	"repro/internal/series"
+)
+
+// Profile is a matrix profile: per starting index, the distance to the
+// nearest non-trivial matching subsequence.
+type Profile struct {
+	// M is the subsequence length.
+	M int
+	// Dist[i] is the minimum distance from subsequence i to any other
+	// subsequence outside the trivial-match exclusion zone.
+	Dist []float64
+}
+
+// Discord returns the index and profile value of the top discord — the
+// subsequence farthest from its nearest neighbour.
+func (p *Profile) Discord() (int, float64) {
+	best, bestV := -1, math.Inf(-1)
+	for i, v := range p.Dist {
+		if !math.IsInf(v, 0) && v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best, bestV
+}
+
+// MatrixProfile computes the z-normalized matrix profile with the STOMP
+// running-dot-product optimization (O(N^2) total): the standard discord
+// detector of the accuracy experiment (Figure 13 left).
+func MatrixProfile(xs []float64, m int) *Profile {
+	n := len(xs) - m + 1
+	p := &Profile{M: m, Dist: make([]float64, maxInt(n, 0))}
+	if n <= 1 {
+		for i := range p.Dist {
+			p.Dist[i] = math.Inf(1)
+		}
+		return p
+	}
+	// Running means and stds of all windows.
+	means, stds := rollingStats(xs, m)
+	excl := m / 2
+	for i := range p.Dist {
+		p.Dist[i] = math.Inf(1)
+	}
+	// STOMP: maintain dot products QT[j] = dot(xs[i:i+m], xs[j:j+m]) as i
+	// advances.
+	qt := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var s float64
+		for k := 0; k < m; k++ {
+			s += xs[k] * xs[j+k]
+		}
+		qt[j] = s
+	}
+	first := append([]float64(nil), qt...) // QT for i=0, reused per column
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			// Update in place from the previous row, descending j.
+			for j := n - 1; j >= 1; j-- {
+				qt[j] = qt[j-1] - xs[i-1]*xs[j-1] + xs[i+m-1]*xs[j+m-1]
+			}
+			qt[0] = first[i]
+		}
+		for j := 0; j < n; j++ {
+			if absInt(i-j) < excl || i == j {
+				continue
+			}
+			d := znormDist(qt[j], means[i], stds[i], means[j], stds[j], m)
+			if d < p.Dist[i] {
+				p.Dist[i] = d
+			}
+		}
+	}
+	return p
+}
+
+// znormDist converts a dot product into the z-normalized Euclidean distance.
+func znormDist(dot, mi, si, mj, sj float64, m int) float64 {
+	if si == 0 || sj == 0 {
+		// A constant window matches any constant window exactly and is
+		// maximally far from everything else in z-norm space.
+		if si == 0 && sj == 0 {
+			return 0
+		}
+		return math.Sqrt(2 * float64(m))
+	}
+	mf := float64(m)
+	v := 2 * mf * (1 - (dot-mf*mi*mj)/(mf*si*sj))
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// rollingStats returns per-window means and population stds.
+func rollingStats(xs []float64, m int) (means, stds []float64) {
+	n := len(xs) - m + 1
+	means = make([]float64, n)
+	stds = make([]float64, n)
+	var sum, sum2 float64
+	for k := 0; k < m; k++ {
+		sum += xs[k]
+		sum2 += xs[k] * xs[k]
+	}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sum += xs[i+m-1] - xs[i-1]
+			sum2 += xs[i+m-1]*xs[i+m-1] - xs[i-1]*xs[i-1]
+		}
+		mu := sum / float64(m)
+		v := sum2/float64(m) - mu*mu
+		if v < 0 {
+			v = 0
+		}
+		means[i] = mu
+		stds[i] = math.Sqrt(v)
+	}
+	return means, stds
+}
+
+// NaiveMatrixProfile is the O(N^2 m) plain-Euclidean reference ("rMP" in
+// Figure 13 right): it recomputes every pairwise segment distance from
+// scratch over the regular series.
+func NaiveMatrixProfile(xs []float64, m int) *Profile {
+	n := len(xs) - m + 1
+	p := &Profile{M: m, Dist: make([]float64, maxInt(n, 0))}
+	excl := m / 2
+	for i := 0; i < n; i++ {
+		best := math.Inf(1)
+		for j := 0; j < n; j++ {
+			if absInt(i-j) < excl || i == j {
+				continue
+			}
+			var s float64
+			for k := 0; k < m; k++ {
+				d := xs[i+k] - xs[j+k]
+				s += d * d
+			}
+			if s < best {
+				best = s
+			}
+		}
+		p.Dist[i] = math.Sqrt(best)
+	}
+	return p
+}
+
+// IrregularMatrixProfile is the paper's iMP: the same all-pairs Euclidean
+// profile, but evaluated only at the m' retained points inside each query
+// segment (the other segment's values come from interpolation on demand),
+// reducing the complexity to O(N^2 m'). Distances are scaled by m/m' so
+// magnitudes stay comparable to the dense profile.
+func IrregularMatrixProfile(ir *series.Irregular, m int) *Profile {
+	n := ir.N - m + 1
+	p := &Profile{M: m, Dist: make([]float64, maxInt(n, 0))}
+	if n <= 0 || len(ir.Points) == 0 {
+		for i := range p.Dist {
+			p.Dist[i] = math.Inf(1)
+		}
+		return p
+	}
+	pts := ir.Points
+	excl := m / 2
+	// O(1) interpolation lookup: for every absolute position, the index of
+	// the retained point at-or-before it. This indexes the compressed
+	// representation without materializing any values.
+	segOf := make([]int32, ir.N)
+	{
+		s := int32(0)
+		for t := 0; t < ir.N; t++ {
+			for int(s)+1 < len(pts) && pts[s+1].Index <= t {
+				s++
+			}
+			segOf[t] = s
+		}
+	}
+	valueAt := func(t int) float64 {
+		s := segOf[t]
+		p := pts[s]
+		// t <= p.Index covers exact hits and positions before the first
+		// retained point (held, matching Irregular.ValueAt).
+		if t <= p.Index || int(s)+1 >= len(pts) {
+			return p.Value
+		}
+		q := pts[s+1]
+		return p.Value + (q.Value-p.Value)*float64(t-p.Index)/float64(q.Index-p.Index)
+	}
+	// For the query side we only visit retained points; precompute, for
+	// every segment start i, the range of retained points inside [i, i+m).
+	// Two-pointer sweep keeps this O(N + P).
+	lo := 0
+	hi := 0
+	for i := 0; i < n; i++ {
+		for lo < len(pts) && pts[lo].Index < i {
+			lo++
+		}
+		if hi < lo {
+			hi = lo
+		}
+		for hi < len(pts) && pts[hi].Index < i+m {
+			hi++
+		}
+		best := math.Inf(1)
+		cnt := hi - lo
+		if cnt == 0 {
+			// No retained point in the query segment: its reconstruction is
+			// one straight line; compare its two interpolated endpoints.
+			cnt = 2
+		}
+		for j := 0; j < n; j++ {
+			if absInt(i-j) < excl || i == j {
+				continue
+			}
+			var s float64
+			if hi > lo {
+				for k := lo; k < hi; k++ {
+					off := pts[k].Index - i
+					d := pts[k].Value - valueAt(j+off)
+					s += d * d
+				}
+			} else {
+				for _, off := range [2]int{0, m - 1} {
+					d := valueAt(i+off) - valueAt(j+off)
+					s += d * d
+				}
+			}
+			if s < best {
+				best = s
+			}
+		}
+		p.Dist[i] = math.Sqrt(best * float64(m) / float64(cnt))
+	}
+	return p
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,60 @@
+package anomaly
+
+// DetectDiscord finds the top discord over a sweep of segment sizes and
+// returns the location and size with the maximum nearest-neighbour distance
+// — the paper's protocol ("segment sizes ranging from 75 to 125, select the
+// one with the maximum distance" [81]).
+func DetectDiscord(xs []float64, sizes []int) (loc, size int) {
+	bestV := -1.0
+	loc, size = -1, 0
+	for _, m := range sizes {
+		if m < 2 || len(xs) < 2*m {
+			continue
+		}
+		p := MatrixProfile(xs, m)
+		i, v := p.Discord()
+		if i >= 0 && v > bestV {
+			bestV = v
+			loc, size = i, m
+		}
+	}
+	return loc, size
+}
+
+// UCRHit reports whether a predicted discord location counts as a correct
+// detection under the UCR convention [93]: the prediction must fall within
+// the true anomaly span widened by max(100, anomaly length) on both sides.
+func UCRHit(predicted, trueStart, trueEnd int) bool {
+	if predicted < 0 {
+		return false
+	}
+	tol := trueEnd - trueStart
+	if tol < 100 {
+		tol = 100
+	}
+	return predicted >= trueStart-tol && predicted <= trueEnd+tol
+}
+
+// UCRScore runs discord detection on every case and returns the fraction of
+// correct detections (higher is better).
+func UCRScore(cases []ucrCase, sizes []int) float64 {
+	if len(cases) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, c := range cases {
+		loc, _ := DetectDiscord(c.Data(), sizes)
+		start, end := c.Span()
+		if UCRHit(loc, start, end) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(cases))
+}
+
+// ucrCase abstracts a labelled anomaly case so the scorer does not depend
+// on the datasets package.
+type ucrCase interface {
+	Data() []float64
+	Span() (start, end int)
+}

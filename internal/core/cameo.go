@@ -1,0 +1,368 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/acf"
+	"repro/internal/pheap"
+	"repro/internal/series"
+)
+
+// Compress runs the CAMEO algorithm (paper Algorithm 1) on xs and returns
+// the retained points. The first and last points are always kept.
+func Compress(xs []float64, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkFinite(xs); err != nil {
+		return nil, err
+	}
+	eng, err := newEngine(xs, opt)
+	if err != nil {
+		return nil, err
+	}
+	eng.run(stopConditions{
+		epsilon:     opt.Epsilon,
+		targetRatio: opt.TargetRatio,
+	})
+	return eng.result(), nil
+}
+
+// stopConditions bundles the halting rules of the three problem variants.
+type stopConditions struct {
+	epsilon     float64 // 0 = unbounded deviation (Definition 3)
+	targetRatio float64 // 0 = no ratio stop
+	maxRemovals int     // 0 = unlimited
+}
+
+// evalCtx is per-goroutine scratch for impact evaluation.
+type evalCtx struct {
+	sc      *acf.Scratch
+	deltas  []float64
+	featBuf []float64
+}
+
+// engine holds the mutable state of one CAMEO run. It is resumable: run may
+// be called repeatedly with progressively looser stop conditions, which the
+// coarse-grained parallelization exploits (paper §4.4).
+type engine struct {
+	opt  Options
+	n    int
+	cur  []float64 // current reconstruction values
+	orig []float64 // original values (alive points always equal orig)
+
+	left, right []int32 // alive-neighbour pointers (paper §4.3)
+	removed     []bool
+
+	tracker acf.Tracker
+	base    []float64 // base feature vector S(X)
+	heap    *pheap.Heap
+
+	ctxs []*evalCtx // ctxs[0] is the main goroutine's
+
+	dev        float64 // deviation of the committed state
+	removedCnt int
+	iterations int
+	hops       int
+}
+
+// newEngine initializes state and builds the impact heap (paper Alg. 2).
+func newEngine(xs []float64, opt Options) (*engine, error) {
+	n := len(xs)
+	e := &engine{
+		opt:     opt,
+		n:       n,
+		cur:     append([]float64(nil), xs...),
+		orig:    append([]float64(nil), xs...),
+		left:    make([]int32, n),
+		right:   make([]int32, n),
+		removed: make([]bool, n),
+		hops:    opt.BlockHops,
+	}
+	if e.hops == 0 {
+		e.hops = defaultBlockHops(n)
+	}
+	if opt.AggWindow >= 2 {
+		e.tracker = acf.NewWindowTracker(xs, opt.AggWindow, opt.AggFunc, opt.Lags)
+	} else {
+		e.tracker = acf.NewDirectTracker(xs, opt.Lags)
+	}
+	threads := opt.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	e.ctxs = make([]*evalCtx, threads)
+	for i := range e.ctxs {
+		e.ctxs[i] = &evalCtx{
+			sc:      e.tracker.NewScratch(),
+			featBuf: make([]float64, opt.Lags),
+		}
+	}
+	for i := 0; i < n; i++ {
+		e.left[i] = int32(i - 1)
+		e.right[i] = int32(i + 1)
+	}
+	e.base = e.feature(e.tracker.ACF(), make([]float64, opt.Lags))
+
+	// Initial impacts for all interior points (Alg. 2), computed in
+	// parallel chunks when Threads > 1; first and last points never enter
+	// the heap (their impact is infinite).
+	keys := make([]float64, n)
+	points := make([]int32, 0, max(0, n-2))
+	for i := 1; i < n-1; i++ {
+		points = append(points, int32(i))
+	}
+	e.forEachParallel(points, func(ctx *evalCtx, p int32) {
+		keys[p] = e.impact(p, ctx)
+	})
+	e.heap = pheap.New(n, points, keys)
+	return e, nil
+}
+
+// feature maps an ACF vector to the preserved statistic's feature vector.
+// For PACF the Durbin-Levinson recursion is applied (O(L^2), paper §5.5);
+// a LagSubset projects the result onto the selected lags only — and, since
+// the recursion is prefix-structured, it is truncated at the largest
+// selected lag, which is the §5.5 speed remedy ("preserving specific lags
+// to enhance execution speed").
+func (e *engine) feature(acfVec, buf []float64) []float64 {
+	sub := e.opt.LagSubset
+	src := acfVec
+	if e.opt.Statistic == StatPACF {
+		if len(sub) > 0 {
+			src = acf.PACFFromACF(acfVec[:maxLag(sub)])
+		} else {
+			src = acf.PACFFromACF(acfVec)
+		}
+	}
+	if len(sub) > 0 {
+		for i, l := range sub {
+			buf[i] = src[l-1]
+		}
+		return buf[:len(sub)]
+	}
+	copy(buf, src)
+	return buf[:len(src)]
+}
+
+// maxLag returns the largest lag in a subset.
+func maxLag(sub []int) int {
+	m := 0
+	for _, l := range sub {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// gapDeltas computes the contiguous value changes caused by removing alive
+// point p: every index strictly between p's alive neighbours l and r is
+// re-interpolated on the straight segment l->r (paper Fig. 4). Returns the
+// start index and the deltas written into ctx.deltas.
+func (e *engine) gapDeltas(p int32, ctx *evalCtx) (int, []float64) {
+	l, r := e.left[p], e.right[p]
+	start := int(l) + 1
+	m := int(r) - start
+	if cap(ctx.deltas) < m {
+		ctx.deltas = make([]float64, m)
+	}
+	d := ctx.deltas[:m]
+	y0, y1 := e.cur[l], e.cur[r]
+	span := float64(r - l)
+	slope := (y1 - y0) / span
+	for t := 0; t < m; t++ {
+		interp := y0 + slope*float64(start+t-int(l))
+		d[t] = interp - e.cur[start+t]
+	}
+	ctx.deltas = d
+	return start, d
+}
+
+// impact returns D(S(X'_p), S(X)) — the deviation from the ORIGINAL
+// statistic that committing the removal of p would produce (Alg. 1 checks
+// the bound against the raw ACF P_L, so impacts are absolute deviations,
+// not marginal changes).
+func (e *engine) impact(p int32, ctx *evalCtx) float64 {
+	start, d := e.gapDeltas(p, ctx)
+	hyp := e.tracker.Hypothetical(e.cur, start, d, ctx.sc)
+	feat := e.feature(hyp, ctx.featBuf)
+	v := e.opt.Measure.Eval(feat, e.base)
+	if math.IsNaN(v) {
+		return math.Inf(1)
+	}
+	return v
+}
+
+// run removes points until a stop condition fires. It may be called again
+// with looser conditions to resume.
+func (e *engine) run(stop stopConditions) {
+	alive := e.n - e.removedCnt
+	removedThisCall := 0
+	for e.heap.Len() > 0 {
+		if stop.targetRatio > 0 && float64(e.n) >= stop.targetRatio*float64(alive) {
+			return
+		}
+		if stop.maxRemovals > 0 && removedThisCall >= stop.maxRemovals {
+			return
+		}
+		p, key := e.heap.Pop()
+		e.iterations++
+
+		// Blocking leaves stale keys on far-away points; revalidate the
+		// popped candidate so the bound check is exact. If its true impact
+		// now exceeds the next candidate's key, push it back and try that
+		// one instead (lazy revalidation; converges because keys become
+		// exact on re-push and state does not change between pops).
+		exact := e.impact(p, e.ctxs[0])
+		if !e.opt.NoRevalidate && e.heap.Len() > 0 && exact > e.heap.PeekKey() && exact > key {
+			e.heap.Push(p, exact)
+			continue
+		}
+		if stop.epsilon > 0 && exact > stop.epsilon {
+			// Even the least-impact candidate violates the bound: stop
+			// (Alg. 1). Re-insert so a resumed run can reconsider it.
+			e.heap.Push(p, exact)
+			return
+		}
+		e.remove(p, exact)
+		alive--
+		removedThisCall++
+	}
+}
+
+// remove commits the removal of p: updates aggregates, reconstruction
+// values, neighbour pointers, and re-heaps the blocking neighbourhood.
+func (e *engine) remove(p int32, exactDev float64) {
+	ctx := e.ctxs[0]
+	start, d := e.gapDeltas(p, ctx)
+	e.tracker.Commit(e.cur, start, d)
+	for i, dv := range d {
+		e.cur[start+i] += dv
+	}
+	l, r := e.left[p], e.right[p]
+	e.right[l] = r
+	e.left[r] = l
+	e.removed[p] = true
+	e.removedCnt++
+	e.dev = exactDev
+	e.reHeap(p)
+}
+
+// reHeap recomputes the impact of the h alive neighbours on each side of
+// the removed point (paper §4.3 blocking; §4.4 fine-grained parallelism).
+func (e *engine) reHeap(p int32) {
+	l, r := e.left[p], e.right[p]
+	hops := e.hops
+	if hops < 0 {
+		hops = e.n // unbounded: update every remaining point
+	}
+	neigh := make([]int32, 0, 2*hops)
+	for i, q := 0, l; i < hops && q > 0; i++ {
+		neigh = append(neigh, q)
+		q = e.left[q]
+	}
+	for i, q := 0, r; i < hops && int(q) < e.n-1; i++ {
+		neigh = append(neigh, q)
+		q = e.right[q]
+	}
+	if len(neigh) == 0 {
+		return
+	}
+	if len(e.ctxs) > 1 && len(neigh) >= 4*len(e.ctxs) {
+		keys := make([]float64, len(neigh))
+		e.forEachParallelIdx(neigh, func(ctx *evalCtx, i int) {
+			keys[i] = e.impact(neigh[i], ctx)
+		})
+		for i, q := range neigh {
+			e.heap.Fix(q, keys[i])
+		}
+		return
+	}
+	for _, q := range neigh {
+		e.heap.Fix(q, e.impact(q, e.ctxs[0]))
+	}
+}
+
+// forEachParallel runs fn over the points, chunked across the engine's
+// evaluation contexts. Heap mutation must happen outside fn.
+func (e *engine) forEachParallel(points []int32, fn func(ctx *evalCtx, p int32)) {
+	e.forEachParallelIdx(points, func(ctx *evalCtx, i int) { fn(ctx, points[i]) })
+}
+
+func (e *engine) forEachParallelIdx(points []int32, fn func(ctx *evalCtx, i int)) {
+	T := len(e.ctxs)
+	if T <= 1 || len(points) < 2*T {
+		for i := range points {
+			fn(e.ctxs[0], i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(points) + T - 1) / T
+	for w := 0; w < T; w++ {
+		lo := w * chunk
+		if lo >= len(points) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(points) {
+			hi = len(points)
+		}
+		wg.Add(1)
+		go func(ctx *evalCtx, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(ctx, i)
+			}
+		}(e.ctxs[w], lo, hi)
+	}
+	wg.Wait()
+}
+
+// result snapshots the retained points.
+func (e *engine) result() *Result {
+	pts := make([]series.Point, 0, e.n-e.removedCnt)
+	for i := 0; i < e.n; i++ {
+		if !e.removed[i] {
+			pts = append(pts, series.Point{Index: i, Value: e.orig[i]})
+		}
+	}
+	ir := &series.Irregular{N: e.n, Points: pts}
+	return &Result{
+		Compressed: ir,
+		Deviation:  e.dev,
+		Removed:    e.removedCnt,
+		Iterations: e.iterations,
+	}
+}
+
+// InitialImpacts returns the Alg. 2 initial ACF-impact of every point
+// (endpoints +Inf), used by the Figure 3 skew study.
+func InitialImpacts(xs []float64, opt Options) ([]float64, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	eng, err := newEngine(xs, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(xs))
+	if len(xs) == 0 {
+		return out, nil
+	}
+	out[0] = math.Inf(1)
+	out[len(xs)-1] = math.Inf(1)
+	for i := 1; i < len(xs)-1; i++ {
+		out[i] = eng.heap.Key(int32(i))
+	}
+	return out, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

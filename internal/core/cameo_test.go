@@ -1,0 +1,386 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/acf"
+	"repro/internal/series"
+	"repro/internal/stats"
+)
+
+func seasonalSeries(n, period int, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 10 + 5*math.Sin(2*math.Pi*float64(i)/float64(period)) + noise*rng.NormFloat64()
+	}
+	return xs
+}
+
+func TestCompressValidatesOptions(t *testing.T) {
+	xs := seasonalSeries(100, 10, 0.1, 1)
+	cases := []Options{
+		{},                                     // no lags
+		{Lags: 5},                              // no stop condition
+		{Lags: 5, Epsilon: -1},                 // negative epsilon
+		{Lags: 5, TargetRatio: 0.5},            // ratio < 1
+		{Lags: 5, Epsilon: 0.1, AggWindow: 1},  // invalid window
+		{Lags: 5, Epsilon: 0.1, AggWindow: -3}, // negative window
+		{Lags: 5, Epsilon: 0.1, Statistic: Statistic(9)},
+	}
+	for i, opt := range cases {
+		if _, err := Compress(xs, opt); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, opt)
+		}
+	}
+}
+
+func TestCompressKeepsEndpoints(t *testing.T) {
+	xs := seasonalSeries(200, 24, 0.5, 2)
+	res, err := Compress(xs, Options{Lags: 24, Epsilon: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.Compressed.Points
+	if pts[0].Index != 0 || pts[len(pts)-1].Index != len(xs)-1 {
+		t.Fatalf("endpoints not preserved: first %d last %d", pts[0].Index, pts[len(pts)-1].Index)
+	}
+}
+
+func TestCompressRespectsEpsilonBound(t *testing.T) {
+	xs := seasonalSeries(500, 24, 1.0, 3)
+	for _, eps := range []float64{0.001, 0.01, 0.05} {
+		opt := Options{Lags: 24, Epsilon: eps}
+		res, err := Compress(xs, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The reported deviation must respect the bound...
+		if res.Deviation > eps {
+			t.Fatalf("eps=%v: reported deviation %v exceeds bound", eps, res.Deviation)
+		}
+		// ...and so must the exact deviation recomputed from scratch.
+		dev, err := Deviation(xs, res.Compressed, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev > eps+1e-9 {
+			t.Fatalf("eps=%v: exact deviation %v exceeds bound", eps, dev)
+		}
+	}
+}
+
+func TestCompressLargerEpsilonCompressesMore(t *testing.T) {
+	xs := seasonalSeries(600, 24, 0.5, 4)
+	small, err := Compress(xs, Options{Lags: 24, Epsilon: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Compress(xs, Options{Lags: 24, Epsilon: 0.08})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.CompressionRatio() < small.CompressionRatio() {
+		t.Fatalf("CR(eps=0.08)=%v < CR(eps=0.005)=%v", large.CompressionRatio(), small.CompressionRatio())
+	}
+}
+
+func TestCompressSmoothSeriesCompressesWell(t *testing.T) {
+	// A pure noiseless sine is almost perfectly linear between close points:
+	// CAMEO should remove a large fraction at a small ACF budget.
+	xs := seasonalSeries(480, 48, 0, 5)
+	res, err := Compress(xs, Options{Lags: 48, Epsilon: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompressionRatio() < 3 {
+		t.Fatalf("CR = %v, want >= 3 on a noiseless sine", res.CompressionRatio())
+	}
+}
+
+func TestCompressTargetRatioMode(t *testing.T) {
+	xs := seasonalSeries(400, 20, 0.5, 6)
+	res, err := Compress(xs, Options{Lags: 20, TargetRatio: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompressionRatio() < 4 {
+		t.Fatalf("CR = %v, want >= 4", res.CompressionRatio())
+	}
+	// Should not wildly overshoot: one removal past the threshold at most.
+	alive := len(res.Compressed.Points)
+	if float64(len(xs))/float64(alive+1) >= 4.05 {
+		t.Fatalf("overshot the target ratio: alive=%d", alive)
+	}
+}
+
+func TestCompressEpsilonPlusRatioCap(t *testing.T) {
+	// Table 3 setup: bound + halt at CR 10.
+	xs := seasonalSeries(1000, 48, 0.2, 7)
+	res, err := Compress(xs, Options{Lags: 48, Epsilon: 0.5, TargetRatio: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompressionRatio() > 10.5 {
+		t.Fatalf("ratio cap ignored: CR = %v", res.CompressionRatio())
+	}
+	if res.Deviation > 0.5 {
+		t.Fatalf("bound ignored: dev = %v", res.Deviation)
+	}
+}
+
+func TestCompressTinySeries(t *testing.T) {
+	for _, xs := range [][]float64{{}, {1}, {1, 2}} {
+		res, err := Compress(xs, Options{Lags: 3, Epsilon: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Removed != 0 {
+			t.Fatalf("removed %d points from len-%d series", res.Removed, len(xs))
+		}
+	}
+}
+
+func TestCompressConstantSeries(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = 7
+	}
+	res, err := Compress(xs, Options{Lags: 5, Epsilon: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A constant series has zero ACF everywhere; every removal has zero
+	// impact, so everything but the endpoints should go.
+	if len(res.Compressed.Points) != 2 {
+		t.Fatalf("constant series retained %d points, want 2", len(res.Compressed.Points))
+	}
+	recon := res.Compressed.Decompress()
+	for _, v := range recon {
+		if v != 7 {
+			t.Fatalf("reconstruction = %v, want 7", v)
+		}
+	}
+}
+
+func TestCompressPACFMode(t *testing.T) {
+	xs := seasonalSeries(300, 12, 0.5, 8)
+	opt := Options{Lags: 12, Epsilon: 0.02, Statistic: StatPACF}
+	res, err := Compress(xs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Removed == 0 {
+		t.Fatal("PACF mode removed nothing")
+	}
+	// Verify the PACF deviation bound exactly.
+	basePACF := acf.PACF(xs, 12)
+	reconPACF := acf.PACF(res.Compressed.Decompress(), 12)
+	if dev := stats.MAE(basePACF, reconPACF); dev > 0.02+1e-9 {
+		t.Fatalf("PACF deviation %v exceeds bound", dev)
+	}
+}
+
+func TestCompressWindowAggregateMode(t *testing.T) {
+	xs := seasonalSeries(960, 96, 0.5, 9)
+	opt := Options{Lags: 8, Epsilon: 0.01, AggWindow: 12, AggFunc: series.AggMean}
+	res, err := Compress(xs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Removed == 0 {
+		t.Fatal("aggregate mode removed nothing")
+	}
+	// Exact check on the aggregated ACF.
+	dev, err := Deviation(xs, res.Compressed, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev > 0.01+1e-9 {
+		t.Fatalf("aggregated ACF deviation %v exceeds bound", dev)
+	}
+	// Aggregate mode should compress more than direct mode at the same
+	// epsilon (it constrains a much smaller feature vector).
+	direct, err := Compress(xs, Options{Lags: 96, Epsilon: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompressionRatio() < direct.CompressionRatio()*0.8 {
+		t.Logf("note: aggregate CR %v vs direct CR %v", res.CompressionRatio(), direct.CompressionRatio())
+	}
+}
+
+func TestCompressMeasureVariants(t *testing.T) {
+	xs := seasonalSeries(300, 24, 0.5, 10)
+	for _, m := range []stats.Measure{stats.MeasureMAE, stats.MeasureRMSE, stats.MeasureChebyshev} {
+		res, err := Compress(xs, Options{Lags: 24, Epsilon: 0.02, Measure: m})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if res.Removed == 0 {
+			t.Fatalf("%v: removed nothing", m)
+		}
+		base := acf.ACF(xs, 24)
+		recon := acf.ACF(res.Compressed.Decompress(), 24)
+		if dev := m.Eval(base, recon); dev > 0.02+1e-9 {
+			t.Fatalf("%v deviation %v exceeds bound", m, dev)
+		}
+	}
+}
+
+func TestCompressBlockingVariantsStayBounded(t *testing.T) {
+	xs := seasonalSeries(400, 24, 0.8, 11)
+	for _, hops := range []int{1, 5, 0, -1} {
+		opt := Options{Lags: 24, Epsilon: 0.02, BlockHops: hops}
+		res, err := Compress(xs, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev, err := Deviation(xs, res.Compressed, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev > 0.02+1e-9 {
+			t.Fatalf("hops=%d: deviation %v exceeds bound", hops, dev)
+		}
+	}
+}
+
+func TestCompressNoBlockingAtLeastAsGood(t *testing.T) {
+	// Without blocking every impact is always fresh, so the compression
+	// ratio should be at least that of aggressive blocking (within noise).
+	xs := seasonalSeries(300, 24, 0.8, 12)
+	full, err := Compress(xs, Options{Lags: 24, Epsilon: 0.02, BlockHops: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny, err := Compress(xs, Options{Lags: 24, Epsilon: 0.02, BlockHops: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.CompressionRatio() < tiny.CompressionRatio()*0.7 {
+		t.Fatalf("no-blocking CR %v much worse than 1-hop CR %v", full.CompressionRatio(), tiny.CompressionRatio())
+	}
+}
+
+func TestCompressFineGrainedThreadsSameBound(t *testing.T) {
+	xs := seasonalSeries(600, 48, 0.5, 13)
+	opt := Options{Lags: 48, Epsilon: 0.02, Threads: 4}
+	res, err := Compress(xs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := Deviation(xs, res.Compressed, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev > 0.02+1e-9 {
+		t.Fatalf("threaded run deviation %v exceeds bound", dev)
+	}
+	// Fine-grained parallelism must not change the algorithm's output:
+	// impacts are computed identically, only concurrently.
+	seq, err := Compress(xs, Options{Lags: 48, Epsilon: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Compressed.Points) != len(res.Compressed.Points) {
+		t.Fatalf("threaded result differs: %d vs %d points", len(res.Compressed.Points), len(seq.Compressed.Points))
+	}
+	for i := range seq.Compressed.Points {
+		if seq.Compressed.Points[i] != res.Compressed.Points[i] {
+			t.Fatalf("threaded result differs at %d", i)
+		}
+	}
+}
+
+func TestInitialImpactsShape(t *testing.T) {
+	xs := seasonalSeries(200, 20, 0.5, 14)
+	imp, err := InitialImpacts(xs, Options{Lags: 20, Epsilon: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imp) != len(xs) {
+		t.Fatalf("len = %d", len(imp))
+	}
+	if !math.IsInf(imp[0], 1) || !math.IsInf(imp[len(imp)-1], 1) {
+		t.Fatal("endpoint impacts must be +Inf")
+	}
+	for i := 1; i < len(imp)-1; i++ {
+		if imp[i] < 0 || math.IsNaN(imp[i]) {
+			t.Fatalf("impact[%d] = %v", i, imp[i])
+		}
+	}
+}
+
+func TestInitialImpactsSkewed(t *testing.T) {
+	// Figure 3: importance should be heavily skewed — most points cheap,
+	// few expensive. Check a noisy seasonal series has max >> median.
+	xs := seasonalSeries(1000, 24, 1.0, 15)
+	imp, err := InitialImpacts(xs, Options{Lags: 24, Epsilon: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	interior := imp[1 : len(imp)-1]
+	med := stats.Median(interior)
+	max := stats.Max(interior)
+	if max < 3*med {
+		t.Fatalf("importance not skewed: max=%v median=%v", max, med)
+	}
+}
+
+func TestDeviationHelperMatchesReported(t *testing.T) {
+	xs := seasonalSeries(300, 24, 0.5, 16)
+	opt := Options{Lags: 24, Epsilon: 0.03}
+	res, err := Compress(xs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := Deviation(xs, res.Compressed, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dev-res.Deviation) > 1e-6 {
+		t.Fatalf("Deviation helper %v != reported %v", dev, res.Deviation)
+	}
+}
+
+// Property: for random series and random epsilon, the bound always holds
+// exactly, endpoints are kept, and retained points carry original values.
+func TestCompressInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(200)
+		period := 5 + rng.Intn(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Sin(2*math.Pi*float64(i)/float64(period)) + 0.3*rng.NormFloat64()
+		}
+		L := 2 + rng.Intn(10)
+		eps := 0.001 + rng.Float64()*0.05
+		opt := Options{Lags: L, Epsilon: eps}
+		res, err := Compress(xs, opt)
+		if err != nil {
+			return false
+		}
+		pts := res.Compressed.Points
+		if pts[0].Index != 0 || pts[len(pts)-1].Index != n-1 {
+			return false
+		}
+		for _, p := range pts {
+			if p.Value != xs[p.Index] {
+				return false
+			}
+		}
+		dev, err := Deviation(xs, res.Compressed, opt)
+		if err != nil {
+			return false
+		}
+		return dev <= eps+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/acf"
+	"repro/internal/series"
+)
+
+// CoarseOptions configures the coarse-grained parallelization (paper §4.4):
+// the series is split into Partitions consecutive chunks, each compressed
+// independently by a single-threaded CAMEO engine within a local deviation
+// budget of BudgetFactor*Epsilon/Partitions; synchronization rounds check
+// the exact global deviation and redistribute budget, guaranteeing the
+// global bound is never exceeded.
+type CoarseOptions struct {
+	Options
+
+	// Partitions is the number of coarse chunks T (and worker goroutines).
+	Partitions int
+
+	// BudgetFactor is the p in the paper's local threshold p*eps/T.
+	// Defaults to 1.
+	BudgetFactor float64
+
+	// GrowthFactor controls how aggressively local budgets are relaxed
+	// between synchronization rounds. Defaults to 2.
+	GrowthFactor float64
+}
+
+// CompressCoarse runs CAMEO with coarse-grained parallelization. The
+// deviation bound Epsilon is required (the local-budget scheme is defined in
+// terms of it). Fine-grained parallelism inside each partition is enabled by
+// Options.Threads, yielding the paper's hybrid strategy (Figure 11).
+func CompressCoarse(xs []float64, opt CoarseOptions) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Epsilon <= 0 {
+		return nil, errors.New("core: coarse-grained parallelization requires Epsilon > 0")
+	}
+	T := opt.Partitions
+	if T < 1 {
+		T = 1
+	}
+	// Every partition needs at least a handful of points to be worth a
+	// worker; shrink T on small inputs.
+	for T > 1 && len(xs)/T < 8 {
+		T--
+	}
+	if T <= 1 {
+		return Compress(xs, opt.Options)
+	}
+	if opt.BudgetFactor <= 0 {
+		opt.BudgetFactor = 1
+	}
+	if opt.GrowthFactor <= 1 {
+		opt.GrowthFactor = 2
+	}
+
+	n := len(xs)
+	base, err := globalFeature(xs, opt.Options)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build one resumable engine per partition.
+	bounds := make([]int, T+1)
+	for w := 0; w <= T; w++ {
+		bounds[w] = w * n / T
+	}
+	engines := make([]*engine, T)
+	for w := 0; w < T; w++ {
+		eng, err := newEngine(xs[bounds[w]:bounds[w+1]], opt.Options)
+		if err != nil {
+			return nil, fmt.Errorf("core: partition %d: %w", w, err)
+		}
+		engines[w] = eng
+	}
+
+	snapshot := func(dev float64) *Result {
+		var pts []series.Point
+		iters := 0
+		for w, eng := range engines {
+			off := bounds[w]
+			for i := 0; i < eng.n; i++ {
+				if !eng.removed[i] {
+					pts = append(pts, series.Point{Index: off + i, Value: eng.orig[i]})
+				}
+			}
+			iters += eng.iterations
+		}
+		ir := &series.Irregular{N: n, Points: pts}
+		return &Result{
+			Compressed: ir,
+			Deviation:  dev,
+			Removed:    n - len(pts),
+			Iterations: iters,
+		}
+	}
+
+	best := snapshot(0)
+	// Start the ramp at half the paper's p*eps/T local threshold: rounds
+	// cannot be rewound, so a first-round overshoot would forfeit all
+	// compression; the controller recovers the other half within a round
+	// or two.
+	budget := 0.5 * opt.BudgetFactor * opt.Epsilon / float64(T)
+	prevRemoved := 0
+	globalCur := make([]float64, n)
+	for round := 0; ; round++ {
+		// Run every partition up to its current local budget, in parallel.
+		var wg sync.WaitGroup
+		for _, eng := range engines {
+			wg.Add(1)
+			go func(eng *engine) {
+				defer wg.Done()
+				eng.run(stopConditions{epsilon: budget, targetRatio: opt.TargetRatio})
+			}(eng)
+		}
+		wg.Wait()
+
+		// Synchronization: exact global deviation from the merged
+		// reconstruction (paper Example 2's global aggregate check).
+		for w, eng := range engines {
+			copy(globalCur[bounds[w]:bounds[w+1]], eng.cur)
+		}
+		dev, err := deviationFrom(globalCur, base, opt.Options)
+		if err != nil {
+			return nil, err
+		}
+		if dev > opt.Epsilon {
+			// The last round overshot the global bound: discard it and
+			// return the last known-good snapshot.
+			return best, nil
+		}
+		best = snapshot(dev)
+		if best.Removed == prevRemoved {
+			return best, nil // no progress: every partition is exhausted
+		}
+		prevRemoved = best.Removed
+		// Local deviations do not sum to the global one, so local budgets
+		// may legitimately exceed Epsilon while the global deviation stays
+		// below it; keep relaxing until the global check itself binds.
+		// Damped proportional controller: extrapolate the budget toward 90%
+		// of the global bound. The deviation responds superlinearly to the
+		// local budget (late removals bridge wider gaps), so the ratio is
+		// square-root damped; GrowthFactor caps the step and a 5% floor
+		// keeps rounds progressing. Overshooting costs only the last round
+		// (the snapshot is returned).
+		scale := 1.05
+		if dev > 0 {
+			scale = math.Sqrt(0.9 * opt.Epsilon / dev)
+		}
+		if scale > opt.GrowthFactor {
+			scale = opt.GrowthFactor
+		}
+		if scale < 1.05 {
+			scale = 1.05
+		}
+		budget *= scale
+	}
+}
+
+// globalFeature computes the preserved feature vector S(X) for the full
+// series under the given options.
+func globalFeature(xs []float64, opt Options) ([]float64, error) {
+	data := xs
+	if opt.AggWindow >= 2 {
+		data = series.Aggregate(xs, opt.AggWindow, opt.AggFunc)
+	}
+	feat := acf.ACF(data, opt.Lags)
+	if opt.Statistic == StatPACF {
+		if sub := opt.LagSubset; len(sub) > 0 {
+			feat = acf.PACFFromACF(feat[:maxLag(sub)])
+		} else {
+			feat = acf.PACFFromACF(feat)
+		}
+	}
+	if sub := opt.LagSubset; len(sub) > 0 {
+		out := make([]float64, len(sub))
+		for i, l := range sub {
+			out[i] = feat[l-1]
+		}
+		return out, nil
+	}
+	return feat, nil
+}
+
+// deviationFrom computes D(S(reconstruction), base) for a full
+// reconstruction vector.
+func deviationFrom(recon []float64, base []float64, opt Options) (float64, error) {
+	feat, err := globalFeature(recon, opt)
+	if err != nil {
+		return 0, err
+	}
+	return opt.Measure.Eval(feat, base), nil
+}
+
+// Deviation computes the exact statistic deviation D(S(X), S(X')) between
+// an original series and a compressed representation's reconstruction under
+// the given options. Exported for constraint verification in tests,
+// experiments, and baseline drivers.
+func Deviation(xs []float64, compressed *series.Irregular, opt Options) (float64, error) {
+	if opt.Lags <= 0 {
+		return 0, fmt.Errorf("core: Lags must be positive, got %d", opt.Lags)
+	}
+	base, err := globalFeature(xs, opt)
+	if err != nil {
+		return 0, err
+	}
+	return deviationFrom(compressed.Decompress(), base, opt)
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/series"
+)
+
+func TestCompressCoarseRequiresEpsilon(t *testing.T) {
+	xs := seasonalSeries(100, 10, 0.5, 21)
+	_, err := CompressCoarse(xs, CoarseOptions{
+		Options:    Options{Lags: 10, TargetRatio: 4},
+		Partitions: 2,
+	})
+	if err == nil {
+		t.Fatal("expected error without Epsilon")
+	}
+}
+
+func TestCompressCoarseBoundHolds(t *testing.T) {
+	xs := seasonalSeries(2000, 48, 0.5, 22)
+	opt := CoarseOptions{
+		Options:    Options{Lags: 48, Epsilon: 0.02},
+		Partitions: 4,
+	}
+	res, err := CompressCoarse(xs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Removed == 0 {
+		t.Fatal("coarse run removed nothing")
+	}
+	dev, err := Deviation(xs, res.Compressed, opt.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev > 0.02+1e-9 {
+		t.Fatalf("coarse deviation %v exceeds bound", dev)
+	}
+}
+
+func TestCompressCoarseSinglePartitionFallsBack(t *testing.T) {
+	xs := seasonalSeries(300, 24, 0.5, 23)
+	res, err := CompressCoarse(xs, CoarseOptions{
+		Options:    Options{Lags: 24, Epsilon: 0.02},
+		Partitions: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Compress(xs, Options{Lags: 24, Epsilon: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Compressed.Points) != len(seq.Compressed.Points) {
+		t.Fatalf("T=1 coarse (%d pts) != sequential (%d pts)",
+			len(res.Compressed.Points), len(seq.Compressed.Points))
+	}
+}
+
+func TestCompressCoarseTinyInputShrinksPartitions(t *testing.T) {
+	xs := seasonalSeries(20, 5, 0.2, 24)
+	res, err := CompressCoarse(xs, CoarseOptions{
+		Options:    Options{Lags: 5, Epsilon: 0.05},
+		Partitions: 16, // far more partitions than sensible
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compressed.N != len(xs) {
+		t.Fatalf("N = %d", res.Compressed.N)
+	}
+}
+
+func TestCompressCoarseKeepsPartitionEndpoints(t *testing.T) {
+	xs := seasonalSeries(400, 24, 0.5, 25)
+	T := 4
+	res, err := CompressCoarse(xs, CoarseOptions{
+		Options:    Options{Lags: 24, Epsilon: 0.05},
+		Partitions: T,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	retained := make(map[int]bool, len(res.Compressed.Points))
+	for _, p := range res.Compressed.Points {
+		retained[p.Index] = true
+	}
+	for w := 0; w <= T; w++ {
+		b := w * len(xs) / T
+		if b == len(xs) {
+			b--
+		}
+		if !retained[b] && !retained[b-1] {
+			// Each partition keeps its own endpoints; boundary b is the
+			// first point of partition w and b-1 the last of partition w-1.
+			t.Fatalf("partition boundary near %d lost", b)
+		}
+	}
+}
+
+func TestCompressCoarseWindowAggregates(t *testing.T) {
+	xs := seasonalSeries(2400, 240, 0.5, 26)
+	opt := CoarseOptions{
+		Options: Options{
+			Lags: 10, Epsilon: 0.02,
+			AggWindow: 24, AggFunc: series.AggMean,
+		},
+		Partitions: 3,
+	}
+	res, err := CompressCoarse(xs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := Deviation(xs, res.Compressed, opt.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev > 0.02+1e-9 {
+		t.Fatalf("coarse aggregate deviation %v exceeds bound", dev)
+	}
+}
+
+func TestCompressCoarseHybridThreads(t *testing.T) {
+	xs := seasonalSeries(1200, 48, 0.5, 27)
+	opt := CoarseOptions{
+		Options:    Options{Lags: 48, Epsilon: 0.02, Threads: 2},
+		Partitions: 2,
+	}
+	res, err := CompressCoarse(xs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := Deviation(xs, res.Compressed, opt.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev > 0.02+1e-9 {
+		t.Fatalf("hybrid deviation %v exceeds bound", dev)
+	}
+}

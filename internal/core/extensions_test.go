@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/acf"
+	"repro/internal/stats"
+)
+
+func TestLagSubsetValidation(t *testing.T) {
+	xs := seasonalSeries(100, 10, 0.1, 31)
+	if _, err := Compress(xs, Options{Lags: 10, Epsilon: 0.1, LagSubset: []int{0}}); err == nil {
+		t.Fatal("expected error for lag 0")
+	}
+	if _, err := Compress(xs, Options{Lags: 10, Epsilon: 0.1, LagSubset: []int{11}}); err == nil {
+		t.Fatal("expected error for lag > Lags")
+	}
+}
+
+func TestLagSubsetBoundHolds(t *testing.T) {
+	xs := seasonalSeries(480, 24, 0.8, 32)
+	subset := []int{1, 12, 24} // seasonal lags only
+	opt := Options{Lags: 24, Epsilon: 0.01, LagSubset: subset}
+	res, err := Compress(xs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify the bound on exactly the projected lags.
+	base := acf.ACF(xs, 24)
+	recon := acf.ACF(res.Compressed.Decompress(), 24)
+	var a, b []float64
+	for _, l := range subset {
+		a = append(a, base[l-1])
+		b = append(b, recon[l-1])
+	}
+	if dev := stats.MAE(a, b); dev > 0.01+1e-9 {
+		t.Fatalf("subset deviation %v exceeds bound", dev)
+	}
+	// And via the exported helper, which must project identically.
+	dev, err := Deviation(xs, res.Compressed, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dev-res.Deviation) > 1e-6 {
+		t.Fatalf("Deviation %v != reported %v", dev, res.Deviation)
+	}
+}
+
+func TestLagSubsetCompressesMoreThanFull(t *testing.T) {
+	// Under the Chebyshev measure the subset constraint is strictly weaker
+	// (max over 3 lags <= max over all 24), so CR should not drop much.
+	// (Under MAE the subset is NOT weaker: the mean is over fewer, typically
+	// harder lags — that is the fidelity/speed trade-off of §5.5.)
+	xs := seasonalSeries(600, 24, 0.8, 33)
+	full, err := Compress(xs, Options{Lags: 24, Epsilon: 0.01, Measure: stats.MeasureChebyshev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := Compress(xs, Options{
+		Lags: 24, Epsilon: 0.01, Measure: stats.MeasureChebyshev,
+		LagSubset: []int{1, 12, 24},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.CompressionRatio() < full.CompressionRatio()*0.9 {
+		t.Fatalf("subset CR %v < full CR %v", sub.CompressionRatio(), full.CompressionRatio())
+	}
+}
+
+func TestNoRevalidateStillBounded(t *testing.T) {
+	xs := seasonalSeries(400, 24, 0.8, 34)
+	opt := Options{Lags: 24, Epsilon: 0.02, NoRevalidate: true, BlockHops: 1}
+	res, err := Compress(xs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := Deviation(xs, res.Compressed, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev > 0.02+1e-9 {
+		t.Fatalf("ablated run deviation %v exceeds bound", dev)
+	}
+}
+
+func TestCompressMultiAllChannelsBounded(t *testing.T) {
+	channels := [][]float64{
+		seasonalSeries(300, 24, 0.5, 35),
+		seasonalSeries(300, 12, 0.8, 36),
+		seasonalSeries(300, 6, 0.3, 37),
+	}
+	opt := Options{Lags: 24, Epsilon: 0.02}
+	results, err := CompressMulti(channels, opt, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	for i, res := range results {
+		dev, err := Deviation(channels[i], res.Compressed, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev > 0.02+1e-9 {
+			t.Fatalf("channel %d deviation %v exceeds bound", i, dev)
+		}
+	}
+}
+
+func TestCompressMultiMatchesSequential(t *testing.T) {
+	channels := [][]float64{
+		seasonalSeries(200, 20, 0.5, 38),
+		seasonalSeries(200, 20, 0.5, 39),
+	}
+	opt := Options{Lags: 20, Epsilon: 0.02}
+	par, err := CompressMulti(channels, opt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ch := range channels {
+		seq, err := Compress(ch, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq.Compressed.Points) != len(par[i].Compressed.Points) {
+			t.Fatalf("channel %d differs between parallel and sequential", i)
+		}
+	}
+}
+
+func TestCompressMultiValidation(t *testing.T) {
+	if _, err := CompressMulti([][]float64{{1, 2, 3}}, Options{}, 1); err == nil {
+		t.Fatal("expected validation error")
+	}
+	out, err := CompressMulti(nil, Options{Lags: 3, Epsilon: 0.1}, 1)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty input: %v, %d", err, len(out))
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// CompressMulti compresses each channel of a multivariate series
+// independently under the same options — the paper's multivariate
+// extension (§1: "our framework is extensible to multivariate time
+// series"): every channel's ACF/PACF deviation is bounded by Epsilon on its
+// own statistic. Channels run concurrently on up to workers goroutines
+// (workers < 2 runs sequentially).
+func CompressMulti(channels [][]float64, opt Options, workers int) ([]*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	results := make([]*Result, len(channels))
+	errs := make([]error, len(channels))
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(channels) {
+		workers = len(channels)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, ch := range channels {
+		wg.Add(1)
+		go func(i int, ch []float64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = Compress(ch, opt)
+		}(i, ch)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: channel %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

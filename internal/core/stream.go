@@ -1,0 +1,134 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/series"
+)
+
+// StreamCompressor compresses an unbounded series block-by-block: values
+// are buffered until BlockSize points accumulate, each full block is
+// compressed independently with the configured options, and the retained
+// points are emitted with stream-global indices. Per-block independence
+// bounds latency and memory for IoT-style ingestion (the paper's motivating
+// deployment) while the per-block ACF guarantee still holds; block
+// boundaries always retain their end points, so concatenated reconstruction
+// is seamless.
+type StreamCompressor struct {
+	opt       Options
+	blockSize int
+
+	buf      []float64
+	out      []series.Point
+	consumed int // total values fully processed into out
+	dev      float64
+	err      error
+}
+
+// NewStreamCompressor validates the options and sizes the block buffer.
+// blockSize must hold enough points for the statistic (>= 4x the lag count,
+// or 4x lags*window for the aggregated variant).
+func NewStreamCompressor(opt Options, blockSize int) (*StreamCompressor, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	minBlock := 4 * opt.Lags
+	if opt.AggWindow >= 2 {
+		minBlock = 4 * opt.Lags * opt.AggWindow
+	}
+	if blockSize < minBlock {
+		return nil, fmt.Errorf("core: blockSize %d too small for the statistic (need >= %d)", blockSize, minBlock)
+	}
+	return &StreamCompressor{opt: opt, blockSize: blockSize}, nil
+}
+
+// Push appends values to the stream, compressing every completed block.
+func (s *StreamCompressor) Push(values ...float64) error {
+	if s.err != nil {
+		return s.err
+	}
+	s.buf = append(s.buf, values...)
+	for len(s.buf) >= s.blockSize {
+		if err := s.flushBlock(s.buf[:s.blockSize]); err != nil {
+			s.err = err
+			return err
+		}
+		s.buf = append(s.buf[:0], s.buf[s.blockSize:]...)
+	}
+	return nil
+}
+
+// flushBlock compresses one full block and appends its points globally.
+func (s *StreamCompressor) flushBlock(block []float64) error {
+	res, err := Compress(block, s.opt)
+	if err != nil {
+		return err
+	}
+	for _, p := range res.Compressed.Points {
+		s.out = append(s.out, series.Point{Index: s.consumed + p.Index, Value: p.Value})
+	}
+	s.consumed += len(block)
+	if res.Deviation > s.dev {
+		s.dev = res.Deviation
+	}
+	return nil
+}
+
+// Flush compresses any buffered tail (shorter blocks get compressed as-is
+// when long enough, or stored verbatim otherwise) and returns the stream's
+// compressed representation. The compressor is reusable afterwards: state
+// resets to empty.
+func (s *StreamCompressor) Flush() (*Result, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if len(s.buf) > 0 {
+		minBlock := 2 * s.opt.Lags
+		if s.opt.AggWindow >= 2 {
+			minBlock = 2 * s.opt.Lags * s.opt.AggWindow
+		}
+		if len(s.buf) >= minBlock {
+			if err := s.flushBlock(s.buf); err != nil {
+				return nil, err
+			}
+		} else {
+			// Too short for a meaningful statistic: keep verbatim.
+			for i, v := range s.buf {
+				s.out = append(s.out, series.Point{Index: s.consumed + i, Value: v})
+			}
+			s.consumed += len(s.buf)
+		}
+		s.buf = s.buf[:0]
+	}
+	n := s.consumed
+	pts := s.out
+	dev := s.dev
+	s.out = nil
+	s.consumed = 0
+	s.dev = 0
+	ir, err := series.NewIrregular(n, pts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Compressed: ir,
+		Deviation:  dev,
+		Removed:    n - len(pts),
+	}, nil
+}
+
+// ErrNonFinite is returned when input contains NaN or infinities, which
+// would silently poison the incremental aggregates.
+var ErrNonFinite = errors.New("core: input contains non-finite values")
+
+// checkFinite scans xs for NaN/Inf.
+func checkFinite(xs []float64) error {
+	for i, v := range xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w (index %d)", ErrNonFinite, i)
+		}
+	}
+	return nil
+}

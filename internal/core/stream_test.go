@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/acf"
+	"repro/internal/stats"
+)
+
+func TestStreamCompressorValidatesBlockSize(t *testing.T) {
+	if _, err := NewStreamCompressor(Options{Lags: 24, Epsilon: 0.01}, 50); err == nil {
+		t.Fatal("expected error for too-small block")
+	}
+	if _, err := NewStreamCompressor(Options{}, 1000); err == nil {
+		t.Fatal("expected error for invalid options")
+	}
+	if _, err := NewStreamCompressor(Options{Lags: 24, Epsilon: 0.01, AggWindow: 4, AggFunc: 0}, 300); err == nil {
+		t.Fatal("expected error for too-small aggregated block")
+	}
+}
+
+func TestStreamMatchesBlockwiseBatch(t *testing.T) {
+	xs := seasonalSeries(1000, 24, 0.5, 41)
+	opt := Options{Lags: 24, Epsilon: 0.02}
+	sc, err := NewStreamCompressor(opt, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push in awkward chunk sizes.
+	for i := 0; i < len(xs); i += 37 {
+		end := i + 37
+		if end > len(xs) {
+			end = len(xs)
+		}
+		if err := sc.Push(xs[i:end]...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := sc.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compressed.N != len(xs) {
+		t.Fatalf("stream N = %d", res.Compressed.N)
+	}
+	// Per-block guarantee: every 250-point block's ACF deviation is bounded.
+	recon := res.Compressed.Decompress()
+	for b := 0; b+250 <= len(xs); b += 250 {
+		orig := acf.ACF(xs[b:b+250], 24)
+		got := acf.ACF(recon[b:b+250], 24)
+		if dev := stats.MAE(orig, got); dev > 0.02+1e-9 {
+			t.Fatalf("block at %d deviates %v", b, dev)
+		}
+	}
+	if res.CompressionRatio() <= 1.5 {
+		t.Fatalf("stream CR = %v", res.CompressionRatio())
+	}
+}
+
+func TestStreamFlushShortTailVerbatim(t *testing.T) {
+	opt := Options{Lags: 4, Epsilon: 0.05}
+	sc, err := NewStreamCompressor(opt, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Push(1, 2, 3); err != nil { // far below 4*Lags
+		t.Fatal(err)
+	}
+	res, err := sc.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compressed.N != 3 || res.Compressed.Len() != 3 {
+		t.Fatalf("short tail not verbatim: N=%d len=%d", res.Compressed.N, res.Compressed.Len())
+	}
+}
+
+func TestStreamReusableAfterFlush(t *testing.T) {
+	xs := seasonalSeries(600, 24, 0.3, 42)
+	opt := Options{Lags: 24, Epsilon: 0.05}
+	sc, err := NewStreamCompressor(opt, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Push(xs[:300]...); err != nil {
+		t.Fatal(err)
+	}
+	first, err := sc.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Push(xs[300:]...); err != nil {
+		t.Fatal(err)
+	}
+	second, err := sc.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Compressed.N != 300 || second.Compressed.N != 300 {
+		t.Fatalf("reuse broken: N %d / %d", first.Compressed.N, second.Compressed.N)
+	}
+}
+
+func TestStreamRejectsNonFinite(t *testing.T) {
+	sc, err := NewStreamCompressor(Options{Lags: 4, Epsilon: 0.05}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make([]float64, 64)
+	block[10] = math.NaN()
+	if err := sc.Push(block...); err == nil {
+		t.Fatal("expected non-finite error")
+	}
+	// Subsequent calls keep reporting the sticky error.
+	if err := sc.Push(1); err == nil {
+		t.Fatal("expected sticky error")
+	}
+	if _, err := sc.Flush(); err == nil {
+		t.Fatal("expected sticky error on flush")
+	}
+}
+
+func TestCompressRejectsNonFinite(t *testing.T) {
+	xs := seasonalSeries(100, 10, 0.1, 43)
+	xs[50] = math.Inf(1)
+	if _, err := Compress(xs, Options{Lags: 10, Epsilon: 0.01}); err == nil {
+		t.Fatal("expected error for Inf input")
+	}
+	xs[50] = math.NaN()
+	if _, err := Compress(xs, Options{Lags: 10, Epsilon: 0.01}); err == nil {
+		t.Fatal("expected error for NaN input")
+	}
+}

@@ -1,0 +1,104 @@
+package datasets
+
+import (
+	"math"
+	"math/rand"
+)
+
+// AnomalyKind enumerates the planted anomaly types of the UCR-style suite.
+type AnomalyKind int
+
+// Planted anomaly types, mirroring the discord classes of the UCR anomaly
+// archive [93] that the Matrix Profile detects.
+const (
+	AnomalySpike AnomalyKind = iota
+	AnomalyDip
+	AnomalyNoiseBurst
+	AnomalyFrequencyShift
+	AnomalyFlatline
+	numAnomalyKinds
+)
+
+// String names the anomaly kind.
+func (k AnomalyKind) String() string {
+	switch k {
+	case AnomalySpike:
+		return "spike"
+	case AnomalyDip:
+		return "dip"
+	case AnomalyNoiseBurst:
+		return "noise-burst"
+	case AnomalyFrequencyShift:
+		return "frequency-shift"
+	case AnomalyFlatline:
+		return "flatline"
+	default:
+		return "unknown"
+	}
+}
+
+// AnomalyCase is one series of the suite with its ground-truth anomaly span.
+type AnomalyCase struct {
+	Name  string
+	Kind  AnomalyKind
+	Data  []float64
+	Start int // inclusive anomaly start
+	End   int // exclusive anomaly end
+}
+
+// AnomalySuite generates a UCR-style benchmark: num seasonal series of the
+// given length, each with exactly one planted anomaly in the second half
+// (the UCR archive convention: the first half is the anomaly-free training
+// prefix).
+func AnomalySuite(num, length int, seed int64) []AnomalyCase {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]AnomalyCase, 0, num)
+	for c := 0; c < num; c++ {
+		kind := AnomalyKind(c % int(numAnomalyKinds))
+		period := 40 + rng.Intn(80)
+		phase := rng.Float64() * 2 * math.Pi
+		amp := 1 + rng.Float64()*2
+		noiseSD := 0.05 + rng.Float64()*0.15
+		data := make([]float64, length)
+		for i := range data {
+			data[i] = amp*math.Sin(2*math.Pi*float64(i)/float64(period)+phase) +
+				0.4*amp*math.Sin(4*math.Pi*float64(i)/float64(period)) +
+				noiseSD*rng.NormFloat64()
+		}
+		width := period/2 + rng.Intn(period)
+		start := length/2 + rng.Intn(length/2-width-1)
+		end := start + width
+		switch kind {
+		case AnomalySpike:
+			for i := start; i < end; i++ {
+				data[i] += 3 * amp * math.Sin(math.Pi*float64(i-start)/float64(width))
+			}
+		case AnomalyDip:
+			for i := start; i < end; i++ {
+				data[i] -= 3 * amp * math.Sin(math.Pi*float64(i-start)/float64(width))
+			}
+		case AnomalyNoiseBurst:
+			for i := start; i < end; i++ {
+				data[i] += amp * rng.NormFloat64()
+			}
+		case AnomalyFrequencyShift:
+			for i := start; i < end; i++ {
+				data[i] = amp*math.Sin(2*math.Pi*3.1*float64(i)/float64(period)+phase) +
+					noiseSD*rng.NormFloat64()
+			}
+		case AnomalyFlatline:
+			level := data[start]
+			for i := start; i < end; i++ {
+				data[i] = level + 0.01*noiseSD*rng.NormFloat64()
+			}
+		}
+		out = append(out, AnomalyCase{
+			Name:  kind.String(),
+			Kind:  kind,
+			Data:  data,
+			Start: start,
+			End:   end,
+		})
+	}
+	return out
+}

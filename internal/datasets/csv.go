@@ -1,0 +1,78 @@
+package datasets
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// LoadCSV reads a numeric column (0-based index) from a CSV file. A first
+// row that does not parse as a number is treated as a header and skipped;
+// later unparsable rows are an error.
+func LoadCSV(path string, column int) ([]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, column)
+}
+
+// ReadCSV is LoadCSV over any reader.
+func ReadCSV(r io.Reader, column int) ([]float64, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var out []float64
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		row++
+		if column >= len(rec) {
+			return nil, fmt.Errorf("datasets: row %d has %d columns, need %d", row, len(rec), column+1)
+		}
+		v, err := strconv.ParseFloat(rec[column], 64)
+		if err != nil {
+			if row == 1 {
+				continue // header
+			}
+			return nil, fmt.Errorf("datasets: row %d column %d: %w", row, column, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// SaveCSV writes values as a single-column CSV with the given header.
+func SaveCSV(path, header string, xs []float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteCSV(f, header, xs)
+}
+
+// WriteCSV is SaveCSV over any writer.
+func WriteCSV(w io.Writer, header string, xs []float64) error {
+	cw := csv.NewWriter(w)
+	if header != "" {
+		if err := cw.Write([]string{header}); err != nil {
+			return err
+		}
+	}
+	for _, v := range xs {
+		if err := cw.Write([]string{strconv.FormatFloat(v, 'g', -1, 64)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,304 @@
+// Package datasets provides synthetic replicas of the eight public datasets
+// of the paper's evaluation (§5.1, Table 1), plus CSV I/O so the pipelines
+// can also run on the real data when available.
+//
+// Substitution note (see DESIGN.md): the real archives are not available
+// offline, so each replica is a generator parameterized to reproduce the
+// characteristics Table 1 reports — length, seasonal period and lag/window
+// configuration, value range, median, dispersion, up/equal/down step
+// probabilities (e.g. SolarPower's 75% flat night steps), and the strong
+// seasonal ACF the paper's dataset selection demanded. The compression and
+// analytics algorithms only interact with values and autocorrelation
+// structure, so the who-wins conclusions carry over.
+package datasets
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/series"
+)
+
+// Spec describes one dataset replica: its generation recipe and the
+// statistic configuration (lags, aggregation) the paper uses for it.
+type Spec struct {
+	// Name is the paper's dataset name.
+	Name string
+	// Length is the paper's reported series length.
+	Length int
+	// Lags is the ACF lag count used for this dataset ("L" or "L on kappa").
+	Lags int
+	// AggWindow is the tumbling-window size kappa for group-2 datasets
+	// (0 for group 1, which preserves the ACF directly).
+	AggWindow int
+	// AggFunc is the aggregation function for AggWindow.
+	AggFunc series.AggFunc
+	// Period is the seasonal period in raw samples.
+	Period int
+
+	gen func(n int, rng *rand.Rand) []float64
+}
+
+// Group2 reports whether the spec preserves the ACF on window aggregates.
+func (s Spec) Group2() bool { return s.AggWindow >= 2 }
+
+// Generate produces the full-length replica for the given seed.
+func (s Spec) Generate(seed int64) []float64 { return s.GenerateN(s.Length, seed) }
+
+// GenerateN produces an n-point replica (experiments scale lengths down to
+// keep runtimes reasonable; the generators are length-invariant).
+func (s Spec) GenerateN(n int, seed int64) []float64 {
+	return s.gen(n, rand.New(rand.NewSource(seed)))
+}
+
+// ar1 produces zero-mean AR(1) noise with coefficient phi and innovation
+// standard deviation sd, giving the replicas realistic ACF decay.
+func ar1(n int, phi, sd float64, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	v := 0.0
+	for i := range out {
+		v = phi*v + sd*rng.NormFloat64()
+		out[i] = v
+	}
+	return out
+}
+
+// seasonalBase sums sinusoidal harmonics of the given period.
+func seasonalBase(i int, period float64, amps []float64, phase float64) float64 {
+	var v float64
+	for h, a := range amps {
+		v += a * math.Sin(2*math.Pi*float64(h+1)*float64(i)/period+phase)
+	}
+	return v
+}
+
+// Replicas returns the eight dataset replicas in the paper's Table 1 order.
+func Replicas() []Spec {
+	return []Spec{
+		ElecPower(), MinTemp(), Pedestrian(), UKElecDem(),
+		AUSElecDem(), Humidity(), IRBioTemp(), SolarPower(),
+	}
+}
+
+// ByName looks a replica up by its paper name (case-sensitive).
+func ByName(name string) (Spec, error) {
+	for _, s := range Replicas() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("datasets: unknown dataset %q", name)
+}
+
+// ElecPower replicates the household electric power consumption dataset
+// [40]: 15-minute sampling, strongly right-skewed low values (median 0.29,
+// range 5.7), daily cycle captured with 48 lags.
+func ElecPower() Spec {
+	period := 48
+	return Spec{
+		Name: "ElecPower", Length: 2977, Lags: 48, Period: period,
+		gen: func(n int, rng *rand.Rand) []float64 {
+			noise := ar1(n, 0.9, 0.09, rng)
+			out := make([]float64, n)
+			spike := 0.0
+			for i := range out {
+				// Low base load with evening peaks; exponentiate to skew.
+				s := seasonalBase(i, float64(period), []float64{0.8, 0.35}, 0)
+				v := 0.12*math.Exp(1.1*(s+noise[i])) + 0.08
+				// Occasional multi-sample appliance spikes (decay keeps
+				// consecutive values correlated, matching ACF1 ~ 0.77).
+				if rng.Float64() < 0.01 {
+					spike = 1.5 + 2.5*rng.Float64()
+				}
+				v += spike
+				spike *= 0.6
+				if v > 5.8 {
+					v = 5.8
+				}
+				out[i] = v
+			}
+			return out
+		},
+	}
+}
+
+// MinTemp replicates daily minimum temperatures in Melbourne [75]: yearly
+// seasonality over 10 years, range ~26, median ~11.
+func MinTemp() Spec {
+	period := 365
+	return Spec{
+		Name: "MinTemp", Length: 3652, Lags: 365, Period: period,
+		gen: func(n int, rng *rand.Rand) []float64 {
+			noise := ar1(n, 0.6, 2.2, rng)
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = 11.2 + 6.5*math.Cos(2*math.Pi*float64(i)/float64(period)+math.Pi) + noise[i]
+			}
+			return out
+		},
+	}
+}
+
+// Pedestrian replicates hourly pedestrian counts [37]: non-negative,
+// zero-inflated at night, large daytime peaks (range ~5600, median ~400),
+// daily cycle of 24.
+func Pedestrian() Spec {
+	period := 24
+	return Spec{
+		Name: "Pedestrian", Length: 8766, Lags: 24, Period: period,
+		gen: func(n int, rng *rand.Rand) []float64 {
+			noise := ar1(n, 0.5, 0.35, rng)
+			out := make([]float64, n)
+			for i := range out {
+				hour := i % period
+				// Day/night profile with morning and evening peaks.
+				profile := math.Exp(-math.Pow(float64(hour)-8.5, 2)/8) +
+					1.3*math.Exp(-math.Pow(float64(hour)-17.5, 2)/10)
+				weekendDamp := 1.0
+				if day := (i / 24) % 7; day >= 5 {
+					weekendDamp = 0.55
+				}
+				v := 2400 * profile * weekendDamp * math.Exp(noise[i])
+				if hour <= 4 {
+					v *= 0.04 // deep night
+				}
+				out[i] = math.Round(math.Max(0, v))
+			}
+			return out
+		},
+	}
+}
+
+// UKElecDem replicates Great Britain's half-hourly national demand [32]:
+// very smooth (ACF1 0.988), daily period 48, high level around 27,000 MW.
+func UKElecDem() Spec {
+	period := 48
+	return Spec{
+		Name: "UKElecDem", Length: 17520, Lags: 48, Period: period,
+		gen: func(n int, rng *rand.Rand) []float64 {
+			noise := ar1(n, 0.95, 350, rng)
+			out := make([]float64, n)
+			for i := range out {
+				daily := seasonalBase(i, float64(period), []float64{5200, 1600, 600}, -0.5)
+				yearly := 2600 * math.Cos(2*math.Pi*float64(i)/(float64(period)*365))
+				out[i] = 27500 + daily + yearly + noise[i]
+			}
+			return out
+		},
+	}
+}
+
+// AUSElecDem replicates Victoria's half-hourly demand [37]: group 2 —
+// aggregate 48 half-hours into days, preserve 7 lags (weekly cycle).
+func AUSElecDem() Spec {
+	period := 48 * 7
+	return Spec{
+		Name: "AUSElecDem", Length: 230736, Lags: 7, AggWindow: 48,
+		AggFunc: series.AggMean, Period: period,
+		gen: func(n int, rng *rand.Rand) []float64 {
+			noise := ar1(n, 0.9, 160, rng)
+			// Persistent weather-driven day-to-day level (AR over days):
+			// this is what puts the reported ACF1 ~ 0.76 on the daily means.
+			days := n/48 + 2
+			dayLevel := ar1(days, 0.85, 320, rng)
+			out := make([]float64, n)
+			for i := range out {
+				daily := seasonalBase(i, 48, []float64{900, 350}, -0.7)
+				day := i / 48
+				weekday := 1.0
+				if day%7 >= 5 {
+					weekday = 0.92 // weekend dip drives the 7-lag cycle
+				}
+				annual := 550 * math.Cos(2*math.Pi*float64(i)/(48*365.25))
+				out[i] = (6800+daily+dayLevel[day])*weekday + annual + noise[i]
+			}
+			return out
+		},
+	}
+}
+
+// Humidity replicates NEON relative humidity [73]: group 2 — aggregate 60
+// one-minute samples into hours, preserve 24 lags; smooth, high median,
+// capped near saturation.
+func Humidity() Spec {
+	period := 1440
+	return Spec{
+		Name: "Humidity", Length: 397440, Lags: 24, AggWindow: 60,
+		AggFunc: series.AggMean, Period: period,
+		gen: func(n int, rng *rand.Rand) []float64 {
+			noise := ar1(n, 0.995, 0.35, rng)
+			out := make([]float64, n)
+			for i := range out {
+				daily := -14 * math.Sin(2*math.Pi*(float64(i)/float64(period)-0.2))
+				v := 78 + daily + noise[i]
+				if v > 99.9 {
+					v = 99.9
+				}
+				if v < 13 {
+					v = 13
+				}
+				out[i] = v
+			}
+			return out
+		},
+	}
+}
+
+// IRBioTemp replicates NEON infrared biological temperature [72]: group 2 —
+// hourly aggregation of minutes, 24 lags, strong diurnal swing plus a slow
+// annual drift.
+func IRBioTemp() Spec {
+	period := 1440
+	return Spec{
+		Name: "IRBioTemp", Length: 878400, Lags: 24, AggWindow: 60,
+		AggFunc: series.AggMean, Period: period,
+		gen: func(n int, rng *rand.Rand) []float64 {
+			noise := ar1(n, 0.99, 0.22, rng)
+			out := make([]float64, n)
+			for i := range out {
+				daily := 9 * math.Sin(2*math.Pi*(float64(i)/float64(period)-0.3))
+				annual := 11 * math.Sin(2*math.Pi*float64(i)/(float64(period)*365.25))
+				out[i] = 22.5 + daily + annual + noise[i]
+			}
+			return out
+		},
+	}
+}
+
+// SolarPower replicates 30-second solar production [37]: group 2 — aggregate
+// 120 samples into hours, 24 lags. Zero at night (the paper reports 75%
+// equal steps — long flat zero runs), bell-shaped during the day.
+func SolarPower() Spec {
+	period := 2880 // one day at 30-second sampling
+	return Spec{
+		Name: "SolarPower", Length: 986297, Lags: 24, AggWindow: 120,
+		AggFunc: series.AggMean, Period: period,
+		gen: func(n int, rng *rand.Rand) []float64 {
+			noise := ar1(n, 0.97, 2.0, rng)
+			out := make([]float64, n)
+			for i := range out {
+				frac := float64(i%period) / float64(period) // 0..1 through the day
+				// Daylight between 0.25 and 0.75 of the cycle.
+				if frac < 0.25 || frac > 0.75 {
+					out[i] = 0
+					continue
+				}
+				bell := math.Sin(math.Pi * (frac - 0.25) / 0.5)
+				cloud := 1 + noise[i]/60
+				if cloud < 0.05 {
+					cloud = 0.05
+				}
+				v := 110 * bell * bell * cloud
+				if v < 0 {
+					v = 0
+				}
+				if v > 116.5 {
+					v = 116.5
+				}
+				out[i] = v
+			}
+			return out
+		},
+	}
+}

@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/lossless"
+	"repro/internal/lossy"
+	"repro/internal/simplify"
+	"repro/internal/stats"
+)
+
+// Figure6 regenerates the paper's Figure 6: compression ratio as the ACF
+// error bound increases, CAMEO vs the line-simplification baselines
+// (VW, TPs, TPm, PIPv, PIPe) on all eight datasets.
+// Expected shape: CAMEO dominates at every bound; TP fails outright on
+// Pedestrian and SolarPower.
+func Figure6(cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintln(cfg.Out, "## Figure 6 — Compression ratio vs ACF error bound (line simplification)")
+	tw := newTable(cfg.Out, "dataset", "eps", "method", "CR", "ACF-MAE")
+	specs := allSpecs(cfg)
+	for _, spec := range specs {
+		xs := genData(spec, cfg)
+		for _, eps := range epsGrid(spec.Name, cfg.Quick) {
+			res, err := core.Compress(xs, coreOptions(spec, eps))
+			if err != nil {
+				return err
+			}
+			row(tw, spec.Name, eps, "CAMEO", res.CompressionRatio(), res.Deviation)
+
+			sOpt := simplifyOptions(spec, eps)
+			for _, b := range []struct {
+				name string
+				run  func() (*simplify.Result, error)
+			}{
+				{"VW", func() (*simplify.Result, error) { return simplify.VW(xs, sOpt) }},
+				{"TPs", func() (*simplify.Result, error) { return simplify.TurningPoints(xs, simplify.TPSum, sOpt) }},
+				{"TPm", func() (*simplify.Result, error) { return simplify.TurningPoints(xs, simplify.TPMae, sOpt) }},
+				{"PIPv", func() (*simplify.Result, error) { return simplify.PIP(xs, simplify.PIPVertical, sOpt) }},
+				{"PIPe", func() (*simplify.Result, error) { return simplify.PIP(xs, simplify.PIPEuclidean, sOpt) }},
+			} {
+				r, err := b.run()
+				if errors.Is(err, simplify.ErrBoundExceeded) {
+					row(tw, spec.Name, eps, b.name, "-", r.Deviation)
+					continue
+				}
+				if err != nil {
+					return fmt.Errorf("%s on %s: %w", b.name, spec.Name, err)
+				}
+				row(tw, spec.Name, eps, b.name, r.CompressionRatio(), r.Deviation)
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+// Figure7 regenerates Figure 7: CAMEO vs the lossy compressor baselines
+// (PMC, SWING, SP, FFT) whose parameters are found by trial-and-error
+// search under the ACF bound.
+// Expected shape: CAMEO wins overall; FFT can win on low-frequency
+// datasets (Pedestrian, UKElecDem); SWING/SP can win at large bounds on
+// ElecPower/Humidity.
+func Figure7(cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintln(cfg.Out, "## Figure 7 — Compression ratio vs ACF error bound (lossy compressors)")
+	tw := newTable(cfg.Out, "dataset", "eps", "method", "CR", "ACF-MAE")
+	for _, spec := range allSpecs(cfg) {
+		xs := genData(spec, cfg)
+		for _, eps := range epsGrid(spec.Name, cfg.Quick) {
+			res, err := core.Compress(xs, coreOptions(spec, eps))
+			if err != nil {
+				return err
+			}
+			row(tw, spec.Name, eps, "CAMEO", res.CompressionRatio(), res.Deviation)
+			bOpt := boundOptions(spec, eps, cfg)
+			for _, c := range lossyBaselines() {
+				found := lossy.SearchACFBound(xs, c, bOpt)
+				if found == nil {
+					row(tw, spec.Name, eps, c.Name(), "-", "-")
+					continue
+				}
+				row(tw, spec.Name, eps, c.Name(), found.Compressed.CompressionRatio(), found.Deviation)
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+// Table2 regenerates Table 2: bits/value of the lossless codecs vs VW and
+// CAMEO (64 bits per retained point), with the error bound that achieves a
+// lower bits/value than both Gorilla and Chimp.
+// Expected shape: VW and CAMEO beat both codecs at small eps on every
+// dataset, CAMEO at equal-or-smaller eps than VW.
+func Table2(cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintln(cfg.Out, "## Table 2 — Bits/value of lossless codecs vs VW and CAMEO")
+	tw := newTable(cfg.Out, "dataset", "Gorilla b/v", "Chimp b/v", "Elf b/v", "VW b/v", "VW eps", "CAMEO b/v", "CAMEO eps")
+	ladder := []float64{1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 3e-3, 5e-3, 7e-3, 1e-2}
+	if cfg.Quick {
+		ladder = []float64{1e-3, 1e-2}
+	}
+	for _, spec := range allSpecs(cfg) {
+		xs := genData(spec, cfg)
+		g := lossless.Gorilla(xs).BitsPerValue()
+		c := lossless.Chimp(xs).BitsPerValue()
+		el := lossless.Elf(xs).BitsPerValue()
+		target := math.Min(g, c)
+
+		vwBits, vwEps := bitsBelow(target, ladder, func(eps float64) (float64, error) {
+			r, err := simplify.VW(xs, simplifyOptions(spec, eps))
+			if err != nil {
+				return math.Inf(1), err
+			}
+			return 64 / r.CompressionRatio(), nil
+		})
+		camBits, camEps := bitsBelow(target, ladder, func(eps float64) (float64, error) {
+			r, err := core.Compress(xs, coreOptions(spec, eps))
+			if err != nil {
+				return math.Inf(1), err
+			}
+			return 64 / r.CompressionRatio(), nil
+		})
+		row(tw, spec.Name, g, c, el, vwBits, vwEps, camBits, camEps)
+	}
+	return tw.Flush()
+}
+
+// bitsBelow walks the eps ladder from tightest to loosest and returns the
+// first bits/value below target together with its eps; if none qualifies it
+// returns the best achieved.
+func bitsBelow(target float64, ladder []float64, eval func(eps float64) (float64, error)) (float64, float64) {
+	bestBits, bestEps := math.Inf(1), math.NaN()
+	for _, eps := range ladder {
+		bits, err := eval(eps)
+		if err != nil {
+			continue
+		}
+		if bits < bestBits {
+			bestBits, bestEps = bits, eps
+		}
+		if bits < target {
+			return bits, eps
+		}
+	}
+	return bestBits, bestEps
+}
+
+// Figure8 regenerates Figure 8: reconstruction NRMSE as the compression
+// ratio increases, for every method in compression-centric mode.
+// Expected shape: no single winner; CAMEO mid-pack and never worst; PIPe
+// often worst among line simplifiers.
+func Figure8(cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintln(cfg.Out, "## Figure 8 — NRMSE vs compression ratio")
+	tw := newTable(cfg.Out, "dataset", "CR-target", "method", "CR", "NRMSE")
+	ratios := []float64{2, 5, 10, 20}
+	if cfg.Quick {
+		ratios = []float64{5}
+	}
+	for _, spec := range allSpecs(cfg) {
+		xs := genData(spec, cfg)
+		for _, cr := range ratios {
+			emit := func(name string, recon []float64, got float64) {
+				row(tw, spec.Name, cr, name, got, stats.NRMSE(xs, recon))
+			}
+			res, err := core.Compress(xs, core.Options{
+				Lags: spec.Lags, TargetRatio: cr,
+				AggWindow: spec.AggWindow, AggFunc: spec.AggFunc,
+			})
+			if err != nil {
+				return err
+			}
+			emit("CAMEO", res.Compressed.Decompress(), res.CompressionRatio())
+
+			sOpt := simplify.Options{Lags: spec.Lags, TargetRatio: cr, AggWindow: spec.AggWindow, AggFunc: spec.AggFunc}
+			if r, err := simplify.VW(xs, sOpt); err == nil {
+				emit("VW", r.Compressed.Decompress(), r.CompressionRatio())
+			}
+			if r, err := simplify.PIP(xs, simplify.PIPVertical, sOpt); err == nil {
+				emit("PIPv", r.Compressed.Decompress(), r.CompressionRatio())
+			}
+			if r, err := simplify.PIP(xs, simplify.PIPEuclidean, sOpt); err == nil {
+				emit("PIPe", r.Compressed.Decompress(), r.CompressionRatio())
+			}
+			for _, c := range lossyBaselines() {
+				comp := lossy.SearchRatio(xs, c, cr, searchIters(cfg))
+				emit(c.Name(), comp.Decompress(), comp.CompressionRatio())
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+// Figure9 regenerates Figure 9: compression ratio under different blocking
+// neighbourhood sizes (n/2, sqrt n, 15 log n ... log n) on four datasets.
+// Expected shape: factors 5-15 of log n match near-exhaustive updating;
+// bare log n is visibly worse.
+func Figure9(cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintln(cfg.Out, "## Figure 9 — Compression ratio under blocking sizes")
+	tw := newTable(cfg.Out, "dataset", "eps", "blocking", "hops", "CR")
+	specs := []datasets.Spec{
+		datasets.Pedestrian(), datasets.UKElecDem(),
+		datasets.AUSElecDem(), datasets.Humidity(),
+	}
+	// The n/2 and sqrt(n) settings are near-exhaustive re-ranking (that is
+	// the point of the comparison) and therefore quadratic: cap this
+	// micro-benchmark's series length so the sweep stays tractable.
+	if cfg.MaxN > 4000 {
+		cfg.MaxN = 4000
+	}
+	for _, spec := range specs {
+		xs := genData(spec, cfg)
+		n := len(xs)
+		logn := int(math.Ceil(math.Log2(float64(n))))
+		blockings := []struct {
+			name    string
+			hops    int
+			noReval bool
+		}{
+			{"n/2", n / 2, false},
+			{"sqrt(n)", int(math.Sqrt(float64(n))), false},
+			{"15*log(n)", 15 * logn, false},
+			{"10*log(n)", 10 * logn, false},
+			{"5*log(n)", 5 * logn, false},
+			{"log(n)", logn, false},
+			// Ablation: with pop-revalidation disabled, small neighbourhoods
+			// degrade visibly — the paper's original log(n) observation.
+			// Our always-on revalidation largely closes that gap.
+			{"log(n) no-reval", logn, true},
+		}
+		if cfg.Quick {
+			blockings = blockings[4:] // 5*log(n), log(n), ablation
+		}
+		grid := epsGrid(spec.Name, cfg.Quick)
+		for _, eps := range grid {
+			for _, b := range blockings {
+				opt := coreOptions(spec, eps)
+				opt.BlockHops = b.hops
+				opt.NoRevalidate = b.noReval
+				if spec.Group2() {
+					// Paper §5.4: multiply hops by the aggregation window so
+					// the neighbourhood covers the aggregated lags.
+					opt.BlockHops = b.hops * spec.AggWindow
+				}
+				res, err := core.Compress(xs, opt)
+				if err != nil {
+					return err
+				}
+				row(tw, spec.Name, eps, b.name, opt.BlockHops, res.CompressionRatio())
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+// allSpecs trims the heavy group-2 datasets in quick mode.
+func allSpecs(cfg Config) []datasets.Spec {
+	if cfg.Quick {
+		return []datasets.Spec{datasets.ElecPower(), datasets.Pedestrian(), datasets.AUSElecDem()}
+	}
+	return datasets.Replicas()
+}
+
+// lossyBaselines returns the four knob-driven baselines.
+func lossyBaselines() []lossy.Compressor {
+	return []lossy.Compressor{
+		lossy.PMCCompressor{}, lossy.SwingCompressor{},
+		lossy.SimPieceCompressor{}, lossy.FFTCompressor{},
+	}
+}
+
+// boundOptions builds the search options matching a dataset's statistic
+// configuration.
+func boundOptions(spec datasets.Spec, eps float64, cfg Config) lossy.BoundOptions {
+	return lossy.BoundOptions{
+		Lags: spec.Lags, Epsilon: eps, Measure: stats.MeasureMAE,
+		AggWindow: spec.AggWindow, AggFunc: spec.AggFunc,
+		Iters: searchIters(cfg),
+	}
+}
+
+func searchIters(cfg Config) int {
+	if cfg.Quick {
+		return 8
+	}
+	return 18
+}

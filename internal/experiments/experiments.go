@@ -1,0 +1,224 @@
+// Package experiments contains the runners that regenerate every table and
+// figure of the paper's evaluation (§5), shared by cmd/experiments and the
+// repository's benchmark suite. Each runner prints the same rows/series the
+// paper reports; EXPERIMENTS.md records the expected shape next to measured
+// results.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/simplify"
+	"repro/internal/stats"
+)
+
+// Config scales and directs an experiment run.
+type Config struct {
+	// Out receives the experiment's table output (default os.Stdout).
+	Out io.Writer
+	// Scale multiplies dataset lengths (default 0.1); experiments clamp to
+	// sensible minima/maxima so the shapes survive downscaling.
+	Scale float64
+	// MaxN caps any generated series length (default 40000).
+	MaxN int
+	// Seed drives all generators (default 1).
+	Seed int64
+	// Quick further trims sweeps for smoke tests and benchmarks.
+	Quick bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Out == nil {
+		c.Out = os.Stdout
+	}
+	if c.Scale <= 0 {
+		c.Scale = 0.1
+	}
+	if c.MaxN <= 0 {
+		c.MaxN = 40000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Runner regenerates one paper artifact.
+type Runner func(Config) error
+
+// Registry maps experiment ids (fig6, tab2, ...) to runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"tab1":   Table1,
+		"fig1":   Figure1,
+		"fig3":   Figure3,
+		"fig6":   Figure6,
+		"fig7":   Figure7,
+		"tab2":   Table2,
+		"fig8":   Figure8,
+		"fig9":   Figure9,
+		"tab3":   Table3,
+		"tab4":   Table4,
+		"fig10a": Figure10a,
+		"fig10b": Figure10b,
+		"fig11":  Figure11,
+		"fig12a": Figure12a,
+		"fig12b": Figure12b,
+		"fig12c": Figure12c,
+		"fig13":  Figure13,
+		"pacf":   PACFRuntime,
+	}
+}
+
+// IDs returns the registry keys sorted.
+func IDs() []string {
+	reg := Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// scaledLength computes the replica length for a spec under the config,
+// keeping at least a handful of seasonal periods.
+func scaledLength(s datasets.Spec, cfg Config) int {
+	n := int(float64(s.Length) * cfg.Scale)
+	min := 6 * s.Period
+	if s.Group2() {
+		// Group-2 lags act on aggregated windows: make sure the aggregated
+		// series has enough points for its lag count too.
+		if m := 4 * s.Lags * s.AggWindow; m > min {
+			min = m
+		}
+	} else if m := 8 * s.Lags; m > min {
+		min = m
+	}
+	if n < min {
+		n = min
+	}
+	if n > cfg.MaxN {
+		n = cfg.MaxN
+	}
+	if n > s.Length {
+		n = s.Length
+	}
+	return n
+}
+
+// genData generates the scaled replica for a spec.
+func genData(s datasets.Spec, cfg Config) []float64 {
+	return s.GenerateN(scaledLength(s, cfg), cfg.Seed)
+}
+
+// coreOptions builds CAMEO options matching a dataset's Table 1 statistic
+// configuration.
+func coreOptions(s datasets.Spec, eps float64) core.Options {
+	return core.Options{
+		Lags:      s.Lags,
+		Epsilon:   eps,
+		AggWindow: s.AggWindow,
+		AggFunc:   s.AggFunc,
+		Measure:   stats.MeasureMAE,
+	}
+}
+
+// simplifyOptions is the baseline equivalent of coreOptions.
+func simplifyOptions(s datasets.Spec, eps float64) simplify.Options {
+	return simplify.Options{
+		Lags:      s.Lags,
+		Epsilon:   eps,
+		AggWindow: s.AggWindow,
+		AggFunc:   s.AggFunc,
+		Measure:   stats.MeasureMAE,
+	}
+}
+
+// epsGrid returns the per-dataset ACF-MAE sweep mirroring the paper's
+// x-axis scales (Figure 6/7): 1e-1 for the small group-1 datasets and
+// AUSElecDem, 1e-2 for Humidity and IRBioTemp, 1e-3 for SolarPower.
+func epsGrid(name string, quick bool) []float64 {
+	var top float64
+	switch name {
+	case "Humidity", "IRBioTemp":
+		top = 0.01
+	case "SolarPower":
+		top = 0.001
+	default:
+		top = 0.1
+	}
+	fracs := []float64{0.125, 0.25, 0.5, 0.75, 1.0}
+	if quick {
+		fracs = []float64{0.25, 1.0}
+	}
+	out := make([]float64, len(fracs))
+	for i, f := range fracs {
+		out[i] = top * f
+	}
+	return out
+}
+
+// newTable starts a tabwriter with a header row.
+func newTable(w io.Writer, cols ...interface{}) *tabwriter.Writer {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, rowString(cols...))
+	return tw
+}
+
+// row writes one table row.
+func row(tw *tabwriter.Writer, cols ...interface{}) {
+	fmt.Fprintln(tw, rowString(cols...))
+}
+
+func rowString(cols ...interface{}) string {
+	s := ""
+	for i, c := range cols {
+		if i > 0 {
+			s += "\t"
+		}
+		switch v := c.(type) {
+		case float64:
+			s += formatFloat(v)
+		default:
+			s += fmt.Sprint(v)
+		}
+	}
+	return s
+}
+
+// formatFloat prints floats compactly (4 significant digits, scientific for
+// extremes).
+func formatFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Sprint(v)
+	}
+	a := math.Abs(v)
+	if a != 0 && (a < 1e-3 || a >= 1e6) {
+		return fmt.Sprintf("%.3e", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// group1Specs returns the paper's direct-ACF datasets.
+func group1Specs() []datasets.Spec {
+	return []datasets.Spec{
+		datasets.ElecPower(), datasets.MinTemp(),
+		datasets.Pedestrian(), datasets.UKElecDem(),
+	}
+}
+
+// group2Specs returns the on-aggregates datasets.
+func group2Specs() []datasets.Spec {
+	return []datasets.Spec{
+		datasets.AUSElecDem(), datasets.Humidity(),
+		datasets.IRBioTemp(), datasets.SolarPower(),
+	}
+}

@@ -1,0 +1,195 @@
+// Package features computes the time-series features of the paper's
+// Figure 1 motivation study [45]: trend and seasonal strength, linearity,
+// curvature, nonlinearity, and the ACF/PACF summary features whose deviation
+// under compression correlates with forecasting-accuracy impact.
+package features
+
+import (
+	"math"
+
+	"repro/internal/acf"
+	"repro/internal/forecast"
+	"repro/internal/stats"
+)
+
+// Vector is the feature set of one series.
+type Vector struct {
+	// Trend is the STL-based trend strength in [0, 1].
+	Trend float64
+	// Seasonal is the STL-based seasonal strength in [0, 1].
+	Seasonal float64
+	// Linearity and Curvature are the t and t^2 coefficients of an
+	// orthogonal quadratic regression on the standardized series
+	// (tsfeatures' linearity/curvature).
+	Linearity float64
+	Curvature float64
+	// Nonlinearity is a Terasvirta-style neural test statistic: n * R^2 of
+	// regressing AR(1) residuals on quadratic and cubic lag terms.
+	Nonlinearity float64
+	// ACF1 is the lag-1 autocorrelation.
+	ACF1 float64
+	// ACF10 is the sum of squares of the first 10 autocorrelations.
+	ACF10 float64
+	// PACF5 is the sum of squares of the first 5 partial autocorrelations.
+	PACF5 float64
+}
+
+// Compute extracts the feature vector; period is the seasonal cycle used by
+// the STL strengths.
+func Compute(xs []float64, period int) Vector {
+	var v Vector
+	if len(xs) < 4 {
+		return v
+	}
+	v.Trend = forecast.TrendStrength(xs, period)
+	v.Seasonal = forecast.SeasonalStrength(xs, period)
+	v.Linearity, v.Curvature = linearityCurvature(xs)
+	v.Nonlinearity = nonlinearity(xs)
+	a := acf.ACF(xs, 10)
+	v.ACF1 = a[0]
+	for _, r := range a {
+		v.ACF10 += r * r
+	}
+	for _, p := range acf.PACF(xs, 5) {
+		v.PACF5 += p * p
+	}
+	return v
+}
+
+// linearityCurvature regresses the standardized series on orthogonal linear
+// and quadratic polynomials of scaled time and returns both coefficients.
+func linearityCurvature(xs []float64) (lin, curv float64) {
+	n := len(xs)
+	zs, _, _ := stats.Standardize(xs)
+	// Orthogonal polynomial basis over t = 0..n-1 (Gram-Schmidt on 1, t, t^2).
+	t := make([]float64, n)
+	for i := range t {
+		t[i] = float64(i)
+	}
+	p1 := orthonormalize(t, nil)
+	t2 := make([]float64, n)
+	for i := range t2 {
+		t2[i] = t[i] * t[i]
+	}
+	p2 := orthonormalize(t2, p1)
+	for i := range zs {
+		lin += p1[i] * zs[i]
+		curv += p2[i] * zs[i]
+	}
+	return lin, curv
+}
+
+// orthonormalize centres v, removes its projection onto prev (if any), and
+// scales to unit norm.
+func orthonormalize(v []float64, prev []float64) []float64 {
+	n := len(v)
+	out := make([]float64, n)
+	mean := stats.Mean(v)
+	for i := range v {
+		out[i] = v[i] - mean
+	}
+	if prev != nil {
+		var dot float64
+		for i := range out {
+			dot += out[i] * prev[i]
+		}
+		for i := range out {
+			out[i] -= dot * prev[i]
+		}
+	}
+	var norm float64
+	for _, x := range out {
+		norm += x * x
+	}
+	norm = math.Sqrt(norm)
+	if norm == 0 {
+		return out
+	}
+	for i := range out {
+		out[i] /= norm
+	}
+	return out
+}
+
+// nonlinearity computes a simplified Terasvirta neural test statistic: fit
+// an AR(1), then regress its residuals on the squared and cubed lag; the
+// statistic is n * R^2 (large values indicate nonlinear dependence).
+func nonlinearity(xs []float64) float64 {
+	n := len(xs)
+	if n < 8 {
+		return 0
+	}
+	zs, _, _ := stats.Standardize(xs)
+	rows := n - 1
+	X := make([][]float64, rows)
+	y := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		X[i] = []float64{1, zs[i]}
+		y[i] = zs[i+1]
+	}
+	beta, err := forecast.OLS(X, y)
+	if err != nil {
+		return 0
+	}
+	resid := make([]float64, rows)
+	var ssTot float64
+	for i := 0; i < rows; i++ {
+		resid[i] = y[i] - beta[0] - beta[1]*zs[i]
+		ssTot += resid[i] * resid[i]
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	X2 := make([][]float64, rows)
+	for i := 0; i < rows; i++ {
+		l := zs[i]
+		X2[i] = []float64{1, l * l, l * l * l}
+	}
+	beta2, err := forecast.OLS(X2, resid)
+	if err != nil {
+		return 0
+	}
+	var ssRes float64
+	for i := 0; i < rows; i++ {
+		e := resid[i] - (beta2[0] + beta2[1]*X2[i][1] + beta2[2]*X2[i][2])
+		ssRes += e * e
+	}
+	r2 := 1 - ssRes/ssTot
+	if r2 < 0 {
+		r2 = 0
+	}
+	return float64(rows) * r2
+}
+
+// Deviation returns the per-feature absolute deviation |f(a) - f(b)| — the
+// x-axis of the Figure 1 correlation study.
+type Deviation struct {
+	Trend, Seasonal, Linearity, Curvature, Nonlinearity float64
+	ACF1, ACF10, PACF5                                  float64
+	NRMSE, PSNR                                         float64
+}
+
+// Compare computes feature deviations between an original and reconstructed
+// series, plus the NRMSE/PSNR reconstruction-quality measures Figure 1
+// contrasts them with.
+func Compare(orig, recon []float64, period int) Deviation {
+	fo := Compute(orig, period)
+	fr := Compute(recon, period)
+	d := Deviation{
+		Trend:        math.Abs(fo.Trend - fr.Trend),
+		Seasonal:     math.Abs(fo.Seasonal - fr.Seasonal),
+		Linearity:    math.Abs(fo.Linearity - fr.Linearity),
+		Curvature:    math.Abs(fo.Curvature - fr.Curvature),
+		Nonlinearity: math.Abs(fo.Nonlinearity - fr.Nonlinearity),
+		ACF1:         math.Abs(fo.ACF1 - fr.ACF1),
+		ACF10:        math.Abs(fo.ACF10 - fr.ACF10),
+		PACF5:        math.Abs(fo.PACF5 - fr.PACF5),
+		NRMSE:        stats.NRMSE(orig, recon),
+	}
+	p := stats.PSNR(orig, recon)
+	if math.IsInf(p, 0) {
+		p = 200 // identical reconstruction: use a large finite ceiling
+	}
+	d.PSNR = p
+	return d
+}

@@ -1,0 +1,148 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestComputeTrendStrength(t *testing.T) {
+	n := 300
+	trended := make([]float64, n)
+	rng := rand.New(rand.NewSource(1))
+	flat := make([]float64, n)
+	for i := range trended {
+		trended[i] = float64(i)*0.5 + rng.NormFloat64()
+		flat[i] = rng.NormFloat64()
+	}
+	ft := Compute(trended, 12)
+	ff := Compute(flat, 12)
+	if ft.Trend <= ff.Trend {
+		t.Fatalf("trend strength ordering broken: %v <= %v", ft.Trend, ff.Trend)
+	}
+	if ft.Trend < 0.9 {
+		t.Fatalf("strong trend scored %v", ft.Trend)
+	}
+}
+
+func TestComputeSeasonalStrength(t *testing.T) {
+	n, period := 480, 24
+	seasonal := make([]float64, n)
+	rng := rand.New(rand.NewSource(2))
+	for i := range seasonal {
+		seasonal[i] = 5*math.Sin(2*math.Pi*float64(i)/float64(period)) + 0.3*rng.NormFloat64()
+	}
+	f := Compute(seasonal, period)
+	if f.Seasonal < 0.8 {
+		t.Fatalf("seasonal strength = %v, want >= 0.8", f.Seasonal)
+	}
+	if f.ACF1 < 0.8 {
+		t.Fatalf("ACF1 = %v, want >= 0.8 for smooth seasonal series", f.ACF1)
+	}
+}
+
+func TestLinearityOnRamps(t *testing.T) {
+	n := 200
+	up := make([]float64, n)
+	down := make([]float64, n)
+	for i := range up {
+		up[i] = float64(i)
+		down[i] = -float64(i)
+	}
+	fu := Compute(up, 10)
+	fd := Compute(down, 10)
+	if fu.Linearity <= 0 || fd.Linearity >= 0 {
+		t.Fatalf("linearity signs wrong: up %v down %v", fu.Linearity, fd.Linearity)
+	}
+	// A pure line has negligible curvature.
+	if math.Abs(fu.Curvature) > 1e-6 {
+		t.Fatalf("line curvature = %v, want ~0", fu.Curvature)
+	}
+}
+
+func TestCurvatureOnParabola(t *testing.T) {
+	n := 200
+	par := make([]float64, n)
+	for i := range par {
+		x := float64(i) - float64(n)/2
+		par[i] = x * x
+	}
+	f := Compute(par, 10)
+	if math.Abs(f.Curvature) < 1 {
+		t.Fatalf("parabola curvature = %v, want substantial", f.Curvature)
+	}
+}
+
+func TestNonlinearityOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 2000
+	linear := make([]float64, n)
+	nonlin := make([]float64, n)
+	for i := 1; i < n; i++ {
+		linear[i] = 0.5*linear[i-1] + rng.NormFloat64()
+		// Bounded nonlinear (sinusoidal) dependence on the lag.
+		nonlin[i] = 1.8*math.Sin(1.2*nonlin[i-1]) + 0.3*rng.NormFloat64()
+	}
+	fl := Compute(linear, 10)
+	fn := Compute(nonlin, 10)
+	if fn.Nonlinearity <= fl.Nonlinearity {
+		t.Fatalf("nonlinearity ordering broken: %v <= %v", fn.Nonlinearity, fl.Nonlinearity)
+	}
+}
+
+func TestComputeTinySeries(t *testing.T) {
+	f := Compute([]float64{1, 2}, 4)
+	if f.ACF1 != 0 || f.Trend != 0 {
+		t.Fatalf("tiny series should produce zero features, got %+v", f)
+	}
+}
+
+func TestACF10AndPACF5NonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	f := Compute(xs, 24)
+	if f.ACF10 < 0 || f.PACF5 < 0 {
+		t.Fatalf("sum-of-squares features negative: %+v", f)
+	}
+}
+
+func TestCompareIdenticalSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = 3*math.Sin(float64(i)/10) + 0.2*rng.NormFloat64()
+	}
+	d := Compare(xs, xs, 24)
+	if d.ACF1 != 0 || d.NRMSE != 0 || d.Trend != 0 {
+		t.Fatalf("identical series should have zero deviations: %+v", d)
+	}
+	if d.PSNR != 200 {
+		t.Fatalf("identical PSNR ceiling = %v, want 200", d.PSNR)
+	}
+}
+
+func TestCompareDegradesWithDistortion(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n, period := 480, 24
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 5*math.Sin(2*math.Pi*float64(i)/float64(period)) + 0.2*rng.NormFloat64()
+	}
+	mild := make([]float64, n)
+	severe := make([]float64, n)
+	for i := range xs {
+		mild[i] = xs[i] + 0.1*rng.NormFloat64()
+		severe[i] = xs[i] + 3*rng.NormFloat64()
+	}
+	dm := Compare(xs, mild, period)
+	ds := Compare(xs, severe, period)
+	if ds.ACF1 <= dm.ACF1 {
+		t.Fatalf("ACF1 deviation should grow with distortion: %v <= %v", ds.ACF1, dm.ACF1)
+	}
+	if ds.NRMSE <= dm.NRMSE {
+		t.Fatalf("NRMSE should grow with distortion: %v <= %v", ds.NRMSE, dm.NRMSE)
+	}
+}

@@ -1,0 +1,157 @@
+// Package fft implements the fast Fourier transform used by the FFT lossy
+// compression baseline (paper §5.1, [20]) and the DFT compressor of the
+// Figure 1 motivation study.
+//
+// The implementation is self-contained: an iterative radix-2 Cooley-Tukey
+// kernel for power-of-two lengths and Bluestein's chirp-z algorithm for
+// arbitrary lengths, so any series length can be transformed exactly.
+package fft
+
+import "math"
+
+// Forward computes the discrete Fourier transform of x (any length) and
+// returns a freshly allocated coefficient slice:
+//
+//	X[k] = sum_t x[t] * exp(-2*pi*i*k*t/n)
+func Forward(x []complex128) []complex128 {
+	out := append([]complex128(nil), x...)
+	transform(out, false)
+	return out
+}
+
+// Inverse computes the inverse DFT of X with the 1/n normalization, so that
+// Inverse(Forward(x)) == x up to floating-point error.
+func Inverse(x []complex128) []complex128 {
+	out := append([]complex128(nil), x...)
+	transform(out, true)
+	n := complex(float64(len(out)), 0)
+	if len(out) > 0 {
+		for i := range out {
+			out[i] /= n
+		}
+	}
+	return out
+}
+
+// ForwardReal transforms a real-valued series. It is a convenience wrapper
+// that widens to complex128.
+func ForwardReal(x []float64) []complex128 {
+	cx := make([]complex128, len(x))
+	for i, v := range x {
+		cx[i] = complex(v, 0)
+	}
+	transform(cx, false)
+	return cx
+}
+
+// InverseReal inverts a coefficient vector and returns the real parts.
+// The imaginary parts are discarded; for coefficient vectors obtained from a
+// real input they are zero up to rounding.
+func InverseReal(coeffs []complex128) []float64 {
+	cx := Inverse(coeffs)
+	out := make([]float64, len(cx))
+	for i, v := range cx {
+		out[i] = real(v)
+	}
+	return out
+}
+
+// transform computes the in-place unnormalized DFT (inverse=true conjugates
+// the twiddles, producing the unnormalized inverse transform).
+func transform(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if n&(n-1) == 0 {
+		radix2(x, inverse)
+		return
+	}
+	bluestein(x, inverse)
+}
+
+// radix2 is the iterative Cooley-Tukey kernel for power-of-two lengths.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * 2 * math.Pi / float64(length)
+		wl := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += length {
+			w := complex(1, 0)
+			half := length / 2
+			for k := 0; k < half; k++ {
+				u := x[start+k]
+				v := x[start+k+half] * w
+				x[start+k] = u + v
+				x[start+k+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT as a convolution, which is in
+// turn evaluated with power-of-two radix-2 transforms.
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp: w[k] = exp(sign*i*pi*k^2/n). Use k^2 mod 2n to avoid precision
+	// loss for large k.
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := int64(k) * int64(k) % int64(2*n)
+		ang := sign * math.Pi * float64(kk) / float64(n)
+		chirp[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		bc := complex(real(chirp[k]), -imag(chirp[k])) // conj
+		b[k] = bc
+		if k > 0 {
+			b[m-k] = bc
+		}
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	scale := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * scale * chirp[k]
+	}
+}
+
+// Magnitudes returns |X[k]| for each coefficient.
+func Magnitudes(coeffs []complex128) []float64 {
+	out := make([]float64, len(coeffs))
+	for i, c := range coeffs {
+		out[i] = math.Hypot(real(c), imag(c))
+	}
+	return out
+}

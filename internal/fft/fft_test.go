@@ -1,0 +1,224 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is the O(n^2) reference implementation.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			s += x[t] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func complexClose(a, b []complex128, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestForwardMatchesNaivePow2(t *testing.T) {
+	x := make([]complex128, 16)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)), math.Cos(2*float64(i)))
+	}
+	if !complexClose(Forward(x), naiveDFT(x), 1e-9) {
+		t.Fatal("radix-2 FFT does not match naive DFT")
+	}
+}
+
+func TestForwardMatchesNaiveArbitraryN(t *testing.T) {
+	for _, n := range []int{3, 5, 6, 7, 12, 15, 31, 100} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(float64(i%7)-3, float64(i%5)-2)
+		}
+		if !complexClose(Forward(x), naiveDFT(x), 1e-8) {
+			t.Fatalf("Bluestein FFT does not match naive DFT for n=%d", n)
+		}
+	}
+}
+
+func TestForwardEmptyAndSingle(t *testing.T) {
+	if got := Forward(nil); len(got) != 0 {
+		t.Fatalf("Forward(nil) len = %d", len(got))
+	}
+	x := []complex128{complex(3, -1)}
+	got := Forward(x)
+	if len(got) != 1 || got[0] != x[0] {
+		t.Fatalf("Forward single = %v", got)
+	}
+}
+
+func TestForwardDoesNotMutateInput(t *testing.T) {
+	x := []complex128{1, 2, 3, 4}
+	orig := append([]complex128(nil), x...)
+	_ = Forward(x)
+	for i := range x {
+		if x[i] != orig[i] {
+			t.Fatal("Forward mutated its input")
+		}
+	}
+}
+
+func TestInverseRoundtripPow2(t *testing.T) {
+	x := make([]complex128, 64)
+	for i := range x {
+		x[i] = complex(float64(i)*0.1, -float64(i)*0.05)
+	}
+	if !complexClose(Inverse(Forward(x)), x, 1e-9) {
+		t.Fatal("Inverse(Forward(x)) != x for pow2 length")
+	}
+}
+
+func TestInverseRoundtripArbitrary(t *testing.T) {
+	for _, n := range []int{3, 7, 10, 33, 101} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(math.Sin(0.3*float64(i)), math.Cos(0.7*float64(i)))
+		}
+		if !complexClose(Inverse(Forward(x)), x, 1e-8) {
+			t.Fatalf("roundtrip failed for n=%d", n)
+		}
+	}
+}
+
+func TestForwardRealDCComponent(t *testing.T) {
+	x := []float64{1, 1, 1, 1}
+	coeffs := ForwardReal(x)
+	if cmplx.Abs(coeffs[0]-4) > 1e-12 {
+		t.Fatalf("DC coefficient = %v, want 4", coeffs[0])
+	}
+	for k := 1; k < 4; k++ {
+		if cmplx.Abs(coeffs[k]) > 1e-12 {
+			t.Fatalf("coefficient %d = %v, want 0", k, coeffs[k])
+		}
+	}
+}
+
+func TestForwardRealSingleTone(t *testing.T) {
+	n := 32
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(2 * math.Pi * 4 * float64(i) / float64(n))
+	}
+	mags := Magnitudes(ForwardReal(x))
+	// Energy should concentrate at bins 4 and n-4.
+	for k, m := range mags {
+		if k == 4 || k == n-4 {
+			if math.Abs(m-float64(n)/2) > 1e-9 {
+				t.Fatalf("bin %d magnitude = %v, want %v", k, m, float64(n)/2)
+			}
+		} else if m > 1e-9 {
+			t.Fatalf("bin %d magnitude = %v, want ~0", k, m)
+		}
+	}
+}
+
+func TestInverseRealRoundtrip(t *testing.T) {
+	x := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	back := InverseReal(ForwardReal(x))
+	for i := range x {
+		if math.Abs(back[i]-x[i]) > 1e-9 {
+			t.Fatalf("roundtrip[%d] = %v, want %v", i, back[i], x[i])
+		}
+	}
+}
+
+// Property: Parseval's theorem — sum |x|^2 == (1/n) sum |X|^2.
+func TestParsevalProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 || len(raw) > 512 {
+			return true
+		}
+		x := make([]float64, len(raw))
+		var e float64
+		for i, v := range raw {
+			v = math.Mod(v, 1e3)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			x[i] = v
+			e += v * v
+		}
+		coeffs := ForwardReal(x)
+		var fe float64
+		for _, c := range coeffs {
+			fe += real(c)*real(c) + imag(c)*imag(c)
+		}
+		fe /= float64(len(x))
+		return math.Abs(e-fe) <= 1e-6*math.Max(1, e)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: linearity — F(a*x + y) == a*F(x) + F(y).
+func TestLinearityProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		n := 3 + int(seed)%60
+		x := make([]complex128, n)
+		y := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(math.Sin(float64(i)+float64(seed)), 0.5)
+			y[i] = complex(0.3*float64(i), math.Cos(float64(i)))
+		}
+		a := complex(2.5, -1)
+		combined := make([]complex128, n)
+		for i := range combined {
+			combined[i] = a*x[i] + y[i]
+		}
+		fx, fy, fc := Forward(x), Forward(y), Forward(combined)
+		for i := range fc {
+			if cmplx.Abs(fc[i]-(a*fx[i]+fy[i])) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkForwardPow2_4096(b *testing.B) {
+	x := make([]complex128, 4096)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Forward(x)
+	}
+}
+
+func BenchmarkForwardBluestein_4095(b *testing.B) {
+	x := make([]complex128, 4095)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Forward(x)
+	}
+}

@@ -1,0 +1,167 @@
+package forecast
+
+import (
+	"math"
+
+	"repro/internal/acf"
+)
+
+// AR is an autoregressive model of order P fit by Yule-Walker equations
+// (solved with the Durbin-Levinson recursion). With P == 0 the order is
+// selected by AIC up to MaxOrder. It serves as the repository's ARIMA
+// stand-in: differencing/MA structure is approximated by the STL pipelines
+// that detrend before fitting (see DESIGN.md substitutions).
+type AR struct {
+	// P is the fixed order; 0 selects by AIC.
+	P int
+	// MaxOrder bounds AIC selection (default 20).
+	MaxOrder int
+
+	coefs []float64 // phi_1..phi_p
+	mean  float64
+	hist  []float64 // last p observations, most recent last
+	fit   bool
+}
+
+// Name returns "AR".
+func (m *AR) Name() string { return "AR" }
+
+// Fit estimates coefficients by Yule-Walker.
+func (m *AR) Fit(xs []float64) error {
+	if len(xs) < 3 {
+		return ErrTooShort
+	}
+	maxP := m.P
+	if maxP <= 0 {
+		maxP = m.MaxOrder
+		if maxP <= 0 {
+			maxP = 20
+		}
+	}
+	if maxP > len(xs)/3 {
+		maxP = len(xs) / 3
+	}
+	if maxP < 1 {
+		maxP = 1
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	rho := acf.ACFStationary(xs, maxP)
+
+	// Durbin-Levinson gives coefficients and innovation variance for every
+	// order 1..maxP in one sweep; pick by AIC when the order is free.
+	n := float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		d := x - mean
+		v += d * d
+	}
+	v /= n
+	if v <= 0 {
+		// Constant series: forecast the mean with order 1, zero coefs.
+		m.coefs = []float64{0}
+		m.mean = mean
+		m.hist = tailCopy(xs, 1)
+		m.fit = true
+		return nil
+	}
+
+	phiPrev := make([]float64, maxP+1)
+	phiCur := make([]float64, maxP+1)
+	sigma2 := v
+	bestAIC := math.Inf(1)
+	var bestCoefs []float64
+	order := m.P
+	phiPrev[1] = rho0(rho, 1)
+	sigma2 *= 1 - phiPrev[1]*phiPrev[1]
+	considerAR(&bestAIC, &bestCoefs, phiPrev[1:2], sigma2, n, order == 0 || order == 1, 1)
+	for p := 2; p <= maxP; p++ {
+		var num, den float64
+		num = rho0(rho, p)
+		den = 1.0
+		for k := 1; k < p; k++ {
+			num -= phiPrev[k] * rho0(rho, p-k)
+			den -= phiPrev[k] * rho0(rho, k)
+		}
+		if math.Abs(den) < 1e-12 {
+			break
+		}
+		pkk := num / den
+		for k := 1; k < p; k++ {
+			phiCur[k] = phiPrev[k] - pkk*phiPrev[p-k]
+		}
+		phiCur[p] = pkk
+		copy(phiPrev[:p+1], phiCur[:p+1])
+		sigma2 *= 1 - pkk*pkk
+		if sigma2 <= 0 {
+			sigma2 = 1e-12
+		}
+		considerAR(&bestAIC, &bestCoefs, phiPrev[1:p+1], sigma2, n, order == 0 || order == p, p)
+	}
+	if bestCoefs == nil {
+		bestCoefs = []float64{rho0(rho, 1)}
+	}
+	m.coefs = bestCoefs
+	m.mean = mean
+	m.hist = tailCopy(xs, len(bestCoefs))
+	m.fit = true
+	return nil
+}
+
+// considerAR updates the AIC-best coefficient set.
+func considerAR(bestAIC *float64, bestCoefs *[]float64, coefs []float64, sigma2, n float64, eligible bool, p int) {
+	if !eligible {
+		return
+	}
+	aic := n*math.Log(sigma2) + 2*float64(p)
+	if aic < *bestAIC {
+		*bestAIC = aic
+		*bestCoefs = append([]float64(nil), coefs...)
+	}
+}
+
+// rho0 indexes an ACF slice (lags 1..L) safely.
+func rho0(rho []float64, lag int) float64 {
+	if lag < 1 || lag > len(rho) {
+		return 0
+	}
+	return rho[lag-1]
+}
+
+// Order returns the fitted order.
+func (m *AR) Order() int { return len(m.coefs) }
+
+// Forecast iterates the AR recursion h steps ahead.
+func (m *AR) Forecast(h int) []float64 {
+	out := make([]float64, h)
+	if !m.fit {
+		return out
+	}
+	p := len(m.coefs)
+	hist := append([]float64(nil), m.hist...)
+	for i := 0; i < h; i++ {
+		var v float64
+		for k := 1; k <= p; k++ {
+			var prev float64
+			if len(hist) >= k {
+				prev = hist[len(hist)-k]
+			}
+			v += m.coefs[k-1] * (prev - m.mean)
+		}
+		v += m.mean
+		out[i] = v
+		hist = append(hist, v)
+	}
+	return out
+}
+
+// tailCopy returns the last k values (or fewer if xs is shorter).
+func tailCopy(xs []float64, k int) []float64 {
+	if k > len(xs) {
+		k = len(xs)
+	}
+	return append([]float64(nil), xs[len(xs)-k:]...)
+}

@@ -1,0 +1,106 @@
+package forecast
+
+import (
+	"errors"
+	"math"
+)
+
+// DHR is Dynamic Harmonic Regression [97, 44]: a linear regression of the
+// series on an intercept, a linear time term, and K Fourier harmonic pairs
+// of the seasonal period, with an AR model on the regression errors — the
+// paper's DHR-ARIMA configuration (EXP3) with the AR stand-in.
+type DHR struct {
+	// Period is the seasonal cycle length (required).
+	Period int
+	// K is the number of Fourier harmonic pairs (default min(6, Period/2)).
+	K int
+
+	beta  []float64 // intercept, slope, then cos/sin pairs
+	arErr *AR
+	n     int
+	fit   bool
+}
+
+// Name returns "DHR-AR".
+func (d *DHR) Name() string { return "DHR-AR" }
+
+// Fit solves the harmonic regression and fits the AR error model.
+func (d *DHR) Fit(xs []float64) error {
+	if d.Period < 2 {
+		return errors.New("forecast: DHR needs Period >= 2")
+	}
+	if len(xs) < 2*d.Period {
+		return ErrTooShort
+	}
+	k := d.K
+	if k <= 0 {
+		k = 6
+	}
+	if k > d.Period/2 {
+		k = d.Period / 2
+	}
+	if k < 1 {
+		k = 1
+	}
+	n := len(xs)
+	p := 2 + 2*k
+	X := make([][]float64, n)
+	for t := 0; t < n; t++ {
+		row := make([]float64, p)
+		row[0] = 1
+		row[1] = float64(t) / float64(n) // scaled trend term
+		for j := 1; j <= k; j++ {
+			ang := 2 * math.Pi * float64(j) * float64(t) / float64(d.Period)
+			row[2*j] = math.Cos(ang)
+			row[2*j+1] = math.Sin(ang)
+		}
+		X[t] = row
+	}
+	beta, err := OLS(X, xs)
+	if err != nil {
+		return err
+	}
+	d.beta = beta
+	d.K = k
+	d.n = n
+	// AR on the regression errors captures short-range dependence.
+	resid := make([]float64, n)
+	for t := 0; t < n; t++ {
+		resid[t] = xs[t] - d.regValue(t)
+	}
+	d.arErr = &AR{MaxOrder: 10}
+	if err := d.arErr.Fit(resid); err != nil {
+		d.arErr = nil // fall back to pure regression
+	}
+	d.fit = true
+	return nil
+}
+
+// regValue evaluates the fitted regression at absolute time t.
+func (d *DHR) regValue(t int) float64 {
+	v := d.beta[0] + d.beta[1]*float64(t)/float64(d.n)
+	for j := 1; j <= d.K; j++ {
+		ang := 2 * math.Pi * float64(j) * float64(t) / float64(d.Period)
+		v += d.beta[2*j]*math.Cos(ang) + d.beta[2*j+1]*math.Sin(ang)
+	}
+	return v
+}
+
+// Forecast extrapolates the regression and adds the AR error forecast.
+func (d *DHR) Forecast(h int) []float64 {
+	out := make([]float64, h)
+	if !d.fit {
+		return out
+	}
+	var errFC []float64
+	if d.arErr != nil {
+		errFC = d.arErr.Forecast(h)
+	}
+	for i := 0; i < h; i++ {
+		out[i] = d.regValue(d.n + i)
+		if errFC != nil {
+			out[i] += errFC[i]
+		}
+	}
+	return out
+}

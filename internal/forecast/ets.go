@@ -1,0 +1,156 @@
+package forecast
+
+import (
+	"errors"
+	"math"
+)
+
+// Forecaster is a univariate model that fits a training series and
+// extrapolates h steps beyond its end.
+type Forecaster interface {
+	// Name identifies the model in experiment output.
+	Name() string
+	// Fit trains on xs.
+	Fit(xs []float64) error
+	// Forecast returns h out-of-sample predictions. Fit must succeed first.
+	Forecast(h int) []float64
+}
+
+// ErrTooShort is returned when a series cannot support the model.
+var ErrTooShort = errors.New("forecast: series too short for model")
+
+// SES is simple exponential smoothing with grid-fitted alpha.
+type SES struct {
+	alpha float64
+	level float64
+	fit   bool
+}
+
+// Name returns "SES".
+func (s *SES) Name() string { return "SES" }
+
+// Fit selects alpha by one-step-ahead SSE over a small grid.
+func (s *SES) Fit(xs []float64) error {
+	if len(xs) < 2 {
+		return ErrTooShort
+	}
+	bestSSE := math.Inf(1)
+	for a := 0.05; a <= 0.95; a += 0.05 {
+		level := xs[0]
+		var sse float64
+		for _, x := range xs[1:] {
+			e := x - level
+			sse += e * e
+			level += a * e
+		}
+		if sse < bestSSE {
+			bestSSE = sse
+			s.alpha = a
+			s.level = level
+		}
+	}
+	s.fit = true
+	return nil
+}
+
+// Forecast returns the flat level h times.
+func (s *SES) Forecast(h int) []float64 {
+	out := make([]float64, h)
+	for i := range out {
+		out[i] = s.level
+	}
+	return out
+}
+
+// HoltWinters is additive triple exponential smoothing [15]: level, trend
+// and seasonal states with parameters fitted by one-step-ahead SSE over a
+// coarse grid — the model of the paper's EXP1.
+type HoltWinters struct {
+	// Period is the seasonal cycle length (required, >= 2).
+	Period int
+
+	alpha, beta, gamma float64
+	level, trend       float64
+	seasonal           []float64
+	n                  int // training length, for seasonal phase alignment
+	fit                bool
+}
+
+// Name returns "HoltWinters".
+func (hw *HoltWinters) Name() string { return "HoltWinters" }
+
+// Fit grid-searches (alpha, beta, gamma) and keeps the best final state.
+func (hw *HoltWinters) Fit(xs []float64) error {
+	m := hw.Period
+	if m < 2 {
+		return errors.New("forecast: HoltWinters needs Period >= 2")
+	}
+	if len(xs) < 2*m+2 {
+		return ErrTooShort
+	}
+	grid := []float64{0.05, 0.15, 0.3, 0.5, 0.7}
+	small := []float64{0.01, 0.05, 0.15, 0.3}
+	bestSSE := math.Inf(1)
+	for _, a := range grid {
+		for _, b := range small {
+			for _, g := range small {
+				sse, level, trend, seas := hwRun(xs, m, a, b, g)
+				if sse < bestSSE {
+					bestSSE = sse
+					hw.alpha, hw.beta, hw.gamma = a, b, g
+					hw.level, hw.trend = level, trend
+					hw.seasonal = seas
+				}
+			}
+		}
+	}
+	hw.n = len(xs)
+	hw.fit = true
+	return nil
+}
+
+// hwRun runs additive Holt-Winters once, returning the one-step SSE and the
+// final state.
+func hwRun(xs []float64, m int, a, b, g float64) (sse, level, trend float64, seasonal []float64) {
+	// Initial states: first-cycle mean level, mean cycle-to-cycle trend,
+	// first-cycle seasonal offsets.
+	var l0 float64
+	for _, x := range xs[:m] {
+		l0 += x
+	}
+	l0 /= float64(m)
+	var t0 float64
+	for i := 0; i < m; i++ {
+		t0 += (xs[m+i] - xs[i]) / float64(m)
+	}
+	t0 /= float64(m)
+	seasonal = make([]float64, m)
+	for i := 0; i < m; i++ {
+		seasonal[i] = xs[i] - l0
+	}
+	level, trend = l0, t0
+	for t := m; t < len(xs); t++ {
+		si := t % m
+		pred := level + trend + seasonal[si]
+		e := xs[t] - pred
+		sse += e * e
+		newLevel := level + trend + a*e
+		trend += b * a * e
+		seasonal[si] += g * e
+		level = newLevel
+	}
+	return sse, level, trend, seasonal
+}
+
+// Forecast extrapolates level+trend with the fitted seasonal pattern.
+func (hw *HoltWinters) Forecast(h int) []float64 {
+	out := make([]float64, h)
+	if !hw.fit {
+		return out
+	}
+	m := hw.Period
+	for i := 0; i < h; i++ {
+		out[i] = hw.level + float64(i+1)*hw.trend + hw.seasonal[(hw.n+i)%m]
+	}
+	return out
+}

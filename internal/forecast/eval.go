@@ -1,0 +1,46 @@
+package forecast
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Evaluation reports a compress-train-forecast experiment for one model:
+// the model is trained on (possibly reconstructed) data and its forecast is
+// scored against the raw held-out tail, exactly as the paper's EXP1-EXP3.
+type Evaluation struct {
+	Model   string
+	Horizon int
+	MSMAPE  float64
+	MSE     float64
+	MAPE    float64
+}
+
+// Evaluate trains the model on train and scores an h-step forecast against
+// actual (the raw future values; len(actual) >= h).
+func Evaluate(model Forecaster, train, actual []float64, h int) (*Evaluation, error) {
+	if len(actual) < h {
+		return nil, fmt.Errorf("forecast: need %d actuals, have %d", h, len(actual))
+	}
+	if err := model.Fit(train); err != nil {
+		return nil, fmt.Errorf("forecast: fitting %s: %w", model.Name(), err)
+	}
+	fc := model.Forecast(h)
+	truth := actual[:h]
+	return &Evaluation{
+		Model:   model.Name(),
+		Horizon: h,
+		MSMAPE:  stats.MSMAPE(truth, fc),
+		MSE:     stats.MSE(truth, fc),
+		MAPE:    stats.MAPE(truth, fc),
+	}, nil
+}
+
+// SplitTrainTest splits xs into a training prefix and an h-point test tail.
+func SplitTrainTest(xs []float64, h int) (train, test []float64, err error) {
+	if h <= 0 || h >= len(xs) {
+		return nil, nil, fmt.Errorf("forecast: horizon %d out of range for %d points", h, len(xs))
+	}
+	return xs[:len(xs)-h], xs[len(xs)-h:], nil
+}

@@ -1,0 +1,409 @@
+package forecast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func seasonalTrend(n, period int, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 20 + 0.01*float64(i) + 8*math.Sin(2*math.Pi*float64(i)/float64(period)) + noise*rng.NormFloat64()
+	}
+	return xs
+}
+
+func TestOLSExactFit(t *testing.T) {
+	// y = 3 + 2x, exactly recoverable.
+	X := [][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}}
+	y := []float64{3, 5, 7, 9}
+	b, err := OLS(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b[0]-3) > 1e-6 || math.Abs(b[1]-2) > 1e-6 {
+		t.Fatalf("beta = %v, want [3 2]", b)
+	}
+}
+
+func TestOLSValidation(t *testing.T) {
+	if _, err := OLS(nil, nil); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+	if _, err := OLS([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Fatal("expected error with fewer rows than columns")
+	}
+	if _, err := OLS([][]float64{{1}, {1, 2}}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error on ragged matrix")
+	}
+}
+
+func TestOLSCollinearRidged(t *testing.T) {
+	// Perfectly collinear columns: ridge keeps it solvable and finite.
+	X := [][]float64{{1, 2}, {2, 4}, {3, 6}, {4, 8}}
+	y := []float64{1, 2, 3, 4}
+	b, err := OLS(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range b {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite coefficient %v", v)
+		}
+	}
+}
+
+func TestLoessSmoothsNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 400
+	clean := make([]float64, n)
+	noisy := make([]float64, n)
+	for i := range clean {
+		clean[i] = math.Sin(float64(i) / 30)
+		noisy[i] = clean[i] + 0.3*rng.NormFloat64()
+	}
+	sm := Loess(noisy, 31)
+	if stats.RMSE(clean, sm) >= stats.RMSE(clean, noisy)*0.7 {
+		t.Fatalf("LOESS did not reduce noise: %v vs %v", stats.RMSE(clean, sm), stats.RMSE(clean, noisy))
+	}
+}
+
+func TestLoessPreservesLinear(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = 2 + 0.5*float64(i)
+	}
+	sm := Loess(xs, 21)
+	for i := range xs {
+		if math.Abs(sm[i]-xs[i]) > 1e-6 {
+			t.Fatalf("LOESS distorted a line at %d: %v vs %v", i, sm[i], xs[i])
+		}
+	}
+}
+
+func TestLoessEdgeCases(t *testing.T) {
+	if got := Loess(nil, 5); len(got) != 0 {
+		t.Fatal("empty input")
+	}
+	got := Loess([]float64{1, 2}, 99)
+	if len(got) != 2 {
+		t.Fatal("short input")
+	}
+}
+
+func TestSTLRecoversSeasonalAmplitude(t *testing.T) {
+	xs := seasonalTrend(600, 24, 0.3, 2)
+	dec := STL(xs, 24)
+	// Reconstruction identity.
+	for i := range xs {
+		sum := dec.Trend[i] + dec.Seasonal[i] + dec.Remainder[i]
+		if math.Abs(sum-xs[i]) > 1e-9 {
+			t.Fatalf("decomposition does not sum back at %d", i)
+		}
+	}
+	// Seasonal amplitude ~8.
+	if amp := stats.Max(dec.Seasonal) - stats.Min(dec.Seasonal); amp < 10 || amp > 22 {
+		t.Fatalf("seasonal amplitude = %v, want ~16", amp)
+	}
+	// Remainder should be small relative to the seasonal swing.
+	if stats.Std(dec.Remainder) > 1.5 {
+		t.Fatalf("remainder std = %v, want < 1.5", stats.Std(dec.Remainder))
+	}
+}
+
+func TestSTLShortSeriesTrendOnly(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	dec := STL(xs, 12)
+	for i := range xs {
+		if dec.Seasonal[i] != 0 {
+			t.Fatal("short series should have zero seasonal component")
+		}
+	}
+}
+
+func TestSeasonalStrengthOrdering(t *testing.T) {
+	strong := seasonalTrend(480, 24, 0.2, 3)
+	rng := rand.New(rand.NewSource(4))
+	weak := make([]float64, 480)
+	for i := range weak {
+		weak[i] = rng.NormFloat64()
+	}
+	ss, sw := SeasonalStrength(strong, 24), SeasonalStrength(weak, 24)
+	if ss <= sw {
+		t.Fatalf("seasonal strength ordering broken: strong %v <= weak %v", ss, sw)
+	}
+	if ss < 0.8 {
+		t.Fatalf("strongly seasonal series scored %v, want >= 0.8", ss)
+	}
+}
+
+func TestSESForecastsLevel(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = 5
+	}
+	var m SES
+	if err := m.Fit(xs); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range m.Forecast(3) {
+		if math.Abs(v-5) > 1e-9 {
+			t.Fatalf("SES forecast %v, want 5", v)
+		}
+	}
+}
+
+func TestSESTooShort(t *testing.T) {
+	var m SES
+	if err := m.Fit([]float64{1}); err != ErrTooShort {
+		t.Fatalf("expected ErrTooShort, got %v", err)
+	}
+}
+
+func TestHoltWintersBeatsSESOnSeasonalData(t *testing.T) {
+	xs := seasonalTrend(480, 24, 0.3, 5)
+	train, test, err := SplitTrainTest(xs, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := &HoltWinters{Period: 24}
+	evHW, err := Evaluate(hw, train, test, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evSES, err := Evaluate(&SES{}, train, test, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evHW.MSE >= evSES.MSE {
+		t.Fatalf("HW MSE %v >= SES MSE %v on seasonal data", evHW.MSE, evSES.MSE)
+	}
+}
+
+func TestHoltWintersPhaseAlignment(t *testing.T) {
+	// Pure sine, no noise: the forecast must continue the cycle in phase.
+	period := 12
+	n := 20*period + 5 // deliberately not a multiple of the period
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(2 * math.Pi * float64(i) / float64(period))
+	}
+	hw := &HoltWinters{Period: period}
+	if err := hw.Fit(xs); err != nil {
+		t.Fatal(err)
+	}
+	fc := hw.Forecast(period)
+	for i := 0; i < period; i++ {
+		want := math.Sin(2 * math.Pi * float64(n+i) / float64(period))
+		if math.Abs(fc[i]-want) > 0.25 {
+			t.Fatalf("phase misalignment at step %d: %v vs %v", i, fc[i], want)
+		}
+	}
+}
+
+func TestARRecoversAR1Coefficient(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 20000
+	xs := make([]float64, n)
+	for i := 1; i < n; i++ {
+		xs[i] = 0.8*xs[i-1] + rng.NormFloat64()
+	}
+	m := &AR{P: 1}
+	if err := m.Fit(xs); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.coefs[0]-0.8) > 0.05 {
+		t.Fatalf("phi = %v, want ~0.8", m.coefs[0])
+	}
+}
+
+func TestARAICSelectsReasonableOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 20000
+	xs := make([]float64, n)
+	for i := 2; i < n; i++ {
+		xs[i] = 0.5*xs[i-1] + 0.3*xs[i-2] + rng.NormFloat64()
+	}
+	m := &AR{}
+	if err := m.Fit(xs); err != nil {
+		t.Fatal(err)
+	}
+	if m.Order() < 2 || m.Order() > 6 {
+		t.Fatalf("AIC picked order %d for an AR(2) process", m.Order())
+	}
+}
+
+func TestARForecastDecaysToMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	xs := make([]float64, 5000)
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 10 + 0.6*(xs[i-1]-10) + rng.NormFloat64()
+	}
+	m := &AR{P: 1}
+	if err := m.Fit(xs); err != nil {
+		t.Fatal(err)
+	}
+	fc := m.Forecast(200)
+	if math.Abs(fc[199]-10) > 1 {
+		t.Fatalf("long-horizon AR forecast %v, want ~10 (mean reversion)", fc[199])
+	}
+}
+
+func TestARConstantSeries(t *testing.T) {
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = 3
+	}
+	m := &AR{}
+	if err := m.Fit(xs); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range m.Forecast(5) {
+		if math.Abs(v-3) > 1e-9 {
+			t.Fatalf("constant AR forecast %v, want 3", v)
+		}
+	}
+}
+
+func TestSTLForecasterBeatsInnerAloneOnSeasonal(t *testing.T) {
+	xs := seasonalTrend(600, 24, 0.4, 9)
+	train, test, _ := SplitTrainTest(xs, 24)
+	stlar := NewSTLAR(24)
+	evSTL, err := Evaluate(stlar, train, test, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evAR, err := Evaluate(&AR{MaxOrder: 5}, train, test, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evSTL.MSE >= evAR.MSE {
+		t.Fatalf("STL-AR MSE %v >= bare AR(<=5) MSE %v on seasonal data", evSTL.MSE, evAR.MSE)
+	}
+}
+
+func TestSTLForecasterNames(t *testing.T) {
+	if got := NewSTLETS(12).Name(); got != "STL-SES" {
+		t.Fatalf("Name = %q", got)
+	}
+	if got := NewSTLAR(12).Name(); got != "STL-AR" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestDHRTracksSeasonalCycle(t *testing.T) {
+	xs := seasonalTrend(720, 24, 0.3, 10)
+	train, test, _ := SplitTrainTest(xs, 24)
+	d := &DHR{Period: 24}
+	ev, err := Evaluate(d, train, test, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The seasonal swing is +-8; a model ignoring it has MSE ~32.
+	if ev.MSE > 8 {
+		t.Fatalf("DHR MSE = %v, want < 8", ev.MSE)
+	}
+}
+
+func TestDHRNeedsPeriod(t *testing.T) {
+	d := &DHR{}
+	if err := d.Fit(seasonalTrend(100, 10, 0.1, 11)); err == nil {
+		t.Fatal("expected error without Period")
+	}
+}
+
+func TestLSTMLearnsSine(t *testing.T) {
+	period := 20
+	n := 400
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(2 * math.Pi * float64(i) / float64(period))
+	}
+	m := &LSTM{Window: period, Hidden: 12, Epochs: 30, Seed: 3}
+	train, test, _ := SplitTrainTest(xs, period)
+	ev, err := Evaluate(m, train, test, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sine has variance 0.5; demand substantially better than predicting 0.
+	if ev.MSE > 0.2 {
+		t.Fatalf("LSTM MSE on sine = %v, want < 0.2", ev.MSE)
+	}
+}
+
+func TestLSTMDeterministicWithSeed(t *testing.T) {
+	xs := seasonalTrend(300, 24, 0.2, 12)
+	a := &LSTM{Window: 24, Hidden: 8, Epochs: 5, Seed: 7}
+	b := &LSTM{Window: 24, Hidden: 8, Epochs: 5, Seed: 7}
+	if err := a.Fit(xs); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(xs); err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := a.Forecast(10), b.Forecast(10)
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatal("LSTM training not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestLSTMTooShort(t *testing.T) {
+	m := &LSTM{Window: 24}
+	if err := m.Fit(make([]float64, 10)); err != ErrTooShort {
+		t.Fatalf("expected ErrTooShort, got %v", err)
+	}
+}
+
+func TestLSTMGradientCheck(t *testing.T) {
+	// Numerical gradient check on a tiny network: the analytic BPTT
+	// gradient must match central differences.
+	rng := rand.New(rand.NewSource(13))
+	p := newLSTMParams(3, rng)
+	ws := newLSTMWorkspace(4, 3)
+	window := []float64{0.5, -0.3, 0.8, 0.1}
+	target := 0.4
+	grad := make([]float64, p.flatLen())
+	p.backward(window, target, grad, ws)
+
+	eps := 1e-6
+	checkSlice := func(name string, w []float64, offset int) {
+		for _, idx := range []int{0, len(w) / 2, len(w) - 1} {
+			orig := w[idx]
+			w[idx] = orig + eps
+			yp := p.forward(window, ws)
+			lp := (yp - target) * (yp - target)
+			w[idx] = orig - eps
+			ym := p.forward(window, ws)
+			lm := (ym - target) * (ym - target)
+			w[idx] = orig
+			num := (lp - lm) / (2 * eps)
+			if math.Abs(num-grad[offset+idx]) > 1e-4*(1+math.Abs(num)) {
+				t.Fatalf("%s[%d]: numeric %v vs analytic %v", name, idx, num, grad[offset+idx])
+			}
+		}
+	}
+	H := 3
+	checkSlice("Wx", p.Wx, 0)
+	checkSlice("Wh", p.Wh, 4*H)
+	checkSlice("B", p.B, 4*H+4*H*H)
+	checkSlice("Wy", p.Wy, 8*H+4*H*H)
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	xs := seasonalTrend(100, 10, 0.1, 14)
+	if _, err := Evaluate(&SES{}, xs, xs[:2], 5); err == nil {
+		t.Fatal("expected error with insufficient actuals")
+	}
+	if _, _, err := SplitTrainTest(xs, 0); err == nil {
+		t.Fatal("expected error for zero horizon")
+	}
+	if _, _, err := SplitTrainTest(xs, 100); err == nil {
+		t.Fatal("expected error for horizon == length")
+	}
+}

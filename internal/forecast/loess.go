@@ -1,0 +1,269 @@
+package forecast
+
+import "math"
+
+// Loess smooths ys with locally-weighted linear regression (tricube kernel)
+// over a window of the given span (number of neighbours, >= 3). It returns
+// the fitted value at every index — the workhorse of the STL decomposition
+// [19].
+func Loess(ys []float64, span int) []float64 {
+	n := len(ys)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	if span < 3 {
+		span = 3
+	}
+	if span > n {
+		span = n
+	}
+	for i := 0; i < n; i++ {
+		lo := i - span/2
+		if lo < 0 {
+			lo = 0
+		}
+		hi := lo + span
+		if hi > n {
+			hi = n
+			lo = hi - span
+		}
+		out[i] = loessPoint(ys, lo, hi, i)
+	}
+	return out
+}
+
+// loessPoint fits a weighted linear regression over [lo, hi) and evaluates
+// it at t.
+func loessPoint(ys []float64, lo, hi, t int) float64 {
+	maxDist := math.Max(float64(t-lo), float64(hi-1-t))
+	if maxDist == 0 {
+		return ys[t]
+	}
+	var sw, swx, swy, swxx, swxy float64
+	for j := lo; j < hi; j++ {
+		d := math.Abs(float64(j-t)) / maxDist
+		w := tricube(d)
+		x := float64(j - t)
+		sw += w
+		swx += w * x
+		swy += w * ys[j]
+		swxx += w * x * x
+		swxy += w * x * ys[j]
+	}
+	den := sw*swxx - swx*swx
+	if math.Abs(den) < 1e-12*(sw*swxx+swx*swx+1e-300) {
+		if sw == 0 {
+			return ys[t]
+		}
+		return swy / sw // degenerate: weighted mean
+	}
+	// Evaluate at x = 0 (the centre point t).
+	intercept := (swy*swxx - swx*swxy) / den
+	return intercept
+}
+
+// tricube is the classic LOESS kernel (1 - d^3)^3 for d in [0, 1].
+func tricube(d float64) float64 {
+	if d >= 1 {
+		// Keep a tiny positive weight so windows with an extreme point at
+		// the boundary remain well-conditioned.
+		return 1e-6
+	}
+	u := 1 - d*d*d
+	return u * u * u
+}
+
+// STLResult holds an additive seasonal-trend decomposition:
+// data = Trend + Seasonal + Remainder.
+type STLResult struct {
+	Trend     []float64
+	Seasonal  []float64
+	Remainder []float64
+}
+
+// STL computes a simplified Seasonal-Trend decomposition using LOESS [19]:
+// cycle-subseries smoothing extracts the seasonal component, LOESS over the
+// deseasonalized series extracts the trend, iterated twice. period is the
+// seasonal cycle length; series shorter than two periods get a trend-only
+// decomposition.
+func STL(xs []float64, period int) *STLResult {
+	n := len(xs)
+	res := &STLResult{
+		Trend:     make([]float64, n),
+		Seasonal:  make([]float64, n),
+		Remainder: make([]float64, n),
+	}
+	if n == 0 {
+		return res
+	}
+	if period < 2 || n < 2*period {
+		copy(res.Trend, Loess(xs, max(3, n/4)))
+		for i := range xs {
+			res.Remainder[i] = xs[i] - res.Trend[i]
+		}
+		return res
+	}
+	trend := make([]float64, n)
+	seasonal := make([]float64, n)
+	detr := make([]float64, n)
+	deseas := make([]float64, n)
+	trendSpan := oddAtLeast(int(1.5*float64(period)) + 1)
+	for iter := 0; iter < 2; iter++ {
+		// 1. Detrend.
+		for i := range xs {
+			detr[i] = xs[i] - trend[i]
+		}
+		// 2. Cycle-subseries smooth -> raw seasonal.
+		cycleSubseriesSmooth(detr, seasonal, period)
+		// 3. Low-pass filter the raw seasonal and subtract it, so any trend
+		// leaking into the cycle subseries is pushed back to the trend
+		// component (the classic STL steps 3-4).
+		lp := movingAverage(seasonal, period)
+		lp = movingAverage(lp, period)
+		lp = movingAverage(lp, 3)
+		for i := range seasonal {
+			seasonal[i] -= lp[i]
+		}
+		centreSeasonal(seasonal, period)
+		// 4. Deseasonalize and smooth for trend.
+		for i := range xs {
+			deseas[i] = xs[i] - seasonal[i]
+		}
+		copy(trend, Loess(deseas, trendSpan))
+	}
+	copy(res.Trend, trend)
+	copy(res.Seasonal, seasonal)
+	for i := range xs {
+		res.Remainder[i] = xs[i] - trend[i] - seasonal[i]
+	}
+	return res
+}
+
+// cycleSubseriesSmooth smooths each phase's subseries with LOESS and writes
+// the result back in phase order.
+func cycleSubseriesSmooth(detr, seasonal []float64, period int) {
+	n := len(detr)
+	for phase := 0; phase < period; phase++ {
+		var sub []float64
+		for i := phase; i < n; i += period {
+			sub = append(sub, detr[i])
+		}
+		span := len(sub)/2 + 1
+		if span < 3 {
+			span = 3
+		}
+		sm := Loess(sub, span)
+		k := 0
+		for i := phase; i < n; i += period {
+			seasonal[i] = sm[k]
+			k++
+		}
+	}
+}
+
+// movingAverage returns the centred moving average of window w; edge
+// windows shrink to the available span.
+func movingAverage(xs []float64, w int) []float64 {
+	n := len(xs)
+	out := make([]float64, n)
+	if w < 1 {
+		w = 1
+	}
+	half := w / 2
+	for i := 0; i < n; i++ {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half + 1
+		if hi > n {
+			hi = n
+		}
+		var s float64
+		for j := lo; j < hi; j++ {
+			s += xs[j]
+		}
+		out[i] = s / float64(hi-lo)
+	}
+	return out
+}
+
+// centreSeasonal removes the mean of each full cycle so the seasonal
+// component sums to ~0 over a period.
+func centreSeasonal(seasonal []float64, period int) {
+	n := len(seasonal)
+	var mean float64
+	for _, v := range seasonal {
+		mean += v
+	}
+	mean /= float64(n)
+	for i := range seasonal {
+		seasonal[i] -= mean
+	}
+}
+
+// SeasonalStrength returns the STL-based seasonal strength of Wang, Smith
+// and Hyndman [91]: max(0, 1 - Var(remainder)/Var(seasonal+remainder)).
+func SeasonalStrength(xs []float64, period int) float64 {
+	dec := STL(xs, period)
+	return strengthOf(dec.Seasonal, dec.Remainder)
+}
+
+// TrendStrength is the analogous trend statistic:
+// max(0, 1 - Var(remainder)/Var(trend+remainder)).
+func TrendStrength(xs []float64, period int) float64 {
+	dec := STL(xs, period)
+	return strengthOf(dec.Trend, dec.Remainder)
+}
+
+func strengthOf(component, remainder []float64) float64 {
+	vr := variance(remainder)
+	sum := make([]float64, len(component))
+	for i := range sum {
+		sum[i] = component[i] + remainder[i]
+	}
+	vs := variance(sum)
+	if vs <= 0 {
+		return 0
+	}
+	s := 1 - vr/vs
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+func variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var m float64
+	for _, x := range xs {
+		m += x
+	}
+	m /= float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		d := x - m
+		v += d * d
+	}
+	return v / float64(len(xs))
+}
+
+func oddAtLeast(v int) int {
+	if v%2 == 0 {
+		v++
+	}
+	return v
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

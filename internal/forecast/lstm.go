@@ -1,0 +1,376 @@
+package forecast
+
+import (
+	"math"
+	"math/rand"
+)
+
+// LSTM is a compact single-layer LSTM forecaster [36] trained from scratch
+// with truncated backpropagation through time and Adam: sliding windows of
+// Window standardized values predict the next value; multi-step forecasts
+// iterate the one-step model. It is intentionally small — the paper's EXP2
+// and EXP3 only need a representative recurrent model whose accuracy
+// depends on the temporal structure the compressors preserve.
+type LSTM struct {
+	// Window is the input window length (default: 24).
+	Window int
+	// Hidden is the hidden state size (default: 16).
+	Hidden int
+	// Epochs is the number of training epochs (default: 40).
+	Epochs int
+	// LearningRate is Adam's step size (default: 0.01).
+	LearningRate float64
+	// Seed makes training deterministic (default: 1).
+	Seed int64
+
+	p        lstmParams
+	mean     float64
+	std      float64
+	histo    []float64 // last Window standardized values
+	zlo, zhi float64   // standardized training envelope (for clamping)
+	fitted   bool
+}
+
+// lstmParams holds the trainable parameters; gate order is [i, f, o, g].
+type lstmParams struct {
+	H  int
+	Wx []float64 // 4H x 1
+	Wh []float64 // 4H x H
+	B  []float64 // 4H
+	Wy []float64 // H
+	By float64
+}
+
+func newLSTMParams(h int, rng *rand.Rand) lstmParams {
+	p := lstmParams{
+		H:  h,
+		Wx: make([]float64, 4*h),
+		Wh: make([]float64, 4*h*h),
+		B:  make([]float64, 4*h),
+		Wy: make([]float64, h),
+	}
+	scale := 1 / math.Sqrt(float64(h))
+	for i := range p.Wx {
+		p.Wx[i] = rng.NormFloat64() * scale
+	}
+	for i := range p.Wh {
+		p.Wh[i] = rng.NormFloat64() * scale
+	}
+	for i := range p.Wy {
+		p.Wy[i] = rng.NormFloat64() * scale
+	}
+	// Positive forget-gate bias: the standard trick for gradient flow.
+	for j := h; j < 2*h; j++ {
+		p.B[j] = 1
+	}
+	return p
+}
+
+// vector returns all parameters as one flat slice view for the optimizer.
+func (p *lstmParams) flatLen() int { return len(p.Wx) + len(p.Wh) + len(p.B) + len(p.Wy) + 1 }
+
+// Name returns "LSTM".
+func (l *LSTM) Name() string { return "LSTM" }
+
+func (l *LSTM) defaults() {
+	if l.Window <= 0 {
+		l.Window = 24
+	}
+	if l.Hidden <= 0 {
+		l.Hidden = 16
+	}
+	if l.Epochs <= 0 {
+		l.Epochs = 40
+	}
+	if l.LearningRate <= 0 {
+		l.LearningRate = 0.01
+	}
+	if l.Seed == 0 {
+		l.Seed = 1
+	}
+}
+
+// Fit trains the network on all sliding windows of xs.
+func (l *LSTM) Fit(xs []float64) error {
+	l.defaults()
+	if len(xs) < l.Window+2 {
+		return ErrTooShort
+	}
+	// Standardize for stable optimization.
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var sd float64
+	for _, x := range xs {
+		d := x - mean
+		sd += d * d
+	}
+	sd = math.Sqrt(sd / float64(len(xs)))
+	if sd == 0 {
+		sd = 1
+	}
+	zs := make([]float64, len(xs))
+	for i, x := range xs {
+		zs[i] = (x - mean) / sd
+	}
+	l.mean, l.std = mean, sd
+
+	rng := rand.New(rand.NewSource(l.Seed))
+	l.p = newLSTMParams(l.Hidden, rng)
+	opt := newAdam(l.p.flatLen(), l.LearningRate)
+	grad := make([]float64, l.p.flatLen())
+
+	nSamples := len(zs) - l.Window
+	// Cap per-epoch samples so training time stays bounded on long series.
+	maxPerEpoch := 512
+	order := rng.Perm(nSamples)
+	ws := newLSTMWorkspace(l.Window, l.Hidden)
+	for epoch := 0; epoch < l.Epochs; epoch++ {
+		if epoch > 0 {
+			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		count := nSamples
+		if count > maxPerEpoch {
+			count = maxPerEpoch
+		}
+		for s := 0; s < count; s++ {
+			start := order[s]
+			window := zs[start : start+l.Window]
+			target := zs[start+l.Window]
+			for i := range grad {
+				grad[i] = 0
+			}
+			l.p.backward(window, target, grad, ws)
+			opt.step(&l.p, grad)
+		}
+	}
+	l.histo = append([]float64(nil), zs[len(zs)-l.Window:]...)
+	l.zlo, l.zhi = zs[0], zs[0]
+	for _, z := range zs {
+		if z < l.zlo {
+			l.zlo = z
+		}
+		if z > l.zhi {
+			l.zhi = z
+		}
+	}
+	l.fitted = true
+	return nil
+}
+
+// Forecast iterates one-step predictions h times.
+func (l *LSTM) Forecast(h int) []float64 {
+	out := make([]float64, h)
+	if !l.fitted {
+		return out
+	}
+	ws := newLSTMWorkspace(l.Window, l.Hidden)
+	hist := append([]float64(nil), l.histo...)
+	// Iterated one-step forecasting can diverge when the input distribution
+	// shifts (e.g. heavily compressed training data); clamp each prediction
+	// to the training envelope widened by half its span.
+	margin := (l.zhi - l.zlo) / 2
+	lo, hi := l.zlo-margin, l.zhi+margin
+	for i := 0; i < h; i++ {
+		y := l.p.forward(hist[len(hist)-l.Window:], ws)
+		if y < lo {
+			y = lo
+		} else if y > hi {
+			y = hi
+		}
+		out[i] = y*l.std + l.mean
+		hist = append(hist, y)
+	}
+	return out
+}
+
+// lstmWorkspace stores per-step activations for BPTT.
+type lstmWorkspace struct {
+	W, H                   int
+	hs, cs                 [][]float64 // h_t, c_t for t = 0..W (index 0 = initial zeros)
+	ig, fg, og, gg         [][]float64 // post-activation gates per step
+	dh, dc, dhNext, dcNext []float64
+}
+
+func newLSTMWorkspace(w, h int) *lstmWorkspace {
+	ws := &lstmWorkspace{W: w, H: h}
+	alloc := func() [][]float64 {
+		m := make([][]float64, w+1)
+		for i := range m {
+			m[i] = make([]float64, h)
+		}
+		return m
+	}
+	ws.hs, ws.cs = alloc(), alloc()
+	ws.ig, ws.fg, ws.og, ws.gg = alloc(), alloc(), alloc(), alloc()
+	ws.dh = make([]float64, h)
+	ws.dc = make([]float64, h)
+	ws.dhNext = make([]float64, h)
+	ws.dcNext = make([]float64, h)
+	return ws
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// forward runs the cell over the window and returns the scalar prediction.
+func (p *lstmParams) forward(window []float64, ws *lstmWorkspace) float64 {
+	H := p.H
+	for i := range ws.hs[0] {
+		ws.hs[0][i] = 0
+		ws.cs[0][i] = 0
+	}
+	for t, x := range window {
+		hPrev, cPrev := ws.hs[t], ws.cs[t]
+		hCur, cCur := ws.hs[t+1], ws.cs[t+1]
+		for j := 0; j < H; j++ {
+			zi := p.Wx[j]*x + p.B[j]
+			zf := p.Wx[H+j]*x + p.B[H+j]
+			zo := p.Wx[2*H+j]*x + p.B[2*H+j]
+			zg := p.Wx[3*H+j]*x + p.B[3*H+j]
+			rowI := j * H
+			rowF := (H + j) * H
+			rowO := (2*H + j) * H
+			rowG := (3*H + j) * H
+			for k := 0; k < H; k++ {
+				hk := hPrev[k]
+				zi += p.Wh[rowI+k] * hk
+				zf += p.Wh[rowF+k] * hk
+				zo += p.Wh[rowO+k] * hk
+				zg += p.Wh[rowG+k] * hk
+			}
+			i := sigmoid(zi)
+			f := sigmoid(zf)
+			o := sigmoid(zo)
+			g := math.Tanh(zg)
+			c := f*cPrev[j] + i*g
+			hCur[j] = o * math.Tanh(c)
+			cCur[j] = c
+			ws.ig[t+1][j], ws.fg[t+1][j], ws.og[t+1][j], ws.gg[t+1][j] = i, f, o, g
+		}
+	}
+	y := p.By
+	last := ws.hs[len(window)]
+	for j := 0; j < H; j++ {
+		y += p.Wy[j] * last[j]
+	}
+	return y
+}
+
+// backward accumulates the MSE-loss gradient for one sample into grad
+// (layout: Wx, Wh, B, Wy, By) and returns the loss.
+func (p *lstmParams) backward(window []float64, target float64, grad []float64, ws *lstmWorkspace) float64 {
+	H := p.H
+	W := len(window)
+	y := p.forward(window, ws)
+	diff := y - target
+	loss := diff * diff
+
+	gWx := grad[:4*H]
+	gWh := grad[4*H : 4*H+4*H*H]
+	gB := grad[4*H+4*H*H : 8*H+4*H*H]
+	gWy := grad[8*H+4*H*H : 9*H+4*H*H]
+
+	dy := 2 * diff
+	last := ws.hs[W]
+	for j := 0; j < H; j++ {
+		gWy[j] += dy * last[j]
+		ws.dhNext[j] = dy * p.Wy[j]
+		ws.dcNext[j] = 0
+	}
+	grad[len(grad)-1] += dy // By
+
+	for t := W; t >= 1; t-- {
+		x := window[t-1]
+		hPrev, cPrev := ws.hs[t-1], ws.cs[t-1]
+		copy(ws.dh, ws.dhNext)
+		copy(ws.dc, ws.dcNext)
+		for j := range ws.dhNext {
+			ws.dhNext[j] = 0
+			ws.dcNext[j] = 0
+		}
+		for j := 0; j < H; j++ {
+			i := ws.ig[t][j]
+			f := ws.fg[t][j]
+			o := ws.og[t][j]
+			g := ws.gg[t][j]
+			c := ws.cs[t][j]
+			tc := math.Tanh(c)
+			dh := ws.dh[j]
+			dc := ws.dc[j] + dh*o*(1-tc*tc)
+			do := dh * tc
+			di := dc * g
+			dg := dc * i
+			df := dc * cPrev[j]
+			// Pre-activation gradients.
+			dzi := di * i * (1 - i)
+			dzf := df * f * (1 - f)
+			dzo := do * o * (1 - o)
+			dzg := dg * (1 - g*g)
+			// Parameter gradients.
+			gWx[j] += dzi * x
+			gWx[H+j] += dzf * x
+			gWx[2*H+j] += dzo * x
+			gWx[3*H+j] += dzg * x
+			gB[j] += dzi
+			gB[H+j] += dzf
+			gB[2*H+j] += dzo
+			gB[3*H+j] += dzg
+			rowI := j * H
+			rowF := (H + j) * H
+			rowO := (2*H + j) * H
+			rowG := (3*H + j) * H
+			for k := 0; k < H; k++ {
+				hk := hPrev[k]
+				gWh[rowI+k] += dzi * hk
+				gWh[rowF+k] += dzf * hk
+				gWh[rowO+k] += dzo * hk
+				gWh[rowG+k] += dzg * hk
+				ws.dhNext[k] += dzi*p.Wh[rowI+k] + dzf*p.Wh[rowF+k] +
+					dzo*p.Wh[rowO+k] + dzg*p.Wh[rowG+k]
+			}
+			ws.dcNext[j] = dc * f
+		}
+	}
+	return loss
+}
+
+// adam is a standard Adam optimizer over the flattened parameter vector.
+type adam struct {
+	lr, b1, b2, eps float64
+	m, v            []float64
+	t               int
+}
+
+func newAdam(n int, lr float64) *adam {
+	return &adam{lr: lr, b1: 0.9, b2: 0.999, eps: 1e-8, m: make([]float64, n), v: make([]float64, n)}
+}
+
+// step applies one Adam update to the parameters given the gradient.
+func (a *adam) step(p *lstmParams, grad []float64) {
+	a.t++
+	bc1 := 1 - math.Pow(a.b1, float64(a.t))
+	bc2 := 1 - math.Pow(a.b2, float64(a.t))
+	idx := 0
+	update := func(w []float64) {
+		for i := range w {
+			g := grad[idx]
+			a.m[idx] = a.b1*a.m[idx] + (1-a.b1)*g
+			a.v[idx] = a.b2*a.v[idx] + (1-a.b2)*g*g
+			mhat := a.m[idx] / bc1
+			vhat := a.v[idx] / bc2
+			w[i] -= a.lr * mhat / (math.Sqrt(vhat) + a.eps)
+			idx++
+		}
+	}
+	update(p.Wx)
+	update(p.Wh)
+	update(p.B)
+	update(p.Wy)
+	// By is the final scalar.
+	g := grad[idx]
+	a.m[idx] = a.b1*a.m[idx] + (1-a.b1)*g
+	a.v[idx] = a.b2*a.v[idx] + (1-a.b2)*g*g
+	p.By -= a.lr * (a.m[idx] / bc1) / (math.Sqrt(a.v[idx]/bc2) + a.eps)
+}

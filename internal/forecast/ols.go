@@ -1,0 +1,97 @@
+// Package forecast implements the forecasting models the paper's
+// experiments (§5.8) train on compressed data: exponential smoothing
+// (SES/Holt/Holt-Winters), STL decomposition with LOESS, autoregressive
+// models fit by Yule-Walker (the ARIMA stand-in; see DESIGN.md
+// substitutions), dynamic harmonic regression, and a from-scratch LSTM.
+package forecast
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a least-squares system cannot be solved.
+var ErrSingular = errors.New("forecast: singular normal equations")
+
+// OLS solves min ||X b - y||^2 via the normal equations with partial-pivot
+// Gaussian elimination, adding a tiny ridge for numerical robustness.
+// X is row-major: len(y) rows, p columns.
+func OLS(X [][]float64, y []float64) ([]float64, error) {
+	n := len(X)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("forecast: OLS needs matching non-empty rows, got %d x, %d y", n, len(y))
+	}
+	p := len(X[0])
+	if p == 0 || n < p {
+		return nil, fmt.Errorf("forecast: OLS needs at least as many rows (%d) as columns (%d)", n, p)
+	}
+	// A = X'X + ridge, b = X'y.
+	A := make([][]float64, p)
+	for i := range A {
+		A[i] = make([]float64, p+1)
+	}
+	for r := 0; r < n; r++ {
+		row := X[r]
+		if len(row) != p {
+			return nil, fmt.Errorf("forecast: ragged design matrix at row %d", r)
+		}
+		for i := 0; i < p; i++ {
+			for j := i; j < p; j++ {
+				A[i][j] += row[i] * row[j]
+			}
+			A[i][p] += row[i] * y[r]
+		}
+	}
+	var scale float64
+	for i := 0; i < p; i++ {
+		for j := 0; j < i; j++ {
+			A[i][j] = A[j][i]
+		}
+		scale += A[i][i]
+	}
+	ridge := 1e-10 * (scale/float64(p) + 1)
+	for i := 0; i < p; i++ {
+		A[i][i] += ridge
+	}
+	return solveLinear(A)
+}
+
+// solveLinear solves the p x (p+1) augmented system in place.
+func solveLinear(A [][]float64) ([]float64, error) {
+	p := len(A)
+	for col := 0; col < p; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < p; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(A[piv][col]) < 1e-300 {
+			return nil, ErrSingular
+		}
+		A[col], A[piv] = A[piv], A[col]
+		inv := 1 / A[col][col]
+		for r := 0; r < p; r++ {
+			if r == col {
+				continue
+			}
+			f := A[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= p; c++ {
+				A[r][c] -= f * A[col][c]
+			}
+		}
+	}
+	out := make([]float64, p)
+	for i := 0; i < p; i++ {
+		out[i] = A[i][p] / A[i][i]
+		if math.IsNaN(out[i]) || math.IsInf(out[i], 0) {
+			return nil, ErrSingular
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package forecast
+
+import "errors"
+
+// STLForecaster implements the paper's STL-ETS and STL-ARIMA pipelines
+// [19, 44]: decompose the series with STL, forecast the seasonally adjusted
+// part (trend + remainder) with the inner model, and re-add the last
+// seasonal cycle.
+type STLForecaster struct {
+	// Period is the seasonal cycle length (required).
+	Period int
+	// Inner forecasts the seasonally adjusted series. Defaults to &AR{}
+	// (the ARIMA stand-in); use &SES{} or &HoltWinters{} for STL-ETS.
+	Inner Forecaster
+
+	seasonal []float64
+	n        int
+	fit      bool
+}
+
+// NewSTLETS builds the paper's STL-ETS configuration.
+func NewSTLETS(period int) *STLForecaster {
+	return &STLForecaster{Period: period, Inner: &SES{}}
+}
+
+// NewSTLAR builds the paper's STL-ARIMA configuration with the AR stand-in.
+func NewSTLAR(period int) *STLForecaster {
+	return &STLForecaster{Period: period, Inner: &AR{}}
+}
+
+// Name reports the composite model name.
+func (s *STLForecaster) Name() string {
+	inner := "AR"
+	if s.Inner != nil {
+		inner = s.Inner.Name()
+	}
+	return "STL-" + inner
+}
+
+// Fit decomposes and trains the inner model on the seasonally adjusted part.
+func (s *STLForecaster) Fit(xs []float64) error {
+	if s.Period < 2 {
+		return errors.New("forecast: STLForecaster needs Period >= 2")
+	}
+	if len(xs) < 2*s.Period {
+		return ErrTooShort
+	}
+	if s.Inner == nil {
+		s.Inner = &AR{}
+	}
+	dec := STL(xs, s.Period)
+	adjusted := make([]float64, len(xs))
+	for i := range xs {
+		adjusted[i] = dec.Trend[i] + dec.Remainder[i]
+	}
+	if err := s.Inner.Fit(adjusted); err != nil {
+		return err
+	}
+	s.seasonal = dec.Seasonal
+	s.n = len(xs)
+	s.fit = true
+	return nil
+}
+
+// Forecast adds the naively repeated last seasonal cycle to the inner
+// model's forecast.
+func (s *STLForecaster) Forecast(h int) []float64 {
+	out := s.Inner.Forecast(h)
+	if !s.fit {
+		return out
+	}
+	m := s.Period
+	// lastCycle[j] sits at absolute position n-m+j, which is congruent to
+	// n+j (mod m); forecast step i sits at n+i, so it reuses lastCycle[i%m].
+	lastCycle := s.seasonal[s.n-m:]
+	for i := 0; i < h; i++ {
+		out[i] += lastCycle[i%m]
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+// Package lossless implements the XOR-based lossless floating-point codecs
+// the paper benchmarks against in its bits-per-value analysis (Table 2):
+// Gorilla [76] and Chimp [62], over a shared bitstream layer.
+package lossless
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrShortStream is returned when a reader runs out of bits mid-value.
+var ErrShortStream = errors.New("lossless: bitstream exhausted")
+
+// BitWriter accumulates bits most-significant-first into a byte buffer.
+type BitWriter struct {
+	buf  []byte
+	cur  byte
+	free uint // free bits remaining in cur (8 = empty)
+	bits int  // total bits written
+}
+
+// NewBitWriter returns an empty writer.
+func NewBitWriter() *BitWriter { return &BitWriter{free: 8} }
+
+// WriteBit appends a single bit.
+func (w *BitWriter) WriteBit(b uint64) {
+	w.cur <<= 1
+	w.cur |= byte(b & 1)
+	w.free--
+	w.bits++
+	if w.free == 0 {
+		w.buf = append(w.buf, w.cur)
+		w.cur = 0
+		w.free = 8
+	}
+}
+
+// WriteBits appends the low nbits of v, most significant first.
+func (w *BitWriter) WriteBits(v uint64, nbits uint) {
+	for i := int(nbits) - 1; i >= 0; i-- {
+		w.WriteBit(v >> uint(i))
+	}
+}
+
+// Bits returns the number of bits written so far.
+func (w *BitWriter) Bits() int { return w.bits }
+
+// Bytes flushes the partial byte (zero-padded) and returns the buffer. The
+// writer remains usable; subsequent writes continue from the unpadded state.
+func (w *BitWriter) Bytes() []byte {
+	out := append([]byte(nil), w.buf...)
+	if w.free < 8 {
+		out = append(out, w.cur<<w.free)
+	}
+	return out
+}
+
+// BitReader consumes bits most-significant-first from a byte buffer.
+type BitReader struct {
+	data []byte
+	pos  int  // byte position
+	left uint // unread bits in data[pos] (8 = all)
+}
+
+// NewBitReader wraps data.
+func NewBitReader(data []byte) *BitReader { return &BitReader{data: data, left: 8} }
+
+// ReadBit returns the next bit.
+func (r *BitReader) ReadBit() (uint64, error) {
+	if r.pos >= len(r.data) {
+		return 0, ErrShortStream
+	}
+	r.left--
+	b := uint64(r.data[r.pos]>>r.left) & 1
+	if r.left == 0 {
+		r.pos++
+		r.left = 8
+	}
+	return b, nil
+}
+
+// ReadBits returns the next nbits as the low bits of a uint64.
+func (r *BitReader) ReadBits(nbits uint) (uint64, error) {
+	if nbits > 64 {
+		return 0, fmt.Errorf("lossless: cannot read %d bits at once", nbits)
+	}
+	var v uint64
+	for i := uint(0); i < nbits; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | b
+	}
+	return v, nil
+}
+
+// Encoded is a compressed representation of a float64 series.
+type Encoded struct {
+	// Method is "gorilla" or "chimp".
+	Method string
+	// N is the number of encoded values.
+	N int
+	// Bits is the exact number of payload bits (excludes byte padding);
+	// this is what the paper's Bits/value metric divides by N.
+	Bits int
+	// Data is the padded byte stream.
+	Data []byte
+}
+
+// BitsPerValue returns Bits / N (paper §5.1: Bits/v = Bits(X') / |X|).
+func (e *Encoded) BitsPerValue() float64 {
+	if e.N == 0 {
+		return 0
+	}
+	return float64(e.Bits) / float64(e.N)
+}
+
+// Decompress decodes the stream back to the original values.
+func (e *Encoded) Decompress() ([]float64, error) {
+	switch e.Method {
+	case "gorilla":
+		return gorillaDecode(e.Data, e.N)
+	case "chimp":
+		return chimpDecode(e.Data, e.N)
+	case "elf":
+		return elfDecode(e.Data, e.N)
+	default:
+		return nil, fmt.Errorf("lossless: unknown method %q", e.Method)
+	}
+}

@@ -1,0 +1,143 @@
+package lossless
+
+import (
+	"math"
+	"math/bits"
+)
+
+// chimpLeadingRound rounds a leading-zero count down to one of eight
+// representable values, as in the Chimp paper [62].
+var chimpLeadingRound = [65]int{}
+
+// chimpLeadingRep maps a rounded leading count to its 3-bit code.
+var chimpLeadingRep = map[int]uint64{0: 0, 8: 1, 12: 2, 16: 3, 18: 4, 20: 5, 22: 6, 24: 7}
+
+// chimpLeadingValue maps the 3-bit code back to the rounded count.
+var chimpLeadingValue = [8]int{0, 8, 12, 16, 18, 20, 22, 24}
+
+func init() {
+	thresholds := []int{0, 8, 12, 16, 18, 20, 22, 24}
+	for i := 0; i <= 64; i++ {
+		r := 0
+		for _, t := range thresholds {
+			if i >= t {
+				r = t
+			}
+		}
+		chimpLeadingRound[i] = r
+	}
+}
+
+// Chimp compresses values with the Chimp XOR scheme [62], which improves on
+// Gorilla for series without many repeating values: a 2-bit flag selects
+// between identical value (00), a trailing-zero-rich encoding that stores
+// only the center bits (01), and full-tail encodings that either reuse (10)
+// or replace (11) the 3-bit leading-zero class.
+func Chimp(xs []float64) *Encoded {
+	w := NewBitWriter()
+	var prev uint64
+	prevLeading := -1
+	for i, x := range xs {
+		cur := math.Float64bits(x)
+		if i == 0 {
+			w.WriteBits(cur, 64)
+			prev = cur
+			prevLeading = -1
+			continue
+		}
+		xor := prev ^ cur
+		prev = cur
+		if xor == 0 {
+			w.WriteBits(0b00, 2)
+			continue
+		}
+		leading := chimpLeadingRound[bits.LeadingZeros64(xor)]
+		trailing := bits.TrailingZeros64(xor)
+		if trailing > 6 {
+			// Flag 01: worth storing only the center bits.
+			w.WriteBits(0b01, 2)
+			w.WriteBits(chimpLeadingRep[leading], 3)
+			sig := 64 - leading - trailing
+			w.WriteBits(uint64(sig), 6)
+			w.WriteBits(xor>>uint(trailing), uint(sig))
+			prevLeading = leading
+		} else if leading == prevLeading {
+			// Flag 10: reuse the previous leading class, store the tail.
+			w.WriteBits(0b10, 2)
+			w.WriteBits(xor, uint(64-leading))
+		} else {
+			// Flag 11: new leading class, store the tail.
+			w.WriteBits(0b11, 2)
+			w.WriteBits(chimpLeadingRep[leading], 3)
+			w.WriteBits(xor, uint(64-leading))
+			prevLeading = leading
+		}
+	}
+	return &Encoded{Method: "chimp", N: len(xs), Bits: w.Bits(), Data: w.Bytes()}
+}
+
+// chimpDecode reverses Chimp.
+func chimpDecode(data []byte, n int) ([]float64, error) {
+	r := NewBitReader(data)
+	out := make([]float64, 0, n)
+	var prev uint64
+	prevLeading := -1
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			v, err := r.ReadBits(64)
+			if err != nil {
+				return nil, err
+			}
+			prev = v
+			out = append(out, math.Float64frombits(v))
+			continue
+		}
+		flag, err := r.ReadBits(2)
+		if err != nil {
+			return nil, err
+		}
+		var xor uint64
+		switch flag {
+		case 0b00:
+			// identical value
+		case 0b01:
+			code, err := r.ReadBits(3)
+			if err != nil {
+				return nil, err
+			}
+			leading := chimpLeadingValue[code]
+			sig, err := r.ReadBits(6)
+			if err != nil {
+				return nil, err
+			}
+			trailing := 64 - leading - int(sig)
+			v, err := r.ReadBits(uint(sig))
+			if err != nil {
+				return nil, err
+			}
+			xor = v << uint(trailing)
+			prevLeading = leading
+		case 0b10:
+			v, err := r.ReadBits(uint(64 - prevLeading))
+			if err != nil {
+				return nil, err
+			}
+			xor = v
+		default: // 0b11
+			code, err := r.ReadBits(3)
+			if err != nil {
+				return nil, err
+			}
+			leading := chimpLeadingValue[code]
+			v, err := r.ReadBits(uint(64 - leading))
+			if err != nil {
+				return nil, err
+			}
+			xor = v
+			prevLeading = leading
+		}
+		prev ^= xor
+		out = append(out, math.Float64frombits(prev))
+	}
+	return out, nil
+}

@@ -1,0 +1,153 @@
+package lossless
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestElfRoundtripSimple(t *testing.T) {
+	xs := []float64{1.5, 1.5, 20.25, -3.12, 0.001, 98.6, 0, 1e10, math.Pi}
+	enc := Elf(xs)
+	dec, err := enc.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if math.Float64bits(dec[i]) != math.Float64bits(xs[i]) {
+			t.Fatalf("value %d: %v != %v", i, dec[i], xs[i])
+		}
+	}
+}
+
+func TestElfRoundtripSpecials(t *testing.T) {
+	xs := []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, math.Copysign(0, -1), 5e-324, math.MaxFloat64}
+	dec, err := Elf(xs).Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if math.Float64bits(dec[i]) != math.Float64bits(xs[i]) {
+			t.Fatalf("special %d: %x != %x", i, math.Float64bits(dec[i]), math.Float64bits(xs[i]))
+		}
+	}
+}
+
+func TestElfBeatsGorillaOnDecimalData(t *testing.T) {
+	// Two-decimal sensor readings: the erase step should leave long
+	// trailing-zero runs and clearly beat both Gorilla and Chimp.
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 3000)
+	v := 50.0
+	for i := range xs {
+		v += rng.NormFloat64()
+		xs[i] = math.Round(v*100) / 100
+	}
+	e := Elf(xs).BitsPerValue()
+	g := Gorilla(xs).BitsPerValue()
+	c := Chimp(xs).BitsPerValue()
+	if e >= g || e >= c {
+		t.Fatalf("Elf %v bits/v should beat Gorilla %v and Chimp %v on decimal data", e, g, c)
+	}
+}
+
+func TestElfOverheadBoundedOnRandomBits(t *testing.T) {
+	// High-entropy mantissas cannot be erased; Elf must gracefully fall
+	// back to ~Gorilla plus one flag bit per value.
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	e := Elf(xs).BitsPerValue()
+	g := Gorilla(xs).BitsPerValue()
+	if e > g+2 {
+		t.Fatalf("Elf %v bits/v overhead vs Gorilla %v too large", e, g)
+	}
+	dec, err := Elf(xs).Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if dec[i] != xs[i] {
+			t.Fatalf("random-bits roundtrip broken at %d", i)
+		}
+	}
+}
+
+func TestElfDecodeGarbage(t *testing.T) {
+	if _, err := (&Encoded{Method: "elf", N: 5, Data: []byte{0xFF}}).Decompress(); err == nil {
+		t.Fatal("expected error for truncated elf stream")
+	}
+}
+
+func TestDecimalSignificand(t *testing.T) {
+	cases := map[string]int{
+		"1.5":     2,
+		"0.00123": 3,
+		"100":     3,
+		"9":       1,
+		"1.25e-7": 3,
+		"-42.5":   3,
+	}
+	for s, want := range cases {
+		if got := decimalSignificand(s); got != want {
+			t.Errorf("decimalSignificand(%q) = %d, want %d", s, got, want)
+		}
+	}
+}
+
+// Property: Elf roundtrips arbitrary bit patterns exactly (the verified
+// erase guarantees unconditional losslessness).
+func TestElfRoundtripProperty(t *testing.T) {
+	f := func(raw []uint64) bool {
+		xs := make([]float64, len(raw))
+		for i, u := range raw {
+			xs[i] = math.Float64frombits(u)
+		}
+		dec, err := Elf(xs).Decompress()
+		if err != nil || len(dec) != len(xs) {
+			return false
+		}
+		for i := range xs {
+			if math.Float64bits(dec[i]) != math.Float64bits(xs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on rounded-decimal random walks Elf stays lossless and at or
+// below Gorilla's size.
+func TestElfDecimalWalkProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(500)
+		prec := math.Pow(10, float64(1+rng.Intn(3)))
+		xs := make([]float64, n)
+		v := rng.NormFloat64() * 10
+		for i := range xs {
+			v += rng.NormFloat64()
+			xs[i] = math.Round(v*prec) / prec
+		}
+		enc := Elf(xs)
+		dec, err := enc.Decompress()
+		if err != nil {
+			return false
+		}
+		for i := range xs {
+			if dec[i] != xs[i] {
+				return false
+			}
+		}
+		return enc.BitsPerValue() <= Gorilla(xs).BitsPerValue()+2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package lossless
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Gorilla compresses values with Facebook Gorilla's XOR scheme [76]:
+// the first value is stored raw; each subsequent value XORs with its
+// predecessor and stores either nothing (identical), the meaningful bits
+// inside the previous leading/trailing-zero window ('10'), or a new window
+// ('11' + 5-bit leading count + 6-bit length + bits).
+func Gorilla(xs []float64) *Encoded {
+	w := NewBitWriter()
+	var prev uint64
+	prevLeading, prevTrailing := -1, -1 // -1: no valid window yet
+	for i, x := range xs {
+		cur := math.Float64bits(x)
+		if i == 0 {
+			w.WriteBits(cur, 64)
+			prev = cur
+			continue
+		}
+		xor := prev ^ cur
+		prev = cur
+		if xor == 0 {
+			w.WriteBit(0)
+			continue
+		}
+		w.WriteBit(1)
+		leading := bits.LeadingZeros64(xor)
+		trailing := bits.TrailingZeros64(xor)
+		if leading > 31 {
+			leading = 31 // the 5-bit field caps the stored leading count
+		}
+		if prevLeading >= 0 && leading >= prevLeading && trailing >= prevTrailing {
+			// Fits the previous window: control '0', then the window bits.
+			w.WriteBit(0)
+			sig := 64 - prevLeading - prevTrailing
+			w.WriteBits(xor>>uint(prevTrailing), uint(sig))
+		} else {
+			// New window: control '1', 5-bit leading, 6-bit (length-1), bits.
+			w.WriteBit(1)
+			sig := 64 - leading - trailing
+			w.WriteBits(uint64(leading), 5)
+			w.WriteBits(uint64(sig-1), 6)
+			w.WriteBits(xor>>uint(trailing), uint(sig))
+			prevLeading, prevTrailing = leading, trailing
+		}
+	}
+	return &Encoded{Method: "gorilla", N: len(xs), Bits: w.Bits(), Data: w.Bytes()}
+}
+
+// gorillaDecode reverses Gorilla.
+func gorillaDecode(data []byte, n int) ([]float64, error) {
+	r := NewBitReader(data)
+	out := make([]float64, 0, n)
+	var prev uint64
+	prevLeading, prevTrailing := -1, -1
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			v, err := r.ReadBits(64)
+			if err != nil {
+				return nil, err
+			}
+			prev = v
+			out = append(out, math.Float64frombits(v))
+			continue
+		}
+		b, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		if b == 0 {
+			out = append(out, math.Float64frombits(prev))
+			continue
+		}
+		ctl, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		var xor uint64
+		if ctl == 0 {
+			sig := 64 - prevLeading - prevTrailing
+			v, err := r.ReadBits(uint(sig))
+			if err != nil {
+				return nil, err
+			}
+			xor = v << uint(prevTrailing)
+		} else {
+			lead, err := r.ReadBits(5)
+			if err != nil {
+				return nil, err
+			}
+			sigM1, err := r.ReadBits(6)
+			if err != nil {
+				return nil, err
+			}
+			sig := int(sigM1) + 1
+			trail := 64 - int(lead) - sig
+			v, err := r.ReadBits(uint(sig))
+			if err != nil {
+				return nil, err
+			}
+			xor = v << uint(trail)
+			prevLeading, prevTrailing = int(lead), trail
+		}
+		prev ^= xor
+		out = append(out, math.Float64frombits(prev))
+	}
+	return out, nil
+}

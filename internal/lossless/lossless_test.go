@@ -1,0 +1,266 @@
+package lossless
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitWriterReaderRoundtrip(t *testing.T) {
+	w := NewBitWriter()
+	w.WriteBit(1)
+	w.WriteBits(0b1011, 4)
+	w.WriteBits(0xDEADBEEF, 32)
+	w.WriteBits(0x3FF, 10)
+	r := NewBitReader(w.Bytes())
+	if b, _ := r.ReadBit(); b != 1 {
+		t.Fatal("bit 1 mismatch")
+	}
+	if v, _ := r.ReadBits(4); v != 0b1011 {
+		t.Fatalf("4-bit value = %b", v)
+	}
+	if v, _ := r.ReadBits(32); v != 0xDEADBEEF {
+		t.Fatalf("32-bit value = %x", v)
+	}
+	if v, _ := r.ReadBits(10); v != 0x3FF {
+		t.Fatalf("10-bit value = %x", v)
+	}
+}
+
+func TestBitWriterBitsCount(t *testing.T) {
+	w := NewBitWriter()
+	w.WriteBits(0, 7)
+	if w.Bits() != 7 {
+		t.Fatalf("Bits = %d, want 7", w.Bits())
+	}
+	if len(w.Bytes()) != 1 {
+		t.Fatalf("Bytes len = %d, want 1 (padded)", len(w.Bytes()))
+	}
+}
+
+func TestBitReaderExhaustion(t *testing.T) {
+	r := NewBitReader([]byte{0xFF})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); err != ErrShortStream {
+		t.Fatalf("expected ErrShortStream, got %v", err)
+	}
+	if _, err := r.ReadBits(65); err == nil {
+		t.Fatal("expected error for >64-bit read")
+	}
+}
+
+func TestGorillaRoundtripSimple(t *testing.T) {
+	xs := []float64{1.0, 1.0, 2.5, 2.5, 2.5, -3.75, 0.0, 1e-300, 1e300, math.Pi}
+	enc := Gorilla(xs)
+	dec, err := enc.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(xs) {
+		t.Fatalf("len = %d", len(dec))
+	}
+	for i := range xs {
+		if xs[i] != dec[i] {
+			t.Fatalf("value %d: %v != %v", i, dec[i], xs[i])
+		}
+	}
+}
+
+func TestGorillaIdenticalValuesOneBitEach(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = 42.5
+	}
+	enc := Gorilla(xs)
+	// 64 bits for the first + 1 bit for each of the 99 repeats.
+	if enc.Bits != 64+99 {
+		t.Fatalf("Bits = %d, want %d", enc.Bits, 64+99)
+	}
+	if bpv := enc.BitsPerValue(); bpv > 2 {
+		t.Fatalf("Bits/value = %v, want < 2 for constant series", bpv)
+	}
+}
+
+func TestChimpRoundtripSimple(t *testing.T) {
+	xs := []float64{1.0, 1.0, 2.5, -2.5, 1e-10, 7.25, 7.25, math.E, -0.0, 55.1}
+	enc := Chimp(xs)
+	dec, err := enc.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if math.Float64bits(xs[i]) != math.Float64bits(dec[i]) {
+			t.Fatalf("value %d: %v != %v", i, dec[i], xs[i])
+		}
+	}
+}
+
+func TestChimpConstantSeriesTwoBitsEach(t *testing.T) {
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = -7.125
+	}
+	enc := Chimp(xs)
+	if enc.Bits != 64+49*2 {
+		t.Fatalf("Bits = %d, want %d", enc.Bits, 64+49*2)
+	}
+}
+
+func TestEncodedUnknownMethod(t *testing.T) {
+	e := &Encoded{Method: "nope", N: 1}
+	if _, err := e.Decompress(); err == nil {
+		t.Fatal("expected error for unknown method")
+	}
+}
+
+func TestEmptySeriesBothCodecs(t *testing.T) {
+	for _, enc := range []*Encoded{Gorilla(nil), Chimp(nil)} {
+		dec, err := enc.Decompress()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dec) != 0 {
+			t.Fatalf("decoded %d values from empty input", len(dec))
+		}
+		if enc.BitsPerValue() != 0 {
+			t.Fatalf("BitsPerValue of empty = %v", enc.BitsPerValue())
+		}
+	}
+}
+
+func TestSingleValueBothCodecs(t *testing.T) {
+	xs := []float64{math.Inf(1)}
+	for _, enc := range []*Encoded{Gorilla(xs), Chimp(xs)} {
+		dec, err := enc.Decompress()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dec) != 1 || !math.IsInf(dec[0], 1) {
+			t.Fatalf("decoded %v", dec)
+		}
+	}
+}
+
+func TestCodecsOnNaN(t *testing.T) {
+	xs := []float64{1.5, math.NaN(), 2.5}
+	for _, enc := range []*Encoded{Gorilla(xs), Chimp(xs)} {
+		dec, err := enc.Decompress()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !math.IsNaN(dec[1]) || dec[0] != 1.5 || dec[2] != 2.5 {
+			t.Fatalf("NaN roundtrip broken: %v", dec)
+		}
+	}
+}
+
+func TestGorillaSlowlyVaryingBeatsRaw(t *testing.T) {
+	// Slowly varying sensor-like values: XOR codecs should beat 64 bits/v.
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 2000)
+	v := 20.0
+	for i := range xs {
+		// Round to limit mantissa churn, as typical sensor data does.
+		v += math.Round(rng.NormFloat64()*4) / 4
+		xs[i] = v
+	}
+	g := Gorilla(xs)
+	c := Chimp(xs)
+	if g.BitsPerValue() >= 64 {
+		t.Fatalf("Gorilla Bits/v = %v, want < 64", g.BitsPerValue())
+	}
+	if c.BitsPerValue() >= 64 {
+		t.Fatalf("Chimp Bits/v = %v, want < 64", c.BitsPerValue())
+	}
+}
+
+// Property: both codecs roundtrip arbitrary bit patterns exactly.
+func TestCodecRoundtripProperty(t *testing.T) {
+	f := func(raw []uint64) bool {
+		xs := make([]float64, len(raw))
+		for i, u := range raw {
+			xs[i] = math.Float64frombits(u)
+		}
+		for _, enc := range []*Encoded{Gorilla(xs), Chimp(xs)} {
+			dec, err := enc.Decompress()
+			if err != nil || len(dec) != len(xs) {
+				return false
+			}
+			for i := range xs {
+				if math.Float64bits(xs[i]) != math.Float64bits(dec[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random-walk series (realistic sensor streams) roundtrip and
+// compress to at most ~70 bits/value (sanity ceiling).
+func TestCodecRandomWalkProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(500)
+		xs := make([]float64, n)
+		v := rng.NormFloat64() * 100
+		for i := range xs {
+			v += rng.NormFloat64()
+			xs[i] = v
+		}
+		for _, enc := range []*Encoded{Gorilla(xs), Chimp(xs)} {
+			dec, err := enc.Decompress()
+			if err != nil {
+				return false
+			}
+			for i := range xs {
+				if xs[i] != dec[i] {
+					return false
+				}
+			}
+			if enc.BitsPerValue() > 72 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGorillaCompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 10000)
+	v := 0.0
+	for i := range xs {
+		v += rng.NormFloat64()
+		xs[i] = v
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gorilla(xs)
+	}
+}
+
+func BenchmarkChimpCompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 10000)
+	v := 0.0
+	for i := range xs {
+		v += rng.NormFloat64()
+		xs[i] = v
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Chimp(xs)
+	}
+}

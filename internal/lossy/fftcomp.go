@@ -1,0 +1,86 @@
+package lossy
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/fft"
+)
+
+// FFTTopK compresses xs by keeping only the k highest-magnitude coefficients
+// of the half spectrum (DC through Nyquist; the other half is implied by
+// conjugate symmetry for real input) and zeroing the rest [20]. Each kept
+// coefficient stores (index, real, imaginary) = 3 scalars.
+func FFTTopK(xs []float64, k int) *Compressed {
+	n := len(xs)
+	if n == 0 {
+		return &Compressed{Method: "FFT", N: 0, Scalars: 0, decode: func() []float64 { return nil }}
+	}
+	coeffs := fft.ForwardReal(xs)
+	half := n/2 + 1
+	if k < 1 {
+		k = 1
+	}
+	if k > half {
+		k = half
+	}
+	idx := make([]int, half)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ma := real(coeffs[idx[a]])*real(coeffs[idx[a]]) + imag(coeffs[idx[a]])*imag(coeffs[idx[a]])
+		mb := real(coeffs[idx[b]])*real(coeffs[idx[b]]) + imag(coeffs[idx[b]])*imag(coeffs[idx[b]])
+		return ma > mb
+	})
+	type kept struct {
+		i int
+		c complex128
+	}
+	keep := make([]kept, k)
+	for j := 0; j < k; j++ {
+		keep[j] = kept{idx[j], coeffs[idx[j]]}
+	}
+	return &Compressed{
+		Method:  "FFT",
+		N:       n,
+		Scalars: 3 * k,
+		decode: func() []float64 {
+			full := make([]complex128, n)
+			for _, kc := range keep {
+				full[kc.i] = kc.c
+				// Mirror into the conjugate-symmetric half (skip DC and, for
+				// even n, the Nyquist bin, which are their own mirrors).
+				if kc.i != 0 && (n%2 != 0 || kc.i != n/2) {
+					full[n-kc.i] = complex(real(kc.c), -imag(kc.c))
+				}
+			}
+			return fft.InverseReal(full)
+		},
+	}
+}
+
+// FFTCompressor adapts FFTTopK to the knob-driven Compressor interface.
+type FFTCompressor struct{}
+
+// Name returns "FFT".
+func (FFTCompressor) Name() string { return "FFT" }
+
+// CompressParam maps the knob p in [0,1] to a kept-coefficient count:
+// p = 0 keeps the whole half spectrum, p = 1 keeps a single coefficient,
+// geometrically spaced in between.
+func (FFTCompressor) CompressParam(xs []float64, p float64) *Compressed {
+	n := len(xs)
+	half := n/2 + 1
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	k := int(math.Round(math.Pow(float64(half), 1-p)))
+	if k < 1 {
+		k = 1
+	}
+	return FFTTopK(xs, k)
+}

@@ -1,0 +1,252 @@
+package lossy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func seasonalSeries(n, period int, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 10 + 5*math.Sin(2*math.Pi*float64(i)/float64(period)) + noise*rng.NormFloat64()
+	}
+	return xs
+}
+
+func maxAbsErr(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestPMCPointwiseBound(t *testing.T) {
+	xs := seasonalSeries(500, 24, 1.0, 1)
+	for _, eb := range []float64{0.1, 0.5, 2.0} {
+		c := PMC(xs, eb)
+		recon := c.Decompress()
+		if got := maxAbsErr(xs, recon); got > eb+1e-12 {
+			t.Fatalf("PMC eb=%v: max error %v exceeds bound", eb, got)
+		}
+	}
+}
+
+func TestPMCConstantSeriesOneSegment(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = 5
+	}
+	c := PMC(xs, 0.1)
+	if c.Scalars != 2 {
+		t.Fatalf("constant PMC stored %d scalars, want 2", c.Scalars)
+	}
+	if c.CompressionRatio() != 50 {
+		t.Fatalf("CR = %v, want 50", c.CompressionRatio())
+	}
+}
+
+func TestPMCLargerBoundFewerSegments(t *testing.T) {
+	xs := seasonalSeries(500, 24, 0.5, 2)
+	small := PMC(xs, 0.05)
+	large := PMC(xs, 1.0)
+	if large.Scalars > small.Scalars {
+		t.Fatalf("larger bound produced more segments: %d > %d", large.Scalars, small.Scalars)
+	}
+}
+
+func TestSwingPointwiseBound(t *testing.T) {
+	xs := seasonalSeries(500, 24, 0.5, 3)
+	for _, eb := range []float64{0.1, 0.5, 2.0} {
+		c := Swing(xs, eb)
+		recon := c.Decompress()
+		if got := maxAbsErr(xs, recon); got > eb+1e-9 {
+			t.Fatalf("Swing eb=%v: max error %v exceeds bound", eb, got)
+		}
+	}
+}
+
+func TestSwingLinearSeriesOneSegment(t *testing.T) {
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 3 + 0.5*float64(i)
+	}
+	c := Swing(xs, 0.01)
+	if c.Scalars != 2 {
+		t.Fatalf("linear Swing stored %d scalars, want 2", c.Scalars)
+	}
+	if got := maxAbsErr(xs, c.Decompress()); got > 0.01 {
+		t.Fatalf("linear reconstruction error %v", got)
+	}
+}
+
+func TestSwingBeatsPMCOnLinearData(t *testing.T) {
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = float64(i) * 0.3
+	}
+	sw := Swing(xs, 0.5)
+	pm := PMC(xs, 0.5)
+	if sw.Scalars >= pm.Scalars {
+		t.Fatalf("Swing (%d scalars) should beat PMC (%d) on a ramp", sw.Scalars, pm.Scalars)
+	}
+}
+
+func TestSimPiecePointwiseBound(t *testing.T) {
+	xs := seasonalSeries(500, 24, 0.5, 4)
+	for _, eb := range []float64{0.1, 0.5, 2.0} {
+		c := SimPiece(xs, eb)
+		recon := c.Decompress()
+		if got := maxAbsErr(xs, recon); got > eb+1e-9 {
+			t.Fatalf("SimPiece eb=%v: max error %v exceeds bound", eb, got)
+		}
+	}
+}
+
+func TestSimPieceCoversAllPoints(t *testing.T) {
+	xs := seasonalSeries(97, 10, 0.8, 5) // odd length, noisy
+	c := SimPiece(xs, 0.3)
+	recon := c.Decompress()
+	if len(recon) != len(xs) {
+		t.Fatalf("recon length %d != %d", len(recon), len(xs))
+	}
+	if got := maxAbsErr(xs, recon); got > 0.3+1e-9 {
+		t.Fatalf("coverage gap: max error %v", got)
+	}
+}
+
+func TestSimPieceSharesSlopesAcrossSegments(t *testing.T) {
+	// Periodic data with repeating shapes should let Sim-Piece merge slope
+	// intervals and store fewer scalars than 2*#segments (Swing's cost).
+	xs := seasonalSeries(2000, 20, 0.05, 6)
+	eb := 0.2
+	sp := SimPiece(xs, eb)
+	sw := Swing(xs, eb)
+	if sp.Scalars >= 2*sw.Scalars {
+		t.Fatalf("Sim-Piece merging ineffective: SP=%d scalars vs SWING=%d", sp.Scalars, sw.Scalars)
+	}
+}
+
+func TestFFTTopKPerfectWithAllCoefficients(t *testing.T) {
+	xs := seasonalSeries(128, 16, 0.3, 7)
+	c := FFTTopK(xs, 65) // full half spectrum for n=128
+	if got := maxAbsErr(xs, c.Decompress()); got > 1e-9 {
+		t.Fatalf("full-spectrum FFT reconstruction error %v", got)
+	}
+}
+
+func TestFFTTopKSingleToneOneCoefficient(t *testing.T) {
+	n := 256
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Cos(2 * math.Pi * 8 * float64(i) / float64(n))
+	}
+	c := FFTTopK(xs, 2) // DC + the tone bin
+	if got := maxAbsErr(xs, c.Decompress()); got > 1e-9 {
+		t.Fatalf("single-tone reconstruction error %v", got)
+	}
+}
+
+func TestFFTTopKOddLength(t *testing.T) {
+	xs := seasonalSeries(101, 10, 0.2, 8)
+	c := FFTTopK(xs, 51)
+	if got := maxAbsErr(xs, c.Decompress()); got > 1e-9 {
+		t.Fatalf("odd-length full reconstruction error %v", got)
+	}
+}
+
+func TestFFTTopKEmpty(t *testing.T) {
+	c := FFTTopK(nil, 3)
+	if len(c.Decompress()) != 0 {
+		t.Fatal("empty input should decompress to empty")
+	}
+}
+
+func TestCompressedRatioAccounting(t *testing.T) {
+	xs := seasonalSeries(300, 20, 0.1, 9)
+	c := FFTTopK(xs, 10)
+	if c.Scalars != 30 {
+		t.Fatalf("FFT scalars = %d, want 30", c.Scalars)
+	}
+	if got := c.CompressionRatio(); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("CR = %v, want 10", got)
+	}
+}
+
+func TestSearchACFBoundFindsCompressiveSetting(t *testing.T) {
+	xs := seasonalSeries(1000, 48, 0.3, 10)
+	opt := BoundOptions{Lags: 48, Epsilon: 0.02, Measure: stats.MeasureMAE}
+	for _, c := range []Compressor{PMCCompressor{}, SwingCompressor{}, SimPieceCompressor{}, FFTCompressor{}} {
+		res := SearchACFBound(xs, c, opt)
+		if res == nil {
+			t.Fatalf("%s: no feasible parameter found", c.Name())
+		}
+		if res.Deviation > opt.Epsilon {
+			t.Fatalf("%s: deviation %v exceeds bound", c.Name(), res.Deviation)
+		}
+		if res.Compressed.CompressionRatio() <= 1 {
+			t.Fatalf("%s: CR %v <= 1", c.Name(), res.Compressed.CompressionRatio())
+		}
+	}
+}
+
+func TestSearchACFBoundMonotoneInEpsilon(t *testing.T) {
+	xs := seasonalSeries(800, 24, 0.5, 11)
+	tight := SearchACFBound(xs, SwingCompressor{}, BoundOptions{Lags: 24, Epsilon: 0.005, Measure: stats.MeasureMAE})
+	loose := SearchACFBound(xs, SwingCompressor{}, BoundOptions{Lags: 24, Epsilon: 0.1, Measure: stats.MeasureMAE})
+	if tight == nil || loose == nil {
+		t.Fatal("search failed")
+	}
+	if loose.Compressed.CompressionRatio() < tight.Compressed.CompressionRatio() {
+		t.Fatalf("looser bound compressed less: %v < %v",
+			loose.Compressed.CompressionRatio(), tight.Compressed.CompressionRatio())
+	}
+}
+
+func TestSearchRatioReachesTarget(t *testing.T) {
+	xs := seasonalSeries(1000, 48, 0.3, 12)
+	for _, target := range []float64{2, 5, 10} {
+		c := SearchRatio(xs, PMCCompressor{}, target, 0)
+		if c.CompressionRatio() < target {
+			t.Fatalf("target %v: CR %v", target, c.CompressionRatio())
+		}
+	}
+}
+
+func TestACFDeviationIdenticalIsZero(t *testing.T) {
+	xs := seasonalSeries(200, 20, 0.5, 13)
+	opt := BoundOptions{Lags: 20, Measure: stats.MeasureMAE}
+	if d := ACFDeviation(xs, xs, opt); d != 0 {
+		t.Fatalf("self deviation = %v", d)
+	}
+}
+
+// Property: the pointwise error bound holds for all three PLA methods on
+// random inputs and random bounds.
+func TestPLABoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(300)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 20
+		}
+		eb := 0.01 + rng.Float64()*5
+		for _, c := range []*Compressed{PMC(xs, eb), Swing(xs, eb), SimPiece(xs, eb)} {
+			if maxAbsErr(xs, c.Decompress()) > eb+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

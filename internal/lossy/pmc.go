@@ -1,0 +1,64 @@
+package lossy
+
+// PMCSegment is one constant segment of a PMC compression: all points in
+// [Start, Start+Length) are reconstructed as Value.
+type PMCSegment struct {
+	Start  int
+	Length int
+	Value  float64
+}
+
+// PMC implements Poor Man's Compression (midrange variant) [58]: the series
+// is greedily cut into maximal segments whose value spread fits within
+// 2*errBound; each segment stores a single constant (the midrange), which
+// guarantees a per-value reconstruction error of at most errBound.
+func PMC(xs []float64, errBound float64) *Compressed {
+	var segs []PMCSegment
+	n := len(xs)
+	i := 0
+	for i < n {
+		lo, hi := xs[i], xs[i]
+		j := i + 1
+		for j < n {
+			nl, nh := lo, hi
+			if xs[j] < nl {
+				nl = xs[j]
+			}
+			if xs[j] > nh {
+				nh = xs[j]
+			}
+			if nh-nl > 2*errBound {
+				break
+			}
+			lo, hi = nl, nh
+			j++
+		}
+		segs = append(segs, PMCSegment{Start: i, Length: j - i, Value: (lo + hi) / 2})
+		i = j
+	}
+	return &Compressed{
+		Method:  "PMC",
+		N:       n,
+		Scalars: 2 * len(segs), // value + length per segment
+		decode: func() []float64 {
+			out := make([]float64, n)
+			for _, s := range segs {
+				for t := s.Start; t < s.Start+s.Length; t++ {
+					out[t] = s.Value
+				}
+			}
+			return out
+		},
+	}
+}
+
+// PMCCompressor adapts PMC to the knob-driven Compressor interface.
+type PMCCompressor struct{}
+
+// Name returns "PMC".
+func (PMCCompressor) Name() string { return "PMC" }
+
+// CompressParam maps the knob to an error bound and compresses.
+func (PMCCompressor) CompressParam(xs []float64, p float64) *Compressed {
+	return PMC(xs, errBoundFromParam(xs, p))
+}

@@ -1,0 +1,136 @@
+package lossy
+
+import (
+	"math"
+	"sort"
+)
+
+// spSegment is a Sim-Piece segment before merging: a line anchored at the
+// epsilon-quantized intercept B covering [Start, Start+Length) with any
+// slope in [AMin, AMax] keeping all points within the error bound.
+type spSegment struct {
+	Start, Length int
+	B             float64
+	AMin, AMax    float64
+}
+
+// spEmitted is a merged Sim-Piece segment with its final shared slope.
+type spEmitted struct {
+	Start, Length int
+	B, A          float64
+}
+
+// SimPiece implements Sim-Piece [55]: piecewise-linear approximation whose
+// segments anchor at epsilon-quantized intercepts, grouped by intercept and
+// merged when their feasible slope intervals overlap, so merged segments
+// share a single slope. Guarantees per-value error <= errBound.
+func SimPiece(xs []float64, errBound float64) *Compressed {
+	n := len(xs)
+	var raw []spSegment
+	i := 0
+	for i < n {
+		b := quantize(xs[i], errBound)
+		if i == n-1 {
+			raw = append(raw, spSegment{Start: i, Length: 1, B: b})
+			break
+		}
+		aMin, aMax := math.Inf(-1), math.Inf(1)
+		j := i + 1
+		for j < n {
+			dt := float64(j - i)
+			nl := (xs[j] - errBound - b) / dt
+			nh := (xs[j] + errBound - b) / dt
+			if nl < aMin {
+				nl = aMin
+			}
+			if nh > aMax {
+				nh = aMax
+			}
+			if nl > nh {
+				break // point j collapses the cone; do not absorb its bounds
+			}
+			aMin, aMax = nl, nh
+			j++
+		}
+		raw = append(raw, spSegment{Start: i, Length: j - i, B: b, AMin: aMin, AMax: aMax})
+		i = j
+	}
+
+	// Group by intercept, sort by AMin, merge overlapping slope intervals:
+	// every segment in a merged run shares one slope (the intersection
+	// midpoint), which is what lets Sim-Piece store fewer slopes.
+	groups := make(map[float64][]spSegment)
+	for _, s := range raw {
+		groups[s.B] = append(groups[s.B], s)
+	}
+	var emitted []spEmitted
+	numGroups := 0
+	numSlopes := 0
+	for b, segs := range groups {
+		numGroups++
+		sort.Slice(segs, func(i, j int) bool { return segs[i].AMin < segs[j].AMin })
+		k := 0
+		for k < len(segs) {
+			lo, hi := segs[k].AMin, segs[k].AMax
+			run := []spSegment{segs[k]}
+			m := k + 1
+			for m < len(segs) && segs[m].AMin <= hi && segs[m].AMax >= lo {
+				if segs[m].AMax < hi {
+					hi = segs[m].AMax
+				}
+				if segs[m].AMin > lo {
+					lo = segs[m].AMin
+				}
+				run = append(run, segs[m])
+				m++
+			}
+			a := (lo + hi) / 2
+			if math.IsInf(a, 0) || math.IsNaN(a) {
+				a = 0 // single-point segments have an unconstrained cone
+			}
+			numSlopes++
+			for _, s := range run {
+				emitted = append(emitted, spEmitted{Start: s.Start, Length: s.Length, B: b, A: a})
+			}
+			k = m
+		}
+	}
+	sort.Slice(emitted, func(i, j int) bool { return emitted[i].Start < emitted[j].Start })
+
+	// Storage model (paper [55]): one intercept per group, one slope per
+	// merged run, one timestamp/length per segment.
+	scalars := numGroups + numSlopes + len(emitted)
+	return &Compressed{
+		Method:  "SP",
+		N:       n,
+		Scalars: scalars,
+		decode: func() []float64 {
+			out := make([]float64, n)
+			for _, s := range emitted {
+				for t := 0; t < s.Length; t++ {
+					out[s.Start+t] = s.B + s.A*float64(t)
+				}
+			}
+			return out
+		},
+	}
+}
+
+// quantize snaps v to the errBound grid (floor), keeping |v - q| < errBound.
+func quantize(v, errBound float64) float64 {
+	if errBound <= 0 {
+		return v
+	}
+	return math.Floor(v/errBound) * errBound
+}
+
+// SimPieceCompressor adapts Sim-Piece to the knob-driven interface.
+type SimPieceCompressor struct{}
+
+// Name returns "SP".
+func (SimPieceCompressor) Name() string { return "SP" }
+
+// CompressParam maps the knob to an error bound and compresses.
+func (SimPieceCompressor) CompressParam(xs []float64, p float64) *Compressed {
+	return SimPiece(xs, errBoundFromParam(xs, p))
+}

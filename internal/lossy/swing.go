@@ -1,0 +1,81 @@
+package lossy
+
+// SwingSegment is one linear segment of a Swing-filter compression:
+// points t in [Start, Start+Length) reconstruct as
+// StartValue + Slope * (t - Start).
+type SwingSegment struct {
+	Start      int
+	Length     int
+	StartValue float64
+	Slope      float64
+}
+
+// Swing implements the Swing filter [28]: an online piecewise-linear
+// approximation. Each segment anchors at its first point and maintains the
+// cone of slopes keeping every subsequent point within errBound; when the
+// cone collapses, the segment is emitted with the cone-midpoint slope and a
+// new segment starts at the violating point.
+func Swing(xs []float64, errBound float64) *Compressed {
+	n := len(xs)
+	var segs []SwingSegment
+	i := 0
+	for i < n {
+		if i == n-1 {
+			segs = append(segs, SwingSegment{Start: i, Length: 1, StartValue: xs[i]})
+			break
+		}
+		y0 := xs[i]
+		// Initialize the cone from the second point of the segment.
+		lo := (xs[i+1] - errBound - y0)
+		hi := (xs[i+1] + errBound - y0)
+		j := i + 2
+		for j < n {
+			dt := float64(j - i)
+			nl := (xs[j] - errBound - y0) / dt
+			nh := (xs[j] + errBound - y0) / dt
+			if nl < lo {
+				nl = lo
+			}
+			if nh > hi {
+				nh = hi
+			}
+			if nl > nh {
+				break // point j collapses the cone; do not absorb its bounds
+			}
+			lo, hi = nl, nh
+			j++
+		}
+		segs = append(segs, SwingSegment{
+			Start:      i,
+			Length:     j - i,
+			StartValue: y0,
+			Slope:      (lo + hi) / 2,
+		})
+		i = j
+	}
+	return &Compressed{
+		Method:  "SWING",
+		N:       n,
+		Scalars: 2 * len(segs), // (start value or slope) + length per segment
+		decode: func() []float64 {
+			out := make([]float64, n)
+			for _, s := range segs {
+				for t := 0; t < s.Length; t++ {
+					out[s.Start+t] = s.StartValue + s.Slope*float64(t)
+				}
+			}
+			return out
+		},
+	}
+}
+
+// SwingCompressor adapts Swing to the knob-driven Compressor interface.
+type SwingCompressor struct{}
+
+// Name returns "SWING".
+func (SwingCompressor) Name() string { return "SWING" }
+
+// CompressParam maps the knob to an error bound and compresses.
+func (SwingCompressor) CompressParam(xs []float64, p float64) *Compressed {
+	return Swing(xs, errBoundFromParam(xs, p))
+}

@@ -1,0 +1,128 @@
+// Package pheap provides an indexed binary min-heap over dense int32 point
+// ids keyed by float64 importance values. It supports Pop, Push, and Fix
+// (update-key) in O(log n) plus O(n) Floyd heapify — the operations CAMEO's
+// Algorithm 1 and the bottom-up line-simplification baselines need.
+package pheap
+
+// Heap is an indexed binary min-heap over point indices keyed by their
+// current ACF-impact estimate. It supports Pop, Push and Fix (update-key) in
+// O(log n), the operations Algorithm 1 needs (heapify via Floyd's method,
+// ReHeap via Fix).
+type Heap struct {
+	keys  []float64 // key per point index (only meaningful while in heap)
+	items []int32   // heap array of point indices
+	pos   []int32   // point index -> heap slot, -1 if absent
+}
+
+// New builds a heap over the given point indices and keys using
+// Floyd's bottom-up heapify in O(n).
+func New(n int, points []int32, keys []float64) *Heap {
+	h := &Heap{
+		keys:  keys,
+		items: append([]int32(nil), points...),
+		pos:   make([]int32, n),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	for slot, p := range h.items {
+		h.pos[p] = int32(slot)
+	}
+	for i := len(h.items)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+	return h
+}
+
+// Len returns the number of points currently in the heap.
+func (h *Heap) Len() int { return len(h.items) }
+
+// PeekKey returns the minimum key without removing it. Call only when
+// Len() > 0.
+func (h *Heap) PeekKey() float64 { return h.keys[h.items[0]] }
+
+// Pop removes and returns the point with the minimum key.
+func (h *Heap) Pop() (point int32, key float64) {
+	p := h.items[0]
+	k := h.keys[p]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.pos[h.items[0]] = 0
+	h.items = h.items[:last]
+	h.pos[p] = -1
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return p, k
+}
+
+// Push inserts a point with the given key. The point must not be in the heap.
+func (h *Heap) Push(p int32, key float64) {
+	h.keys[p] = key
+	h.items = append(h.items, p)
+	h.pos[p] = int32(len(h.items) - 1)
+	h.siftUp(len(h.items) - 1)
+}
+
+// Fix updates the key of a point already in the heap and restores heap
+// order. It is a no-op for points not in the heap (e.g. already removed).
+func (h *Heap) Fix(p int32, key float64) {
+	slot := h.pos[p]
+	if slot < 0 {
+		return
+	}
+	old := h.keys[p]
+	h.keys[p] = key
+	switch {
+	case key < old:
+		h.siftUp(int(slot))
+	case key > old:
+		h.siftDown(int(slot))
+	}
+}
+
+// Contains reports whether point p is currently in the heap.
+func (h *Heap) Contains(p int32) bool { return h.pos[p] >= 0 }
+
+// Key returns the current key of point p (meaningful only if Contains(p)).
+func (h *Heap) Key(p int32) float64 { return h.keys[p] }
+
+func (h *Heap) siftUp(i int) {
+	item := h.items[i]
+	key := h.keys[item]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.keys[h.items[parent]] <= key {
+			break
+		}
+		h.items[i] = h.items[parent]
+		h.pos[h.items[i]] = int32(i)
+		i = parent
+	}
+	h.items[i] = item
+	h.pos[item] = int32(i)
+}
+
+func (h *Heap) siftDown(i int) {
+	n := len(h.items)
+	item := h.items[i]
+	key := h.keys[item]
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		small := l
+		if r := l + 1; r < n && h.keys[h.items[r]] < h.keys[h.items[l]] {
+			small = r
+		}
+		if h.keys[h.items[small]] >= key {
+			break
+		}
+		h.items[i] = h.items[small]
+		h.pos[h.items[i]] = int32(i)
+		i = small
+	}
+	h.items[i] = item
+	h.pos[item] = int32(i)
+}

@@ -1,0 +1,139 @@
+package pheap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func buildHeap(keys []float64) *Heap {
+	n := len(keys)
+	pts := make([]int32, n)
+	ks := make([]float64, n)
+	for i := range pts {
+		pts[i] = int32(i)
+		ks[i] = keys[i]
+	}
+	return New(n, pts, ks)
+}
+
+func TestHeapPopsInOrder(t *testing.T) {
+	keys := []float64{5, 3, 8, 1, 9, 2, 7}
+	h := buildHeap(keys)
+	var got []float64
+	for h.Len() > 0 {
+		_, k := h.Pop()
+		got = append(got, k)
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("heap pops out of order: %v", got)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("popped %d items, want %d", len(got), len(keys))
+	}
+}
+
+func TestHeapFixDecrease(t *testing.T) {
+	h := buildHeap([]float64{5, 3, 8, 1})
+	h.Fix(2, 0.5) // 8 -> 0.5, should become the min
+	p, k := h.Pop()
+	if p != 2 || k != 0.5 {
+		t.Fatalf("Pop = (%d, %v), want (2, 0.5)", p, k)
+	}
+}
+
+func TestHeapFixIncrease(t *testing.T) {
+	h := buildHeap([]float64{5, 3, 8, 1})
+	h.Fix(3, 100) // 1 -> 100, min becomes 3 at point 1
+	p, k := h.Pop()
+	if p != 1 || k != 3 {
+		t.Fatalf("Pop = (%d, %v), want (1, 3)", p, k)
+	}
+}
+
+func TestHeapFixAbsentIsNoop(t *testing.T) {
+	h := buildHeap([]float64{2, 1})
+	p, _ := h.Pop()
+	h.Fix(p, -100) // already popped: must not corrupt the heap
+	q, k := h.Pop()
+	if q == p {
+		t.Fatal("popped the same point twice")
+	}
+	if k != 2 {
+		t.Fatalf("remaining key = %v, want 2", k)
+	}
+}
+
+func TestHeapPushAfterPop(t *testing.T) {
+	h := buildHeap([]float64{4, 6})
+	p, _ := h.Pop() // point 0, key 4
+	h.Push(p, 10)
+	if !h.Contains(p) {
+		t.Fatal("pushed point not contained")
+	}
+	q, k := h.Pop()
+	if q != 1 || k != 6 {
+		t.Fatalf("Pop = (%d, %v), want (1, 6)", q, k)
+	}
+	q, k = h.Pop()
+	if q != 0 || k != 10 {
+		t.Fatalf("Pop = (%d, %v), want (0, 10)", q, k)
+	}
+}
+
+func TestHeapPeekKey(t *testing.T) {
+	h := buildHeap([]float64{9, 2, 5})
+	if h.PeekKey() != 2 {
+		t.Fatalf("PeekKey = %v, want 2", h.PeekKey())
+	}
+	if h.Len() != 3 {
+		t.Fatalf("PeekKey must not remove (len=%d)", h.Len())
+	}
+}
+
+func TestHeapContainsAndKey(t *testing.T) {
+	h := buildHeap([]float64{1, 2})
+	if !h.Contains(0) || !h.Contains(1) {
+		t.Fatal("Contains false for present points")
+	}
+	if h.Key(1) != 2 {
+		t.Fatalf("Key(1) = %v", h.Key(1))
+	}
+	h.Pop()
+	if h.Contains(0) {
+		t.Fatal("Contains true after pop")
+	}
+}
+
+// Property: after any sequence of random Fix operations, pops come out in
+// non-decreasing key order and each point appears exactly once.
+func TestHeapRandomOperationsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		keys := make([]float64, n)
+		for i := range keys {
+			keys[i] = rng.Float64() * 100
+		}
+		h := buildHeap(keys)
+		for op := 0; op < 50; op++ {
+			p := int32(rng.Intn(n))
+			h.Fix(p, rng.Float64()*100)
+		}
+		seen := make(map[int32]bool)
+		prev := -1.0
+		for h.Len() > 0 {
+			p, k := h.Pop()
+			if seen[p] || k < prev {
+				return false
+			}
+			seen[p] = true
+			prev = k
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+package series
+
+import "math"
+
+// AggFunc identifies a tumbling-window aggregation function Agg_kappa
+// (paper Definition 2). Only additive / semi-additive functions are
+// supported so the CAMEO aggregates can be maintained incrementally.
+type AggFunc int
+
+// Supported aggregation functions.
+const (
+	AggMean AggFunc = iota
+	AggSum
+	AggMax
+	AggMin
+)
+
+// String returns the function's name.
+func (f AggFunc) String() string {
+	switch f {
+	case AggMean:
+		return "mean"
+	case AggSum:
+		return "sum"
+	case AggMax:
+		return "max"
+	case AggMin:
+		return "min"
+	default:
+		return "unknown"
+	}
+}
+
+// Apply reduces one window to its aggregate value.
+func (f AggFunc) Apply(window []float64) float64 {
+	if len(window) == 0 {
+		return math.NaN()
+	}
+	switch f {
+	case AggMean:
+		var s float64
+		for _, v := range window {
+			s += v
+		}
+		return s / float64(len(window))
+	case AggSum:
+		var s float64
+		for _, v := range window {
+			s += v
+		}
+		return s
+	case AggMax:
+		m := window[0]
+		for _, v := range window[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	case AggMin:
+		m := window[0]
+		for _, v := range window[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	default:
+		return math.NaN()
+	}
+}
+
+// Aggregate applies f over consecutive tumbling windows of kappa points
+// (paper Eq. 5: Agg_kappa(X) = [a_1 ... a_{n/kappa}]). A trailing partial
+// window is aggregated over its actual length.
+func Aggregate(xs []float64, kappa int, f AggFunc) []float64 {
+	if kappa <= 1 {
+		return append([]float64(nil), xs...)
+	}
+	nOut := (len(xs) + kappa - 1) / kappa
+	out := make([]float64, 0, nOut)
+	for i := 0; i < len(xs); i += kappa {
+		end := i + kappa
+		if end > len(xs) {
+			end = len(xs)
+		}
+		out = append(out, f.Apply(xs[i:end]))
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+package series
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Binary encoding of an Irregular series: a practical storage format that
+// beats the paper's 64-bits-per-retained-point accounting by delta-encoding
+// indices as uvarints and XOR-compressing values Gorilla-style.
+//
+// Layout:
+//
+//	magic "CAM1" | uvarint N | uvarint P (point count)
+//	P x uvarint index deltas (first delta from -1)
+//	XOR-compressed values (first raw, then per-value control bits)
+
+// encodeMagic identifies the format version.
+var encodeMagic = [4]byte{'C', 'A', 'M', '1'}
+
+// ErrBadEncoding is returned when decoding malformed bytes.
+var ErrBadEncoding = errors.New("series: malformed encoding")
+
+// Encode serializes the irregular series compactly.
+func (ir *Irregular) Encode() []byte {
+	buf := make([]byte, 0, 16+len(ir.Points)*6)
+	buf = append(buf, encodeMagic[:]...)
+	buf = binary.AppendUvarint(buf, uint64(ir.N))
+	buf = binary.AppendUvarint(buf, uint64(len(ir.Points)))
+	prev := -1
+	for _, p := range ir.Points {
+		buf = binary.AppendUvarint(buf, uint64(p.Index-prev))
+		prev = p.Index
+	}
+	buf = append(buf, encodeValues(ir.Points)...)
+	return buf
+}
+
+// encodeValues XOR-compresses the point values (Gorilla scheme, inlined to
+// keep package series dependency-free).
+func encodeValues(pts []Point) []byte {
+	w := bitAppender{}
+	var prev uint64
+	prevLead, prevTrail := -1, -1
+	for i, p := range pts {
+		cur := math.Float64bits(p.Value)
+		if i == 0 {
+			w.bits(cur, 64)
+			prev = cur
+			continue
+		}
+		xor := prev ^ cur
+		prev = cur
+		if xor == 0 {
+			w.bit(0)
+			continue
+		}
+		w.bit(1)
+		lead := bits.LeadingZeros64(xor)
+		trail := bits.TrailingZeros64(xor)
+		if lead > 31 {
+			lead = 31
+		}
+		if prevLead >= 0 && lead >= prevLead && trail >= prevTrail {
+			w.bit(0)
+			w.bits(xor>>uint(prevTrail), uint(64-prevLead-prevTrail))
+		} else {
+			w.bit(1)
+			sig := 64 - lead - trail
+			w.bits(uint64(lead), 5)
+			w.bits(uint64(sig-1), 6)
+			w.bits(xor>>uint(trail), uint(sig))
+			prevLead, prevTrail = lead, trail
+		}
+	}
+	return w.bytes()
+}
+
+// DecodeIrregular parses bytes produced by Encode.
+func DecodeIrregular(data []byte) (*Irregular, error) {
+	if len(data) < 6 || data[0] != 'C' || data[1] != 'A' || data[2] != 'M' || data[3] != '1' {
+		return nil, ErrBadEncoding
+	}
+	rest := data[4:]
+	n, k := binary.Uvarint(rest)
+	if k <= 0 {
+		return nil, ErrBadEncoding
+	}
+	rest = rest[k:]
+	cnt, k := binary.Uvarint(rest)
+	if k <= 0 {
+		return nil, ErrBadEncoding
+	}
+	rest = rest[k:]
+	if cnt > n+1 || n > math.MaxInt32 {
+		return nil, fmt.Errorf("series: implausible header (n=%d, points=%d): %w", n, cnt, ErrBadEncoding)
+	}
+	indices := make([]int, cnt)
+	prev := -1
+	for i := range indices {
+		d, k := binary.Uvarint(rest)
+		if k <= 0 {
+			return nil, ErrBadEncoding
+		}
+		rest = rest[k:]
+		prev += int(d)
+		indices[i] = prev
+	}
+	values, err := decodeValues(rest, int(cnt))
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]Point, cnt)
+	for i := range pts {
+		pts[i] = Point{Index: indices[i], Value: values[i]}
+	}
+	return NewIrregular(int(n), pts)
+}
+
+// decodeValues reverses encodeValues.
+func decodeValues(data []byte, cnt int) ([]float64, error) {
+	r := bitTaker{data: data, left: 8}
+	out := make([]float64, 0, cnt)
+	var prev uint64
+	prevLead, prevTrail := -1, -1
+	for i := 0; i < cnt; i++ {
+		if i == 0 {
+			v, err := r.bits(64)
+			if err != nil {
+				return nil, err
+			}
+			prev = v
+			out = append(out, math.Float64frombits(v))
+			continue
+		}
+		b, err := r.bits(1)
+		if err != nil {
+			return nil, err
+		}
+		if b == 0 {
+			out = append(out, math.Float64frombits(prev))
+			continue
+		}
+		ctl, err := r.bits(1)
+		if err != nil {
+			return nil, err
+		}
+		var xor uint64
+		if ctl == 0 {
+			if prevLead < 0 {
+				return nil, ErrBadEncoding
+			}
+			v, err := r.bits(uint(64 - prevLead - prevTrail))
+			if err != nil {
+				return nil, err
+			}
+			xor = v << uint(prevTrail)
+		} else {
+			lead, err := r.bits(5)
+			if err != nil {
+				return nil, err
+			}
+			sigM1, err := r.bits(6)
+			if err != nil {
+				return nil, err
+			}
+			sig := int(sigM1) + 1
+			trail := 64 - int(lead) - sig
+			if trail < 0 {
+				return nil, ErrBadEncoding
+			}
+			v, err := r.bits(uint(sig))
+			if err != nil {
+				return nil, err
+			}
+			xor = v << uint(trail)
+			prevLead, prevTrail = int(lead), trail
+		}
+		prev ^= xor
+		out = append(out, math.Float64frombits(prev))
+	}
+	return out, nil
+}
+
+// bitAppender is a minimal MSB-first bit writer.
+type bitAppender struct {
+	buf  []byte
+	cur  byte
+	free uint
+}
+
+func (w *bitAppender) bit(b uint64) {
+	if w.free == 0 {
+		w.free = 8
+	}
+	w.cur = w.cur<<1 | byte(b&1)
+	w.free--
+	if w.free == 0 {
+		w.buf = append(w.buf, w.cur)
+		w.cur = 0
+		w.free = 8
+	}
+}
+
+func (w *bitAppender) bits(v uint64, n uint) {
+	for i := int(n) - 1; i >= 0; i-- {
+		w.bit(v >> uint(i))
+	}
+}
+
+func (w *bitAppender) bytes() []byte {
+	out := w.buf
+	if w.free > 0 && w.free < 8 {
+		out = append(out, w.cur<<w.free)
+	}
+	return out
+}
+
+// bitTaker is the matching MSB-first bit reader.
+type bitTaker struct {
+	data []byte
+	pos  int
+	left uint
+}
+
+func (r *bitTaker) bits(n uint) (uint64, error) {
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		if r.pos >= len(r.data) {
+			return 0, ErrBadEncoding
+		}
+		r.left--
+		v = v<<1 | uint64(r.data[r.pos]>>r.left)&1
+		if r.left == 0 {
+			r.pos++
+			r.left = 8
+		}
+	}
+	return v, nil
+}

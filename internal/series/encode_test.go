@@ -1,0 +1,128 @@
+package series
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomIrregular(seed int64, maxN int) *Irregular {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(maxN)
+	var pts []Point
+	v := rng.NormFloat64() * 100
+	for i := 0; i < n; i++ {
+		if i == 0 || i == n-1 || rng.Float64() < 0.25 {
+			v += rng.NormFloat64()
+			pts = append(pts, Point{Index: i, Value: v})
+		}
+	}
+	return &Irregular{N: n, Points: pts}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	ir := randomIrregular(1, 500)
+	data := ir.Encode()
+	back, err := DecodeIrregular(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != ir.N || len(back.Points) != len(ir.Points) {
+		t.Fatalf("header mismatch: N %d/%d, points %d/%d", back.N, ir.N, len(back.Points), len(ir.Points))
+	}
+	for i := range ir.Points {
+		if back.Points[i] != ir.Points[i] {
+			t.Fatalf("point %d: %+v != %+v", i, back.Points[i], ir.Points[i])
+		}
+	}
+}
+
+func TestEncodeEmptySeries(t *testing.T) {
+	ir := &Irregular{N: 0}
+	back, err := DecodeIrregular(ir.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != 0 || back.Len() != 0 {
+		t.Fatalf("empty roundtrip: %+v", back)
+	}
+}
+
+func TestEncodeBeatsNaiveStorage(t *testing.T) {
+	// Smooth sensor values: the XOR value coding plus varint deltas should
+	// use far fewer than 64 bits (value) + 64 bits (index) per point.
+	rng := rand.New(rand.NewSource(2))
+	var pts []Point
+	v := 20.0
+	for i := 0; i < 4000; i += 4 {
+		v += math.Round(rng.NormFloat64()*4) / 4
+		pts = append(pts, Point{Index: i, Value: v})
+	}
+	ir := &Irregular{N: 4000, Points: pts}
+	naive := len(pts) * 16 // 8 bytes value + 8 bytes index
+	if got := len(ir.Encode()); got >= naive {
+		t.Fatalf("encoding %d bytes >= naive %d", got, naive)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		[]byte("CAM2xxxxxx"),
+		[]byte("CAM1"),               // truncated header
+		append([]byte("CAM1"), 0xFF), // bad varint
+	}
+	for i, c := range cases {
+		if _, err := DecodeIrregular(c); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncatedValues(t *testing.T) {
+	ir := randomIrregular(3, 200)
+	data := ir.Encode()
+	if _, err := DecodeIrregular(data[:len(data)-2]); err == nil {
+		t.Fatal("expected error for truncated stream")
+	}
+}
+
+func TestDecodeRejectsImplausibleHeader(t *testing.T) {
+	// Claim more points than the series length.
+	buf := append([]byte("CAM1"), 5) // n = 5
+	buf = append(buf, 200)           // 200 points > n+1
+	if _, err := DecodeIrregular(buf); err == nil {
+		t.Fatal("expected implausible-header error")
+	}
+}
+
+// Property: encode/decode roundtrips arbitrary irregular series exactly,
+// including special float values.
+func TestEncodeRoundtripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		ir := randomIrregular(seed, 300)
+		// Inject special values at retained points.
+		if len(ir.Points) > 2 {
+			ir.Points[1].Value = math.Inf(-1)
+		}
+		back, err := DecodeIrregular(ir.Encode())
+		if err != nil {
+			return false
+		}
+		if back.N != ir.N || len(back.Points) != len(ir.Points) {
+			return false
+		}
+		for i := range ir.Points {
+			a, b := ir.Points[i], back.Points[i]
+			if a.Index != b.Index || math.Float64bits(a.Value) != math.Float64bits(b.Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,37 @@
+package series
+
+import "testing"
+
+// FuzzDecodeIrregular hammers the binary decoder with arbitrary bytes: it
+// must reject or parse, never panic, and every accepted parse must be a
+// valid irregular series that re-encodes.
+func FuzzDecodeIrregular(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("CAM1"))
+	f.Add((&Irregular{N: 0}).Encode())
+	f.Add((&Irregular{N: 5, Points: []Point{{0, 1.5}, {4, -2}}}).Encode())
+	f.Add((&Irregular{N: 100, Points: []Point{{0, 0}, {50, 3.25}, {99, 7}}}).Encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ir, err := DecodeIrregular(data)
+		if err != nil {
+			return
+		}
+		// Accepted parses must satisfy the container invariants.
+		for i := 1; i < len(ir.Points); i++ {
+			if ir.Points[i].Index <= ir.Points[i-1].Index {
+				t.Fatalf("decoded non-increasing indices at %d", i)
+			}
+		}
+		if len(ir.Points) > 0 && ir.Points[len(ir.Points)-1].Index >= ir.N {
+			t.Fatal("decoded index out of range")
+		}
+		// And round-trip through Encode again.
+		back, err := DecodeIrregular(ir.Encode())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.N != ir.N || len(back.Points) != len(ir.Points) {
+			t.Fatal("re-encode changed shape")
+		}
+	})
+}

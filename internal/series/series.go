@@ -1,0 +1,151 @@
+// Package series provides the time-series containers shared by the CAMEO
+// core and every baseline: dense regular series, irregular (index, value)
+// point sets produced by line-simplification compressors, and the linear
+// interpolation used for decompression (paper §4.1).
+package series
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrUnsorted is returned when an irregular series' indices are not strictly
+// increasing.
+var ErrUnsorted = errors.New("series: point indices must be strictly increasing")
+
+// Point is one retained sample of an irregular series: the position in the
+// original regular series and its value.
+type Point struct {
+	Index int
+	Value float64
+}
+
+// Irregular is the compressed representation produced by line-simplification
+// methods: a strictly increasing subset of the original points.
+type Irregular struct {
+	N      int     // length of the original series
+	Points []Point // retained points, strictly increasing Index
+}
+
+// NewIrregular validates and wraps a retained point set.
+func NewIrregular(n int, pts []Point) (*Irregular, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("series: negative length %d", n)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Index <= pts[i-1].Index {
+			return nil, ErrUnsorted
+		}
+	}
+	if len(pts) > 0 && (pts[0].Index < 0 || pts[len(pts)-1].Index >= n) {
+		return nil, fmt.Errorf("series: point index out of range [0,%d)", n)
+	}
+	return &Irregular{N: n, Points: pts}, nil
+}
+
+// Len returns the number of retained points.
+func (ir *Irregular) Len() int { return len(ir.Points) }
+
+// CompressionRatio returns n / retained (paper §2.1). A series compressed to
+// zero points reports +Inf semantics via a very large value; callers should
+// avoid zero-point series (the algorithms always keep the endpoints).
+func (ir *Irregular) CompressionRatio() float64 {
+	if len(ir.Points) == 0 {
+		return float64(ir.N)
+	}
+	return float64(ir.N) / float64(len(ir.Points))
+}
+
+// Values returns just the retained values in order.
+func (ir *Irregular) Values() []float64 {
+	out := make([]float64, len(ir.Points))
+	for i, p := range ir.Points {
+		out[i] = p.Value
+	}
+	return out
+}
+
+// Indices returns just the retained indices in order.
+func (ir *Irregular) Indices() []int {
+	out := make([]int, len(ir.Points))
+	for i, p := range ir.Points {
+		out[i] = p.Index
+	}
+	return out
+}
+
+// ValueAt evaluates the linearly interpolated reconstruction at index t
+// without materializing the full series. Indices outside the retained span
+// are extrapolated by holding the nearest endpoint.
+func (ir *Irregular) ValueAt(t int) float64 {
+	pts := ir.Points
+	if len(pts) == 0 {
+		return 0
+	}
+	if t <= pts[0].Index {
+		return pts[0].Value
+	}
+	if t >= pts[len(pts)-1].Index {
+		return pts[len(pts)-1].Value
+	}
+	// Binary search for the segment containing t.
+	j := sort.Search(len(pts), func(i int) bool { return pts[i].Index >= t })
+	if pts[j].Index == t {
+		return pts[j].Value
+	}
+	return Lerp(pts[j-1].Index, pts[j-1].Value, pts[j].Index, pts[j].Value, t)
+}
+
+// Decompress reconstructs the full regular series by linear interpolation
+// between consecutive retained points — the paper's decompression strategy
+// (§4.1). The result has length ir.N.
+func (ir *Irregular) Decompress() []float64 {
+	out := make([]float64, ir.N)
+	pts := ir.Points
+	if ir.N == 0 {
+		return out
+	}
+	if len(pts) == 0 {
+		return out
+	}
+	// Hold the first value before the first retained index.
+	for t := 0; t < pts[0].Index; t++ {
+		out[t] = pts[0].Value
+	}
+	for s := 0; s+1 < len(pts); s++ {
+		a, b := pts[s], pts[s+1]
+		out[a.Index] = a.Value
+		span := float64(b.Index - a.Index)
+		slope := (b.Value - a.Value) / span
+		for t := a.Index + 1; t < b.Index; t++ {
+			out[t] = a.Value + slope*float64(t-a.Index)
+		}
+	}
+	last := pts[len(pts)-1]
+	for t := last.Index; t < ir.N; t++ {
+		out[t] = last.Value
+	}
+	return out
+}
+
+// Lerp linearly interpolates the value at t on the segment
+// (x0, y0) -> (x1, y1). x0 must differ from x1.
+func Lerp(x0 int, y0 float64, x1 int, y1 float64, t int) float64 {
+	return y0 + (y1-y0)*float64(t-x0)/float64(x1-x0)
+}
+
+// Clone returns a deep copy of the irregular series.
+func (ir *Irregular) Clone() *Irregular {
+	return &Irregular{N: ir.N, Points: append([]Point(nil), ir.Points...)}
+}
+
+// FromDense builds the trivial (uncompressed) irregular representation of a
+// dense series: every point retained.
+func FromDense(xs []float64) *Irregular {
+	pts := make([]Point, len(xs))
+	for i, v := range xs {
+		pts[i] = Point{Index: i, Value: v}
+	}
+	return &Irregular{N: len(xs), Points: pts}
+}

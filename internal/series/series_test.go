@@ -1,0 +1,247 @@
+package series
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIrregularValidates(t *testing.T) {
+	if _, err := NewIrregular(5, []Point{{0, 1}, {0, 2}}); err == nil {
+		t.Fatal("expected error on duplicate indices")
+	}
+	if _, err := NewIrregular(5, []Point{{2, 1}, {1, 2}}); err == nil {
+		t.Fatal("expected error on decreasing indices")
+	}
+	if _, err := NewIrregular(5, []Point{{-1, 1}}); err == nil {
+		t.Fatal("expected error on negative index")
+	}
+	if _, err := NewIrregular(5, []Point{{5, 1}}); err == nil {
+		t.Fatal("expected error on index == n")
+	}
+	if _, err := NewIrregular(-1, nil); err == nil {
+		t.Fatal("expected error on negative n")
+	}
+	ir, err := NewIrregular(5, []Point{{0, 1}, {4, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.Len() != 2 {
+		t.Fatalf("Len = %d", ir.Len())
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	ir := &Irregular{N: 100, Points: []Point{{0, 0}, {50, 1}, {99, 2}}}
+	want := 100.0 / 3.0
+	if got := ir.CompressionRatio(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CR = %v, want %v", got, want)
+	}
+}
+
+func TestDecompressEndpointsAndMidpoint(t *testing.T) {
+	ir := &Irregular{N: 5, Points: []Point{{0, 0}, {4, 8}}}
+	got := ir.Decompress()
+	want := []float64{0, 2, 4, 6, 8}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("Decompress[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDecompressHoldsBeyondEnds(t *testing.T) {
+	ir := &Irregular{N: 6, Points: []Point{{2, 5}, {3, 7}}}
+	got := ir.Decompress()
+	want := []float64{5, 5, 5, 7, 7, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Decompress[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestValueAtMatchesDecompress(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 200
+	var pts []Point
+	for i := 0; i < n; i++ {
+		if i == 0 || i == n-1 || rng.Float64() < 0.2 {
+			pts = append(pts, Point{i, rng.NormFloat64() * 10})
+		}
+	}
+	ir := &Irregular{N: n, Points: pts}
+	dense := ir.Decompress()
+	for t2 := 0; t2 < n; t2++ {
+		if math.Abs(ir.ValueAt(t2)-dense[t2]) > 1e-9 {
+			t.Fatalf("ValueAt(%d) = %v, Decompress = %v", t2, ir.ValueAt(t2), dense[t2])
+		}
+	}
+}
+
+func TestValueAtEmpty(t *testing.T) {
+	ir := &Irregular{N: 3}
+	if got := ir.ValueAt(1); got != 0 {
+		t.Fatalf("ValueAt on empty = %v", got)
+	}
+}
+
+func TestDecompressZeroLength(t *testing.T) {
+	ir := &Irregular{N: 0}
+	if got := ir.Decompress(); len(got) != 0 {
+		t.Fatalf("Decompress len = %d", len(got))
+	}
+}
+
+func TestFromDenseRoundtrip(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	ir := FromDense(xs)
+	got := ir.Decompress()
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Fatalf("roundtrip[%d] = %v, want %v", i, got[i], xs[i])
+		}
+	}
+	if ir.CompressionRatio() != 1 {
+		t.Fatalf("CR of identity = %v", ir.CompressionRatio())
+	}
+}
+
+func TestValuesIndices(t *testing.T) {
+	ir := &Irregular{N: 10, Points: []Point{{1, 1.5}, {4, -2}, {9, 3}}}
+	v := ir.Values()
+	idx := ir.Indices()
+	if len(v) != 3 || v[1] != -2 || idx[2] != 9 {
+		t.Fatalf("Values/Indices wrong: %v %v", v, idx)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	ir := &Irregular{N: 3, Points: []Point{{0, 1}, {2, 2}}}
+	c := ir.Clone()
+	c.Points[0].Value = 99
+	if ir.Points[0].Value == 99 {
+		t.Fatal("Clone shares backing array")
+	}
+}
+
+func TestLerp(t *testing.T) {
+	if got := Lerp(0, 0, 10, 100, 3); got != 30 {
+		t.Fatalf("Lerp = %v, want 30", got)
+	}
+	if got := Lerp(5, 2, 7, 4, 6); got != 3 {
+		t.Fatalf("Lerp = %v, want 3", got)
+	}
+}
+
+// Property: decompression preserves every retained point exactly.
+func TestDecompressPreservesRetainedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(300)
+		pts := []Point{{0, rng.NormFloat64()}}
+		for i := 1; i < n-1; i++ {
+			if rng.Float64() < 0.3 {
+				pts = append(pts, Point{i, rng.NormFloat64()})
+			}
+		}
+		pts = append(pts, Point{n - 1, rng.NormFloat64()})
+		ir := &Irregular{N: n, Points: pts}
+		dense := ir.Decompress()
+		for _, p := range pts {
+			if dense[p.Index] != p.Value {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interpolated values lie within the convex hull of the two
+// surrounding retained values.
+func TestInterpolationBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(100)
+		pts := []Point{{0, rng.NormFloat64() * 5}, {n - 1, rng.NormFloat64() * 5}}
+		ir := &Irregular{N: n, Points: pts}
+		lo := math.Min(pts[0].Value, pts[1].Value)
+		hi := math.Max(pts[0].Value, pts[1].Value)
+		for t2 := 0; t2 < n; t2++ {
+			v := ir.ValueAt(t2)
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregateMean(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	got := Aggregate(xs, 2, AggMean)
+	want := []float64{1.5, 3.5, 5.5}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("agg[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAggregatePartialWindow(t *testing.T) {
+	xs := []float64{2, 4, 6, 8, 10}
+	got := Aggregate(xs, 2, AggSum)
+	want := []float64{6, 14, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("agg[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAggregateMaxMin(t *testing.T) {
+	xs := []float64{1, 5, 2, -3}
+	if got := Aggregate(xs, 2, AggMax); got[0] != 5 || got[1] != 2 {
+		t.Fatalf("max agg = %v", got)
+	}
+	if got := Aggregate(xs, 2, AggMin); got[0] != 1 || got[1] != -3 {
+		t.Fatalf("min agg = %v", got)
+	}
+}
+
+func TestAggregateKappaOneIsCopy(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	got := Aggregate(xs, 1, AggMean)
+	if &got[0] == &xs[0] {
+		t.Fatal("Aggregate should copy for kappa <= 1")
+	}
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Fatalf("copy mismatch at %d", i)
+		}
+	}
+}
+
+func TestAggFuncStringAndEmptyWindow(t *testing.T) {
+	for f, want := range map[AggFunc]string{AggMean: "mean", AggSum: "sum", AggMax: "max", AggMin: "min", AggFunc(9): "unknown"} {
+		if got := f.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+	if got := AggMean.Apply(nil); !math.IsNaN(got) {
+		t.Fatalf("Apply(nil) = %v, want NaN", got)
+	}
+	if got := AggFunc(9).Apply([]float64{1}); !math.IsNaN(got) {
+		t.Fatalf("unknown Apply = %v, want NaN", got)
+	}
+}

@@ -1,0 +1,207 @@
+package simplify
+
+import (
+	"math"
+
+	"repro/internal/pheap"
+	"repro/internal/series"
+)
+
+// VW runs the Visvalingam-Whyatt algorithm [90] adapted to the ACF
+// constraint: points are ranked by the area of the triangle they form with
+// their alive neighbours and removed smallest-first; a removal that would
+// push the ACF deviation past the bound is skipped permanently.
+func VW(xs []float64, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	return bottomUpRun(xs, opt, nil, vwArea)
+}
+
+// TPVariant selects the Turning Points evaluation function [83].
+type TPVariant int
+
+// Turning Points evaluation functions.
+const (
+	// TPSum ranks turning points by the sum of absolute value differences
+	// to their alive neighbours (TPs in the paper's figures).
+	TPSum TPVariant = iota
+	// TPMae ranks turning points by the mean absolute reconstruction error
+	// their removal would introduce over the gap (TPm).
+	TPMae
+)
+
+// TurningPoints runs the Turning Points algorithm [83] adapted to the ACF
+// constraint. Its initial phase removes every non-turning point outright;
+// if that alone exceeds the bound the method cannot satisfy the constraint
+// and ErrBoundExceeded is returned alongside the attempted result (the
+// paper observes exactly this failure on Pedestrian and SolarPower).
+func TurningPoints(xs []float64, v TPVariant, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	keep := turningPointMask(xs)
+	imp := tpSumImportance
+	if v == TPMae {
+		imp = tpMaeImportance
+	}
+	return bottomUpRun(xs, opt, keep, imp)
+}
+
+// turningPointMask returns keep[i] == true for endpoints and points where
+// the series changes direction (paper §2.2).
+func turningPointMask(xs []float64) []bool {
+	n := len(xs)
+	keep := make([]bool, n)
+	if n == 0 {
+		return keep
+	}
+	keep[0] = true
+	keep[n-1] = true
+	for i := 1; i < n-1; i++ {
+		dl := xs[i] - xs[i-1]
+		dr := xs[i+1] - xs[i]
+		if (dl > 0 && dr < 0) || (dl < 0 && dr > 0) {
+			keep[i] = true
+		}
+	}
+	return keep
+}
+
+// bottomUpState carries the shared state of a bottom-up removal run.
+type bottomUpState struct {
+	xs          []float64
+	c           *constraint
+	left, right []int32
+	removed     []bool
+	buf         []float64
+}
+
+// importanceFunc ranks a candidate for removal (smaller = removed earlier).
+type importanceFunc func(s *bottomUpState, p int32) float64
+
+// vwArea is the Visvalingam-Whyatt triangle area over alive neighbours.
+func vwArea(s *bottomUpState, p int32) float64 {
+	l, r := s.left[p], s.right[p]
+	// 2*area of triangle ((l,x_l), (p,x_p), (r,x_r)).
+	a := s.xs[l]*float64(p-r) + s.xs[p]*float64(r-l) + s.xs[r]*float64(l-p)
+	return math.Abs(a) / 2
+}
+
+// tpSumImportance is the TPs evaluation: sum of absolute value differences.
+func tpSumImportance(s *bottomUpState, p int32) float64 {
+	l, r := s.left[p], s.right[p]
+	return math.Abs(s.xs[p]-s.xs[l]) + math.Abs(s.xs[p]-s.xs[r])
+}
+
+// tpMaeImportance is the TPm evaluation: mean absolute error the removal
+// would introduce over the re-interpolated gap.
+func tpMaeImportance(s *bottomUpState, p int32) float64 {
+	l, r := s.left[p], s.right[p]
+	_, d := s.c.gapDeltas(int(l), int(r), s.buf)
+	var sum float64
+	for _, v := range d {
+		sum += math.Abs(v)
+	}
+	if len(d) == 0 {
+		return 0
+	}
+	return sum / float64(len(d))
+}
+
+// bottomUpRun is the generic constrained bottom-up removal driver. keepMask,
+// when non-nil, marks points that survive the method's initial phase
+// (Turning Points); all other interior points are removed outright first.
+func bottomUpRun(xs []float64, opt Options, keepMask []bool, imp importanceFunc) (*Result, error) {
+	n := len(xs)
+	if n <= 2 {
+		return &Result{Compressed: series.FromDense(xs)}, nil
+	}
+	s := &bottomUpState{
+		xs:      xs,
+		c:       newConstraint(xs, xs, opt),
+		left:    make([]int32, n),
+		right:   make([]int32, n),
+		removed: make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		s.left[i] = int32(i - 1)
+		s.right[i] = int32(i + 1)
+	}
+	aliveCnt := n
+
+	// Initial phase (Turning Points): drop every interior non-turning point.
+	if keepMask != nil {
+		for i := 1; i < n-1; i++ {
+			if keepMask[i] {
+				continue
+			}
+			l, r := s.left[i], s.right[i]
+			start, d := s.c.gapDeltas(int(l), int(r), s.buf)
+			dev := s.c.hypothetical(start, d)
+			s.c.commit(start, d, dev)
+			s.right[l] = int32(r)
+			s.left[r] = int32(l)
+			s.removed[i] = true
+			aliveCnt--
+		}
+		if opt.TargetRatio == 0 && s.c.dev > opt.Epsilon {
+			return resultFrom(s, xs), ErrBoundExceeded
+		}
+	}
+
+	// Rank the remaining interior candidates.
+	var points []int32
+	keys := make([]float64, n)
+	for i := 1; i < n-1; i++ {
+		if s.removed[i] {
+			continue
+		}
+		p := int32(i)
+		points = append(points, p)
+		keys[p] = imp(s, p)
+	}
+	h := pheap.New(n, points, keys)
+
+	for h.Len() > 0 {
+		if opt.TargetRatio > 0 && float64(n) >= opt.TargetRatio*float64(aliveCnt) {
+			break
+		}
+		p, _ := h.Pop()
+		l, r := s.left[p], s.right[p]
+		start, d := s.c.gapDeltas(int(l), int(r), s.buf)
+		dev := s.c.hypothetical(start, d)
+		if opt.TargetRatio == 0 && dev > opt.Epsilon {
+			// This removal would break the bound: skip it permanently and
+			// try the next-ranked candidate.
+			continue
+		}
+		s.c.commit(start, d, dev)
+		s.right[l] = r
+		s.left[r] = l
+		s.removed[p] = true
+		aliveCnt--
+		// Only the two adjacent points' geometry changed.
+		if l > 0 && h.Contains(l) {
+			h.Fix(l, imp(s, l))
+		}
+		if int(r) < n-1 && h.Contains(r) {
+			h.Fix(r, imp(s, r))
+		}
+	}
+	return resultFrom(s, xs), nil
+}
+
+// resultFrom snapshots the retained points of a bottom-up run.
+func resultFrom(s *bottomUpState, xs []float64) *Result {
+	pts := make([]series.Point, 0, 16)
+	for i := range xs {
+		if !s.removed[i] {
+			pts = append(pts, series.Point{Index: i, Value: xs[i]})
+		}
+	}
+	return &Result{
+		Compressed: &series.Irregular{N: len(xs), Points: pts},
+		Deviation:  s.c.dev,
+	}
+}

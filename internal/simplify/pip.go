@@ -1,0 +1,152 @@
+package simplify
+
+import (
+	"math"
+
+	"repro/internal/pheap"
+	"repro/internal/series"
+)
+
+// PIPVariant selects the importance (distance) function of the Perceptually
+// Important Points method [18, 33].
+type PIPVariant int
+
+// PIP distance functions.
+const (
+	// PIPVertical measures the vertical distance to the line between the
+	// two adjacent selected PIPs (PIPv).
+	PIPVertical PIPVariant = iota
+	// PIPEuclidean measures the sum of Euclidean distances to the two
+	// adjacent selected PIPs (PIPe).
+	PIPEuclidean
+	// PIPPerpendicular measures the perpendicular distance to the line
+	// between the adjacent PIPs — the Ramer-Douglas-Peucker criterion,
+	// exposed through RDP.
+	PIPPerpendicular
+)
+
+// PIP runs the Perceptually Important Points method [18, 33] adapted to the
+// ACF constraint. PIPs are selected top-down, starting from the endpoints'
+// straight line and repeatedly inserting the most important remaining point,
+// until the ACF deviation of the partial reconstruction drops within the
+// bound (or, in compression-centric mode, until the point budget n/ratio is
+// reached).
+func PIP(xs []float64, v PIPVariant, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(xs)
+	if n <= 2 {
+		return &Result{Compressed: series.FromDense(xs)}, nil
+	}
+
+	// Start from the two-endpoint reconstruction.
+	recon0 := make([]float64, n)
+	slope := (xs[n-1] - xs[0]) / float64(n-1)
+	for i := range recon0 {
+		recon0[i] = xs[0] + slope*float64(i)
+	}
+	c := newConstraint(xs, recon0, opt)
+
+	selected := make([]bool, n)
+	selected[0], selected[n-1] = true, true
+	selectedCnt := 2
+
+	// gapOf maps the best candidate of each open gap to its bounds.
+	type gap struct{ l, r int }
+	gapOf := make(map[int32]gap, 16)
+	keys := make([]float64, n)
+	h := pheap.New(n, nil, keys)
+
+	pushGap := func(l, r int) {
+		p, d := bestCandidate(xs, l, r, v)
+		if p < 0 {
+			return
+		}
+		gapOf[int32(p)] = gap{l, r}
+		h.Push(int32(p), -d) // min-heap: negate for max-importance-first
+	}
+	pushGap(0, n-1)
+
+	maxPoints := n
+	if opt.TargetRatio > 0 {
+		maxPoints = int(float64(n) / opt.TargetRatio)
+		if maxPoints < 2 {
+			maxPoints = 2
+		}
+	}
+
+	var buf []float64
+	for h.Len() > 0 {
+		if opt.TargetRatio == 0 && c.dev <= opt.Epsilon {
+			break // constraint satisfied: maximum compression at the bound
+		}
+		if selectedCnt >= maxPoints {
+			break
+		}
+		p32, _ := h.Pop()
+		g := gapOf[p32]
+		delete(gapOf, p32)
+		p := int(p32)
+		start, d := c.splitDeltas(g.l, p, g.r, xs[p], buf)
+		buf = d
+		dev := c.hypothetical(start, d)
+		c.commit(start, d, dev)
+		selected[p] = true
+		selectedCnt++
+		pushGap(g.l, p)
+		pushGap(p, g.r)
+	}
+
+	if opt.TargetRatio == 0 && c.dev > opt.Epsilon {
+		return pipResult(xs, selected, c), ErrBoundExceeded
+	}
+	return pipResult(xs, selected, c), nil
+}
+
+// RDP runs Ramer-Douglas-Peucker [23, 78] — top-down selection by maximum
+// perpendicular distance — under the same ACF-constraint adaptation.
+func RDP(xs []float64, opt Options) (*Result, error) {
+	return PIP(xs, PIPPerpendicular, opt)
+}
+
+// bestCandidate scans the open gap (l, r) of the original series and returns
+// the interior point with maximum importance, or (-1, 0) for empty gaps.
+func bestCandidate(xs []float64, l, r int, v PIPVariant) (int, float64) {
+	best, bestD := -1, math.Inf(-1)
+	x0, x1 := xs[l], xs[r]
+	span := float64(r - l)
+	slope := (x1 - x0) / span
+	// Precompute the perpendicular normalizer once per gap.
+	norm := math.Hypot(span, x1-x0)
+	for p := l + 1; p < r; p++ {
+		var d float64
+		switch v {
+		case PIPVertical:
+			d = math.Abs(xs[p] - (x0 + slope*float64(p-l)))
+		case PIPEuclidean:
+			d = math.Hypot(float64(p-l), xs[p]-x0) + math.Hypot(float64(r-p), xs[p]-x1)
+		default: // PIPPerpendicular
+			// Distance from (p, xs[p]) to the line through (l,x0)-(r,x1).
+			d = math.Abs(float64(p-l)*(x1-x0)-(xs[p]-x0)*span) / norm
+		}
+		if d > bestD {
+			best, bestD = p, d
+		}
+	}
+	return best, bestD
+}
+
+// pipResult snapshots the selected points.
+func pipResult(xs []float64, selected []bool, c *constraint) *Result {
+	pts := make([]series.Point, 0, 16)
+	for i := range xs {
+		if selected[i] {
+			pts = append(pts, series.Point{Index: i, Value: xs[i]})
+		}
+	}
+	return &Result{
+		Compressed: &series.Irregular{N: len(xs), Points: pts},
+		Deviation:  c.dev,
+	}
+}

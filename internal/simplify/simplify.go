@@ -1,0 +1,183 @@
+// Package simplify implements the line-simplification baselines the paper
+// compares CAMEO against (§2.2, §5.1), each adapted to support the ACF
+// deviation constraint: Visvalingam-Whyatt (VW), Turning Points (TPs/TPm),
+// Perceptually Important Points (PIPv/PIPe), and Ramer-Douglas-Peucker
+// (RDP, via the perpendicular-distance PIP variant).
+//
+// The adaptation mirrors the paper's: each method keeps its own geometric
+// ranking criterion, while the ACF deviation of the running reconstruction
+// is maintained incrementally (reusing the CAMEO aggregate machinery) and
+// checked against the bound before committing each step.
+package simplify
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/acf"
+	"repro/internal/series"
+	"repro/internal/stats"
+)
+
+// ErrBoundExceeded is returned when a method cannot satisfy the requested
+// ACF bound at all — e.g. Turning Points' initial phase already deviates
+// beyond epsilon (observed by the paper on Pedestrian and SolarPower). The
+// accompanying Result still describes the attempted compression.
+var ErrBoundExceeded = errors.New("simplify: ACF error bound cannot be met")
+
+// Options configures a constrained line-simplification run. Exactly like
+// CAMEO's options but without CAMEO-specific knobs.
+type Options struct {
+	// Lags is the number of ACF lags L to constrain (required).
+	Lags int
+	// Epsilon bounds the ACF deviation. Ignored when TargetRatio is set.
+	Epsilon float64
+	// TargetRatio, when positive, switches to compression-centric mode:
+	// simplify until |X|/|X'| reaches the ratio, ignoring Epsilon.
+	TargetRatio float64
+	// Measure is the deviation measure D (default MAE).
+	Measure stats.Measure
+	// AggWindow, when >= 2, constrains the ACF of tumbling-window
+	// aggregates (window AggWindow, function AggFunc) instead.
+	AggWindow int
+	// AggFunc is the aggregation function (default mean).
+	AggFunc series.AggFunc
+}
+
+// Validate checks the options.
+func (o *Options) Validate() error {
+	if o.Lags <= 0 {
+		return fmt.Errorf("simplify: Lags must be positive, got %d", o.Lags)
+	}
+	if o.Epsilon < 0 || math.IsNaN(o.Epsilon) {
+		return fmt.Errorf("simplify: Epsilon must be non-negative, got %v", o.Epsilon)
+	}
+	if o.TargetRatio < 0 || (o.TargetRatio > 0 && o.TargetRatio < 1) {
+		return fmt.Errorf("simplify: TargetRatio must be >= 1, got %v", o.TargetRatio)
+	}
+	if o.Epsilon == 0 && o.TargetRatio == 0 {
+		return errors.New("simplify: set Epsilon and/or TargetRatio")
+	}
+	if o.AggWindow == 1 || o.AggWindow < 0 {
+		return fmt.Errorf("simplify: AggWindow must be 0 or >= 2, got %d", o.AggWindow)
+	}
+	return nil
+}
+
+// Result reports a constrained simplification outcome.
+type Result struct {
+	// Compressed holds the retained points.
+	Compressed *series.Irregular
+	// Deviation is the final ACF deviation D(S(X'), S(X)).
+	Deviation float64
+}
+
+// CompressionRatio returns |X| / |X'|.
+func (r *Result) CompressionRatio() float64 { return r.Compressed.CompressionRatio() }
+
+// constraint tracks the ACF deviation of a running reconstruction against
+// the base statistic of the original series, using the incremental
+// aggregates of paper §4.2.
+type constraint struct {
+	tr      acf.Tracker
+	sc      *acf.Scratch
+	cur     []float64 // current reconstruction
+	base    []float64 // S(X) of the original series
+	measure stats.Measure
+	dev     float64 // deviation of the committed state
+}
+
+// newConstraint builds a tracker over reconstruction recon0 with the base
+// statistic taken from the original xs.
+func newConstraint(xs, recon0 []float64, opt Options) *constraint {
+	var tr acf.Tracker
+	if opt.AggWindow >= 2 {
+		tr = acf.NewWindowTracker(recon0, opt.AggWindow, opt.AggFunc, opt.Lags)
+	} else {
+		tr = acf.NewDirectTracker(recon0, opt.Lags)
+	}
+	baseData := xs
+	if opt.AggWindow >= 2 {
+		baseData = series.Aggregate(xs, opt.AggWindow, opt.AggFunc)
+	}
+	c := &constraint{
+		tr:      tr,
+		sc:      tr.NewScratch(),
+		cur:     append([]float64(nil), recon0...),
+		base:    acf.ACF(baseData, opt.Lags),
+		measure: opt.Measure,
+	}
+	c.dev = c.measure.Eval(c.tr.ACF(), c.base)
+	if math.IsNaN(c.dev) {
+		c.dev = math.Inf(1)
+	}
+	return c
+}
+
+// hypothetical returns the deviation the reconstruction would have after
+// the contiguous change, without committing.
+func (c *constraint) hypothetical(start int, deltas []float64) float64 {
+	hyp := c.tr.Hypothetical(c.cur, start, deltas, c.sc)
+	v := c.measure.Eval(hyp, c.base)
+	if math.IsNaN(v) {
+		return math.Inf(1)
+	}
+	return v
+}
+
+// commit applies the change and records the new deviation.
+func (c *constraint) commit(start int, deltas []float64, dev float64) {
+	c.tr.Commit(c.cur, start, deltas)
+	for i, d := range deltas {
+		c.cur[start+i] += d
+	}
+	c.dev = dev
+}
+
+// gapDeltas writes into buf the value changes that re-interpolating the open
+// interval (l, r) on the straight segment l->r would cause, and returns
+// (start, deltas).
+func (c *constraint) gapDeltas(l, r int, buf []float64) (int, []float64) {
+	start := l + 1
+	m := r - start
+	if cap(buf) < m {
+		buf = make([]float64, m)
+	}
+	d := buf[:m]
+	y0, y1 := c.cur[l], c.cur[r]
+	slope := (y1 - y0) / float64(r-l)
+	for t := 0; t < m; t++ {
+		interp := y0 + slope*float64(start+t-l)
+		d[t] = interp - c.cur[start+t]
+	}
+	return start, d
+}
+
+// splitDeltas writes into buf the changes that inserting point (p, value)
+// into gap (l, r) would cause: the interval re-interpolates as two segments
+// l->p and p->r. Used by the top-down (PIP/RDP) methods.
+func (c *constraint) splitDeltas(l, p, r int, value float64, buf []float64) (int, []float64) {
+	start := l + 1
+	m := r - start
+	if cap(buf) < m {
+		buf = make([]float64, m)
+	}
+	d := buf[:m]
+	y0, yp, y1 := c.cur[l], value, c.cur[r]
+	slopeL := (yp - y0) / float64(p-l)
+	slopeR := (y1 - yp) / float64(r-p)
+	for t := start; t < r; t++ {
+		var interp float64
+		switch {
+		case t < p:
+			interp = y0 + slopeL*float64(t-l)
+		case t == p:
+			interp = yp
+		default:
+			interp = yp + slopeR*float64(t-p)
+		}
+		d[t-start] = interp - c.cur[t]
+	}
+	return start, d
+}

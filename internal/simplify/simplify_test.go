@@ -1,0 +1,307 @@
+package simplify
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/acf"
+	"repro/internal/series"
+	"repro/internal/stats"
+)
+
+func seasonalSeries(n, period int, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 10 + 5*math.Sin(2*math.Pi*float64(i)/float64(period)) + noise*rng.NormFloat64()
+	}
+	return xs
+}
+
+// exactDeviation recomputes the ACF deviation of a result from scratch.
+func exactDeviation(xs []float64, r *Result, opt Options) float64 {
+	recon := r.Compressed.Decompress()
+	a, b := xs, recon
+	if opt.AggWindow >= 2 {
+		a = series.Aggregate(xs, opt.AggWindow, opt.AggFunc)
+		b = series.Aggregate(recon, opt.AggWindow, opt.AggFunc)
+	}
+	return opt.Measure.Eval(acf.ACF(a, opt.Lags), acf.ACF(b, opt.Lags))
+}
+
+func TestOptionsValidate(t *testing.T) {
+	bad := []Options{
+		{},
+		{Lags: -1, Epsilon: 0.1},
+		{Lags: 5},
+		{Lags: 5, Epsilon: -0.1},
+		{Lags: 5, TargetRatio: 0.5},
+		{Lags: 5, Epsilon: 0.1, AggWindow: 1},
+	}
+	for i, opt := range bad {
+		if err := opt.Validate(); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, opt)
+		}
+	}
+	good := Options{Lags: 5, Epsilon: 0.1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestVWRespectsBound(t *testing.T) {
+	xs := seasonalSeries(500, 24, 0.8, 1)
+	opt := Options{Lags: 24, Epsilon: 0.02}
+	res, err := VW(xs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompressionRatio() <= 1 {
+		t.Fatal("VW removed nothing")
+	}
+	if dev := exactDeviation(xs, res, opt); dev > 0.02+1e-9 {
+		t.Fatalf("VW deviation %v exceeds bound", dev)
+	}
+	if math.Abs(res.Deviation-exactDeviation(xs, res, opt)) > 1e-6 {
+		t.Fatalf("tracked deviation %v != exact %v", res.Deviation, exactDeviation(xs, res, opt))
+	}
+}
+
+func TestVWCompressionGrowsWithEpsilon(t *testing.T) {
+	xs := seasonalSeries(400, 24, 0.5, 2)
+	small, err := VW(xs, Options{Lags: 24, Epsilon: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := VW(xs, Options{Lags: 24, Epsilon: 0.08})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.CompressionRatio() < small.CompressionRatio() {
+		t.Fatalf("CR did not grow: %v -> %v", small.CompressionRatio(), large.CompressionRatio())
+	}
+}
+
+func TestVWTargetRatio(t *testing.T) {
+	xs := seasonalSeries(400, 20, 0.5, 3)
+	res, err := VW(xs, Options{Lags: 20, TargetRatio: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompressionRatio() < 5 {
+		t.Fatalf("CR = %v, want >= 5", res.CompressionRatio())
+	}
+}
+
+func TestVWRemovesFlatTrianglesFirst(t *testing.T) {
+	// On a series with one sharp spike, VW should keep the spike longest.
+	xs := make([]float64, 101)
+	xs[50] = 100 // spike
+	res, err := VW(xs, Options{Lags: 5, TargetRatio: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range res.Compressed.Points {
+		if p.Index == 50 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("VW dropped the spike before flat points")
+	}
+}
+
+func TestTurningPointsKeepsDirectionChanges(t *testing.T) {
+	xs := seasonalSeries(200, 20, 0, 4) // noiseless sine: TPs at extrema
+	res, err := TurningPoints(xs, TPSum, Options{Lags: 20, Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompressionRatio() < 2 {
+		t.Fatalf("TP CR = %v, want >= 2 on smooth sine", res.CompressionRatio())
+	}
+}
+
+func TestTurningPointsBoundViolationReported(t *testing.T) {
+	// A sawtooth-free monotone ramp with heavy noise removed: craft a series
+	// where dropping all non-TPs must distort the ACF beyond a tiny bound.
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 400)
+	for i := range xs {
+		// smooth long oscillation + tiny jitter => most points non-TP after
+		// jitter but reconstruction skips real curvature
+		xs[i] = math.Sin(2*math.Pi*float64(i)/100) + 0.001*rng.NormFloat64()
+	}
+	_, err := TurningPoints(xs, TPSum, Options{Lags: 100, Epsilon: 1e-9})
+	if !errors.Is(err, ErrBoundExceeded) {
+		t.Fatalf("expected ErrBoundExceeded, got %v", err)
+	}
+}
+
+func TestTurningPointsVariantsBothBounded(t *testing.T) {
+	xs := seasonalSeries(500, 24, 0.8, 6)
+	for _, v := range []TPVariant{TPSum, TPMae} {
+		opt := Options{Lags: 24, Epsilon: 0.05}
+		res, err := TurningPoints(xs, v, opt)
+		if err != nil {
+			if errors.Is(err, ErrBoundExceeded) {
+				continue // legitimate outcome for TP
+			}
+			t.Fatal(err)
+		}
+		if dev := exactDeviation(xs, res, opt); dev > 0.05+1e-9 {
+			t.Fatalf("variant %d deviation %v exceeds bound", v, dev)
+		}
+	}
+}
+
+func TestPIPVariantsRespectBound(t *testing.T) {
+	xs := seasonalSeries(400, 24, 0.8, 7)
+	for _, v := range []PIPVariant{PIPVertical, PIPEuclidean, PIPPerpendicular} {
+		opt := Options{Lags: 24, Epsilon: 0.02}
+		res, err := PIP(xs, v, opt)
+		if err != nil {
+			t.Fatalf("variant %d: %v", v, err)
+		}
+		if dev := exactDeviation(xs, res, opt); dev > 0.02+1e-9 {
+			t.Fatalf("variant %d deviation %v exceeds bound", v, dev)
+		}
+		if res.CompressionRatio() <= 1 {
+			t.Fatalf("variant %d removed nothing", v)
+		}
+	}
+}
+
+func TestPIPTargetRatioBudget(t *testing.T) {
+	xs := seasonalSeries(300, 20, 0.5, 8)
+	res, err := PIP(xs, PIPVertical, Options{Lags: 20, TargetRatio: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompressionRatio() < 6 {
+		t.Fatalf("CR = %v, want >= 6", res.CompressionRatio())
+	}
+}
+
+func TestPIPSelectsSpikeFirst(t *testing.T) {
+	xs := make([]float64, 101)
+	xs[30] = 50
+	res, err := PIP(xs, PIPVertical, Options{Lags: 5, TargetRatio: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range res.Compressed.Points {
+		if p.Index == 30 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("PIP did not select the most salient point first")
+	}
+}
+
+func TestRDPEquivalentToPerpendicularPIP(t *testing.T) {
+	xs := seasonalSeries(200, 20, 0.5, 9)
+	opt := Options{Lags: 20, Epsilon: 0.05}
+	a, err := RDP(xs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PIP(xs, PIPPerpendicular, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Compressed.Points) != len(b.Compressed.Points) {
+		t.Fatal("RDP != PIP(perpendicular)")
+	}
+}
+
+func TestTinySeriesAllMethods(t *testing.T) {
+	xs := []float64{1, 2}
+	opt := Options{Lags: 2, Epsilon: 0.1}
+	for name, run := range map[string]func() (*Result, error){
+		"vw":  func() (*Result, error) { return VW(xs, opt) },
+		"tp":  func() (*Result, error) { return TurningPoints(xs, TPSum, opt) },
+		"pip": func() (*Result, error) { return PIP(xs, PIPVertical, opt) },
+	} {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Compressed.Len() != 2 {
+			t.Fatalf("%s: retained %d points", name, res.Compressed.Len())
+		}
+	}
+}
+
+func TestWindowAggregateConstraint(t *testing.T) {
+	xs := seasonalSeries(960, 96, 0.5, 10)
+	opt := Options{Lags: 8, Epsilon: 0.01, AggWindow: 12, AggFunc: series.AggMean}
+	res, err := VW(xs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev := exactDeviation(xs, res, opt); dev > 0.01+1e-9 {
+		t.Fatalf("aggregated deviation %v exceeds bound", dev)
+	}
+}
+
+// Property: every method keeps endpoints, original values, and the bound.
+func TestMethodInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(150)
+		period := 5 + rng.Intn(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Sin(2*math.Pi*float64(i)/float64(period)) + 0.3*rng.NormFloat64()
+		}
+		opt := Options{Lags: 2 + rng.Intn(8), Epsilon: 0.005 + rng.Float64()*0.05}
+		runs := []func() (*Result, error){
+			func() (*Result, error) { return VW(xs, opt) },
+			func() (*Result, error) { return TurningPoints(xs, TPVariant(rng.Intn(2)), opt) },
+			func() (*Result, error) { return PIP(xs, PIPVariant(rng.Intn(3)), opt) },
+		}
+		for _, run := range runs {
+			res, err := run()
+			if err != nil && !errors.Is(err, ErrBoundExceeded) {
+				return false
+			}
+			pts := res.Compressed.Points
+			if pts[0].Index != 0 || pts[len(pts)-1].Index != n-1 {
+				return false
+			}
+			for _, p := range pts {
+				if p.Value != xs[p.Index] {
+					return false
+				}
+			}
+			if err == nil && exactDeviation(xs, res, opt) > opt.Epsilon+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasureVariantsSupported(t *testing.T) {
+	xs := seasonalSeries(300, 24, 0.5, 11)
+	for _, m := range []stats.Measure{stats.MeasureMAE, stats.MeasureRMSE, stats.MeasureChebyshev} {
+		opt := Options{Lags: 24, Epsilon: 0.03, Measure: m}
+		res, err := VW(xs, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if dev := exactDeviation(xs, res, opt); dev > 0.03+1e-9 {
+			t.Fatalf("%v: deviation %v exceeds bound", m, dev)
+		}
+	}
+}

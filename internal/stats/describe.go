@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Min returns the minimum of xs, or NaN for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or NaN for empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs, or NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (divisor n), matching the
+// convention used by the ACF estimator, or NaN for empty input.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs.
+func Std(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the median of xs, or NaN for empty input.
+func Median(xs []float64) float64 {
+	return Quantile(xs, 0.5)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics, or NaN for empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Description summarizes a series with the statistics reported in the
+// paper's Table 1.
+type Description struct {
+	Length    int
+	Min       float64
+	Max       float64
+	Range     float64
+	Median    float64
+	Std       float64
+	PUp       float64 // probability that x[i] > x[i-1]
+	PEq       float64 // probability that x[i] == x[i-1]
+	PDown     float64 // probability that x[i] < x[i-1]
+	MeanDelta float64 // mean of consecutive differences
+}
+
+// Describe computes the Table 1 summary statistics for xs.
+func Describe(xs []float64) Description {
+	d := Description{Length: len(xs)}
+	if len(xs) == 0 {
+		d.Min, d.Max, d.Range, d.Median, d.Std, d.MeanDelta = math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN()
+		return d
+	}
+	d.Min = Min(xs)
+	d.Max = Max(xs)
+	d.Range = d.Max - d.Min
+	d.Median = Median(xs)
+	d.Std = Std(xs)
+	if len(xs) < 2 {
+		return d
+	}
+	var up, eq, down int
+	var deltaSum float64
+	for i := 1; i < len(xs); i++ {
+		delta := xs[i] - xs[i-1]
+		deltaSum += delta
+		switch {
+		case delta > 0:
+			up++
+		case delta < 0:
+			down++
+		default:
+			eq++
+		}
+	}
+	steps := float64(len(xs) - 1)
+	d.PUp = float64(up) / steps
+	d.PEq = float64(eq) / steps
+	d.PDown = float64(down) / steps
+	d.MeanDelta = deltaSum / steps
+	return d
+}

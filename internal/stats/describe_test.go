@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinMaxSumMean(t *testing.T) {
+	xs := []float64{3, -1, 4, 1.5}
+	if got := Min(xs); got != -1 {
+		t.Fatalf("Min = %v", got)
+	}
+	if got := Max(xs); got != 4 {
+		t.Fatalf("Max = %v", got)
+	}
+	if got := Sum(xs); !almostEqual(got, 7.5, 1e-12) {
+		t.Fatalf("Sum = %v", got)
+	}
+	if got := Mean(xs); !almostEqual(got, 1.875, 1e-12) {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestEmptyStats(t *testing.T) {
+	for name, got := range map[string]float64{
+		"Min":      Min(nil),
+		"Max":      Max(nil),
+		"Mean":     Mean(nil),
+		"Variance": Variance(nil),
+		"Median":   Median(nil),
+	} {
+		if !math.IsNaN(got) {
+			t.Errorf("%s(nil) = %v, want NaN", name, got)
+		}
+	}
+}
+
+func TestVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := Std(xs); !almostEqual(got, 2, 1e-12) {
+		t.Fatalf("Std = %v, want 2", got)
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("Median odd = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); !almostEqual(got, 2.5, 1e-12) {
+		t.Fatalf("Median even = %v", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("Q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Fatalf("Q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Fatalf("Q.25 = %v", got)
+	}
+	if got := Quantile(xs, -0.1); !math.IsNaN(got) {
+		t.Fatalf("invalid q = %v, want NaN", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	_ = Quantile(xs, 0.5)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatalf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	xs := []float64{1, 2, 2, 1, 3}
+	d := Describe(xs)
+	if d.Length != 5 {
+		t.Fatalf("Length = %d", d.Length)
+	}
+	if d.Min != 1 || d.Max != 3 || d.Range != 2 {
+		t.Fatalf("min/max/range = %v/%v/%v", d.Min, d.Max, d.Range)
+	}
+	if d.Median != 2 {
+		t.Fatalf("Median = %v", d.Median)
+	}
+	// Deltas: +1, 0, -1, +2 -> up 2/4, eq 1/4, down 1/4, mean delta 0.5
+	if !almostEqual(d.PUp, 0.5, 1e-12) || !almostEqual(d.PEq, 0.25, 1e-12) || !almostEqual(d.PDown, 0.25, 1e-12) {
+		t.Fatalf("p up/eq/down = %v/%v/%v", d.PUp, d.PEq, d.PDown)
+	}
+	if !almostEqual(d.MeanDelta, 0.5, 1e-12) {
+		t.Fatalf("MeanDelta = %v", d.MeanDelta)
+	}
+}
+
+func TestDescribeSingle(t *testing.T) {
+	d := Describe([]float64{7})
+	if d.Length != 1 || d.Min != 7 || d.Max != 7 {
+		t.Fatalf("Describe single: %+v", d)
+	}
+	if d.PUp != 0 || d.PEq != 0 || d.PDown != 0 {
+		t.Fatalf("probabilities of single-point series should be zero: %+v", d)
+	}
+}
+
+// Property: p-up + p-eq + p-down == 1 for any series with >= 2 points.
+func TestDescribeProbabilitiesSumToOne(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			xs[i] = v
+		}
+		d := Describe(xs)
+		return almostEqual(d.PUp+d.PEq+d.PDown, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Min <= Median <= Max and Min <= Mean <= Max.
+func TestDescribeOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			v = math.Mod(v, 1e9)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			xs[i] = v
+		}
+		lo, hi := Min(xs), Max(xs)
+		med, mean := Median(xs), Mean(xs)
+		return lo <= med+1e-9 && med <= hi+1e-9 && lo <= mean+1e-9 && mean <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

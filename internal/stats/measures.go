@@ -1,0 +1,220 @@
+// Package stats provides the quality measures, descriptive statistics, and
+// value transforms the CAMEO framework depends on (paper §2.3, §5.1, §5.8).
+//
+// All measures operate on plain []float64 slices. Pairwise measures require
+// both slices to have the same length and at least one element; they return
+// NaN on malformed input rather than panicking so they can be used safely in
+// exploratory sweeps.
+package stats
+
+import "math"
+
+// Measure identifies a pairwise deviation measure D(a, b).
+type Measure int
+
+// Supported deviation measures (paper §2.3 and EXP1 in §5.8).
+const (
+	MeasureMAE Measure = iota
+	MeasureMSE
+	MeasureRMSE
+	MeasureNRMSE
+	MeasureMAPE
+	MeasureSMAPE
+	MeasureChebyshev
+)
+
+// String returns the conventional abbreviation of the measure.
+func (m Measure) String() string {
+	switch m {
+	case MeasureMAE:
+		return "MAE"
+	case MeasureMSE:
+		return "MSE"
+	case MeasureRMSE:
+		return "RMSE"
+	case MeasureNRMSE:
+		return "NRMSE"
+	case MeasureMAPE:
+		return "MAPE"
+	case MeasureSMAPE:
+		return "mSMAPE"
+	case MeasureChebyshev:
+		return "CHEB"
+	default:
+		return "unknown"
+	}
+}
+
+// Eval computes the measure between a and b.
+func (m Measure) Eval(a, b []float64) float64 {
+	switch m {
+	case MeasureMAE:
+		return MAE(a, b)
+	case MeasureMSE:
+		return MSE(a, b)
+	case MeasureRMSE:
+		return RMSE(a, b)
+	case MeasureNRMSE:
+		return NRMSE(a, b)
+	case MeasureMAPE:
+		return MAPE(a, b)
+	case MeasureSMAPE:
+		return MSMAPE(a, b)
+	case MeasureChebyshev:
+		return Chebyshev(a, b)
+	default:
+		return math.NaN()
+	}
+}
+
+func pairOK(a, b []float64) bool { return len(a) == len(b) && len(a) > 0 }
+
+// MAE returns the mean absolute error between a and b.
+func MAE(a, b []float64) float64 {
+	if !pairOK(a, b) {
+		return math.NaN()
+	}
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s / float64(len(a))
+}
+
+// MSE returns the mean squared error between a and b.
+func MSE(a, b []float64) float64 {
+	if !pairOK(a, b) {
+		return math.NaN()
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s / float64(len(a))
+}
+
+// RMSE returns the root mean squared error between a and b.
+func RMSE(a, b []float64) float64 { return math.Sqrt(MSE(a, b)) }
+
+// NRMSE returns the RMSE normalized by the value range of a (the reference
+// series), as defined in paper §2.3. If a is constant, NRMSE returns 0 when
+// the RMSE is 0 and +Inf otherwise.
+func NRMSE(a, b []float64) float64 {
+	if !pairOK(a, b) {
+		return math.NaN()
+	}
+	rmse := RMSE(a, b)
+	lo, hi := Min(a), Max(a)
+	if hi == lo {
+		if rmse == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return rmse / (hi - lo)
+}
+
+// MAPE returns the mean absolute percentage error of b against reference a,
+// skipping reference zeros (which make the classical MAPE undefined).
+func MAPE(a, b []float64) float64 {
+	if !pairOK(a, b) {
+		return math.NaN()
+	}
+	var s float64
+	n := 0
+	for i := range a {
+		if a[i] == 0 {
+			continue
+		}
+		s += math.Abs((a[i] - b[i]) / a[i])
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return s / float64(n)
+}
+
+// MSMAPE returns the Modified Symmetric Mean Absolute Percentage Error
+// (paper §2.3): the symmetric APE with a running-dispersion stabilizer S_i in
+// the denominator, which keeps the measure finite around zero values.
+func MSMAPE(a, b []float64) float64 {
+	if !pairOK(a, b) {
+		return math.NaN()
+	}
+	var (
+		sum     float64
+		prevSum float64 // sum of a[0..i-1]
+		absDev  float64 // sum of |a[k] - mean(a[0..i-2])| for k < i
+	)
+	for i := range a {
+		si := 0.0
+		if i >= 1 {
+			si = absDev / float64(i)
+		}
+		den := math.Abs(a[i]+b[i])/2 + si
+		if den != 0 {
+			sum += math.Abs(a[i]-b[i]) / den
+		}
+		// Maintain S for the next iteration: mean of first i elements and
+		// mean absolute deviation of a[0..i] around the mean of a[0..i-1].
+		if i >= 1 {
+			mean := prevSum / float64(i)
+			absDev += math.Abs(a[i] - mean)
+		}
+		prevSum += a[i]
+	}
+	return sum / float64(len(a))
+}
+
+// Chebyshev returns the L-infinity distance max_i |a_i - b_i|.
+func Chebyshev(a, b []float64) float64 {
+	if !pairOK(a, b) {
+		return math.NaN()
+	}
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB of b against reference a,
+// using the value range of a as peak. Identical series yield +Inf.
+func PSNR(a, b []float64) float64 {
+	if !pairOK(a, b) {
+		return math.NaN()
+	}
+	mse := MSE(a, b)
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	peak := Max(a) - Min(a)
+	if peak == 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(peak*peak/mse)
+}
+
+// Pearson returns the Pearson correlation coefficient between a and b.
+// It returns NaN when either series has zero variance.
+func Pearson(a, b []float64) float64 {
+	if !pairOK(a, b) {
+		return math.NaN()
+	}
+	ma, mb := Mean(a), Mean(b)
+	var sab, saa, sbb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		sab += da * db
+		saa += da * da
+		sbb += db * db
+	}
+	if saa == 0 || sbb == 0 {
+		return math.NaN()
+	}
+	return sab / math.Sqrt(saa*sbb)
+}

@@ -1,0 +1,242 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	if math.IsInf(a, 1) && math.IsInf(b, 1) {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestMAE(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 3, 1}
+	if got := MAE(a, b); !almostEqual(got, 1.0, 1e-12) {
+		t.Fatalf("MAE = %v, want 1", got)
+	}
+}
+
+func TestMAEIdentical(t *testing.T) {
+	a := []float64{4, -2, 0.5}
+	if got := MAE(a, a); got != 0 {
+		t.Fatalf("MAE(a,a) = %v, want 0", got)
+	}
+}
+
+func TestMAEMismatchedLengths(t *testing.T) {
+	if got := MAE([]float64{1}, []float64{1, 2}); !math.IsNaN(got) {
+		t.Fatalf("MAE on mismatched lengths = %v, want NaN", got)
+	}
+}
+
+func TestMAEEmpty(t *testing.T) {
+	if got := MAE(nil, nil); !math.IsNaN(got) {
+		t.Fatalf("MAE(nil,nil) = %v, want NaN", got)
+	}
+}
+
+func TestMSEAndRMSE(t *testing.T) {
+	a := []float64{0, 0, 0, 0}
+	b := []float64{2, -2, 2, -2}
+	if got := MSE(a, b); !almostEqual(got, 4, 1e-12) {
+		t.Fatalf("MSE = %v, want 4", got)
+	}
+	if got := RMSE(a, b); !almostEqual(got, 2, 1e-12) {
+		t.Fatalf("RMSE = %v, want 2", got)
+	}
+}
+
+func TestNRMSE(t *testing.T) {
+	a := []float64{0, 10} // range 10
+	b := []float64{1, 9}  // rmse 1
+	if got := NRMSE(a, b); !almostEqual(got, 0.1, 1e-12) {
+		t.Fatalf("NRMSE = %v, want 0.1", got)
+	}
+}
+
+func TestNRMSEConstantReference(t *testing.T) {
+	a := []float64{5, 5, 5}
+	if got := NRMSE(a, a); got != 0 {
+		t.Fatalf("NRMSE of identical constant = %v, want 0", got)
+	}
+	if got := NRMSE(a, []float64{5, 6, 5}); !math.IsInf(got, 1) {
+		t.Fatalf("NRMSE of constant ref with error = %v, want +Inf", got)
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	a := []float64{10, 20}
+	b := []float64{11, 18}
+	// |1/10| and |2/20| -> mean 0.1
+	if got := MAPE(a, b); !almostEqual(got, 0.1, 1e-12) {
+		t.Fatalf("MAPE = %v, want 0.1", got)
+	}
+}
+
+func TestMAPESkipsZeros(t *testing.T) {
+	a := []float64{0, 10}
+	b := []float64{5, 20}
+	if got := MAPE(a, b); !almostEqual(got, 1.0, 1e-12) {
+		t.Fatalf("MAPE = %v, want 1.0 (zero reference skipped)", got)
+	}
+}
+
+func TestChebyshev(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 5, 2}
+	if got := Chebyshev(a, b); !almostEqual(got, 3, 1e-12) {
+		t.Fatalf("Chebyshev = %v, want 3", got)
+	}
+}
+
+func TestMSMAPEIdenticalIsZero(t *testing.T) {
+	a := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	if got := MSMAPE(a, a); got != 0 {
+		t.Fatalf("MSMAPE(a,a) = %v, want 0", got)
+	}
+}
+
+func TestMSMAPEFiniteAroundZeros(t *testing.T) {
+	a := []float64{1, 0, 0, 2}
+	b := []float64{1, 1, -1, 2}
+	got := MSMAPE(a, b)
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("MSMAPE = %v, want finite", got)
+	}
+	if got <= 0 {
+		t.Fatalf("MSMAPE = %v, want > 0", got)
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	a := []float64{0, 255}
+	b := []float64{0, 255}
+	if got := PSNR(a, b); !math.IsInf(got, 1) {
+		t.Fatalf("PSNR identical = %v, want +Inf", got)
+	}
+	b = []float64{1, 254}
+	got := PSNR(a, b)
+	want := 10 * math.Log10(255*255/1.0)
+	if !almostEqual(got, want, 1e-9) {
+		t.Fatalf("PSNR = %v, want %v", got, want)
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 4, 6, 8}
+	if got := Pearson(a, b); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("Pearson = %v, want 1", got)
+	}
+	c := []float64{8, 6, 4, 2}
+	if got := Pearson(a, c); !almostEqual(got, -1, 1e-12) {
+		t.Fatalf("Pearson = %v, want -1", got)
+	}
+}
+
+func TestPearsonZeroVariance(t *testing.T) {
+	a := []float64{1, 1, 1}
+	b := []float64{1, 2, 3}
+	if got := Pearson(a, b); !math.IsNaN(got) {
+		t.Fatalf("Pearson with constant input = %v, want NaN", got)
+	}
+}
+
+func TestMeasureEvalMatchesFunctions(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{1.5, 1.5, 3.5, 3, 5.5}
+	cases := []struct {
+		m    Measure
+		want float64
+	}{
+		{MeasureMAE, MAE(a, b)},
+		{MeasureMSE, MSE(a, b)},
+		{MeasureRMSE, RMSE(a, b)},
+		{MeasureNRMSE, NRMSE(a, b)},
+		{MeasureMAPE, MAPE(a, b)},
+		{MeasureSMAPE, MSMAPE(a, b)},
+		{MeasureChebyshev, Chebyshev(a, b)},
+	}
+	for _, c := range cases {
+		if got := c.m.Eval(a, b); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("%v.Eval = %v, want %v", c.m, got, c.want)
+		}
+	}
+}
+
+func TestMeasureString(t *testing.T) {
+	names := map[Measure]string{
+		MeasureMAE: "MAE", MeasureMSE: "MSE", MeasureRMSE: "RMSE",
+		MeasureNRMSE: "NRMSE", MeasureMAPE: "MAPE", MeasureSMAPE: "mSMAPE",
+		MeasureChebyshev: "CHEB", Measure(99): "unknown",
+	}
+	for m, want := range names {
+		if got := m.String(); got != want {
+			t.Errorf("Measure(%d).String() = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+// Property: all measures are non-negative and zero on identical inputs.
+func TestMeasuresNonNegativeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		a := make([]float64, len(raw))
+		b := make([]float64, len(raw))
+		for i, v := range raw {
+			// Clamp to keep values sane.
+			v = math.Mod(v, 1e6)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			a[i] = v
+			b[i] = v/2 + 1
+		}
+		for _, m := range []Measure{MeasureMAE, MeasureMSE, MeasureRMSE, MeasureChebyshev} {
+			if d := m.Eval(a, b); d < 0 {
+				return false
+			}
+			if d := m.Eval(a, a); d != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MAE <= Chebyshev and MAE <= RMSE (Jensen).
+func TestMeasureOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		a := make([]float64, len(raw))
+		b := make([]float64, len(raw))
+		for i, v := range raw {
+			v = math.Mod(v, 1e4)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			a[i] = v
+			b[i] = -v
+		}
+		mae, rmse, cheb := MAE(a, b), RMSE(a, b), Chebyshev(a, b)
+		return mae <= cheb+1e-9 && mae <= rmse+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

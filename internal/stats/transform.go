@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNonPositive is returned by Box-Cox transforms on inputs that are not
+// strictly positive (the transform is only defined for x > 0).
+var ErrNonPositive = errors.New("stats: box-cox requires strictly positive data")
+
+// BoxCox applies the Box-Cox power transform with parameter lambda:
+//
+//	y = (x^lambda - 1) / lambda   (lambda != 0)
+//	y = ln(x)                     (lambda == 0)
+//
+// The input must be strictly positive.
+func BoxCox(xs []float64, lambda float64) ([]float64, error) {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= 0 {
+			return nil, ErrNonPositive
+		}
+		if lambda == 0 {
+			out[i] = math.Log(x)
+		} else {
+			out[i] = (math.Pow(x, lambda) - 1) / lambda
+		}
+	}
+	return out, nil
+}
+
+// BoxCoxInverse inverts BoxCox with the same lambda. Values that would map
+// outside the transform's domain are clamped to the domain boundary.
+func BoxCoxInverse(ys []float64, lambda float64) []float64 {
+	out := make([]float64, len(ys))
+	for i, y := range ys {
+		if lambda == 0 {
+			out[i] = math.Exp(y)
+			continue
+		}
+		v := lambda*y + 1
+		if v < 0 {
+			v = 0
+		}
+		out[i] = math.Pow(v, 1/lambda)
+	}
+	return out
+}
+
+// GuerreroLambda picks a Box-Cox lambda from a small candidate grid using
+// Guerrero's method: over tumbling seasonal blocks it minimizes the
+// coefficient of variation of std_block / mean_block^(1-lambda), which is
+// constant exactly when the chosen lambda stabilizes the variance (paper
+// EXP1 preprocessing). Falls back to 1 (identity) for short or non-positive
+// input.
+func GuerreroLambda(xs []float64, period int) float64 {
+	if period < 2 || len(xs) < 2*period {
+		return 1
+	}
+	for _, x := range xs {
+		if x <= 0 {
+			return 1 // transform undefined; fall back to identity
+		}
+	}
+	candidates := []float64{-0.5, 0, 0.25, 0.5, 0.75, 1}
+	best, bestCV := 1.0, math.Inf(1)
+	for _, lam := range candidates {
+		cv := guerreroCV(xs, period, lam)
+		if !math.IsNaN(cv) && cv < bestCV {
+			best, bestCV = lam, cv
+		}
+	}
+	return best
+}
+
+// guerreroCV returns the coefficient of variation of the per-block ratios
+// std_block / mean_block^(1-lambda) over tumbling blocks of length period.
+func guerreroCV(xs []float64, period int, lambda float64) float64 {
+	var ratios []float64
+	for i := 0; i+period <= len(xs); i += period {
+		block := xs[i : i+period]
+		m := Mean(block)
+		if m <= 0 {
+			continue
+		}
+		ratios = append(ratios, Std(block)/math.Pow(m, 1-lambda))
+	}
+	if len(ratios) < 2 {
+		return math.NaN()
+	}
+	m := Mean(ratios)
+	if m == 0 {
+		return math.NaN()
+	}
+	return Std(ratios) / m
+}
+
+// Standardize returns (xs - mean) / std along with the mean and std used.
+// A zero-variance series is returned centered but unscaled (std reported 1).
+func Standardize(xs []float64) (out []float64, mean, std float64) {
+	mean = Mean(xs)
+	std = Std(xs)
+	if std == 0 || math.IsNaN(std) {
+		std = 1
+	}
+	out = make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = (x - mean) / std
+	}
+	return out, mean, std
+}
+
+// Destandardize inverts Standardize given the recorded mean and std.
+func Destandardize(ys []float64, mean, std float64) []float64 {
+	out := make([]float64, len(ys))
+	for i, y := range ys {
+		out[i] = y*std + mean
+	}
+	return out
+}

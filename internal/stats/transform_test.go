@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoxCoxLogCase(t *testing.T) {
+	xs := []float64{1, math.E, math.E * math.E}
+	ys, err := BoxCox(xs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 2}
+	for i := range ys {
+		if !almostEqual(ys[i], want[i], 1e-12) {
+			t.Fatalf("BoxCox log: ys[%d] = %v, want %v", i, ys[i], want[i])
+		}
+	}
+}
+
+func TestBoxCoxLambdaOneIsShift(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys, err := BoxCox(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ys {
+		if !almostEqual(ys[i], xs[i]-1, 1e-12) {
+			t.Fatalf("BoxCox(1): ys[%d] = %v, want %v", i, ys[i], xs[i]-1)
+		}
+	}
+}
+
+func TestBoxCoxRejectsNonPositive(t *testing.T) {
+	if _, err := BoxCox([]float64{1, 0, 2}, 0.5); err == nil {
+		t.Fatal("expected error for non-positive input")
+	}
+	if _, err := BoxCox([]float64{-1}, 0); err == nil {
+		t.Fatal("expected error for negative input")
+	}
+}
+
+// Property: BoxCoxInverse(BoxCox(x)) == x for positive data and several lambdas.
+func TestBoxCoxRoundtripProperty(t *testing.T) {
+	lambdas := []float64{-0.5, 0, 0.25, 0.5, 1, 2}
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			v = math.Abs(math.Mod(v, 1e3)) + 0.1 // strictly positive, bounded
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 1
+			}
+			xs[i] = v
+		}
+		for _, lam := range lambdas {
+			ys, err := BoxCox(xs, lam)
+			if err != nil {
+				return false
+			}
+			back := BoxCoxInverse(ys, lam)
+			for i := range xs {
+				if !almostEqual(back[i], xs[i], 1e-6*math.Max(1, xs[i])) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuerreroLambdaFallsBackOnShortInput(t *testing.T) {
+	if got := GuerreroLambda([]float64{1, 2, 3}, 12); got != 1 {
+		t.Fatalf("GuerreroLambda short input = %v, want 1", got)
+	}
+	if got := GuerreroLambda([]float64{1, -2, 3, 4, 5, 6, 7, 8}, 2); got != 1 {
+		t.Fatalf("GuerreroLambda non-positive = %v, want 1", got)
+	}
+}
+
+func TestGuerreroLambdaStabilizesMultiplicativeSeries(t *testing.T) {
+	// Multiplicative seasonality: amplitude grows with level, so the log
+	// transform (lambda near 0) should be preferred over identity.
+	n, period := 240, 12
+	xs := make([]float64, n)
+	for i := range xs {
+		level := 10 * math.Exp(0.01*float64(i))
+		xs[i] = level * (1 + 0.5*math.Sin(2*math.Pi*float64(i)/float64(period)))
+	}
+	lam := GuerreroLambda(xs, period)
+	if lam > 0.5 {
+		t.Fatalf("GuerreroLambda = %v, want <= 0.5 for multiplicative series", lam)
+	}
+}
+
+func TestStandardizeRoundtrip(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	ys, mean, std := Standardize(xs)
+	if !almostEqual(Mean(ys), 0, 1e-12) {
+		t.Fatalf("standardized mean = %v", Mean(ys))
+	}
+	if !almostEqual(Std(ys), 1, 1e-12) {
+		t.Fatalf("standardized std = %v", Std(ys))
+	}
+	back := Destandardize(ys, mean, std)
+	for i := range xs {
+		if !almostEqual(back[i], xs[i], 1e-9) {
+			t.Fatalf("roundtrip[%d] = %v, want %v", i, back[i], xs[i])
+		}
+	}
+}
+
+func TestStandardizeConstantSeries(t *testing.T) {
+	xs := []float64{5, 5, 5}
+	ys, mean, std := Standardize(xs)
+	if std != 1 {
+		t.Fatalf("std fallback = %v, want 1", std)
+	}
+	if mean != 5 {
+		t.Fatalf("mean = %v", mean)
+	}
+	for _, y := range ys {
+		if y != 0 {
+			t.Fatalf("standardized constant should be 0, got %v", y)
+		}
+	}
+}

@@ -1,0 +1,357 @@
+// Package tsdb is a small embedded time-series store built on CAMEO block
+// compression: regularly sampled series are appended in memory, compressed
+// block-by-block under an ACF-deviation guarantee, and persisted in the
+// compact binary encoding. It demonstrates how the paper's compressor slots
+// into the storage layer of a time series database (the deployment §1
+// motivates: IoT archives where both bytes and analytics fidelity matter).
+//
+// The store is deliberately minimal — one directory per series, one file
+// per compressed block, an in-memory tail — but is crash-consistent
+// (blocks are written with atomic renames) and reopenable.
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/series"
+)
+
+// Options configures a DB.
+type Options struct {
+	// Compression holds the CAMEO options applied to every full block
+	// (Lags and Epsilon / TargetRatio required, as for core.Compress).
+	Compression core.Options
+	// BlockSize is the number of samples per compressed block
+	// (default 4096; must satisfy the streaming minimum 4x lags[*window]).
+	BlockSize int
+}
+
+func (o *Options) withDefaults() error {
+	if o.BlockSize == 0 {
+		o.BlockSize = 4096
+	}
+	if err := o.Compression.Validate(); err != nil {
+		return err
+	}
+	minBlock := 4 * o.Compression.Lags
+	if o.Compression.AggWindow >= 2 {
+		minBlock *= o.Compression.AggWindow
+	}
+	if o.BlockSize < minBlock {
+		return fmt.Errorf("tsdb: BlockSize %d below the statistic's minimum %d", o.BlockSize, minBlock)
+	}
+	return nil
+}
+
+// ErrUnknownSeries is returned by queries on series never appended to.
+var ErrUnknownSeries = errors.New("tsdb: unknown series")
+
+// DB is an embedded CAMEO-compressed time-series store.
+type DB struct {
+	dir string
+	opt Options
+
+	mu     sync.RWMutex
+	series map[string]*seriesState
+}
+
+// blockMeta indexes one persisted block.
+type blockMeta struct {
+	start int // first sample index
+	n     int // samples covered
+	path  string
+}
+
+// seriesState is the in-memory view of one series.
+type seriesState struct {
+	blocks []blockMeta // sorted by start
+	tail   []float64   // samples not yet compressed
+	total  int         // blocks' samples + tail
+}
+
+// Open creates or reopens a store rooted at dir.
+func Open(dir string, opt Options) (*DB, error) {
+	if err := opt.withDefaults(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	db := &DB{dir: dir, opt: opt, series: make(map[string]*seriesState)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name, err := url.PathUnescape(e.Name())
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: undecodable series directory %q: %w", e.Name(), err)
+		}
+		st, err := db.loadSeries(name)
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: loading series %q: %w", name, err)
+		}
+		db.series[name] = st
+	}
+	return db, nil
+}
+
+// seriesDir maps a series name to its directory, escaping path separators
+// and other unsafe characters (names are user input; the store must never
+// write outside its root).
+func (db *DB) seriesDir(name string) string {
+	return filepath.Join(db.dir, url.PathEscape(name))
+}
+
+// loadSeries scans a series directory, indexing its blocks and reading the
+// tail file if present.
+func (db *DB) loadSeries(name string) (*seriesState, error) {
+	st := &seriesState{}
+	sdir := db.seriesDir(name)
+	entries, err := os.ReadDir(sdir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		base := e.Name()
+		switch {
+		case strings.HasSuffix(base, ".blk"):
+			start, err := strconv.Atoi(strings.TrimSuffix(base, ".blk"))
+			if err != nil {
+				return nil, fmt.Errorf("bad block name %q: %w", base, err)
+			}
+			data, err := os.ReadFile(filepath.Join(sdir, base))
+			if err != nil {
+				return nil, err
+			}
+			ir, err := series.DecodeIrregular(data)
+			if err != nil {
+				return nil, fmt.Errorf("block %q: %w", base, err)
+			}
+			st.blocks = append(st.blocks, blockMeta{start: start, n: ir.N, path: filepath.Join(sdir, base)})
+		case base == "tail.raw":
+			data, err := os.ReadFile(filepath.Join(sdir, base))
+			if err != nil {
+				return nil, err
+			}
+			ir, err := series.DecodeIrregular(data)
+			if err != nil {
+				return nil, fmt.Errorf("tail: %w", err)
+			}
+			st.tail = ir.Decompress()
+		}
+	}
+	sort.Slice(st.blocks, func(i, j int) bool { return st.blocks[i].start < st.blocks[j].start })
+	for i, b := range st.blocks {
+		expect := 0
+		if i > 0 {
+			expect = st.blocks[i-1].start + st.blocks[i-1].n
+		}
+		if b.start != expect {
+			return nil, fmt.Errorf("block gap: have start %d, want %d", b.start, expect)
+		}
+		st.total += b.n
+	}
+	st.total += len(st.tail)
+	return st, nil
+}
+
+// Append adds samples to a series, compressing and persisting every
+// completed block.
+func (db *DB) Append(name string, values ...float64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	st := db.series[name]
+	if st == nil {
+		st = &seriesState{}
+		if err := os.MkdirAll(db.seriesDir(name), 0o755); err != nil {
+			return err
+		}
+		db.series[name] = st
+	}
+	st.tail = append(st.tail, values...)
+	st.total += len(values)
+	for len(st.tail) >= db.opt.BlockSize {
+		if err := db.persistBlock(name, st, st.tail[:db.opt.BlockSize], false); err != nil {
+			return err
+		}
+		st.tail = append(st.tail[:0], st.tail[db.opt.BlockSize:]...)
+	}
+	return nil
+}
+
+// persistBlock compresses (unless verbatim) and atomically writes a block.
+func (db *DB) persistBlock(name string, st *seriesState, block []float64, verbatim bool) error {
+	start := 0
+	if k := len(st.blocks); k > 0 {
+		start = st.blocks[k-1].start + st.blocks[k-1].n
+	}
+	var ir *series.Irregular
+	if verbatim {
+		ir = series.FromDense(block)
+	} else {
+		res, err := core.Compress(block, db.opt.Compression)
+		if err != nil {
+			return err
+		}
+		ir = res.Compressed
+	}
+	path := filepath.Join(db.seriesDir(name), fmt.Sprintf("%012d.blk", start))
+	if err := atomicWrite(path, ir.Encode()); err != nil {
+		return err
+	}
+	st.blocks = append(st.blocks, blockMeta{start: start, n: ir.N, path: path})
+	return nil
+}
+
+// Flush persists the in-memory tail of every series: long tails are
+// compressed as a final block, short ones stored verbatim in tail.raw.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for name, st := range db.series {
+		if len(st.tail) == 0 {
+			// Remove a stale tail file if the tail was promoted to a block.
+			_ = os.Remove(filepath.Join(db.seriesDir(name), "tail.raw"))
+			continue
+		}
+		minBlock := 4 * db.opt.Compression.Lags
+		if db.opt.Compression.AggWindow >= 2 {
+			minBlock *= db.opt.Compression.AggWindow
+		}
+		if len(st.tail) >= minBlock {
+			if err := db.persistBlock(name, st, st.tail, false); err != nil {
+				return err
+			}
+			st.tail = st.tail[:0]
+			_ = os.Remove(filepath.Join(db.seriesDir(name), "tail.raw"))
+			continue
+		}
+		ir := series.FromDense(st.tail)
+		if err := atomicWrite(filepath.Join(db.seriesDir(name), "tail.raw"), ir.Encode()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Query reconstructs samples [from, to) of a series, reading only the
+// blocks that overlap the range.
+func (db *DB) Query(name string, from, to int) ([]float64, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	st := db.series[name]
+	if st == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSeries, name)
+	}
+	if from < 0 {
+		from = 0
+	}
+	if to > st.total {
+		to = st.total
+	}
+	if from >= to {
+		return nil, nil
+	}
+	out := make([]float64, 0, to-from)
+	for _, b := range st.blocks {
+		if b.start+b.n <= from || b.start >= to {
+			continue
+		}
+		data, err := os.ReadFile(b.path)
+		if err != nil {
+			return nil, err
+		}
+		ir, err := series.DecodeIrregular(data)
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: block %s: %w", b.path, err)
+		}
+		dense := ir.Decompress()
+		lo := max(from, b.start) - b.start
+		hi := min(to, b.start+b.n) - b.start
+		out = append(out, dense[lo:hi]...)
+	}
+	tailStart := st.total - len(st.tail)
+	if to > tailStart {
+		lo := max(from, tailStart) - tailStart
+		hi := to - tailStart
+		out = append(out, st.tail[lo:hi]...)
+	}
+	return out, nil
+}
+
+// Stats summarizes one series.
+type Stats struct {
+	Samples   int
+	Blocks    int
+	TailLen   int
+	DiskBytes int64
+}
+
+// SeriesStats reports sample/block/byte counts for a series.
+func (db *DB) SeriesStats(name string) (Stats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	st := db.series[name]
+	if st == nil {
+		return Stats{}, fmt.Errorf("%w: %q", ErrUnknownSeries, name)
+	}
+	s := Stats{Samples: st.total, Blocks: len(st.blocks), TailLen: len(st.tail)}
+	for _, b := range st.blocks {
+		if fi, err := os.Stat(b.path); err == nil {
+			s.DiskBytes += fi.Size()
+		}
+	}
+	return s, nil
+}
+
+// Series lists the stored series names, sorted.
+func (db *DB) Series() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.series))
+	for n := range db.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Close flushes all tails. The DB must not be used afterwards.
+func (db *DB) Close() error { return db.Flush() }
+
+// atomicWrite writes via a temp file + rename so crashes never leave a
+// half-written block.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

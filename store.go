@@ -1,0 +1,30 @@
+package cameo
+
+import (
+	"repro/internal/core"
+	"repro/internal/tsdb"
+)
+
+// Store is a small embedded time-series database that persists regularly
+// sampled series as CAMEO-compressed, binary-encoded blocks: appends buffer
+// in memory, full blocks compress under the configured statistic guarantee,
+// and queries reconstruct only the blocks overlapping the requested range.
+type Store = tsdb.DB
+
+// StoreOptions configures a Store: the per-block CAMEO options and the
+// block size in samples.
+type StoreOptions = tsdb.Options
+
+// StoreStats summarizes one stored series.
+type StoreStats = tsdb.Stats
+
+// ErrUnknownSeries is returned by Store queries for absent series names.
+var ErrUnknownSeries = tsdb.ErrUnknownSeries
+
+// OpenStore creates or reopens a compressed time-series store rooted at dir.
+func OpenStore(dir string, compression Options, blockSize int) (*Store, error) {
+	return tsdb.Open(dir, tsdb.Options{
+		Compression: core.Options(compression),
+		BlockSize:   blockSize,
+	})
+}
