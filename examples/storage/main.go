@@ -80,4 +80,40 @@ func main() {
 	mae /= float64(len(origACF))
 	fmt.Printf("read back:  %d points, whole-stream hourly ACF MAE %.4f\n", back.Len(), mae)
 	_ = os.Remove(path)
+
+	// The same pipeline, managed: hand the stream to the embedded Store
+	// instead of persisting by hand — blocks compress asynchronously off
+	// the append path and land as crash-consistent files.
+	dir := filepath.Join(os.TempDir(), "cameo-storage-demo")
+	_ = os.RemoveAll(dir)
+	defer os.RemoveAll(dir)
+	store, err := cameo.OpenStoreOptions(dir, cameo.StoreOptions{
+		Compression: cameo.Options{Lags: 24, Epsilon: 0.01, AggWindow: 60, AggFunc: cameo.AggMean},
+		BlockSize:   5760,
+		Workers:     2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < n; i += 512 {
+		end := i + 512
+		if end > n {
+			end = n
+		}
+		if err := store.Append("humidity", stream[i:end]...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := store.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	st, err := store.SeriesStats("humidity")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("via store:  %d samples in %d blocks, %d bytes on disk (%.0fx smaller)\n",
+		st.Samples, st.Blocks, st.DiskBytes, float64(rawBytes)/float64(st.DiskBytes))
+	if err := store.Close(); err != nil {
+		log.Fatal(err)
+	}
 }

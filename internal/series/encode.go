@@ -79,24 +79,50 @@ func encodeValues(pts []Point) []byte {
 	return w.bytes()
 }
 
-// DecodeIrregular parses bytes produced by Encode.
-func DecodeIrregular(data []byte) (*Irregular, error) {
+// HeaderLen is the maximum encoded header size: the magic plus two
+// uvarints. Reading this many bytes of an Encode result is always enough
+// for DecodeHeader.
+const HeaderLen = 4 + 2*binary.MaxVarintLen64
+
+// decodeHeader parses the magic and the two header uvarints, returning the
+// dense length, the point count, and the remaining bytes.
+func decodeHeader(data []byte) (n, cnt uint64, rest []byte, err error) {
 	if len(data) < 6 || data[0] != 'C' || data[1] != 'A' || data[2] != 'M' || data[3] != '1' {
-		return nil, ErrBadEncoding
+		return 0, 0, nil, ErrBadEncoding
 	}
-	rest := data[4:]
+	rest = data[4:]
 	n, k := binary.Uvarint(rest)
 	if k <= 0 {
-		return nil, ErrBadEncoding
+		return 0, 0, nil, ErrBadEncoding
 	}
 	rest = rest[k:]
-	cnt, k := binary.Uvarint(rest)
+	cnt, k = binary.Uvarint(rest)
 	if k <= 0 {
-		return nil, ErrBadEncoding
+		return 0, 0, nil, ErrBadEncoding
 	}
 	rest = rest[k:]
 	if cnt > n+1 || n > math.MaxInt32 {
-		return nil, fmt.Errorf("series: implausible header (n=%d, points=%d): %w", n, cnt, ErrBadEncoding)
+		return 0, 0, nil, fmt.Errorf("series: implausible header (n=%d, points=%d): %w", n, cnt, ErrBadEncoding)
+	}
+	return n, cnt, rest, nil
+}
+
+// DecodeHeader returns the dense length N of an Encode result from its
+// header alone — the first HeaderLen bytes suffice — without decoding
+// points. Storage layers use it to index blocks in O(1) per block.
+func DecodeHeader(data []byte) (int, error) {
+	n, _, _, err := decodeHeader(data)
+	if err != nil {
+		return 0, err
+	}
+	return int(n), nil
+}
+
+// DecodeIrregular parses bytes produced by Encode.
+func DecodeIrregular(data []byte) (*Irregular, error) {
+	n, cnt, rest, err := decodeHeader(data)
+	if err != nil {
+		return nil, err
 	}
 	indices := make([]int, cnt)
 	prev := -1

@@ -126,3 +126,24 @@ func TestEncodeRoundtripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDecodeHeader(t *testing.T) {
+	ir := FromDense([]float64{1.5, 2.5, 3.5, 4.5, 5.5})
+	enc := ir.Encode()
+	// The full encoding and a HeaderLen prefix must both yield N.
+	for _, data := range [][]byte{enc, enc[:min(len(enc), HeaderLen)]} {
+		n, err := DecodeHeader(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 5 {
+			t.Fatalf("DecodeHeader N = %d, want 5", n)
+		}
+	}
+	if _, err := DecodeHeader([]byte("garbage")); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	if _, err := DecodeHeader(enc[:5]); err == nil {
+		t.Fatal("expected error for truncated header")
+	}
+}

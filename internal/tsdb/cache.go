@@ -1,0 +1,87 @@
+package tsdb
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// blockCache is a small LRU of decoded blocks keyed by block-file path
+// (unique per series + start). Repeated range queries over warm blocks
+// skip the disk read and the irregular-encoding decode. A nil *blockCache
+// is valid and caches nothing, so callers never branch on the CacheBlocks
+// option.
+type blockCache struct {
+	hits   atomic.Uint64
+	misses atomic.Uint64
+
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key   string
+	dense []float64
+}
+
+func newBlockCache(capacity int) *blockCache {
+	return &blockCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached reconstruction for a block, marking it most
+// recently used. Callers must treat the returned slice as read-only.
+func (c *blockCache) get(key string) ([]float64, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	dense := el.Value.(*cacheEntry).dense
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return dense, true
+}
+
+// put stores a block reconstruction, evicting the least recently used
+// entry when over capacity.
+func (c *blockCache) put(key string, dense []float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).dense = dense
+		c.order.MoveToFront(el)
+		c.mu.Unlock()
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, dense: dense})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	c.mu.Unlock()
+}
+
+// len reports the number of cached blocks (for tests).
+func (c *blockCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

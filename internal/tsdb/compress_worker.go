@@ -1,0 +1,112 @@
+package tsdb
+
+import "sync"
+
+// compressJob asks a worker to compress and persist one cut block, then
+// publish it into the owning series' durable block index.
+type compressJob struct {
+	name string
+	sh   *shard
+	st   *seriesState
+	pb   *pendingBlock
+}
+
+// workerPool runs block compressions on a fixed set of goroutines behind a
+// bounded queue, and supports a drain barrier (Sync/Flush) that waits for
+// every enqueued job — queued or executing — to finish.
+type workerPool struct {
+	db   *DB
+	jobs chan compressJob
+	wg   sync.WaitGroup
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	outstanding int // queued + executing jobs
+}
+
+func newWorkerPool(db *DB, workers int) *workerPool {
+	p := &workerPool{db: db, jobs: make(chan compressJob, 2*workers)}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.run()
+	}
+	return p
+}
+
+// reserve counts a cut block toward the drain barrier. Append calls it
+// while still holding the shard lock, so a Sync racing the cut can never
+// observe quiescence while a block is cut but not yet enqueued.
+func (p *workerPool) reserve() {
+	p.mu.Lock()
+	p.outstanding++
+	p.mu.Unlock()
+}
+
+// submit hands a reserved job to the pool, blocking (backpressure) when
+// the queue is full.
+func (p *workerPool) submit(j compressJob) {
+	p.jobs <- j
+}
+
+func (p *workerPool) run() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		meta, recon, err := p.db.buildBlock(j.name, j.pb.start, j.pb.raw, false)
+		j.sh.mu.Lock()
+		if err != nil {
+			// The block stays in st.pending with its raw samples; Flush
+			// repairs it synchronously, and Append/Sync surface the error
+			// until then.
+			j.pb.err = err
+			p.db.noteFailure(err)
+		} else {
+			delete(j.st.pending, j.pb.start)
+			j.st.insertBlock(meta)
+			j.pb.recon = recon
+			j.pb.raw = nil
+			p.db.cache.put(meta.path, recon)
+		}
+		j.sh.mu.Unlock()
+		close(j.pb.done)
+		p.jobDone()
+	}
+}
+
+func (p *workerPool) jobDone() {
+	p.mu.Lock()
+	p.outstanding--
+	if p.outstanding == 0 {
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// drain blocks until the pool has no queued or executing jobs. Jobs
+// enqueued concurrently with drain extend the wait.
+func (p *workerPool) drain() {
+	p.mu.Lock()
+	for p.outstanding > 0 {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// backlog reports (queued, executing) job counts for Stats.
+func (p *workerPool) backlog() (queued, inflight int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	queued = len(p.jobs)
+	inflight = p.outstanding - queued
+	if inflight < 0 {
+		inflight = 0
+	}
+	return queued, inflight
+}
+
+// stop closes the queue and waits for the workers to exit. The caller must
+// guarantee no further enqueues.
+func (p *workerPool) stop() {
+	close(p.jobs)
+	p.wg.Wait()
+}

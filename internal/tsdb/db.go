@@ -1,0 +1,672 @@
+// Package tsdb is an embedded time-series store built on CAMEO block
+// compression, organized as a sharded, concurrent ingestion engine: series
+// are hashed across independent shards so appends to different series never
+// contend on a lock, full blocks are compressed off the append path by a
+// bounded worker pool, and a small LRU cache keeps recently decoded blocks
+// in memory so repeated range queries skip the disk read and decode.
+//
+// On disk the layout is unchanged from the original minimal store — one
+// directory per series, one compressed block file per BlockSize samples,
+// plus an optional verbatim tail — and every file is written with an atomic
+// rename, so the store is crash-consistent and reopenable. Because async
+// workers may persist blocks out of order, Open additionally recovers from
+// crash artifacts: stale *.tmp files are deleted, block files orphaned
+// beyond a hole in the sequence (a crash landed block k+1 but not k) are
+// discarded so the contiguous prefix remains queryable, and .tail files
+// whose start stamp predates the durable block frontier (their samples
+// were since cut into a block) are dropped instead of replayed twice.
+//
+// Concurrency model: Append and Query may be called freely from any number
+// of goroutines. Sync blocks until every queued compression is durable and
+// surfaces the first worker error; Flush additionally persists in-memory
+// tails. Close must not race with other calls. A Query that overlaps a
+// block still being compressed waits for that block, so reads always
+// observe the compressed (lossy) reconstruction of completed blocks — never
+// a raw/lossy mix that would change once the worker finishes.
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/series"
+)
+
+// Options configures a DB.
+type Options struct {
+	// Compression holds the CAMEO options applied to every full block
+	// (Lags and Epsilon / TargetRatio required, as for core.Compress).
+	Compression core.Options
+	// BlockSize is the number of samples per compressed block
+	// (default 4096; must satisfy the streaming minimum 4x lags[*window]).
+	BlockSize int
+	// Shards is the number of independent lock domains series names are
+	// hashed into (default 16). Appends and queries on series in different
+	// shards never contend. Shards=1 restores a single global lock.
+	Shards int
+	// Workers sets the block-compression worker pool: 0 picks
+	// runtime.GOMAXPROCS(0) workers, a positive value that many, and a
+	// negative value disables the pool entirely so Append compresses
+	// blocks inline (the original synchronous behavior).
+	Workers int
+	// CacheBlocks bounds the LRU cache of decoded blocks kept in memory
+	// for queries: 0 picks the default of 128 blocks, a positive value
+	// that many, and a negative value disables caching.
+	CacheBlocks int
+}
+
+func (o *Options) withDefaults() error {
+	if o.BlockSize == 0 {
+		o.BlockSize = 4096
+	}
+	if o.Shards == 0 {
+		o.Shards = 16
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("tsdb: Shards must be positive, got %d", o.Shards)
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.CacheBlocks == 0 {
+		o.CacheBlocks = 128
+	}
+	if err := o.Compression.Validate(); err != nil {
+		return err
+	}
+	if o.BlockSize < o.minBlock() {
+		return fmt.Errorf("tsdb: BlockSize %d below the statistic's minimum %d", o.BlockSize, o.minBlock())
+	}
+	return nil
+}
+
+// minBlock is the smallest sample count the configured statistic can be
+// estimated on (the streaming minimum 4x lags, scaled by the aggregation
+// window when one is set).
+func (o *Options) minBlock() int {
+	m := 4 * o.Compression.Lags
+	if o.Compression.AggWindow >= 2 {
+		m *= o.Compression.AggWindow
+	}
+	return m
+}
+
+// ErrUnknownSeries is returned by queries on series never appended to.
+var ErrUnknownSeries = errors.New("tsdb: unknown series")
+
+// DB is an embedded CAMEO-compressed time-series store.
+type DB struct {
+	dir    string
+	opt    Options
+	shards []*shard
+	cache  *blockCache // nil when caching is disabled
+	pool   *workerPool // nil when compression is synchronous
+
+	blocksWritten atomic.Uint64
+	bytesWritten  atomic.Uint64
+
+	errMu    sync.Mutex
+	failed   int   // failed block compressions awaiting repair
+	firstErr error // first unrepaired failure, surfaced by Append/Sync/Flush
+}
+
+// Open creates or reopens a store rooted at dir.
+func Open(dir string, opt Options) (*DB, error) {
+	if err := opt.withDefaults(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	db := &DB{dir: dir, opt: opt}
+	db.shards = make([]*shard, opt.Shards)
+	for i := range db.shards {
+		db.shards[i] = &shard{series: make(map[string]*seriesState)}
+	}
+	if opt.CacheBlocks > 0 {
+		db.cache = newBlockCache(opt.CacheBlocks)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name, err := url.PathUnescape(e.Name())
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: undecodable series directory %q: %w", e.Name(), err)
+		}
+		st, err := db.loadSeries(name)
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: loading series %q: %w", name, err)
+		}
+		db.shardFor(name).series[name] = st
+	}
+	if opt.Workers > 0 {
+		db.pool = newWorkerPool(db, opt.Workers)
+	}
+	return db, nil
+}
+
+// seriesDir maps a series name to its directory, escaping path separators
+// and other unsafe characters (names are user input; the store must never
+// write outside its root).
+func (db *DB) seriesDir(name string) string {
+	return filepath.Join(db.dir, url.PathEscape(name))
+}
+
+// loadSeries scans a series directory, indexing its blocks, reading the
+// tail file if one is still live, and cleaning up crash artifacts:
+// leftover *.tmp files from interrupted atomic writes are removed, blocks
+// beyond a hole in the start sequence (an async writer persisted a later
+// block but crashed before an earlier one) are deleted so the remaining
+// prefix is contiguous, and tail files whose start stamp no longer matches
+// the durable block frontier (the tail was cut into a block after the last
+// Flush) are discarded rather than replayed as duplicate samples.
+func (db *DB) loadSeries(name string) (*seriesState, error) {
+	st := newSeriesState()
+	sdir := db.seriesDir(name)
+	entries, err := os.ReadDir(sdir)
+	if err != nil {
+		return nil, err
+	}
+	type tailFile struct {
+		start int
+		path  string
+	}
+	var tails []tailFile
+	legacyTail := "" // pre-stamp "tail.raw" from the original engine
+	for _, e := range entries {
+		base := e.Name()
+		switch {
+		case base == "tail.raw":
+			legacyTail = filepath.Join(sdir, base)
+		case strings.HasSuffix(base, ".tmp"):
+			// Leftover from an atomicWrite interrupted mid-crash.
+			if err := os.Remove(filepath.Join(sdir, base)); err != nil {
+				return nil, fmt.Errorf("removing stale tempfile %q: %w", base, err)
+			}
+		case strings.HasSuffix(base, ".blk"):
+			start, err := strconv.Atoi(strings.TrimSuffix(base, ".blk"))
+			if err != nil {
+				return nil, fmt.Errorf("bad block name %q: %w", base, err)
+			}
+			path := filepath.Join(sdir, base)
+			info, err := e.Info()
+			if err != nil {
+				return nil, err
+			}
+			// Index from the fixed-size header alone: Open stays O(blocks),
+			// not O(samples), so reopening a large archive is a directory
+			// scan, not a full decode. (Body corruption consequently
+			// surfaces at Query time, not here; a mangled header still
+			// fails the open.)
+			n, err := readBlockHeader(path)
+			if err != nil {
+				return nil, fmt.Errorf("block %q: %w", base, err)
+			}
+			st.blocks = append(st.blocks, blockMeta{start: start, n: n, path: path, bytes: info.Size()})
+		case strings.HasSuffix(base, ".tail"):
+			start, err := strconv.Atoi(strings.TrimSuffix(base, ".tail"))
+			if err != nil {
+				return nil, fmt.Errorf("bad tail name %q: %w", base, err)
+			}
+			tails = append(tails, tailFile{start: start, path: filepath.Join(sdir, base)})
+		}
+	}
+	sort.Slice(st.blocks, func(i, j int) bool { return st.blocks[i].start < st.blocks[j].start })
+	for i, b := range st.blocks {
+		expect := 0
+		if i > 0 {
+			expect = st.blocks[i-1].start + st.blocks[i-1].n
+		}
+		if b.start != expect {
+			// Orphaned beyond a crash hole: unreachable by contiguous
+			// indexing, so discard the files and keep the prefix.
+			for _, orphan := range st.blocks[i:] {
+				if err := os.Remove(orphan.path); err != nil {
+					return nil, fmt.Errorf("removing orphaned block %q: %w", orphan.path, err)
+				}
+			}
+			st.blocks = st.blocks[:i]
+			break
+		}
+	}
+	for _, b := range st.blocks {
+		st.assigned += b.n
+	}
+	for _, tf := range tails {
+		if tf.start != st.assigned {
+			// Superseded by a block cut after the Flush that wrote it.
+			if err := os.Remove(tf.path); err != nil {
+				return nil, fmt.Errorf("removing stale tail %q: %w", tf.path, err)
+			}
+			continue
+		}
+		data, err := os.ReadFile(tf.path)
+		if err != nil {
+			return nil, err
+		}
+		ir, err := series.DecodeIrregular(data)
+		if err != nil {
+			return nil, fmt.Errorf("tail %q: %w", tf.path, err)
+		}
+		st.tail = ir.Decompress()
+		st.addTailStamp(tf.start)
+	}
+	if legacyTail != "" {
+		// The original engine stored the tail as "tail.raw" with no start
+		// stamp; it was always the live tail (appends were synchronous).
+		// Migrate it to the stamped format rather than silently dropping
+		// its samples — unless a stamped live tail already superseded it.
+		if st.tail == nil {
+			data, err := os.ReadFile(legacyTail)
+			if err != nil {
+				return nil, err
+			}
+			ir, err := series.DecodeIrregular(data)
+			if err != nil {
+				return nil, fmt.Errorf("tail %q: %w", legacyTail, err)
+			}
+			st.tail = ir.Decompress()
+			if err := atomicWrite(db.tailPath(name, st.assigned), data); err != nil {
+				return nil, err
+			}
+			st.addTailStamp(st.assigned)
+		}
+		if err := os.Remove(legacyTail); err != nil {
+			return nil, err
+		}
+	}
+	st.total = st.assigned + len(st.tail)
+	return st, nil
+}
+
+// buildBlock compresses (unless verbatim) one block and atomically writes
+// it, returning its metadata and decoded reconstruction. It performs no
+// shard-state mutation, so workers call it without holding any lock.
+func (db *DB) buildBlock(name string, start int, block []float64, verbatim bool) (blockMeta, []float64, error) {
+	var ir *series.Irregular
+	if verbatim {
+		ir = series.FromDense(block)
+	} else {
+		res, err := core.Compress(block, db.opt.Compression)
+		if err != nil {
+			return blockMeta{}, nil, err
+		}
+		ir = res.Compressed
+	}
+	data := ir.Encode()
+	path := filepath.Join(db.seriesDir(name), fmt.Sprintf("%012d.blk", start))
+	if err := atomicWrite(path, data); err != nil {
+		return blockMeta{}, nil, err
+	}
+	db.blocksWritten.Add(1)
+	db.bytesWritten.Add(uint64(len(data)))
+	return blockMeta{start: start, n: ir.N, path: path, bytes: int64(len(data))}, ir.Decompress(), nil
+}
+
+// Sync blocks until every queued block compression has been persisted and
+// returns the first asynchronous worker error, if any.
+func (db *DB) Sync() error {
+	if db.pool != nil {
+		db.pool.drain()
+	}
+	return db.err()
+}
+
+// Flush drains in-flight compressions, synchronously retries any block
+// whose async compression failed, then persists the in-memory tail of
+// every series: long tails are compressed as a final block, short ones
+// stored verbatim in a start-stamped .tail file. Tails of unaffected
+// series are persisted even when another series has a failure, so one bad
+// block cannot cost every series its buffered samples; once every failed
+// block is repaired the store resumes normal operation.
+func (db *DB) Flush() error {
+	db.Sync() // drain; failures are retried below and re-checked at return
+	var opErr error
+	for _, sh := range db.shards {
+		sh.mu.Lock()
+		for name, st := range sh.series {
+			if err := db.repairPendingLocked(name, st); err != nil && opErr == nil {
+				opErr = err
+			}
+			if err := db.flushTailLocked(name, st); err != nil && opErr == nil {
+				opErr = err
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if opErr != nil {
+		return opErr
+	}
+	return db.err()
+}
+
+// repairPendingLocked synchronously re-persists blocks whose async
+// compression failed (their raw samples were retained); the caller holds
+// the shard lock. Without this, a single failed block would leave a
+// permanent hole that crash recovery resolves by discarding everything
+// after it.
+func (db *DB) repairPendingLocked(name string, st *seriesState) error {
+	for start, pb := range st.pending {
+		if pb.err == nil {
+			continue // enqueued after the drain; its worker will publish it
+		}
+		meta, recon, err := db.buildBlock(name, start, pb.raw, false)
+		if err != nil {
+			return err
+		}
+		delete(st.pending, start)
+		st.insertBlock(meta)
+		db.cache.put(meta.path, recon)
+		db.noteRepair()
+	}
+	return nil
+}
+
+// tailPath names the verbatim tail file for a series; the start stamp lets
+// Open distinguish a live tail from one superseded by a later block cut.
+func (db *DB) tailPath(name string, start int) string {
+	return filepath.Join(db.seriesDir(name), fmt.Sprintf("%012d.tail", start))
+}
+
+// pruneTailStampsLocked removes the on-disk tail files of a series whose
+// coverage is fully durable: a tail stamped at start s is superseded once
+// contiguous durable blocks reach past s, because the block cut at s
+// covers at least the tail's samples. Files stamped at or beyond the
+// frontier are kept — deleting them on the promise of an in-flight block
+// would lose durable data if a crash kept that block from ever landing.
+// The stamps are tracked in memory, so no directory scan is needed.
+func (db *DB) pruneTailStampsLocked(name string, st *seriesState) {
+	frontier := st.durableFrontier()
+	keep := st.tailStamps[:0]
+	for _, s := range st.tailStamps {
+		if s < frontier {
+			_ = os.Remove(db.tailPath(name, s))
+		} else {
+			keep = append(keep, s)
+		}
+	}
+	st.tailStamps = keep
+}
+
+// flushTailLocked persists one series' tail; the caller holds the shard lock.
+func (db *DB) flushTailLocked(name string, st *seriesState) error {
+	switch {
+	case len(st.tail) == 0:
+		// Nothing buffered; superseded tail files are pruned below.
+	case len(st.tail) >= db.opt.minBlock():
+		meta, recon, err := db.buildBlock(name, st.assigned, st.tail, false)
+		if err != nil {
+			return err
+		}
+		st.insertBlock(meta)
+		st.assigned += meta.n
+		st.tail = st.tail[:0]
+		db.cache.put(meta.path, recon)
+	default:
+		ir := series.FromDense(st.tail)
+		if err := atomicWrite(db.tailPath(name, st.assigned), ir.Encode()); err != nil {
+			return err
+		}
+		st.addTailStamp(st.assigned)
+	}
+	db.pruneTailStampsLocked(name, st)
+	return nil
+}
+
+// Query reconstructs samples [from, to) of a series, reading only the
+// blocks that overlap the range. Durable blocks are served from the decoded
+// LRU cache when possible; blocks whose compression is still in flight are
+// waited for, so the result always reflects the compressed reconstruction.
+func (db *DB) Query(name string, from, to int) ([]float64, error) {
+	sh := db.shardFor(name)
+	sh.mu.RLock()
+	st := sh.series[name]
+	if st == nil {
+		sh.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSeries, name)
+	}
+	if from < 0 {
+		from = 0
+	}
+	if to > st.total {
+		to = st.total
+	}
+	if from >= to {
+		sh.mu.RUnlock()
+		return nil, nil
+	}
+	// Snapshot the overlapping segments under the read lock, then resolve
+	// them (disk reads, cache lookups, waits on in-flight blocks) without
+	// holding it.
+	type segment struct {
+		meta    blockMeta
+		pending *pendingBlock // non-nil for blocks still compressing
+	}
+	var segs []segment
+	for _, b := range st.blocks {
+		if b.start+b.n > from && b.start < to {
+			segs = append(segs, segment{meta: b})
+		}
+	}
+	for _, pb := range st.pending {
+		if pb.start+len(pb.raw) > from && pb.start < to {
+			segs = append(segs, segment{meta: blockMeta{start: pb.start, n: len(pb.raw)}, pending: pb})
+		}
+	}
+	tailStart := st.total - len(st.tail)
+	var tailPart []float64
+	if to > tailStart {
+		lo := max(from, tailStart) - tailStart
+		tailPart = append(tailPart, st.tail[lo:to-tailStart]...)
+	}
+	sh.mu.RUnlock()
+
+	sort.Slice(segs, func(i, j int) bool { return segs[i].meta.start < segs[j].meta.start })
+	out := make([]float64, 0, to-from)
+	for _, s := range segs {
+		var dense []float64
+		if s.pending != nil {
+			<-s.pending.done
+			if s.pending.err != nil {
+				return nil, fmt.Errorf("tsdb: block at %d: %w", s.meta.start, s.pending.err)
+			}
+			dense = s.pending.recon
+		} else {
+			var err error
+			dense, err = db.readBlock(s.meta)
+			if err != nil {
+				return nil, err
+			}
+		}
+		lo := max(from, s.meta.start) - s.meta.start
+		hi := min(to, s.meta.start+s.meta.n) - s.meta.start
+		out = append(out, dense[lo:hi]...)
+	}
+	out = append(out, tailPart...)
+	return out, nil
+}
+
+// readBlock returns the decoded reconstruction of a durable block, serving
+// it from the LRU cache when present.
+func (db *DB) readBlock(meta blockMeta) ([]float64, error) {
+	if dense, ok := db.cache.get(meta.path); ok {
+		return dense, nil
+	}
+	data, err := os.ReadFile(meta.path)
+	if err != nil {
+		return nil, err
+	}
+	ir, err := series.DecodeIrregular(data)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: block %s: %w", meta.path, err)
+	}
+	dense := ir.Decompress()
+	db.cache.put(meta.path, dense)
+	return dense, nil
+}
+
+// Stats summarizes one series.
+type Stats struct {
+	Samples   int
+	Blocks    int
+	TailLen   int
+	DiskBytes int64
+}
+
+// SeriesStats reports sample/block/byte counts for a series. Samples
+// includes in-flight and tail samples; Blocks and DiskBytes cover only
+// durable blocks (call Sync first for a fully settled view).
+func (db *DB) SeriesStats(name string) (Stats, error) {
+	sh := db.shardFor(name)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	st := sh.series[name]
+	if st == nil {
+		return Stats{}, fmt.Errorf("%w: %q", ErrUnknownSeries, name)
+	}
+	s := Stats{Samples: st.total, Blocks: len(st.blocks), TailLen: len(st.tail)}
+	for _, b := range st.blocks {
+		s.DiskBytes += b.bytes
+	}
+	return s, nil
+}
+
+// DBStats aggregates engine-level observability counters across all shards.
+type DBStats struct {
+	Series        int    // distinct series
+	Samples       int    // total samples across series (incl. tails)
+	BlocksWritten uint64 // blocks persisted since Open
+	BytesWritten  uint64 // compressed bytes persisted since Open
+	DiskBytes     int64  // current durable block bytes across series
+	CacheHits     uint64 // decoded-block cache hits
+	CacheMisses   uint64 // decoded-block cache misses
+	Queued        int    // compressions waiting in the worker queue
+	Inflight      int    // compressions currently executing
+}
+
+// Stats reports engine-level totals: write volume, cache effectiveness, and
+// worker-pool backlog.
+func (db *DB) Stats() DBStats {
+	s := DBStats{
+		BlocksWritten: db.blocksWritten.Load(),
+		BytesWritten:  db.bytesWritten.Load(),
+	}
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		for _, st := range sh.series {
+			s.Series++
+			s.Samples += st.total
+			for _, b := range st.blocks {
+				s.DiskBytes += b.bytes
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	if db.cache != nil {
+		s.CacheHits = db.cache.hits.Load()
+		s.CacheMisses = db.cache.misses.Load()
+	}
+	if db.pool != nil {
+		s.Queued, s.Inflight = db.pool.backlog()
+	}
+	return s
+}
+
+// Series lists the stored series names, sorted.
+func (db *DB) Series() []string {
+	var names []string
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		for n := range sh.series {
+			names = append(names, n)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Close flushes all tails and stops the worker pool. The DB must not be
+// used afterwards, and Close must not race with Append or Query.
+func (db *DB) Close() error {
+	err := db.Flush()
+	if db.pool != nil {
+		db.pool.stop()
+		db.pool = nil
+	}
+	return err
+}
+
+// noteFailure records a failed block compression. The block stays in its
+// series' pending set (raw samples retained) until a Flush repairs it.
+func (db *DB) noteFailure(err error) {
+	db.errMu.Lock()
+	db.failed++
+	if db.firstErr == nil {
+		db.firstErr = err
+	}
+	db.errMu.Unlock()
+}
+
+// noteRepair marks one failed block as successfully re-persisted; once no
+// failures remain the store resumes normal operation.
+func (db *DB) noteRepair() {
+	db.errMu.Lock()
+	db.failed--
+	if db.failed == 0 {
+		db.firstErr = nil
+	}
+	db.errMu.Unlock()
+}
+
+func (db *DB) err() error {
+	db.errMu.Lock()
+	defer db.errMu.Unlock()
+	return db.firstErr
+}
+
+// readBlockHeader reads just enough of a block file to recover its dense
+// sample count.
+func readBlockHeader(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	buf := make([]byte, series.HeaderLen)
+	k, err := io.ReadFull(f, buf)
+	if err == io.ErrUnexpectedEOF || err == io.EOF {
+		err = nil // tiny block: the header may be the whole file
+	}
+	if err != nil {
+		return 0, err
+	}
+	return series.DecodeHeader(buf[:k])
+}
+
+// atomicWrite writes via a temp file + rename so crashes never leave a
+// half-written block. (Open removes any *.tmp leftovers from crashes
+// between the write and the rename.)
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,158 @@
+package tsdb
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// shard is one lock domain of the store. Series names are hashed across
+// shards so operations on series in different shards proceed concurrently.
+type shard struct {
+	mu     sync.RWMutex
+	series map[string]*seriesState
+}
+
+// blockMeta indexes one persisted block.
+type blockMeta struct {
+	start int // first sample index
+	n     int // samples covered
+	path  string
+	bytes int64 // encoded size on disk
+}
+
+// pendingBlock is a block that has been cut from the tail but whose
+// compression has not yet completed. Queries overlapping it wait on done;
+// the worker fills recon (the decoded reconstruction) or err before
+// closing the channel.
+type pendingBlock struct {
+	start int
+	raw   []float64 // owned copy of the cut samples; nil once durable
+	done  chan struct{}
+
+	// Written by the worker under the shard lock before done is closed.
+	recon []float64
+	err   error
+}
+
+// seriesState is the in-memory view of one series.
+type seriesState struct {
+	blocks     []blockMeta           // durable, sorted by start
+	pending    map[int]*pendingBlock // cut blocks still compressing, by start
+	tail       []float64             // samples not yet cut into a block
+	tailStamps []int                 // start stamps of on-disk tail files
+	assigned   int                   // samples cut into blocks (durable + pending)
+	total      int                   // assigned + len(tail)
+}
+
+func newSeriesState() *seriesState {
+	return &seriesState{pending: make(map[int]*pendingBlock)}
+}
+
+// addTailStamp records an on-disk tail file (idempotent: rewriting the
+// same stamp reuses the same file).
+func (st *seriesState) addTailStamp(start int) {
+	for _, s := range st.tailStamps {
+		if s == start {
+			return
+		}
+	}
+	st.tailStamps = append(st.tailStamps, start)
+}
+
+// durableFrontier is the end of the contiguous durable block prefix: every
+// sample below it survives a crash. Out-of-order worker completions can
+// leave durable blocks beyond a hole; those don't extend the frontier
+// (recovery discards them).
+func (st *seriesState) durableFrontier() int {
+	f := 0
+	for _, b := range st.blocks {
+		if b.start != f {
+			break
+		}
+		f += b.n
+	}
+	return f
+}
+
+// insertBlock adds a durable block, keeping blocks sorted by start (async
+// workers may complete out of order).
+func (st *seriesState) insertBlock(meta blockMeta) {
+	i := sort.Search(len(st.blocks), func(i int) bool { return st.blocks[i].start >= meta.start })
+	st.blocks = append(st.blocks, blockMeta{})
+	copy(st.blocks[i+1:], st.blocks[i:])
+	st.blocks[i] = meta
+}
+
+// shardFor hashes a series name to its shard (inline FNV-1a: this sits on
+// every Append/Query, and hash.Hash32 would allocate per call).
+func (db *DB) shardFor(name string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return db.shards[h%uint32(len(db.shards))]
+}
+
+// Append adds samples to a series. Completed blocks are cut from the tail
+// and handed to the compression worker pool (or, with Workers < 0,
+// compressed inline); the append itself only buffers and slices, so ingest
+// latency is decoupled from CAMEO's compression cost. After an async block
+// compression fails, Append refuses further writes until a Flush repairs
+// the failed block, so callers find out about the failure before it is
+// buried under acknowledged-but-undurable data.
+func (db *DB) Append(name string, values ...float64) error {
+	if err := db.err(); err != nil {
+		return fmt.Errorf("tsdb: a block compression failed (Flush retries it): %w", err)
+	}
+	sh := db.shardFor(name)
+	sh.mu.Lock()
+	st := sh.series[name]
+	if st == nil {
+		if err := os.MkdirAll(db.seriesDir(name), 0o755); err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+		st = newSeriesState()
+		sh.series[name] = st
+	}
+	st.tail = append(st.tail, values...)
+	st.total += len(values)
+	var cut []*pendingBlock
+	for len(st.tail) >= db.opt.BlockSize {
+		if db.pool == nil {
+			// Synchronous mode: compress and persist under the shard lock,
+			// and only trim the tail once the block is durable — a write
+			// error leaves the samples buffered, and a later Append or
+			// Flush re-attempts the cut. (Callers must not re-send the
+			// failed values; they are still in the tail.)
+			meta, recon, err := db.buildBlock(name, st.assigned, st.tail[:db.opt.BlockSize], false)
+			if err != nil {
+				sh.mu.Unlock()
+				return err
+			}
+			st.insertBlock(meta)
+			st.assigned += meta.n
+			st.tail = append(st.tail[:0], st.tail[db.opt.BlockSize:]...)
+			db.cache.put(meta.path, recon)
+			continue
+		}
+		block := make([]float64, db.opt.BlockSize)
+		copy(block, st.tail)
+		st.tail = append(st.tail[:0], st.tail[db.opt.BlockSize:]...)
+		pb := &pendingBlock{start: st.assigned, raw: block, done: make(chan struct{})}
+		st.assigned += len(block)
+		st.pending[pb.start] = pb
+		db.pool.reserve() // visible to Sync before the lock is released
+		cut = append(cut, pb)
+	}
+	sh.mu.Unlock()
+	// Submit outside the lock: a full queue applies backpressure to this
+	// appender without blocking the whole shard.
+	for _, pb := range cut {
+		db.pool.submit(compressJob{name: name, sh: sh, st: st, pb: pb})
+	}
+	return nil
+}

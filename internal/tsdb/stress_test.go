@@ -1,0 +1,215 @@
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestConcurrentAppendQueryFlush hammers the engine with parallel
+// appenders, queriers, and flushers across many series, then verifies no
+// samples were lost and the store reopens to the same totals. Run with
+// -race to exercise the shard/worker/cache synchronization.
+func TestConcurrentAppendQueryFlush(t *testing.T) {
+	appenders, rounds := 8, 36
+	if testing.Short() {
+		appenders, rounds = 4, 12
+	}
+	dir := t.TempDir()
+	db, err := Open(dir, Options{
+		Compression: core.Options{Lags: 16, Epsilon: 0.05},
+		BlockSize:   256,
+		Shards:      8,
+		Workers:     4,
+		CacheBlocks: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const nSeries = 12
+	name := func(i int) string { return fmt.Sprintf("sensor/%02d", i) }
+	var appended [nSeries]atomic.Int64
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Queriers: random ranges on random series. Results are not asserted —
+	// concurrent appends interleave, and totals move between Query's
+	// internal snapshot and any outside check — but errors other than
+	// ErrUnknownSeries are failures, and the race detector watches the
+	// shared state. (Exact result checking is the differential test's job.)
+	for q := 0; q < 3; q++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := rng.Intn(nSeries)
+				from := rng.Intn(2000)
+				if _, err := db.Query(name(s), from, from+rng.Intn(500)); err != nil && !errors.Is(err, ErrUnknownSeries) {
+					t.Errorf("query: %v", err)
+					return
+				}
+				time.Sleep(time.Millisecond) // keep the spin from starving appenders under -race
+			}
+		}(int64(100 + q))
+	}
+
+	// A flusher running concurrently with ingest.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := db.Sync(); err != nil {
+				t.Errorf("sync: %v", err)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	// Appenders: each owns a disjoint set of series so per-series counts
+	// are exact.
+	var appWG sync.WaitGroup
+	for a := 0; a < appenders; a++ {
+		appWG.Add(1)
+		go func(id int) {
+			defer appWG.Done()
+			rng := rand.New(rand.NewSource(int64(id)))
+			for r := 0; r < rounds; r++ {
+				s := (id + r*appenders) % nSeries
+				chunk := sensorData(1+rng.Intn(400), int64(id*1000+r))
+				if err := db.Append(name(s), chunk...); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				appended[s].Add(int64(len(chunk)))
+			}
+		}(a)
+	}
+	appWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < nSeries; s++ {
+		want := int(appended[s].Load())
+		if want == 0 {
+			continue
+		}
+		st, err := db.SeriesStats(name(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Samples != want {
+			t.Fatalf("series %d: %d samples stored, %d appended", s, st.Samples, want)
+		}
+		got, err := db.Query(name(s), 0, want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != want {
+			t.Fatalf("series %d: query returned %d of %d samples", s, len(got), want)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: totals and block contiguity must survive.
+	db2, err := Open(dir, Options{
+		Compression: core.Options{Lags: 16, Epsilon: 0.05},
+		BlockSize:   256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for s := 0; s < nSeries; s++ {
+		want := int(appended[s].Load())
+		if want == 0 {
+			continue
+		}
+		st, err := db2.SeriesStats(name(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Samples != want {
+			t.Fatalf("series %d lost samples across reopen: %d vs %d", s, st.Samples, want)
+		}
+	}
+}
+
+// TestConcurrentSingleSeries checks that interleaved appenders on ONE
+// series never lose or duplicate samples (ordering between goroutines is
+// unspecified, counts are not).
+func TestConcurrentSingleSeries(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{
+		Compression: core.Options{Lags: 16, Epsilon: 0.05},
+		BlockSize:   256,
+		Shards:      4,
+		Workers:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	goroutines, per := 6, 25
+	if testing.Short() {
+		goroutines, per = 4, 8
+	}
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				chunk := sensorData(1+rng.Intn(300), seed*97+int64(i))
+				if err := db.Append("shared", chunk...); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				total.Add(int64(len(chunk)))
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := db.SeriesStats("shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Samples != int(total.Load()) {
+		t.Fatalf("stored %d samples, appended %d", st.Samples, total.Load())
+	}
+	got, err := db.Query("shared", 0, st.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != st.Samples {
+		t.Fatalf("query returned %d of %d", len(got), st.Samples)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/acf"
@@ -175,8 +176,14 @@ func TestFlushPromotesLongTail(t *testing.T) {
 	if st.Blocks != 1 {
 		t.Fatalf("long tail should become a block, got %d blocks (tail %d)", st.Blocks, st.TailLen)
 	}
-	if _, err := os.Stat(filepath.Join(dir, "x", "tail.raw")); !os.IsNotExist(err) {
-		t.Fatal("tail.raw should be removed after promotion")
+	entries, err := os.ReadDir(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tail") {
+			t.Fatalf("tail file %s should be removed after promotion", e.Name())
+		}
 	}
 }
 
@@ -232,6 +239,10 @@ func TestDiskFootprintSmallerThanRaw(t *testing.T) {
 	}
 	n := 4096
 	if err := db.Append("big", sensorData(n, 7)...); err != nil {
+		t.Fatal(err)
+	}
+	// DiskBytes covers durable blocks only; wait out the async workers.
+	if err := db.Sync(); err != nil {
 		t.Fatal(err)
 	}
 	st, err := db.SeriesStats("big")

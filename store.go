@@ -5,26 +5,53 @@ import (
 	"repro/internal/tsdb"
 )
 
-// Store is a small embedded time-series database that persists regularly
-// sampled series as CAMEO-compressed, binary-encoded blocks: appends buffer
-// in memory, full blocks compress under the configured statistic guarantee,
-// and queries reconstruct only the blocks overlapping the requested range.
+// Store is an embedded time-series database that persists regularly
+// sampled series as CAMEO-compressed, binary-encoded blocks. The engine is
+// sharded and concurrent: series names hash across independent lock
+// domains, full blocks compress on a bounded worker pool off the append
+// path, and an LRU cache of decoded blocks serves repeated range queries
+// from memory. Appends buffer in memory, full blocks compress under the
+// configured statistic guarantee, and queries reconstruct only the blocks
+// overlapping the requested range.
 type Store = tsdb.DB
 
-// StoreOptions configures a Store: the per-block CAMEO options and the
-// block size in samples.
+// StoreOptions configures a Store:
+//
+//   - Compression: the per-block CAMEO options (Lags and Epsilon or
+//     TargetRatio required).
+//   - BlockSize: samples per compressed block (default 4096).
+//   - Shards: independent lock domains for series (default 16); appends to
+//     series in different shards never contend. Shards=1 restores a single
+//     global lock.
+//   - Workers: block-compression pool size; 0 picks GOMAXPROCS, negative
+//     disables the pool so appends compress inline (synchronous mode).
+//   - CacheBlocks: LRU capacity, in blocks, of decoded reconstructions
+//     kept for queries; 0 picks 128, negative disables caching.
 type StoreOptions = tsdb.Options
 
-// StoreStats summarizes one stored series.
+// StoreStats summarizes one stored series (see Store.SeriesStats).
 type StoreStats = tsdb.Stats
+
+// StoreTotals aggregates engine-level counters — blocks/bytes written,
+// cache hits and misses, and the compression queue backlog (see
+// Store.Stats).
+type StoreTotals = tsdb.DBStats
 
 // ErrUnknownSeries is returned by Store queries for absent series names.
 var ErrUnknownSeries = tsdb.ErrUnknownSeries
 
-// OpenStore creates or reopens a compressed time-series store rooted at dir.
+// OpenStore creates or reopens a compressed time-series store rooted at
+// dir with default engine settings (16 shards, GOMAXPROCS compression
+// workers, 128-block decoded cache). Use OpenStoreOptions to tune them.
 func OpenStore(dir string, compression Options, blockSize int) (*Store, error) {
 	return tsdb.Open(dir, tsdb.Options{
 		Compression: core.Options(compression),
 		BlockSize:   blockSize,
 	})
+}
+
+// OpenStoreOptions creates or reopens a store with full control over the
+// engine knobs in StoreOptions.
+func OpenStoreOptions(dir string, opt StoreOptions) (*Store, error) {
+	return tsdb.Open(dir, opt)
 }
