@@ -7,8 +7,10 @@
 //
 // On disk the layout is unchanged from the original minimal store — one
 // directory per series, one compressed block file per BlockSize samples,
-// plus an optional verbatim tail — and every file is written with an atomic
-// rename, so the store is crash-consistent and reopenable. Because async
+// plus an optional verbatim tail — and every file is written with an
+// fsynced atomic rename (data and directory entry reach stable storage
+// before success), so the store is crash-consistent even across OS crashes
+// and power loss, and always reopenable. Because async
 // workers may persist blocks out of order, Open additionally recovers from
 // crash artifacts: stale *.tmp files are deleted, block files orphaned
 // beyond a hole in the sequence (a crash landed block k+1 but not k) are
@@ -105,6 +107,23 @@ func (o *Options) minBlock() int {
 // ErrUnknownSeries is returned by queries on series never appended to.
 var ErrUnknownSeries = errors.New("tsdb: unknown series")
 
+// ErrBadSeriesName is returned by Append for series names that cannot be
+// mapped to a directory of their own under the store root.
+var ErrBadSeriesName = errors.New("tsdb: invalid series name")
+
+// validateSeriesName rejects the names whose escaped form would not be a
+// plain child directory of the store root: url.PathEscape leaves '.'
+// unescaped, so "." and ".." survive as-is and would address the root
+// itself or its parent, and the empty name escapes to the empty string.
+// Every other name escapes to a safe single path element.
+func validateSeriesName(name string) error {
+	switch name {
+	case "", ".", "..":
+		return fmt.Errorf("%w: %q", ErrBadSeriesName, name)
+	}
+	return nil
+}
+
 // DB is an embedded CAMEO-compressed time-series store.
 type DB struct {
 	dir    string
@@ -149,6 +168,15 @@ func Open(dir string, opt Options) (*DB, error) {
 		if err != nil {
 			return nil, fmt.Errorf("tsdb: undecodable series directory %q: %w", e.Name(), err)
 		}
+		// Refuse directories that do not canonically encode a valid series
+		// name: a planted "%2E%2E" decodes to "..", whose seriesDir resolves
+		// to the PARENT of the store root, so loading it would read — and
+		// crash-cleanup would delete — files outside the store. Legitimate
+		// directories always round-trip (seriesDir writes url.PathEscape of
+		// a validated name), so this rejects only tampering or corruption.
+		if validateSeriesName(name) != nil || url.PathEscape(name) != e.Name() {
+			return nil, fmt.Errorf("tsdb: series directory %q does not canonically encode a valid series name", e.Name())
+		}
 		st, err := db.loadSeries(name)
 		if err != nil {
 			return nil, fmt.Errorf("tsdb: loading series %q: %w", name, err)
@@ -163,7 +191,8 @@ func Open(dir string, opt Options) (*DB, error) {
 
 // seriesDir maps a series name to its directory, escaping path separators
 // and other unsafe characters (names are user input; the store must never
-// write outside its root).
+// write outside its root). The names PathEscape cannot make safe — "", ".",
+// ".." — are rejected by validateSeriesName before any directory is created.
 func (db *DB) seriesDir(name string) string {
 	return filepath.Join(db.dir, url.PathEscape(name))
 }
@@ -336,24 +365,95 @@ func (db *DB) Sync() error {
 // block cannot cost every series its buffered samples; once every failed
 // block is repaired the store resumes normal operation.
 func (db *DB) Flush() error {
-	db.Sync() // drain; failures are retried below and re-checked at return
+	db.Sync() // drain the bulk; failures are retried below and re-checked at return
 	var opErr error
 	for _, sh := range db.shards {
-		sh.mu.Lock()
-		for name, st := range sh.series {
-			if err := db.repairPendingLocked(name, st); err != nil && opErr == nil {
-				opErr = err
-			}
-			if err := db.flushTailLocked(name, st); err != nil && opErr == nil {
+		sh.mu.RLock()
+		names := make([]string, 0, len(sh.series))
+		for name := range sh.series {
+			names = append(names, name)
+		}
+		sh.mu.RUnlock()
+		for _, name := range names {
+			if err := db.flushSeries(sh, name); err != nil && opErr == nil {
 				opErr = err
 			}
 		}
-		sh.mu.Unlock()
 	}
 	if opErr != nil {
 		return opErr
 	}
 	return db.err()
+}
+
+// flushSeries repairs failed blocks and persists the tail of one series.
+// An Append racing the Sync drain above can cut a block that is still in
+// flight when we get here; stamping the tail at st.assigned then would
+// count that undurable block, and a crash before it lands would make
+// recovery discard the tail as superseded — silently losing samples Flush
+// reported durable. So before stamping, wait (without holding the shard
+// lock, which the workers need to publish) until no healthy pending block
+// remains; only failed blocks, which the repair below persists
+// synchronously, may still be pending at the stamp. Raising st.flushing
+// first makes Append defer further cuts for this series, so the pending
+// set only shrinks and the wait is bounded even under sustained ingest —
+// deferred samples simply accumulate in the tail, which this flush
+// persists anyway.
+func (db *DB) flushSeries(sh *shard, name string) error {
+	sh.mu.Lock()
+	st := sh.series[name]
+	if st == nil {
+		sh.mu.Unlock()
+		return nil
+	}
+	st.flushing++
+	cutDone := false
+	for {
+		var inflight []chan struct{}
+		for _, pb := range st.pending {
+			if pb.err == nil {
+				inflight = append(inflight, pb.done)
+			}
+		}
+		if len(inflight) > 0 {
+			sh.mu.Unlock()
+			for _, done := range inflight {
+				<-done
+			}
+			sh.mu.Lock()
+			continue
+		}
+		if !cutDone && db.pool != nil && len(st.tail) >= db.opt.BlockSize {
+			// Cuts deferred while we waited can have grown the tail well
+			// past BlockSize. Cut the full blocks now and compress them on
+			// the pool — off the shard lock and in parallel — rather than
+			// letting flushTailLocked compress one oversized block under
+			// the exclusive lock, stalling every series in the shard. One
+			// pass only: otherwise sustained ingest could re-extend the
+			// flush each round, forever.
+			cutDone = true
+			var cut []*pendingBlock
+			for len(st.tail) >= db.opt.BlockSize {
+				cut = append(cut, db.cutBlockLocked(st))
+			}
+			sh.mu.Unlock()
+			for _, pb := range cut {
+				db.pool.submit(compressJob{name: name, sh: sh, st: st, pb: pb})
+			}
+			for _, pb := range cut {
+				<-pb.done
+			}
+			sh.mu.Lock()
+			continue
+		}
+		err := db.repairPendingLocked(name, st)
+		if err == nil {
+			err = db.flushTailLocked(name, st)
+		}
+		st.flushing--
+		sh.mu.Unlock()
+		return err
+	}
 }
 
 // repairPendingLocked synchronously re-persists blocks whose async
@@ -364,7 +464,7 @@ func (db *DB) Flush() error {
 func (db *DB) repairPendingLocked(name string, st *seriesState) error {
 	for start, pb := range st.pending {
 		if pb.err == nil {
-			continue // enqueued after the drain; its worker will publish it
+			continue // still in flight; flushSeries waits these out before the tail stamp
 		}
 		meta, recon, err := db.buildBlock(name, start, pb.raw, false)
 		if err != nil {
@@ -404,7 +504,11 @@ func (db *DB) pruneTailStampsLocked(name string, st *seriesState) {
 	st.tailStamps = keep
 }
 
-// flushTailLocked persists one series' tail; the caller holds the shard lock.
+// flushTailLocked persists one series' tail; the caller holds the shard
+// lock. The tail can still exceed BlockSize when Appends raced the flush's
+// final cut round (see flushSeries); it is then compressed as a single
+// oversized block, which the index supports — blocks are keyed by start
+// and sample count, not assumed uniform.
 func (db *DB) flushTailLocked(name string, st *seriesState) error {
 	switch {
 	case len(st.tail) == 0:
@@ -483,10 +587,19 @@ func (db *DB) Query(name string, from, to int) ([]float64, error) {
 		var dense []float64
 		if s.pending != nil {
 			<-s.pending.done
-			if s.pending.err != nil {
+			if s.pending.err == nil {
+				dense = s.pending.recon
+			} else if meta, repaired := db.durableBlockAt(sh, name, s.meta.start); repaired {
+				// A Flush repaired the failed block after our snapshot; the
+				// data is durable, so serve it instead of the stale error.
+				var err error
+				dense, err = db.readBlock(meta)
+				if err != nil {
+					return nil, err
+				}
+			} else {
 				return nil, fmt.Errorf("tsdb: block at %d: %w", s.meta.start, s.pending.err)
 			}
-			dense = s.pending.recon
 		} else {
 			var err error
 			dense, err = db.readBlock(s.meta)
@@ -500,6 +613,24 @@ func (db *DB) Query(name string, from, to int) ([]float64, error) {
 	}
 	out = append(out, tailPart...)
 	return out, nil
+}
+
+// durableBlockAt looks up the durable block starting at start, if the
+// series has one. Query uses it to recheck a pending block that failed:
+// a concurrent Flush may have repaired the block (moving it from the
+// pending set into the durable index) after the query snapshotted it.
+func (db *DB) durableBlockAt(sh *shard, name string, start int) (blockMeta, bool) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	st := sh.series[name]
+	if st == nil {
+		return blockMeta{}, false
+	}
+	i := sort.Search(len(st.blocks), func(i int) bool { return st.blocks[i].start >= start })
+	if i < len(st.blocks) && st.blocks[i].start == start {
+		return st.blocks[i], true
+	}
+	return blockMeta{}, false
 }
 
 // readBlock returns the decoded reconstruction of a durable block, serving
@@ -660,13 +791,36 @@ func readBlockHeader(path string) (int, error) {
 	return series.DecodeHeader(buf[:k])
 }
 
-// atomicWrite writes via a temp file + rename so crashes never leave a
-// half-written block. (Open removes any *.tmp leftovers from crashes
-// between the write and the rename.)
+// atomicWrite writes via a temp file + fsync + rename + directory fsync,
+// so a crash — of the process, the OS, or power — never leaves a
+// half-written or empty block behind the name: the data is on stable
+// storage before the rename, and the rename itself is persisted before we
+// report success. (Open removes any *.tmp leftovers from crashes between
+// the write and the rename.)
 func atomicWrite(path string, data []byte) error {
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer dir.Close()
+	return dir.Sync()
 }

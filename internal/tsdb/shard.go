@@ -44,6 +44,7 @@ type seriesState struct {
 	tailStamps []int                 // start stamps of on-disk tail files
 	assigned   int                   // samples cut into blocks (durable + pending)
 	total      int                   // assigned + len(tail)
+	flushing   int                   // active Flushes; while > 0, Append defers async cuts
 }
 
 func newSeriesState() *seriesState {
@@ -85,6 +86,21 @@ func (st *seriesState) insertBlock(meta blockMeta) {
 	st.blocks[i] = meta
 }
 
+// cutBlockLocked slices the oldest BlockSize samples off the tail into a
+// new pending block and reserves it with the worker pool (so a racing Sync
+// counts it before the lock is released). The caller holds the shard lock
+// and must submit the block to the pool after releasing it.
+func (db *DB) cutBlockLocked(st *seriesState) *pendingBlock {
+	block := make([]float64, db.opt.BlockSize)
+	copy(block, st.tail)
+	st.tail = append(st.tail[:0], st.tail[db.opt.BlockSize:]...)
+	pb := &pendingBlock{start: st.assigned, raw: block, done: make(chan struct{})}
+	st.assigned += len(block)
+	st.pending[pb.start] = pb
+	db.pool.reserve()
+	return pb
+}
+
 // shardFor hashes a series name to its shard (inline FNV-1a: this sits on
 // every Append/Query, and hash.Hash32 would allocate per call).
 func (db *DB) shardFor(name string) *shard {
@@ -104,6 +120,9 @@ func (db *DB) shardFor(name string) *shard {
 // the failed block, so callers find out about the failure before it is
 // buried under acknowledged-but-undurable data.
 func (db *DB) Append(name string, values ...float64) error {
+	if err := validateSeriesName(name); err != nil {
+		return err
+	}
 	if err := db.err(); err != nil {
 		return fmt.Errorf("tsdb: a block compression failed (Flush retries it): %w", err)
 	}
@@ -122,6 +141,14 @@ func (db *DB) Append(name string, values ...float64) error {
 	st.total += len(values)
 	var cut []*pendingBlock
 	for len(st.tail) >= db.opt.BlockSize {
+		if db.pool != nil && st.flushing > 0 {
+			// A Flush is stamping this series. Cutting now would add a
+			// pending block mid-flush and make its wait-for-in-flight loop
+			// chase a moving target (an unbounded wait under sustained
+			// ingest), so defer the cut: the flush persists the whole tail
+			// itself, and any remainder is cut by the next Append.
+			break
+		}
 		if db.pool == nil {
 			// Synchronous mode: compress and persist under the shard lock,
 			// and only trim the tail once the block is durable — a write
@@ -139,14 +166,7 @@ func (db *DB) Append(name string, values ...float64) error {
 			db.cache.put(meta.path, recon)
 			continue
 		}
-		block := make([]float64, db.opt.BlockSize)
-		copy(block, st.tail)
-		st.tail = append(st.tail[:0], st.tail[db.opt.BlockSize:]...)
-		pb := &pendingBlock{start: st.assigned, raw: block, done: make(chan struct{})}
-		st.assigned += len(block)
-		st.pending[pb.start] = pb
-		db.pool.reserve() // visible to Sync before the lock is released
-		cut = append(cut, pb)
+		cut = append(cut, db.cutBlockLocked(st))
 	}
 	sh.mu.Unlock()
 	// Submit outside the lock: a full queue applies backpressure to this

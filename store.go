@@ -40,6 +40,10 @@ type StoreTotals = tsdb.DBStats
 // ErrUnknownSeries is returned by Store queries for absent series names.
 var ErrUnknownSeries = tsdb.ErrUnknownSeries
 
+// ErrBadSeriesName is returned by Store.Append for series names that
+// cannot name a directory of their own under the store root ("", ".", "..").
+var ErrBadSeriesName = tsdb.ErrBadSeriesName
+
 // OpenStore creates or reopens a compressed time-series store rooted at
 // dir with default engine settings (16 shards, GOMAXPROCS compression
 // workers, 128-block decoded cache). Use OpenStoreOptions to tune them.
