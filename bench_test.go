@@ -327,6 +327,105 @@ func BenchmarkStoreQuery(b *testing.B) {
 	}
 }
 
+// benchCodecs is the codec dimension of the store benchmarks: the default
+// lossy CAMEO, one lossless XOR codec, and one pointwise-lossy segment
+// codec — the three fidelity classes a deployment chooses between.
+func benchCodecs() []struct {
+	name  string
+	codec Codec
+} {
+	return []struct {
+		name  string
+		codec Codec
+	}{
+		{"cameo", nil}, // nil Codec selects CAMEO built from Compression
+		{"elf", CodecELF()},
+		{"swing", CodecSwing(0)},
+	}
+}
+
+// BenchmarkStoreAppendCodec ingests 512-sample chunks from parallel
+// appenders under each codec class, Sync included, so the per-codec block
+// encode cost is visible end to end (CAMEO pays its greedy simplification,
+// the XOR codecs are cheap but write more bytes).
+func BenchmarkStoreAppendCodec(b *testing.B) {
+	chunk := benchSeries(512, 48, 0.5)
+	for _, cc := range benchCodecs() {
+		b.Run(cc.name, func(b *testing.B) {
+			opt := storeBenchOptions(16, 0, -1)
+			opt.Codec = cc.codec
+			store, err := OpenStoreOptions(b.TempDir(), opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var id atomic.Int64
+			b.SetBytes(int64(len(chunk) * 8))
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				name := fmt.Sprintf("series-%02d", id.Add(1))
+				for pb.Next() {
+					if err := store.Append(name, chunk...); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			if err := store.Sync(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if err := store.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkStoreQueryCodec measures parallel 512-sample range queries over
+// a prepopulated store under each codec class with the decoded cache off,
+// so the per-codec block decode cost dominates.
+func BenchmarkStoreQueryCodec(b *testing.B) {
+	const nSeries, perSeries = 4, 8192
+	for _, cc := range benchCodecs() {
+		b.Run(cc.name, func(b *testing.B) {
+			opt := storeBenchOptions(16, 0, -1)
+			opt.Codec = cc.codec
+			store, err := OpenStoreOptions(b.TempDir(), opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for s := 0; s < nSeries; s++ {
+				if err := store.Append(fmt.Sprintf("series-%02d", s), benchSeries(perSeries, 48, 0.5)...); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := store.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			var seed atomic.Int64
+			b.SetBytes(512 * 8)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(seed.Add(1)))
+				for pb.Next() {
+					s := rng.Intn(nSeries)
+					from := rng.Intn(perSeries - 512)
+					if _, err := store.Query(fmt.Sprintf("series-%02d", s), from, from+512); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			if err := store.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
 // BenchmarkAblationBlocking measures compression time vs blocking size
 // (the Table 3 columns) on one mid-size series.
 func BenchmarkAblationBlocking(b *testing.B) {

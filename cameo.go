@@ -27,6 +27,20 @@
 // time-series features), forecasting models (Holt-Winters, STL-ETS/AR,
 // DHR, LSTM), Matrix-Profile anomaly detection including the irregular
 // variant (iMP), and generators replicating the paper's eight datasets.
+//
+// # Storage and codecs
+//
+// Store (see OpenStore) is an embedded sharded time-series database whose
+// block compression is pluggable through the Codec interface. CAMEO is the
+// default codec; the lossless XOR family (CodecGorilla, CodecChimp,
+// CodecELF) trades ratio for bit-exact replay, and the pointwise-lossy
+// segment family (CodecPMC, CodecSwing, CodecSimPiece) bounds per-value
+// error instead of a statistic. Every persisted block carries a versioned
+// self-describing header naming its codec, so one store can mix codecs
+// across reopens and pre-codec stores stay readable. EncodeBlock and
+// DecodeBlock expose the same framing for standalone files (used by the
+// cameo CLI's -codec flag), and examples/codecs compares ratio, error, and
+// speed of every registered codec on one dataset.
 package cameo
 
 import (

@@ -1,5 +1,5 @@
 // Command cameo compresses and decompresses CSV time series with the CAMEO
-// algorithm.
+// algorithm or any other registered block codec.
 //
 // Compress a CSV column under an ACF bound and write the retained points:
 //
@@ -14,15 +14,29 @@
 //	cameo -decompress -in compressed.csv -out restored.csv -n 86400
 //
 // Compressed CSV format: header "index,value", one row per retained point.
+//
+// With -codec the series is instead compressed through the named block
+// codec (cameo, gorilla, chimp, elf, pmc, swing, simpiece) into a binary
+// block file — the same self-describing format the embedded Store
+// persists:
+//
+//	cameo -codec elf -in data.csv -out data.blk
+//	cameo -decompress -in data.blk -out restored.csv
+//
+// Decompression detects block files automatically (the header names the
+// codec), so -decompress needs no flags for them.
 package main
 
 import (
+	"bytes"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
+	cameo "repro"
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/series"
@@ -43,8 +57,9 @@ func main() {
 		hops       = flag.Int("hops", 0, "blocking neighbourhood (0 = default 5*log2 n, -1 = unlimited)")
 		threads    = flag.Int("threads", 1, "fine-grained threads")
 		partitions = flag.Int("partitions", 1, "coarse-grained partitions (requires -eps)")
-		decomp     = flag.Bool("decompress", false, "decompress a compressed CSV instead")
+		decomp     = flag.Bool("decompress", false, "decompress a compressed CSV or block file instead")
 		n          = flag.Int("n", 0, "original length for -decompress")
+		codecName  = flag.String("codec", "", "compress through this block codec to a binary block file instead of CSV ("+strings.Join(cameo.CodecNames(), ", ")+")")
 		verbose    = flag.Bool("v", true, "print a summary to stderr")
 	)
 	flag.Parse()
@@ -53,7 +68,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *decomp {
-		if err := decompress(*in, *out, *n); err != nil {
+		if err := decompress(*in, *out, *n, *verbose); err != nil {
 			fatal(err)
 		}
 		return
@@ -93,6 +108,13 @@ func main() {
 		fatal(fmt.Errorf("unknown aggregation %q", *aggFn))
 	}
 
+	if *codecName != "" {
+		if err := compressBlock(*codecName, xs, opt, *out, *verbose); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	var res *core.Result
 	if *partitions > 1 {
 		res, err = core.CompressCoarse(xs, core.CoarseOptions{Options: opt, Partitions: *partitions})
@@ -109,6 +131,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cameo: %d -> %d points (CR %.2fx), %s deviation %.3g\n",
 			len(xs), res.Compressed.Len(), res.CompressionRatio(), *stat, res.Deviation)
 	}
+}
+
+// compressBlock encodes the whole series as one self-describing binary
+// block under the named codec. The cameo codec takes its options from the
+// regular flags; every other codec uses its registry defaults.
+func compressBlock(name string, xs []float64, opt core.Options, out string, verbose bool) error {
+	var c cameo.Codec
+	var err error
+	if name == "cameo" {
+		c = cameo.CodecCAMEO(opt)
+	} else if c, err = cameo.CodecByName(name); err != nil {
+		return fmt.Errorf("%w (have: %s)", err, strings.Join(cameo.CodecNames(), ", "))
+	}
+	data, err := cameo.EncodeBlock(c, xs)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	if verbose {
+		raw := 8 * len(xs)
+		fmt.Fprintf(os.Stderr, "cameo: %d values -> %d bytes with codec %s (%.2fx vs raw float64, lossy=%v)\n",
+			len(xs), len(data), c.Name(), float64(raw)/float64(len(data)), c.Lossy())
+	}
+	return nil
 }
 
 // writeCompressed stores the retained points as index,value rows.
@@ -132,14 +180,30 @@ func writeCompressed(path string, ir *series.Irregular) error {
 	return w.Error()
 }
 
-// decompress reads index,value rows and writes the dense reconstruction.
-func decompress(in, out string, n int) error {
-	f, err := os.Open(in)
+// decompress reads a compressed input — a binary block file (detected by
+// its header magic and decoded with the codec it names) or index,value CSV
+// rows — and writes the dense reconstruction.
+func decompress(in, out string, n int, verbose bool) error {
+	data, err := os.ReadFile(in)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	r := csv.NewReader(f)
+	if cameo.IsBlockFormat(data) {
+		xs, hdr, err := cameo.DecodeBlock(data)
+		if err != nil {
+			return err
+		}
+		if verbose {
+			name := fmt.Sprintf("id %d", hdr.CodecID)
+			if c, err := cameo.CodecByID(hdr.CodecID); err == nil {
+				name = c.Name()
+			}
+			fmt.Fprintf(os.Stderr, "cameo: decoded %d values from block file (codec %s, format v%d)\n",
+				len(xs), name, hdr.Version)
+		}
+		return datasets.SaveCSV(out, "value", xs)
+	}
+	r := csv.NewReader(bytes.NewReader(data))
 	recs, err := r.ReadAll()
 	if err != nil {
 		return err

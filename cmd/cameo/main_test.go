@@ -6,8 +6,10 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/series"
+	"repro/internal/stats"
 )
 
 func TestWriteCompressedAndDecompressRoundtrip(t *testing.T) {
@@ -20,7 +22,7 @@ func TestWriteCompressedAndDecompressRoundtrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	dpath := filepath.Join(dir, "d.csv")
-	if err := decompress(cpath, dpath, 10); err != nil {
+	if err := decompress(cpath, dpath, 10, false); err != nil {
 		t.Fatal(err)
 	}
 	got, err := datasets.LoadCSV(dpath, 0)
@@ -48,7 +50,7 @@ func TestDecompressInfersLength(t *testing.T) {
 		t.Fatal(err)
 	}
 	dpath := filepath.Join(dir, "d.csv")
-	if err := decompress(cpath, dpath, 0); err != nil {
+	if err := decompress(cpath, dpath, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	got, err := datasets.LoadCSV(dpath, 0)
@@ -66,17 +68,53 @@ func TestDecompressErrors(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("index,value\nx,1\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := decompress(bad, filepath.Join(dir, "out.csv"), 0); err == nil {
+	if err := decompress(bad, filepath.Join(dir, "out.csv"), 0, false); err == nil {
 		t.Fatal("expected parse error")
 	}
 	empty := filepath.Join(dir, "empty.csv")
 	if err := os.WriteFile(empty, []byte("index,value\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := decompress(empty, filepath.Join(dir, "out.csv"), 0); err == nil {
+	if err := decompress(empty, filepath.Join(dir, "out.csv"), 0, false); err == nil {
 		t.Fatal("expected empty error")
 	}
-	if err := decompress(filepath.Join(dir, "missing.csv"), filepath.Join(dir, "out.csv"), 0); err == nil {
+	if err := decompress(filepath.Join(dir, "missing.csv"), filepath.Join(dir, "out.csv"), 0, false); err == nil {
 		t.Fatal("expected missing-file error")
+	}
+}
+
+func TestCompressBlockRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = 20 + 5*math.Sin(2*math.Pi*float64(i)/24)
+	}
+	for _, name := range []string{"cameo", "gorilla", "elf", "pmc"} {
+		blk := filepath.Join(dir, name+".blk")
+		opt := core.Options{Lags: 24, Epsilon: 0.05, Measure: stats.MeasureMAE}
+		if err := compressBlock(name, xs, opt, blk, false); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out := filepath.Join(dir, name+".csv")
+		if err := decompress(blk, out, 0, false); err != nil {
+			t.Fatalf("%s decompress: %v", name, err)
+		}
+		got, err := datasets.LoadCSV(out, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(xs) {
+			t.Fatalf("%s: %d values, want %d", name, len(got), len(xs))
+		}
+		if name == "gorilla" || name == "elf" {
+			for i := range xs {
+				if got[i] != xs[i] {
+					t.Fatalf("%s: lossless mismatch at %d: %v != %v", name, i, got[i], xs[i])
+				}
+			}
+		}
+	}
+	if err := compressBlock("no-such-codec", xs, core.Options{}, filepath.Join(dir, "x.blk"), false); err == nil {
+		t.Fatal("expected unknown-codec error")
 	}
 }

@@ -1,0 +1,81 @@
+package cameo
+
+import (
+	"repro/internal/codec"
+	"repro/internal/core"
+)
+
+// Codec is a pluggable block compressor: it turns a dense block of float64
+// samples into bytes and back. The Store compresses every block through
+// one, selected via StoreOptions.Codec; the constructors below cover every
+// compressor the package implements. Lossless codecs (Gorilla, Chimp, Elf)
+// reproduce appended values bit-exactly — durability-grade storage — while
+// lossy codecs (CAMEO, PMC, Swing, Sim-Piece) trade fidelity for much
+// higher compression: CAMEO bounds the deviation of a downstream statistic
+// (ACF/PACF), the segment codecs bound pointwise error. The Lossy() flag
+// distinguishes the two at runtime.
+type Codec = codec.Codec
+
+// BlockHeader describes a decoded block: format version, codec ID, and
+// sample count (see DecodeBlock).
+type BlockHeader = codec.BlockHeader
+
+// CodecCAMEO returns the autocorrelation-preserving lossy codec, the
+// Store's default (opt as for Compress: Lags and Epsilon / TargetRatio
+// required).
+func CodecCAMEO(opt Options) Codec { return codec.NewCAMEO(core.Options(opt)) }
+
+// CodecGorilla returns the lossless Facebook Gorilla XOR codec.
+func CodecGorilla() Codec { return codec.Gorilla{} }
+
+// CodecChimp returns the lossless Chimp XOR codec.
+func CodecChimp() Codec { return codec.Chimp{} }
+
+// CodecELF returns the lossless Elf erase-based XOR codec (strongest on
+// short-decimal sensor readings).
+func CodecELF() Codec { return codec.Elf{} }
+
+// CodecPMC returns the Poor Man's Compression codec: piecewise-constant,
+// lossy with per-value error at most relBound times each block's value
+// range (0 selects the 1% default).
+func CodecPMC(relBound float64) Codec { return codec.PMC{RelBound: relBound} }
+
+// CodecSwing returns the Swing-filter codec: piecewise-linear, lossy with
+// per-value error at most relBound times each block's value range (0
+// selects the 1% default).
+func CodecSwing(relBound float64) Codec { return codec.Swing{RelBound: relBound} }
+
+// CodecSimPiece returns the Sim-Piece codec: piecewise-linear with merged
+// shared slopes, lossy with per-value error at most relBound times each
+// block's value range (0 selects the 1% default).
+func CodecSimPiece(relBound float64) Codec { return codec.SimPiece{RelBound: relBound} }
+
+// CodecByName resolves a codec by its registry name ("cameo", "gorilla",
+// "chimp", "elf", "pmc", "swing", "simpiece") with default parameters.
+// Note the default cameo instance can only decode — CAMEO needs
+// compression options to encode, so use CodecCAMEO for writing.
+func CodecByName(name string) (Codec, error) { return codec.ByName(name) }
+
+// CodecNames lists the registered codec names, sorted.
+func CodecNames() []string { return codec.Names() }
+
+// CodecByID resolves a block header's codec ID to the registered codec.
+func CodecByID(id uint8) (Codec, error) { return codec.ByID(id) }
+
+// IsBlockFormat reports whether data begins with the block-format magic
+// (see EncodeBlock).
+func IsBlockFormat(data []byte) bool { return codec.IsBlockFormat(data) }
+
+// EncodeBlock compresses one dense block with c and prepends the
+// self-describing block header (magic, format version, codec ID, sample
+// count) — the same framing the Store persists, so the output decodes with
+// DecodeBlock on any build that registers the codec.
+func EncodeBlock(c Codec, xs []float64) ([]byte, error) {
+	return codec.EncodeBlock(c, xs)
+}
+
+// DecodeBlock parses a block produced by EncodeBlock (or a Store block
+// file) and decodes it with the codec named by its header.
+func DecodeBlock(data []byte) ([]float64, BlockHeader, error) {
+	return codec.DecodeBlock(data)
+}

@@ -1,0 +1,87 @@
+// Codec comparison: encode one dataset through every registered block
+// codec and report compression ratio, reconstruction error, ACF deviation
+// (the statistic CAMEO is designed to preserve), and encode/decode speed —
+// the lossy-vs-lossless trade-off behind StoreOptions.Codec, on one table.
+//
+// The dataset is the paper's ElecPower replica (hourly electricity demand
+// with a strong daily cycle). Lossless codecs reproduce it bit-exactly;
+// CAMEO bounds the ACF deviation; the segment codecs bound per-value error
+// at 1% of the value range.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	cameo "repro"
+	"repro/internal/datasets"
+)
+
+func main() {
+	spec := datasets.ElecPower()
+	xs := spec.GenerateN(8192, 7)
+	fmt.Printf("dataset: %s replica, %d samples, lags=%d\n\n", spec.Name, len(xs), spec.Lags)
+
+	codecs := []cameo.Codec{
+		cameo.CodecCAMEO(cameo.Options{Lags: spec.Lags, Epsilon: 0.02}),
+		cameo.CodecGorilla(),
+		cameo.CodecChimp(),
+		cameo.CodecELF(),
+		cameo.CodecPMC(0),
+		cameo.CodecSwing(0),
+		cameo.CodecSimPiece(0),
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "codec\tlossy\tbytes\tratio\tmax err\tACF dev\tencode\tdecode")
+	for _, c := range codecs {
+		t0 := time.Now()
+		data, err := cameo.EncodeBlock(c, xs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "codecs: %s encode: %v\n", c.Name(), err)
+			os.Exit(1)
+		}
+		encDur := time.Since(t0)
+
+		t0 = time.Now()
+		recon, _, err := cameo.DecodeBlock(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "codecs: %s decode: %v\n", c.Name(), err)
+			os.Exit(1)
+		}
+		decDur := time.Since(t0)
+
+		maxErr := 0.0
+		for i := range xs {
+			if e := math.Abs(xs[i] - recon[i]); e > maxErr {
+				maxErr = e
+			}
+		}
+		acfDev := acfDeviation(xs, recon, spec.Lags)
+		raw := 8 * len(xs)
+		fmt.Fprintf(w, "%s\t%v\t%d\t%.2fx\t%.4g\t%.4g\t%s\t%s\n",
+			c.Name(), c.Lossy(), len(data), float64(raw)/float64(len(data)),
+			maxErr, acfDev, encDur.Round(time.Microsecond), decDur.Round(time.Microsecond))
+	}
+	w.Flush()
+
+	fmt.Println("\nLossless codecs replay appends bit-exactly (durability-grade archive);")
+	fmt.Println("CAMEO keeps the ACF within its bound at a much higher ratio; PMC/Swing/")
+	fmt.Println("Sim-Piece bound per-value error instead. Pick per workload via")
+	fmt.Println("StoreOptions.Codec — blocks are self-describing, so stores can mix codecs.")
+}
+
+// acfDeviation is the mean absolute deviation between the ACFs of the
+// original and reconstructed series (the paper's default measure).
+func acfDeviation(xs, recon []float64, lags int) float64 {
+	a := cameo.ACF(xs, lags)
+	b := cameo.ACF(recon, lags)
+	sum := 0.0
+	for i := range a {
+		sum += math.Abs(a[i] - b[i])
+	}
+	return sum / float64(len(a))
+}

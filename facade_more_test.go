@@ -245,3 +245,84 @@ func TestFacadeCoarseAndStatistics(t *testing.T) {
 		t.Fatal("coarse run did not compress")
 	}
 }
+
+func TestFacadeCodecSelection(t *testing.T) {
+	names := CodecNames()
+	if len(names) != 7 {
+		t.Fatalf("CodecNames = %v, want 7 codecs", names)
+	}
+	for _, name := range names {
+		c, err := CodecByName(name)
+		if err != nil {
+			t.Fatalf("CodecByName(%q): %v", name, err)
+		}
+		if c.Name() != name {
+			t.Fatalf("CodecByName(%q).Name = %q", name, c.Name())
+		}
+		if byID, err := CodecByID(c.ID()); err != nil || byID.Name() != name {
+			t.Fatalf("CodecByID(%d) = %v, %v", c.ID(), byID, err)
+		}
+	}
+	if _, err := CodecByName("lz4"); err == nil {
+		t.Fatal("expected error for unknown codec name")
+	}
+
+	// A store opened with a lossless codec from the facade replays appends
+	// bit-exactly across close/reopen.
+	dir := filepath.Join(t.TempDir(), "store")
+	xs := demoSeries(600, 24, 0.5, 13)
+	store, err := OpenStoreOptions(dir, StoreOptions{Codec: CodecELF(), BlockSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Append("sensor", xs...); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store, err = OpenStoreOptions(dir, StoreOptions{Codec: CodecELF(), BlockSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	got, err := store.Query("sensor", 0, len(xs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Fatalf("sample %d: %v != %v", i, got[i], xs[i])
+		}
+	}
+	totals := store.Stats()
+	if totals.CacheShards == 0 {
+		t.Fatalf("expected per-shard caches in totals: %+v", totals)
+	}
+}
+
+func TestFacadeEncodeDecodeBlock(t *testing.T) {
+	xs := demoSeries(400, 24, 0.3, 14)
+	data, err := EncodeBlock(CodecGorilla(), xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsBlockFormat(data) {
+		t.Fatal("EncodeBlock output not sniffed as block format")
+	}
+	got, hdr, err := DecodeBlock(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.N != len(xs) {
+		t.Fatalf("header N = %d", hdr.N)
+	}
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Fatalf("sample %d: %v != %v", i, got[i], xs[i])
+		}
+	}
+	if IsBlockFormat([]byte("index,value\n0,1\n")) {
+		t.Fatal("CSV sniffed as block format")
+	}
+}

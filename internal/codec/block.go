@@ -1,0 +1,175 @@
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Versioned on-disk block format. Every block the tsdb engine persists is
+//
+//	magic 0xC0 0xDC | format version (1 byte) | codec ID (1 byte) |
+//	uvarint sample count | codec payload
+//
+// The header is what makes codecs pluggable per block: a store can mix
+// blocks written under different codecs (e.g. after switching Options.Codec
+// between opens) and every block remains self-describing. Blocks from the
+// pre-header engine carry no header — they are raw CAMEO irregular-series
+// encodings, recognized by their own "CAM1" magic — and stay readable; the
+// tsdb layer handles that fallback, keyed on ErrNotBlockFormat.
+const (
+	blockMagic0 = 0xC0
+	blockMagic1 = 0xDC
+
+	// BlockFormatVersion is the current header version. Decoders accept
+	// only versions they know; bumping it is how an incompatible layout
+	// change keeps old builds from misreading new stores.
+	BlockFormatVersion = 1
+
+	// MaxBlockSamples caps the per-block sample count a header may claim
+	// (2^27 samples = 1 GiB decoded). Far above any real block size, it
+	// keeps a corrupt or hostile header from provoking a huge allocation
+	// before payload validation gets a chance to fail.
+	MaxBlockSamples = 1 << 27
+
+	// MaxHeaderLen is the largest encoded header: magic + version + codec
+	// ID + a maximal uvarint. Reading this many bytes of a block file is
+	// always enough to parse its header.
+	MaxHeaderLen = 4 + binary.MaxVarintLen64
+)
+
+// BlockHeader is the parsed fixed part of a block file.
+type BlockHeader struct {
+	Version uint8
+	CodecID uint8
+	N       int // dense sample count of the payload
+}
+
+// ErrNotBlockFormat is returned by ParseBlockHeader when the data does not
+// start with the block magic — for the tsdb engine that means a legacy
+// headerless CAMEO block (or garbage, which the legacy decode then rejects).
+var ErrNotBlockFormat = errors.New("codec: not in block format")
+
+// ErrBadBlock is returned for structurally invalid block headers and
+// payloads that do not decode to the promised sample count.
+var ErrBadBlock = errors.New("codec: malformed block")
+
+// appendHeader prepends the versioned block header to a codec payload.
+func appendHeader(c Codec, n int, payload []byte) []byte {
+	hdr := make([]byte, 0, MaxHeaderLen+len(payload))
+	hdr = append(hdr, blockMagic0, blockMagic1, BlockFormatVersion, c.ID())
+	hdr = binary.AppendUvarint(hdr, uint64(n))
+	return append(hdr, payload...)
+}
+
+// EncodeBlock compresses xs with c and prepends the versioned block header.
+func EncodeBlock(c Codec, xs []float64) ([]byte, error) {
+	if len(xs) > MaxBlockSamples {
+		return nil, fmt.Errorf("%w: %d samples exceeds the %d-sample block cap", ErrBadBlock, len(xs), MaxBlockSamples)
+	}
+	payload, err := c.Encode(xs)
+	if err != nil {
+		return nil, err
+	}
+	return appendHeader(c, len(xs), payload), nil
+}
+
+// ParseBlockHeader parses the header of a block file, returning it and the
+// offset at which the codec payload begins. Data not starting with the
+// block magic yields ErrNotBlockFormat; recognized-but-invalid headers
+// (unknown version, reserved codec ID, absurd sample count, truncation)
+// yield ErrBadBlock.
+func ParseBlockHeader(data []byte) (BlockHeader, int, error) {
+	if len(data) < 2 || data[0] != blockMagic0 || data[1] != blockMagic1 {
+		return BlockHeader{}, 0, ErrNotBlockFormat
+	}
+	if len(data) < 5 {
+		return BlockHeader{}, 0, fmt.Errorf("%w: truncated header (%d bytes)", ErrBadBlock, len(data))
+	}
+	h := BlockHeader{Version: data[2], CodecID: data[3]}
+	if h.Version == 0 || h.Version > BlockFormatVersion {
+		return BlockHeader{}, 0, fmt.Errorf("%w: unsupported format version %d", ErrBadBlock, h.Version)
+	}
+	if h.CodecID == 0 {
+		return BlockHeader{}, 0, fmt.Errorf("%w: reserved codec ID 0", ErrBadBlock)
+	}
+	n, k := binary.Uvarint(data[4:])
+	if k <= 0 {
+		return BlockHeader{}, 0, fmt.Errorf("%w: bad sample count varint", ErrBadBlock)
+	}
+	if n > MaxBlockSamples {
+		return BlockHeader{}, 0, fmt.Errorf("%w: sample count %d exceeds the %d-sample block cap", ErrBadBlock, n, MaxBlockSamples)
+	}
+	h.N = int(n)
+	return h, 4 + k, nil
+}
+
+// IsBlockFormat reports whether data begins with the block-format magic —
+// a cheap sniff for callers (the CLI) that accept both block files and
+// other formats. True does not imply the block is valid, only that it
+// should be parsed as one.
+func IsBlockFormat(data []byte) bool {
+	return len(data) >= 2 && data[0] == blockMagic0 && data[1] == blockMagic1
+}
+
+// DecodeBlock parses a block file and decodes its payload with the codec
+// registered for the header's ID.
+func DecodeBlock(data []byte) ([]float64, BlockHeader, error) {
+	h, off, err := ParseBlockHeader(data)
+	if err != nil {
+		return nil, BlockHeader{}, err
+	}
+	c, err := ByID(h.CodecID)
+	if err != nil {
+		return nil, h, err
+	}
+	xs, err := c.Decode(data[off:], h.N)
+	if err != nil {
+		return nil, h, err
+	}
+	return xs, h, nil
+}
+
+// ReconEncoder is an optional Codec capability: codecs that can hand back
+// the decoded reconstruction as a by-product of encoding (CAMEO builds the
+// retained-point set either way) implement it so callers avoid a separate
+// decode pass. EncodeBlockRecon consults it.
+type ReconEncoder interface {
+	// EncodeWithRecon returns the encoded payload and the reconstruction a
+	// subsequent Decode would produce. recon must not alias xs.
+	EncodeWithRecon(xs []float64) (data []byte, recon []float64, err error)
+}
+
+// EncodeBlockRecon is EncodeBlock plus the payload offset past the header
+// and the block's decoded reconstruction (what a reader of the persisted
+// block will observe): codecs providing EncodeWithRecon supply it
+// directly, lossless codecs copy the input, and remaining lossy codecs pay
+// one decode. The reconstruction never aliases xs, so callers may cache it
+// while mutating their input buffers.
+func EncodeBlockRecon(c Codec, xs []float64) (data []byte, hdrOff int, recon []float64, err error) {
+	if len(xs) > MaxBlockSamples {
+		return nil, 0, nil, fmt.Errorf("%w: %d samples exceeds the %d-sample block cap", ErrBadBlock, len(xs), MaxBlockSamples)
+	}
+	if re, ok := c.(ReconEncoder); ok {
+		payload, recon, err := re.EncodeWithRecon(xs)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		data = appendHeader(c, len(xs), payload)
+		return data, len(data) - len(payload), recon, nil
+	}
+	payload, err := c.Encode(xs)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	data = appendHeader(c, len(xs), payload)
+	hdrOff = len(data) - len(payload)
+	if !c.Lossy() {
+		return data, hdrOff, append([]float64(nil), xs...), nil
+	}
+	recon, err = c.Decode(payload, len(xs))
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return data, hdrOff, recon, nil
+}

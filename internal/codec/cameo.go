@@ -1,0 +1,85 @@
+package codec
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/series"
+)
+
+// CAMEO is the autocorrelation-preserving lossy codec: blocks are
+// compressed with core.Compress under Opt and stored as the compact
+// irregular-series encoding (uvarint index deltas + XOR-compressed values).
+// It is the engine's default codec and the only one whose fidelity target
+// is a downstream statistic (ACF/PACF deviation) rather than pointwise
+// error.
+//
+// The zero value decodes any CAMEO block (decoding needs no options) but
+// cannot encode; use NewCAMEO for an encoding-capable instance.
+type CAMEO struct {
+	Opt core.Options
+}
+
+// NewCAMEO returns a CAMEO codec compressing under opt (Lags and Epsilon /
+// TargetRatio required, as for core.Compress).
+func NewCAMEO(opt core.Options) *CAMEO { return &CAMEO{Opt: opt} }
+
+// Name returns "cameo".
+func (*CAMEO) Name() string { return "cameo" }
+
+// ID returns IDCAMEO.
+func (*CAMEO) ID() uint8 { return IDCAMEO }
+
+// Lossy reports true: decoding linearly interpolates between retained
+// points.
+func (*CAMEO) Lossy() bool { return true }
+
+// MinBlock is the smallest block the configured statistic can be estimated
+// on (the streaming minimum 4x lags, scaled by the aggregation window).
+func (c *CAMEO) MinBlock() int {
+	m := 4 * c.Opt.Lags
+	if c.Opt.AggWindow >= 2 {
+		m *= c.Opt.AggWindow
+	}
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// Encode compresses one block under the configured options.
+func (c *CAMEO) Encode(xs []float64) ([]byte, error) {
+	data, _, err := c.EncodeWithRecon(xs)
+	return data, err
+}
+
+// EncodeWithRecon compresses one block and returns the reconstruction the
+// retained points interpolate to, saving callers the decode round-trip.
+func (c *CAMEO) EncodeWithRecon(xs []float64) ([]byte, []float64, error) {
+	if err := c.Opt.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("codec: cameo needs compression options (use NewCAMEO): %w", err)
+	}
+	res, err := core.Compress(xs, c.Opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Compressed.Encode(), res.Compressed.Decompress(), nil
+}
+
+// Decode parses the irregular-series encoding and reconstructs the dense
+// block by linear interpolation. The sample count is validated against the
+// block cap and the payload's own header before the dense reconstruction
+// is allocated, so a hostile count cannot provoke a giant allocation.
+func (c *CAMEO) Decode(data []byte, n int) ([]float64, error) {
+	if n < 0 || n > MaxBlockSamples {
+		return nil, fmt.Errorf("%w: bad sample count %d", ErrBadBlock, n)
+	}
+	ir, err := series.DecodeIrregular(data)
+	if err != nil {
+		return nil, err
+	}
+	if ir.N != n {
+		return nil, fmt.Errorf("%w: cameo payload holds %d samples, header says %d", ErrBadBlock, ir.N, n)
+	}
+	return ir.Decompress(), nil
+}

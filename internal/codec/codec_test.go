@@ -1,0 +1,344 @@
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// testCAMEO returns an encoding-capable CAMEO codec with small, fast
+// options.
+func testCAMEO() *CAMEO {
+	return NewCAMEO(core.Options{Lags: 24, Epsilon: 0.05})
+}
+
+// encoders lists one encoding-capable instance of every registered codec.
+func encoders() []Codec {
+	return []Codec{
+		testCAMEO(),
+		Gorilla{},
+		Chimp{},
+		Elf{},
+		PMC{},
+		Swing{},
+		SimPiece{},
+	}
+}
+
+// sineSeries is a finite, compressible test block.
+func sineSeries(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 20 + 8*math.Sin(2*math.Pi*float64(i)/24) + 0.3*rng.NormFloat64()
+	}
+	return xs
+}
+
+func TestRegistryResolvesEveryBuiltin(t *testing.T) {
+	want := []string{"cameo", "chimp", "elf", "gorilla", "pmc", "simpiece", "swing"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+	for _, c := range encoders() {
+		byID, err := ByID(c.ID())
+		if err != nil {
+			t.Fatalf("ByID(%d): %v", c.ID(), err)
+		}
+		if byID.Name() != c.Name() {
+			t.Fatalf("ByID(%d) = %q, want %q", c.ID(), byID.Name(), c.Name())
+		}
+		byName, err := ByName(c.Name())
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", c.Name(), err)
+		}
+		if byName.ID() != c.ID() {
+			t.Fatalf("ByName(%q).ID = %d, want %d", c.Name(), byName.ID(), c.ID())
+		}
+	}
+	if _, err := ByID(200); !errors.Is(err, ErrUnknownCodec) {
+		t.Fatalf("ByID(200) = %v, want ErrUnknownCodec", err)
+	}
+	if _, err := ByName("zstd"); !errors.Is(err, ErrUnknownCodec) {
+		t.Fatalf("ByName(zstd) = %v, want ErrUnknownCodec", err)
+	}
+}
+
+func TestEveryCodecRoundTripsThroughBlocks(t *testing.T) {
+	xs := sineSeries(600, 3)
+	lo, hi := xs[0], xs[0]
+	for _, v := range xs {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	for _, c := range encoders() {
+		data, err := EncodeBlock(c, xs)
+		if err != nil {
+			t.Fatalf("%s: EncodeBlock: %v", c.Name(), err)
+		}
+		h, off, err := ParseBlockHeader(data)
+		if err != nil {
+			t.Fatalf("%s: ParseBlockHeader: %v", c.Name(), err)
+		}
+		if h.Version != BlockFormatVersion || h.CodecID != c.ID() || h.N != len(xs) {
+			t.Fatalf("%s: header %+v", c.Name(), h)
+		}
+		if off <= 4 || off > MaxHeaderLen {
+			t.Fatalf("%s: payload offset %d", c.Name(), off)
+		}
+		got, gotHdr, err := DecodeBlock(data)
+		if err != nil {
+			t.Fatalf("%s: DecodeBlock: %v", c.Name(), err)
+		}
+		if gotHdr != h {
+			t.Fatalf("%s: DecodeBlock header %+v != %+v", c.Name(), gotHdr, h)
+		}
+		if len(got) != len(xs) {
+			t.Fatalf("%s: decoded %d samples, want %d", c.Name(), len(got), len(xs))
+		}
+		switch {
+		case !c.Lossy():
+			for i := range xs {
+				if got[i] != xs[i] {
+					t.Fatalf("%s: lossless mismatch at %d: %v != %v", c.Name(), i, got[i], xs[i])
+				}
+			}
+		case c.Name() == "cameo":
+			// CAMEO bounds the ACF deviation, not pointwise error; just
+			// sanity-check the reconstruction stays in a generous envelope.
+			for i := range xs {
+				if math.Abs(got[i]-xs[i]) > (hi - lo) {
+					t.Fatalf("cameo: wild value at %d: %v vs %v", i, got[i], xs[i])
+				}
+			}
+		default:
+			// Segment codecs guarantee per-value error <= DefaultRelBound
+			// of the block's value range.
+			bound := DefaultRelBound*(hi-lo) + 1e-12
+			for i := range xs {
+				if math.Abs(got[i]-xs[i]) > bound {
+					t.Fatalf("%s: error %v at %d exceeds bound %v", c.Name(), math.Abs(got[i]-xs[i]), i, bound)
+				}
+			}
+		}
+	}
+}
+
+func TestLosslessCodecsHandleHostileFloats(t *testing.T) {
+	xs := []float64{0, math.Copysign(0, -1), math.NaN(), math.Inf(1), math.Inf(-1),
+		math.MaxFloat64, math.SmallestNonzeroFloat64, 1e-300, -1e300, math.Pi, math.Pi}
+	for _, c := range []Codec{Gorilla{}, Chimp{}, Elf{}} {
+		data, err := EncodeBlock(c, xs)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		got, _, err := DecodeBlock(data)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		for i := range xs {
+			if math.Float64bits(got[i]) != math.Float64bits(xs[i]) {
+				t.Fatalf("%s: bit mismatch at %d: %x != %x", c.Name(), i,
+					math.Float64bits(got[i]), math.Float64bits(xs[i]))
+			}
+		}
+	}
+}
+
+func TestLossySegmentCodecsRejectNonFinite(t *testing.T) {
+	for _, c := range []Codec{PMC{}, Swing{}, SimPiece{}} {
+		if _, err := c.Encode([]float64{1, math.NaN(), 3}); err == nil {
+			t.Fatalf("%s: expected error for NaN input", c.Name())
+		}
+		if _, err := c.Encode([]float64{1, math.Inf(1), 3}); err == nil {
+			t.Fatalf("%s: expected error for Inf input", c.Name())
+		}
+	}
+}
+
+func TestParseBlockHeaderRejectsCorruption(t *testing.T) {
+	good, err := EncodeBlock(Gorilla{}, sineSeries(64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := ParseBlockHeader([]byte{'C', 'A', 'M', '1'}); !errors.Is(err, ErrNotBlockFormat) {
+		t.Fatalf("legacy magic: %v, want ErrNotBlockFormat", err)
+	}
+	if _, _, err := ParseBlockHeader(nil); !errors.Is(err, ErrNotBlockFormat) {
+		t.Fatalf("empty: %v, want ErrNotBlockFormat", err)
+	}
+	if _, _, err := ParseBlockHeader(good[:3]); !errors.Is(err, ErrBadBlock) {
+		t.Fatalf("truncated header: %v, want ErrBadBlock", err)
+	}
+
+	mut := append([]byte(nil), good...)
+	mut[2] = 99 // unsupported version
+	if _, _, err := ParseBlockHeader(mut); !errors.Is(err, ErrBadBlock) {
+		t.Fatalf("bad version: %v, want ErrBadBlock", err)
+	}
+
+	mut = append([]byte(nil), good...)
+	mut[3] = 0 // reserved codec ID
+	if _, _, err := ParseBlockHeader(mut); !errors.Is(err, ErrBadBlock) {
+		t.Fatalf("codec ID 0: %v, want ErrBadBlock", err)
+	}
+
+	mut = append([]byte(nil), good...)
+	mut[3] = 250 // unregistered codec ID: header parses, decode must fail
+	if _, _, err := ParseBlockHeader(mut); err != nil {
+		t.Fatalf("unknown codec ID should still parse: %v", err)
+	}
+	if _, _, err := DecodeBlock(mut); !errors.Is(err, ErrUnknownCodec) {
+		t.Fatalf("unknown codec ID: %v, want ErrUnknownCodec", err)
+	}
+
+	// Absurd sample count: magic+version+codec then a huge uvarint.
+	huge := []byte{blockMagic0, blockMagic1, 1, byte(IDGorilla), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}
+	if _, _, err := ParseBlockHeader(huge); !errors.Is(err, ErrBadBlock) {
+		t.Fatalf("huge N: %v, want ErrBadBlock", err)
+	}
+
+	// Truncated payload must fail decode with a clear error, not panic.
+	if _, _, err := DecodeBlock(good[:len(good)-3]); err == nil {
+		t.Fatal("truncated payload decoded successfully")
+	}
+}
+
+func TestSegmentPayloadValidation(t *testing.T) {
+	xs := sineSeries(100, 5)
+	for _, c := range []Codec{PMC{}, Swing{}, SimPiece{}} {
+		payload, err := c.Encode(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Wrong sample count: segments no longer cover n.
+		if _, err := c.Decode(payload, len(xs)+1); !errors.Is(err, ErrBadBlock) {
+			t.Fatalf("%s: n mismatch: %v, want ErrBadBlock", c.Name(), err)
+		}
+		// Truncation mid-stream.
+		if _, err := c.Decode(payload[:len(payload)-5], len(xs)); !errors.Is(err, ErrBadBlock) {
+			t.Fatalf("%s: truncated: %v, want ErrBadBlock", c.Name(), err)
+		}
+		// Trailing garbage.
+		if _, err := c.Decode(append(append([]byte(nil), payload...), 0xAB), len(xs)); !errors.Is(err, ErrBadBlock) {
+			t.Fatalf("%s: trailing bytes: %v, want ErrBadBlock", c.Name(), err)
+		}
+	}
+}
+
+func TestCAMEOZeroValueDecodesButCannotEncode(t *testing.T) {
+	xs := sineSeries(400, 6)
+	enc := testCAMEO()
+	data, err := EncodeBlock(enc, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, off, err := ParseBlockHeader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zero CAMEO
+	if _, err := zero.Decode(data[off:], len(xs)); err != nil {
+		t.Fatalf("zero-value decode: %v", err)
+	}
+	if _, err := zero.Encode(xs); err == nil {
+		t.Fatal("zero-value encode should fail (no options)")
+	}
+	// Sample-count mismatch against the header is rejected.
+	if _, err := enc.Decode(data[off:], len(xs)-1); !errors.Is(err, ErrBadBlock) {
+		t.Fatalf("n mismatch: %v, want ErrBadBlock", err)
+	}
+}
+
+func TestEncodeBlockReconMatchesDecode(t *testing.T) {
+	xs := sineSeries(500, 8)
+	for _, c := range encoders() {
+		data, hdrOff, recon, err := EncodeBlockRecon(c, xs)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if _, off, err := ParseBlockHeader(data); err != nil || off != hdrOff {
+			t.Fatalf("%s: reported offset %d, parsed %d (%v)", c.Name(), hdrOff, off, err)
+		}
+		dec, _, err := DecodeBlock(data)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if len(recon) != len(dec) {
+			t.Fatalf("%s: recon %d samples, decode %d", c.Name(), len(recon), len(dec))
+		}
+		for i := range dec {
+			if recon[i] != dec[i] {
+				t.Fatalf("%s: recon[%d] = %v, decode = %v", c.Name(), i, recon[i], dec[i])
+			}
+		}
+		// The recon must be an independent copy: mutating the input after
+		// encoding (as the tsdb tail buffer does) must not corrupt it.
+		before := recon[0]
+		xs[0] += 1000
+		if recon[0] != before {
+			t.Fatalf("%s: recon aliases the input", c.Name())
+		}
+		xs[0] -= 1000
+	}
+}
+
+func TestMinBlock(t *testing.T) {
+	if got := MinBlock(Gorilla{}); got != 1 {
+		t.Fatalf("gorilla MinBlock = %d, want 1", got)
+	}
+	c := NewCAMEO(core.Options{Lags: 24, Epsilon: 0.01})
+	if got := MinBlock(c); got != 96 {
+		t.Fatalf("cameo MinBlock = %d, want 96", got)
+	}
+	c = NewCAMEO(core.Options{Lags: 10, Epsilon: 0.01, AggWindow: 4})
+	if got := MinBlock(c); got != 160 {
+		t.Fatalf("aggregated cameo MinBlock = %d, want 160", got)
+	}
+}
+
+func TestEmptyBlockRoundTrips(t *testing.T) {
+	for _, c := range []Codec{Gorilla{}, Chimp{}, Elf{}, PMC{}, Swing{}, SimPiece{}} {
+		data, err := EncodeBlock(c, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		got, h, err := DecodeBlock(data)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if h.N != 0 || len(got) != 0 {
+			t.Fatalf("%s: n=%d len=%d", c.Name(), h.N, len(got))
+		}
+	}
+}
+
+// TestHostileCountsCannotProvokeGiantAllocations replays the attack the
+// allocation caps exist for: tiny buffers whose headers claim huge sample
+// or point counts must fail fast with an error, not allocate gigabytes.
+func TestHostileCountsCannotProvokeGiantAllocations(t *testing.T) {
+	// Valid block header (cameo, small N) over a CAM1 payload claiming
+	// 2^31-1 samples in 2^31-1 points.
+	payload := []byte{'C', 'A', 'M', '1'}
+	payload = binary.AppendUvarint(payload, 1<<31-1) // n
+	payload = binary.AppendUvarint(payload, 1<<31-1) // point count
+	hostile := appendHeader(&CAMEO{}, 64, payload)
+	if _, _, err := DecodeBlock(hostile); err == nil {
+		t.Fatal("hostile CAMEO payload decoded successfully")
+	}
+	// Same payload decoded directly with a huge claimed n.
+	var zero CAMEO
+	if _, err := zero.Decode(payload, 1<<31-1); err == nil {
+		t.Fatal("hostile count accepted by CAMEO.Decode")
+	}
+}

@@ -1,0 +1,101 @@
+package codec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// fuzzSeed produces a few valid encodings so the fuzzers start from
+// structurally interesting corpora.
+func fuzzSeed(f *testing.F, c Codec) {
+	f.Helper()
+	for _, xs := range [][]float64{
+		nil,
+		{1.5},
+		{1, 1, 1, 1, 1},
+		{20.5, 21.25, 19.75, 20.0, 22.5, 18.25, 20.5, 21.0},
+	} {
+		if data, err := EncodeBlock(c, xs); err == nil {
+			f.Add(data)
+		}
+	}
+}
+
+// FuzzParseBlockHeader asserts header parsing never panics and that a
+// parse-accepted header keeps its promises (offset within data bounds or
+// equal to a truncation-detectable position, sane N).
+func FuzzParseBlockHeader(f *testing.F) {
+	fuzzSeed(f, Gorilla{})
+	f.Add([]byte{blockMagic0, blockMagic1, 1, 1, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, off, err := ParseBlockHeader(data)
+		if err != nil {
+			return
+		}
+		if h.N < 0 || h.N > MaxBlockSamples {
+			t.Fatalf("accepted absurd N %d", h.N)
+		}
+		if off < 5 || off > len(data) {
+			t.Fatalf("payload offset %d outside data of %d bytes", off, len(data))
+		}
+		if h.CodecID == 0 || h.Version == 0 || h.Version > BlockFormatVersion {
+			t.Fatalf("accepted invalid header %+v", h)
+		}
+	})
+}
+
+// FuzzDecodeBlock asserts the full header+registry+payload decode path
+// never panics on arbitrary bytes, and that success implies the promised
+// sample count.
+func FuzzDecodeBlock(f *testing.F) {
+	for _, c := range []Codec{Gorilla{}, Chimp{}, Elf{}, PMC{}, Swing{}, SimPiece{}} {
+		fuzzSeed(f, c)
+	}
+	if data, err := EncodeBlock(NewCAMEO(testOptions()), seedSeries()); err == nil {
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		xs, h, err := DecodeBlock(data)
+		if err != nil {
+			return
+		}
+		if len(xs) != h.N {
+			t.Fatalf("decoded %d samples, header says %d", len(xs), h.N)
+		}
+	})
+}
+
+// FuzzCodecDecodersDirect drives every registered codec's Decode with
+// arbitrary payloads and sample counts: malformed input must error, never
+// panic or over-allocate into an OOM.
+func FuzzCodecDecodersDirect(f *testing.F) {
+	for _, c := range []Codec{Gorilla{}, PMC{}, Swing{}} {
+		if payload, err := c.Encode(seedSeries()); err == nil {
+			f.Add(payload, uint16(len(seedSeries())), c.ID())
+		}
+	}
+	f.Fuzz(func(t *testing.T, payload []byte, n uint16, id uint8) {
+		c, err := ByID(id)
+		if err != nil {
+			return
+		}
+		xs, err := c.Decode(payload, int(n))
+		if err == nil && len(xs) != int(n) {
+			t.Fatalf("%s: decoded %d samples, promised %d", c.Name(), len(xs), n)
+		}
+	})
+}
+
+func testOptions() core.Options {
+	return core.Options{Lags: 8, Epsilon: 0.1}
+}
+
+func seedSeries() []float64 {
+	xs := make([]float64, 64)
+	for i := range xs {
+		xs[i] = 10 + 3*math.Sin(float64(i)/5)
+	}
+	return xs
+}

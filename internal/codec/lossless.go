@@ -1,0 +1,101 @@
+package codec
+
+import (
+	"fmt"
+
+	"repro/internal/lossless"
+)
+
+// The lossless adapters wrap the XOR-family encoders of internal/lossless.
+// They reproduce every float64 bit-exactly (including NaN payloads and
+// infinities), so a store using them is a durability-grade archive: queries
+// replay exactly what was appended, at the cost of ~5-20x less compression
+// than the lossy codecs on smooth sensor data.
+
+// losslessDecode runs one of the internal/lossless decoders and validates
+// the sample count against the block header.
+func losslessDecode(method string, data []byte, n int) ([]float64, error) {
+	if n < 0 || n > MaxBlockSamples {
+		return nil, fmt.Errorf("%w: bad sample count %d", ErrBadBlock, n)
+	}
+	enc := lossless.Encoded{Method: method, N: n, Data: data}
+	xs, err := enc.Decompress()
+	if err != nil {
+		return nil, err
+	}
+	if len(xs) != n {
+		return nil, fmt.Errorf("%w: %s payload decoded to %d samples, header says %d", ErrBadBlock, method, len(xs), n)
+	}
+	return xs, nil
+}
+
+// Gorilla is the Facebook Gorilla XOR codec: lossless, fastest of the
+// family, strongest on series with many repeated or slowly-drifting values.
+type Gorilla struct{}
+
+// Name returns "gorilla".
+func (Gorilla) Name() string { return "gorilla" }
+
+// ID returns IDGorilla.
+func (Gorilla) ID() uint8 { return IDGorilla }
+
+// Lossy reports false.
+func (Gorilla) Lossy() bool { return false }
+
+// Encode compresses the block with the Gorilla XOR scheme.
+func (Gorilla) Encode(xs []float64) ([]byte, error) {
+	return lossless.Gorilla(xs).Data, nil
+}
+
+// Decode reverses Encode.
+func (Gorilla) Decode(data []byte, n int) ([]float64, error) {
+	return losslessDecode("gorilla", data, n)
+}
+
+// Chimp is the Chimp XOR codec: lossless, typically denser than Gorilla on
+// series without long runs of identical values.
+type Chimp struct{}
+
+// Name returns "chimp".
+func (Chimp) Name() string { return "chimp" }
+
+// ID returns IDChimp.
+func (Chimp) ID() uint8 { return IDChimp }
+
+// Lossy reports false.
+func (Chimp) Lossy() bool { return false }
+
+// Encode compresses the block with the Chimp XOR scheme.
+func (Chimp) Encode(xs []float64) ([]byte, error) {
+	return lossless.Chimp(xs).Data, nil
+}
+
+// Decode reverses Encode.
+func (Chimp) Decode(data []byte, n int) ([]float64, error) {
+	return losslessDecode("chimp", data, n)
+}
+
+// Elf is the erase-based lossless codec: short-decimal values get their
+// redundant mantissa bits zeroed before XOR coding (and exactly restored on
+// decode), making it the strongest lossless choice for sensor readings
+// rounded to a few digits.
+type Elf struct{}
+
+// Name returns "elf".
+func (Elf) Name() string { return "elf" }
+
+// ID returns IDElf.
+func (Elf) ID() uint8 { return IDElf }
+
+// Lossy reports false.
+func (Elf) Lossy() bool { return false }
+
+// Encode compresses the block with the Elf erase + XOR scheme.
+func (Elf) Encode(xs []float64) ([]byte, error) {
+	return lossless.Elf(xs).Data, nil
+}
+
+// Decode reverses Encode.
+func (Elf) Decode(data []byte, n int) ([]float64, error) {
+	return losslessDecode("elf", data, n)
+}

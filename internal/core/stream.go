@@ -20,7 +20,8 @@ type StreamCompressor struct {
 	opt       Options
 	blockSize int
 
-	buf      []float64
+	buf      []float64 // buffered values; buf[off:] is the live backlog
+	off      int       // cursor of consumed values within buf
 	out      []series.Point
 	consumed int // total values fully processed into out
 	dev      float64
@@ -45,17 +46,28 @@ func NewStreamCompressor(opt Options, blockSize int) (*StreamCompressor, error) 
 }
 
 // Push appends values to the stream, compressing every completed block.
+// Completed blocks are consumed via an offset cursor rather than by
+// re-copying the backlog down after each block, so a long burst of small
+// Pushes costs O(n) total instead of O(n^2).
 func (s *StreamCompressor) Push(values ...float64) error {
 	if s.err != nil {
 		return s.err
 	}
 	s.buf = append(s.buf, values...)
-	for len(s.buf) >= s.blockSize {
-		if err := s.flushBlock(s.buf[:s.blockSize]); err != nil {
+	for len(s.buf)-s.off >= s.blockSize {
+		if err := s.flushBlock(s.buf[s.off : s.off+s.blockSize]); err != nil {
 			s.err = err
 			return err
 		}
-		s.buf = append(s.buf[:0], s.buf[s.blockSize:]...)
+		s.off += s.blockSize
+	}
+	// Compact once the consumed prefix dominates the buffer: each value is
+	// moved at most once per halving, keeping the amortized cost constant
+	// while the buffer's capacity stays bounded by the live remainder.
+	if s.off > 0 && s.off*2 >= len(s.buf) {
+		n := copy(s.buf, s.buf[s.off:])
+		s.buf = s.buf[:n]
+		s.off = 0
 	}
 	return nil
 }
@@ -84,24 +96,25 @@ func (s *StreamCompressor) Flush() (*Result, error) {
 	if s.err != nil {
 		return nil, s.err
 	}
-	if len(s.buf) > 0 {
+	if tail := s.buf[s.off:]; len(tail) > 0 {
 		minBlock := 2 * s.opt.Lags
 		if s.opt.AggWindow >= 2 {
 			minBlock = 2 * s.opt.Lags * s.opt.AggWindow
 		}
-		if len(s.buf) >= minBlock {
-			if err := s.flushBlock(s.buf); err != nil {
+		if len(tail) >= minBlock {
+			if err := s.flushBlock(tail); err != nil {
 				return nil, err
 			}
 		} else {
 			// Too short for a meaningful statistic: keep verbatim.
-			for i, v := range s.buf {
+			for i, v := range tail {
 				s.out = append(s.out, series.Point{Index: s.consumed + i, Value: v})
 			}
-			s.consumed += len(s.buf)
+			s.consumed += len(tail)
 		}
-		s.buf = s.buf[:0]
 	}
+	s.buf = s.buf[:0]
+	s.off = 0
 	n := s.consumed
 	pts := s.out
 	dev := s.dev

@@ -132,3 +132,68 @@ func TestCompressRejectsNonFinite(t *testing.T) {
 		t.Fatal("expected error for NaN input")
 	}
 }
+
+// TestStreamSmallPushesMatchBulkPush drives the offset-cursor consumption
+// path: one value per Push must yield exactly the result of a single bulk
+// Push, across many block boundaries and buffer compactions.
+func TestStreamSmallPushesMatchBulkPush(t *testing.T) {
+	xs := seasonalSeries(2100, 24, 0.5, 43)
+	opt := Options{Lags: 24, Epsilon: 0.02}
+
+	small, err := NewStreamCompressor(opt, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range xs {
+		if err := small.Push(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resSmall, err := small.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bulk, err := NewStreamCompressor(opt, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bulk.Push(xs...); err != nil {
+		t.Fatal(err)
+	}
+	resBulk, err := bulk.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if resSmall.Compressed.N != resBulk.Compressed.N {
+		t.Fatalf("N: small %d, bulk %d", resSmall.Compressed.N, resBulk.Compressed.N)
+	}
+	if len(resSmall.Compressed.Points) != len(resBulk.Compressed.Points) {
+		t.Fatalf("points: small %d, bulk %d", len(resSmall.Compressed.Points), len(resBulk.Compressed.Points))
+	}
+	for i, p := range resSmall.Compressed.Points {
+		q := resBulk.Compressed.Points[i]
+		if p != q {
+			t.Fatalf("point %d: small %+v, bulk %+v", i, p, q)
+		}
+	}
+}
+
+// BenchmarkStreamSmallPushes measures per-value Push cost over a long
+// stream (the O(n^2) compaction regression would dominate this).
+func BenchmarkStreamSmallPushes(b *testing.B) {
+	xs := seasonalSeries(100, 24, 0.5, 44)
+	opt := Options{Lags: 24, Epsilon: 0.05}
+	sc, err := NewStreamCompressor(opt, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sc.Push(xs[i%len(xs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -68,7 +68,10 @@ func Elf(xs []float64) *Encoded {
 // elfDecode reverses Elf.
 func elfDecode(data []byte, n int) ([]float64, error) {
 	r := NewBitReader(data)
-	out := make([]float64, 0, n)
+	// Cap the allocation hint: n comes from an untrusted header, and the
+	// payload-exhaustion checks below should fire before 8*n bytes are
+	// committed to a corrupt claim.
+	out := make([]float64, 0, min(n, 1<<16))
 	var prev uint64
 	prevLeading, prevTrailing := -1, -1
 	for i := 0; i < n; i++ {

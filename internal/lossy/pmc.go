@@ -8,11 +8,13 @@ type PMCSegment struct {
 	Value  float64
 }
 
-// PMC implements Poor Man's Compression (midrange variant) [58]: the series
-// is greedily cut into maximal segments whose value spread fits within
-// 2*errBound; each segment stores a single constant (the midrange), which
-// guarantees a per-value reconstruction error of at most errBound.
-func PMC(xs []float64, errBound float64) *Compressed {
+// PMCSegments runs Poor Man's Compression (midrange variant) [58] and
+// returns the raw segmentation: the series is greedily cut into maximal
+// segments whose value spread fits within 2*errBound; each segment stores a
+// single constant (the midrange), which guarantees a per-value
+// reconstruction error of at most errBound. The segment form is what the
+// block-codec layer serializes.
+func PMCSegments(xs []float64, errBound float64) []PMCSegment {
 	var segs []PMCSegment
 	n := len(xs)
 	i := 0
@@ -36,19 +38,29 @@ func PMC(xs []float64, errBound float64) *Compressed {
 		segs = append(segs, PMCSegment{Start: i, Length: j - i, Value: (lo + hi) / 2})
 		i = j
 	}
+	return segs
+}
+
+// PMCDecode reconstructs the dense series from PMC segments.
+func PMCDecode(n int, segs []PMCSegment) []float64 {
+	out := make([]float64, n)
+	for _, s := range segs {
+		for t := s.Start; t < s.Start+s.Length; t++ {
+			out[t] = s.Value
+		}
+	}
+	return out
+}
+
+// PMC compresses xs with Poor Man's Compression (see PMCSegments).
+func PMC(xs []float64, errBound float64) *Compressed {
+	segs := PMCSegments(xs, errBound)
+	n := len(xs)
 	return &Compressed{
 		Method:  "PMC",
 		N:       n,
 		Scalars: 2 * len(segs), // value + length per segment
-		decode: func() []float64 {
-			out := make([]float64, n)
-			for _, s := range segs {
-				for t := s.Start; t < s.Start+s.Length; t++ {
-					out[t] = s.Value
-				}
-			}
-			return out
-		},
+		decode:  func() []float64 { return PMCDecode(n, segs) },
 	}
 }
 

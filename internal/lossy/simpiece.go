@@ -14,17 +14,22 @@ type spSegment struct {
 	AMin, AMax    float64
 }
 
-// spEmitted is a merged Sim-Piece segment with its final shared slope.
-type spEmitted struct {
+// SPSegment is a merged Sim-Piece segment with its final shared slope:
+// points t in [Start, Start+Length) reconstruct as B + A*(t-Start).
+type SPSegment struct {
 	Start, Length int
 	B, A          float64
 }
 
-// SimPiece implements Sim-Piece [55]: piecewise-linear approximation whose
-// segments anchor at epsilon-quantized intercepts, grouped by intercept and
-// merged when their feasible slope intervals overlap, so merged segments
-// share a single slope. Guarantees per-value error <= errBound.
-func SimPiece(xs []float64, errBound float64) *Compressed {
+// SimPieceSegments implements Sim-Piece [55] and returns the merged
+// segmentation: piecewise-linear approximation whose segments anchor at
+// epsilon-quantized intercepts, grouped by intercept and merged when their
+// feasible slope intervals overlap, so merged segments share a single
+// slope. Guarantees per-value error <= errBound. scalars is the paper's
+// storage model (one intercept per group, one slope per merged run, one
+// timestamp/length per segment); the segment form is what the block-codec
+// layer serializes.
+func SimPieceSegments(xs []float64, errBound float64) (segs []SPSegment, scalars int) {
 	n := len(xs)
 	var raw []spSegment
 	i := 0
@@ -63,7 +68,7 @@ func SimPiece(xs []float64, errBound float64) *Compressed {
 	for _, s := range raw {
 		groups[s.B] = append(groups[s.B], s)
 	}
-	var emitted []spEmitted
+	var emitted []SPSegment
 	numGroups := 0
 	numSlopes := 0
 	for b, segs := range groups {
@@ -90,29 +95,35 @@ func SimPiece(xs []float64, errBound float64) *Compressed {
 			}
 			numSlopes++
 			for _, s := range run {
-				emitted = append(emitted, spEmitted{Start: s.Start, Length: s.Length, B: b, A: a})
+				emitted = append(emitted, SPSegment{Start: s.Start, Length: s.Length, B: b, A: a})
 			}
 			k = m
 		}
 	}
 	sort.Slice(emitted, func(i, j int) bool { return emitted[i].Start < emitted[j].Start })
+	return emitted, numGroups + numSlopes + len(emitted)
+}
 
-	// Storage model (paper [55]): one intercept per group, one slope per
-	// merged run, one timestamp/length per segment.
-	scalars := numGroups + numSlopes + len(emitted)
+// SPDecode reconstructs the dense series from Sim-Piece segments.
+func SPDecode(n int, segs []SPSegment) []float64 {
+	out := make([]float64, n)
+	for _, s := range segs {
+		for t := 0; t < s.Length; t++ {
+			out[s.Start+t] = s.B + s.A*float64(t)
+		}
+	}
+	return out
+}
+
+// SimPiece compresses xs with Sim-Piece (see SimPieceSegments).
+func SimPiece(xs []float64, errBound float64) *Compressed {
+	segs, scalars := SimPieceSegments(xs, errBound)
+	n := len(xs)
 	return &Compressed{
 		Method:  "SP",
 		N:       n,
 		Scalars: scalars,
-		decode: func() []float64 {
-			out := make([]float64, n)
-			for _, s := range emitted {
-				for t := 0; t < s.Length; t++ {
-					out[s.Start+t] = s.B + s.A*float64(t)
-				}
-			}
-			return out
-		},
+		decode:  func() []float64 { return SPDecode(n, segs) },
 	}
 }
 

@@ -10,12 +10,14 @@ type SwingSegment struct {
 	Slope      float64
 }
 
-// Swing implements the Swing filter [28]: an online piecewise-linear
-// approximation. Each segment anchors at its first point and maintains the
-// cone of slopes keeping every subsequent point within errBound; when the
-// cone collapses, the segment is emitted with the cone-midpoint slope and a
-// new segment starts at the violating point.
-func Swing(xs []float64, errBound float64) *Compressed {
+// SwingSegments runs the Swing filter [28] and returns the raw
+// segmentation: an online piecewise-linear approximation where each segment
+// anchors at its first point and maintains the cone of slopes keeping every
+// subsequent point within errBound; when the cone collapses, the segment is
+// emitted with the cone-midpoint slope and a new segment starts at the
+// violating point. The segment form is what the block-codec layer
+// serializes.
+func SwingSegments(xs []float64, errBound float64) []SwingSegment {
 	n := len(xs)
 	var segs []SwingSegment
 	i := 0
@@ -53,19 +55,29 @@ func Swing(xs []float64, errBound float64) *Compressed {
 		})
 		i = j
 	}
+	return segs
+}
+
+// SwingDecode reconstructs the dense series from Swing segments.
+func SwingDecode(n int, segs []SwingSegment) []float64 {
+	out := make([]float64, n)
+	for _, s := range segs {
+		for t := 0; t < s.Length; t++ {
+			out[s.Start+t] = s.StartValue + s.Slope*float64(t)
+		}
+	}
+	return out
+}
+
+// Swing compresses xs with the Swing filter (see SwingSegments).
+func Swing(xs []float64, errBound float64) *Compressed {
+	segs := SwingSegments(xs, errBound)
+	n := len(xs)
 	return &Compressed{
 		Method:  "SWING",
 		N:       n,
 		Scalars: 2 * len(segs), // (start value or slope) + length per segment
-		decode: func() []float64 {
-			out := make([]float64, n)
-			for _, s := range segs {
-				for t := 0; t < s.Length; t++ {
-					out[s.Start+t] = s.StartValue + s.Slope*float64(t)
-				}
-			}
-			return out
-		},
+		decode:  func() []float64 { return SwingDecode(n, segs) },
 	}
 }
 

@@ -124,6 +124,13 @@ func DecodeIrregular(data []byte) (*Irregular, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Every point costs at least one index-delta byte, so a count beyond
+	// the remaining payload is structurally impossible. Rejecting it here
+	// bounds every allocation below by the input size — a hostile header
+	// in a tiny buffer cannot provoke a giant allocation.
+	if cnt > uint64(len(rest)) {
+		return nil, fmt.Errorf("series: point count %d exceeds payload (%d bytes): %w", cnt, len(rest), ErrBadEncoding)
+	}
 	indices := make([]int, cnt)
 	prev := -1
 	for i := range indices {

@@ -8,17 +8,24 @@ import (
 
 // blockCache is a small LRU of decoded blocks keyed by block-file path
 // (unique per series + start). Repeated range queries over warm blocks
-// skip the disk read and the irregular-encoding decode. A nil *blockCache
-// is valid and caches nothing, so callers never branch on the CacheBlocks
-// option.
+// skip the disk read and the block decode. Each tsdb shard owns its own
+// blockCache, so cache traffic never crosses shard boundaries and there is
+// no global cache mutex to contend on. A nil *blockCache is valid and
+// caches nothing, so callers never branch on the CacheBlocks option.
+//
+// The miss path is single-flighted: concurrent cold queries for the same
+// block elect one loader; the rest wait for its result instead of
+// redundantly reading and decoding the same file.
 type blockCache struct {
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	singleFlights atomic.Uint64 // loads avoided by waiting on another's miss
 
-	mu      sync.Mutex
-	cap     int
-	order   *list.List // front = most recently used; values are *cacheEntry
-	entries map[string]*list.Element
+	mu       sync.Mutex
+	cap      int
+	order    *list.List // front = most recently used; values are *cacheEntry
+	entries  map[string]*list.Element
+	inflight map[string]*flightCall // keys being loaded right now
 }
 
 type cacheEntry struct {
@@ -26,45 +33,78 @@ type cacheEntry struct {
 	dense []float64
 }
 
+// flightCall is one in-progress cache fill; followers wait on done and
+// read dense/err afterwards.
+type flightCall struct {
+	done  chan struct{}
+	dense []float64
+	err   error
+}
+
 func newBlockCache(capacity int) *blockCache {
 	return &blockCache{
-		cap:     capacity,
-		order:   list.New(),
-		entries: make(map[string]*list.Element, capacity),
+		cap:      capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element, capacity),
+		inflight: make(map[string]*flightCall),
 	}
 }
 
-// get returns the cached reconstruction for a block, marking it most
-// recently used. Callers must treat the returned slice as read-only.
-func (c *blockCache) get(key string) ([]float64, bool) {
+// getOrFill returns the cached reconstruction for a block, loading it with
+// fill on a miss. Concurrent misses for one key are single-flighted: the
+// first caller runs fill, the rest wait for its result. Errors are returned
+// to every waiter but not cached, so a transient read failure is retried by
+// the next query.
+func (c *blockCache) getOrFill(key string, fill func() ([]float64, error)) ([]float64, error) {
 	if c == nil {
-		return nil, false
+		return fill()
 	}
 	c.mu.Lock()
-	el, ok := c.entries[key]
-	if !ok {
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		dense := el.Value.(*cacheEntry).dense
 		c.mu.Unlock()
-		c.misses.Add(1)
-		return nil, false
+		c.hits.Add(1)
+		return dense, nil
 	}
-	c.order.MoveToFront(el)
-	dense := el.Value.(*cacheEntry).dense
+	if fc, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-fc.done
+		c.singleFlights.Add(1)
+		return fc.dense, fc.err
+	}
+	fc := &flightCall{done: make(chan struct{})}
+	c.inflight[key] = fc
 	c.mu.Unlock()
-	c.hits.Add(1)
-	return dense, true
+	c.misses.Add(1)
+	fc.dense, fc.err = fill()
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if fc.err == nil {
+		c.storeLocked(key, fc.dense)
+	}
+	c.mu.Unlock()
+	close(fc.done)
+	return fc.dense, fc.err
 }
 
 // put stores a block reconstruction, evicting the least recently used
-// entry when over capacity.
+// entry when over capacity. (Workers use it to prime the cache with blocks
+// they just compressed, so the first query needs no disk read.)
 func (c *blockCache) put(key string, dense []float64) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
+	c.storeLocked(key, dense)
+	c.mu.Unlock()
+}
+
+// storeLocked inserts or refreshes an entry; the caller holds c.mu.
+func (c *blockCache) storeLocked(key string, dense []float64) {
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*cacheEntry).dense = dense
 		c.order.MoveToFront(el)
-		c.mu.Unlock()
 		return
 	}
 	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, dense: dense})
@@ -73,7 +113,6 @@ func (c *blockCache) put(key string, dense []float64) {
 		c.order.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
 	}
-	c.mu.Unlock()
 }
 
 // len reports the number of cached blocks (for tests).

@@ -1,0 +1,139 @@
+package tsdb
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCacheSingleFlightMissPath parks a leader inside its fill, lets
+// followers pile onto the same key, and asserts exactly one fill ran: the
+// followers either waited on the leader's flight or hit the cache after it
+// landed — never loaded redundantly.
+func TestCacheSingleFlightMissPath(t *testing.T) {
+	c := newBlockCache(4)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var fills atomic.Int32
+	const followers = 8
+
+	var wg sync.WaitGroup
+	results := make([][]float64, followers+1)
+	errs := make([]error, followers+1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results[0], errs[0] = c.getOrFill("k", func() ([]float64, error) {
+			fills.Add(1)
+			close(started)
+			<-release
+			return []float64{1, 2, 3}, nil
+		})
+	}()
+	<-started // the leader is mid-fill; the key is marked in flight
+	for i := 1; i <= followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.getOrFill("k", func() ([]float64, error) {
+				fills.Add(1)
+				return nil, errors.New("redundant fill")
+			})
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := fills.Load(); got != 1 {
+		t.Fatalf("%d fills ran, want 1 (single-flight)", got)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+		if len(results[i]) != 3 || results[i][2] != 3 {
+			t.Fatalf("caller %d got %v", i, results[i])
+		}
+	}
+	if c.misses.Load() != 1 {
+		t.Fatalf("misses = %d, want 1 (only the leader)", c.misses.Load())
+	}
+	if c.singleFlights.Load()+c.hits.Load() != followers {
+		t.Fatalf("waits (%d) + hits (%d) != followers (%d)",
+			c.singleFlights.Load(), c.hits.Load(), followers)
+	}
+}
+
+// TestCacheSingleFlightErrorNotCached verifies a failed fill propagates to
+// every waiter but leaves the key uncached, so the next query retries.
+func TestCacheSingleFlightErrorNotCached(t *testing.T) {
+	c := newBlockCache(4)
+	boom := errors.New("disk gone")
+	if _, err := c.getOrFill("k", func() ([]float64, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if c.len() != 0 {
+		t.Fatalf("error cached: %d entries", c.len())
+	}
+	dense, err := c.getOrFill("k", func() ([]float64, error) { return []float64{7}, nil })
+	if err != nil || len(dense) != 1 {
+		t.Fatalf("retry: %v, %v", dense, err)
+	}
+	if c.len() != 1 {
+		t.Fatalf("retry not cached: %d entries", c.len())
+	}
+}
+
+// TestStatsReportCacheShardsAndWaits checks the new observability fields:
+// per-shard cache counts and the single-flight wait counter surface in
+// DB.Stats.
+func TestStatsReportCacheShardsAndWaits(t *testing.T) {
+	opt := dbOptions()
+	opt.Shards = 4
+	opt.Workers = -1
+	dir := t.TempDir()
+	db, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Append("s", sensorData(2*opt.BlockSize, 11)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db, err = Open(dir, opt) // reopen: every block is cold
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Stats()
+	if s.CacheShards != 4 {
+		t.Fatalf("CacheShards = %d, want 4", s.CacheShards)
+	}
+	// Hammer one cold block from many goroutines: exactly one loader may
+	// miss (single-flight); every other query waited on that flight or hit
+	// the filled cache, and the three counters account for all of them.
+	const queries = 16
+	var wg sync.WaitGroup
+	for i := 0; i < queries; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := db.Query("s", 0, 10); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	s = db.Stats()
+	if s.CacheMisses != 1 {
+		t.Fatalf("CacheMisses = %d, want exactly 1 for one cold block", s.CacheMisses)
+	}
+	if s.CacheHits+s.CacheWaits != queries-1 {
+		t.Fatalf("hits (%d) + waits (%d) != %d", s.CacheHits, s.CacheWaits, queries-1)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,344 @@
+package tsdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/series"
+)
+
+// writeLegacySeries fabricates a series directory exactly as the
+// pre-header engine laid it out: headerless block files holding raw CAMEO
+// irregular-series encodings, plus a start-stamped verbatim tail. It
+// returns the samples a query over the store must reconstruct.
+func writeLegacySeries(t *testing.T, dir, name string, opt Options, nBlocks, tailLen int) []float64 {
+	t.Helper()
+	sdir := filepath.Join(dir, name) // names used here need no escaping
+	if err := os.MkdirAll(sdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var want []float64
+	for b := 0; b < nBlocks; b++ {
+		chunk := sensorData(opt.BlockSize, int64(100+b))
+		res, err := core.Compress(chunk, opt.Compression)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := res.Compressed.Encode() // pre-header on-disk bytes: no codec framing
+		path := filepath.Join(sdir, fmt.Sprintf("%012d.blk", b*opt.BlockSize))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res.Compressed.Decompress()...)
+	}
+	if tailLen > 0 {
+		tail := sensorData(tailLen, 999)
+		data := series.FromDense(tail).Encode()
+		path := filepath.Join(sdir, fmt.Sprintf("%012d.tail", nBlocks*opt.BlockSize))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, tail...)
+	}
+	return want
+}
+
+// TestLegacyHeaderlessStoreOpensAndQueriesIdentically is the
+// backward-compat contract: a store directory written by the pre-header
+// engine (raw CAM1 blocks, no codec header) opens under the refactored
+// engine and returns byte-identical query results.
+func TestLegacyHeaderlessStoreOpensAndQueriesIdentically(t *testing.T) {
+	dir := t.TempDir()
+	opt := dbOptions()
+	want := writeLegacySeries(t, dir, "legacy", opt, 3, 100)
+
+	db, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	got, err := db.Query("legacy", 0, len(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("query returned %d samples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+	st, err := db.SeriesStats("legacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Samples != len(want) || st.Blocks != 3 {
+		t.Fatalf("stats %+v, want %d samples in 3 blocks", st, len(want))
+	}
+}
+
+// TestLegacyStoreAcceptsNewAppends verifies the mixed case: appends to a
+// reopened legacy store write current-format (headered) blocks next to the
+// headerless ones, and both generations stay queryable across another
+// reopen.
+func TestLegacyStoreAcceptsNewAppends(t *testing.T) {
+	dir := t.TempDir()
+	opt := dbOptions()
+	opt.Workers = -1 // deterministic synchronous cuts
+	legacy := writeLegacySeries(t, dir, "legacy", opt, 2, 0)
+
+	db, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := sensorData(opt.BlockSize, 555)
+	if err := db.Append("legacy", fresh...); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err = Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	got, err := db.Query("legacy", 0, len(legacy)+opt.BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(legacy)+opt.BlockSize {
+		t.Fatalf("query returned %d samples", len(got))
+	}
+	for i := range legacy {
+		if got[i] != legacy[i] {
+			t.Fatalf("legacy sample %d changed: %v != %v", i, got[i], legacy[i])
+		}
+	}
+	// The appended block went through CAMEO, so compare against its codec
+	// reconstruction rather than the raw input.
+	res, err := core.Compress(fresh, opt.Compression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon := res.Compressed.Decompress()
+	for i, v := range got[len(legacy):] {
+		if v != recon[i] {
+			t.Fatalf("new sample %d: %v, want %v", i, v, recon[i])
+		}
+	}
+}
+
+// codecStoreOptions builds store options for a non-CAMEO codec (small
+// blocks, synchronous writes for determinism where needed).
+func codecStoreOptions(c codec.Codec) Options {
+	return Options{Codec: c, BlockSize: 256, Shards: 4, Workers: 2, CacheBlocks: 16}
+}
+
+// TestStoreRoundTripsUnderEachCodec writes, closes, reopens, and queries a
+// store under cameo, gorilla, and elf (the acceptance matrix), asserting
+// exact replay for the lossless codecs.
+func TestStoreRoundTripsUnderEachCodec(t *testing.T) {
+	type tc struct {
+		name     string
+		opt      Options
+		lossless bool
+	}
+	cases := []tc{
+		{"cameo", dbOptions(), false},
+		{"gorilla", codecStoreOptions(codec.Gorilla{}), true},
+		{"elf", codecStoreOptions(codec.Elf{}), true},
+		{"swing", codecStoreOptions(codec.Swing{}), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			dir := t.TempDir()
+			input := sensorData(3*c.opt.BlockSize+57, 42)
+			db, err := Open(dir, c.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Append("s", input...); err != nil {
+				t.Fatal(err)
+			}
+			first, err := func() ([]float64, error) {
+				if err := db.Flush(); err != nil {
+					return nil, err
+				}
+				return db.Query("s", 0, len(input))
+			}()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			db, err = Open(dir, c.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			got, err := db.Query("s", 0, len(input))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(input) {
+				t.Fatalf("reopened query returned %d samples, want %d", len(got), len(input))
+			}
+			for i := range first {
+				if got[i] != first[i] {
+					t.Fatalf("sample %d changed across reopen: %v != %v", i, got[i], first[i])
+				}
+			}
+			if c.lossless {
+				for i := range input {
+					if got[i] != input[i] {
+						t.Fatalf("lossless codec altered sample %d: %v != %v", i, got[i], input[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStoreMixesCodecsAcrossReopens writes blocks under gorilla, reopens
+// the store under swing, and verifies (a) the gorilla blocks still replay
+// exactly (per-block headers select the decoder, not the store's codec)
+// and (b) new blocks are written under the new codec.
+func TestStoreMixesCodecsAcrossReopens(t *testing.T) {
+	dir := t.TempDir()
+	input := sensorData(2*256, 7)
+
+	db, err := Open(dir, codecStoreOptions(codec.Gorilla{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Append("s", input...); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err = Open(dir, codecStoreOptions(codec.Swing{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	got, err := db.Query("s", 0, len(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range input {
+		if got[i] != input[i] {
+			t.Fatalf("gorilla block sample %d changed under swing reopen: %v != %v", i, got[i], input[i])
+		}
+	}
+	more := sensorData(256, 8)
+	if err := db.Append("s", more...); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// The new block's on-disk header must name swing.
+	sh := db.shardFor("s")
+	sh.mu.RLock()
+	var newMeta blockMeta
+	for _, b := range sh.series["s"].blocks {
+		if b.start == len(input) {
+			newMeta = b
+		}
+	}
+	sh.mu.RUnlock()
+	if newMeta.codecID != codec.IDSwing {
+		t.Fatalf("new block codec ID = %d, want swing (%d)", newMeta.codecID, codec.IDSwing)
+	}
+	// And the old ones gorilla.
+	sh.mu.RLock()
+	oldID := sh.series["s"].blocks[0].codecID
+	sh.mu.RUnlock()
+	if oldID != codec.IDGorilla {
+		t.Fatalf("old block codec ID = %d, want gorilla (%d)", oldID, codec.IDGorilla)
+	}
+}
+
+// TestCorruptBlockHeaderFailsOpen plants garbage where a block header
+// should be: Open must reject the store with a clear error instead of
+// indexing a lie.
+func TestCorruptBlockHeaderFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	sdir := filepath.Join(dir, "s")
+	if err := os.MkdirAll(sdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sdir, "000000000000.blk"), []byte{0xDE, 0xAD, 0xBE, 0xEF}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, dbOptions()); err == nil {
+		t.Fatal("Open accepted a garbage block header")
+	}
+}
+
+// TestTrickleFlushDoesNotFragmentMinBlockOneCodecs regression-tests the
+// Flush tail policy for codecs without an encoding minimum: repeated
+// Append-one-sample + Flush cycles must keep the partial tail in the
+// replayable verbatim file (later cut into a full block), not mint a
+// permanent one-sample .blk per Flush.
+func TestTrickleFlushDoesNotFragmentMinBlockOneCodecs(t *testing.T) {
+	dir := t.TempDir()
+	opt := codecStoreOptions(codec.Gorilla{})
+	db, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	var want []float64
+	for i := 0; i < 5; i++ {
+		v := float64(i) + 0.5
+		want = append(want, v)
+		if err := db.Append("s", v); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := db.SeriesStats("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Blocks != 0 {
+		t.Fatalf("trickle flushes minted %d permanent blocks, want 0", st.Blocks)
+	}
+	got, err := db.Query("s", 0, len(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: %v != %v", i, got[i], want[i])
+		}
+	}
+	// A full block's worth of samples still cuts a real block.
+	if err := db.Append("s", sensorData(opt.BlockSize, 3)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st, err = db.SeriesStats("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Blocks == 0 {
+		t.Fatal("full block was not cut")
+	}
+}

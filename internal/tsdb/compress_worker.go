@@ -52,7 +52,7 @@ func (p *workerPool) submit(j compressJob) {
 func (p *workerPool) run() {
 	defer p.wg.Done()
 	for j := range p.jobs {
-		meta, recon, err := p.db.buildBlock(j.name, j.pb.start, j.pb.raw, false)
+		meta, recon, err := p.db.buildBlock(j.name, j.pb.start, j.pb.raw)
 		j.sh.mu.Lock()
 		if err != nil {
 			// The block stays in st.pending with its raw samples; Flush
@@ -65,7 +65,7 @@ func (p *workerPool) run() {
 			j.st.insertBlock(meta)
 			j.pb.recon = recon
 			j.pb.raw = nil
-			p.db.cache.put(meta.path, recon)
+			j.sh.cache.put(meta.path, recon)
 		}
 		j.sh.mu.Unlock()
 		close(j.pb.done)

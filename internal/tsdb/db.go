@@ -1,30 +1,43 @@
-// Package tsdb is an embedded time-series store built on CAMEO block
+// Package tsdb is an embedded time-series store with pluggable block
 // compression, organized as a sharded, concurrent ingestion engine: series
 // are hashed across independent shards so appends to different series never
 // contend on a lock, full blocks are compressed off the append path by a
-// bounded worker pool, and a small LRU cache keeps recently decoded blocks
-// in memory so repeated range queries skip the disk read and decode.
+// bounded worker pool, and a per-shard LRU cache keeps recently decoded
+// blocks in memory so repeated range queries skip the disk read and decode
+// (cold misses for one block are single-flighted: one loader, everyone
+// else waits).
 //
-// On disk the layout is unchanged from the original minimal store — one
-// directory per series, one compressed block file per BlockSize samples,
-// plus an optional verbatim tail — and every file is written with an
-// fsynced atomic rename (data and directory entry reach stable storage
-// before success), so the store is crash-consistent even across OS crashes
-// and power loss, and always reopenable. Because async
-// workers may persist blocks out of order, Open additionally recovers from
-// crash artifacts: stale *.tmp files are deleted, block files orphaned
-// beyond a hole in the sequence (a crash landed block k+1 but not k) are
-// discarded so the contiguous prefix remains queryable, and .tail files
-// whose start stamp predates the durable block frontier (their samples
-// were since cut into a block) are dropped instead of replayed twice.
+// Block compression goes through the codec.Codec interface. The default is
+// CAMEO (lossy, autocorrelation-preserving, built from Options.Compression)
+// but any registered codec — the lossless XOR family (gorilla, chimp, elf)
+// or the pointwise-error-bounded family (pmc, swing, simpiece) — can be
+// selected per store via Options.Codec, trading fidelity for ratio per
+// workload.
+//
+// On disk the layout is one directory per series, one compressed block
+// file per BlockSize samples, plus an optional verbatim tail. Block files
+// carry a small versioned header (magic, format version, codec ID, sample
+// count), so a store may mix blocks written under different codecs and
+// every block stays self-describing; headerless blocks written by the
+// pre-codec engine are still recognized (by their CAM1 payload magic) and
+// decoded as CAMEO. Every file is written with an fsynced atomic rename
+// (data and directory entry reach stable storage before success), so the
+// store is crash-consistent even across OS crashes and power loss, and
+// always reopenable. Because async workers may persist blocks out of
+// order, Open additionally recovers from crash artifacts: stale *.tmp
+// files are deleted, block files orphaned beyond a hole in the sequence (a
+// crash landed block k+1 but not k) are discarded so the contiguous prefix
+// remains queryable, and .tail files whose start stamp predates the
+// durable block frontier (their samples were since cut into a block) are
+// dropped instead of replayed twice.
 //
 // Concurrency model: Append and Query may be called freely from any number
 // of goroutines. Sync blocks until every queued compression is durable and
 // surfaces the first worker error; Flush additionally persists in-memory
 // tails. Close must not race with other calls. A Query that overlaps a
 // block still being compressed waits for that block, so reads always
-// observe the compressed (lossy) reconstruction of completed blocks — never
-// a raw/lossy mix that would change once the worker finishes.
+// observe the codec's reconstruction of completed blocks — never a
+// raw/decoded mix that would change once the worker finishes.
 package tsdb
 
 import (
@@ -41,6 +54,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/series"
 )
@@ -49,9 +63,20 @@ import (
 type Options struct {
 	// Compression holds the CAMEO options applied to every full block
 	// (Lags and Epsilon / TargetRatio required, as for core.Compress).
+	// Consulted only when Codec is nil.
 	Compression core.Options
-	// BlockSize is the number of samples per compressed block
-	// (default 4096; must satisfy the streaming minimum 4x lags[*window]).
+	// Codec selects the block compressor. nil (the default) builds a CAMEO
+	// codec from Compression, preserving the engine's original behavior;
+	// any other registered codec — lossless (codec.Gorilla, codec.Chimp,
+	// codec.Elf) or pointwise-lossy (codec.PMC, codec.Swing,
+	// codec.SimPiece) — may be supplied instead, in which case Compression
+	// is ignored. The codec governs how new blocks are written; reads
+	// resolve each block's codec from its on-disk header, so reopening a
+	// store under a different codec keeps every existing block readable.
+	Codec codec.Codec
+	// BlockSize is the number of samples per compressed block (default
+	// 4096; must be at least the codec's minimum — for CAMEO the
+	// streaming minimum 4x lags[*window]).
 	BlockSize int
 	// Shards is the number of independent lock domains series names are
 	// hashed into (default 16). Appends and queries on series in different
@@ -62,9 +87,13 @@ type Options struct {
 	// negative value disables the pool entirely so Append compresses
 	// blocks inline (the original synchronous behavior).
 	Workers int
-	// CacheBlocks bounds the LRU cache of decoded blocks kept in memory
-	// for queries: 0 picks the default of 128 blocks, a positive value
-	// that many, and a negative value disables caching.
+	// CacheBlocks bounds the total decoded blocks kept in memory for
+	// queries: 0 picks the default of 128 blocks, a positive value that
+	// many, and a negative value disables caching. The budget is split
+	// evenly across per-shard LRU caches, and all blocks of one series
+	// hash to one shard — so a workload scanning a single hot series
+	// should budget CacheBlocks at Shards times its working set (budgets
+	// below Shards round up to one block per shard).
 	CacheBlocks int
 }
 
@@ -84,24 +113,31 @@ func (o *Options) withDefaults() error {
 	if o.CacheBlocks == 0 {
 		o.CacheBlocks = 128
 	}
-	if err := o.Compression.Validate(); err != nil {
-		return err
+	if o.Codec == nil {
+		if err := o.Compression.Validate(); err != nil {
+			return err
+		}
+		o.Codec = codec.NewCAMEO(o.Compression)
 	}
 	if o.BlockSize < o.minBlock() {
-		return fmt.Errorf("tsdb: BlockSize %d below the statistic's minimum %d", o.BlockSize, o.minBlock())
+		return fmt.Errorf("tsdb: BlockSize %d below codec %q's minimum %d", o.BlockSize, o.Codec.Name(), o.minBlock())
+	}
+	if o.BlockSize > codec.MaxBlockSamples {
+		return fmt.Errorf("tsdb: BlockSize %d above the block format's %d-sample cap", o.BlockSize, codec.MaxBlockSamples)
 	}
 	return nil
 }
 
-// minBlock is the smallest sample count the configured statistic can be
-// estimated on (the streaming minimum 4x lags, scaled by the aggregation
-// window when one is set).
+// minBlock is the smallest sample count the configured codec can encode
+// (for CAMEO, the streaming minimum 4x lags, scaled by the aggregation
+// window when one is set; 1 for codecs without a minimum). It answers for
+// pre-withDefaults Options too — a nil Codec means the CAMEO default, so
+// the minimum derives from Compression.
 func (o *Options) minBlock() int {
-	m := 4 * o.Compression.Lags
-	if o.Compression.AggWindow >= 2 {
-		m *= o.Compression.AggWindow
+	if o.Codec == nil {
+		return codec.NewCAMEO(o.Compression).MinBlock()
 	}
-	return m
+	return codec.MinBlock(o.Codec)
 }
 
 // ErrUnknownSeries is returned by queries on series never appended to.
@@ -124,12 +160,11 @@ func validateSeriesName(name string) error {
 	return nil
 }
 
-// DB is an embedded CAMEO-compressed time-series store.
+// DB is an embedded codec-compressed time-series store.
 type DB struct {
 	dir    string
 	opt    Options
 	shards []*shard
-	cache  *blockCache // nil when caching is disabled
 	pool   *workerPool // nil when compression is synchronous
 
 	blocksWritten atomic.Uint64
@@ -150,11 +185,20 @@ func Open(dir string, opt Options) (*DB, error) {
 	}
 	db := &DB{dir: dir, opt: opt}
 	db.shards = make([]*shard, opt.Shards)
+	// The decoded-block budget is split evenly across per-shard caches (no
+	// global cache mutex). All blocks of one series live in one shard, so a
+	// single hot series sees CacheBlocks/Shards slots, not CacheBlocks —
+	// size the budget for the shard count. A budget smaller than the shard
+	// count rounds up to one slot per shard.
+	perShard := opt.CacheBlocks / opt.Shards
+	if perShard < 1 {
+		perShard = 1
+	}
 	for i := range db.shards {
 		db.shards[i] = &shard{series: make(map[string]*seriesState)}
-	}
-	if opt.CacheBlocks > 0 {
-		db.cache = newBlockCache(opt.CacheBlocks)
+		if opt.CacheBlocks > 0 {
+			db.shards[i].cache = newBlockCache(perShard)
+		}
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -243,11 +287,11 @@ func (db *DB) loadSeries(name string) (*seriesState, error) {
 			// scan, not a full decode. (Body corruption consequently
 			// surfaces at Query time, not here; a mangled header still
 			// fails the open.)
-			n, err := readBlockHeader(path)
+			n, codecID, hdrOff, err := readBlockHeader(path)
 			if err != nil {
 				return nil, fmt.Errorf("block %q: %w", base, err)
 			}
-			st.blocks = append(st.blocks, blockMeta{start: start, n: n, path: path, bytes: info.Size()})
+			st.blocks = append(st.blocks, blockMeta{start: start, n: n, path: path, bytes: info.Size(), codecID: codecID, hdrOff: hdrOff})
 		case strings.HasSuffix(base, ".tail"):
 			start, err := strconv.Atoi(strings.TrimSuffix(base, ".tail"))
 			if err != nil {
@@ -324,28 +368,25 @@ func (db *DB) loadSeries(name string) (*seriesState, error) {
 	return st, nil
 }
 
-// buildBlock compresses (unless verbatim) one block and atomically writes
-// it, returning its metadata and decoded reconstruction. It performs no
-// shard-state mutation, so workers call it without holding any lock.
-func (db *DB) buildBlock(name string, start int, block []float64, verbatim bool) (blockMeta, []float64, error) {
-	var ir *series.Irregular
-	if verbatim {
-		ir = series.FromDense(block)
-	} else {
-		res, err := core.Compress(block, db.opt.Compression)
-		if err != nil {
-			return blockMeta{}, nil, err
-		}
-		ir = res.Compressed
+// buildBlock compresses one block through the configured codec and
+// atomically writes it with the versioned block header, returning its
+// metadata and decoded reconstruction (the values a reader of the persisted
+// block will observe). It performs no shard-state mutation, so workers call
+// it without holding any lock.
+func (db *DB) buildBlock(name string, start int, block []float64) (blockMeta, []float64, error) {
+	c := db.opt.Codec
+	data, hdrOff, recon, err := codec.EncodeBlockRecon(c, block)
+	if err != nil {
+		return blockMeta{}, nil, err
 	}
-	data := ir.Encode()
 	path := filepath.Join(db.seriesDir(name), fmt.Sprintf("%012d.blk", start))
 	if err := atomicWrite(path, data); err != nil {
 		return blockMeta{}, nil, err
 	}
 	db.blocksWritten.Add(1)
 	db.bytesWritten.Add(uint64(len(data)))
-	return blockMeta{start: start, n: ir.N, path: path, bytes: int64(len(data))}, ir.Decompress(), nil
+	meta := blockMeta{start: start, n: len(block), path: path, bytes: int64(len(data)), codecID: c.ID(), hdrOff: hdrOff}
+	return meta, recon, nil
 }
 
 // Sync blocks until every queued block compression has been persisted and
@@ -446,9 +487,9 @@ func (db *DB) flushSeries(sh *shard, name string) error {
 			sh.mu.Lock()
 			continue
 		}
-		err := db.repairPendingLocked(name, st)
+		err := db.repairPendingLocked(sh, name, st)
 		if err == nil {
-			err = db.flushTailLocked(name, st)
+			err = db.flushTailLocked(sh, name, st)
 		}
 		st.flushing--
 		sh.mu.Unlock()
@@ -461,18 +502,18 @@ func (db *DB) flushSeries(sh *shard, name string) error {
 // the shard lock. Without this, a single failed block would leave a
 // permanent hole that crash recovery resolves by discarding everything
 // after it.
-func (db *DB) repairPendingLocked(name string, st *seriesState) error {
+func (db *DB) repairPendingLocked(sh *shard, name string, st *seriesState) error {
 	for start, pb := range st.pending {
 		if pb.err == nil {
 			continue // still in flight; flushSeries waits these out before the tail stamp
 		}
-		meta, recon, err := db.buildBlock(name, start, pb.raw, false)
+		meta, recon, err := db.buildBlock(name, start, pb.raw)
 		if err != nil {
 			return err
 		}
 		delete(st.pending, start)
 		st.insertBlock(meta)
-		db.cache.put(meta.path, recon)
+		sh.cache.put(meta.path, recon)
 		db.noteRepair()
 	}
 	return nil
@@ -509,19 +550,30 @@ func (db *DB) pruneTailStampsLocked(name string, st *seriesState) {
 // final cut round (see flushSeries); it is then compressed as a single
 // oversized block, which the index supports — blocks are keyed by start
 // and sample count, not assumed uniform.
-func (db *DB) flushTailLocked(name string, st *seriesState) error {
+func (db *DB) flushTailLocked(sh *shard, name string, st *seriesState) error {
+	threshold := db.opt.minBlock()
+	if threshold <= 1 {
+		// A codec without an encoding minimum gains nothing from cutting a
+		// partial tail into a permanent block at every Flush — under
+		// trickle ingest with periodic flushes that would fragment the
+		// store into tiny blocks that never coalesce. Keep partial tails
+		// in the replayable verbatim file until a full block accumulates;
+		// CAMEO (whose minimum reflects its statistic) still compresses
+		// tails past that minimum, as the engine always has.
+		threshold = db.opt.BlockSize
+	}
 	switch {
 	case len(st.tail) == 0:
 		// Nothing buffered; superseded tail files are pruned below.
-	case len(st.tail) >= db.opt.minBlock():
-		meta, recon, err := db.buildBlock(name, st.assigned, st.tail, false)
+	case len(st.tail) >= threshold:
+		meta, recon, err := db.buildBlock(name, st.assigned, st.tail)
 		if err != nil {
 			return err
 		}
 		st.insertBlock(meta)
 		st.assigned += meta.n
 		st.tail = st.tail[:0]
-		db.cache.put(meta.path, recon)
+		sh.cache.put(meta.path, recon)
 	default:
 		ir := series.FromDense(st.tail)
 		if err := atomicWrite(db.tailPath(name, st.assigned), ir.Encode()); err != nil {
@@ -593,7 +645,7 @@ func (db *DB) Query(name string, from, to int) ([]float64, error) {
 				// A Flush repaired the failed block after our snapshot; the
 				// data is durable, so serve it instead of the stale error.
 				var err error
-				dense, err = db.readBlock(meta)
+				dense, err = db.readBlock(sh.cache, meta)
 				if err != nil {
 					return nil, err
 				}
@@ -602,7 +654,7 @@ func (db *DB) Query(name string, from, to int) ([]float64, error) {
 			}
 		} else {
 			var err error
-			dense, err = db.readBlock(s.meta)
+			dense, err = db.readBlock(sh.cache, s.meta)
 			if err != nil {
 				return nil, err
 			}
@@ -634,22 +686,33 @@ func (db *DB) durableBlockAt(sh *shard, name string, start int) (blockMeta, bool
 }
 
 // readBlock returns the decoded reconstruction of a durable block, serving
-// it from the LRU cache when present.
-func (db *DB) readBlock(meta blockMeta) ([]float64, error) {
-	if dense, ok := db.cache.get(meta.path); ok {
+// it from the owning shard's LRU cache when present. Cold misses for the
+// same block are single-flighted through the cache: one goroutine reads
+// and decodes, concurrent queries wait for its result.
+func (db *DB) readBlock(cache *blockCache, meta blockMeta) ([]float64, error) {
+	return cache.getOrFill(meta.path, func() ([]float64, error) {
+		data, err := os.ReadFile(meta.path)
+		if err != nil {
+			return nil, err
+		}
+		if len(data) < meta.hdrOff {
+			return nil, fmt.Errorf("tsdb: block %s: truncated since open", meta.path)
+		}
+		c := db.opt.Codec
+		if c.ID() != meta.codecID {
+			// The block was written under a different codec (the store was
+			// reopened with a new Options.Codec, or predates it); its header
+			// names the decoder.
+			if c, err = codec.ByID(meta.codecID); err != nil {
+				return nil, fmt.Errorf("tsdb: block %s: %w", meta.path, err)
+			}
+		}
+		dense, err := c.Decode(data[meta.hdrOff:], meta.n)
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: block %s: %w", meta.path, err)
+		}
 		return dense, nil
-	}
-	data, err := os.ReadFile(meta.path)
-	if err != nil {
-		return nil, err
-	}
-	ir, err := series.DecodeIrregular(data)
-	if err != nil {
-		return nil, fmt.Errorf("tsdb: block %s: %w", meta.path, err)
-	}
-	dense := ir.Decompress()
-	db.cache.put(meta.path, dense)
-	return dense, nil
+	})
 }
 
 // Stats summarizes one series.
@@ -685,8 +748,10 @@ type DBStats struct {
 	BlocksWritten uint64 // blocks persisted since Open
 	BytesWritten  uint64 // compressed bytes persisted since Open
 	DiskBytes     int64  // current durable block bytes across series
-	CacheHits     uint64 // decoded-block cache hits
-	CacheMisses   uint64 // decoded-block cache misses
+	CacheShards   int    // independent decoded-block caches (one per shard; 0 = caching off)
+	CacheHits     uint64 // decoded-block cache hits, summed across shard caches
+	CacheMisses   uint64 // decoded-block cache misses (single-flight leaders), summed
+	CacheWaits    uint64 // cold queries that waited on another query's in-flight decode instead of redundantly loading (single-flight followers)
 	Queued        int    // compressions waiting in the worker queue
 	Inflight      int    // compressions currently executing
 }
@@ -708,15 +773,27 @@ func (db *DB) Stats() DBStats {
 			}
 		}
 		sh.mu.RUnlock()
-	}
-	if db.cache != nil {
-		s.CacheHits = db.cache.hits.Load()
-		s.CacheMisses = db.cache.misses.Load()
+		if sh.cache != nil {
+			s.CacheShards++
+			s.CacheHits += sh.cache.hits.Load()
+			s.CacheMisses += sh.cache.misses.Load()
+			s.CacheWaits += sh.cache.singleFlights.Load()
+		}
 	}
 	if db.pool != nil {
 		s.Queued, s.Inflight = db.pool.backlog()
 	}
 	return s
+}
+
+// cacheLen reports the total number of cached decoded blocks across all
+// shard caches (for tests).
+func (db *DB) cacheLen() int {
+	n := 0
+	for _, sh := range db.shards {
+		n += sh.cache.len()
+	}
+	return n
 }
 
 // Series lists the stored series names, sorted.
@@ -773,22 +850,46 @@ func (db *DB) err() error {
 }
 
 // readBlockHeader reads just enough of a block file to recover its dense
-// sample count.
-func readBlockHeader(path string) (int, error) {
+// sample count, codec ID, and payload offset. Current-format blocks carry
+// the versioned codec header; headerless blocks from the pre-codec engine
+// are raw CAMEO irregular-series encodings (recognized by their own CAM1
+// magic) whose payload starts at offset 0.
+func readBlockHeader(path string) (n int, codecID uint8, hdrOff int, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, err
+		return 0, 0, 0, err
 	}
 	defer f.Close()
-	buf := make([]byte, series.HeaderLen)
+	bufLen := codec.MaxHeaderLen
+	if series.HeaderLen > bufLen {
+		bufLen = series.HeaderLen
+	}
+	buf := make([]byte, bufLen)
 	k, err := io.ReadFull(f, buf)
 	if err == io.ErrUnexpectedEOF || err == io.EOF {
 		err = nil // tiny block: the header may be the whole file
 	}
 	if err != nil {
-		return 0, err
+		return 0, 0, 0, err
 	}
-	return series.DecodeHeader(buf[:k])
+	h, off, err := codec.ParseBlockHeader(buf[:k])
+	if err == nil {
+		return h.N, h.CodecID, off, nil
+	}
+	if !errors.Is(err, codec.ErrNotBlockFormat) {
+		return 0, 0, 0, err
+	}
+	n, err = series.DecodeHeader(buf[:k])
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if n > codec.MaxBlockSamples {
+		// Legacy headers carry their own laxer bound; hold them to the
+		// block cap too, or a planted count would inflate the series
+		// total and the allocations sized by it.
+		return 0, 0, 0, fmt.Errorf("tsdb: legacy block claims %d samples, above the %d-sample cap", n, codec.MaxBlockSamples)
+	}
+	return n, codec.IDCAMEO, 0, nil
 }
 
 // atomicWrite writes via a temp file + fsync + rename + directory fsync,

@@ -509,6 +509,7 @@ func TestLegacyTailRawMigratedOnOpen(t *testing.T) {
 func TestCacheEvictionAndStats(t *testing.T) {
 	opt := dbOptions()
 	opt.CacheBlocks = 2
+	opt.Shards = 1   // one shard so the per-shard cache budget is exactly 2
 	opt.Workers = -1 // deterministic synchronous writes
 	db, err := Open(t.TempDir(), opt)
 	if err != nil {
@@ -518,8 +519,8 @@ func TestCacheEvictionAndStats(t *testing.T) {
 	if err := db.Append("s", sensorData(4*512, 35)...); err != nil {
 		t.Fatal(err)
 	}
-	if db.cache.len() != 2 {
-		t.Fatalf("cache holds %d blocks, cap 2", db.cache.len())
+	if db.cacheLen() != 2 {
+		t.Fatalf("cache holds %d blocks, cap 2", db.cacheLen())
 	}
 	// Blocks 0 and 1 were evicted by 2 and 3: querying them misses, then
 	// an immediate re-query hits.

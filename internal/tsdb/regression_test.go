@@ -147,7 +147,7 @@ func TestFlushWaitsForInflightCutBlocks(t *testing.T) {
 	}
 
 	// Play the worker: persist the block, publish it, then signal done.
-	meta, recon, err := db.buildBlock("s", pb.start, pb.raw, false)
+	meta, recon, err := db.buildBlock("s", pb.start, pb.raw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +250,7 @@ func TestFlushDefersCutsSoWaitIsBounded(t *testing.T) {
 
 	// Let the planted block land; Flush must now finish and persist the
 	// whole (oversized) tail.
-	meta, recon, err := db.buildBlock("s", pb.start, pb.raw, false)
+	meta, recon, err := db.buildBlock("s", pb.start, pb.raw)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,18 +8,23 @@ import (
 )
 
 // shard is one lock domain of the store. Series names are hashed across
-// shards so operations on series in different shards proceed concurrently.
+// shards so operations on series in different shards proceed concurrently;
+// each shard owns its slice of the decoded-block cache, so cache traffic
+// never crosses shard boundaries either.
 type shard struct {
 	mu     sync.RWMutex
 	series map[string]*seriesState
+	cache  *blockCache // nil when caching is disabled
 }
 
 // blockMeta indexes one persisted block.
 type blockMeta struct {
-	start int // first sample index
-	n     int // samples covered
-	path  string
-	bytes int64 // encoded size on disk
+	start   int // first sample index
+	n       int // samples covered
+	path    string
+	bytes   int64 // encoded size on disk
+	codecID uint8 // codec that wrote the block (from its header)
+	hdrOff  int   // payload offset past the block header (0 for legacy blocks)
 }
 
 // pendingBlock is a block that has been cut from the tail but whose
@@ -155,7 +160,7 @@ func (db *DB) Append(name string, values ...float64) error {
 			// error leaves the samples buffered, and a later Append or
 			// Flush re-attempts the cut. (Callers must not re-send the
 			// failed values; they are still in the tail.)
-			meta, recon, err := db.buildBlock(name, st.assigned, st.tail[:db.opt.BlockSize], false)
+			meta, recon, err := db.buildBlock(name, st.assigned, st.tail[:db.opt.BlockSize])
 			if err != nil {
 				sh.mu.Unlock()
 				return err
@@ -163,7 +168,7 @@ func (db *DB) Append(name string, values ...float64) error {
 			st.insertBlock(meta)
 			st.assigned += meta.n
 			st.tail = append(st.tail[:0], st.tail[db.opt.BlockSize:]...)
-			db.cache.put(meta.path, recon)
+			sh.cache.put(meta.path, recon)
 			continue
 		}
 		cut = append(cut, db.cutBlockLocked(st))

@@ -6,35 +6,56 @@ import (
 )
 
 // Store is an embedded time-series database that persists regularly
-// sampled series as CAMEO-compressed, binary-encoded blocks. The engine is
+// sampled series as codec-compressed, binary-encoded blocks. The engine is
 // sharded and concurrent: series names hash across independent lock
 // domains, full blocks compress on a bounded worker pool off the append
-// path, and an LRU cache of decoded blocks serves repeated range queries
-// from memory. Appends buffer in memory, full blocks compress under the
-// configured statistic guarantee, and queries reconstruct only the blocks
-// overlapping the requested range.
+// path, and a per-shard LRU cache of decoded blocks serves repeated range
+// queries from memory (cold misses for one block are single-flighted, so
+// concurrent queries never redundantly decode the same block). Appends
+// buffer in memory, full blocks compress under the configured codec, and
+// queries reconstruct only the blocks overlapping the requested range.
+//
+// Block compression is pluggable (see Codec): the default is CAMEO, whose
+// lossy reconstruction preserves the series' autocorrelation structure
+// within the configured bound; the lossless codecs (CodecGorilla,
+// CodecChimp, CodecELF) make the store an exact-replay archive at a lower
+// compression ratio, and the pointwise-lossy segment codecs (CodecPMC,
+// CodecSwing, CodecSimPiece) bound per-value error instead. Every block
+// file carries a self-describing header (magic, format version 1, codec
+// ID, sample count), so a store may mix blocks written under different
+// codecs across reopens, and stores written by the pre-header engine
+// remain fully readable (their headerless blocks decode as CAMEO).
 type Store = tsdb.DB
 
 // StoreOptions configures a Store:
 //
 //   - Compression: the per-block CAMEO options (Lags and Epsilon or
-//     TargetRatio required).
-//   - BlockSize: samples per compressed block (default 4096).
+//     TargetRatio required); consulted only when Codec is nil.
+//   - Codec: the block compressor for newly written blocks. nil selects
+//     CAMEO built from Compression; any Codec* constructor's result may be
+//     supplied instead (Compression is then ignored). Reads always resolve
+//     each block's codec from its on-disk header, so switching Codec
+//     between opens never invalidates existing data.
+//   - BlockSize: samples per compressed block (default 4096; must be at
+//     least the codec's minimum — for CAMEO, 4x lags[*window]).
 //   - Shards: independent lock domains for series (default 16); appends to
 //     series in different shards never contend. Shards=1 restores a single
 //     global lock.
 //   - Workers: block-compression pool size; 0 picks GOMAXPROCS, negative
 //     disables the pool so appends compress inline (synchronous mode).
-//   - CacheBlocks: LRU capacity, in blocks, of decoded reconstructions
-//     kept for queries; 0 picks 128, negative disables caching.
+//   - CacheBlocks: total LRU capacity, in blocks, of decoded
+//     reconstructions kept for queries, split evenly across per-shard
+//     caches (a single series always lives in one shard, so budget
+//     Shards x its working set for hot-series scans); 0 picks 128,
+//     negative disables caching.
 type StoreOptions = tsdb.Options
 
 // StoreStats summarizes one stored series (see Store.SeriesStats).
 type StoreStats = tsdb.Stats
 
 // StoreTotals aggregates engine-level counters — blocks/bytes written,
-// cache hits and misses, and the compression queue backlog (see
-// Store.Stats).
+// per-shard cache hits/misses/single-flight waits, and the compression
+// queue backlog (see Store.Stats).
 type StoreTotals = tsdb.DBStats
 
 // ErrUnknownSeries is returned by Store queries for absent series names.
@@ -45,8 +66,9 @@ var ErrUnknownSeries = tsdb.ErrUnknownSeries
 var ErrBadSeriesName = tsdb.ErrBadSeriesName
 
 // OpenStore creates or reopens a compressed time-series store rooted at
-// dir with default engine settings (16 shards, GOMAXPROCS compression
-// workers, 128-block decoded cache). Use OpenStoreOptions to tune them.
+// dir with default engine settings (CAMEO codec, 16 shards, GOMAXPROCS
+// compression workers, 128-block decoded cache). Use OpenStoreOptions to
+// tune them or select a different Codec.
 func OpenStore(dir string, compression Options, blockSize int) (*Store, error) {
 	return tsdb.Open(dir, tsdb.Options{
 		Compression: core.Options(compression),
