@@ -1,0 +1,302 @@
+// Command bench runs the repository's core-compression and storage-engine
+// benchmarks in-process (via testing.Benchmark, with allocation counting
+// always on, as with -benchmem) and writes a machine-readable JSON artifact.
+// CI invokes it on every run and uploads the result, and perf PRs commit a
+// before/after snapshot (BENCH_PR3.json) so the performance trajectory of
+// the hot paths — impact evaluation, block compression, store ingest and
+// query — is tracked from PR 3 onward.
+//
+// Usage:
+//
+//	go run ./cmd/bench [-benchtime 1s|Nx] [-label name] [-out bench.json]
+//
+// -out "-" writes to stdout.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	cameo "repro"
+	"repro/internal/acf"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+}
+
+type run struct {
+	Label     string   `json:"label"`
+	Go        string   `json:"go"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPUs      int      `json:"cpus"`
+	Benchtime string   `json:"benchtime"`
+	Results   []result `json:"results"`
+}
+
+func benchSeries(n, period int, noise float64) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 10 + 5*math.Sin(2*math.Pi*float64(i)/float64(period)) + noise*rng.NormFloat64()
+	}
+	return xs
+}
+
+func mustCompress(b *testing.B, xs []float64, opt cameo.Options) {
+	b.Helper()
+	if _, err := cameo.Compress(xs, opt); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchmarks mirrors the tracked subset of the root bench_test.go suite —
+// the two acceptance benchmarks of PR 3 (epsilon compression, store append)
+// plus the knobs the performance model documents.
+func benchmarks() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"impact-eval/direct-48", func(b *testing.B) {
+			// Steady-state hypothetical evaluation (the Alg. 1 inner loop):
+			// must report 0 allocs/op.
+			xs := benchSeries(10000, 48, 0.5)
+			tr := acf.NewDirectTracker(xs, 48)
+			sc := tr.NewScratch()
+			deltas := []float64{1.5}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Hypothetical(xs, 5000, deltas, sc)
+			}
+		}},
+		{"compress/epsilon-10k-l48", func(b *testing.B) {
+			xs := benchSeries(10000, 48, 0.5)
+			opt := cameo.Options{Lags: 48, Epsilon: 0.01}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mustCompress(b, xs, opt)
+			}
+		}},
+		{"compress/ratio-10k-l48", func(b *testing.B) {
+			xs := benchSeries(10000, 48, 0.5)
+			opt := cameo.Options{Lags: 48, TargetRatio: 10}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mustCompress(b, xs, opt)
+			}
+		}},
+		{"compress/pacf-2k-l24", func(b *testing.B) {
+			xs := benchSeries(2000, 24, 0.5)
+			opt := cameo.Options{Lags: 24, Epsilon: 0.01, Statistic: cameo.StatPACF}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mustCompress(b, xs, opt)
+			}
+		}},
+		{"compress/aggwindow-10k-k24", func(b *testing.B) {
+			xs := benchSeries(10000, 240, 0.5)
+			opt := cameo.Options{Lags: 10, Epsilon: 0.01, AggWindow: 24, AggFunc: cameo.AggMean}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mustCompress(b, xs, opt)
+			}
+		}},
+		{"compress/lagsubset-full48-5k", func(b *testing.B) {
+			xs := benchSeries(5000, 48, 0.5)
+			opt := cameo.Options{Lags: 48, Epsilon: 0.01}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mustCompress(b, xs, opt)
+			}
+		}},
+		{"compress/lagsubset-3of48-5k", func(b *testing.B) {
+			xs := benchSeries(5000, 48, 0.5)
+			opt := cameo.Options{Lags: 48, Epsilon: 0.01, LagSubset: []int{1, 24, 48}}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mustCompress(b, xs, opt)
+			}
+		}},
+		{"store/append-sharded-async", func(b *testing.B) {
+			benchStoreAppend(b, 16, 0)
+		}},
+		{"store/append-single-sync", func(b *testing.B) {
+			benchStoreAppend(b, 1, -1)
+		}},
+		{"store/query-cached", func(b *testing.B) {
+			benchStoreQuery(b, 256)
+		}},
+		{"store/query-cold", func(b *testing.B) {
+			benchStoreQuery(b, -1)
+		}},
+	}
+}
+
+func storeOptions(shards, workers, cacheBlocks int) cameo.StoreOptions {
+	return cameo.StoreOptions{
+		Compression: cameo.Options{Lags: 24, Epsilon: 0.05},
+		BlockSize:   2048,
+		Shards:      shards,
+		Workers:     workers,
+		CacheBlocks: cacheBlocks,
+	}
+}
+
+func benchStoreAppend(b *testing.B, shards, workers int) {
+	chunk := benchSeries(512, 48, 0.5)
+	store, err := cameo.OpenStoreOptions(b.TempDir(), storeOptions(shards, workers, -1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var id atomic.Int64
+	b.SetBytes(int64(len(chunk) * 8))
+	b.ReportAllocs()
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		name := fmt.Sprintf("series-%02d", id.Add(1))
+		for pb.Next() {
+			if err := store.Append(name, chunk...); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	if err := store.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if err := store.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchStoreQuery(b *testing.B, cacheBlocks int) {
+	const nSeries, perSeries = 8, 8192
+	store, err := cameo.OpenStoreOptions(b.TempDir(), storeOptions(16, 0, cacheBlocks))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for s := 0; s < nSeries; s++ {
+		if err := store.Append(fmt.Sprintf("series-%02d", s), benchSeries(perSeries, 48, 0.5)...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := store.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	var seed atomic.Int64
+	b.SetBytes(512 * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		for pb.Next() {
+			s := rng.Intn(nSeries)
+			from := rng.Intn(perSeries - 512)
+			if _, err := store.Query(fmt.Sprintf("series-%02d", s), from, from+512); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if err := store.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR3.json", "output file (- for stdout)")
+	label := flag.String("label", "current", "label recorded in the artifact")
+	benchtime := flag.String("benchtime", "1s", "per-benchmark duration or iteration count (Nx)")
+	flag.Parse()
+
+	// testing.Benchmark honours the standard -test.benchtime flag; register
+	// the testing flags so it can be set without a test binary.
+	testing.Init()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+
+	r := run{
+		Label:     *label,
+		Go:        runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Benchtime: *benchtime,
+	}
+	failed := 0
+	for _, bm := range benchmarks() {
+		res := testing.Benchmark(bm.fn)
+		if res.N == 0 {
+			// The benchmark func called b.Fatal/b.Error (testing.Benchmark
+			// swallows the message). Record the failure instead of emitting
+			// 0/0 = NaN, which JSON cannot encode.
+			failed++
+			fmt.Fprintf(os.Stderr, "%-32s FAILED (benchmark aborted; re-run under `go test -bench` for details)\n", bm.name)
+			continue
+		}
+		entry := result{
+			Name:        bm.name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		if mbs, ok := res.Extra["MB/s"]; ok {
+			entry.MBPerSec = mbs
+		} else if res.Bytes > 0 && res.T > 0 {
+			entry.MBPerSec = (float64(res.Bytes) * float64(res.N) / 1e6) / res.T.Seconds()
+		}
+		r.Results = append(r.Results, entry)
+		fmt.Fprintf(os.Stderr, "%-32s %10d ops  %14.1f ns/op  %8d B/op  %6d allocs/op\n",
+			bm.name, entry.Iterations, entry.NsPerOp, entry.BytesPerOp, entry.AllocsPerOp)
+	}
+
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "wrote", *out)
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "bench: %d benchmark(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

@@ -49,7 +49,21 @@ func main() {
 		fmt.Printf("  target %4.0fx -> CR %6.1fx  dev %.4f\n", cr, res.CompressionRatio(), res.Deviation)
 	}
 
-	// PACF preservation (costlier: Durbin-Levinson per evaluation).
+	// Preserving a lag subset (§5.5): the tracker maintains ONLY the listed
+	// lags, so per-candidate evaluation drops from O(L*m) to O(|subset|*m) —
+	// the 3-of-48 constraint below compresses several times faster than the
+	// full 24-lag one (see the "Performance model" section in ROADMAP.md and
+	// BENCH_PR3.json) while still pinning the lags a daily-seasonal
+	// forecaster relies on.
+	fmt.Println("\nLagSubset: constrain only lags {1, 12, 24} (faster + looser)")
+	res, err = cameo.Compress(xs, cameo.Options{Lags: 24, Epsilon: 0.01, LagSubset: []int{1, 12, 24}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  eps=0.01 CR %6.1fx  dev %.4f (on the 3 selected lags)\n", res.CompressionRatio(), res.Deviation)
+
+	// PACF preservation (costlier: Durbin-Levinson per evaluation; a
+	// LagSubset also truncates the recursion at the largest selected lag).
 	fmt.Println("\nPACF preservation")
 	res, err = cameo.Compress(xs, cameo.Options{Lags: 24, Epsilon: 0.01, Statistic: cameo.StatPACF})
 	if err != nil {

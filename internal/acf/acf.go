@@ -125,12 +125,24 @@ func PACF(xs []float64, L int) []float64 {
 // numerically singular systems.
 func PACFFromACF(rho []float64) []float64 {
 	L := len(rho)
-	out := make([]float64, L)
+	return PACFFromACFInto(rho, make([]float64, L), make([]float64, L+1), make([]float64, L+1))
+}
+
+// PACFFromACFInto is PACFFromACF writing into caller-owned buffers: out must
+// have length len(rho), phiPrev and phiCur length len(rho)+1. It returns out
+// and performs no allocation, which keeps per-candidate PACF evaluation off
+// the heap in CAMEO's hot loop (§5.5).
+func PACFFromACFInto(rho, out, phiPrev, phiCur []float64) []float64 {
+	L := len(rho)
+	out = out[:L]
+	clear(out)
 	if L == 0 {
 		return out
 	}
-	phiPrev := make([]float64, L+1) // phi_{l-1,k}
-	phiCur := make([]float64, L+1)  // phi_{l,k}
+	phiPrev = phiPrev[:L+1] // phi_{l-1,k}
+	phiCur = phiCur[:L+1]   // phi_{l,k}
+	clear(phiPrev)
+	clear(phiCur)
 	out[0] = rho[0]
 	phiPrev[1] = rho[0]
 	for l := 2; l <= L; l++ {

@@ -1,18 +1,29 @@
 package acf
 
-// Aggregates maintains the five basic per-lag aggregates of paper Eq. 7 for
-// lags 1..L over a fixed-length series, enabling O(L) (single point) or
-// O(m*L) (m-point gap) incremental recomputation of the ACF under value
-// updates (paper Eq. 8 and Eq. 9) instead of O(n*L) from scratch.
+import "math"
+
+// Aggregates maintains the five basic per-lag aggregates of paper Eq. 7 over
+// a fixed-length series, enabling O(P) (single point) or O(P*m) (m-point
+// gap) incremental recomputation of the ACF under value updates (paper Eq. 8
+// and Eq. 9) instead of O(n*L) from scratch, where P is the number of
+// maintained lag positions.
+//
+// Two maintenance shapes exist:
+//
+//   - dense (lags == nil): positions 0..L-1 hold lags 1..L, the paper's
+//     default;
+//   - compact (lags != nil): position i holds lags[i], a sorted set of
+//     selected lags (Options.LagSubset, paper §5.5). Per-update cost drops
+//     from O(L*m) to O(|lags|*m).
 //
 // The reconstruction of a line-simplified series always keeps its original
 // length n — removing a point changes interior *values* via interpolation,
 // never the length — so N is fixed for the lifetime of the struct.
-//
-// Index convention: slice index i holds lag l = i+1.
 type Aggregates struct {
 	N int // series length (fixed)
-	L int // max lag
+	L int // largest maintained lag
+
+	lags []int32 // maintained lags, ascending; nil = dense 1..L
 
 	sx   []float64 // sum of head x_t, t in [0, n-l)
 	sxl  []float64 // sum of tail x_{t+l}, t in [0, n-l)
@@ -21,19 +32,67 @@ type Aggregates struct {
 	sx2l []float64 // sum of tail x_{t+l}^2
 }
 
-// NewAggregates extracts the aggregates from xs for lags 1..L in O(n*L)
-// (paper function ExtractAggregates).
-func NewAggregates(xs []float64, L int) *Aggregates {
-	n := len(xs)
-	a := &Aggregates{
+// Positions returns the number of maintained lag positions P (L for dense
+// aggregates, the subset size for compact ones).
+func (a *Aggregates) Positions() int { return len(a.sx) }
+
+// MaintainedLags returns the maintained lags in position order: 1..L for
+// dense aggregates, the selected subset for compact ones. The returned slice
+// must not be modified.
+func (a *Aggregates) MaintainedLags() []int32 { return a.lags }
+
+// newAggregatesShell allocates the aggregate arrays for a lag layout.
+// lags, when non-nil, must be ascending, unique, and >= 1.
+func newAggregatesShell(n, L int, lags []int32) *Aggregates {
+	p := L
+	if lags != nil {
+		p = len(lags)
+		L = 0
+		if p > 0 {
+			L = int(lags[p-1])
+		}
+	}
+	return &Aggregates{
 		N:    n,
 		L:    L,
-		sx:   make([]float64, L),
-		sxl:  make([]float64, L),
-		sxx:  make([]float64, L),
-		sx2:  make([]float64, L),
-		sx2l: make([]float64, L),
+		lags: lags,
+		sx:   make([]float64, p),
+		sxl:  make([]float64, p),
+		sxx:  make([]float64, p),
+		sx2:  make([]float64, p),
+		sx2l: make([]float64, p),
 	}
+}
+
+// toLags32 validates and converts a sorted lag subset.
+func toLags32(lags []int) []int32 {
+	out := make([]int32, len(lags))
+	prev := 0
+	for i, l := range lags {
+		if l <= prev {
+			panic("acf: lag subset must be ascending, unique, and positive")
+		}
+		out[i] = int32(l)
+		prev = l
+	}
+	return out
+}
+
+// NewAggregates extracts the dense aggregates from xs for lags 1..L in
+// O(n*L) (paper function ExtractAggregates).
+func NewAggregates(xs []float64, L int) *Aggregates {
+	return newAggregatesDirect(xs, L, nil)
+}
+
+// NewAggregatesLags extracts compact aggregates for the given lag subset
+// (ascending, unique, >= 1) in O(n*|lags|).
+func NewAggregatesLags(xs []float64, lags []int) *Aggregates {
+	return newAggregatesDirect(xs, 0, toLags32(lags))
+}
+
+func newAggregatesDirect(xs []float64, L int, lags []int32) *Aggregates {
+	n := len(xs)
+	a := newAggregatesShell(n, L, lags)
 	// Head/tail sums derive from total minus a suffix/prefix; the cross
 	// products need the per-lag pass.
 	var total, total2 float64
@@ -42,99 +101,243 @@ func NewAggregates(xs []float64, L int) *Aggregates {
 		total2 += x * x
 	}
 	var suffix, suffix2, prefix, prefix2 float64
-	for l := 1; l <= L; l++ {
-		i := l - 1
-		if l >= n {
-			// Fewer than one pair: all aggregates stay zero.
-			continue
+	if lags == nil {
+		for l := 1; l <= L; l++ {
+			if l >= n {
+				// Fewer than one pair: all aggregates stay zero.
+				break
+			}
+			i := l - 1
+			suffix += xs[n-l]
+			suffix2 += xs[n-l] * xs[n-l]
+			prefix += xs[l-1]
+			prefix2 += xs[l-1] * xs[l-1]
+			a.sx[i] = total - suffix
+			a.sx2[i] = total2 - suffix2
+			a.sxl[i] = total - prefix
+			a.sx2l[i] = total2 - prefix2
+			var sxx float64
+			for t := 0; t+l < n; t++ {
+				sxx += xs[t] * xs[t+l]
+			}
+			a.sxx[i] = sxx
 		}
+		return a
+	}
+	// Compact: the prefix/suffix accumulators still walk every lag up to the
+	// largest selected one (O(L) additions, preserving the dense summation
+	// order bit-for-bit), but the O(n) cross-product pass runs only for
+	// selected lags.
+	p := 0
+	for l := 1; l <= a.L && l < n; l++ {
 		suffix += xs[n-l]
 		suffix2 += xs[n-l] * xs[n-l]
 		prefix += xs[l-1]
 		prefix2 += xs[l-1] * xs[l-1]
-		a.sx[i] = total - suffix
-		a.sx2[i] = total2 - suffix2
-		a.sxl[i] = total - prefix
-		a.sx2l[i] = total2 - prefix2
-		var sxx float64
-		for t := 0; t+l < n; t++ {
-			sxx += xs[t] * xs[t+l]
+		if p < len(lags) && int(lags[p]) == l {
+			a.sx[p] = total - suffix
+			a.sx2[p] = total2 - suffix2
+			a.sxl[p] = total - prefix
+			a.sx2l[p] = total2 - prefix2
+			var sxx float64
+			for t := 0; t+l < n; t++ {
+				sxx += xs[t] * xs[t+l]
+			}
+			a.sxx[p] = sxx
+			p++
 		}
-		a.sxx[i] = sxx
 	}
 	return a
 }
 
 // ACF evaluates paper Eq. 2 from the current aggregates into a fresh slice
-// (lags 1..L).
+// (position order: lags 1..L for dense aggregates, the subset for compact).
 func (a *Aggregates) ACF() []float64 {
-	out := make([]float64, a.L)
+	out := make([]float64, len(a.sx))
 	a.ACFInto(out)
 	return out
 }
 
-// ACFInto evaluates the ACF into dst, which must have length L.
+// ACFInto evaluates the ACF into dst, which must have length Positions().
 func (a *Aggregates) ACFInto(dst []float64) {
-	for l := 1; l <= a.L; l++ {
-		i := l - 1
-		m := float64(a.N - l)
+	if a.lags == nil {
+		for i := range a.sx {
+			m := float64(a.N - (i + 1))
+			dst[i] = corrFromAggregates(m, a.sx[i], a.sxl[i], a.sxx[i], a.sx2[i], a.sx2l[i])
+		}
+		return
+	}
+	for i, l := range a.lags {
+		m := float64(a.N - int(l))
 		dst[i] = corrFromAggregates(m, a.sx[i], a.sxl[i], a.sxx[i], a.sx2[i], a.sx2l[i])
 	}
+}
+
+// lagDeltas computes the Eq. 8/9 aggregate deltas of a contiguous value
+// change for ONE lag l, returning the five per-lag accumulators. cur holds
+// the values *before* the change.
+//
+// The boundary conditions of Eq. 8/9 — head membership k+l < n, tail
+// membership k >= l, both-ends pair j+l < m — are monotone in j, so the
+// delta range splits into at most four runs with a constant condition set.
+// The branchy per-point loop of the textbook form becomes a boundary
+// prologue/epilogue around a branch-free interior whose accumulators stay
+// in registers. For every accumulator the addend sequence (ascending j;
+// within one j the cross terms in tail, head, pair order) is exactly that
+// of the branchy form, so the results are bit-identical.
+func lagDeltas(cur []float64, n, start int, deltas []float64, l int) (dsx, dsxl, dsxx, dsx2, dsx2l float64) {
+	m := len(deltas)
+	if l <= start && l <= n-start-m {
+		// Interior fast path (the steady-state case: the changed block sits
+		// at least a lag away from both series ends): every delta is both a
+		// head and a tail member, so the only split left is the pair cut.
+		p1 := max(m-l, 0)
+		for j := 0; j < p1; j++ {
+			d := deltas[j]
+			k := start + j
+			x := cur[k]
+			dsq := d * (2*x + d)
+			dsx += d
+			dsx2 += dsq
+			dsxl += d
+			dsx2l += dsq
+			dsxx += d * cur[k-l]
+			dsxx += d * cur[k+l]
+			dsxx += d * deltas[j+l]
+		}
+		for j := p1; j < m; j++ {
+			d := deltas[j]
+			k := start + j
+			x := cur[k]
+			dsq := d * (2*x + d)
+			dsx += d
+			dsx2 += dsq
+			dsxl += d
+			dsx2l += dsq
+			dsxx += d * cur[k-l]
+			dsxx += d * cur[k+l]
+		}
+		return
+	}
+	// j-range limits of the three conditions, clamped to [0, m].
+	jTail0 := min(max(l-start, 0), m)   // j >= jTail0: k >= l
+	jHead1 := min(max(n-l-start, 0), m) // j <  jHead1: k+l < n
+	jPair1 := min(jHead1, max(m-l, 0))  // j <  jPair1: pair term too
+	// Sort the three cut points (3-element sorting network); segments
+	// between consecutive cuts have a constant condition set.
+	c0, c1, c2 := jTail0, jPair1, jHead1
+	if c0 > c1 {
+		c0, c1 = c1, c0
+	}
+	if c1 > c2 {
+		c1, c2 = c2, c1
+	}
+	if c0 > c1 {
+		c0, c1 = c1, c0
+	}
+	lo := 0
+	for _, hi := range [4]int{c0, c1, c2, m} {
+		if hi <= lo {
+			continue
+		}
+		head := hi <= jHead1
+		tail := lo >= jTail0
+		pair := hi <= jPair1
+		switch {
+		case head && tail && pair:
+			for j := lo; j < hi; j++ {
+				d := deltas[j]
+				k := start + j
+				x := cur[k]
+				dsq := d * (2*x + d) // (x+d)^2 - x^2
+				dsx += d
+				dsx2 += dsq
+				dsxl += d
+				dsx2l += dsq
+				dsxx += d * cur[k-l]
+				dsxx += d * cur[k+l]
+				dsxx += d * deltas[j+l]
+			}
+		case head && tail:
+			for j := lo; j < hi; j++ {
+				d := deltas[j]
+				k := start + j
+				x := cur[k]
+				dsq := d * (2*x + d)
+				dsx += d
+				dsx2 += dsq
+				dsxl += d
+				dsx2l += dsq
+				dsxx += d * cur[k-l]
+				dsxx += d * cur[k+l]
+			}
+		case head && pair:
+			for j := lo; j < hi; j++ {
+				d := deltas[j]
+				k := start + j
+				x := cur[k]
+				dsx += d
+				dsx2 += d * (2*x + d)
+				dsxx += d * cur[k+l]
+				dsxx += d * deltas[j+l]
+			}
+		case head:
+			for j := lo; j < hi; j++ {
+				d := deltas[j]
+				k := start + j
+				x := cur[k]
+				dsx += d
+				dsx2 += d * (2*x + d)
+				dsxx += d * cur[k+l]
+			}
+		case tail:
+			for j := lo; j < hi; j++ {
+				d := deltas[j]
+				k := start + j
+				x := cur[k]
+				dsxl += d
+				dsx2l += d * (2*x + d)
+				dsxx += d * cur[k-l]
+			}
+		}
+		lo = hi
+	}
+	return
 }
 
 // Apply commits a contiguous block of value changes: the reconstruction
 // values at indices [start, start+len(deltas)) change by deltas. cur must
 // hold the reconstruction values *before* the change (the update rules of
 // Eq. 8/9 are expressed in terms of old values); the caller updates cur
-// afterwards. Zero deltas are skipped.
+// afterwards.
 func (a *Aggregates) Apply(cur []float64, start int, deltas []float64) {
-	a.applyTo(cur, start, deltas, a.sx, a.sxl, a.sxx, a.sx2, a.sx2l)
-}
-
-// applyTo applies the Eq. 8/9 update rules against the given aggregate
-// slices (either the live ones or a scratch copy).
-func (a *Aggregates) applyTo(cur []float64, start int, deltas []float64, sx, sxl, sxx, sx2, sx2l []float64) {
 	n := a.N
-	m := len(deltas)
-	for l := 1; l <= a.L; l++ {
-		i := l - 1
+	if a.lags == nil {
+		for i := range a.sx {
+			l := i + 1
+			if l >= n {
+				break
+			}
+			dsx, dsxl, dsxx, dsx2, dsx2l := lagDeltas(cur, n, start, deltas, l)
+			a.sx[i] += dsx
+			a.sxl[i] += dsxl
+			a.sxx[i] += dsxx
+			a.sx2[i] += dsx2
+			a.sx2l[i] += dsx2l
+		}
+		return
+	}
+	for i, l32 := range a.lags {
+		l := int(l32)
 		if l >= n {
-			continue
+			break
 		}
-		var dsx, dsxl, dsxx, dsx2, dsx2l float64
-		for j := 0; j < m; j++ {
-			d := deltas[j]
-			if d == 0 {
-				continue
-			}
-			k := start + j
-			x := cur[k]
-			dsq := d * (2*x + d) // (x+d)^2 - x^2
-			if k <= n-1-l {      // k participates as a head element
-				dsx += d
-				dsx2 += dsq
-			}
-			if k >= l { // k participates as a tail element
-				dsxl += d
-				dsx2l += dsq
-			}
-			// Cross products with old neighbour values (Eq. 9 first sum).
-			if k >= l {
-				dsxx += d * cur[k-l]
-			}
-			if k+l < n {
-				dsxx += d * cur[k+l]
-				// Eq. 9 second sum: both ends of the pair changed.
-				if j+l < m {
-					dsxx += d * deltas[j+l]
-				}
-			}
-		}
-		sx[i] += dsx
-		sxl[i] += dsxl
-		sxx[i] += dsxx
-		sx2[i] += dsx2
-		sx2l[i] += dsx2l
+		dsx, dsxl, dsxx, dsx2, dsx2l := lagDeltas(cur, n, start, deltas, l)
+		a.sx[i] += dsx
+		a.sxl[i] += dsxl
+		a.sxx[i] += dsxx
+		a.sx2[i] += dsx2
+		a.sx2l[i] += dsx2l
 	}
 }
 
@@ -142,39 +345,348 @@ func (a *Aggregates) applyTo(cur []float64, start int, deltas []float64, sx, sxl
 // evaluation. A Scratch must not be shared between goroutines; allocate one
 // per worker.
 type Scratch struct {
-	sx, sxl, sxx, sx2, sx2l []float64
-	acf                     []float64
-	wdeltas                 []float64 // window-delta buffer (WindowTracker only)
+	acf     []float64
+	base    []float64 // MAE reference vector (zeros unless SetBase is called)
+	dev     float64   // sum |acf_i - base_i| of the last HypotheticalACF
+	wdeltas []float64 // window-delta buffer (WindowTracker only)
 }
 
-// NewScratch allocates scratch buffers for an L-lag tracker.
-func NewScratch(L int) *Scratch {
-	return &Scratch{
-		sx:   make([]float64, L),
-		sxl:  make([]float64, L),
-		sxx:  make([]float64, L),
-		sx2:  make([]float64, L),
-		sx2l: make([]float64, L),
-		acf:  make([]float64, L),
-	}
+// NewScratch allocates scratch buffers for a tracker with p lag positions.
+func NewScratch(p int) *Scratch {
+	return &Scratch{acf: make([]float64, p), base: make([]float64, p)}
 }
+
+// SetBase installs the reference vector the kernel accumulates the MAE
+// deviation against: after every HypotheticalACF call, DevSum reports
+// sum_i |acf_i - base_i| with the exact summation order of stats.MAE. The
+// engine's impact evaluation reads it instead of re-scanning the ACF, which
+// keeps the default MAE measure to a single pass. base must have length
+// Positions() and is retained by reference.
+func (sc *Scratch) SetBase(base []float64) { sc.base = base }
+
+// DevSum returns sum_i |acf_i - base_i| of the last HypotheticalACF call.
+func (sc *Scratch) DevSum() float64 { return sc.dev }
 
 // HypotheticalACF evaluates the ACF the series would have after applying the
 // given contiguous change, without mutating the aggregates. The returned
 // slice aliases sc.acf and is valid until the next call with the same sc.
+// Unlike the textbook formulation, no aggregate state is copied anywhere:
+// each lag's delta accumulators are computed in registers and evaluated
+// directly against the live aggregates, which is bit-identical to
+// copy-then-update (both reduce to the same single addition per aggregate).
 func (a *Aggregates) HypotheticalACF(cur []float64, start int, deltas []float64, sc *Scratch) []float64 {
-	copy(sc.sx, a.sx)
-	copy(sc.sxl, a.sxl)
-	copy(sc.sxx, a.sxx)
-	copy(sc.sx2, a.sx2)
-	copy(sc.sx2l, a.sx2l)
-	a.applyTo(cur, start, deltas, sc.sx, sc.sxl, sc.sxx, sc.sx2, sc.sx2l)
-	for l := 1; l <= a.L; l++ {
-		i := l - 1
-		m := float64(a.N - l)
-		sc.acf[i] = corrFromAggregates(m, sc.sx[i], sc.sxl[i], sc.sxx[i], sc.sx2[i], sc.sx2l[i])
+	n := a.N
+	m := len(deltas)
+	// Lags up to lFast take the fused interior path below; keep it in sync
+	// with lagDeltas's interior condition (l <= start && l <= n-start-m).
+	lFast := min(start, n-start-m)
+	// On the interior path every delta is both a head and a tail member, so
+	// the dsx/dsxl and dsx2/dsx2l accumulators receive the same addend
+	// sequence for EVERY lag — sum them once here instead of per lag. Only
+	// the cross products remain lag-dependent.
+	var ds, dsq2 float64
+	if lFast >= 1 {
+		for j := 0; j < m; j++ {
+			d := deltas[j]
+			x := cur[start+j]
+			ds += d
+			dsq2 += d * (2*x + d) // (x+d)^2 - x^2
+		}
 	}
+	if a.lags == nil {
+		// Interior lags run pairwise, fused and fully inlined: per lag only
+		// the cross products dsxx are computed — a serial float-add chain,
+		// so pairing lags runs two independent chains through the shared
+		// j-loop (each lag's addend sequence is untouched, results stay
+		// bit-identical) — and the Eq. 2 correlation (the body of
+		// corrFromAggregates, replicated because a call per lag per
+		// candidate would dominate) is evaluated directly against the live
+		// aggregates, with the MAE deviation against sc.base accumulated in
+		// the same pass. Keep the arithmetic in sync with acf.go.
+		nFast := min(max(lFast, 0), len(a.sx))
+		acfv := sc.acf[:nFast]
+		sxv := a.sx[:nFast]
+		sxlv := a.sxl[:nFast]
+		sxxv := a.sxx[:nFast]
+		sx2v := a.sx2[:nFast]
+		sx2lv := a.sx2l[:nFast]
+		bv := sc.base[:nFast]
+		var dev float64
+		nf := float64(n)
+		if m == 1 && nFast > 0 {
+			// Single-point gap (a third of steady-state evaluations): the
+			// cross products collapse to two loads walking outward from the
+			// changed point; pairing still overlaps the sqrt/div units.
+			d := deltas[0]
+			i := 0
+			for ; i+1 < nFast; i += 2 {
+				la := i + 1
+				lb := i + 2
+				dsxxA := d*cur[start-la] + d*cur[start+la]
+				dsxxB := d*cur[start-lb] + d*cur[start+lb]
+				mfA := nf - float64(i+1)
+				sxA := sxv[i] + ds
+				sxlA := sxlv[i] + ds
+				sxxA := sxxv[i] + dsxxA
+				sx2A := sx2v[i] + dsq2
+				sx2lA := sx2lv[i] + dsq2
+				numA := mfA*sxxA - sxA*sxlA
+				paA := mfA * sx2A
+				qaA := sxA * sxA
+				vaA := paA - qaA
+				pbA := mfA * sx2lA
+				qbA := sxlA * sxlA
+				vbA := pbA - qbA
+				var rA float64
+				if vaA <= tiny+1e-10*(paA+qaA) || vbA <= tiny+1e-10*(pbA+qbA) {
+					rA = 0
+				} else {
+					rA = numA / math.Sqrt(vaA*vbA)
+					if rA > 1 {
+						rA = 1
+					} else if rA < -1 {
+						rA = -1
+					}
+				}
+				dev += math.Abs(rA - bv[i])
+				acfv[i] = rA
+
+				mfB := nf - float64(i+1+1)
+				sxB := sxv[i+1] + ds
+				sxlB := sxlv[i+1] + ds
+				sxxB := sxxv[i+1] + dsxxB
+				sx2B := sx2v[i+1] + dsq2
+				sx2lB := sx2lv[i+1] + dsq2
+				numB := mfB*sxxB - sxB*sxlB
+				paB := mfB * sx2B
+				qaB := sxB * sxB
+				vaB := paB - qaB
+				pbB := mfB * sx2lB
+				qbB := sxlB * sxlB
+				vbB := pbB - qbB
+				var rB float64
+				if vaB <= tiny+1e-10*(paB+qaB) || vbB <= tiny+1e-10*(pbB+qbB) {
+					rB = 0
+				} else {
+					rB = numB / math.Sqrt(vaB*vbB)
+					if rB > 1 {
+						rB = 1
+					} else if rB < -1 {
+						rB = -1
+					}
+				}
+				dev += math.Abs(rB - bv[i+1])
+				acfv[i+1] = rB
+
+			}
+			for ; i < nFast; i++ {
+				l := i + 1
+				dsxx := d*cur[start-l] + d*cur[start+l]
+				r := a.corrDelta(i, n-(i+1), ds, dsq2, dsxx)
+				dev += math.Abs(r - bv[i])
+				acfv[i] = r
+
+			}
+		} else {
+			i := 0
+			for ; i+1 < nFast; i += 2 {
+				la := i + 1
+				lb := i + 2
+				var dsxxA, dsxxB float64
+				p1a := max(m-la, 0)
+				p1b := max(m-lb, 0) // p1b <= p1a
+				// Shifted views: cmX[j] = cur[start+j-lX], cpX[j] =
+				// cur[start+j+lX], dpX[j] = deltas[j+lX]; in-range by the
+				// interior condition.
+				cmA := cur[start-la : start-la+m]
+				cpA := cur[start+la : start+la+m]
+				cmB := cur[start-lb : start-lb+m]
+				cpB := cur[start+lb : start+lb+m]
+				for j := 0; j < p1b; j++ {
+					d := deltas[j]
+					dsxxA += d * cmA[j]
+					dsxxA += d * cpA[j]
+					dsxxA += d * deltas[j+la]
+					dsxxB += d * cmB[j]
+					dsxxB += d * cpB[j]
+					dsxxB += d * deltas[j+lb]
+				}
+				for j := p1b; j < p1a; j++ { // at most one iteration
+					d := deltas[j]
+					dsxxA += d * cmA[j]
+					dsxxA += d * cpA[j]
+					dsxxA += d * deltas[j+la]
+					dsxxB += d * cmB[j]
+					dsxxB += d * cpB[j]
+				}
+				for j := p1a; j < m; j++ {
+					d := deltas[j]
+					dsxxA += d * cmA[j]
+					dsxxA += d * cpA[j]
+					dsxxB += d * cmB[j]
+					dsxxB += d * cpB[j]
+				}
+				mfA := nf - float64(i+1)
+				sxA := sxv[i] + ds
+				sxlA := sxlv[i] + ds
+				sxxA := sxxv[i] + dsxxA
+				sx2A := sx2v[i] + dsq2
+				sx2lA := sx2lv[i] + dsq2
+				numA := mfA*sxxA - sxA*sxlA
+				paA := mfA * sx2A
+				qaA := sxA * sxA
+				vaA := paA - qaA
+				pbA := mfA * sx2lA
+				qbA := sxlA * sxlA
+				vbA := pbA - qbA
+				var rA float64
+				if vaA <= tiny+1e-10*(paA+qaA) || vbA <= tiny+1e-10*(pbA+qbA) {
+					rA = 0
+				} else {
+					rA = numA / math.Sqrt(vaA*vbA)
+					if rA > 1 {
+						rA = 1
+					} else if rA < -1 {
+						rA = -1
+					}
+				}
+				dev += math.Abs(rA - bv[i])
+				acfv[i] = rA
+
+				mfB := nf - float64(i+1+1)
+				sxB := sxv[i+1] + ds
+				sxlB := sxlv[i+1] + ds
+				sxxB := sxxv[i+1] + dsxxB
+				sx2B := sx2v[i+1] + dsq2
+				sx2lB := sx2lv[i+1] + dsq2
+				numB := mfB*sxxB - sxB*sxlB
+				paB := mfB * sx2B
+				qaB := sxB * sxB
+				vaB := paB - qaB
+				pbB := mfB * sx2lB
+				qbB := sxlB * sxlB
+				vbB := pbB - qbB
+				var rB float64
+				if vaB <= tiny+1e-10*(paB+qaB) || vbB <= tiny+1e-10*(pbB+qbB) {
+					rB = 0
+				} else {
+					rB = numB / math.Sqrt(vaB*vbB)
+					if rB > 1 {
+						rB = 1
+					} else if rB < -1 {
+						rB = -1
+					}
+				}
+				dev += math.Abs(rB - bv[i+1])
+				acfv[i+1] = rB
+
+			}
+			for ; i < nFast; i++ {
+				l := i + 1
+				var dsxx float64
+				p1 := max(m-l, 0)
+				for j := 0; j < p1; j++ {
+					d := deltas[j]
+					k := start + j
+					dsxx += d * cur[k-l]
+					dsxx += d * cur[k+l]
+					dsxx += d * deltas[j+l]
+				}
+				for j := p1; j < m; j++ {
+					d := deltas[j]
+					k := start + j
+					dsxx += d * cur[k-l]
+					dsxx += d * cur[k+l]
+				}
+				r := a.corrDelta(i, n-(i+1), ds, dsq2, dsxx)
+				dev += math.Abs(r - bv[i])
+				acfv[i] = r
+
+			}
+		}
+		for i := nFast; i < len(a.sx); i++ {
+			l := i + 1
+			var r float64
+			if l >= n {
+				// No pairs at this lag: the deltas cannot change it.
+				mf := float64(n - l)
+				r = corrFromAggregates(mf, a.sx[i], a.sxl[i], a.sxx[i], a.sx2[i], a.sx2l[i])
+			} else {
+				dsx, dsxl, dsxx, dsx2, dsx2l := lagDeltas(cur, n, start, deltas, l)
+				mf := float64(n - l)
+				r = corrFromAggregates(mf, a.sx[i]+dsx, a.sxl[i]+dsxl, a.sxx[i]+dsxx, a.sx2[i]+dsx2, a.sx2l[i]+dsx2l)
+			}
+			dev += math.Abs(r - sc.base[i])
+			sc.acf[i] = r
+		}
+		sc.dev = dev
+		return sc.acf
+	}
+	var dev float64
+	for i, l32 := range a.lags {
+		l := int(l32)
+		var r float64
+		switch {
+		case l <= lFast:
+			var dsxx float64
+			p1 := max(m-l, 0)
+			for j := 0; j < p1; j++ {
+				d := deltas[j]
+				k := start + j
+				dsxx += d * cur[k-l]
+				dsxx += d * cur[k+l]
+				dsxx += d * deltas[j+l]
+			}
+			for j := p1; j < m; j++ {
+				d := deltas[j]
+				k := start + j
+				dsxx += d * cur[k-l]
+				dsxx += d * cur[k+l]
+			}
+			r = a.corrDelta(i, n-l, ds, dsq2, dsxx)
+		case l >= n:
+			r = corrFromAggregates(float64(n-l), a.sx[i], a.sxl[i], a.sxx[i], a.sx2[i], a.sx2l[i])
+		default:
+			dsx, dsxl, dsxx, dsx2, dsx2l := lagDeltas(cur, n, start, deltas, l)
+			r = corrFromAggregates(float64(n-l), a.sx[i]+dsx, a.sxl[i]+dsxl, a.sxx[i]+dsxx, a.sx2[i]+dsx2, a.sx2l[i]+dsx2l)
+		}
+		dev += math.Abs(r - sc.base[i])
+		sc.acf[i] = r
+	}
+	sc.dev = dev
 	return sc.acf
+}
+
+// corrDelta evaluates the Eq. 2 correlation for position i after adding the
+// interior-path delta accumulators to the live aggregates (dsx == dsxl == ds
+// and dsx2 == dsx2l == dsq2 there, since head and tail membership coincide).
+// This is corrFromAggregates(float64(mi), sx+ds, sxl+ds, sxx+dsxx, sx2+dsq2,
+// sx2l+dsq2) with the variance products reused by the zero-variance guard —
+// keep the arithmetic in sync with acf.go.
+func (a *Aggregates) corrDelta(i, mi int, ds, dsq2, dsxx float64) float64 {
+	mf := float64(mi)
+	sx := a.sx[i] + ds
+	sxl := a.sxl[i] + ds
+	sxx := a.sxx[i] + dsxx
+	sx2 := a.sx2[i] + dsq2
+	sx2l := a.sx2l[i] + dsq2
+	num := mf*sxx - sx*sxl
+	pa := mf * sx2
+	qa := sx * sx
+	va := pa - qa
+	pb := mf * sx2l
+	qb := sxl * sxl
+	vb := pb - qb
+	if va <= tiny+1e-10*(pa+qa) || vb <= tiny+1e-10*(pb+qb) {
+		return 0
+	}
+	r := num / math.Sqrt(va*vb)
+	if r > 1 {
+		r = 1
+	} else if r < -1 {
+		r = -1
+	}
+	return r
 }
 
 // Clone returns an independent deep copy of the aggregates.
@@ -182,6 +694,7 @@ func (a *Aggregates) Clone() *Aggregates {
 	return &Aggregates{
 		N:    a.N,
 		L:    a.L,
+		lags: a.lags, // immutable once built
 		sx:   append([]float64(nil), a.sx...),
 		sxl:  append([]float64(nil), a.sxl...),
 		sxx:  append([]float64(nil), a.sxx...),

@@ -16,41 +16,58 @@ import (
 // near L ~ 32*log2(n) (measured; see the package benchmarks). The paper's
 // motivating 21,600-lag daily-seasonality example (§3) is far beyond it.
 func NewAggregatesAuto(xs []float64, L int) *Aggregates {
-	n := len(xs)
-	if n < 64 || float64(L) < 32*math.Log2(float64(n)) {
-		return NewAggregates(xs, L)
+	if fftWorthIt(len(xs), L) {
+		return newAggregatesFFT(xs, L, nil)
 	}
-	return newAggregatesFFT(xs, L)
+	return NewAggregates(xs, L)
+}
+
+// NewAggregatesAutoLags is NewAggregatesAuto for a compact lag subset
+// (ascending, unique, >= 1): the direct pass costs one multiply-add per
+// (t, selected lag) pair, so the FFT crossover is judged on the subset size,
+// not the largest lag.
+func NewAggregatesAutoLags(xs []float64, lags []int) *Aggregates {
+	if fftWorthIt(len(xs), len(lags)) {
+		return newAggregatesFFT(xs, 0, toLags32(lags))
+	}
+	return NewAggregatesLags(xs, lags)
+}
+
+// fftWorthIt decides direct vs FFT extraction for an effective lag count.
+func fftWorthIt(n, effLags int) bool {
+	return n >= 64 && float64(effLags) >= 32*math.Log2(float64(n))
 }
 
 // newAggregatesFFT computes the aggregates with the FFT cross-product path.
-func newAggregatesFFT(xs []float64, L int) *Aggregates {
+// lags selects the compact shape (nil = dense 1..L, as for newAggregatesShell).
+func newAggregatesFFT(xs []float64, L int, lags []int32) *Aggregates {
 	n := len(xs)
-	a := &Aggregates{
-		N:    n,
-		L:    L,
-		sx:   make([]float64, L),
-		sxl:  make([]float64, L),
-		sxx:  make([]float64, L),
-		sx2:  make([]float64, L),
-		sx2l: make([]float64, L),
-	}
+	a := newAggregatesShell(n, L, lags)
 	var total, total2 float64
 	for _, x := range xs {
 		total += x
 		total2 += x * x
 	}
 	var suffix, suffix2, prefix, prefix2 float64
-	for l := 1; l <= L && l < n; l++ {
-		i := l - 1
+	p := 0
+	for l := 1; l <= a.L && l < n; l++ {
 		suffix += xs[n-l]
 		suffix2 += xs[n-l] * xs[n-l]
 		prefix += xs[l-1]
 		prefix2 += xs[l-1] * xs[l-1]
-		a.sx[i] = total - suffix
-		a.sx2[i] = total2 - suffix2
-		a.sxl[i] = total - prefix
-		a.sx2l[i] = total2 - prefix2
+		i := -1
+		if lags == nil {
+			i = l - 1
+		} else if p < len(lags) && int(lags[p]) == l {
+			i = p
+			p++
+		}
+		if i >= 0 {
+			a.sx[i] = total - suffix
+			a.sx2[i] = total2 - suffix2
+			a.sxl[i] = total - prefix
+			a.sx2l[i] = total2 - prefix2
+		}
 	}
 	// Wiener-Khinchin: zero-pad to >= 2n to make the circular convolution
 	// linear, then sxx_l = ifft(|fft(x)|^2)[l].
@@ -68,8 +85,16 @@ func newAggregatesFFT(xs []float64, L int) *Aggregates {
 		coeffs[i] = complex(re*re+im*im, 0)
 	}
 	auto := fft.Inverse(coeffs)
-	for l := 1; l <= L && l < n; l++ {
-		a.sxx[l-1] = real(auto[l])
+	if lags == nil {
+		for l := 1; l <= a.L && l < n; l++ {
+			a.sxx[l-1] = real(auto[l])
+		}
+	} else {
+		for i, l := range lags {
+			if int(l) < n {
+				a.sxx[i] = real(auto[l])
+			}
+		}
 	}
 	return a
 }

@@ -9,7 +9,7 @@ import (
 func TestFFTAggregatesMatchDirect(t *testing.T) {
 	xs := seasonal(5000, 48, 1.0, 71)
 	direct := NewAggregates(xs, 100)
-	viaFFT := newAggregatesFFT(xs, 100)
+	viaFFT := newAggregatesFFT(xs, 100, nil)
 	if !acfClose(direct.ACF(), viaFFT.ACF(), 1e-7) {
 		t.Fatal("FFT aggregate path diverges from direct computation")
 	}
@@ -18,7 +18,7 @@ func TestFFTAggregatesMatchDirect(t *testing.T) {
 func TestFFTAggregatesShortSeries(t *testing.T) {
 	xs := []float64{1, 2, 3}
 	direct := NewAggregates(xs, 10)
-	viaFFT := newAggregatesFFT(xs, 10)
+	viaFFT := newAggregatesFFT(xs, 10, nil)
 	if !acfClose(direct.ACF(), viaFFT.ACF(), 1e-9) {
 		t.Fatal("FFT path wrong on short series")
 	}
@@ -37,7 +37,7 @@ func TestNewAggregatesAutoSelectsPath(t *testing.T) {
 func TestFFTAggregatesSupportIncrementalUpdates(t *testing.T) {
 	// The FFT-built aggregates must behave identically under Apply.
 	xs := seasonal(2000, 24, 0.5, 73)
-	agg := newAggregatesFFT(xs, 50)
+	agg := newAggregatesFFT(xs, 50, nil)
 	deltas := []float64{2, -1, 0.5}
 	agg.Apply(xs, 700, deltas)
 	for i, d := range deltas {
@@ -58,7 +58,7 @@ func TestFFTAggregatesEquivalenceProperty(t *testing.T) {
 		for i := range xs {
 			xs[i] = rng.NormFloat64() * 50
 		}
-		return acfClose(NewAggregates(xs, L).ACF(), newAggregatesFFT(xs, L).ACF(), 1e-6)
+		return acfClose(NewAggregates(xs, L).ACF(), newAggregatesFFT(xs, L, nil).ACF(), 1e-6)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
@@ -79,6 +79,6 @@ func BenchmarkAggregatesFFT100kx365(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		newAggregatesFFT(xs, 365)
+		newAggregatesFFT(xs, 365, nil)
 	}
 }

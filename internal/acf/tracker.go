@@ -6,12 +6,19 @@ import "repro/internal/series"
 // statistic: it reports the current ACF, evaluates the hypothetical ACF
 // after a contiguous block of reconstruction-value changes, and commits such
 // changes. Implementations: direct per-point tracking (Definition 1) and
-// tumbling-window aggregate tracking (Definition 2).
+// tumbling-window aggregate tracking (Definition 2). Both come in a dense
+// shape (lags 1..L) and a compact shape (a selected lag subset, §5.5); all
+// ACF vectors are in position order (lag i+1 at index i for dense, the i-th
+// selected lag for compact).
 type Tracker interface {
-	// Lags returns the number of maintained lags L.
+	// Lags returns the number of maintained lag positions (L for dense
+	// trackers, the subset size for compact ones).
 	Lags() int
-	// ACF returns the current ACF (lags 1..L) into a fresh slice.
+	// ACF returns the current ACF into a fresh slice.
 	ACF() []float64
+	// ACFInto evaluates the current ACF into dst (length Lags()), avoiding
+	// the allocation for callers that own a buffer.
+	ACFInto(dst []float64)
 	// Hypothetical returns the ACF after changing reconstruction values at
 	// [start, start+len(deltas)) by deltas, without committing. cur holds
 	// values before the change. The result may alias sc's buffers.
@@ -34,11 +41,21 @@ func NewDirectTracker(xs []float64, L int) *DirectTracker {
 	return &DirectTracker{agg: NewAggregatesAuto(xs, L)}
 }
 
-// Lags returns L.
-func (d *DirectTracker) Lags() int { return d.agg.L }
+// NewDirectTrackerLags builds a compact direct tracker maintaining only the
+// given lags (ascending, unique, >= 1): per-update cost is O(|lags|*m)
+// instead of O(L*m).
+func NewDirectTrackerLags(xs []float64, lags []int) *DirectTracker {
+	return &DirectTracker{agg: NewAggregatesAutoLags(xs, lags)}
+}
+
+// Lags returns the number of maintained lag positions.
+func (d *DirectTracker) Lags() int { return d.agg.Positions() }
 
 // ACF returns the current ACF.
 func (d *DirectTracker) ACF() []float64 { return d.agg.ACF() }
+
+// ACFInto evaluates the current ACF into dst.
+func (d *DirectTracker) ACFInto(dst []float64) { d.agg.ACFInto(dst) }
 
 // Hypothetical evaluates the post-change ACF without mutation.
 func (d *DirectTracker) Hypothetical(cur []float64, start int, deltas []float64, sc *Scratch) []float64 {
@@ -50,8 +67,8 @@ func (d *DirectTracker) Commit(cur []float64, start int, deltas []float64) {
 	d.agg.Apply(cur, start, deltas)
 }
 
-// NewScratch allocates scratch for L lags.
-func (d *DirectTracker) NewScratch() *Scratch { return NewScratch(d.agg.L) }
+// NewScratch allocates scratch sized for this tracker.
+func (d *DirectTracker) NewScratch() *Scratch { return NewScratch(d.agg.Positions()) }
 
 // WindowTracker tracks the ACF of Agg_kappa(X) — the Statistical Important
 // Points on Aggregates problem (paper Definition 2, Eq. 10/11). It maintains
@@ -79,11 +96,27 @@ func NewWindowTracker(xs []float64, kappa int, f series.AggFunc, L int) *WindowT
 	}
 }
 
-// Lags returns L.
-func (w *WindowTracker) Lags() int { return w.agg.L }
+// NewWindowTrackerLags builds a compact window tracker maintaining only the
+// given lags of the aggregated series (ascending, unique, >= 1).
+func NewWindowTrackerLags(xs []float64, kappa int, f series.AggFunc, lags []int) *WindowTracker {
+	a := series.Aggregate(xs, kappa, f)
+	return &WindowTracker{
+		agg:   NewAggregatesAutoLags(a, lags),
+		kappa: kappa,
+		f:     f,
+		a:     a,
+		wbuf:  make([]float64, 0, 16),
+	}
+}
+
+// Lags returns the number of maintained lag positions.
+func (w *WindowTracker) Lags() int { return w.agg.Positions() }
 
 // ACF returns the current ACF of the aggregated series.
 func (w *WindowTracker) ACF() []float64 { return w.agg.ACF() }
+
+// ACFInto evaluates the current ACF into dst.
+func (w *WindowTracker) ACFInto(dst []float64) { w.agg.ACFInto(dst) }
 
 // Kappa returns the window size.
 func (w *WindowTracker) Kappa() int { return w.kappa }
@@ -91,70 +124,104 @@ func (w *WindowTracker) Kappa() int { return w.kappa }
 // windowDeltas translates a contiguous block of X-value changes into the
 // induced contiguous block of aggregate-value changes (Eq. 10/11): the first
 // affected window index and the per-window deltas, written into buf (grown
-// as needed) and returned.
+// as needed) and returned. The window bounds advance incrementally and the
+// aggregation-function dispatch is hoisted out of the per-window loop, so
+// one evaluation derives each bound exactly once.
 func (w *WindowTracker) windowDeltas(cur []float64, start int, deltas []float64, buf []float64) (int, []float64) {
-	w0 := start / w.kappa
-	w1 := (start + len(deltas) - 1) / w.kappa
+	kappa := w.kappa
+	end := start + len(deltas)
+	w0 := start / kappa
+	w1 := (end - 1) / kappa
 	buf = buf[:0]
-	for wi := w0; wi <= w1; wi++ {
-		lo := wi * w.kappa
-		hi := lo + w.kappa
-		if hi > len(cur) {
-			hi = len(cur)
-		}
-		var d float64
-		switch w.f {
-		case series.AggSum, series.AggMean:
-			// Additive: the aggregate delta is the sum of member deltas
-			// (scaled by the window length for the mean), as in Eq. 11.
-			for t := max(lo, start); t < min(hi, start+len(deltas)); t++ {
+	lo := w0 * kappa
+	switch w.f {
+	case series.AggSum, series.AggMean:
+		// Additive: the aggregate delta is the sum of member deltas
+		// (scaled by the window length for the mean), as in Eq. 11.
+		isMean := w.f == series.AggMean
+		for wi := w0; wi <= w1; wi++ {
+			hi := min(lo+kappa, len(cur))
+			var d float64
+			for t := max(lo, start); t < min(hi, end); t++ {
 				d += deltas[t-start]
 			}
-			if w.f == series.AggMean {
+			if isMean {
 				d /= float64(hi - lo)
 			}
-		default:
-			// Semi-additive (max/min): recompute the window over the new
-			// values (Eq. 11 discussion: Delta a_i = Agg(x-hat) - a_i).
-			newAgg := w.aggregateWindow(cur, lo, hi, start, deltas)
-			d = newAgg - w.a[wi]
+			buf = append(buf, d)
+			lo += kappa
 		}
-		buf = append(buf, d)
+	default:
+		// Semi-additive (max/min): recompute the window over the new
+		// values (Eq. 11 discussion: Delta a_i = Agg(x-hat) - a_i).
+		for wi := w0; wi <= w1; wi++ {
+			hi := min(lo+kappa, len(cur))
+			buf = append(buf, w.aggregateWindow(cur, lo, hi, start, deltas)-w.a[wi])
+			lo += kappa
+		}
 	}
 	return w0, buf
 }
 
 // aggregateWindow applies the aggregation function to window [lo,hi) using
-// post-change values.
+// post-change values. The window splits into the sub-ranges outside and
+// inside the changed block, each scanned branch-free.
 func (w *WindowTracker) aggregateWindow(cur []float64, lo, hi, start int, deltas []float64) float64 {
-	val := func(t int) float64 {
-		v := cur[t]
-		if t >= start && t < start+len(deltas) {
-			v += deltas[t-start]
-		}
-		return v
-	}
+	oLo := min(max(lo, start), hi)
+	oHi := max(min(hi, start+len(deltas)), oLo)
 	switch w.f {
 	case series.AggMax:
-		m := val(lo)
-		for t := lo + 1; t < hi; t++ {
-			if v := val(t); v > m {
+		m := cur[lo]
+		if lo >= oLo && lo < oHi {
+			m += deltas[lo-start]
+		}
+		for t := lo + 1; t < oLo; t++ {
+			if v := cur[t]; v > m {
+				m = v
+			}
+		}
+		for t := max(lo+1, oLo); t < oHi; t++ {
+			if v := cur[t] + deltas[t-start]; v > m {
+				m = v
+			}
+		}
+		for t := max(lo+1, oHi); t < hi; t++ {
+			if v := cur[t]; v > m {
 				m = v
 			}
 		}
 		return m
 	case series.AggMin:
-		m := val(lo)
-		for t := lo + 1; t < hi; t++ {
-			if v := val(t); v < m {
+		m := cur[lo]
+		if lo >= oLo && lo < oHi {
+			m += deltas[lo-start]
+		}
+		for t := lo + 1; t < oLo; t++ {
+			if v := cur[t]; v < m {
+				m = v
+			}
+		}
+		for t := max(lo+1, oLo); t < oHi; t++ {
+			if v := cur[t] + deltas[t-start]; v < m {
+				m = v
+			}
+		}
+		for t := max(lo+1, oHi); t < hi; t++ {
+			if v := cur[t]; v < m {
 				m = v
 			}
 		}
 		return m
 	default:
 		var s float64
-		for t := lo; t < hi; t++ {
-			s += val(t)
+		for t := lo; t < oLo; t++ {
+			s += cur[t]
+		}
+		for t := oLo; t < oHi; t++ {
+			s += cur[t] + deltas[t-start]
+		}
+		for t := oHi; t < hi; t++ {
+			s += cur[t]
 		}
 		if w.f == series.AggMean {
 			s /= float64(hi - lo)
@@ -183,21 +250,7 @@ func (w *WindowTracker) Commit(cur []float64, start int, deltas []float64) {
 
 // NewScratch allocates scratch sized for this tracker.
 func (w *WindowTracker) NewScratch() *Scratch {
-	sc := NewScratch(w.agg.L)
+	sc := NewScratch(w.agg.Positions())
 	sc.wdeltas = make([]float64, 0, 16)
 	return sc
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -38,7 +38,7 @@ func (p *Profile) Discord() (int, float64) {
 // detector of the accuracy experiment (Figure 13 left).
 func MatrixProfile(xs []float64, m int) *Profile {
 	n := len(xs) - m + 1
-	p := &Profile{M: m, Dist: make([]float64, maxInt(n, 0))}
+	p := &Profile{M: m, Dist: make([]float64, max(n, 0))}
 	if n <= 1 {
 		for i := range p.Dist {
 			p.Dist[i] = math.Inf(1)
@@ -132,7 +132,7 @@ func rollingStats(xs []float64, m int) (means, stds []float64) {
 // scratch over the regular series.
 func NaiveMatrixProfile(xs []float64, m int) *Profile {
 	n := len(xs) - m + 1
-	p := &Profile{M: m, Dist: make([]float64, maxInt(n, 0))}
+	p := &Profile{M: m, Dist: make([]float64, max(n, 0))}
 	excl := m / 2
 	for i := 0; i < n; i++ {
 		best := math.Inf(1)
@@ -161,7 +161,7 @@ func NaiveMatrixProfile(xs []float64, m int) *Profile {
 // magnitudes stay comparable to the dense profile.
 func IrregularMatrixProfile(ir *series.Irregular, m int) *Profile {
 	n := ir.N - m + 1
-	p := &Profile{M: m, Dist: make([]float64, maxInt(n, 0))}
+	p := &Profile{M: m, Dist: make([]float64, max(n, 0))}
 	if n <= 0 || len(ir.Points) == 0 {
 		for i := range p.Dist {
 			p.Dist[i] = math.Inf(1)
@@ -247,11 +247,4 @@ func absInt(v int) int {
 		return -v
 	}
 	return v
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -2,6 +2,7 @@ package codec
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/series"
@@ -14,10 +15,19 @@ import (
 // is a downstream statistic (ACF/PACF deviation) rather than pointwise
 // error.
 //
+// Each codec instance owns a pool of core.Compressor engines keyed, by
+// construction, to its option set: concurrent block encoders (the tsdb
+// worker pool) check an engine out per block and return it, so steady-state
+// block compression reuses the engine's reconstruction buffers, heap
+// arrays, and evaluation scratch instead of reallocating them per block.
+//
 // The zero value decodes any CAMEO block (decoding needs no options) but
-// cannot encode; use NewCAMEO for an encoding-capable instance.
+// cannot encode; use NewCAMEO for an encoding-capable instance. A CAMEO
+// must not be copied after first use (it contains a sync.Pool).
 type CAMEO struct {
 	Opt core.Options
+
+	engines sync.Pool // *core.Compressor
 }
 
 // NewCAMEO returns a CAMEO codec compressing under opt (Lags and Epsilon /
@@ -56,10 +66,16 @@ func (c *CAMEO) Encode(xs []float64) ([]byte, error) {
 // EncodeWithRecon compresses one block and returns the reconstruction the
 // retained points interpolate to, saving callers the decode round-trip.
 func (c *CAMEO) EncodeWithRecon(xs []float64) ([]byte, []float64, error) {
-	if err := c.Opt.Validate(); err != nil {
-		return nil, nil, fmt.Errorf("codec: cameo needs compression options (use NewCAMEO): %w", err)
+	cmp, _ := c.engines.Get().(*core.Compressor)
+	if cmp == nil {
+		var err error
+		cmp, err = core.NewCompressor(c.Opt)
+		if err != nil {
+			return nil, nil, fmt.Errorf("codec: cameo needs compression options (use NewCAMEO): %w", err)
+		}
 	}
-	res, err := core.Compress(xs, c.Opt)
+	res, err := cmp.Compress(xs)
+	c.engines.Put(cmp)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -2,11 +2,13 @@ package core
 
 import (
 	"math"
+	"sort"
 	"sync"
 
 	"repro/internal/acf"
 	"repro/internal/pheap"
 	"repro/internal/series"
+	"repro/internal/stats"
 )
 
 // Compress runs the CAMEO algorithm (paper Algorithm 1) on xs and returns
@@ -18,10 +20,8 @@ func Compress(xs []float64, opt Options) (*Result, error) {
 	if err := checkFinite(xs); err != nil {
 		return nil, err
 	}
-	eng, err := newEngine(xs, opt)
-	if err != nil {
-		return nil, err
-	}
+	eng := newEngine(xs, opt)
+	defer eng.close()
 	eng.run(stopConditions{
 		epsilon:     opt.Epsilon,
 		targetRatio: opt.TargetRatio,
@@ -36,16 +36,27 @@ type stopConditions struct {
 	maxRemovals int     // 0 = unlimited
 }
 
-// evalCtx is per-goroutine scratch for impact evaluation.
+// evalCtx is per-goroutine scratch for impact evaluation. After warm-up a
+// context is allocation-free: every buffer an evaluation needs lives here or
+// in the tracker scratch.
 type evalCtx struct {
 	sc      *acf.Scratch
 	deltas  []float64
 	featBuf []float64
+	pacf    []float64 // Durbin-Levinson scratch (StatPACF only)
+	phiPrev []float64
+	phiCur  []float64
 }
+
+// parTask assigns one chunk of the shared point list to eval worker w.
+type parTask struct{ w, lo, hi int }
 
 // engine holds the mutable state of one CAMEO run. It is resumable: run may
 // be called repeatedly with progressively looser stop conditions, which the
-// coarse-grained parallelization exploits (paper §4.4).
+// coarse-grained parallelization exploits (paper §4.4). It is also
+// reusable: reset re-arms every buffer for a new input without reallocating
+// (Compressor pools engines across blocks). close releases the eval
+// workers; an engine must not be used after close.
 type engine struct {
 	opt  Options
 	n    int
@@ -59,7 +70,35 @@ type engine struct {
 	base    []float64 // base feature vector S(X)
 	heap    *pheap.Heap
 
+	// Lag-subset projection (Options.LagSubset, §5.5). For StatACF the
+	// tracker itself is compact (it maintains only the selected lags) and
+	// subPos maps each user-ordered subset entry to its tracker position;
+	// for StatPACF the tracker is dense but truncated at the largest
+	// selected lag (the recursion is prefix-structured).
+	sub    []int
+	subPos []int
+
+	// fastMAE marks the default configuration (ACF statistic, no subset,
+	// MAE measure): the acf kernel then accumulates the deviation against
+	// base while evaluating, and impact reads it via Scratch.DevSum instead
+	// of running feature projection + Measure.Eval passes.
+	fastMAE bool
+
 	ctxs []*evalCtx // ctxs[0] is the main goroutine's
+
+	// Persistent eval workers (Threads >= 2): goroutines started once per
+	// engine that evaluate chunks of parPoints into parKeys, replacing a
+	// per-reHeap goroutine fan-out.
+	parTasks  chan parTask
+	parWG     sync.WaitGroup
+	parPoints []int32
+	parKeys   []float64
+
+	acfBuf []float64 // base-ACF buffer (reset only)
+	keys   []float64 // heap keys, indexed by point id
+	points []int32   // interior point list for the initial heap build
+	neigh  []int32   // reHeap neighbour buffer
+	reKeys []float64 // reHeap key buffer (parallel path)
 
 	dev        float64 // deviation of the committed state
 	removedCnt int
@@ -68,82 +107,165 @@ type engine struct {
 }
 
 // newEngine initializes state and builds the impact heap (paper Alg. 2).
-func newEngine(xs []float64, opt Options) (*engine, error) {
+// Options must be validated and xs finite (the exported callers check).
+func newEngine(xs []float64, opt Options) *engine {
+	e := &engine{}
+	e.reset(xs, opt)
+	return e
+}
+
+// reset (re)initializes the engine for a new input series, reusing every
+// internal buffer whose capacity suffices. opt must stay structurally
+// identical across resets of one engine (same Lags/Statistic/LagSubset/
+// AggWindow/Threads), which Compressor guarantees by construction.
+func (e *engine) reset(xs []float64, opt Options) {
 	n := len(xs)
-	e := &engine{
-		opt:     opt,
-		n:       n,
-		cur:     append([]float64(nil), xs...),
-		orig:    append([]float64(nil), xs...),
-		left:    make([]int32, n),
-		right:   make([]int32, n),
-		removed: make([]bool, n),
-		hops:    opt.BlockHops,
-	}
+	e.opt = opt
+	e.n = n
+	e.cur = append(e.cur[:0], xs...)
+	e.orig = append(e.orig[:0], xs...)
+	e.left = grow(e.left, n)
+	e.right = grow(e.right, n)
+	e.removed = grow(e.removed, n)
+	e.keys = grow(e.keys, n)
+	e.dev, e.removedCnt, e.iterations = 0, 0, 0
+	e.hops = opt.BlockHops
 	if e.hops == 0 {
 		e.hops = defaultBlockHops(n)
 	}
-	if opt.AggWindow >= 2 {
-		e.tracker = acf.NewWindowTracker(xs, opt.AggWindow, opt.AggFunc, opt.Lags)
-	} else {
-		e.tracker = acf.NewDirectTracker(xs, opt.Lags)
-	}
-	threads := opt.Threads
-	if threads < 1 {
-		threads = 1
-	}
-	e.ctxs = make([]*evalCtx, threads)
-	for i := range e.ctxs {
-		e.ctxs[i] = &evalCtx{
-			sc:      e.tracker.NewScratch(),
-			featBuf: make([]float64, opt.Lags),
+
+	trackLags := opt.Lags
+	var compact []int
+	e.sub, e.subPos = nil, nil
+	if len(opt.LagSubset) > 0 {
+		e.sub = opt.LagSubset
+		if opt.Statistic == StatACF {
+			compact = uniqueSortedLags(opt.LagSubset)
+			e.subPos = subsetPositions(opt.LagSubset, compact)
+		} else {
+			// PACF truncates at the largest selected lag (§5.5): the
+			// Durbin-Levinson recursion only ever reads the ACF prefix.
+			trackLags = maxLag(opt.LagSubset)
 		}
 	}
+	switch {
+	case opt.AggWindow >= 2 && compact != nil:
+		e.tracker = acf.NewWindowTrackerLags(xs, opt.AggWindow, opt.AggFunc, compact)
+	case opt.AggWindow >= 2:
+		e.tracker = acf.NewWindowTracker(xs, opt.AggWindow, opt.AggFunc, trackLags)
+	case compact != nil:
+		e.tracker = acf.NewDirectTrackerLags(xs, compact)
+	default:
+		e.tracker = acf.NewDirectTracker(xs, trackLags)
+	}
+
+	if e.ctxs == nil {
+		threads := opt.Threads
+		if threads < 1 {
+			threads = 1
+		}
+		e.ctxs = make([]*evalCtx, threads)
+		for i := range e.ctxs {
+			e.ctxs[i] = e.newEvalCtx()
+		}
+		if threads > 1 {
+			e.startWorkers()
+		}
+	}
+
 	for i := 0; i < n; i++ {
 		e.left[i] = int32(i - 1)
 		e.right[i] = int32(i + 1)
+		e.removed[i] = false
 	}
-	e.base = e.feature(e.tracker.ACF(), make([]float64, opt.Lags))
+
+	e.acfBuf = grow(e.acfBuf, e.tracker.Lags())
+	e.tracker.ACFInto(e.acfBuf)
+	e.base = append(e.base[:0], e.feature(e.acfBuf, e.ctxs[0])...)
+	e.fastMAE = opt.Statistic == StatACF && len(opt.LagSubset) == 0 && opt.Measure == stats.MeasureMAE
+	if e.fastMAE {
+		for _, ctx := range e.ctxs {
+			ctx.sc.SetBase(e.base)
+		}
+	}
 
 	// Initial impacts for all interior points (Alg. 2), computed in
 	// parallel chunks when Threads > 1; first and last points never enter
-	// the heap (their impact is infinite).
-	keys := make([]float64, n)
-	points := make([]int32, 0, max(0, n-2))
-	for i := 1; i < n-1; i++ {
-		points = append(points, int32(i))
+	// the heap (their impact is infinite). points[i] = i+1, so the
+	// positional key slice keys[1:n-1] doubles as the by-point-id layout
+	// the heap indexes into.
+	if cap(e.points) < n {
+		e.points = make([]int32, 0, n)
 	}
-	e.forEachParallel(points, func(ctx *evalCtx, p int32) {
-		keys[p] = e.impact(p, ctx)
-	})
-	e.heap = pheap.New(n, points, keys)
-	return e, nil
+	e.points = e.points[:0]
+	for i := 1; i < n-1; i++ {
+		e.points = append(e.points, int32(i))
+	}
+	if n > 0 {
+		e.keys[0] = 0
+		e.keys[n-1] = 0
+	}
+	if len(e.points) > 0 {
+		e.impactInto(e.points, e.keys[1:n-1])
+	}
+	if e.heap == nil {
+		e.heap = pheap.New(n, e.points, e.keys[:n])
+	} else {
+		e.heap.Reset(n, e.points, e.keys[:n])
+	}
 }
 
-// feature maps an ACF vector to the preserved statistic's feature vector.
-// For PACF the Durbin-Levinson recursion is applied (O(L^2), paper §5.5);
-// a LagSubset projects the result onto the selected lags only — and, since
-// the recursion is prefix-structured, it is truncated at the largest
-// selected lag, which is the §5.5 speed remedy ("preserving specific lags
-// to enhance execution speed").
-func (e *engine) feature(acfVec, buf []float64) []float64 {
-	sub := e.opt.LagSubset
-	src := acfVec
-	if e.opt.Statistic == StatPACF {
-		if len(sub) > 0 {
-			src = acf.PACFFromACF(acfVec[:maxLag(sub)])
-		} else {
-			src = acf.PACFFromACF(acfVec)
-		}
+// newEvalCtx allocates one evaluation context sized for the engine's
+// tracker and feature shape.
+func (e *engine) newEvalCtx() *evalCtx {
+	p := e.tracker.Lags()
+	ctx := &evalCtx{sc: e.tracker.NewScratch()}
+	featLen := p
+	if e.sub != nil {
+		featLen = len(e.sub)
 	}
-	if len(sub) > 0 {
-		for i, l := range sub {
+	ctx.featBuf = make([]float64, featLen)
+	if e.opt.Statistic == StatPACF {
+		ctx.pacf = make([]float64, p)
+		ctx.phiPrev = make([]float64, p+1)
+		ctx.phiCur = make([]float64, p+1)
+	}
+	return ctx
+}
+
+// close stops the persistent eval workers. The engine must not be used
+// afterwards. Safe to call more than once.
+func (e *engine) close() {
+	if e.parTasks != nil {
+		close(e.parTasks)
+		e.parTasks = nil
+	}
+}
+
+// feature maps a tracker ACF vector (position order) to the preserved
+// statistic's feature vector, using only ctx-owned buffers. For PACF the
+// Durbin-Levinson recursion is applied (O(L^2), paper §5.5); a LagSubset
+// projects onto the selected lags in their user-given order.
+func (e *engine) feature(acfVec []float64, ctx *evalCtx) []float64 {
+	if e.opt.Statistic == StatPACF {
+		src := acf.PACFFromACFInto(acfVec, ctx.pacf, ctx.phiPrev, ctx.phiCur)
+		if e.sub == nil {
+			return src
+		}
+		buf := ctx.featBuf[:len(e.sub)]
+		for i, l := range e.sub {
 			buf[i] = src[l-1]
 		}
-		return buf[:len(sub)]
+		return buf
 	}
-	copy(buf, src)
-	return buf[:len(src)]
+	if e.sub == nil {
+		return acfVec
+	}
+	buf := ctx.featBuf[:len(e.sub)]
+	for i, p := range e.subPos {
+		buf[i] = acfVec[p]
+	}
+	return buf
 }
 
 // maxLag returns the largest lag in a subset.
@@ -155,6 +277,31 @@ func maxLag(sub []int) int {
 		}
 	}
 	return m
+}
+
+// uniqueSortedLags returns the sorted, deduplicated lag subset — the
+// compact tracker's position order.
+func uniqueSortedLags(sub []int) []int {
+	out := append([]int(nil), sub...)
+	sort.Ints(out)
+	w := 0
+	for i, l := range out {
+		if i == 0 || l != out[w-1] {
+			out[w] = l
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// subsetPositions maps each user-ordered subset entry to its position in
+// the sorted compact layout.
+func subsetPositions(sub, sorted []int) []int {
+	pos := make([]int, len(sub))
+	for i, l := range sub {
+		pos[i] = sort.SearchInts(sorted, l)
+	}
+	return pos
 }
 
 // gapDeltas computes the contiguous value changes caused by removing alive
@@ -183,12 +330,20 @@ func (e *engine) gapDeltas(p int32, ctx *evalCtx) (int, []float64) {
 // impact returns D(S(X'_p), S(X)) — the deviation from the ORIGINAL
 // statistic that committing the removal of p would produce (Alg. 1 checks
 // the bound against the raw ACF P_L, so impacts are absolute deviations,
-// not marginal changes).
+// not marginal changes). Steady-state evaluations perform no heap
+// allocation.
 func (e *engine) impact(p int32, ctx *evalCtx) float64 {
 	start, d := e.gapDeltas(p, ctx)
 	hyp := e.tracker.Hypothetical(e.cur, start, d, ctx.sc)
-	feat := e.feature(hyp, ctx.featBuf)
-	v := e.opt.Measure.Eval(feat, e.base)
+	var v float64
+	if e.fastMAE {
+		// The kernel accumulated sum |hyp_i - base_i| while evaluating;
+		// dividing by the lag count is exactly stats.MAE(hyp, base).
+		v = ctx.sc.DevSum() / float64(len(e.base))
+	} else {
+		feat := e.feature(hyp, ctx)
+		v = e.opt.Measure.Eval(feat, e.base)
+	}
 	if math.IsNaN(v) {
 		return math.Inf(1)
 	}
@@ -252,13 +407,15 @@ func (e *engine) remove(p int32, exactDev float64) {
 
 // reHeap recomputes the impact of the h alive neighbours on each side of
 // the removed point (paper §4.3 blocking; §4.4 fine-grained parallelism).
+// The neighbour and key buffers persist across calls, so steady-state
+// re-heaping allocates nothing.
 func (e *engine) reHeap(p int32) {
 	l, r := e.left[p], e.right[p]
 	hops := e.hops
 	if hops < 0 {
 		hops = e.n // unbounded: update every remaining point
 	}
-	neigh := make([]int32, 0, 2*hops)
+	neigh := e.neigh[:0]
 	for i, q := 0, l; i < hops && q > 0; i++ {
 		neigh = append(neigh, q)
 		q = e.left[q]
@@ -267,58 +424,67 @@ func (e *engine) reHeap(p int32) {
 		neigh = append(neigh, q)
 		q = e.right[q]
 	}
+	e.neigh = neigh
 	if len(neigh) == 0 {
 		return
 	}
-	if len(e.ctxs) > 1 && len(neigh) >= 4*len(e.ctxs) {
-		keys := make([]float64, len(neigh))
-		e.forEachParallelIdx(neigh, func(ctx *evalCtx, i int) {
-			keys[i] = e.impact(neigh[i], ctx)
-		})
-		for i, q := range neigh {
-			e.heap.Fix(q, keys[i])
-		}
-		return
+	if cap(e.reKeys) < len(neigh) {
+		e.reKeys = make([]float64, len(neigh))
 	}
-	for _, q := range neigh {
-		e.heap.Fix(q, e.impact(q, e.ctxs[0]))
+	keys := e.reKeys[:len(neigh)]
+	e.impactInto(neigh, keys)
+	for i, q := range neigh {
+		e.heap.Fix(q, keys[i])
 	}
 }
 
-// forEachParallel runs fn over the points, chunked across the engine's
-// evaluation contexts. Heap mutation must happen outside fn.
-func (e *engine) forEachParallel(points []int32, fn func(ctx *evalCtx, p int32)) {
-	e.forEachParallelIdx(points, func(ctx *evalCtx, i int) { fn(ctx, points[i]) })
-}
-
-func (e *engine) forEachParallelIdx(points []int32, fn func(ctx *evalCtx, i int)) {
-	T := len(e.ctxs)
-	if T <= 1 || len(points) < 2*T {
-		for i := range points {
-			fn(e.ctxs[0], i)
+// impactInto fills keys[i] = impact(points[i]). Small batches run on the
+// calling goroutine; larger ones are chunked across the persistent eval
+// workers, with the caller working chunk 0 itself.
+func (e *engine) impactInto(points []int32, keys []float64) {
+	t := len(e.ctxs)
+	if t <= 1 || len(points) < 4*t {
+		ctx := e.ctxs[0]
+		for i, p := range points {
+			keys[i] = e.impact(p, ctx)
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	chunk := (len(points) + T - 1) / T
-	for w := 0; w < T; w++ {
+	e.parPoints, e.parKeys = points, keys
+	chunk := (len(points) + t - 1) / t
+	for w := 1; w < t; w++ {
 		lo := w * chunk
 		if lo >= len(points) {
 			break
 		}
-		hi := lo + chunk
-		if hi > len(points) {
-			hi = len(points)
-		}
-		wg.Add(1)
-		go func(ctx *evalCtx, lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				fn(ctx, i)
-			}
-		}(e.ctxs[w], lo, hi)
+		e.parWG.Add(1)
+		e.parTasks <- parTask{w: w, lo: lo, hi: min(lo+chunk, len(points))}
 	}
-	wg.Wait()
+	ctx := e.ctxs[0]
+	for i := 0; i < min(chunk, len(points)); i++ {
+		keys[i] = e.impact(points[i], ctx)
+	}
+	e.parWG.Wait()
+}
+
+// startWorkers launches the persistent eval workers (one per extra
+// context). They live until close.
+func (e *engine) startWorkers() {
+	e.parTasks = make(chan parTask)
+	for w := 1; w < len(e.ctxs); w++ {
+		go e.evalWorker()
+	}
+}
+
+func (e *engine) evalWorker() {
+	for t := range e.parTasks {
+		points, keys := e.parPoints, e.parKeys
+		ctx := e.ctxs[t.w]
+		for i := t.lo; i < t.hi; i++ {
+			keys[i] = e.impact(points[i], ctx)
+		}
+		e.parWG.Done()
+	}
 }
 
 // result snapshots the retained points.
@@ -344,10 +510,8 @@ func InitialImpacts(xs []float64, opt Options) ([]float64, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
-	eng, err := newEngine(xs, opt)
-	if err != nil {
-		return nil, err
-	}
+	eng := newEngine(xs, opt)
+	defer eng.close()
 	out := make([]float64, len(xs))
 	if len(xs) == 0 {
 		return out, nil
@@ -360,9 +524,11 @@ func InitialImpacts(xs []float64, opt Options) ([]float64, error) {
 	return out, nil
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
+// grow returns s resized to length n, reallocating only when the capacity
+// is insufficient. Contents are unspecified; callers overwrite.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
 	}
-	return b
+	return s[:n]
 }

@@ -74,12 +74,13 @@ func CompressCoarse(xs []float64, opt CoarseOptions) (*Result, error) {
 	}
 	engines := make([]*engine, T)
 	for w := 0; w < T; w++ {
-		eng, err := newEngine(xs[bounds[w]:bounds[w+1]], opt.Options)
-		if err != nil {
-			return nil, fmt.Errorf("core: partition %d: %w", w, err)
-		}
-		engines[w] = eng
+		engines[w] = newEngine(xs[bounds[w]:bounds[w+1]], opt.Options)
 	}
+	defer func() {
+		for _, eng := range engines {
+			eng.close()
+		}
+	}()
 
 	snapshot := func(dev float64) *Result {
 		var pts []series.Point

@@ -19,6 +19,7 @@ import (
 type StreamCompressor struct {
 	opt       Options
 	blockSize int
+	cmp       *Compressor // pooled engine reused across blocks
 
 	buf      []float64 // buffered values; buf[off:] is the live backlog
 	off      int       // cursor of consumed values within buf
@@ -42,7 +43,11 @@ func NewStreamCompressor(opt Options, blockSize int) (*StreamCompressor, error) 
 	if blockSize < minBlock {
 		return nil, fmt.Errorf("core: blockSize %d too small for the statistic (need >= %d)", blockSize, minBlock)
 	}
-	return &StreamCompressor{opt: opt, blockSize: blockSize}, nil
+	cmp, err := NewCompressor(opt)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamCompressor{opt: opt, blockSize: blockSize, cmp: cmp}, nil
 }
 
 // Push appends values to the stream, compressing every completed block.
@@ -72,9 +77,10 @@ func (s *StreamCompressor) Push(values ...float64) error {
 	return nil
 }
 
-// flushBlock compresses one full block and appends its points globally.
+// flushBlock compresses one full block (on the stream's pooled engine) and
+// appends its points globally.
 func (s *StreamCompressor) flushBlock(block []float64) error {
-	res, err := Compress(block, s.opt)
+	res, err := s.cmp.Compress(block)
 	if err != nil {
 		return err
 	}

@@ -260,10 +260,3 @@ func oddAtLeast(v int) int {
 	}
 	return v
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

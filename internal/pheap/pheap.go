@@ -17,11 +17,23 @@ type Heap struct {
 // New builds a heap over the given point indices and keys using
 // Floyd's bottom-up heapify in O(n).
 func New(n int, points []int32, keys []float64) *Heap {
-	h := &Heap{
-		keys:  keys,
-		items: append([]int32(nil), points...),
-		pos:   make([]int32, n),
+	h := &Heap{}
+	h.Reset(n, points, keys)
+	return h
+}
+
+// Reset re-initializes the heap in place over a new point set, reusing the
+// item and position arrays when their capacity suffices. Callers that
+// rebuild a heap per compressed block (the pooled CAMEO engines) stay off
+// the allocator this way. points is copied; keys is retained by reference,
+// as in New.
+func (h *Heap) Reset(n int, points []int32, keys []float64) {
+	h.keys = keys
+	h.items = append(h.items[:0], points...)
+	if cap(h.pos) < n {
+		h.pos = make([]int32, n)
 	}
+	h.pos = h.pos[:n]
 	for i := range h.pos {
 		h.pos[i] = -1
 	}
@@ -31,7 +43,6 @@ func New(n int, points []int32, keys []float64) *Heap {
 	for i := len(h.items)/2 - 1; i >= 0; i-- {
 		h.siftDown(i)
 	}
-	return h
 }
 
 // Len returns the number of points currently in the heap.

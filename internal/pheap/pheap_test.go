@@ -137,3 +137,35 @@ func TestHeapRandomOperationsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestHeapOpsZeroAllocs locks in the zero-allocation property of the
+// steady-state heap operations (Fix during reHeap, Pop/Push during the
+// greedy loop): after construction, none of them may touch the allocator.
+func TestHeapOpsZeroAllocs(t *testing.T) {
+	const n = 1024
+	points := make([]int32, 0, n)
+	keys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		points = append(points, int32(i))
+		keys[i] = float64((i * 7919) % n)
+	}
+	h := New(n, points, keys)
+	if a := testing.AllocsPerRun(100, func() {
+		h.Fix(513, h.Key(513)*0.99)
+		h.Fix(514, h.Key(514)*1.01)
+	}); a != 0 {
+		t.Fatalf("Fix allocates %v per run, want 0", a)
+	}
+	if a := testing.AllocsPerRun(100, func() {
+		p, k := h.Pop()
+		h.Push(p, k)
+	}); a != 0 {
+		t.Fatalf("Pop+Push allocates %v per run, want 0", a)
+	}
+	// Reset reuses the arrays: no per-reset growth either.
+	if a := testing.AllocsPerRun(50, func() {
+		h.Reset(n, points, keys)
+	}); a != 0 {
+		t.Fatalf("Reset allocates %v per run, want 0", a)
+	}
+}

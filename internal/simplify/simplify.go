@@ -108,7 +108,9 @@ func newConstraint(xs, recon0 []float64, opt Options) *constraint {
 		base:    acf.ACF(baseData, opt.Lags),
 		measure: opt.Measure,
 	}
-	c.dev = c.measure.Eval(c.tr.ACF(), c.base)
+	acfBuf := make([]float64, tr.Lags())
+	c.tr.ACFInto(acfBuf)
+	c.dev = c.measure.Eval(acfBuf, c.base)
 	if math.IsNaN(c.dev) {
 		c.dev = math.Inf(1)
 	}

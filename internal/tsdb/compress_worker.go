@@ -53,6 +53,7 @@ func (p *workerPool) run() {
 	defer p.wg.Done()
 	for j := range p.jobs {
 		meta, recon, err := p.db.buildBlock(j.name, j.pb.start, j.pb.raw)
+		var raw []float64
 		j.sh.mu.Lock()
 		if err != nil {
 			// The block stays in st.pending with its raw samples; Flush
@@ -64,11 +65,17 @@ func (p *workerPool) run() {
 			delete(j.st.pending, j.pb.start)
 			j.st.insertBlock(meta)
 			j.pb.recon = recon
-			j.pb.raw = nil
+			raw, j.pb.raw = j.pb.raw, nil
 			j.sh.cache.put(meta.path, recon)
 		}
 		j.sh.mu.Unlock()
 		close(j.pb.done)
+		if raw != nil {
+			// Durable: nothing references the raw samples anymore (queries
+			// snapshot only the length under the shard lock), so the buffer
+			// goes back to the cut pool.
+			p.db.putBlockBuf(raw)
+		}
 		p.jobDone()
 	}
 }

@@ -167,6 +167,13 @@ type DB struct {
 	shards []*shard
 	pool   *workerPool // nil when compression is synchronous
 
+	// blockBufs recycles the BlockSize-sample buffers that Append cuts
+	// pending blocks into; workers return them once a block is durable, so
+	// sustained ingest stops allocating one per block. readBufs recycles
+	// the compressed-file byte buffers Query decodes blocks from.
+	blockBufs sync.Pool
+	readBufs  sync.Pool
+
 	blocksWritten atomic.Uint64
 	bytesWritten  atomic.Uint64
 
@@ -513,6 +520,8 @@ func (db *DB) repairPendingLocked(sh *shard, name string, st *seriesState) error
 		}
 		delete(st.pending, start)
 		st.insertBlock(meta)
+		db.putBlockBuf(pb.raw)
+		pb.raw = nil
 		sh.cache.put(meta.path, recon)
 		db.noteRepair()
 	}
@@ -685,16 +694,61 @@ func (db *DB) durableBlockAt(sh *shard, name string, start int) (blockMeta, bool
 	return blockMeta{}, false
 }
 
+// getBlockBuf returns a zeroed-length buffer with BlockSize capacity for a
+// pending block's raw samples; putBlockBuf recycles one after its block is
+// durable.
+func (db *DB) getBlockBuf() []float64 {
+	if v := db.blockBufs.Get(); v != nil {
+		return (*(v.(*[]float64)))[:db.opt.BlockSize]
+	}
+	return make([]float64, db.opt.BlockSize)
+}
+
+func (db *DB) putBlockBuf(buf []float64) {
+	if cap(buf) < db.opt.BlockSize {
+		return
+	}
+	db.blockBufs.Put(&buf)
+}
+
+// readFilePooled reads a whole file into a pooled byte buffer. The caller
+// must call the release func once the contents are no longer referenced
+// (codecs decode into fresh slices, so release after Decode is safe).
+func (db *DB) readFilePooled(path string) (data []byte, release func(), err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := int(info.Size())
+	var buf []byte
+	if v := db.readBufs.Get(); v != nil && cap(*(v.(*[]byte))) >= size {
+		buf = (*(v.(*[]byte)))[:size]
+	} else {
+		buf = make([]byte, size)
+	}
+	if _, err := io.ReadFull(f, buf); err != nil {
+		db.readBufs.Put(&buf)
+		return nil, nil, err
+	}
+	return buf, func() { db.readBufs.Put(&buf) }, nil
+}
+
 // readBlock returns the decoded reconstruction of a durable block, serving
 // it from the owning shard's LRU cache when present. Cold misses for the
 // same block are single-flighted through the cache: one goroutine reads
 // and decodes, concurrent queries wait for its result.
 func (db *DB) readBlock(cache *blockCache, meta blockMeta) ([]float64, error) {
 	return cache.getOrFill(meta.path, func() ([]float64, error) {
-		data, err := os.ReadFile(meta.path)
+		data, release, err := db.readFilePooled(meta.path)
 		if err != nil {
 			return nil, err
 		}
+		defer release()
 		if len(data) < meta.hdrOff {
 			return nil, fmt.Errorf("tsdb: block %s: truncated since open", meta.path)
 		}

@@ -92,11 +92,12 @@ func (st *seriesState) insertBlock(meta blockMeta) {
 }
 
 // cutBlockLocked slices the oldest BlockSize samples off the tail into a
-// new pending block and reserves it with the worker pool (so a racing Sync
-// counts it before the lock is released). The caller holds the shard lock
-// and must submit the block to the pool after releasing it.
+// new pending block (buffer drawn from the DB's recycle pool) and reserves
+// it with the worker pool (so a racing Sync counts it before the lock is
+// released). The caller holds the shard lock and must submit the block to
+// the pool after releasing it.
 func (db *DB) cutBlockLocked(st *seriesState) *pendingBlock {
-	block := make([]float64, db.opt.BlockSize)
+	block := db.getBlockBuf()
 	copy(block, st.tail)
 	st.tail = append(st.tail[:0], st.tail[db.opt.BlockSize:]...)
 	pb := &pendingBlock{start: st.assigned, raw: block, done: make(chan struct{})}
