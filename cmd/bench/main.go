@@ -2,15 +2,17 @@
 // benchmarks in-process (via testing.Benchmark, with allocation counting
 // always on, as with -benchmem) and writes a machine-readable JSON artifact.
 // CI invokes it on every run and uploads the result, and perf PRs commit a
-// before/after snapshot (BENCH_PR3.json) so the performance trajectory of
-// the hot paths — impact evaluation, block compression, store ingest and
-// query — is tracked from PR 3 onward.
+// before/after snapshot (BENCH_PR3.json, BENCH_PR4.json) so the performance
+// trajectory of the hot paths — impact evaluation, block compression, store
+// ingest, materializing and streaming queries, aggregate pushdown — is
+// tracked from PR 3 onward.
 //
 // Usage:
 //
-//	go run ./cmd/bench [-benchtime 1s|Nx] [-label name] [-out bench.json]
+//	go run ./cmd/bench [-benchtime 1s|Nx] [-label name] [-out bench.json] [-bench regexp]
 //
-// -out "-" writes to stdout.
+// -out "-" writes to stdout; -bench restricts the run to matching
+// benchmark names (handy for re-measuring a noisy pair).
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"regexp"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -153,6 +156,18 @@ func benchmarks() []struct {
 		{"store/query-cold", func(b *testing.B) {
 			benchStoreQuery(b, -1)
 		}},
+		{"store/cursor-cached", func(b *testing.B) {
+			benchStoreCursor(b, 256)
+		}},
+		{"store/cursor-cold", func(b *testing.B) {
+			benchStoreCursor(b, -1)
+		}},
+		{"store/agg-pushdown-cold", func(b *testing.B) {
+			benchStoreAgg(b, nil) // CAMEO: windows answered from the segment form
+		}},
+		{"store/agg-fallback-cold", func(b *testing.B) {
+			benchStoreAgg(b, cameo.CodecGorilla()) // bit-stream codec: dense fold
+		}},
 	}
 }
 
@@ -230,11 +245,125 @@ func benchStoreQuery(b *testing.B, cacheBlocks int) {
 	}
 }
 
+// benchStoreCursor mirrors benchStoreQuery's workload (random 512-sample
+// windows of 8192-sample series, blocks of 2048) but streams each range
+// through a Cursor instead of materializing it: cold runs range-decode
+// only the overlap, cached runs yield cache sub-slices with no copy.
+func benchStoreCursor(b *testing.B, cacheBlocks int) {
+	const nSeries, perSeries = 8, 8192
+	store, err := cameo.OpenStoreOptions(b.TempDir(), storeOptions(16, 0, cacheBlocks))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for s := 0; s < nSeries; s++ {
+		if err := store.Append(fmt.Sprintf("series-%02d", s), benchSeries(perSeries, 48, 0.5)...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := store.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	var seed atomic.Int64
+	b.SetBytes(512 * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		for pb.Next() {
+			s := rng.Intn(nSeries)
+			from := rng.Intn(perSeries - 512)
+			cur, err := store.Cursor(fmt.Sprintf("series-%02d", s), from, from+512)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			n := 0
+			for {
+				chunk, ok := cur.Next()
+				if !ok {
+					break
+				}
+				n += len(chunk)
+			}
+			if err := cur.Err(); err != nil {
+				b.Error(err)
+				return
+			}
+			cur.Close()
+			if n != 512 {
+				b.Errorf("cursor yielded %d samples", n)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if err := store.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchStoreAgg measures QueryAgg answering dashboard-style downsampling
+// (64-sample windows over 4096-sample ranges) on a cold store: with the
+// CAMEO codec (c nil) every block aggregates via codec pushdown without
+// materializing samples; with a bit-stream codec the cursor fallback
+// decodes and folds densely.
+func benchStoreAgg(b *testing.B, c cameo.Codec) {
+	const nSeries, perSeries = 8, 8192
+	opt := storeOptions(16, 0, -1)
+	opt.Codec = c
+	store, err := cameo.OpenStoreOptions(b.TempDir(), opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for s := 0; s < nSeries; s++ {
+		if err := store.Append(fmt.Sprintf("series-%02d", s), benchSeries(perSeries, 48, 0.5)...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := store.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	var seed atomic.Int64
+	b.SetBytes(4096 * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		for pb.Next() {
+			s := rng.Intn(nSeries)
+			from := rng.Intn(perSeries - 4096)
+			vals, err := store.QueryAgg(fmt.Sprintf("series-%02d", s), from, from+4096, 64, cameo.AggMean)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if len(vals) != 64 {
+				b.Errorf("QueryAgg yielded %d windows", len(vals))
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if err := store.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 func main() {
-	out := flag.String("out", "BENCH_PR3.json", "output file (- for stdout)")
+	out := flag.String("out", "BENCH_PR4.json", "output file (- for stdout)")
 	label := flag.String("label", "current", "label recorded in the artifact")
 	benchtime := flag.String("benchtime", "1s", "per-benchmark duration or iteration count (Nx)")
+	benchFilter := flag.String("bench", "", "run only benchmarks whose name matches this regexp")
 	flag.Parse()
+
+	var filter *regexp.Regexp
+	if *benchFilter != "" {
+		var err error
+		if filter, err = regexp.Compile(*benchFilter); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
 
 	// testing.Benchmark honours the standard -test.benchtime flag; register
 	// the testing flags so it can be set without a test binary.
@@ -254,6 +383,9 @@ func main() {
 	}
 	failed := 0
 	for _, bm := range benchmarks() {
+		if filter != nil && !filter.MatchString(bm.name) {
+			continue
+		}
 		res := testing.Benchmark(bm.fn)
 		if res.N == 0 {
 			// The benchmark func called b.Fatal/b.Error (testing.Benchmark

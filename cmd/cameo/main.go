@@ -24,7 +24,18 @@
 //	cameo -decompress -in data.blk -out restored.csv
 //
 // Decompression detects block files automatically (the header names the
-// codec), so -decompress needs no flags for them.
+// codec), so -decompress needs no flags for them. Block files additionally
+// support range and aggregate queries that exploit the codecs' random
+// access instead of reconstructing the whole series:
+//
+//	cameo -decompress -in data.blk -out window.csv -from 1000 -to 2000
+//	cameo -decompress -in data.blk -out daily.csv -step 24 -aggfn max
+//
+// -from/-to decode only the requested sample range (segment codecs and
+// CAMEO evaluate just the pieces spanning it); -step N emits one -aggfn
+// value (mean, sum, max, min) per N-sample window, computed for the
+// segment codecs and CAMEO straight from the compressed form without
+// materializing samples.
 package main
 
 import (
@@ -32,6 +43,7 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -59,6 +71,9 @@ func main() {
 		partitions = flag.Int("partitions", 1, "coarse-grained partitions (requires -eps)")
 		decomp     = flag.Bool("decompress", false, "decompress a compressed CSV or block file instead")
 		n          = flag.Int("n", 0, "original length for -decompress")
+		from       = flag.Int("from", 0, "with -decompress on a block file: first sample of the range to decode")
+		to         = flag.Int("to", -1, "with -decompress on a block file: end (exclusive) of the range to decode (-1 = block end)")
+		step       = flag.Int("step", 0, "with -decompress on a block file: emit one -aggfn value per step-sample window instead of raw samples (aggregate query mode)")
 		codecName  = flag.String("codec", "", "compress through this block codec to a binary block file instead of CSV ("+strings.Join(cameo.CodecNames(), ", ")+")")
 		verbose    = flag.Bool("v", true, "print a summary to stderr")
 	)
@@ -68,7 +83,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *decomp {
-		if err := decompress(*in, *out, *n, *verbose); err != nil {
+		if err := decompress(*in, *out, *n, *from, *to, *step, *aggFn, *verbose); err != nil {
 			fatal(err)
 		}
 		return
@@ -95,17 +110,8 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown statistic %q", *stat))
 	}
-	switch *aggFn {
-	case "mean":
-		opt.AggFunc = series.AggMean
-	case "sum":
-		opt.AggFunc = series.AggSum
-	case "max":
-		opt.AggFunc = series.AggMax
-	case "min":
-		opt.AggFunc = series.AggMin
-	default:
-		fatal(fmt.Errorf("unknown aggregation %q", *aggFn))
+	if opt.AggFunc, err = parseAggFunc(*aggFn); err != nil {
+		fatal(err)
 	}
 
 	if *codecName != "" {
@@ -182,26 +188,45 @@ func writeCompressed(path string, ir *series.Irregular) error {
 
 // decompress reads a compressed input — a binary block file (detected by
 // its header magic and decoded with the codec it names) or index,value CSV
-// rows — and writes the dense reconstruction.
-func decompress(in, out string, n int, verbose bool) error {
+// rows — and writes the dense reconstruction. Block files support range
+// ([from, to)) and aggregate (-step windows of -aggfn) query modes that
+// use the codec's random access instead of a full reconstruction.
+func decompress(in, out string, n, from, to, step int, aggFn string, verbose bool) error {
 	data, err := os.ReadFile(in)
 	if err != nil {
 		return err
 	}
 	if cameo.IsBlockFormat(data) {
-		xs, hdr, err := cameo.DecodeBlock(data)
+		if step > 0 {
+			return queryBlockAgg(data, out, from, to, step, aggFn, verbose)
+		}
+		var (
+			xs  []float64
+			hdr cameo.BlockHeader
+		)
+		if from > 0 || to >= 0 {
+			hiEnd := to
+			if hiEnd < 0 {
+				hiEnd = math.MaxInt // -1: clamp to the block end
+			}
+			xs, hdr, err = cameo.DecodeBlockRange(data, from, hiEnd)
+			if err == nil && len(xs) == 0 {
+				err = fmt.Errorf("empty range [%d,%d) in a %d-sample block", from, min(hiEnd, hdr.N), hdr.N)
+			}
+		} else {
+			xs, hdr, err = cameo.DecodeBlock(data)
+		}
 		if err != nil {
 			return err
 		}
 		if verbose {
-			name := fmt.Sprintf("id %d", hdr.CodecID)
-			if c, err := cameo.CodecByID(hdr.CodecID); err == nil {
-				name = c.Name()
-			}
 			fmt.Fprintf(os.Stderr, "cameo: decoded %d values from block file (codec %s, format v%d)\n",
-				len(xs), name, hdr.Version)
+				len(xs), codecName(hdr.CodecID), hdr.Version)
 		}
 		return datasets.SaveCSV(out, "value", xs)
+	}
+	if from > 0 || to >= 0 || step > 0 {
+		return fmt.Errorf("-from/-to/-step need a block-file input (CSV holds retained points, not blocks)")
 	}
 	r := csv.NewReader(bytes.NewReader(data))
 	recs, err := r.ReadAll()
@@ -237,6 +262,59 @@ func decompress(in, out string, n int, verbose bool) error {
 		return err
 	}
 	return datasets.SaveCSV(out, "value", ir.Decompress())
+}
+
+// queryBlockAgg answers the -step aggregate query mode: one -aggfn value
+// per step-sample window of [from, to), computed in one pass over the
+// compressed payload via codec pushdown (segment codecs and CAMEO
+// aggregate without materializing samples).
+func queryBlockAgg(data []byte, out string, from, to, step int, aggFn string, verbose bool) error {
+	f, err := parseAggFunc(aggFn)
+	if err != nil {
+		return err
+	}
+	if to < 0 {
+		to = math.MaxInt // -1: clamp to the block end
+	}
+	aggs, h, err := cameo.DecodeBlockWindowAggs(data, from, to, step)
+	if err != nil {
+		return err
+	}
+	if len(aggs) == 0 {
+		return fmt.Errorf("empty range [%d,%d) in a %d-sample block", max(from, 0), min(to, h.N), h.N)
+	}
+	vals := make([]float64, len(aggs))
+	for i, agg := range aggs {
+		vals[i] = agg.Eval(f)
+	}
+	if verbose {
+		fmt.Fprintf(os.Stderr, "cameo: aggregated samples [%d,%d) of a %d-sample block into %d %s windows of %d (codec %s)\n",
+			max(from, 0), min(to, h.N), h.N, len(vals), aggFn, step, codecName(h.CodecID))
+	}
+	return datasets.SaveCSV(out, aggFn, vals)
+}
+
+// parseAggFunc maps the -aggfn flag to the shared aggregation enum.
+func parseAggFunc(name string) (cameo.AggFunc, error) {
+	switch name {
+	case "mean":
+		return series.AggMean, nil
+	case "sum":
+		return series.AggSum, nil
+	case "max":
+		return series.AggMax, nil
+	case "min":
+		return series.AggMin, nil
+	}
+	return 0, fmt.Errorf("unknown aggregation %q (want mean, sum, max, min)", name)
+}
+
+// codecName resolves a codec ID for log lines, falling back to the number.
+func codecName(id uint8) string {
+	if c, err := cameo.CodecByID(id); err == nil {
+		return c.Name()
+	}
+	return fmt.Sprintf("id %d", id)
 }
 
 func fatal(err error) {

@@ -22,7 +22,7 @@ func TestWriteCompressedAndDecompressRoundtrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	dpath := filepath.Join(dir, "d.csv")
-	if err := decompress(cpath, dpath, 10, false); err != nil {
+	if err := decompress(cpath, dpath, 10, 0, -1, 0, "mean", false); err != nil {
 		t.Fatal(err)
 	}
 	got, err := datasets.LoadCSV(dpath, 0)
@@ -50,7 +50,7 @@ func TestDecompressInfersLength(t *testing.T) {
 		t.Fatal(err)
 	}
 	dpath := filepath.Join(dir, "d.csv")
-	if err := decompress(cpath, dpath, 0, false); err != nil {
+	if err := decompress(cpath, dpath, 0, 0, -1, 0, "mean", false); err != nil {
 		t.Fatal(err)
 	}
 	got, err := datasets.LoadCSV(dpath, 0)
@@ -68,17 +68,17 @@ func TestDecompressErrors(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("index,value\nx,1\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := decompress(bad, filepath.Join(dir, "out.csv"), 0, false); err == nil {
+	if err := decompress(bad, filepath.Join(dir, "out.csv"), 0, 0, -1, 0, "mean", false); err == nil {
 		t.Fatal("expected parse error")
 	}
 	empty := filepath.Join(dir, "empty.csv")
 	if err := os.WriteFile(empty, []byte("index,value\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := decompress(empty, filepath.Join(dir, "out.csv"), 0, false); err == nil {
+	if err := decompress(empty, filepath.Join(dir, "out.csv"), 0, 0, -1, 0, "mean", false); err == nil {
 		t.Fatal("expected empty error")
 	}
-	if err := decompress(filepath.Join(dir, "missing.csv"), filepath.Join(dir, "out.csv"), 0, false); err == nil {
+	if err := decompress(filepath.Join(dir, "missing.csv"), filepath.Join(dir, "out.csv"), 0, 0, -1, 0, "mean", false); err == nil {
 		t.Fatal("expected missing-file error")
 	}
 }
@@ -96,7 +96,7 @@ func TestCompressBlockRoundtrip(t *testing.T) {
 			t.Fatalf("%s: %v", name, err)
 		}
 		out := filepath.Join(dir, name+".csv")
-		if err := decompress(blk, out, 0, false); err != nil {
+		if err := decompress(blk, out, 0, 0, -1, 0, "mean", false); err != nil {
 			t.Fatalf("%s decompress: %v", name, err)
 		}
 		got, err := datasets.LoadCSV(out, 0)
@@ -116,5 +116,76 @@ func TestCompressBlockRoundtrip(t *testing.T) {
 	}
 	if err := compressBlock("no-such-codec", xs, core.Options{}, filepath.Join(dir, "x.blk"), false); err == nil {
 		t.Fatal("expected unknown-codec error")
+	}
+}
+
+// TestBlockRangeAndAggQueries covers the -from/-to range mode and the
+// -step aggregate query mode on block files.
+func TestBlockRangeAndAggQueries(t *testing.T) {
+	dir := t.TempDir()
+	xs := make([]float64, 240)
+	for i := range xs {
+		xs[i] = 10 + 5*math.Sin(2*math.Pi*float64(i)/24)
+	}
+	blk := filepath.Join(dir, "s.blk")
+	if err := compressBlock("swing", xs, core.Options{}, blk, false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Range mode: -from 48 -to 96 yields exactly that slice of the full
+	// reconstruction.
+	full := filepath.Join(dir, "full.csv")
+	if err := decompress(blk, full, 0, 0, -1, 0, "mean", false); err != nil {
+		t.Fatal(err)
+	}
+	part := filepath.Join(dir, "part.csv")
+	if err := decompress(blk, part, 0, 48, 96, 0, "mean", false); err != nil {
+		t.Fatal(err)
+	}
+	fullVals, err := datasets.LoadCSV(full, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partVals, err := datasets.LoadCSV(part, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(partVals) != 48 {
+		t.Fatalf("range decode returned %d values, want 48", len(partVals))
+	}
+	for i, v := range partVals {
+		if v != fullVals[48+i] {
+			t.Fatalf("range value %d: %v, want %v", i, v, fullVals[48+i])
+		}
+	}
+
+	// Aggregate mode: -step 24 -aggfn max emits one window max per day.
+	aggOut := filepath.Join(dir, "agg.csv")
+	if err := decompress(blk, aggOut, 0, 0, -1, 24, "max", false); err != nil {
+		t.Fatal(err)
+	}
+	aggVals, err := datasets.LoadCSV(aggOut, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggVals) != 10 {
+		t.Fatalf("aggregate mode returned %d windows, want 10", len(aggVals))
+	}
+	for w, v := range aggVals {
+		want := math.Inf(-1)
+		for _, x := range fullVals[w*24 : (w+1)*24] {
+			want = math.Max(want, x)
+		}
+		if v != want {
+			t.Fatalf("window %d max = %v, want %v", w, v, want)
+		}
+	}
+
+	// Unknown aggregation and CSV inputs are rejected.
+	if err := decompress(blk, aggOut, 0, 0, -1, 24, "median", false); err == nil {
+		t.Fatal("expected unknown-aggregation error")
+	}
+	if err := decompress(full, aggOut, 0, 0, -1, 24, "max", false); err == nil {
+		t.Fatal("expected block-file-required error for -step on CSV")
 	}
 }

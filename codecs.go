@@ -1,6 +1,8 @@
 package cameo
 
 import (
+	"fmt"
+
 	"repro/internal/codec"
 	"repro/internal/core"
 )
@@ -78,4 +80,95 @@ func EncodeBlock(c Codec, xs []float64) ([]byte, error) {
 // file) and decodes it with the codec named by its header.
 func DecodeBlock(data []byte) ([]float64, BlockHeader, error) {
 	return codec.DecodeBlock(data)
+}
+
+// RangeAgg summarizes a sample range without materializing it: Sum, Min,
+// Max, and Count (mean is Sum/Count). Returned by DecodeBlockAgg and used
+// internally by Store.QueryAgg's codec pushdown.
+type RangeAgg = codec.RangeAgg
+
+// parseBlockPayload is the shared preamble of the block range/aggregate
+// helpers: parse the self-describing header, resolve the codec, clamp the
+// requested bounds to the block. A clamped-empty range reports lo == hi.
+func parseBlockPayload(data []byte, lo, hi int) (Codec, BlockHeader, []byte, int, int, error) {
+	h, off, err := codec.ParseBlockHeader(data)
+	if err != nil {
+		return nil, BlockHeader{}, nil, 0, 0, err
+	}
+	c, err := codec.ByID(h.CodecID)
+	if err != nil {
+		return nil, h, nil, 0, 0, err
+	}
+	lo = max(lo, 0)
+	hi = min(hi, h.N)
+	if lo > hi {
+		lo = hi
+	}
+	return c, h, data[off:], lo, hi, nil
+}
+
+// DecodeBlockRange decodes only samples [lo, hi) of a self-describing
+// block (bounds clamped to the block). The segment codecs (PMC, Swing,
+// Sim-Piece) and CAMEO evaluate just the pieces spanning the range —
+// random access straight out of the compressed form; the bit-stream
+// lossless codecs fall back to a full decode and slice. The values are
+// bit-identical to DecodeBlock(data)[lo:hi].
+func DecodeBlockRange(data []byte, lo, hi int) ([]float64, BlockHeader, error) {
+	c, h, payload, lo, hi, err := parseBlockPayload(data, lo, hi)
+	if err != nil || lo >= hi {
+		return nil, h, err
+	}
+	xs, err := codec.DecodeRange(c, payload, h.N, lo, hi, nil)
+	return xs, h, err
+}
+
+// DecodeBlockWindowAggs aggregates consecutive step-sample windows of
+// samples [lo, hi) of a self-describing block (bounds clamped; the last
+// window may be partial), returning one RangeAgg per window — the
+// downsampling shape of a dashboard query. For the segment codecs and
+// CAMEO the whole grid is computed in ONE pass over the compressed piece
+// stream (codec.AggDecoder.DecodeWindowAggs) with no samples
+// materialized; other codecs decode the range once and fold it.
+func DecodeBlockWindowAggs(data []byte, lo, hi, step int) ([]RangeAgg, BlockHeader, error) {
+	if step < 1 {
+		return nil, BlockHeader{}, fmt.Errorf("cameo: window step must be at least 1, got %d", step)
+	}
+	c, h, payload, lo, hi, err := parseBlockPayload(data, lo, hi)
+	if err != nil || lo >= hi {
+		return nil, h, err
+	}
+	aggs := make([]RangeAgg, (hi-lo+step-1)/step)
+	for i := range aggs {
+		aggs[i] = codec.NewRangeAgg()
+	}
+	if ad, ok := c.(codec.AggDecoder); ok {
+		if err := ad.DecodeWindowAggs(payload, h.N, lo, hi, lo, step, aggs); err != nil {
+			return nil, h, err
+		}
+		return aggs, h, nil
+	}
+	xs, err := codec.DecodeRange(c, payload, h.N, lo, hi, nil)
+	if err != nil {
+		return nil, h, err
+	}
+	for i := range aggs {
+		aggs[i].Add(xs[i*step : min((i+1)*step, len(xs))])
+	}
+	return aggs, h, nil
+}
+
+// DecodeBlockAgg aggregates samples [lo, hi) of a self-describing block
+// (bounds clamped). For the segment codecs and CAMEO the result is
+// computed from the compressed piece parameters alone — no samples are
+// materialized; other codecs decode the range first.
+func DecodeBlockAgg(data []byte, lo, hi int) (RangeAgg, BlockHeader, error) {
+	c, h, payload, lo, hi, err := parseBlockPayload(data, lo, hi)
+	if err != nil {
+		return RangeAgg{}, h, err
+	}
+	if lo >= hi {
+		return codec.NewRangeAgg(), h, nil
+	}
+	agg, err := codec.DecodeRangeAgg(c, payload, h.N, lo, hi)
+	return agg, h, err
 }

@@ -2,6 +2,7 @@ package codec
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/core"
@@ -90,6 +91,16 @@ func (c *CAMEO) Decode(data []byte, n int) ([]float64, error) {
 	if n < 0 || n > MaxBlockSamples {
 		return nil, fmt.Errorf("%w: bad sample count %d", ErrBadBlock, n)
 	}
+	ir, err := c.parse(data, n)
+	if err != nil {
+		return nil, err
+	}
+	return ir.Decompress(), nil
+}
+
+// parse decodes and validates the irregular payload against the header's
+// sample count.
+func (c *CAMEO) parse(data []byte, n int) (*series.Irregular, error) {
 	ir, err := series.DecodeIrregular(data)
 	if err != nil {
 		return nil, err
@@ -97,5 +108,74 @@ func (c *CAMEO) Decode(data []byte, n int) ([]float64, error) {
 	if ir.N != n {
 		return nil, fmt.Errorf("%w: cameo payload holds %d samples, header says %d", ErrBadBlock, ir.N, n)
 	}
-	return ir.Decompress(), nil
+	return ir, nil
+}
+
+// DecodeRange interpolates only the retained points spanning [lo, hi),
+// appending the reconstruction to dst — parsing stays O(points), but
+// evaluation drops from O(n) to O(hi-lo). Bit-identical to the
+// corresponding slice of Decode.
+func (c *CAMEO) DecodeRange(data []byte, n, lo, hi int, dst []float64) ([]float64, error) {
+	if err := checkRange(n, lo, hi); err != nil {
+		return nil, err
+	}
+	ir, err := c.parse(data, n)
+	if err != nil {
+		return nil, err
+	}
+	return ir.DecompressRange(lo, hi, dst), nil
+}
+
+// DecodeRangeAgg computes sum/min/max/count over [lo, hi) from the
+// retained points alone: the reconstruction is piecewise linear (constant
+// before the first and after the last point), so each piece contributes in
+// closed form and no samples are materialized.
+func (c *CAMEO) DecodeRangeAgg(data []byte, n, lo, hi int) (RangeAgg, error) {
+	return oneWindowAgg(c, data, n, lo, hi)
+}
+
+// DecodeWindowAggs folds [lo, hi) into step-sample windows in one pass
+// over the retained points; no samples are materialized.
+func (c *CAMEO) DecodeWindowAggs(data []byte, n, lo, hi, anchor, step int, aggs []RangeAgg) error {
+	if err := checkWindows(n, lo, hi, anchor, step, aggs); err != nil {
+		return err
+	}
+	ir, err := c.parse(data, n)
+	if err != nil {
+		return err
+	}
+	wa := newWindowAccs(lo, anchor, step, aggs)
+	pts := ir.Points
+	if len(pts) == 0 {
+		wa.addConst(lo, hi, 0) // Decompress yields zeros for an empty point set
+		return nil
+	}
+	// Constant hold before the first retained point.
+	if head := min(hi, pts[0].Index); head > lo {
+		wa.addConst(lo, head, pts[0].Value)
+	}
+	// Interior linear segments between consecutive retained points. Each
+	// covers indices [a.Index, b.Index) with v(t) = a.Value + slope*(t -
+	// a.Index) — the same expression Decompress evaluates.
+	last := pts[len(pts)-1]
+	if lo < last.Index && hi > pts[0].Index {
+		j := sort.Search(len(pts), func(i int) bool { return pts[i].Index > max(lo, pts[0].Index) })
+		for ; j < len(pts); j++ {
+			a, b := pts[j-1], pts[j]
+			if a.Index >= hi {
+				break
+			}
+			// Every remaining pair overlaps: b.Index > lo by the search
+			// start condition and increasing indices, and a.Index < hi per
+			// the break above.
+			t0, t1 := max(lo, a.Index), min(hi, b.Index)
+			slope := (b.Value - a.Value) / float64(b.Index-a.Index)
+			wa.addLinear(t0, t1, a.Index, a.Value, slope)
+		}
+	}
+	// Constant hold from the last retained point on.
+	if tail := max(lo, last.Index); tail < hi {
+		wa.addConst(tail, hi, last.Value)
+	}
+	return nil
 }

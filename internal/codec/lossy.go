@@ -204,6 +204,93 @@ func (PMC) Decode(data []byte, n int) ([]float64, error) {
 	return lossy.PMCDecode(n, segs), nil
 }
 
+// DecodeRange evaluates only the constant segments overlapping [lo, hi),
+// appending to dst. Bit-identical to the corresponding slice of Decode.
+func (PMC) DecodeRange(data []byte, n, lo, hi int, dst []float64) ([]float64, error) {
+	if err := checkRange(n, lo, hi); err != nil {
+		return nil, err
+	}
+	err := decodeSegments(data, n, 1, func(start, length int, fs []float64) {
+		for t := max(lo, start); t < min(hi, start+length); t++ {
+			dst = append(dst, fs[0])
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// DecodeRangeAgg computes sum/min/max/count over [lo, hi) from the
+// constant segment parameters alone; no samples are materialized.
+func (c PMC) DecodeRangeAgg(data []byte, n, lo, hi int) (RangeAgg, error) {
+	return oneWindowAgg(c, data, n, lo, hi)
+}
+
+// DecodeWindowAggs folds [lo, hi) into step-sample windows in one pass
+// over the constant segments; no samples are materialized.
+func (PMC) DecodeWindowAggs(data []byte, n, lo, hi, anchor, step int, aggs []RangeAgg) error {
+	if err := checkWindows(n, lo, hi, anchor, step, aggs); err != nil {
+		return err
+	}
+	wa := newWindowAccs(lo, anchor, step, aggs)
+	return decodeSegments(data, n, 1, func(start, length int, fs []float64) {
+		if t0, t1 := max(lo, start), min(hi, start+length); t0 < t1 {
+			wa.addConst(t0, t1, fs[0])
+		}
+	})
+}
+
+// oneWindowAgg adapts a DecodeWindowAggs implementation to the
+// single-range DecodeRangeAgg shape.
+func oneWindowAgg(ad AggDecoder, data []byte, n, lo, hi int) (RangeAgg, error) {
+	if err := checkRange(n, lo, hi); err != nil {
+		return RangeAgg{}, err
+	}
+	agg := [1]RangeAgg{NewRangeAgg()}
+	if lo == hi {
+		return agg[0], nil
+	}
+	if err := ad.DecodeWindowAggs(data, n, lo, hi, lo, hi-lo, agg[:]); err != nil {
+		return RangeAgg{}, err
+	}
+	return agg[0], nil
+}
+
+// linearRange appends the overlap of [lo, hi) with each linear segment of
+// a 2-float stream (base fs[0], slope fs[1], value base + slope*(t-start))
+// — the shared range-decode of Swing and Sim-Piece, whose dense decoders
+// evaluate exactly this expression.
+func linearRange(data []byte, n, lo, hi int, dst []float64) ([]float64, error) {
+	if err := checkRange(n, lo, hi); err != nil {
+		return nil, err
+	}
+	err := decodeSegments(data, n, 2, func(start, length int, fs []float64) {
+		for t := max(lo, start); t < min(hi, start+length); t++ {
+			dst = append(dst, fs[0]+fs[1]*float64(t-start))
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// linearWindowAggs folds [lo, hi) of a 2-float linear segment stream into
+// step-sample windows in one closed-form pass — the shared aggregate
+// pushdown of Swing and Sim-Piece.
+func linearWindowAggs(data []byte, n, lo, hi, anchor, step int, aggs []RangeAgg) error {
+	if err := checkWindows(n, lo, hi, anchor, step, aggs); err != nil {
+		return err
+	}
+	wa := newWindowAccs(lo, anchor, step, aggs)
+	return decodeSegments(data, n, 2, func(start, length int, fs []float64) {
+		if t0, t1 := max(lo, start), min(hi, start+length); t0 < t1 {
+			wa.addLinear(t0, t1, start, fs[0], fs[1])
+		}
+	})
+}
+
 // Swing is the Swing filter: piecewise-linear segments anchored at their
 // first point, each stored as length + start value + slope. Lossy with
 // per-value error <= RelBound x the block's value range.
@@ -249,6 +336,24 @@ func (Swing) Decode(data []byte, n int) ([]float64, error) {
 		return nil, err
 	}
 	return lossy.SwingDecode(n, segs), nil
+}
+
+// DecodeRange evaluates only the linear segments overlapping [lo, hi),
+// appending to dst. Bit-identical to the corresponding slice of Decode.
+func (Swing) DecodeRange(data []byte, n, lo, hi int, dst []float64) ([]float64, error) {
+	return linearRange(data, n, lo, hi, dst)
+}
+
+// DecodeRangeAgg computes sum/min/max/count over [lo, hi) from the linear
+// segment parameters alone; no samples are materialized.
+func (c Swing) DecodeRangeAgg(data []byte, n, lo, hi int) (RangeAgg, error) {
+	return oneWindowAgg(c, data, n, lo, hi)
+}
+
+// DecodeWindowAggs folds [lo, hi) into step-sample windows in one pass
+// over the linear segments; no samples are materialized.
+func (Swing) DecodeWindowAggs(data []byte, n, lo, hi, anchor, step int, aggs []RangeAgg) error {
+	return linearWindowAggs(data, n, lo, hi, anchor, step, aggs)
 }
 
 // SimPiece is the Sim-Piece compressor: piecewise-linear segments with
@@ -299,4 +404,23 @@ func (SimPiece) Decode(data []byte, n int) ([]float64, error) {
 		return nil, err
 	}
 	return lossy.SPDecode(n, segs), nil
+}
+
+// DecodeRange evaluates only the merged linear segments overlapping
+// [lo, hi), appending to dst. Bit-identical to the corresponding slice of
+// Decode.
+func (SimPiece) DecodeRange(data []byte, n, lo, hi int, dst []float64) ([]float64, error) {
+	return linearRange(data, n, lo, hi, dst)
+}
+
+// DecodeRangeAgg computes sum/min/max/count over [lo, hi) from the merged
+// linear segment parameters alone; no samples are materialized.
+func (c SimPiece) DecodeRangeAgg(data []byte, n, lo, hi int) (RangeAgg, error) {
+	return oneWindowAgg(c, data, n, lo, hi)
+}
+
+// DecodeWindowAggs folds [lo, hi) into step-sample windows in one pass
+// over the merged linear segments; no samples are materialized.
+func (SimPiece) DecodeWindowAggs(data []byte, n, lo, hi, anchor, step int, aggs []RangeAgg) error {
+	return linearWindowAggs(data, n, lo, hi, anchor, step, aggs)
 }

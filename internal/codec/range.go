@@ -1,0 +1,253 @@
+package codec
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/series"
+)
+
+// Random-access capabilities. The segment codecs (PMC, Swing, Sim-Piece)
+// and CAMEO's irregular line form are random-access by construction: their
+// compressed payload is a list of closed-form pieces, so any subrange of
+// the block can be evaluated without reconstructing the rest, and simple
+// aggregates (sum/min/max/count) over a range follow from the piece
+// parameters without materializing samples at all. The bit-stream lossless
+// codecs have neither property — the helpers below fall back to a full
+// decode for them, so callers can use one code path for every codec and
+// still get the partial-decode win where the format allows it.
+
+// RangeDecoder is an optional Codec capability: decoding only samples
+// [lo, hi) of a block. DecodeRange and the tsdb cursor consult it.
+type RangeDecoder interface {
+	// DecodeRange appends the decoded samples [lo, hi) of a block to dst
+	// and returns the extended slice (dst may be nil). n is the block's
+	// dense sample count from its header; 0 <= lo <= hi <= n is required.
+	// The appended values must be bit-identical to Decode(data, n)[lo:hi].
+	DecodeRange(data []byte, n, lo, hi int, dst []float64) ([]float64, error)
+}
+
+// AggDecoder is an optional Codec capability: computing sum/min/max/count
+// over sample ranges directly from the compressed form, without
+// materializing any samples. DecodeRangeAgg consults it.
+type AggDecoder interface {
+	// DecodeRangeAgg aggregates samples [lo, hi) of a block. n is the
+	// block's dense sample count; 0 <= lo <= hi <= n is required.
+	DecodeRangeAgg(data []byte, n, lo, hi int) (RangeAgg, error)
+
+	// DecodeWindowAggs folds samples [lo, hi) of a block into consecutive
+	// step-sample windows, parsing the payload once — the downsampling
+	// shape: window k covers the intersection of [lo, hi) with
+	// [anchor+k*step, anchor+(k+1)*step), and the window containing lo
+	// merges into aggs[0], the next into aggs[1], and so on (merges, not
+	// overwrites, so one grid can span blocks). anchor <= lo aligns the
+	// grid across blocks; aggs must hold every window touching [lo, hi).
+	DecodeWindowAggs(data []byte, n, lo, hi, anchor, step int, aggs []RangeAgg) error
+}
+
+// RangeAgg summarizes a sample range: the aggregates a codec can push down
+// (sum, min, max, count). Mean is Sum/Count. The zero Count value carries
+// Min=+Inf and Max=-Inf so partial results merge with Merge; construct
+// with NewRangeAgg.
+type RangeAgg struct {
+	Count int
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// NewRangeAgg returns the empty aggregate (identity element of Merge).
+func NewRangeAgg() RangeAgg {
+	return RangeAgg{Min: math.Inf(1), Max: math.Inf(-1)}
+}
+
+// Merge folds another partial aggregate into a.
+func (a *RangeAgg) Merge(b RangeAgg) {
+	a.Count += b.Count
+	a.Sum += b.Sum
+	if b.Min < a.Min {
+		a.Min = b.Min
+	}
+	if b.Max > a.Max {
+		a.Max = b.Max
+	}
+}
+
+// Eval maps the aggregate to the scalar a window query reports: mean is
+// Sum/Count, sum/max/min their fields. The single source of the mapping —
+// the tsdb engine and the CLI both evaluate windows through it. Unknown
+// functions (and mean over an empty window) yield NaN; callers validate f
+// up front.
+func (a RangeAgg) Eval(f series.AggFunc) float64 {
+	switch f {
+	case series.AggMean:
+		return a.Sum / float64(a.Count)
+	case series.AggSum:
+		return a.Sum
+	case series.AggMax:
+		return a.Max
+	case series.AggMin:
+		return a.Min
+	}
+	return math.NaN()
+}
+
+// Add folds dense samples into a (the materialized fallback of the codec
+// pushdown, and the path for cache-resident or in-flight blocks).
+func (a *RangeAgg) Add(xs []float64) {
+	for _, v := range xs {
+		a.Sum += v
+		if v < a.Min {
+			a.Min = v
+		}
+		if v > a.Max {
+			a.Max = v
+		}
+	}
+	a.Count += len(xs)
+}
+
+// addConst folds a run of cnt samples all equal to v.
+func (a *RangeAgg) addConst(v float64, cnt int) {
+	if cnt <= 0 {
+		return
+	}
+	a.Sum += v * float64(cnt)
+	if v < a.Min {
+		a.Min = v
+	}
+	if v > a.Max {
+		a.Max = v
+	}
+	a.Count += cnt
+}
+
+// addLinear folds cnt samples of the linear piece v(k) = v0 + slope*k for
+// k = k0, k0+1, ..., k0+cnt-1 — the closed form shared by Swing,
+// Sim-Piece, and CAMEO's interpolation segments. The sum uses the
+// arithmetic-series identity; min and max sit at the endpoints of a
+// linear piece, evaluated with the same expression decoding uses so they
+// match materialized values bit-for-bit.
+func (a *RangeAgg) addLinear(v0, slope float64, k0, cnt int) {
+	if cnt <= 0 {
+		return
+	}
+	first := v0 + slope*float64(k0)
+	last := v0 + slope*float64(k0+cnt-1)
+	a.Sum += float64(cnt)*v0 + slope*(float64(k0)+float64(k0+cnt-1))*float64(cnt)/2
+	lo, hi := first, last
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if lo < a.Min {
+		a.Min = lo
+	}
+	if hi > a.Max {
+		a.Max = hi
+	}
+	a.Count += cnt
+}
+
+// windowAccs distributes closed-form pieces onto a step-sample window
+// grid, splitting each piece at window boundaries — the shared machinery
+// behind every DecodeWindowAggs implementation. Indices are absolute
+// (block-relative) sample positions; the grid is anchored so that window
+// k covers [anchor+k*step, anchor+(k+1)*step), and aggs[0] is the window
+// containing the fold range's lo.
+type windowAccs struct {
+	anchor, step, k0 int
+	aggs             []RangeAgg
+}
+
+func newWindowAccs(lo, anchor, step int, aggs []RangeAgg) windowAccs {
+	return windowAccs{anchor: anchor, step: step, k0: (lo - anchor) / step, aggs: aggs}
+}
+
+// addConst folds a constant run: value v for t in [t0, t1).
+func (w *windowAccs) addConst(t0, t1 int, v float64) {
+	for t0 < t1 {
+		k := (t0 - w.anchor) / w.step
+		end := min(t1, w.anchor+(k+1)*w.step)
+		w.aggs[k-w.k0].addConst(v, end-t0)
+		t0 = end
+	}
+}
+
+// addLinear folds a linear piece: value v0 + slope*(t-base) for t in
+// [t0, t1).
+func (w *windowAccs) addLinear(t0, t1, base int, v0, slope float64) {
+	for t0 < t1 {
+		k := (t0 - w.anchor) / w.step
+		end := min(t1, w.anchor+(k+1)*w.step)
+		w.aggs[k-w.k0].addLinear(v0, slope, t0-base, end-t0)
+		t0 = end
+	}
+}
+
+// checkWindows validates a DecodeWindowAggs request: a well-formed
+// subrange, a grid whose anchor does not trail into it, and enough
+// accumulators for every window the range touches.
+func checkWindows(n, lo, hi, anchor, step int, aggs []RangeAgg) error {
+	if err := checkRange(n, lo, hi); err != nil {
+		return err
+	}
+	if step < 1 {
+		return fmt.Errorf("codec: window step must be at least 1, got %d", step)
+	}
+	if anchor > lo {
+		return fmt.Errorf("codec: window anchor %d beyond range start %d", anchor, lo)
+	}
+	if hi > lo {
+		if need := (hi-1-anchor)/step - (lo-anchor)/step + 1; need > len(aggs) {
+			return fmt.Errorf("codec: %d window accumulators for a range touching %d windows", len(aggs), need)
+		}
+	}
+	return nil
+}
+
+// checkRange validates a block subrange request.
+func checkRange(n, lo, hi int) error {
+	if n < 0 || n > MaxBlockSamples {
+		return fmt.Errorf("%w: bad sample count %d", ErrBadBlock, n)
+	}
+	if lo < 0 || hi < lo || hi > n {
+		return fmt.Errorf("codec: bad range [%d,%d) of a %d-sample block", lo, hi, n)
+	}
+	return nil
+}
+
+// DecodeRange decodes samples [lo, hi) of a block, appending to dst:
+// natively for codecs implementing RangeDecoder, by decode-then-slice for
+// the rest (the bit-stream lossless codecs, which cannot seek). Either way
+// the appended values are bit-identical to Decode(data, n)[lo:hi].
+func DecodeRange(c Codec, data []byte, n, lo, hi int, dst []float64) ([]float64, error) {
+	if rd, ok := c.(RangeDecoder); ok {
+		return rd.DecodeRange(data, n, lo, hi, dst)
+	}
+	if err := checkRange(n, lo, hi); err != nil {
+		return nil, err
+	}
+	xs, err := c.Decode(data, n)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, xs[lo:hi]...), nil
+}
+
+// DecodeRangeAgg aggregates samples [lo, hi) of a block: natively for
+// codecs implementing AggDecoder (no samples materialized), by range
+// decoding for the rest. The native sums are evaluated in closed form per
+// piece, so they can differ from a materialized left-to-right sum in the
+// last few ulps; min, max, and count are exact.
+func DecodeRangeAgg(c Codec, data []byte, n, lo, hi int) (RangeAgg, error) {
+	if ad, ok := c.(AggDecoder); ok {
+		return ad.DecodeRangeAgg(data, n, lo, hi)
+	}
+	xs, err := DecodeRange(c, data, n, lo, hi, nil)
+	if err != nil {
+		return RangeAgg{}, err
+	}
+	agg := NewRangeAgg()
+	agg.Add(xs)
+	return agg, nil
+}

@@ -129,6 +129,58 @@ func (ir *Irregular) Decompress() []float64 {
 	return out
 }
 
+// DecompressRange appends the reconstruction of indices [lo, hi) to dst
+// and returns the extended slice, evaluating only the retained points that
+// span the range — the random-access form of Decompress. The arithmetic
+// mirrors Decompress exactly (same slope form, same rounding), so the
+// output is bit-identical to Decompress()[lo:hi] at a cost of
+// O(log points + (hi-lo)) instead of O(N). Out-of-range bounds are
+// clamped to [0, N).
+func (ir *Irregular) DecompressRange(lo, hi int, dst []float64) []float64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > ir.N {
+		hi = ir.N
+	}
+	if lo >= hi {
+		return dst
+	}
+	pts := ir.Points
+	if len(pts) == 0 {
+		return append(dst, make([]float64, hi-lo)...)
+	}
+	t := lo
+	// Hold the first value before the first retained index.
+	for ; t < hi && t < pts[0].Index; t++ {
+		dst = append(dst, pts[0].Value)
+	}
+	last := pts[len(pts)-1]
+	if t < hi && t < last.Index {
+		// Locate the segment containing t: the first point past t closes
+		// it. t >= pts[0].Index here, so j >= 1.
+		j := sort.Search(len(pts), func(i int) bool { return pts[i].Index > t })
+		for t < hi && t < last.Index {
+			a, b := pts[j-1], pts[j]
+			span := float64(b.Index - a.Index)
+			slope := (b.Value - a.Value) / span
+			if t == a.Index {
+				dst = append(dst, a.Value)
+				t++
+			}
+			for ; t < hi && t < b.Index; t++ {
+				dst = append(dst, a.Value+slope*float64(t-a.Index))
+			}
+			j++
+		}
+	}
+	// Hold the last value from the last retained index on.
+	for ; t < hi; t++ {
+		dst = append(dst, last.Value)
+	}
+	return dst
+}
+
 // Lerp linearly interpolates the value at t on the segment
 // (x0, y0) -> (x1, y1). x0 must differ from x1.
 func Lerp(x0 int, y0 float64, x1 int, y1 float64, t int) float64 {

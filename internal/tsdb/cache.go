@@ -50,6 +50,39 @@ func newBlockCache(capacity int) *blockCache {
 	}
 }
 
+// get returns the cached reconstruction for a block, if resident, marking
+// it recently used. Unlike getOrFill it never loads: the cursor's partial-
+// decode path peeks first and, on a miss, range-decodes without caching.
+func (c *blockCache) get(key string) ([]float64, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	dense := el.Value.(*cacheEntry).dense
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return dense, true
+}
+
+// contains reports residency without touching recency or the hit
+// counters; QueryAgg uses it to decide between folding the cached
+// reconstruction and pushing the aggregate down to the codec.
+func (c *blockCache) contains(key string) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	_, ok := c.entries[key]
+	c.mu.Unlock()
+	return ok
+}
+
 // getOrFill returns the cached reconstruction for a block, loading it with
 // fill on a miss. Concurrent misses for one key are single-flighted: the
 // first caller runs fill, the rest wait for its result. Errors are returned

@@ -111,16 +111,18 @@ func TestStatsReportCacheShardsAndWaits(t *testing.T) {
 	if s.CacheShards != 4 {
 		t.Fatalf("CacheShards = %d, want 4", s.CacheShards)
 	}
-	// Hammer one cold block from many goroutines: exactly one loader may
-	// miss (single-flight); every other query waited on that flight or hit
-	// the filled cache, and the three counters account for all of them.
+	// Hammer one cold block from many goroutines with full-block queries
+	// (partial queries of a range-decoding codec bypass the cache — see
+	// below): exactly one loader may miss (single-flight); every other
+	// query waited on that flight or hit the filled cache, and the three
+	// counters account for all of them.
 	const queries = 16
 	var wg sync.WaitGroup
 	for i := 0; i < queries; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := db.Query("s", 0, 10); err != nil {
+			if _, err := db.Query("s", 0, opt.BlockSize); err != nil {
 				t.Error(err)
 			}
 		}()
@@ -132,6 +134,19 @@ func TestStatsReportCacheShardsAndWaits(t *testing.T) {
 	}
 	if s.CacheHits+s.CacheWaits != queries-1 {
 		t.Fatalf("hits (%d) + waits (%d) != %d", s.CacheHits, s.CacheWaits, queries-1)
+	}
+	// A cold partial query of the second (uncached) block pushes the range
+	// decode down to the codec instead of filling the cache, and the
+	// pushdown counter surfaces it.
+	if _, err := db.Query("s", opt.BlockSize, opt.BlockSize+10); err != nil {
+		t.Fatal(err)
+	}
+	s = db.Stats()
+	if s.RangeDecodes != 1 {
+		t.Fatalf("RangeDecodes = %d, want 1 after a cold partial query", s.RangeDecodes)
+	}
+	if s.CacheMisses != 1 {
+		t.Fatalf("CacheMisses = %d, want still 1 (partial decode must not fill the cache)", s.CacheMisses)
 	}
 	if err := db.Close(); err != nil {
 		t.Fatal(err)

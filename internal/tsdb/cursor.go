@@ -1,0 +1,388 @@
+package tsdb
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+
+	"repro/internal/codec"
+	"repro/internal/series"
+)
+
+// AggFunc identifies a window aggregation function for QueryAgg (the same
+// enum the CAMEO on-aggregates mode uses: mean, sum, max, min).
+type AggFunc = series.AggFunc
+
+// cursorSeg is one snapshotted block overlapping a query range: durable
+// (meta only) or still compressing (pending non-nil).
+type cursorSeg struct {
+	meta    blockMeta
+	pending *pendingBlock
+}
+
+// rangeSnapshot is the point-in-time view of a series that a Cursor (or
+// QueryAgg) resolves lazily: the overlapping durable and pending blocks,
+// merged in start order, plus a copy of the overlapping tail samples.
+// Taking it holds the shard read lock only long enough to slice the
+// already-sorted durable index (binary search for the first overlap),
+// gather the few pending blocks, and copy the tail overlap — and the tail
+// is not touched at all when the range ends before it.
+type rangeSnapshot struct {
+	name      string
+	sh        *shard
+	from, to  int // clamped to [0, total]
+	segs      []cursorSeg
+	tail      []float64 // copy of the overlapping tail samples (nil if unreached)
+	tailStart int       // absolute index of tail[0]
+}
+
+// snapshotRange captures the segments of [from, to) under the shard read
+// lock. from/to are clamped; an unknown series errors.
+func (db *DB) snapshotRange(name string, from, to int) (*rangeSnapshot, error) {
+	sh := db.shardFor(name)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	st := sh.series[name]
+	if st == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSeries, name)
+	}
+	if from < 0 {
+		from = 0
+	}
+	if to > st.total {
+		to = st.total
+	}
+	snap := &rangeSnapshot{name: name, sh: sh, from: from, to: to}
+	if from >= to {
+		return snap, nil
+	}
+	// The durable index is kept sorted by insertBlock, so the overlapping
+	// run is a binary search plus a contiguous slice — no per-query sort.
+	i := sort.Search(len(st.blocks), func(i int) bool { return st.blocks[i].start+st.blocks[i].n > from })
+	for ; i < len(st.blocks) && st.blocks[i].start < to; i++ {
+		snap.segs = append(snap.segs, cursorSeg{meta: st.blocks[i]})
+	}
+	// Pending blocks are the few cut-but-not-yet-durable ones; sort only
+	// those and merge them into the durable run.
+	var pend []cursorSeg
+	for _, pb := range st.pending {
+		if pb.start+len(pb.raw) > from && pb.start < to {
+			pend = append(pend, cursorSeg{meta: blockMeta{start: pb.start, n: len(pb.raw)}, pending: pb})
+		}
+	}
+	if len(pend) > 0 {
+		slices.SortFunc(pend, func(a, b cursorSeg) int { return a.meta.start - b.meta.start })
+		snap.segs = mergeSegs(snap.segs, pend)
+	}
+	// Copy the tail overlap only when the range actually reaches the tail.
+	if tailStart := st.total - len(st.tail); to > tailStart {
+		lo := max(from, tailStart)
+		snap.tailStart = lo
+		snap.tail = append([]float64(nil), st.tail[lo-tailStart:to-tailStart]...)
+	}
+	return snap, nil
+}
+
+// mergeSegs merges two start-sorted segment runs.
+func mergeSegs(a, b []cursorSeg) []cursorSeg {
+	out := make([]cursorSeg, 0, len(a)+len(b))
+	for len(a) > 0 && len(b) > 0 {
+		if a[0].meta.start <= b[0].meta.start {
+			out, a = append(out, a[0]), a[1:]
+		} else {
+			out, b = append(out, b[0]), b[1:]
+		}
+	}
+	return append(append(out, a...), b...)
+}
+
+// Cursor streams the reconstruction of one query range chunk by chunk
+// instead of materializing it: each Next yields the overlap with one block
+// (so chunks are at most about BlockSize samples), resolved only when
+// reached — cache-resident blocks are served as sub-slices without
+// copying, cold blocks of a range-decoding codec decode only the
+// overlapping samples into a pooled buffer, and blocks still being
+// compressed are waited for per-chunk rather than up front.
+//
+// The returned chunk is read-only and valid only until the next Next or
+// Close call (it may alias the shared decoded-block cache or the cursor's
+// reused decode buffer); callers that retain samples must copy them out.
+// A Cursor is not safe for concurrent use. Close releases the pooled
+// buffer; Err reports the first resolution error after Next returns false.
+type Cursor struct {
+	db       *DB
+	snap     *rangeSnapshot
+	idx      int // next segment to resolve
+	tailDone bool
+	buf      []float64 // pooled scratch for cold range decodes
+	err      error
+	closed   bool
+}
+
+// Cursor opens a streaming read over samples [from, to) of a series
+// (bounds clamped like Query). The snapshot is taken immediately — the
+// cursor observes the series as of this call — but block resolution is
+// deferred to Next.
+func (db *DB) Cursor(name string, from, to int) (*Cursor, error) {
+	snap, err := db.snapshotRange(name, from, to)
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{db: db, snap: snap}, nil
+}
+
+// Next returns the next chunk of the reconstruction, or (nil, false) when
+// the range is exhausted, the cursor is closed, or an error occurred
+// (check Err).
+func (c *Cursor) Next() ([]float64, bool) {
+	if c.closed || c.err != nil {
+		return nil, false
+	}
+	for c.idx < len(c.snap.segs) {
+		s := c.snap.segs[c.idx]
+		c.idx++
+		lo := max(c.snap.from, s.meta.start)
+		hi := min(c.snap.to, s.meta.start+s.meta.n)
+		chunk, err := c.db.segmentRange(c.snap, s, lo, hi, &c.buf)
+		if err != nil {
+			c.err = err
+			return nil, false
+		}
+		if len(chunk) > 0 {
+			return chunk, true
+		}
+	}
+	if !c.tailDone {
+		c.tailDone = true
+		if len(c.snap.tail) > 0 {
+			return c.snap.tail, true
+		}
+	}
+	return nil, false
+}
+
+// Err returns the first error encountered while resolving chunks.
+func (c *Cursor) Err() error { return c.err }
+
+// Close releases the cursor's pooled decode buffer. The cursor yields no
+// further chunks; previously returned chunks must not be used afterwards.
+func (c *Cursor) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.buf != nil {
+		c.db.putBlockBuf(c.buf)
+		c.buf = nil
+	}
+}
+
+// segmentRange resolves samples [lo, hi) (absolute indices) of one
+// snapshotted segment.
+func (db *DB) segmentRange(snap *rangeSnapshot, s cursorSeg, lo, hi int, buf *[]float64) ([]float64, error) {
+	if s.pending != nil {
+		dense, err := db.pendingDense(snap.sh, snap.name, s)
+		if err != nil {
+			return nil, err
+		}
+		return dense[lo-s.meta.start : hi-s.meta.start], nil
+	}
+	return db.blockRange(snap.sh, s.meta, lo-s.meta.start, hi-s.meta.start, buf)
+}
+
+// pendingDense waits for one in-flight block and returns its
+// reconstruction, re-resolving against the durable index when the async
+// compression failed but a concurrent Flush has since repaired it.
+func (db *DB) pendingDense(sh *shard, name string, s cursorSeg) ([]float64, error) {
+	<-s.pending.done
+	if s.pending.err == nil {
+		return s.pending.recon, nil
+	}
+	if meta, repaired := db.durableBlockAt(sh, name, s.meta.start); repaired {
+		// A Flush repaired the failed block after our snapshot; the data is
+		// durable, so serve it instead of the stale error.
+		return db.readBlock(sh.cache, meta)
+	}
+	return nil, fmt.Errorf("tsdb: block at %d: %w", s.meta.start, s.pending.err)
+}
+
+// blockRange returns samples [lo, hi) (block-relative) of a durable block.
+// Cache-resident blocks are served as sub-slices without copying. A cold
+// block whose overlap is partial and whose codec decodes ranges natively
+// is range-decoded into the caller's pooled buffer and deliberately NOT
+// cached (a partial reconstruction must never stand in for the block).
+// Everything else — full overlaps, and the bit-stream codecs that cannot
+// seek — takes the full decode-and-cache path.
+func (db *DB) blockRange(sh *shard, meta blockMeta, lo, hi int, buf *[]float64) ([]float64, error) {
+	if hi-lo < meta.n {
+		if dense, ok := sh.cache.get(meta.path); ok {
+			return dense[lo:hi], nil
+		}
+		c, err := db.codecFor(meta)
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: block %s: %w", meta.path, err)
+		}
+		if rd, ok := c.(codec.RangeDecoder); ok {
+			payload, release, err := db.openBlockPayload(meta)
+			if err != nil {
+				return nil, err
+			}
+			defer release()
+			if *buf == nil {
+				*buf = db.getBlockBuf()
+			}
+			out, err := rd.DecodeRange(payload, meta.n, lo, hi, (*buf)[:0])
+			if err != nil {
+				return nil, fmt.Errorf("tsdb: block %s: %w", meta.path, err)
+			}
+			*buf = out
+			db.rangeDecodes.Add(1)
+			return out, nil
+		}
+	}
+	dense, err := db.readBlock(sh.cache, meta)
+	if err != nil {
+		return nil, err
+	}
+	return dense[lo:hi], nil
+}
+
+// QueryInto appends the reconstruction of samples [from, to) to dst and
+// returns the extended slice, letting callers amortize the result
+// allocation across queries. dst may be nil; the result is exactly what
+// Query returns.
+func (db *DB) QueryInto(name string, from, to int, dst []float64) ([]float64, error) {
+	cur, err := db.Cursor(name, from, to)
+	if err != nil {
+		return nil, err
+	}
+	defer cur.Close()
+	if total := cur.snap.to - cur.snap.from; dst == nil && total > 0 {
+		dst = make([]float64, 0, total)
+	}
+	for {
+		chunk, ok := cur.Next()
+		if !ok {
+			break
+		}
+		dst = append(dst, chunk...)
+	}
+	if err := cur.Err(); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// QueryAgg answers a downsampled aggregate query: samples [from, to) are
+// cut into consecutive windows of step samples (the last window may be
+// partial) and f is evaluated over each, yielding one value per window —
+// the shape a dashboard asks for. For cold durable blocks whose codec
+// implements codec.AggDecoder (the segment codecs and CAMEO), the
+// aggregates are computed straight from the compressed segment forms
+// without materializing any samples; other blocks — cache-resident,
+// in-flight, or bit-stream-coded — fall back to the cursor's chunk
+// resolution and are folded densely.
+func (db *DB) QueryAgg(name string, from, to, step int, f AggFunc) ([]float64, error) {
+	if step < 1 {
+		return nil, fmt.Errorf("tsdb: QueryAgg step must be at least 1, got %d", step)
+	}
+	switch f {
+	case series.AggMean, series.AggSum, series.AggMax, series.AggMin:
+	default:
+		return nil, fmt.Errorf("tsdb: unsupported aggregate function %v", f)
+	}
+	snap, err := db.snapshotRange(name, from, to)
+	if err != nil {
+		return nil, err
+	}
+	from, to = snap.from, snap.to
+	if from >= to {
+		return nil, nil
+	}
+	nw := (to - from + step - 1) / step
+	accs := make([]codec.RangeAgg, nw)
+	for i := range accs {
+		accs[i] = codec.NewRangeAgg()
+	}
+	var buf []float64
+	defer func() {
+		if buf != nil {
+			db.putBlockBuf(buf)
+		}
+	}()
+	for _, s := range snap.segs {
+		lo := max(from, s.meta.start)
+		hi := min(to, s.meta.start+s.meta.n)
+		if s.pending == nil {
+			handled, err := db.aggPushdown(snap.sh, s.meta, from, step, lo, hi, accs)
+			if err != nil {
+				return nil, err
+			}
+			if handled {
+				continue
+			}
+		}
+		chunk, err := db.segmentRange(snap, s, lo, hi, &buf)
+		if err != nil {
+			return nil, err
+		}
+		foldWindows(accs, from, step, lo, chunk)
+	}
+	if len(snap.tail) > 0 {
+		foldWindows(accs, from, step, snap.tailStart, snap.tail)
+	}
+	out := make([]float64, nw)
+	for i, a := range accs {
+		out[i] = a.Eval(f)
+	}
+	return out, nil
+}
+
+// aggPushdown folds the window aggregates of one durable block's overlap
+// [lo, hi) straight from the compressed payload — one DecodeWindowAggs
+// call parses the piece stream once and fills every touched window, so no
+// samples are materialized. It declines (false, nil) when the block's
+// reconstruction is already cached — folding the resident samples is
+// cheaper than re-parsing the payload — or when the codec cannot
+// aggregate natively.
+func (db *DB) aggPushdown(sh *shard, meta blockMeta, from, step, lo, hi int, accs []codec.RangeAgg) (bool, error) {
+	if sh.cache.contains(meta.path) {
+		return false, nil
+	}
+	c, err := db.codecFor(meta)
+	if err != nil {
+		return false, fmt.Errorf("tsdb: block %s: %w", meta.path, err)
+	}
+	ad, ok := c.(codec.AggDecoder)
+	if !ok {
+		return false, nil
+	}
+	payload, release, err := db.openBlockPayload(meta)
+	if err != nil {
+		return false, err
+	}
+	defer release()
+	// The engine's window grid is anchored at the query's from; shift it
+	// into the block's coordinate space along with the overlap bounds.
+	w0 := (lo - from) / step
+	wEnd := (hi - 1 - from) / step
+	err = ad.DecodeWindowAggs(payload, meta.n,
+		lo-meta.start, hi-meta.start, from-meta.start, step, accs[w0:wEnd+1])
+	if err != nil {
+		return false, fmt.Errorf("tsdb: block %s: %w", meta.path, err)
+	}
+	db.aggPushdowns.Add(1)
+	return true, nil
+}
+
+// foldWindows folds a materialized chunk starting at absolute index start
+// into the per-window accumulators of a QueryAgg over [from, ...).
+func foldWindows(accs []codec.RangeAgg, from, step, start int, chunk []float64) {
+	for off := 0; off < len(chunk); {
+		w := (start + off - from) / step
+		whi := min(start+len(chunk), from+(w+1)*step)
+		cnt := whi - (start + off)
+		accs[w].Add(chunk[off : off+cnt])
+		off += cnt
+	}
+}

@@ -176,6 +176,8 @@ type DB struct {
 
 	blocksWritten atomic.Uint64
 	bytesWritten  atomic.Uint64
+	rangeDecodes  atomic.Uint64 // cold partial decodes served via codec.RangeDecoder
+	aggPushdowns  atomic.Uint64 // blocks aggregated via codec.AggDecoder without materializing
 
 	errMu    sync.Mutex
 	failed   int   // failed block compressions awaiting repair
@@ -595,85 +597,14 @@ func (db *DB) flushTailLocked(sh *shard, name string, st *seriesState) error {
 }
 
 // Query reconstructs samples [from, to) of a series, reading only the
-// blocks that overlap the range. Durable blocks are served from the decoded
-// LRU cache when possible; blocks whose compression is still in flight are
-// waited for, so the result always reflects the compressed reconstruction.
+// blocks that overlap the range — a thin collect-the-cursor wrapper around
+// Cursor, kept for callers that want the whole range as one slice. Durable
+// blocks are served from the decoded LRU cache when possible, cold blocks
+// of range-decoding codecs decode only the overlap, and blocks whose
+// compression is still in flight are waited for, so the result always
+// reflects the compressed reconstruction.
 func (db *DB) Query(name string, from, to int) ([]float64, error) {
-	sh := db.shardFor(name)
-	sh.mu.RLock()
-	st := sh.series[name]
-	if st == nil {
-		sh.mu.RUnlock()
-		return nil, fmt.Errorf("%w: %q", ErrUnknownSeries, name)
-	}
-	if from < 0 {
-		from = 0
-	}
-	if to > st.total {
-		to = st.total
-	}
-	if from >= to {
-		sh.mu.RUnlock()
-		return nil, nil
-	}
-	// Snapshot the overlapping segments under the read lock, then resolve
-	// them (disk reads, cache lookups, waits on in-flight blocks) without
-	// holding it.
-	type segment struct {
-		meta    blockMeta
-		pending *pendingBlock // non-nil for blocks still compressing
-	}
-	var segs []segment
-	for _, b := range st.blocks {
-		if b.start+b.n > from && b.start < to {
-			segs = append(segs, segment{meta: b})
-		}
-	}
-	for _, pb := range st.pending {
-		if pb.start+len(pb.raw) > from && pb.start < to {
-			segs = append(segs, segment{meta: blockMeta{start: pb.start, n: len(pb.raw)}, pending: pb})
-		}
-	}
-	tailStart := st.total - len(st.tail)
-	var tailPart []float64
-	if to > tailStart {
-		lo := max(from, tailStart) - tailStart
-		tailPart = append(tailPart, st.tail[lo:to-tailStart]...)
-	}
-	sh.mu.RUnlock()
-
-	sort.Slice(segs, func(i, j int) bool { return segs[i].meta.start < segs[j].meta.start })
-	out := make([]float64, 0, to-from)
-	for _, s := range segs {
-		var dense []float64
-		if s.pending != nil {
-			<-s.pending.done
-			if s.pending.err == nil {
-				dense = s.pending.recon
-			} else if meta, repaired := db.durableBlockAt(sh, name, s.meta.start); repaired {
-				// A Flush repaired the failed block after our snapshot; the
-				// data is durable, so serve it instead of the stale error.
-				var err error
-				dense, err = db.readBlock(sh.cache, meta)
-				if err != nil {
-					return nil, err
-				}
-			} else {
-				return nil, fmt.Errorf("tsdb: block at %d: %w", s.meta.start, s.pending.err)
-			}
-		} else {
-			var err error
-			dense, err = db.readBlock(sh.cache, s.meta)
-			if err != nil {
-				return nil, err
-			}
-		}
-		lo := max(from, s.meta.start) - s.meta.start
-		hi := min(to, s.meta.start+s.meta.n) - s.meta.start
-		out = append(out, dense[lo:hi]...)
-	}
-	out = append(out, tailPart...)
-	return out, nil
+	return db.QueryInto(name, from, to, nil)
 }
 
 // durableBlockAt looks up the durable block starting at start, if the
@@ -738,30 +669,50 @@ func (db *DB) readFilePooled(path string) (data []byte, release func(), err erro
 	return buf, func() { db.readBufs.Put(&buf) }, nil
 }
 
+// codecFor resolves the codec that decodes a block: the store's own codec
+// when the IDs match, else the registry entry for the header's ID (the
+// block was written under a different codec — the store was reopened with
+// a new Options.Codec, or predates it).
+func (db *DB) codecFor(meta blockMeta) (codec.Codec, error) {
+	if c := db.opt.Codec; c.ID() == meta.codecID {
+		return c, nil
+	}
+	return codec.ByID(meta.codecID)
+}
+
+// openBlockPayload is the shared preamble of every cold-block read: it
+// reads the block file into a pooled buffer and returns the codec payload
+// past the header. The caller must invoke release once the payload is no
+// longer referenced (codecs decode into fresh or caller-owned buffers, so
+// releasing after decode is safe).
+func (db *DB) openBlockPayload(meta blockMeta) (payload []byte, release func(), err error) {
+	data, release, err := db.readFilePooled(meta.path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(data) < meta.hdrOff {
+		release()
+		return nil, nil, fmt.Errorf("tsdb: block %s: truncated since open", meta.path)
+	}
+	return data[meta.hdrOff:], release, nil
+}
+
 // readBlock returns the decoded reconstruction of a durable block, serving
 // it from the owning shard's LRU cache when present. Cold misses for the
 // same block are single-flighted through the cache: one goroutine reads
 // and decodes, concurrent queries wait for its result.
 func (db *DB) readBlock(cache *blockCache, meta blockMeta) ([]float64, error) {
 	return cache.getOrFill(meta.path, func() ([]float64, error) {
-		data, release, err := db.readFilePooled(meta.path)
+		c, err := db.codecFor(meta)
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: block %s: %w", meta.path, err)
+		}
+		payload, release, err := db.openBlockPayload(meta)
 		if err != nil {
 			return nil, err
 		}
 		defer release()
-		if len(data) < meta.hdrOff {
-			return nil, fmt.Errorf("tsdb: block %s: truncated since open", meta.path)
-		}
-		c := db.opt.Codec
-		if c.ID() != meta.codecID {
-			// The block was written under a different codec (the store was
-			// reopened with a new Options.Codec, or predates it); its header
-			// names the decoder.
-			if c, err = codec.ByID(meta.codecID); err != nil {
-				return nil, fmt.Errorf("tsdb: block %s: %w", meta.path, err)
-			}
-		}
-		dense, err := c.Decode(data[meta.hdrOff:], meta.n)
+		dense, err := c.Decode(payload, meta.n)
 		if err != nil {
 			return nil, fmt.Errorf("tsdb: block %s: %w", meta.path, err)
 		}
@@ -806,6 +757,8 @@ type DBStats struct {
 	CacheHits     uint64 // decoded-block cache hits, summed across shard caches
 	CacheMisses   uint64 // decoded-block cache misses (single-flight leaders), summed
 	CacheWaits    uint64 // cold queries that waited on another query's in-flight decode instead of redundantly loading (single-flight followers)
+	RangeDecodes  uint64 // cold partial-range decodes pushed down to the codec (no full-block reconstruction)
+	AggPushdowns  uint64 // blocks answered by QueryAgg straight from the compressed form (no samples materialized)
 	Queued        int    // compressions waiting in the worker queue
 	Inflight      int    // compressions currently executing
 }
@@ -816,6 +769,8 @@ func (db *DB) Stats() DBStats {
 	s := DBStats{
 		BlocksWritten: db.blocksWritten.Load(),
 		BytesWritten:  db.bytesWritten.Load(),
+		RangeDecodes:  db.rangeDecodes.Load(),
+		AggPushdowns:  db.aggPushdowns.Load(),
 	}
 	for _, sh := range db.shards {
 		sh.mu.RLock()
@@ -850,7 +805,9 @@ func (db *DB) cacheLen() int {
 	return n
 }
 
-// Series lists the stored series names, sorted.
+// Series lists the stored series names in lexicographically sorted order.
+// The ordering is a documented guarantee (the facade re-states it), so
+// callers may binary-search or diff successive listings.
 func (db *DB) Series() []string {
 	var names []string
 	for _, sh := range db.shards {

@@ -25,7 +25,30 @@ import (
 // ID, sample count), so a store may mix blocks written under different
 // codecs across reopens, and stores written by the pre-header engine
 // remain fully readable (their headerless blocks decode as CAMEO).
+//
+// The read path is a streaming cursor architecture with pushdown:
+//
+//   - Query(name, from, to) materializes a range as one slice (a thin
+//     wrapper that collects a cursor); QueryInto appends into a caller
+//     buffer instead, amortizing the allocation across queries.
+//   - Cursor(name, from, to) streams the range chunk by chunk without
+//     materializing it: cache-resident blocks are yielded as sub-slices
+//     with no copy, cold blocks of the segment codecs and CAMEO decode
+//     only the overlapping samples (codec range pushdown), and blocks
+//     still compressing are waited for only when reached.
+//   - QueryAgg(name, from, to, step, f) answers downsampled aggregate
+//     queries (one value per step-sample window, f one of AggMean,
+//     AggSum, AggMax, AggMin): for cold blocks of the segment codecs and
+//     CAMEO the sums/extrema are computed straight from the compressed
+//     segment forms without materializing samples at all.
+//   - Series() returns the stored names in lexicographically sorted
+//     order — a documented guarantee, stable across reopens.
 type Store = tsdb.DB
+
+// StoreCursor streams one query range chunk by chunk (see Store.Cursor):
+// Next yields block-sized read-only chunks valid until the next call,
+// Err reports the first resolution error, Close releases pooled buffers.
+type StoreCursor = tsdb.Cursor
 
 // StoreOptions configures a Store:
 //
@@ -54,8 +77,10 @@ type StoreOptions = tsdb.Options
 type StoreStats = tsdb.Stats
 
 // StoreTotals aggregates engine-level counters — blocks/bytes written,
-// per-shard cache hits/misses/single-flight waits, and the compression
-// queue backlog (see Store.Stats).
+// per-shard cache hits/misses/single-flight waits, read-path pushdowns
+// (RangeDecodes: cold partial decodes that skipped full reconstruction;
+// AggPushdowns: blocks aggregated without materializing samples), and the
+// compression queue backlog (see Store.Stats).
 type StoreTotals = tsdb.DBStats
 
 // ErrUnknownSeries is returned by Store queries for absent series names.

@@ -1,0 +1,192 @@
+package cameo
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestStoreStreamingReadPath exercises the facade's streaming read
+// surface end to end: Cursor chunks reassemble to exactly what Query
+// returns, QueryInto appends into a caller buffer, QueryAgg matches
+// folding the materialized range, Series is sorted, and the pushdown
+// counters surface in StoreTotals.
+func TestStoreStreamingReadPath(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStoreOptions(dir, StoreOptions{
+		Compression: Options{Lags: 24, Epsilon: 0.05},
+		BlockSize:   512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	n := 1500
+	for _, name := range []string{"zeta", "alpha", "mid/way"} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = 5 + 3*math.Sin(2*math.Pi*float64(i)/24) + 0.2*rng.NormFloat64()
+		}
+		if err := store.Append(name, xs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store, err = OpenStore(dir, Options{Lags: 24, Epsilon: 0.05}, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	// Series returns sorted names — a documented facade guarantee.
+	names := store.Series()
+	if !sort.StringsAreSorted(names) || len(names) != 3 {
+		t.Fatalf("Series() = %v, want 3 sorted names", names)
+	}
+
+	want, err := store.Query("alpha", 100, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cur *StoreCursor
+	if cur, err = store.Cursor("alpha", 100, 1200); err != nil {
+		t.Fatal(err)
+	}
+	var streamed []float64
+	for {
+		chunk, ok := cur.Next()
+		if !ok {
+			break
+		}
+		streamed = append(streamed, chunk...)
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	cur.Close()
+	if len(streamed) != len(want) {
+		t.Fatalf("cursor yielded %d samples, Query %d", len(streamed), len(want))
+	}
+	for i := range want {
+		if streamed[i] != want[i] {
+			t.Fatalf("cursor sample %d: %v, want %v", i, streamed[i], want[i])
+		}
+	}
+
+	buf := make([]float64, 0, 2048)
+	into, err := store.QueryInto("alpha", 100, 1200, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &into[0] != &buf[:1][0] {
+		t.Fatal("QueryInto did not reuse the caller's buffer")
+	}
+	for i := range want {
+		if into[i] != want[i] {
+			t.Fatalf("QueryInto sample %d: %v, want %v", i, into[i], want[i])
+		}
+	}
+
+	hourly, err := store.QueryAgg("alpha", 0, n, 60, AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hourly) != n/60 {
+		t.Fatalf("QueryAgg returned %d windows, want %d", len(hourly), n/60)
+	}
+	full, err := store.Query("alpha", 0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := range hourly {
+		ref := AggMean.Apply(full[w*60 : (w+1)*60])
+		if math.Abs(hourly[w]-ref) > 1e-9*(math.Abs(ref)+1) {
+			t.Fatalf("window %d: %v, want %v", w, hourly[w], ref)
+		}
+	}
+
+	totals := store.Stats()
+	if totals.RangeDecodes == 0 {
+		t.Fatalf("StoreTotals.RangeDecodes = 0 after cold partial queries: %+v", totals)
+	}
+	if totals.AggPushdowns == 0 {
+		t.Fatalf("StoreTotals.AggPushdowns = 0 after QueryAgg: %+v", totals)
+	}
+}
+
+// TestDecodeBlockRangeAndAgg exercises the standalone block helpers the
+// CLI's range/aggregate query modes use.
+func TestDecodeBlockRangeAndAgg(t *testing.T) {
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = 2 + float64(i%25)
+	}
+	blk, err := EncodeBlock(CodecSwing(0.001), xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := DecodeBlock(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, hdr, err := DecodeBlockRange(blk, 40, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.N != 300 || len(part) != 50 {
+		t.Fatalf("range decode: N=%d len=%d", hdr.N, len(part))
+	}
+	for i, v := range part {
+		if v != full[40+i] {
+			t.Fatalf("range sample %d: %v, want %v", i, v, full[40+i])
+		}
+	}
+	agg, _, err := DecodeBlockAgg(blk, 40, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := RangeAgg{Min: math.Inf(1), Max: math.Inf(-1)}
+	ref.Add(full[40:90])
+	if agg.Count != 50 || agg.Min != ref.Min || agg.Max != ref.Max {
+		t.Fatalf("agg = %+v, ref %+v", agg, ref)
+	}
+	if math.Abs(agg.Sum-ref.Sum) > 1e-9*(math.Abs(ref.Sum)+1) {
+		t.Fatalf("agg sum %v, want %v", agg.Sum, ref.Sum)
+	}
+	// Clamped and empty ranges.
+	if vals, _, err := DecodeBlockRange(blk, -10, 5); err != nil || len(vals) != 5 {
+		t.Fatalf("clamped range: %d values, %v", len(vals), err)
+	}
+	if vals, _, err := DecodeBlockRange(blk, 200, 100); err != nil || vals != nil {
+		t.Fatalf("empty range: %v, %v", vals, err)
+	}
+
+	// The one-pass windowed form agrees with per-window DecodeBlockAgg.
+	aggs, _, err := DecodeBlockWindowAggs(blk, 10, 300, 70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggs) != 5 { // ceil(290/70)
+		t.Fatalf("windowed aggs: %d windows, want 5", len(aggs))
+	}
+	for i, got := range aggs {
+		lo := 10 + i*70
+		want, _, err := DecodeBlockAgg(blk, lo, min(lo+70, 300))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Count != want.Count || got.Min != want.Min || got.Max != want.Max ||
+			math.Abs(got.Sum-want.Sum) > 1e-9*(math.Abs(want.Sum)+1) {
+			t.Fatalf("window %d: %+v, want %+v", i, got, want)
+		}
+	}
+	if _, _, err := DecodeBlockWindowAggs(blk, 0, 300, 0); err == nil {
+		t.Fatal("windowed aggs accepted step 0")
+	}
+	if aggs, _, err := DecodeBlockWindowAggs(blk, 200, 100, 10); err != nil || aggs != nil {
+		t.Fatalf("empty windowed range: %v, %v", aggs, err)
+	}
+}
