@@ -41,6 +41,17 @@
 // DecodeBlock expose the same framing for standalone files (used by the
 // cameo CLI's -codec flag), and examples/codecs compares ratio, error, and
 // speed of every registered codec on one dataset.
+//
+// # Serving
+//
+// The store can be served over HTTP: NewHandler returns the handler the
+// cameod daemon (cmd/cameod) runs — batched ingest with backpressure,
+// range queries streamed chunk-by-chunk off a cursor, downsampled
+// aggregate queries riding the codec pushdown, and an operational
+// surface (/healthz, /statusz, series listing) — and Serve manages the
+// listen/drain lifecycle around it. See the README's "Serving" section
+// for endpoints, knobs, and curl examples, and examples/server for a
+// concurrent write+query client driving the service end to end.
 package cameo
 
 import (

@@ -2,9 +2,11 @@
 // benchmarks in-process (via testing.Benchmark, with allocation counting
 // always on, as with -benchmem) and writes a machine-readable JSON artifact.
 // CI invokes it on every run and uploads the result, and perf PRs commit a
-// before/after snapshot (BENCH_PR3.json, BENCH_PR4.json) so the performance
-// trajectory of the hot paths — impact evaluation, block compression, store
-// ingest, materializing and streaming queries, aggregate pushdown — is
+// before/after snapshot (BENCH_PR3.json through BENCH_PR5.json) so the
+// performance trajectory of the hot paths — impact evaluation, block
+// compression, store ingest, materializing and streaming queries, aggregate
+// pushdown, and the HTTP serving path (server/ingest-*, server/query-*,
+// measured with concurrent clients against an httptest server) — is
 // tracked from PR 3 onward.
 //
 // Usage:
@@ -19,11 +21,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"regexp"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -168,7 +175,168 @@ func benchmarks() []struct {
 		{"store/agg-fallback-cold", func(b *testing.B) {
 			benchStoreAgg(b, cameo.CodecGorilla()) // bit-stream codec: dense fold
 		}},
+		{"server/ingest-lines", func(b *testing.B) {
+			benchServerIngest(b, false)
+		}},
+		{"server/ingest-json", func(b *testing.B) {
+			benchServerIngest(b, true)
+		}},
+		{"server/query-stream-cached", func(b *testing.B) {
+			benchServerQuery(b, 256, 512)
+		}},
+		{"server/query-stream-cold-512", func(b *testing.B) {
+			benchServerQuery(b, -1, 512)
+		}},
+		{"server/query-stream-cold-4k", func(b *testing.B) {
+			// 8x the range of cold-512: B/op must grow far less than 8x —
+			// the handler streams O(chunk), not O(range).
+			benchServerQuery(b, -1, 4096)
+		}},
+		{"server/query-agg-cold", func(b *testing.B) {
+			benchServerAgg(b)
+		}},
 	}
+}
+
+// benchHTTPServer fronts a freshly filled store with an httptest server
+// for the serving-path benchmarks: nSeries of perSeries samples each when
+// prefilled, an empty store otherwise.
+func benchHTTPServer(b *testing.B, cacheBlocks, nSeries, perSeries int) (*cameo.Store, *httptest.Server) {
+	store, err := cameo.OpenStoreOptions(b.TempDir(), storeOptions(16, 0, cacheBlocks))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for s := 0; s < nSeries; s++ {
+		if err := store.Append(fmt.Sprintf("series-%02d", s), benchSeries(perSeries, 48, 0.5)...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if nSeries > 0 {
+		if err := store.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(cameo.NewHandler(store, cameo.ServerOptions{}))
+	b.Cleanup(func() {
+		srv.Close()
+		if err := store.Close(); err != nil {
+			b.Error(err)
+		}
+	})
+	return store, srv
+}
+
+// benchServerIngest measures concurrent HTTP clients pushing 512-sample
+// batches through POST /api/v1/write (newline or JSON form); throughput
+// is raw sample bytes, as in store/append-*.
+func benchServerIngest(b *testing.B, jsonForm bool) {
+	_, srv := benchHTTPServer(b, -1, 0, 0)
+	chunk := benchSeries(512, 48, 0.5)
+	var id atomic.Int64
+	b.SetBytes(int64(len(chunk) * 8))
+	b.ReportAllocs()
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		name := fmt.Sprintf("series-%02d", id.Add(1))
+		var sb strings.Builder
+		ct := "text/plain"
+		if jsonForm {
+			ct = "application/json"
+			sb.WriteString(`{"series":[{"name":"` + name + `","values":[`)
+			for i, v := range chunk {
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			}
+			sb.WriteString(`]}]}`)
+		} else {
+			for _, v := range chunk {
+				sb.WriteString(name)
+				sb.WriteByte(' ')
+				sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+				sb.WriteByte('\n')
+			}
+		}
+		body := sb.String()
+		for pb.Next() {
+			resp, err := http.Post(srv.URL+"/api/v1/write", ct, strings.NewReader(body))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("write: status %d", resp.StatusCode)
+				return
+			}
+		}
+	})
+}
+
+// benchServerQuery measures concurrent clients streaming rangeLen-sample
+// NDJSON responses off GET /api/v1/query. The handler walks a cursor and
+// encodes chunk by chunk, so per-request server allocations stay O(chunk)
+// even when rangeLen spans multiple blocks (compare cold-512 vs cold-4k).
+func benchServerQuery(b *testing.B, cacheBlocks, rangeLen int) {
+	const nSeries, perSeries = 8, 8192
+	_, srv := benchHTTPServer(b, cacheBlocks, nSeries, perSeries)
+	var seed atomic.Int64
+	b.SetBytes(int64(rangeLen * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		for pb.Next() {
+			s := rng.Intn(nSeries)
+			from := rng.Intn(perSeries - rangeLen)
+			resp, err := http.Get(fmt.Sprintf("%s/api/v1/query?series=series-%02d&from=%d&to=%d",
+				srv.URL, s, from, from+rangeLen))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			n, _ := io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || n == 0 {
+				b.Errorf("query: status %d, %d bytes", resp.StatusCode, n)
+				return
+			}
+		}
+	})
+}
+
+// benchServerAgg measures dashboard-style downsampling over HTTP: each
+// request maps onto QueryAgg (64-sample windows over a 4096-sample
+// range), riding the codec pushdown on the cold CAMEO store.
+func benchServerAgg(b *testing.B) {
+	const nSeries, perSeries = 8, 8192
+	_, srv := benchHTTPServer(b, -1, nSeries, perSeries)
+	var seed atomic.Int64
+	b.SetBytes(4096 * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		for pb.Next() {
+			s := rng.Intn(nSeries)
+			from := rng.Intn(perSeries - 4096)
+			resp, err := http.Get(fmt.Sprintf("%s/api/v1/query_agg?series=series-%02d&from=%d&to=%d&step=64",
+				srv.URL, s, from, from+4096))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			n, _ := io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || n == 0 {
+				b.Errorf("query_agg: status %d, %d bytes", resp.StatusCode, n)
+				return
+			}
+		}
+	})
 }
 
 func storeOptions(shards, workers, cacheBlocks int) cameo.StoreOptions {
@@ -350,7 +518,7 @@ func benchStoreAgg(b *testing.B, c cameo.Codec) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR4.json", "output file (- for stdout)")
+	out := flag.String("out", "BENCH_PR5.json", "output file (- for stdout)")
 	label := flag.String("label", "current", "label recorded in the artifact")
 	benchtime := flag.String("benchtime", "1s", "per-benchmark duration or iteration count (Nx)")
 	benchFilter := flag.String("bench", "", "run only benchmarks whose name matches this regexp")

@@ -1,0 +1,130 @@
+// Command cameod serves a CAMEO store over HTTP: a standalone time-series
+// daemon with batched ingest, streaming range queries, and downsampled
+// aggregate queries riding the store's codec pushdown.
+//
+//	cameod -addr :9090 -dir ./data -codec cameo -lags 24 -eps 0.01
+//
+// Endpoints (see the README's Serving section for curl examples):
+//
+//	POST /api/v1/write      "series value" / "series ts value" lines, or
+//	                        a JSON {"series":[{"name":...,"values":[...]}]}
+//	                        batch; points are grouped per series so one
+//	                        request costs one Append per series
+//	GET  /api/v1/query      ?series=&from=&to=&format=ndjson|csv — the
+//	                        range streams chunk-by-chunk off a cursor
+//	GET  /api/v1/query_agg  ?series=&from=&to=&step=&aggfn= — one value
+//	                        per step-sample window
+//	GET  /api/v1/series     sorted series listing
+//	GET  /healthz, /statusz liveness and engine/server counters
+//
+// Ingest is bounded two ways: -max-request-bytes caps one body (413
+// beyond) and -max-inflight-bytes caps the bytes of all write requests
+// in flight at once (429 + Retry-After beyond — backpressure, not OOM).
+//
+// On SIGINT/SIGTERM the daemon drains in-flight requests (bounded by
+// -drain-timeout), then flushes and closes the store, so acknowledged
+// writes are durable before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	cameo "repro"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":9090", "listen address")
+		dir      = flag.String("dir", "cameod-data", "store directory (created if absent)")
+		codec    = flag.String("codec", "cameo", "block codec for new blocks ("+strings.Join(cameo.CodecNames(), ", ")+")")
+		lags     = flag.Int("lags", 24, "ACF lags the cameo codec preserves")
+		eps      = flag.Float64("eps", 0.01, "max ACF deviation for the cameo codec")
+		block    = flag.Int("block", 4096, "samples per compressed block")
+		shards   = flag.Int("shards", 0, "series lock domains (0 = default 16)")
+		workers  = flag.Int("workers", 0, "compression workers (0 = GOMAXPROCS, negative = synchronous)")
+		cache    = flag.Int("cache", 0, "decoded-block cache capacity in blocks (0 = default 128, negative = off)")
+		maxReq   = flag.Int64("max-request-bytes", 0, "per-request body cap in bytes (0 = default 8 MiB)")
+		maxInfl  = flag.Int64("max-inflight-bytes", 0, "total in-flight ingest bytes before 429 (0 = default 64 MiB)")
+		ingestTO = flag.Duration("ingest-timeout", 0, "write body read bound, keeps slow uploads from pinning the ingest budget (0 = default 1m)")
+		readHdr  = flag.Duration("read-header-timeout", 10*time.Second, "request header read timeout")
+		idle     = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle timeout")
+		drain    = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain bound")
+	)
+	flag.Parse()
+
+	storeOpt, err := buildStoreOptions(*codec, *lags, *eps, *block, *shards, *workers, *cache)
+	if err != nil {
+		log.Fatalf("cameod: %v", err)
+	}
+	store, err := cameo.OpenStoreOptions(*dir, storeOpt)
+	if err != nil {
+		log.Fatalf("cameod: opening store %q: %v", *dir, err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("cameod: serving store %q (codec %s, block %d) on %s", *dir, *codec, *block, *addr)
+	err = cameo.Serve(ctx, *addr, store, cameo.ServerOptions{
+		MaxRequestBytes:        *maxReq,
+		MaxInflightIngestBytes: *maxInfl,
+		IngestTimeout:          *ingestTO,
+		ReadHeaderTimeout:      *readHdr,
+		IdleTimeout:            *idle,
+		DrainTimeout:           *drain,
+	})
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		// Still flush+close — acknowledged writes must not ride on a clean
+		// drain — and surface a close failure rather than masking it with
+		// the serve error alone.
+		if cerr := store.Close(); cerr != nil {
+			log.Printf("cameod: closing store: %v", cerr)
+		}
+		log.Fatalf("cameod: %v", err)
+	}
+
+	// Drained; make every acknowledged write durable, snapshot the final
+	// counters (a closed DB must not be used), then close.
+	log.Printf("cameod: draining done, flushing store")
+	if err := store.Flush(); err != nil {
+		log.Fatalf("cameod: flushing store: %v", err)
+	}
+	t := store.Stats()
+	if err := store.Close(); err != nil {
+		log.Fatalf("cameod: closing store: %v", err)
+	}
+	log.Printf("cameod: shut down cleanly (%d series, %d samples, %d B durable)",
+		t.Series, t.Samples, t.DiskBytes)
+}
+
+// buildStoreOptions maps the daemon flags onto StoreOptions: the cameo
+// codec takes its compression knobs from -lags/-eps, every other codec
+// uses its registry defaults (nil Codec selects cameo so that path keeps
+// the store's own option validation).
+func buildStoreOptions(codecName string, lags int, eps float64, block, shards, workers, cache int) (cameo.StoreOptions, error) {
+	opt := cameo.StoreOptions{
+		Compression: cameo.Options{Lags: lags, Epsilon: eps},
+		BlockSize:   block,
+		Shards:      shards,
+		Workers:     workers,
+		CacheBlocks: cache,
+	}
+	if codecName != "cameo" {
+		c, err := cameo.CodecByName(codecName)
+		if err != nil {
+			return cameo.StoreOptions{}, fmt.Errorf("%w (have: %s)", err, strings.Join(cameo.CodecNames(), ", "))
+		}
+		opt.Codec = c
+	}
+	return opt, nil
+}

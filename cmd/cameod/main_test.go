@@ -1,0 +1,44 @@
+package main
+
+import (
+	"testing"
+
+	cameo "repro"
+)
+
+// TestBuildStoreOptions pins the flag→StoreOptions mapping: cameo rides
+// the -lags/-eps knobs through the nil-Codec default path, other codecs
+// resolve from the registry, and unknown names fail with the available
+// set in the message.
+func TestBuildStoreOptions(t *testing.T) {
+	opt, err := buildStoreOptions("cameo", 24, 0.01, 4096, 4, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Codec != nil {
+		t.Fatalf("cameo should use the store's default codec path, got %v", opt.Codec)
+	}
+	if opt.Compression.Lags != 24 || opt.Compression.Epsilon != 0.01 || opt.BlockSize != 4096 {
+		t.Fatalf("compression knobs not mapped: %+v", opt)
+	}
+
+	opt, err = buildStoreOptions("gorilla", 24, 0.01, 1024, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Codec == nil || opt.Codec.Name() != "gorilla" {
+		t.Fatalf("gorilla codec not resolved: %+v", opt.Codec)
+	}
+
+	if _, err := buildStoreOptions("zstd", 24, 0.01, 1024, 0, 0, 0); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+
+	// The mapped options must actually open a store (catches knob combos
+	// the engine rejects).
+	store, err := cameo.OpenStoreOptions(t.TempDir(), opt)
+	if err != nil {
+		t.Fatalf("mapped options do not open a store: %v", err)
+	}
+	store.Close()
+}

@@ -1,0 +1,210 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/tsdb"
+)
+
+// getBody / postBody are error-returning client helpers safe to call from
+// non-test goroutines (t.Fatal is not).
+func getBody(url string) (int, string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(data), err
+}
+
+func postBody(url, contentType, body string) (int, string, error) {
+	resp, err := http.Post(url, contentType, strings.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(data), err
+}
+
+// TestConcurrentIngestAndStreamingQueries is the serving-path stress test
+// (run under -race by CI): N writer clients push batches over HTTP while
+// M reader clients stream overlapping NDJSON queries and aggregate
+// queries from the same httptest server. Afterwards every series' full
+// HTTP response must be bit-identical to a direct Store.Query.
+func TestConcurrentIngestAndStreamingQueries(t *testing.T) {
+	db, err := tsdb.Open(t.TempDir(), testDBOptions(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	srv := httptest.NewServer(NewHandler(db, Options{}))
+	defer srv.Close()
+
+	const (
+		writers   = 4
+		readers   = 3
+		batches   = 12
+		batchSize = 150
+	)
+	seriesName := func(w int) string { return fmt.Sprintf("load/w%d", w) }
+	escaped := func(w int) string { return "load%2Fw" + strconv.Itoa(w) }
+
+	// Seed every series so readers never race the first batch.
+	data := make([][]float64, writers)
+	for w := range writers {
+		data[w] = sensorData(batches*batchSize, int64(100+w))
+		if err := db.Append(seriesName(w), data[w][:batchSize]...); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var writerWG, readerWG sync.WaitGroup
+	var done atomic.Bool
+	errc := make(chan error, writers+readers)
+	for w := range writers {
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for b := 1; b < batches; b++ {
+				chunk := data[w][b*batchSize : (b+1)*batchSize]
+				var body strings.Builder
+				ct := "text/plain"
+				if b%2 == 0 { // alternate the two write forms
+					ct = "application/json"
+					body.WriteString(`{"series":[{"name":"` + seriesName(w) + `","values":[`)
+					for i, v := range chunk {
+						if i > 0 {
+							body.WriteByte(',')
+						}
+						body.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+					}
+					body.WriteString(`]}]}`)
+				} else {
+					for _, v := range chunk {
+						body.WriteString(seriesName(w))
+						body.WriteByte(' ')
+						body.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+						body.WriteByte('\n')
+					}
+				}
+				st, resp, err := postBody(srv.URL+"/api/v1/write", ct, body.String())
+				if err != nil || st != http.StatusOK {
+					errc <- fmt.Errorf("writer %d batch %d: status %d, %v, %s", w, b, st, err, resp)
+					return
+				}
+			}
+		}()
+	}
+	for r := range readers {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for i := 0; !done.Load(); i++ {
+				w := (r + i) % writers
+				from := (i % 5) * 37
+				st, body, err := getBody(fmt.Sprintf("%s/api/v1/query?series=%s&from=%d", srv.URL, escaped(w), from))
+				if err != nil || st != http.StatusOK {
+					errc <- fmt.Errorf("reader %d: query status %d, %v: %s", r, st, err, body)
+					return
+				}
+				if _, err := parseNDJSONBody(body, from); err != nil {
+					errc <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+				st, body, err = getBody(fmt.Sprintf("%s/api/v1/query_agg?series=%s&step=48", srv.URL, escaped(w)))
+				if err != nil || st != http.StatusOK {
+					errc <- fmt.Errorf("reader %d: query_agg status %d, %v: %s", r, st, err, body)
+					return
+				}
+			}
+		}()
+	}
+	writerWG.Wait()
+	done.Store(true)
+	readerWG.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	// Settle and verify: the HTTP view of every series is bit-identical
+	// to the direct store view, and nothing was lost under concurrency.
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for w := range writers {
+		want, err := db.Query(seriesName(w), 0, batches*batchSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) != batches*batchSize {
+			t.Fatalf("series %d: %d samples in store, want %d", w, len(want), batches*batchSize)
+		}
+		st, body := httpGet(t, srv.URL+"/api/v1/query?series="+escaped(w))
+		if st != http.StatusOK {
+			t.Fatalf("final query w%d: %d", w, st)
+		}
+		sameBits(t, fmt.Sprintf("final series w%d", w), parseNDJSON(t, body, 0), want)
+	}
+}
+
+// TestServeGracefulShutdown exercises the daemon lifecycle at the
+// listener level: Serve answers requests until its context is canceled,
+// drains, and returns; afterwards the port no longer accepts work and the
+// store is still the caller's to flush.
+func TestServeGracefulShutdown(t *testing.T) {
+	db, err := tsdb.Open(t.TempDir(), testDBOptions(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- serveListener(ctx, ln, db, Options{DrainTimeout: 5 * time.Second}) }()
+	base := "http://" + ln.Addr().String()
+
+	if st, resp, _ := httpPost(t, base+"/api/v1/write", "text/plain", "s 1\ns 2\ns 3\n"); st != http.StatusOK {
+		t.Fatalf("write before shutdown: %d %s", st, resp)
+	}
+	if st, _ := httpGet(t, base+"/healthz"); st != http.StatusOK {
+		t.Fatalf("healthz: %d", st)
+	}
+
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after cancel")
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+	// The store remains usable (and flushable) by its owner.
+	if got, err := db.Query("s", 0, 3); err != nil || len(got) != 3 {
+		t.Fatalf("store after shutdown: %v, %v", got, err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}

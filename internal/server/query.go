@@ -1,0 +1,268 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"repro/internal/series"
+)
+
+// queryEnd is the default for an omitted "to" parameter: far past any
+// series, so the store's clamp reads to the series end.
+const queryEnd = math.MaxInt / 2
+
+// intParam parses an optional integer query parameter.
+func intParam(q url.Values, key string, def int) (int, error) {
+	s := q.Get(key)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: invalid integer %q", key, s)
+	}
+	return v, nil
+}
+
+// parseAggFunc maps the aggfn parameter onto the shared aggregation enum.
+func parseAggFunc(name string) (series.AggFunc, error) {
+	switch name {
+	case "", "mean":
+		return series.AggMean, nil
+	case "sum":
+		return series.AggSum, nil
+	case "max":
+		return series.AggMax, nil
+	case "min":
+		return series.AggMin, nil
+	}
+	return 0, fmt.Errorf("parameter \"aggfn\": unknown aggregate %q (want mean, sum, max, min)", name)
+}
+
+// rangeParams validates the parameters shared by the query endpoints.
+// Validation happens here, at the API boundary, so a malformed request is
+// answered 400 with a parameter-level message before touching the store —
+// and the store's own checks (ErrInvalidRange, step/aggfn validation in
+// QueryAgg) remain as the second line behind it.
+func rangeParams(q url.Values) (name string, from, to int, err error) {
+	name = q.Get("series")
+	if name == "" {
+		return "", 0, 0, fmt.Errorf("parameter \"series\" is required")
+	}
+	if from, err = intParam(q, "from", 0); err != nil {
+		return "", 0, 0, err
+	}
+	if to, err = intParam(q, "to", queryEnd); err != nil {
+		return "", 0, 0, err
+	}
+	if from > to {
+		return "", 0, 0, fmt.Errorf("invalid range: from %d > to %d", from, to)
+	}
+	return name, from, to, nil
+}
+
+// appendJSONFloat appends v in the shortest decimal form that parses back
+// to the identical float64 — responses round-trip bit-for-bit. JSON has
+// no literal for non-finite values, so those encode as the strings "NaN",
+// "+Inf", "-Inf" (strconv.ParseFloat accepts all three spellings back).
+func appendJSONFloat(b []byte, v float64) []byte {
+	if math.IsNaN(v) {
+		return append(b, `"NaN"`...)
+	}
+	if math.IsInf(v, 1) {
+		return append(b, `"+Inf"`...)
+	}
+	if math.IsInf(v, -1) {
+		return append(b, `"-Inf"`...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// handleQuery streams the raw reconstruction of one range straight off a
+// store cursor: each cursor chunk (at most one block) is encoded and
+// flushed before the next is resolved, so the response is O(chunk) in
+// server memory regardless of the range length, and cache-resident blocks
+// stream without being copied at all.
+//
+// Formats (format=ndjson, the default, or format=csv):
+//
+//	ndjson: {"start":<abs index>,"values":[v,...]} per chunk
+//	csv:    "index,value" header, then one sample per row
+//
+// Floats are encoded in shortest round-trip form, so a client parsing the
+// response recovers bit-identical float64s to a direct Store.Query. An
+// error after streaming began cannot change the status code anymore; it
+// terminates the body with an {"error":...} line (ndjson) or an
+// "# error: ..." comment row (csv).
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.queryRequests.Add(1)
+	q := r.URL.Query()
+	name, from, to, err := rangeParams(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	format := q.Get("format")
+	if format == "" {
+		format = "ndjson"
+	}
+	if format != "ndjson" && format != "csv" {
+		http.Error(w, fmt.Sprintf("parameter \"format\": want ndjson or csv, got %q", format), http.StatusBadRequest)
+		return
+	}
+	cur, err := s.db.Cursor(name, from, to)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	defer cur.Close()
+
+	if format == "csv" {
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	bw := bufio.NewWriterSize(w, 32<<10)
+	flusher, _ := w.(http.Flusher)
+	pos := max(from, 0) // absolute index of the next sample the cursor yields
+	flushed := false    // whether any bytes (and so the 200 status) reached the client
+	var line []byte
+	if format == "csv" {
+		bw.WriteString("index,value\n")
+	}
+	for {
+		chunk, ok := cur.Next()
+		if !ok {
+			break
+		}
+		line = line[:0]
+		if format == "csv" {
+			for i, v := range chunk {
+				line = strconv.AppendInt(line, int64(pos+i), 10)
+				line = append(line, ',')
+				line = strconv.AppendFloat(line, v, 'g', -1, 64)
+				line = append(line, '\n')
+			}
+		} else {
+			line = append(line, `{"start":`...)
+			line = strconv.AppendInt(line, int64(pos), 10)
+			line = append(line, `,"values":[`...)
+			for i, v := range chunk {
+				if i > 0 {
+					line = append(line, ',')
+				}
+				line = appendJSONFloat(line, v)
+			}
+			line = append(line, "]}\n"...)
+		}
+		if _, err := bw.Write(line); err != nil {
+			return // client went away; nothing left to tell it
+		}
+		pos += len(chunk)
+		// Hand the chunk to the client before resolving the next block, so
+		// slow storage never stalls bytes already decoded.
+		if bw.Flush() != nil {
+			return
+		}
+		flushed = true
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if err := cur.Err(); err != nil {
+		if !flushed {
+			// Nothing has reached the client yet (at most an unflushed CSV
+			// header sits in bw), so the status code is still ours to set:
+			// report the failure properly instead of a 200 with an error
+			// body.
+			httpError(w, err)
+			return
+		}
+		// Too late for a status code; poison the body instead of letting a
+		// truncated response read as a complete one.
+		if format == "csv" {
+			fmt.Fprintf(bw, "# error: %v\n", err)
+		} else {
+			msg, _ := json.Marshal(err.Error())
+			fmt.Fprintf(bw, "{\"error\":%s}\n", msg)
+		}
+	}
+	bw.Flush()
+}
+
+// handleQueryAgg answers downsampled aggregate queries by mapping
+// step/aggfn straight onto Store.QueryAgg, so cold blocks of the segment
+// codecs and CAMEO aggregate via codec pushdown without materializing
+// samples. The result is one value per step-sample window — already tiny
+// — so unlike /query it is returned as a single JSON document.
+func (s *Server) handleQueryAgg(w http.ResponseWriter, r *http.Request) {
+	s.aggRequests.Add(1)
+	q := r.URL.Query()
+	name, from, to, err := rangeParams(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if q.Get("step") == "" {
+		http.Error(w, "parameter \"step\" is required", http.StatusBadRequest)
+		return
+	}
+	step, err := intParam(q, "step", 0)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if step < 1 {
+		http.Error(w, fmt.Sprintf("parameter \"step\": must be at least 1, got %d", step), http.StatusBadRequest)
+		return
+	}
+	f, err := parseAggFunc(q.Get("aggfn"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	vals, err := s.db.QueryAgg(name, from, to, step, f)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// Hand-encode the float array so values keep their shortest
+	// round-trip form (and non-finite aggregates of non-finite data do
+	// not abort the marshal).
+	nameJSON, _ := json.Marshal(name)
+	body := make([]byte, 0, 64+16*len(vals))
+	body = append(body, `{"series":`...)
+	body = append(body, nameJSON...)
+	body = append(body, `,"step":`...)
+	body = strconv.AppendInt(body, int64(step), 10)
+	body = append(body, `,"aggfn":"`...)
+	body = append(body, aggName(f)...)
+	body = append(body, `","values":[`...)
+	for i, v := range vals {
+		if i > 0 {
+			body = append(body, ',')
+		}
+		body = appendJSONFloat(body, v)
+	}
+	body = append(body, "]}\n"...)
+	w.Write(body)
+}
+
+func aggName(f series.AggFunc) string {
+	switch f {
+	case series.AggSum:
+		return "sum"
+	case series.AggMax:
+		return "max"
+	case series.AggMin:
+		return "min"
+	default:
+		return "mean"
+	}
+}

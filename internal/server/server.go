@@ -1,0 +1,234 @@
+// Package server exposes a tsdb.DB over HTTP: a concurrent
+// ingest/query service with the same contract as the embedded store.
+//
+// The surface is deliberately small and streaming-first:
+//
+//	POST /api/v1/write      batched ingest (newline text or JSON batch)
+//	GET  /api/v1/query      raw range, streamed as NDJSON or CSV chunks
+//	GET  /api/v1/query_agg  downsampled windows via QueryAgg pushdown
+//	GET  /api/v1/series     sorted series listing
+//	GET  /healthz           liveness probe
+//	GET  /statusz           engine + server counters as JSON
+//
+// Ingest groups points per series and issues one DB.Append per series per
+// request, so a 10k-point batch costs a handful of Append calls, not 10k.
+// Two admission controls bound memory instead of letting a burst OOM the
+// process: each request body is capped at Options.MaxRequestBytes (413
+// beyond it), and the total bytes of ingest requests being buffered at
+// once is capped at Options.MaxInflightIngestBytes — excess writers get
+// 429 with a Retry-After hint, which is the backpressure signal.
+//
+// Queries never materialize the requested range server-side: the handler
+// walks a tsdb.Cursor and encodes chunk by chunk into the response, so a
+// million-sample scan holds one block's worth of samples in memory, and
+// cache-resident blocks stream without even that copy. Aggregate queries
+// map straight onto QueryAgg, riding the codec pushdown for cold blocks.
+//
+// Store errors map onto statuses: tsdb.ErrBadSeriesName and
+// tsdb.ErrInvalidRange are the caller's fault (400), tsdb.ErrUnknownSeries
+// is 404, an overlong body is 413, and anything else is a 500. Hostile
+// series names ("", ".", "..", their escaped spellings) are rejected by
+// the store's own validation before any filesystem path is formed.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/tsdb"
+)
+
+// Options configures the HTTP layer. The zero value picks every default.
+type Options struct {
+	// MaxRequestBytes caps one request body (default 8 MiB). Larger
+	// ingest batches are refused with 413; split them client-side.
+	MaxRequestBytes int64
+	// MaxInflightIngestBytes caps the total request-body bytes of all
+	// ingest requests being processed at once (default 64 MiB). Beyond
+	// it new writes receive 429 + Retry-After instead of buffering
+	// without bound — backpressure, not OOM. Requests without a
+	// Content-Length reserve MaxRequestBytes.
+	MaxInflightIngestBytes int64
+	// IngestTimeout bounds reading one write request's body (default
+	// 1m; negative disables). A write holds its in-flight reservation
+	// while its body uploads, so without this bound slow-trickling
+	// clients could pin the whole ingest budget and starve legitimate
+	// writers; a client exceeding it gets 408.
+	IngestTimeout time.Duration
+	// ReadHeaderTimeout bounds how long a connection may take to send
+	// its request header (default 10s; used by Serve, not NewHandler).
+	ReadHeaderTimeout time.Duration
+	// IdleTimeout closes keep-alive connections idle this long (default
+	// 2m; used by Serve).
+	IdleTimeout time.Duration
+	// DrainTimeout bounds the graceful-shutdown drain of in-flight
+	// requests once Serve's context is canceled (default 15s).
+	DrainTimeout time.Duration
+}
+
+func (o *Options) withDefaults() {
+	if o.MaxRequestBytes <= 0 {
+		o.MaxRequestBytes = 8 << 20
+	}
+	if o.MaxInflightIngestBytes <= 0 {
+		o.MaxInflightIngestBytes = 64 << 20
+	}
+	if o.IngestTimeout == 0 {
+		o.IngestTimeout = time.Minute
+	}
+	if o.ReadHeaderTimeout <= 0 {
+		o.ReadHeaderTimeout = 10 * time.Second
+	}
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = 2 * time.Minute
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 15 * time.Second
+	}
+}
+
+// Server is the handler state behind NewHandler: the store, the admission
+// accounting, and the request counters /statusz reports.
+type Server struct {
+	db  *tsdb.DB
+	opt Options
+	mux *http.ServeMux
+
+	inflightIngest atomic.Int64 // reserved ingest body bytes currently in flight
+
+	writeRequests  atomic.Uint64
+	pointsIngested atomic.Uint64
+	queryRequests  atomic.Uint64
+	aggRequests    atomic.Uint64
+	throttled      atomic.Uint64 // writes refused with 429 by the in-flight cap
+}
+
+// NewHandler builds the HTTP handler for a store. The store stays owned
+// by the caller (the handler never closes it), so embedders can mount the
+// returned handler in their own mux next to their other routes.
+func NewHandler(db *tsdb.DB, opt Options) http.Handler {
+	opt.withDefaults()
+	s := &Server{db: db, opt: opt, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /api/v1/write", s.handleWrite)
+	s.mux.HandleFunc("GET /api/v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /api/v1/query_agg", s.handleQueryAgg)
+	s.mux.HandleFunc("GET /api/v1/series", s.handleSeries)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// httpError maps a store error onto its HTTP status: invalid input is the
+// caller's fault (400), an absent series is 404, an overlong body 413,
+// everything else a 500.
+func httpError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	switch {
+	case errors.Is(err, tsdb.ErrBadSeriesName), errors.Is(err, tsdb.ErrInvalidRange):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	case errors.Is(err, tsdb.ErrUnknownSeries):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.As(err, &mbe):
+		http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	names := s.db.Series()
+	if names == nil {
+		names = []string{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(names)
+}
+
+// statusSnapshot is the /statusz payload: the engine totals DB.Stats
+// reports (RangeDecodes, AggPushdowns, CacheWaits, queue backlog, ...)
+// plus the HTTP layer's own counters.
+type statusSnapshot struct {
+	Store  tsdb.DBStats  `json:"store"`
+	Server serverCounter `json:"server"`
+}
+
+type serverCounter struct {
+	WriteRequests       uint64 `json:"write_requests"`
+	PointsIngested      uint64 `json:"points_ingested"`
+	QueryRequests       uint64 `json:"query_requests"`
+	AggRequests         uint64 `json:"agg_requests"`
+	ThrottledWrites     uint64 `json:"throttled_writes"`
+	InflightIngestBytes int64  `json:"inflight_ingest_bytes"`
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	snap := statusSnapshot{
+		Store: s.db.Stats(),
+		Server: serverCounter{
+			WriteRequests:       s.writeRequests.Load(),
+			PointsIngested:      s.pointsIngested.Load(),
+			QueryRequests:       s.queryRequests.Load(),
+			AggRequests:         s.aggRequests.Load(),
+			ThrottledWrites:     s.throttled.Load(),
+			InflightIngestBytes: s.inflightIngest.Load(),
+		},
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap)
+}
+
+// Serve listens on addr and serves the store until ctx is canceled, then
+// shuts down gracefully: in-flight requests drain (bounded by
+// opt.DrainTimeout) before Serve returns. The store itself is not flushed
+// or closed — it belongs to the caller, who typically Flush+Closes it
+// right after Serve returns (cmd/cameod does exactly that).
+func Serve(ctx context.Context, addr string, db *tsdb.DB, opt Options) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return serveListener(ctx, ln, db, opt)
+}
+
+// serveListener is Serve after the bind — split out so tests (and
+// embedders with their own net.Listener) can drive the lifecycle against
+// an OS-assigned port.
+func serveListener(ctx context.Context, ln net.Listener, db *tsdb.DB, opt Options) error {
+	opt.withDefaults()
+	srv := &http.Server{
+		Handler:           NewHandler(db, opt),
+		ReadHeaderTimeout: opt.ReadHeaderTimeout,
+		IdleTimeout:       opt.IdleTimeout,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err // listener failed before shutdown was requested
+	case <-ctx.Done():
+	}
+	drain, cancel := context.WithTimeout(context.Background(), opt.DrainTimeout)
+	defer cancel()
+	err := srv.Shutdown(drain)
+	if err != nil {
+		srv.Close() // drain timed out; cut the stragglers loose
+	}
+	<-errc // always http.ErrServerClosed after Shutdown/Close
+	return err
+}

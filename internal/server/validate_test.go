@@ -1,0 +1,64 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestQueryParamValidation is the table-driven boundary check of every
+// query-side parameter edge: each malformed request must be answered with
+// the right status and never reach deeper layers as a 500.
+func TestQueryParamValidation(t *testing.T) {
+	_, srv := newTestServer(t, nil, Options{}, map[string][]float64{"s": sensorData(600, 4)})
+
+	cases := []struct {
+		name string
+		path string
+		want int
+	}{
+		// /api/v1/query
+		{"query-ok", "/api/v1/query?series=s&from=0&to=10", http.StatusOK},
+		{"query-defaults", "/api/v1/query?series=s", http.StatusOK},
+		{"query-missing-series", "/api/v1/query", http.StatusBadRequest},
+		{"query-unknown-series", "/api/v1/query?series=nope", http.StatusNotFound},
+		{"query-bad-from", "/api/v1/query?series=s&from=abc", http.StatusBadRequest},
+		{"query-bad-to", "/api/v1/query?series=s&to=1.5", http.StatusBadRequest},
+		{"query-inverted", "/api/v1/query?series=s&from=50&to=20", http.StatusBadRequest},
+		{"query-bad-format", "/api/v1/query?series=s&format=xml", http.StatusBadRequest},
+		{"query-clamped", "/api/v1/query?series=s&from=-100&to=99999", http.StatusOK},
+		{"query-empty-range", "/api/v1/query?series=s&from=10&to=10", http.StatusOK},
+		// /api/v1/query_agg
+		{"agg-ok", "/api/v1/query_agg?series=s&from=0&to=600&step=60", http.StatusOK},
+		{"agg-default-range", "/api/v1/query_agg?series=s&step=60&aggfn=max", http.StatusOK},
+		{"agg-missing-step", "/api/v1/query_agg?series=s", http.StatusBadRequest},
+		{"agg-zero-step", "/api/v1/query_agg?series=s&step=0", http.StatusBadRequest},
+		{"agg-negative-step", "/api/v1/query_agg?series=s&step=-3", http.StatusBadRequest},
+		{"agg-bad-step", "/api/v1/query_agg?series=s&step=sixty", http.StatusBadRequest},
+		{"agg-unknown-fn", "/api/v1/query_agg?series=s&step=60&aggfn=median", http.StatusBadRequest},
+		{"agg-inverted", "/api/v1/query_agg?series=s&from=50&to=20&step=5", http.StatusBadRequest},
+		{"agg-missing-series", "/api/v1/query_agg?step=60", http.StatusBadRequest},
+		{"agg-unknown-series", "/api/v1/query_agg?series=nope&step=60", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body := httpGet(t, srv.URL+tc.path)
+			if status != tc.want {
+				t.Fatalf("GET %s = %d (%s), want %d", tc.path, status, body, tc.want)
+			}
+		})
+	}
+
+	// Wrong methods are 405 (the mux enforces the method patterns).
+	status, _, _ := httpPost(t, srv.URL+"/api/v1/query?series=s", "text/plain", "")
+	if status != http.StatusMethodNotAllowed {
+		t.Fatalf("POST query: %d, want 405", status)
+	}
+	resp, err := http.Get(srv.URL + "/api/v1/write")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET write: %d, want 405", resp.StatusCode)
+	}
+}

@@ -37,8 +37,12 @@ type rangeSnapshot struct {
 }
 
 // snapshotRange captures the segments of [from, to) under the shard read
-// lock. from/to are clamped; an unknown series errors.
+// lock. from/to are clamped; an unknown series or an inverted range
+// errors.
 func (db *DB) snapshotRange(name string, from, to int) (*rangeSnapshot, error) {
+	if from > to {
+		return nil, fmt.Errorf("%w: from %d > to %d", ErrInvalidRange, from, to)
+	}
 	sh := db.shardFor(name)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()

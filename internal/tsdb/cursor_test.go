@@ -152,8 +152,23 @@ func TestCursorAndQueryEdgeCases(t *testing.T) {
 	}
 	cur.Close()
 
+	// Inverted ranges are caller bugs and error (ErrInvalidRange) instead
+	// of returning a silent empty, uniformly across the read surface.
+	if _, err := db.Query("s", 50, 20); !errors.Is(err, ErrInvalidRange) {
+		t.Fatalf("inverted Query: %v", err)
+	}
+	if _, err := db.QueryInto("s", 50, 20, nil); !errors.Is(err, ErrInvalidRange) {
+		t.Fatalf("inverted QueryInto: %v", err)
+	}
+	if _, err := db.Cursor("s", 50, 20); !errors.Is(err, ErrInvalidRange) {
+		t.Fatalf("inverted Cursor: %v", err)
+	}
+	if _, err := db.QueryAgg("s", 50, 20, 4, series.AggSum); !errors.Is(err, ErrInvalidRange) {
+		t.Fatalf("inverted QueryAgg: %v", err)
+	}
+
 	// Empty ranges yield nil without error, matching the legacy Query.
-	for _, r := range [][2]int{{10, 10}, {50, 20}, {total, total + 5}, {-5, -1}} {
+	for _, r := range [][2]int{{10, 10}, {total, total + 5}, {-5, -1}} {
 		if got, err := db.Query("s", r[0], r[1]); err != nil || got != nil {
 			t.Fatalf("empty Query(%d,%d) = %v, %v", r[0], r[1], got, err)
 		}

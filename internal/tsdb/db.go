@@ -147,6 +147,14 @@ var ErrUnknownSeries = errors.New("tsdb: unknown series")
 // mapped to a directory of their own under the store root.
 var ErrBadSeriesName = errors.New("tsdb: invalid series name")
 
+// ErrInvalidRange is returned by Query, QueryInto, Cursor, and QueryAgg
+// when from > to — an inverted range is a caller bug, and answering it
+// with a silent empty result would hide that. (Out-of-bounds ranges in
+// the right order still clamp: from < 0 reads from the start, to past the
+// series end reads to the end, and from == to is a legitimate empty
+// range.)
+var ErrInvalidRange = errors.New("tsdb: invalid query range")
+
 // validateSeriesName rejects the names whose escaped form would not be a
 // plain child directory of the store root: url.PathEscape leaves '.'
 // unescaped, so "." and ".." survive as-is and would address the root
@@ -158,6 +166,15 @@ func validateSeriesName(name string) error {
 		return fmt.Errorf("%w: %q", ErrBadSeriesName, name)
 	}
 	return nil
+}
+
+// ValidateSeriesName reports whether name could ever be appended to
+// (ErrBadSeriesName otherwise) — the same check Append applies. Callers
+// batching appends across several series (the HTTP server's write
+// endpoint) use it to reject a bad batch up front, before any series in
+// it has been mutated.
+func ValidateSeriesName(name string) error {
+	return validateSeriesName(name)
 }
 
 // DB is an embedded codec-compressed time-series store.

@@ -1,0 +1,49 @@
+package cameo
+
+import (
+	"context"
+	"net/http"
+
+	"repro/internal/server"
+)
+
+// ServerOptions configures the HTTP serving layer (see NewHandler and
+// Serve). The zero value picks every default:
+//
+//   - MaxRequestBytes: per-request body cap (8 MiB); larger ingest
+//     batches are refused with 413.
+//   - MaxInflightIngestBytes: total body bytes of ingest requests being
+//     processed at once (64 MiB); beyond it writes get 429 + Retry-After
+//     — backpressure instead of unbounded buffering.
+//   - IngestTimeout: bound on reading one write body (1m); keeps
+//     slow-trickling uploads from pinning the in-flight budget (408).
+//   - ReadHeaderTimeout / IdleTimeout: connection hygiene for Serve.
+//   - DrainTimeout: bound on the graceful drain when Serve's context is
+//     canceled (15s).
+type ServerOptions = server.Options
+
+// NewHandler builds the HTTP handler serving a Store — the same service
+// cmd/cameod runs, as an http.Handler embedders mount in their own mux:
+//
+//	POST /api/v1/write      batched ingest ("series value" / "series ts
+//	                        value" lines, or a JSON {"series":[...]} batch)
+//	GET  /api/v1/query      raw range streamed as NDJSON or CSV straight
+//	                        off a Store cursor (never materialized)
+//	GET  /api/v1/query_agg  downsampled windows via QueryAgg pushdown
+//	GET  /api/v1/series     sorted series listing
+//	GET  /healthz, /statusz liveness and engine/server counters
+//
+// The handler never closes the store; its lifecycle stays with the
+// caller. Responses encode floats in shortest round-trip form, so parsed
+// query results are bit-identical to calling Store.Query directly.
+func NewHandler(store *Store, opt ServerOptions) http.Handler {
+	return server.NewHandler(store, opt)
+}
+
+// Serve listens on addr and serves store over HTTP until ctx is
+// canceled, then drains in-flight requests (bounded by opt.DrainTimeout)
+// and returns. The store is not flushed or closed — callers typically
+// Flush+Close it right after Serve returns, as cmd/cameod does.
+func Serve(ctx context.Context, addr string, store *Store, opt ServerOptions) error {
+	return server.Serve(ctx, addr, store, opt)
+}

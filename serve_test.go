@@ -1,0 +1,114 @@
+package cameo
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestFacadeServing exercises the embedder path: mount NewHandler in a
+// custom mux, write through HTTP, and read back values bit-identical to
+// the direct Store API — plus the facade's hardened range validation.
+func TestFacadeServing(t *testing.T) {
+	store, err := OpenStoreOptions(t.TempDir(), StoreOptions{
+		Compression: Options{Lags: 24, Epsilon: 0.05},
+		BlockSize:   512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	mux := http.NewServeMux()
+	mux.Handle("/", NewHandler(store, ServerOptions{}))
+	mux.HandleFunc("/custom", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("embedder route"))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	// Ingest 700 samples over HTTP in two batches.
+	var lines strings.Builder
+	for i := 0; i < 700; i++ {
+		lines.WriteString("room/temp ")
+		lines.WriteString(jsonNum(20 + 5*math.Sin(2*math.Pi*float64(i)/24)))
+		lines.WriteByte('\n')
+		if i == 350 {
+			post(t, srv.URL+"/api/v1/write", lines.String())
+			lines.Reset()
+		}
+	}
+	post(t, srv.URL+"/api/v1/write", lines.String())
+
+	want, err := store.Query("room/temp", 0, 700)
+	if err != nil || len(want) != 700 {
+		t.Fatalf("direct query: %d samples, %v", len(want), err)
+	}
+
+	resp, err := http.Get(srv.URL + "/api/v1/query?series=room%2Ftemp&format=csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	rows := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if rows[0] != "index,value" || len(rows) != 701 {
+		t.Fatalf("csv response: %d rows, header %q", len(rows), rows[0])
+	}
+	for i, row := range rows[1:] {
+		_, valStr, _ := strings.Cut(row, ",")
+		var v float64
+		if err := json.Unmarshal([]byte(valStr), &v); err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if math.Float64bits(v) != math.Float64bits(want[i]) {
+			t.Fatalf("row %d: %v, want %v (bit-identical)", i, v, want[i])
+		}
+	}
+
+	// The embedder's own route still works next to the store's.
+	resp, err = http.Get(srv.URL + "/custom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	custom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(custom) != "embedder route" {
+		t.Fatalf("custom route: %q", custom)
+	}
+
+	// The facade's hardened validation: inverted ranges error with
+	// ErrInvalidRange instead of returning silent empties.
+	if _, err := store.Query("room/temp", 500, 100); !errors.Is(err, ErrInvalidRange) {
+		t.Fatalf("inverted Query: %v", err)
+	}
+	if _, err := store.QueryAgg("room/temp", 500, 100, 10, AggMean); !errors.Is(err, ErrInvalidRange) {
+		t.Fatalf("inverted QueryAgg: %v", err)
+	}
+	if _, err := store.Cursor("room/temp", 500, 100); !errors.Is(err, ErrInvalidRange) {
+		t.Fatalf("inverted Cursor: %v", err)
+	}
+}
+
+func jsonNum(v float64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+func post(t *testing.T, url, body string) {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST %s: %d %s", url, resp.StatusCode, msg)
+	}
+}

@@ -90,6 +90,13 @@ var ErrUnknownSeries = tsdb.ErrUnknownSeries
 // cannot name a directory of their own under the store root ("", ".", "..").
 var ErrBadSeriesName = tsdb.ErrBadSeriesName
 
+// ErrInvalidRange is returned by Store.Query, QueryInto, Cursor, and
+// QueryAgg when from > to: an inverted range is a caller bug and errors
+// instead of yielding a silent empty result. Out-of-bounds ranges in the
+// right order still clamp to the stored samples, and from == to is a
+// legitimate empty range.
+var ErrInvalidRange = tsdb.ErrInvalidRange
+
 // OpenStore creates or reopens a compressed time-series store rooted at
 // dir with default engine settings (CAMEO codec, 16 shards, GOMAXPROCS
 // compression workers, 128-block decoded cache). Use OpenStoreOptions to
