@@ -2,12 +2,13 @@
 // benchmarks in-process (via testing.Benchmark, with allocation counting
 // always on, as with -benchmem) and writes a machine-readable JSON artifact.
 // CI invokes it on every run and uploads the result, and perf PRs commit a
-// before/after snapshot (BENCH_PR3.json through BENCH_PR5.json) so the
+// before/after snapshot (BENCH_PR3.json through BENCH_PR6.json) so the
 // performance trajectory of the hot paths — impact evaluation, block
 // compression, store ingest, materializing and streaming queries, aggregate
-// pushdown, and the HTTP serving path (server/ingest-*, server/query-*,
-// measured with concurrent clients against an httptest server) — is
-// tracked from PR 3 onward.
+// pushdown, storage lifecycle (compaction throughput, rollup-tier vs raw
+// aggregate queries, post-retention reads), and the HTTP serving path
+// (server/ingest-*, server/query-*, measured with concurrent clients
+// against an httptest server) — is tracked from PR 3 onward.
 //
 // Usage:
 //
@@ -175,6 +176,18 @@ func benchmarks() []struct {
 		{"store/agg-fallback-cold", func(b *testing.B) {
 			benchStoreAgg(b, cameo.CodecGorilla()) // bit-stream codec: dense fold
 		}},
+		{"store/compact-merge", func(b *testing.B) {
+			benchStoreCompact(b)
+		}},
+		{"store/agg-raw-month", func(b *testing.B) {
+			benchStoreAggMonth(b, false) // pushdown over every raw block
+		}},
+		{"store/agg-rollup-month", func(b *testing.B) {
+			benchStoreAggMonth(b, true) // answered from the materialized tier
+		}},
+		{"store/query-cold-post-retention", func(b *testing.B) {
+			benchStoreQueryPostRetention(b)
+		}},
 		{"server/ingest-lines", func(b *testing.B) {
 			benchServerIngest(b, false)
 		}},
@@ -337,6 +350,135 @@ func benchServerAgg(b *testing.B) {
 			}
 		}
 	})
+}
+
+// benchStoreCompact measures one full compaction pass: trickle ingest
+// (timer off) leaves 32 quarter-filled blocks, and the timed Maintain
+// merges them into 4 full ones — reading, merging, atomically republishing
+// and deleting the sources. Throughput is raw sample bytes compacted.
+func benchStoreCompact(b *testing.B) {
+	const chunkLen, chunks = 512, 32 // quarter-filled against BlockSize 2048
+	xs := benchSeries(chunkLen*chunks, 48, 0.5)
+	opt := storeOptions(1, -1, -1)
+	b.SetBytes(int64(chunkLen * chunks * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		store, err := cameo.OpenStoreOptions(b.TempDir(), opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for c := 0; c < chunks; c++ {
+			if err := store.Append("s", xs[c*chunkLen:(c+1)*chunkLen]...); err != nil {
+				b.Fatal(err)
+			}
+			if err := store.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if err := store.Maintain(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if st, err := store.SeriesStats("s"); err != nil || st.Blocks != chunkLen*chunks/2048 {
+			b.Fatalf("compaction left %d blocks (err %v)", st.Blocks, err)
+		}
+		if err := store.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// benchStoreAggMonth measures a month-scale tier-aligned aggregate query
+// on a cold store, the rollup acceptance pair: raw answers push down into
+// all 32 compressed blocks, rollup answers read the materialized tier's
+// single block instead — same windows, same values, far fewer bytes.
+func benchStoreAggMonth(b *testing.B, rollup bool) {
+	const perSeries = 32 * 2048
+	opt := storeOptions(1, -1, -1)
+	if rollup {
+		opt.Rollups = []cameo.RollupSpec{{Step: 512}}
+	}
+	store, err := cameo.OpenStoreOptions(b.TempDir(), opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := store.Append("s", benchSeries(perSeries, 48, 0.5)...); err != nil {
+		b.Fatal(err)
+	}
+	if err := store.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if rollup {
+		if err := store.Maintain(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(perSeries * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vals, err := store.QueryAgg("s", 0, perSeries, 2048, cameo.AggMean)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(vals) != perSeries/2048 {
+			b.Fatalf("QueryAgg yielded %d windows", len(vals))
+		}
+	}
+	b.StopTimer()
+	if err := store.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchStoreQueryPostRetention mirrors store/query-cold on a store whose
+// oldest three quarters were trimmed by retention: random 512-sample reads
+// land in the retained suffix and must cost the same as on an untrimmed
+// store (the trim base only re-anchors the index).
+func benchStoreQueryPostRetention(b *testing.B) {
+	const perSeries, retained = 32768, 8192
+	opt := storeOptions(1, -1, -1)
+	opt.Retention = retained
+	store, err := cameo.OpenStoreOptions(b.TempDir(), opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := store.Append("s", benchSeries(perSeries, 48, 0.5)...); err != nil {
+		b.Fatal(err)
+	}
+	if err := store.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if err := store.Maintain(); err != nil {
+		b.Fatal(err)
+	}
+	st, err := store.SeriesStats("s")
+	if err != nil || st.Samples != retained {
+		b.Fatalf("retention left %d samples (err %v), want %d", st.Samples, err, retained)
+	}
+	base := st.FirstIndex
+	var seed atomic.Int64
+	b.SetBytes(512 * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		for pb.Next() {
+			from := base + rng.Intn(retained-512)
+			if _, err := store.Query("s", from, from+512); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if err := store.Close(); err != nil {
+		b.Fatal(err)
+	}
 }
 
 func storeOptions(shards, workers, cacheBlocks int) cameo.StoreOptions {
@@ -518,7 +660,7 @@ func benchStoreAgg(b *testing.B, c cameo.Codec) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR5.json", "output file (- for stdout)")
+	out := flag.String("out", "BENCH_PR6.json", "output file (- for stdout)")
 	label := flag.String("label", "current", "label recorded in the artifact")
 	benchtime := flag.String("benchtime", "1s", "per-benchmark duration or iteration count (Nx)")
 	benchFilter := flag.String("bench", "", "run only benchmarks whose name matches this regexp")

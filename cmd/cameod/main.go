@@ -6,20 +6,27 @@
 //
 // Endpoints (see the README's Serving section for curl examples):
 //
-//	POST /api/v1/write      "series value" / "series ts value" lines, or
-//	                        a JSON {"series":[{"name":...,"values":[...]}]}
-//	                        batch; points are grouped per series so one
-//	                        request costs one Append per series
-//	GET  /api/v1/query      ?series=&from=&to=&format=ndjson|csv — the
-//	                        range streams chunk-by-chunk off a cursor
-//	GET  /api/v1/query_agg  ?series=&from=&to=&step=&aggfn= — one value
-//	                        per step-sample window
-//	GET  /api/v1/series     sorted series listing
-//	GET  /healthz, /statusz liveness and engine/server counters
+//	POST   /api/v1/write      "series value" / "series ts value" lines, or
+//	                          a JSON {"series":[{"name":...,"values":[...]}]}
+//	                          batch; points are grouped per series so one
+//	                          request costs one Append per series
+//	GET    /api/v1/query      ?series=&from=&to=&format=ndjson|csv — the
+//	                          range streams chunk-by-chunk off a cursor
+//	GET    /api/v1/query_agg  ?series=&from=&to=&step=&aggfn= — one value
+//	                          per step-sample window
+//	GET    /api/v1/series     sorted series listing
+//	DELETE /api/v1/series     ?series= — drop one series and its rollup tiers
+//	GET    /healthz, /statusz liveness and engine/server counters
 //
 // Ingest is bounded two ways: -max-request-bytes caps one body (413
 // beyond) and -max-inflight-bytes caps the bytes of all write requests
 // in flight at once (429 + Retry-After beyond — backpressure, not OOM).
+//
+// Storage lifecycle: -retention and -retain-bytes bound the store by age
+// and size, -compact-min-fill merges under-filled blocks, and -rollups
+// materializes downsampled tiers that query_agg answers transparently.
+// All of it runs on the background maintenance pass -maintain-interval
+// enables; leave it 0 to keep every sample forever.
 //
 // On SIGINT/SIGTERM the daemon drains in-flight requests (bounded by
 // -drain-timeout), then flushes and closes the store, so acknowledged
@@ -35,6 +42,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -59,10 +67,23 @@ func main() {
 		readHdr  = flag.Duration("read-header-timeout", 10*time.Second, "request header read timeout")
 		idle     = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle timeout")
 		drain    = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain bound")
+
+		retention  = flag.Int("retention", 0, "per-series age budget in samples, trimmed by maintenance (0 = keep everything)")
+		retainB    = flag.Int64("retain-bytes", 0, "store-wide compressed-byte budget, oldest blocks deleted first (0 = no cap)")
+		minFill    = flag.Float64("compact-min-fill", 0, "compaction threshold as a fraction of -block (0 = default 0.5, negative = off)")
+		rollups    = flag.String("rollups", "", "rollup tiers as comma-separated step[/retention] window sizes, e.g. \"24,1440/8760\"")
+		maintainIv = flag.Duration("maintain-interval", 0, "background maintenance period for compaction/rollups/retention (0 = off)")
 	)
 	flag.Parse()
 
-	storeOpt, err := buildStoreOptions(*codec, *lags, *eps, *block, *shards, *workers, *cache)
+	lc := lifecycleFlags{
+		retention:      *retention,
+		retainBytes:    *retainB,
+		compactMinFill: *minFill,
+		rollups:        *rollups,
+		interval:       *maintainIv,
+	}
+	storeOpt, err := buildStoreOptions(*codec, *lags, *eps, *block, *shards, *workers, *cache, lc)
 	if err != nil {
 		log.Fatalf("cameod: %v", err)
 	}
@@ -107,17 +128,32 @@ func main() {
 		t.Series, t.Samples, t.DiskBytes)
 }
 
+// lifecycleFlags groups the storage-lifecycle knobs so buildStoreOptions
+// keeps a readable signature.
+type lifecycleFlags struct {
+	retention      int
+	retainBytes    int64
+	compactMinFill float64
+	rollups        string
+	interval       time.Duration
+}
+
 // buildStoreOptions maps the daemon flags onto StoreOptions: the cameo
 // codec takes its compression knobs from -lags/-eps, every other codec
 // uses its registry defaults (nil Codec selects cameo so that path keeps
-// the store's own option validation).
-func buildStoreOptions(codecName string, lags int, eps float64, block, shards, workers, cache int) (cameo.StoreOptions, error) {
+// the store's own option validation), and the lifecycle flags ride
+// through verbatim (-rollups parses via parseRollups).
+func buildStoreOptions(codecName string, lags int, eps float64, block, shards, workers, cache int, lc lifecycleFlags) (cameo.StoreOptions, error) {
 	opt := cameo.StoreOptions{
-		Compression: cameo.Options{Lags: lags, Epsilon: eps},
-		BlockSize:   block,
-		Shards:      shards,
-		Workers:     workers,
-		CacheBlocks: cache,
+		Compression:       cameo.Options{Lags: lags, Epsilon: eps},
+		BlockSize:         block,
+		Shards:            shards,
+		Workers:           workers,
+		CacheBlocks:       cache,
+		Retention:         lc.retention,
+		RetainBytes:       lc.retainBytes,
+		CompactMinFill:    lc.compactMinFill,
+		LifecycleInterval: lc.interval,
 	}
 	if codecName != "cameo" {
 		c, err := cameo.CodecByName(codecName)
@@ -126,5 +162,39 @@ func buildStoreOptions(codecName string, lags int, eps float64, block, shards, w
 		}
 		opt.Codec = c
 	}
+	specs, err := parseRollups(lc.rollups)
+	if err != nil {
+		return cameo.StoreOptions{}, err
+	}
+	opt.Rollups = specs
 	return opt, nil
+}
+
+// parseRollups parses the -rollups flag: a comma-separated list of tier
+// window sizes in samples, each optionally bounded as "step/retention"
+// (retention in rollup samples, i.e. windows). "24,1440/8760" declares an
+// unbounded 24-sample tier and a 1440-sample tier keeping 8760 windows.
+// Each tier materializes the full default aggregate set (mean, sum, min,
+// max); the store validates steps (>= 2, unique) on open.
+func parseRollups(s string) ([]cameo.RollupSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var specs []cameo.RollupSpec
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		stepStr, retStr, bounded := strings.Cut(field, "/")
+		step, err := strconv.Atoi(stepStr)
+		if err != nil {
+			return nil, fmt.Errorf("-rollups: bad step %q in %q", stepStr, field)
+		}
+		spec := cameo.RollupSpec{Step: step}
+		if bounded {
+			if spec.Retention, err = strconv.Atoi(retStr); err != nil {
+				return nil, fmt.Errorf("-rollups: bad retention %q in %q", retStr, field)
+			}
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
 }

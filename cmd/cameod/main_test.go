@@ -2,16 +2,17 @@ package main
 
 import (
 	"testing"
+	"time"
 
 	cameo "repro"
 )
 
 // TestBuildStoreOptions pins the flag→StoreOptions mapping: cameo rides
 // the -lags/-eps knobs through the nil-Codec default path, other codecs
-// resolve from the registry, and unknown names fail with the available
-// set in the message.
+// resolve from the registry, unknown names fail with the available set in
+// the message, and the lifecycle flags land verbatim.
 func TestBuildStoreOptions(t *testing.T) {
-	opt, err := buildStoreOptions("cameo", 24, 0.01, 4096, 4, 2, 64)
+	opt, err := buildStoreOptions("cameo", 24, 0.01, 4096, 4, 2, 64, lifecycleFlags{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,8 +22,11 @@ func TestBuildStoreOptions(t *testing.T) {
 	if opt.Compression.Lags != 24 || opt.Compression.Epsilon != 0.01 || opt.BlockSize != 4096 {
 		t.Fatalf("compression knobs not mapped: %+v", opt)
 	}
+	if opt.Retention != 0 || opt.RetainBytes != 0 || opt.Rollups != nil || opt.LifecycleInterval != 0 {
+		t.Fatalf("zero lifecycle flags should map to a disabled lifecycle: %+v", opt)
+	}
 
-	opt, err = buildStoreOptions("gorilla", 24, 0.01, 1024, 0, 0, 0)
+	opt, err = buildStoreOptions("gorilla", 24, 0.01, 1024, 0, 0, 0, lifecycleFlags{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,8 +34,28 @@ func TestBuildStoreOptions(t *testing.T) {
 		t.Fatalf("gorilla codec not resolved: %+v", opt.Codec)
 	}
 
-	if _, err := buildStoreOptions("zstd", 24, 0.01, 1024, 0, 0, 0); err == nil {
+	if _, err := buildStoreOptions("zstd", 24, 0.01, 1024, 0, 0, 0, lifecycleFlags{}); err == nil {
 		t.Fatal("unknown codec accepted")
+	}
+
+	lc := lifecycleFlags{
+		retention:      100000,
+		retainBytes:    1 << 30,
+		compactMinFill: 0.75,
+		rollups:        "24, 1440/8760",
+		interval:       time.Minute,
+	}
+	opt, err = buildStoreOptions("cameo", 24, 0.01, 4096, 0, 0, 0, lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Retention != 100000 || opt.RetainBytes != 1<<30 || opt.CompactMinFill != 0.75 || opt.LifecycleInterval != time.Minute {
+		t.Fatalf("lifecycle knobs not mapped: %+v", opt)
+	}
+	if len(opt.Rollups) != 2 ||
+		opt.Rollups[0].Step != 24 || opt.Rollups[0].Retention != 0 ||
+		opt.Rollups[1].Step != 1440 || opt.Rollups[1].Retention != 8760 {
+		t.Fatalf("rollups not parsed: %+v", opt.Rollups)
 	}
 
 	// The mapped options must actually open a store (catches knob combos
@@ -41,4 +65,25 @@ func TestBuildStoreOptions(t *testing.T) {
 		t.Fatalf("mapped options do not open a store: %v", err)
 	}
 	store.Close()
+}
+
+func TestParseRollupsRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"abc", "24,", "24/x", "/5", "24//5"} {
+		if specs, err := parseRollups(bad); err == nil {
+			t.Fatalf("parseRollups(%q) accepted: %+v", bad, specs)
+		}
+	}
+	// Steps the store rejects (below 2, duplicates) fail at open, not in
+	// the flag parser.
+	specs, err := parseRollups("1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := cameo.StoreOptions{
+		Compression: cameo.Options{Lags: 24, Epsilon: 0.01},
+		Rollups:     specs,
+	}
+	if _, err := cameo.OpenStoreOptions(t.TempDir(), opt); err == nil {
+		t.Fatal("store accepted a step-1 rollup")
+	}
 }

@@ -1,0 +1,102 @@
+// Storage lifecycle: run a Store the way an always-on deployment does.
+// Trickle ingest leaves a trail of under-filled blocks; compaction merges
+// them into full ones with bit-identical reconstructions, rollup tiers
+// materialize the downsampled aggregates dashboards actually plot, and
+// retention trims the raw series to an age budget — with the tiers
+// continuing to answer month-scale QueryAgg calls over data whose raw
+// blocks are long deleted. One Maintain() call (or the LifecycleInterval
+// knob) drives all three.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	cameo "repro"
+)
+
+func main() {
+	dir := filepath.Join(os.TempDir(), "cameo-lifecycle-demo")
+	_ = os.RemoveAll(dir)
+	defer os.RemoveAll(dir)
+
+	// A minute-resolution sensor with a daily (1440-sample) period.
+	// Rollups: hourly and daily tiers; retention: keep 4 raw days.
+	store, err := cameo.OpenStoreOptions(dir, cameo.StoreOptions{
+		Compression: cameo.Options{Lags: 24, Epsilon: 0.01},
+		BlockSize:   1024,
+		Workers:     -1, // synchronous, so the block layout below is deterministic
+		Retention:   4 * 1440,
+		Rollups: []cameo.RollupSpec{
+			{Step: 60},   // hourly mean/sum/min/max, kept forever
+			{Step: 1440}, // daily tier
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	// Fourteen days arriving in 96-sample trickles, flushed as they land —
+	// the ingest pattern that fragments block files on real deployments.
+	rng := rand.New(rand.NewSource(41))
+	n := 14 * 1440
+	xs := make([]float64, n)
+	drift := 0.0
+	for i := range xs {
+		drift = 0.995*drift + 0.05*rng.NormFloat64()
+		xs[i] = 70 - 12*math.Sin(2*math.Pi*float64(i)/1440) + drift
+	}
+	for i := 0; i < n; i += 96 {
+		if err := store.Append("plant/humidity", xs[i:i+96]...); err != nil {
+			log.Fatal(err)
+		}
+		if err := store.Flush(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st, _ := store.SeriesStats("plant/humidity")
+	fmt.Printf("after trickle ingest: %d samples in %d blocks (%d B)\n",
+		st.Samples, st.Blocks, st.DiskBytes)
+
+	// One maintenance pass: compact, materialize tiers, trim to retention.
+	if err := store.Maintain(); err != nil {
+		log.Fatal(err)
+	}
+	st, _ = store.SeriesStats("plant/humidity")
+	tot := store.Stats()
+	fmt.Printf("after maintenance:    %d samples in %d blocks, raw history starts at %d\n",
+		st.Samples, st.Blocks, st.FirstIndex)
+	fmt.Printf("  compaction merged %d source blocks in %d runs\n",
+		tot.CompactedBlocks, tot.CompactionRuns)
+	fmt.Printf("  retention trimmed %d blocks (%d B)\n", tot.TrimmedBlocks, tot.TrimmedBytes)
+	fmt.Printf("  rollup tiers hold %d samples across %d series\n\n",
+		tot.RollupSamples, len(store.Series())-1)
+
+	// A two-week daily-mean query: every window is tier-aligned, so it is
+	// answered from the daily rollup — including the ten days whose raw
+	// blocks retention already deleted.
+	daily, err := store.QueryAgg("plant/humidity", 0, n, 1440, cameo.AggMean)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("daily means, raw blocks long gone for days 0-9:")
+	for d, v := range daily {
+		marker := "rollup tier"
+		if d >= 10 {
+			marker = "rollup tier (raw also retained)"
+		}
+		fmt.Printf("  day %2d  %.3f  [%s]\n", d, v, marker)
+	}
+
+	// Raw queries still work over the retained window and clamp below it.
+	recent, err := store.Query("plant/humidity", n-1440, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlast day raw reconstruction: %d samples, first %.3f\n", len(recent), recent[0])
+}

@@ -1,0 +1,190 @@
+package codec
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/series"
+)
+
+// Block merging is the codec-level half of tsdb compaction: adjacent
+// under-filled blocks are coalesced into one full block whose decoded
+// reconstruction is exactly the concatenation of the source
+// reconstructions — queries must be bit-identical before and after a
+// compaction, so a merge may never re-run a lossy fit over the samples.
+//
+// Two families merge natively without touching a single sample:
+//
+//   - CAMEO payloads are retained-point sets interpolated linearly, held
+//     constant before the first and after the last point. Concatenating
+//     the point lists alone would replace those constant holds with a
+//     linear ramp across the block seam, so each source block's point set
+//     is first normalized to pin its endpoints (duplicate-value boundary
+//     points have slope zero, reproducing the constant hold exactly).
+//   - The segment codecs (PMC, Swing, Sim-Piece) serialize
+//     length-prefixed segment records whose starts are implied by
+//     cumulative lengths, so merging is re-emitting the records with a
+//     summed count.
+//
+// Lossless codecs need no capability: decode, concatenate, re-encode is
+// exact by definition. Lossy codecs without a native merge cannot be
+// merged at all (re-encoding would move samples), which MergeBlocks
+// reports as ErrCannotMerge so the storage layer can skip those blocks.
+
+// ErrCannotMerge is returned by MergeBlocks for lossy codecs that do not
+// implement BlockMerger: re-encoding their decoded samples would change
+// the reconstruction, violating the merge contract.
+var ErrCannotMerge = errors.New("codec: codec cannot merge blocks")
+
+// BlockMerger is an optional Codec capability: merging the payloads of
+// adjacent blocks into one payload whose decode is bit-identical to the
+// concatenation of the source decodes. ns[i] is the dense sample count of
+// payloads[i]; the result decodes to sum(ns) samples.
+type BlockMerger interface {
+	MergePayloads(payloads [][]byte, ns []int) ([]byte, error)
+}
+
+// MergeBlocks merges adjacent block payloads under one codec and returns
+// a complete block file image (versioned header + merged payload). The
+// decode of the result is bit-identical to concatenating the decodes of
+// the inputs: natively-merging codecs re-combine their compressed forms,
+// lossless codecs round-trip through samples, and other lossy codecs get
+// ErrCannotMerge.
+func MergeBlocks(c Codec, payloads [][]byte, ns []int) ([]byte, error) {
+	if len(payloads) != len(ns) {
+		return nil, fmt.Errorf("%w: %d payloads with %d sample counts", ErrBadBlock, len(payloads), len(ns))
+	}
+	if len(payloads) < 2 {
+		return nil, fmt.Errorf("%w: merging needs at least 2 blocks, got %d", ErrBadBlock, len(payloads))
+	}
+	total := 0
+	for i, n := range ns {
+		if n < 1 {
+			return nil, fmt.Errorf("%w: block %d has %d samples", ErrBadBlock, i, n)
+		}
+		total += n
+	}
+	if total > MaxBlockSamples {
+		return nil, fmt.Errorf("%w: merged block of %d samples exceeds the %d-sample cap", ErrBadBlock, total, MaxBlockSamples)
+	}
+	payload, err := mergePayloads(c, payloads, ns, total)
+	if err != nil {
+		return nil, err
+	}
+	return appendHeader(c, total, payload), nil
+}
+
+func mergePayloads(c Codec, payloads [][]byte, ns []int, total int) ([]byte, error) {
+	if bm, ok := c.(BlockMerger); ok {
+		return bm.MergePayloads(payloads, ns)
+	}
+	if c.Lossy() {
+		return nil, fmt.Errorf("%w: %q", ErrCannotMerge, c.Name())
+	}
+	xs := make([]float64, 0, total)
+	for i, p := range payloads {
+		dense, err := c.Decode(p, ns[i])
+		if err != nil {
+			return nil, fmt.Errorf("merging block %d: %w", i, err)
+		}
+		xs = append(xs, dense...)
+	}
+	return c.Encode(xs)
+}
+
+// MergePayloads concatenates CAMEO retained-point sets, normalizing each
+// source block's endpoints first so the merged reconstruction reproduces
+// the per-block constant holds bit-for-bit (a boundary pair with equal
+// values interpolates with slope zero). Point indices shift by the
+// cumulative sample counts of the preceding blocks.
+func (c *CAMEO) MergePayloads(payloads [][]byte, ns []int) ([]byte, error) {
+	total := 0
+	var pts []series.Point
+	for i, p := range payloads {
+		ir, err := c.parse(p, ns[i])
+		if err != nil {
+			return nil, fmt.Errorf("merging cameo block %d: %w", i, err)
+		}
+		pts = appendNormalized(pts, ir, total)
+		total += ir.N
+	}
+	merged, err := series.NewIrregular(total, pts)
+	if err != nil {
+		return nil, err
+	}
+	return merged.Encode(), nil
+}
+
+// appendNormalized appends ir's points shifted by off, pinning the
+// block's first and last sample indices: Decompress holds the boundary
+// values constant outside the retained span, and only an explicit
+// equal-value point pair reproduces that hold once neighbors exist on the
+// other side of the seam. An empty point set decompresses to zeros, so it
+// normalizes to zero-valued endpoints.
+func appendNormalized(pts []series.Point, ir *series.Irregular, off int) []series.Point {
+	src := ir.Points
+	if len(src) == 0 {
+		pts = append(pts, series.Point{Index: off, Value: 0})
+		if ir.N > 1 {
+			pts = append(pts, series.Point{Index: off + ir.N - 1, Value: 0})
+		}
+		return pts
+	}
+	if src[0].Index > 0 {
+		pts = append(pts, series.Point{Index: off, Value: src[0].Value})
+	}
+	for _, p := range src {
+		pts = append(pts, series.Point{Index: off + p.Index, Value: p.Value})
+	}
+	if last := src[len(src)-1]; last.Index < ir.N-1 {
+		pts = append(pts, series.Point{Index: off + ir.N - 1, Value: last.Value})
+	}
+	return pts
+}
+
+// mergeSegmentPayloads re-emits the validated segment records of each
+// payload under a summed count — starts are implied by cumulative
+// lengths, so concatenated records decode to concatenated blocks.
+func mergeSegmentPayloads(payloads [][]byte, ns []int, floatsPer int) ([]byte, error) {
+	type parsed struct {
+		lengths []int
+		floats  [][]float64
+	}
+	blocks := make([]parsed, len(payloads))
+	count, size := 0, 0
+	for i, p := range payloads {
+		lengths, floats, err := readSegments(p, ns[i], floatsPer)
+		if err != nil {
+			return nil, fmt.Errorf("merging segment block %d: %w", i, err)
+		}
+		blocks[i] = parsed{lengths: lengths, floats: floats}
+		count += len(lengths)
+		size += len(p)
+	}
+	w := newSegWriter(size + 4)
+	w.count(count)
+	for _, b := range blocks {
+		for i, l := range b.lengths {
+			w.length(l)
+			for _, f := range b.floats[i] {
+				w.float(f)
+			}
+		}
+	}
+	return w.bytes(), nil
+}
+
+// MergePayloads concatenates PMC constant-segment streams.
+func (PMC) MergePayloads(payloads [][]byte, ns []int) ([]byte, error) {
+	return mergeSegmentPayloads(payloads, ns, 1)
+}
+
+// MergePayloads concatenates Swing linear-segment streams.
+func (Swing) MergePayloads(payloads [][]byte, ns []int) ([]byte, error) {
+	return mergeSegmentPayloads(payloads, ns, 2)
+}
+
+// MergePayloads concatenates Sim-Piece linear-segment streams.
+func (SimPiece) MergePayloads(payloads [][]byte, ns []int) ([]byte, error) {
+	return mergeSegmentPayloads(payloads, ns, 2)
+}

@@ -129,8 +129,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	bw := bufio.NewWriterSize(w, 32<<10)
 	flusher, _ := w.(http.Flusher)
-	pos := max(from, 0) // absolute index of the next sample the cursor yields
-	flushed := false    // whether any bytes (and so the 200 status) reached the client
+	// Absolute index of the next sample the cursor yields. Cursor.Start,
+	// not the request's from: the store clamps the range to the retained
+	// suffix (negative from, or history below a retention trim base), and
+	// chunk start indices must label the samples actually returned.
+	pos := cur.Start()
+	flushed := false // whether any bytes (and so the 200 status) reached the client
 	var line []byte
 	if format == "csv" {
 		bw.WriteString("index,value\n")
@@ -161,12 +165,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			line = append(line, "]}\n"...)
 		}
 		if _, err := bw.Write(line); err != nil {
-			return // client went away; nothing left to tell it
+			// Client went away; nothing left to tell it — but the abort is
+			// still an operator signal (a dashboard timing out mid-scan looks
+			// exactly like this), so it counts before the handler bails.
+			s.queryAborted.Add(1)
+			return
 		}
 		pos += len(chunk)
 		// Hand the chunk to the client before resolving the next block, so
 		// slow storage never stalls bytes already decoded.
 		if bw.Flush() != nil {
+			s.queryAborted.Add(1)
 			return
 		}
 		flushed = true
@@ -192,7 +201,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(bw, "{\"error\":%s}\n", msg)
 		}
 	}
-	bw.Flush()
+	if bw.Flush() != nil {
+		s.queryAborted.Add(1)
+	}
 }
 
 // handleQueryAgg answers downsampled aggregate queries by mapping

@@ -3,12 +3,13 @@
 //
 // The surface is deliberately small and streaming-first:
 //
-//	POST /api/v1/write      batched ingest (newline text or JSON batch)
-//	GET  /api/v1/query      raw range, streamed as NDJSON or CSV chunks
-//	GET  /api/v1/query_agg  downsampled windows via QueryAgg pushdown
-//	GET  /api/v1/series     sorted series listing
-//	GET  /healthz           liveness probe
-//	GET  /statusz           engine + server counters as JSON
+//	POST   /api/v1/write      batched ingest (newline text or JSON batch)
+//	GET    /api/v1/query      raw range, streamed as NDJSON or CSV chunks
+//	GET    /api/v1/query_agg  downsampled windows via QueryAgg pushdown
+//	GET    /api/v1/series     sorted series listing
+//	DELETE /api/v1/series     drop one series (and its rollup tiers)
+//	GET    /healthz           liveness probe
+//	GET    /statusz           engine + server counters as JSON
 //
 // Ingest groups points per series and issues one DB.Append per series per
 // request, so a 10k-point batch costs a handful of Append calls, not 10k.
@@ -106,6 +107,8 @@ type Server struct {
 	queryRequests  atomic.Uint64
 	aggRequests    atomic.Uint64
 	throttled      atomic.Uint64 // writes refused with 429 by the in-flight cap
+	queryAborted   atomic.Uint64 // streaming queries cut short by a client write failure
+	seriesDeletes  atomic.Uint64 // series dropped via DELETE /api/v1/series
 }
 
 // NewHandler builds the HTTP handler for a store. The store stays owned
@@ -118,6 +121,7 @@ func NewHandler(db *tsdb.DB, opt Options) http.Handler {
 	s.mux.HandleFunc("GET /api/v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /api/v1/query_agg", s.handleQueryAgg)
 	s.mux.HandleFunc("GET /api/v1/series", s.handleSeries)
+	s.mux.HandleFunc("DELETE /api/v1/series", s.handleDeleteSeries)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
 	return s
@@ -158,6 +162,25 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(names)
 }
 
+// handleDeleteSeries drops one series — and, when rollups are configured,
+// its materialized tiers — atomically with respect to queries and ingest.
+// Deletion is irreversible, so it answers 404 for an unknown name rather
+// than succeeding vacuously: a typo'd automation script should hear about
+// it, not silently "succeed" forever.
+func (s *Server) handleDeleteSeries(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("series")
+	if name == "" {
+		http.Error(w, "parameter \"series\" is required", http.StatusBadRequest)
+		return
+	}
+	if err := s.db.DeleteSeries(name); err != nil {
+		httpError(w, err)
+		return
+	}
+	s.seriesDeletes.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
 // statusSnapshot is the /statusz payload: the engine totals DB.Stats
 // reports (RangeDecodes, AggPushdowns, CacheWaits, queue backlog, ...)
 // plus the HTTP layer's own counters.
@@ -172,6 +195,8 @@ type serverCounter struct {
 	QueryRequests       uint64 `json:"query_requests"`
 	AggRequests         uint64 `json:"agg_requests"`
 	ThrottledWrites     uint64 `json:"throttled_writes"`
+	QueryAborted        uint64 `json:"query_aborted"`
+	SeriesDeletes       uint64 `json:"series_deletes"`
 	InflightIngestBytes int64  `json:"inflight_ingest_bytes"`
 }
 
@@ -184,6 +209,8 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			QueryRequests:       s.queryRequests.Load(),
 			AggRequests:         s.aggRequests.Load(),
 			ThrottledWrites:     s.throttled.Load(),
+			QueryAborted:        s.queryAborted.Load(),
+			SeriesDeletes:       s.seriesDeletes.Load(),
 			InflightIngestBytes: s.inflightIngest.Load(),
 		},
 	}

@@ -6,12 +6,24 @@ import (
 	"sync/atomic"
 )
 
-// blockCache is a small LRU of decoded blocks keyed by block-file path
-// (unique per series + start). Repeated range queries over warm blocks
-// skip the disk read and the block decode. Each tsdb shard owns its own
-// blockCache, so cache traffic never crosses shard boundaries and there is
-// no global cache mutex to contend on. A nil *blockCache is valid and
-// caches nothing, so callers never branch on the CacheBlocks option.
+// cacheKey identifies one decoded block revision. Block files are named
+// by start index, so a path alone is not a stable identity: compaction
+// rewrites a path with merged content and DeleteSeries + re-ingest reuses
+// the same names for entirely new data. The generation — assigned once
+// per blockMeta, never reused — makes a stale cache entry unreachable the
+// moment the index stops pointing at it, instead of silently serving old
+// samples under a recycled path.
+type cacheKey struct {
+	path string
+	gen  uint64
+}
+
+// blockCache is a small LRU of decoded blocks keyed by (path, generation).
+// Repeated range queries over warm blocks skip the disk read and the block
+// decode. Each tsdb shard owns its own blockCache, so cache traffic never
+// crosses shard boundaries and there is no global cache mutex to contend
+// on. A nil *blockCache is valid and caches nothing, so callers never
+// branch on the CacheBlocks option.
 //
 // The miss path is single-flighted: concurrent cold queries for the same
 // block elect one loader; the rest wait for its result instead of
@@ -24,12 +36,12 @@ type blockCache struct {
 	mu       sync.Mutex
 	cap      int
 	order    *list.List // front = most recently used; values are *cacheEntry
-	entries  map[string]*list.Element
-	inflight map[string]*flightCall // keys being loaded right now
+	entries  map[cacheKey]*list.Element
+	inflight map[cacheKey]*flightCall // keys being loaded right now
 }
 
 type cacheEntry struct {
-	key   string
+	key   cacheKey
 	dense []float64
 }
 
@@ -45,15 +57,15 @@ func newBlockCache(capacity int) *blockCache {
 	return &blockCache{
 		cap:      capacity,
 		order:    list.New(),
-		entries:  make(map[string]*list.Element, capacity),
-		inflight: make(map[string]*flightCall),
+		entries:  make(map[cacheKey]*list.Element, capacity),
+		inflight: make(map[cacheKey]*flightCall),
 	}
 }
 
 // get returns the cached reconstruction for a block, if resident, marking
 // it recently used. Unlike getOrFill it never loads: the cursor's partial-
 // decode path peeks first and, on a miss, range-decodes without caching.
-func (c *blockCache) get(key string) ([]float64, bool) {
+func (c *blockCache) get(key cacheKey) ([]float64, bool) {
 	if c == nil {
 		return nil, false
 	}
@@ -73,7 +85,7 @@ func (c *blockCache) get(key string) ([]float64, bool) {
 // contains reports residency without touching recency or the hit
 // counters; QueryAgg uses it to decide between folding the cached
 // reconstruction and pushing the aggregate down to the codec.
-func (c *blockCache) contains(key string) bool {
+func (c *blockCache) contains(key cacheKey) bool {
 	if c == nil {
 		return false
 	}
@@ -88,7 +100,7 @@ func (c *blockCache) contains(key string) bool {
 // first caller runs fill, the rest wait for its result. Errors are returned
 // to every waiter but not cached, so a transient read failure is retried by
 // the next query.
-func (c *blockCache) getOrFill(key string, fill func() ([]float64, error)) ([]float64, error) {
+func (c *blockCache) getOrFill(key cacheKey, fill func() ([]float64, error)) ([]float64, error) {
 	if c == nil {
 		return fill()
 	}
@@ -124,7 +136,7 @@ func (c *blockCache) getOrFill(key string, fill func() ([]float64, error)) ([]fl
 // put stores a block reconstruction, evicting the least recently used
 // entry when over capacity. (Workers use it to prime the cache with blocks
 // they just compressed, so the first query needs no disk read.)
-func (c *blockCache) put(key string, dense []float64) {
+func (c *blockCache) put(key cacheKey, dense []float64) {
 	if c == nil {
 		return
 	}
@@ -134,7 +146,7 @@ func (c *blockCache) put(key string, dense []float64) {
 }
 
 // storeLocked inserts or refreshes an entry; the caller holds c.mu.
-func (c *blockCache) storeLocked(key string, dense []float64) {
+func (c *blockCache) storeLocked(key cacheKey, dense []float64) {
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*cacheEntry).dense = dense
 		c.order.MoveToFront(el)

@@ -24,7 +24,7 @@ func TestCacheSingleFlightMissPath(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		results[0], errs[0] = c.getOrFill("k", func() ([]float64, error) {
+		results[0], errs[0] = c.getOrFill(cacheKey{path: "k"}, func() ([]float64, error) {
 			fills.Add(1)
 			close(started)
 			<-release
@@ -36,7 +36,7 @@ func TestCacheSingleFlightMissPath(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = c.getOrFill("k", func() ([]float64, error) {
+			results[i], errs[i] = c.getOrFill(cacheKey{path: "k"}, func() ([]float64, error) {
 				fills.Add(1)
 				return nil, errors.New("redundant fill")
 			})
@@ -70,13 +70,13 @@ func TestCacheSingleFlightMissPath(t *testing.T) {
 func TestCacheSingleFlightErrorNotCached(t *testing.T) {
 	c := newBlockCache(4)
 	boom := errors.New("disk gone")
-	if _, err := c.getOrFill("k", func() ([]float64, error) { return nil, boom }); !errors.Is(err, boom) {
+	if _, err := c.getOrFill(cacheKey{path: "k"}, func() ([]float64, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want %v", err, boom)
 	}
 	if c.len() != 0 {
 		t.Fatalf("error cached: %d entries", c.len())
 	}
-	dense, err := c.getOrFill("k", func() ([]float64, error) { return []float64{7}, nil })
+	dense, err := c.getOrFill(cacheKey{path: "k"}, func() ([]float64, error) { return []float64{7}, nil })
 	if err != nil || len(dense) != 1 {
 		t.Fatalf("retry: %v, %v", dense, err)
 	}

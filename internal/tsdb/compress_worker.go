@@ -3,12 +3,18 @@ package tsdb
 import "sync"
 
 // compressJob asks a worker to compress and persist one cut block, then
-// publish it into the owning series' durable block index.
+// publish it into the owning series' durable block index. A job with fn
+// set instead runs that closure — lifecycle passes use this to fan their
+// per-series work across the same bounded pool ingest compressions share,
+// so maintenance parallelism is capped by the same knob. Such closures
+// must not submit pool jobs themselves (a full queue with every worker
+// blocked on submit would deadlock).
 type compressJob struct {
 	name string
 	sh   *shard
 	st   *seriesState
 	pb   *pendingBlock
+	fn   func()
 }
 
 // workerPool runs block compressions on a fixed set of goroutines behind a
@@ -52,6 +58,11 @@ func (p *workerPool) submit(j compressJob) {
 func (p *workerPool) run() {
 	defer p.wg.Done()
 	for j := range p.jobs {
+		if j.fn != nil {
+			j.fn()
+			p.jobDone()
+			continue
+		}
 		meta, recon, err := p.db.buildBlock(j.name, j.pb.start, j.pb.raw)
 		var raw []float64
 		j.sh.mu.Lock()
@@ -66,7 +77,7 @@ func (p *workerPool) run() {
 			j.st.insertBlock(meta)
 			j.pb.recon = recon
 			raw, j.pb.raw = j.pb.raw, nil
-			j.sh.cache.put(meta.path, recon)
+			j.sh.cache.put(meta.key(), recon)
 		}
 		j.sh.mu.Unlock()
 		close(j.pb.done)

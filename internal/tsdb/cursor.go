@@ -50,11 +50,16 @@ func (db *DB) snapshotRange(name string, from, to int) (*rangeSnapshot, error) {
 	if st == nil {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownSeries, name)
 	}
-	if from < 0 {
-		from = 0
+	if from < st.base {
+		// Samples below the retention base are gone; the query starts at
+		// the first retained sample.
+		from = st.base
 	}
 	if to > st.total {
 		to = st.total
+	}
+	if to < from {
+		to = from
 	}
 	snap := &rangeSnapshot{name: name, sh: sh, from: from, to: to}
 	if from >= to {
@@ -168,6 +173,10 @@ func (c *Cursor) Next() ([]float64, bool) {
 // Err returns the first error encountered while resolving chunks.
 func (c *Cursor) Err() error { return c.err }
 
+// Start returns the absolute index of the first sample the cursor yields
+// (the requested from, clamped to the series' retained range).
+func (c *Cursor) Start() int { return c.snap.from }
+
 // Close releases the cursor's pooled decode buffer. The cursor yields no
 // further chunks; previously returned chunks must not be used afterwards.
 func (c *Cursor) Close() {
@@ -182,7 +191,10 @@ func (c *Cursor) Close() {
 }
 
 // segmentRange resolves samples [lo, hi) (absolute indices) of one
-// snapshotted segment.
+// snapshotted segment. A durable block that went stale between snapshot
+// and read (compaction replaced or superseded its file) is retried once
+// against the live index: the merged replacement reconstructs the old
+// span bit-identically, so the retry serves exactly the same samples.
 func (db *DB) segmentRange(snap *rangeSnapshot, s cursorSeg, lo, hi int, buf *[]float64) ([]float64, error) {
 	if s.pending != nil {
 		dense, err := db.pendingDense(snap.sh, snap.name, s)
@@ -191,7 +203,51 @@ func (db *DB) segmentRange(snap *rangeSnapshot, s cursorSeg, lo, hi int, buf *[]
 		}
 		return dense[lo-s.meta.start : hi-s.meta.start], nil
 	}
-	return db.blockRange(snap.sh, s.meta, lo-s.meta.start, hi-s.meta.start, buf)
+	chunk, err := db.blockRange(snap.sh, s.meta, lo-s.meta.start, hi-s.meta.start, buf)
+	if isStaleBlock(err) {
+		// The usual case: the swap already published the merged meta.
+		if meta, ok := db.currentBlockFor(snap.sh, snap.name, lo); ok && meta.gen != s.meta.gen && meta.start <= lo && meta.start+meta.n >= hi {
+			return db.blockRange(snap.sh, meta, lo-meta.start, hi-meta.start, buf)
+		}
+		// Rename-before-swap window: the file already holds the merged
+		// block but the index still points at the old meta. The file is
+		// self-describing and the merge starts at the old block's start,
+		// so serve straight from what is on disk.
+		if chunk, rerr := db.readReplacedBlock(s.meta, lo, hi); rerr == nil {
+			return chunk, nil
+		}
+	}
+	return chunk, err
+}
+
+// readReplacedBlock reads a block file that compaction republished before
+// the index swap became visible: the file at the old meta's path is a
+// valid merged block starting at the same sample index, bit-identical to
+// the old blocks over their span. The result is decoded fresh and not
+// cached (the replacement's cache generation is unknown here; the next
+// index-resolved read caches it).
+func (db *DB) readReplacedBlock(old blockMeta, lo, hi int) ([]float64, error) {
+	data, release, err := db.readFilePooled(old.path)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	hdr, off, err := codec.ParseBlockHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	if hi > old.start+hdr.N {
+		return nil, fmt.Errorf("tsdb: replaced block %s covers %d samples, need %d", old.path, hdr.N, hi-old.start)
+	}
+	c, err := codec.ByID(hdr.CodecID)
+	if err != nil {
+		return nil, err
+	}
+	dense, err := c.Decode(data[off:], hdr.N)
+	if err != nil {
+		return nil, err
+	}
+	return dense[lo-old.start : hi-old.start], nil
 }
 
 // pendingDense waits for one in-flight block and returns its
@@ -219,7 +275,7 @@ func (db *DB) pendingDense(sh *shard, name string, s cursorSeg) ([]float64, erro
 // seek — takes the full decode-and-cache path.
 func (db *DB) blockRange(sh *shard, meta blockMeta, lo, hi int, buf *[]float64) ([]float64, error) {
 	if hi-lo < meta.n {
-		if dense, ok := sh.cache.get(meta.path); ok {
+		if dense, ok := sh.cache.get(meta.key()); ok {
 			return dense[lo:hi], nil
 		}
 		c, err := db.codecFor(meta)
@@ -295,13 +351,33 @@ func (db *DB) QueryAgg(name string, from, to, step int, f AggFunc) ([]float64, e
 	default:
 		return nil, fmt.Errorf("tsdb: unsupported aggregate function %v", f)
 	}
+	if out, ok, err := db.rollupAgg(name, from, to, step, f); ok || err != nil {
+		return out, err
+	}
+	accs, _, err := db.windowAggs(name, from, to, step)
+	if err != nil || accs == nil {
+		return nil, err
+	}
+	out := make([]float64, len(accs))
+	for i, a := range accs {
+		out[i] = a.Eval(f)
+	}
+	return out, nil
+}
+
+// windowAggs computes the per-window accumulators of QueryAgg: samples
+// [from, to) cut into step-sized windows anchored at the clamped from
+// (also returned). A nil accumulator slice means the clamped range was
+// empty. Both QueryAgg and rollup materialization build on it — one
+// accumulator pass serves every aggregate function at once.
+func (db *DB) windowAggs(name string, from, to, step int) ([]codec.RangeAgg, int, error) {
 	snap, err := db.snapshotRange(name, from, to)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	from, to = snap.from, snap.to
 	if from >= to {
-		return nil, nil
+		return nil, from, nil
 	}
 	nw := (to - from + step - 1) / step
 	accs := make([]codec.RangeAgg, nw)
@@ -320,7 +396,7 @@ func (db *DB) QueryAgg(name string, from, to, step int, f AggFunc) ([]float64, e
 		if s.pending == nil {
 			handled, err := db.aggPushdown(snap.sh, s.meta, from, step, lo, hi, accs)
 			if err != nil {
-				return nil, err
+				return nil, from, err
 			}
 			if handled {
 				continue
@@ -328,18 +404,14 @@ func (db *DB) QueryAgg(name string, from, to, step int, f AggFunc) ([]float64, e
 		}
 		chunk, err := db.segmentRange(snap, s, lo, hi, &buf)
 		if err != nil {
-			return nil, err
+			return nil, from, err
 		}
 		foldWindows(accs, from, step, lo, chunk)
 	}
 	if len(snap.tail) > 0 {
 		foldWindows(accs, from, step, snap.tailStart, snap.tail)
 	}
-	out := make([]float64, nw)
-	for i, a := range accs {
-		out[i] = a.Eval(f)
-	}
-	return out, nil
+	return accs, from, nil
 }
 
 // aggPushdown folds the window aggregates of one durable block's overlap
@@ -350,7 +422,7 @@ func (db *DB) QueryAgg(name string, from, to, step int, f AggFunc) ([]float64, e
 // cheaper than re-parsing the payload — or when the codec cannot
 // aggregate natively.
 func (db *DB) aggPushdown(sh *shard, meta blockMeta, from, step, lo, hi int, accs []codec.RangeAgg) (bool, error) {
-	if sh.cache.contains(meta.path) {
+	if sh.cache.contains(meta.key()) {
 		return false, nil
 	}
 	c, err := db.codecFor(meta)
@@ -363,6 +435,11 @@ func (db *DB) aggPushdown(sh *shard, meta blockMeta, from, step, lo, hi int, acc
 	}
 	payload, release, err := db.openBlockPayload(meta)
 	if err != nil {
+		if isStaleBlock(err) {
+			// Compaction moved the block out from under us; decline so the
+			// dense fallback re-resolves against the live index.
+			return false, nil
+		}
 		return false, err
 	}
 	defer release()

@@ -44,6 +44,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"net/url"
 	"os"
 	"path/filepath"
@@ -53,6 +54,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/codec"
 	"repro/internal/core"
@@ -95,6 +97,39 @@ type Options struct {
 	// should budget CacheBlocks at Shards times its working set (budgets
 	// below Shards round up to one block per shard).
 	CacheBlocks int
+
+	// Retention, when positive, bounds every raw series to roughly its
+	// newest Retention samples: each Maintain pass deletes the whole
+	// durable blocks lying entirely below the horizon (total appended
+	// samples minus Retention). Trims are recorded in a per-series trim
+	// file before any file is deleted, so a crash mid-trim recovers to
+	// either the pre- or the post-trim sample set. Rollup series are
+	// governed by their spec's Retention instead, and raw trims never
+	// outrun rollup materialization. 0 disables age retention.
+	Retention int
+	// RetainBytes, when positive, bounds the store's total durable block
+	// bytes: each Maintain pass deletes oldest-first blocks from the
+	// series holding the most block bytes until the store fits the
+	// budget. 0 disables the byte budget.
+	RetainBytes int64
+	// CompactMinFill is the fill fraction below which adjacent durable
+	// blocks become merge candidates: Maintain coalesces runs of blocks
+	// each holding fewer than CompactMinFill*BlockSize samples (the
+	// signature of trickle-ingest flushes) into blocks of up to BlockSize
+	// samples, merging compressed payloads so queries stay bit-identical.
+	// 0 picks 0.5; a negative value disables compaction.
+	CompactMinFill float64
+	// Rollups declares downsampled tiers: each Maintain pass materializes
+	// the configured window aggregates of every raw series into ordinary
+	// series named "<series>@<agg>:<step>" (via the aggregate pushdown —
+	// no raw samples are materialized), and QueryAgg transparently
+	// answers tier-aligned aggregate queries from the coarsest rollup
+	// that covers them.
+	Rollups []RollupSpec
+	// LifecycleInterval, when positive, runs Maintain on a background
+	// ticker between Open and Close. When zero, lifecycle jobs run only
+	// when Maintain is called explicitly.
+	LifecycleInterval time.Duration
 }
 
 func (o *Options) withDefaults() error {
@@ -125,7 +160,19 @@ func (o *Options) withDefaults() error {
 	if o.BlockSize > codec.MaxBlockSamples {
 		return fmt.Errorf("tsdb: BlockSize %d above the block format's %d-sample cap", o.BlockSize, codec.MaxBlockSamples)
 	}
-	return nil
+	if o.Retention < 0 {
+		return fmt.Errorf("tsdb: Retention must be non-negative, got %d", o.Retention)
+	}
+	if o.RetainBytes < 0 {
+		return fmt.Errorf("tsdb: RetainBytes must be non-negative, got %d", o.RetainBytes)
+	}
+	if o.CompactMinFill == 0 {
+		o.CompactMinFill = 0.5
+	}
+	if o.CompactMinFill > 1 {
+		return fmt.Errorf("tsdb: CompactMinFill must be at most 1, got %v", o.CompactMinFill)
+	}
+	return o.normalizeRollups()
 }
 
 // minBlock is the smallest sample count the configured codec can encode
@@ -196,10 +243,36 @@ type DB struct {
 	rangeDecodes  atomic.Uint64 // cold partial decodes served via codec.RangeDecoder
 	aggPushdowns  atomic.Uint64 // blocks aggregated via codec.AggDecoder without materializing
 
+	// gen issues store-unique block revisions: every blockMeta carries one,
+	// and the decoded-block cache keys on (path, gen), so a path recycled by
+	// compaction or delete + re-ingest can never alias stale cached samples.
+	gen atomic.Uint64
+
+	// Lifecycle observability (see Maintain in lifecycle.go).
+	compactionRuns  atomic.Uint64
+	compactedBlocks atomic.Uint64
+	rollupSamples   atomic.Uint64
+	trimmedBlocks   atomic.Uint64
+	trimmedBytes    atomic.Uint64
+	seriesDeleted   atomic.Uint64
+	lifecyclePasses atomic.Uint64
+	lifecycleErrors atomic.Uint64
+
+	// lifecycleMu serializes whole lifecycle operations (Maintain passes
+	// and DeleteSeries): while one holds it, the durable block index only
+	// changes by appending at the frontier, which is what lets compaction
+	// and retention verify-and-swap snapshots safely.
+	lifecycleMu   sync.Mutex
+	lifecycleStop chan struct{} // closed by Close to stop the background loop
+	lifecycleDone chan struct{} // closed by the loop goroutine on exit
+
 	errMu    sync.Mutex
 	failed   int   // failed block compressions awaiting repair
 	firstErr error // first unrepaired failure, surfaced by Append/Sync/Flush
 }
+
+// nextGen issues a fresh block revision for cache identity.
+func (db *DB) nextGen() uint64 { return db.gen.Add(1) }
 
 // Open creates or reopens a store rooted at dir.
 func Open(dir string, opt Options) (*DB, error) {
@@ -247,6 +320,16 @@ func Open(dir string, opt Options) (*DB, error) {
 		if validateSeriesName(name) != nil || url.PathEscape(name) != e.Name() {
 			return nil, fmt.Errorf("tsdb: series directory %q does not canonically encode a valid series name", e.Name())
 		}
+		sdir := filepath.Join(dir, e.Name())
+		if _, serr := os.Stat(filepath.Join(sdir, tombstoneFile)); serr == nil {
+			// A DeleteSeries crashed between writing its tombstone and
+			// finishing the file removal; complete the deletion instead of
+			// resurrecting a half-deleted series.
+			if err := removeSeriesDir(sdir); err != nil {
+				return nil, fmt.Errorf("tsdb: completing deletion of series %q: %w", name, err)
+			}
+			continue
+		}
 		st, err := db.loadSeries(name)
 		if err != nil {
 			return nil, fmt.Errorf("tsdb: loading series %q: %w", name, err)
@@ -256,7 +339,45 @@ func Open(dir string, opt Options) (*DB, error) {
 	if opt.Workers > 0 {
 		db.pool = newWorkerPool(db, opt.Workers)
 	}
+	if opt.LifecycleInterval > 0 {
+		db.lifecycleStop = make(chan struct{})
+		db.lifecycleDone = make(chan struct{})
+		go db.lifecycleLoop(opt.LifecycleInterval)
+	}
 	return db, nil
+}
+
+// Lifecycle bookkeeping files inside a series directory. trimFile records
+// the retention base (first retained sample index) and is atomically
+// written before any block below it is deleted; tombstoneFile marks a
+// DeleteSeries in progress, so recovery finishes the deletion rather than
+// resurrecting whatever files a crash left behind.
+const (
+	trimFile      = "trim"
+	tombstoneFile = "tombstone"
+)
+
+// removeSeriesDir deletes a series directory in tombstone-last order:
+// content files first, the tombstone second, the directory last. Whatever
+// the interleaving of a crash, a surviving tombstone means the deletion
+// resumes on the next Open, and a missing one means it completed.
+func removeSeriesDir(sdir string) error {
+	entries, err := os.ReadDir(sdir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.Name() == tombstoneFile {
+			continue
+		}
+		if err := os.Remove(filepath.Join(sdir, e.Name())); err != nil {
+			return err
+		}
+	}
+	if err := os.Remove(filepath.Join(sdir, tombstoneFile)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	return os.Remove(sdir)
 }
 
 // seriesDir maps a series name to its directory, escaping path separators
@@ -270,16 +391,28 @@ func (db *DB) seriesDir(name string) string {
 // loadSeries scans a series directory, indexing its blocks, reading the
 // tail file if one is still live, and cleaning up crash artifacts:
 // leftover *.tmp files from interrupted atomic writes are removed, blocks
-// beyond a hole in the start sequence (an async writer persisted a later
-// block but crashed before an earlier one) are deleted so the remaining
-// prefix is contiguous, and tail files whose start stamp no longer matches
-// the durable block frontier (the tail was cut into a block after the last
-// Flush) are discarded rather than replayed as duplicate samples.
+// entirely below the trim file's base or fully covered by an earlier
+// block (a retention trim or compaction merge crashed before deleting its
+// source files) are deleted, blocks beyond a hole in the start sequence
+// (an async writer persisted a later block but crashed before an earlier
+// one) are deleted so the remaining run is contiguous from the base, and
+// tail files whose start stamp no longer matches the durable block
+// frontier (the tail was cut into a block after the last Flush) are
+// discarded rather than replayed as duplicate samples.
 func (db *DB) loadSeries(name string) (*seriesState, error) {
 	st := newSeriesState()
 	sdir := db.seriesDir(name)
 	entries, err := os.ReadDir(sdir)
 	if err != nil {
+		return nil, err
+	}
+	if data, err := os.ReadFile(filepath.Join(sdir, trimFile)); err == nil {
+		v, perr := strconv.Atoi(strings.TrimSpace(string(data)))
+		if perr != nil || v < 0 {
+			return nil, fmt.Errorf("malformed trim file %q", strings.TrimSpace(string(data)))
+		}
+		st.base = v
+	} else if !errors.Is(err, fs.ErrNotExist) {
 		return nil, err
 	}
 	type tailFile struct {
@@ -291,6 +424,8 @@ func (db *DB) loadSeries(name string) (*seriesState, error) {
 	for _, e := range entries {
 		base := e.Name()
 		switch {
+		case base == trimFile || base == tombstoneFile:
+			// Lifecycle bookkeeping, handled above / by Open.
 		case base == "tail.raw":
 			legacyTail = filepath.Join(sdir, base)
 		case strings.HasSuffix(base, ".tmp"):
@@ -317,7 +452,7 @@ func (db *DB) loadSeries(name string) (*seriesState, error) {
 			if err != nil {
 				return nil, fmt.Errorf("block %q: %w", base, err)
 			}
-			st.blocks = append(st.blocks, blockMeta{start: start, n: n, path: path, bytes: info.Size(), codecID: codecID, hdrOff: hdrOff})
+			st.blocks = append(st.blocks, blockMeta{start: start, n: n, path: path, bytes: info.Size(), codecID: codecID, hdrOff: hdrOff, gen: db.nextGen()})
 		case strings.HasSuffix(base, ".tail"):
 			start, err := strconv.Atoi(strings.TrimSuffix(base, ".tail"))
 			if err != nil {
@@ -327,12 +462,31 @@ func (db *DB) loadSeries(name string) (*seriesState, error) {
 		}
 	}
 	sort.Slice(st.blocks, func(i, j int) bool { return st.blocks[i].start < st.blocks[j].start })
+	frontier := st.base
+	var kept []blockMeta
+scan:
 	for i, b := range st.blocks {
-		expect := 0
-		if i > 0 {
-			expect = st.blocks[i-1].start + st.blocks[i-1].n
-		}
-		if b.start != expect {
+		switch {
+		case b.start+b.n <= frontier:
+			// Fully covered by the retained run: below the trim base (an
+			// interrupted retention delete) or inside an already-kept merged
+			// block (a compaction that crashed before removing its sources).
+			// Either way the samples live on in the coverage, so the file is
+			// superseded.
+			if err := os.Remove(b.path); err != nil {
+				return nil, fmt.Errorf("removing superseded block %q: %w", b.path, err)
+			}
+		case b.start < frontier:
+			// Straddles established coverage — no writer produces this (trims
+			// and merges align to whole-block boundaries), so treat it as a
+			// corrupt artifact rather than double-counting its samples.
+			if err := os.Remove(b.path); err != nil {
+				return nil, fmt.Errorf("removing overlapping block %q: %w", b.path, err)
+			}
+		case b.start == frontier:
+			kept = append(kept, b)
+			frontier += b.n
+		default:
 			// Orphaned beyond a crash hole: unreachable by contiguous
 			// indexing, so discard the files and keep the prefix.
 			for _, orphan := range st.blocks[i:] {
@@ -340,13 +494,11 @@ func (db *DB) loadSeries(name string) (*seriesState, error) {
 					return nil, fmt.Errorf("removing orphaned block %q: %w", orphan.path, err)
 				}
 			}
-			st.blocks = st.blocks[:i]
-			break
+			break scan
 		}
 	}
-	for _, b := range st.blocks {
-		st.assigned += b.n
-	}
+	st.blocks = kept
+	st.assigned = frontier
 	for _, tf := range tails {
 		if tf.start != st.assigned {
 			// Superseded by a block cut after the Flush that wrote it.
@@ -400,7 +552,7 @@ func (db *DB) loadSeries(name string) (*seriesState, error) {
 // block will observe). It performs no shard-state mutation, so workers call
 // it without holding any lock.
 func (db *DB) buildBlock(name string, start int, block []float64) (blockMeta, []float64, error) {
-	c := db.opt.Codec
+	c := db.codecForSeries(name)
 	data, hdrOff, recon, err := codec.EncodeBlockRecon(c, block)
 	if err != nil {
 		return blockMeta{}, nil, err
@@ -411,7 +563,7 @@ func (db *DB) buildBlock(name string, start int, block []float64) (blockMeta, []
 	}
 	db.blocksWritten.Add(1)
 	db.bytesWritten.Add(uint64(len(data)))
-	meta := blockMeta{start: start, n: len(block), path: path, bytes: int64(len(data)), codecID: c.ID(), hdrOff: hdrOff}
+	meta := blockMeta{start: start, n: len(block), path: path, bytes: int64(len(data)), codecID: c.ID(), hdrOff: hdrOff, gen: db.nextGen()}
 	return meta, recon, nil
 }
 
@@ -430,10 +582,12 @@ func (db *DB) Sync() error {
 // stored verbatim in a start-stamped .tail file. Tails of unaffected
 // series are persisted even when another series has a failure, so one bad
 // block cannot cost every series its buffered samples; once every failed
-// block is repaired the store resumes normal operation.
+// block is repaired the store resumes normal operation. Failures across
+// series are aggregated with errors.Join — an operator reading a shutdown
+// log sees every series that lost its flush, not just the first.
 func (db *DB) Flush() error {
 	db.Sync() // drain the bulk; failures are retried below and re-checked at return
-	var opErr error
+	var errs []error
 	for _, sh := range db.shards {
 		sh.mu.RLock()
 		names := make([]string, 0, len(sh.series))
@@ -442,13 +596,13 @@ func (db *DB) Flush() error {
 		}
 		sh.mu.RUnlock()
 		for _, name := range names {
-			if err := db.flushSeries(sh, name); err != nil && opErr == nil {
-				opErr = err
+			if err := db.flushSeries(sh, name); err != nil {
+				errs = append(errs, fmt.Errorf("series %q: %w", name, err))
 			}
 		}
 	}
-	if opErr != nil {
-		return opErr
+	if err := errors.Join(errs...); err != nil {
+		return err
 	}
 	return db.err()
 }
@@ -541,7 +695,7 @@ func (db *DB) repairPendingLocked(sh *shard, name string, st *seriesState) error
 		st.insertBlock(meta)
 		db.putBlockBuf(pb.raw)
 		pb.raw = nil
-		sh.cache.put(meta.path, recon)
+		sh.cache.put(meta.key(), recon)
 		db.noteRepair()
 	}
 	return nil
@@ -601,7 +755,7 @@ func (db *DB) flushTailLocked(sh *shard, name string, st *seriesState) error {
 		st.insertBlock(meta)
 		st.assigned += meta.n
 		st.tail = st.tail[:0]
-		sh.cache.put(meta.path, recon)
+		sh.cache.put(meta.key(), recon)
 	default:
 		ir := series.FromDense(st.tail)
 		if err := atomicWrite(db.tailPath(name, st.assigned), ir.Encode()); err != nil {
@@ -697,19 +851,64 @@ func (db *DB) codecFor(meta blockMeta) (codec.Codec, error) {
 	return codec.ByID(meta.codecID)
 }
 
+// errStaleBlock reports that a block file no longer holds what a
+// snapshotted blockMeta describes: compaction republished the start-named
+// path with a wider merged block. Readers holding the old meta re-resolve
+// against the live index (see currentBlockFor) — the merged
+// reconstruction is bit-identical over the old span, so the retry serves
+// exactly the same samples.
+var errStaleBlock = errors.New("tsdb: block file replaced since snapshot")
+
+// isStaleBlock reports whether a block read failed because the
+// snapshotted file was replaced (compaction) or deleted (retention,
+// DeleteSeries) after the snapshot was taken.
+func isStaleBlock(err error) bool {
+	return errors.Is(err, errStaleBlock) || errors.Is(err, fs.ErrNotExist)
+}
+
+// currentBlockFor returns the durable block currently covering absolute
+// sample index idx. Readers whose snapshotted block went stale
+// mid-compaction use it to find the merged replacement.
+func (db *DB) currentBlockFor(sh *shard, name string, idx int) (blockMeta, bool) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	st := sh.series[name]
+	if st == nil {
+		return blockMeta{}, false
+	}
+	i := sort.Search(len(st.blocks), func(i int) bool { return st.blocks[i].start+st.blocks[i].n > idx })
+	if i < len(st.blocks) && st.blocks[i].start <= idx {
+		return st.blocks[i], true
+	}
+	return blockMeta{}, false
+}
+
 // openBlockPayload is the shared preamble of every cold-block read: it
 // reads the block file into a pooled buffer and returns the codec payload
 // past the header. The caller must invoke release once the payload is no
 // longer referenced (codecs decode into fresh or caller-owned buffers, so
-// releasing after decode is safe).
+// releasing after decode is safe). The header is re-parsed and checked
+// against the snapshotted meta: block files are named by start index, so
+// a compaction can republish this path with a merged block of different
+// geometry — decoding the new payload under the old geometry must fail
+// loudly (errStaleBlock) and trigger re-resolution, never misread.
 func (db *DB) openBlockPayload(meta blockMeta) (payload []byte, release func(), err error) {
 	data, release, err := db.readFilePooled(meta.path)
 	if err != nil {
 		return nil, nil, err
 	}
-	if len(data) < meta.hdrOff {
+	h, off, perr := codec.ParseBlockHeader(data)
+	switch {
+	case perr == nil:
+		if off != meta.hdrOff || h.N != meta.n || h.CodecID != meta.codecID {
+			release()
+			return nil, nil, fmt.Errorf("%w: %s", errStaleBlock, meta.path)
+		}
+	case errors.Is(perr, codec.ErrNotBlockFormat) && meta.hdrOff == 0:
+		// Legacy headerless CAMEO block, still as indexed.
+	default:
 		release()
-		return nil, nil, fmt.Errorf("tsdb: block %s: truncated since open", meta.path)
+		return nil, nil, fmt.Errorf("tsdb: block %s: %w", meta.path, perr)
 	}
 	return data[meta.hdrOff:], release, nil
 }
@@ -719,7 +918,7 @@ func (db *DB) openBlockPayload(meta blockMeta) (payload []byte, release func(), 
 // same block are single-flighted through the cache: one goroutine reads
 // and decodes, concurrent queries wait for its result.
 func (db *DB) readBlock(cache *blockCache, meta blockMeta) ([]float64, error) {
-	return cache.getOrFill(meta.path, func() ([]float64, error) {
+	return cache.getOrFill(meta.key(), func() ([]float64, error) {
 		c, err := db.codecFor(meta)
 		if err != nil {
 			return nil, fmt.Errorf("tsdb: block %s: %w", meta.path, err)
@@ -739,10 +938,11 @@ func (db *DB) readBlock(cache *blockCache, meta blockMeta) ([]float64, error) {
 
 // Stats summarizes one series.
 type Stats struct {
-	Samples   int
-	Blocks    int
-	TailLen   int
-	DiskBytes int64
+	Samples    int
+	Blocks     int
+	TailLen    int
+	DiskBytes  int64
+	FirstIndex int // absolute index of the first retained sample (advanced by retention)
 }
 
 // SeriesStats reports sample/block/byte counts for a series. Samples
@@ -756,7 +956,7 @@ func (db *DB) SeriesStats(name string) (Stats, error) {
 	if st == nil {
 		return Stats{}, fmt.Errorf("%w: %q", ErrUnknownSeries, name)
 	}
-	s := Stats{Samples: st.total, Blocks: len(st.blocks), TailLen: len(st.tail)}
+	s := Stats{Samples: st.total - st.base, Blocks: len(st.blocks), TailLen: len(st.tail), FirstIndex: st.base}
 	for _, b := range st.blocks {
 		s.DiskBytes += b.bytes
 	}
@@ -778,16 +978,35 @@ type DBStats struct {
 	AggPushdowns  uint64 // blocks answered by QueryAgg straight from the compressed form (no samples materialized)
 	Queued        int    // compressions waiting in the worker queue
 	Inflight      int    // compressions currently executing
+
+	// Lifecycle counters (all zero unless compaction/retention/rollups are
+	// configured or Maintain is called explicitly).
+	LifecyclePasses uint64 // completed Maintain passes
+	LifecycleErrors uint64 // Maintain passes that reported at least one error
+	CompactionRuns  uint64 // block groups merged by compaction
+	CompactedBlocks uint64 // source blocks consumed by those merges
+	RollupSamples   uint64 // samples appended to rollup series
+	TrimmedBlocks   uint64 // blocks deleted by retention
+	TrimmedBytes    uint64 // compressed bytes reclaimed by retention
+	SeriesDeleted   uint64 // series removed by DeleteSeries
 }
 
 // Stats reports engine-level totals: write volume, cache effectiveness, and
 // worker-pool backlog.
 func (db *DB) Stats() DBStats {
 	s := DBStats{
-		BlocksWritten: db.blocksWritten.Load(),
-		BytesWritten:  db.bytesWritten.Load(),
-		RangeDecodes:  db.rangeDecodes.Load(),
-		AggPushdowns:  db.aggPushdowns.Load(),
+		BlocksWritten:   db.blocksWritten.Load(),
+		BytesWritten:    db.bytesWritten.Load(),
+		RangeDecodes:    db.rangeDecodes.Load(),
+		AggPushdowns:    db.aggPushdowns.Load(),
+		LifecyclePasses: db.lifecyclePasses.Load(),
+		LifecycleErrors: db.lifecycleErrors.Load(),
+		CompactionRuns:  db.compactionRuns.Load(),
+		CompactedBlocks: db.compactedBlocks.Load(),
+		RollupSamples:   db.rollupSamples.Load(),
+		TrimmedBlocks:   db.trimmedBlocks.Load(),
+		TrimmedBytes:    db.trimmedBytes.Load(),
+		SeriesDeleted:   db.seriesDeleted.Load(),
 	}
 	for _, sh := range db.shards {
 		sh.mu.RLock()
@@ -838,9 +1057,15 @@ func (db *DB) Series() []string {
 	return names
 }
 
-// Close flushes all tails and stops the worker pool. The DB must not be
-// used afterwards, and Close must not race with Append or Query.
+// Close stops the background lifecycle loop, flushes all tails, and stops
+// the worker pool. The DB must not be used afterwards, and Close must not
+// race with Append or Query.
 func (db *DB) Close() error {
+	if db.lifecycleStop != nil {
+		close(db.lifecycleStop)
+		<-db.lifecycleDone
+		db.lifecycleStop = nil
+	}
 	err := db.Flush()
 	if db.pool != nil {
 		db.pool.stop()

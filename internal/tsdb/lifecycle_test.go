@@ -1,0 +1,924 @@
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/series"
+)
+
+// trickleStore builds a store whose series "s" was trickle-ingested:
+// chunks-many flushes of chunkLen samples each, producing chunks-many
+// under-filled durable blocks. Synchronous workers keep the block layout
+// deterministic.
+func trickleStore(t *testing.T, dir string, opt Options, chunkLen, chunks int) (*DB, []float64) {
+	t.Helper()
+	db, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := sensorData(chunkLen*chunks, 99)
+	for i := 0; i < chunks; i++ {
+		if err := db.Append("s", xs[i*chunkLen:(i+1)*chunkLen]...); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, xs
+}
+
+func lifecycleOptions() Options {
+	opt := dbOptions() // CAMEO lags 24 (min tail-block 96), BlockSize 512
+	opt.Workers = -1
+	return opt
+}
+
+func TestCompactionMergesUnderfilledBlocks(t *testing.T) {
+	const chunkLen, chunks = 128, 52
+	opt := lifecycleOptions()
+	db, _ := trickleStore(t, t.TempDir(), opt, chunkLen, chunks)
+	defer db.Close()
+	if s, _ := db.SeriesStats("s"); s.Blocks != chunks {
+		t.Fatalf("trickle ingest produced %d blocks, want %d", s.Blocks, chunks)
+	}
+	before, err := db.Query("s", 0, chunkLen*chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Maintain(); err != nil {
+		t.Fatal(err)
+	}
+	// 52 blocks of 128 pack 4-at-a-time into 512-sample blocks: 13 full.
+	s, err := db.SeriesStats("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := chunks * chunkLen / opt.BlockSize; s.Blocks != want {
+		t.Fatalf("compacted to %d blocks, want %d", s.Blocks, want)
+	}
+	if s.Samples != chunkLen*chunks {
+		t.Fatalf("compaction changed sample count: %d", s.Samples)
+	}
+	stats := db.Stats()
+	if stats.CompactionRuns == 0 || stats.CompactedBlocks != chunks {
+		t.Fatalf("counters = %d runs / %d blocks, want >0 / %d", stats.CompactionRuns, stats.CompactedBlocks, chunks)
+	}
+	after, err := db.Query("s", 0, chunkLen*chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("sample %d changed across compaction: %v -> %v", i, before[i], after[i])
+		}
+	}
+	// The store reopens to the identical reconstruction.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(db.dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	reopened, err := db2.Query("s", 0, chunkLen*chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if before[i] != reopened[i] {
+			t.Fatalf("sample %d changed across compaction+reopen: %v -> %v", i, before[i], reopened[i])
+		}
+	}
+}
+
+// TestCompactionBitIdenticalUnderConcurrentReaders is the acceptance
+// criterion's "during": readers hammering the full range while compaction
+// swaps the index must observe the exact pre-compaction reconstruction on
+// every read.
+func TestCompactionBitIdenticalUnderConcurrentReaders(t *testing.T) {
+	const chunkLen, chunks = 128, 52
+	opt := lifecycleOptions()
+	opt.Workers = 2 // exercise the pool-parallel lifecycle path too
+	db, _ := trickleStore(t, t.TempDir(), opt, chunkLen, chunks)
+	defer db.Close()
+	want, err := db.Query("s", 0, chunkLen*chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var readerErr atomic.Value
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				got, err := db.Query("s", 0, chunkLen*chunks)
+				if err != nil {
+					readerErr.Store(fmt.Errorf("query during compaction: %w", err))
+					return
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						readerErr.Store(fmt.Errorf("sample %d = %v during compaction, want %v", i, got[i], want[i]))
+						return
+					}
+				}
+			}
+		}()
+	}
+	for pass := 0; pass < 3; pass++ {
+		if err := db.Maintain(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := readerErr.Load(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetentionAgeBoundsSeries(t *testing.T) {
+	const chunkLen, chunks = 128, 52
+	opt := lifecycleOptions()
+	opt.Retention = 1024
+	opt.CompactMinFill = -1 // isolate retention: keep the 128-sample blocks
+	dir := t.TempDir()
+	db, xs := trickleStore(t, dir, opt, chunkLen, chunks)
+	defer db.Close()
+	if err := db.Maintain(); err != nil {
+		t.Fatal(err)
+	}
+	total := chunkLen * chunks
+	wantBase := total - opt.Retention // 5632, block-aligned
+	s, err := db.SeriesStats("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FirstIndex != wantBase || s.Samples != opt.Retention {
+		t.Fatalf("after retention: FirstIndex=%d Samples=%d, want %d/%d", s.FirstIndex, s.Samples, wantBase, opt.Retention)
+	}
+	if st := db.Stats(); st.TrimmedBlocks != uint64(wantBase/chunkLen) {
+		t.Fatalf("TrimmedBlocks = %d, want %d", st.TrimmedBlocks, wantBase/chunkLen)
+	}
+	// A query over the full original range clamps to the retained suffix
+	// and reproduces the pre-trim reconstruction of those samples.
+	pre, err := db.Query("s", wantBase, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := db.Query("s", 0, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != opt.Retention {
+		t.Fatalf("full-range query returned %d samples, want the %d retained", len(full), opt.Retention)
+	}
+	for i := range pre {
+		if pre[i] != full[i] {
+			t.Fatalf("retained sample %d mismatch", i)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: the trim base survives and the deleted blocks stay gone.
+	db2, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	s2, err := db2.SeriesStats("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.FirstIndex != wantBase || s2.Samples != opt.Retention {
+		t.Fatalf("after reopen: FirstIndex=%d Samples=%d, want %d/%d", s2.FirstIndex, s2.Samples, wantBase, opt.Retention)
+	}
+	_ = xs
+}
+
+func TestRetentionBytesBoundsStore(t *testing.T) {
+	const chunkLen, chunks = 128, 52
+	opt := lifecycleOptions()
+	opt.CompactMinFill = -1
+	db, _ := trickleStore(t, t.TempDir(), opt, chunkLen, chunks)
+	defer db.Close()
+	grown := db.Stats().DiskBytes
+	opt2 := opt
+	budget := grown / 3
+	db.opt.RetainBytes = budget
+	if err := db.Maintain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Stats().DiskBytes; got > budget {
+		t.Fatalf("DiskBytes %d exceeds budget %d after byte retention", got, budget)
+	}
+	if db.Stats().TrimmedBytes == 0 {
+		t.Fatal("byte retention trimmed nothing")
+	}
+	// The retained suffix still reads cleanly.
+	s, err := db.SeriesStats("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query("s", s.FirstIndex, chunkLen*chunks); err != nil {
+		t.Fatal(err)
+	}
+	_ = opt2
+}
+
+// TestDeleteSeriesReingestFreshReads is the deletion-safety regression for
+// the decoded-block cache: deleting a series and re-ingesting different
+// samples reuses the exact block paths, and reads must observe the new
+// data, never a cached reconstruction of the old.
+func TestDeleteSeriesReingestFreshReads(t *testing.T) {
+	opt := lifecycleOptions()
+	db, err := Open(t.TempDir(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	old := sensorData(opt.BlockSize, 3)
+	if err := db.Append("s", old...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query("s", 0, opt.BlockSize); err != nil { // warm the cache
+		t.Fatal(err)
+	}
+	if err := db.DeleteSeries("s"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query("s", 0, opt.BlockSize); !errors.Is(err, ErrUnknownSeries) {
+		t.Fatalf("query after delete: err = %v, want ErrUnknownSeries", err)
+	}
+	if _, err := os.Stat(db.seriesDir("s")); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("series directory survived DeleteSeries")
+	}
+	if err := db.DeleteSeries("s"); !errors.Is(err, ErrUnknownSeries) {
+		t.Fatalf("second delete: err = %v, want ErrUnknownSeries", err)
+	}
+	fresh := make([]float64, opt.BlockSize)
+	for i := range fresh {
+		fresh[i] = -1000 - float64(i%7) // far from the old series' range
+	}
+	if err := db.Append("s", fresh...); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Query("s", 0, opt.BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] > -900 {
+			t.Fatalf("sample %d = %v: stale pre-delete data served from a recycled path", i, got[i])
+		}
+	}
+	if db.Stats().SeriesDeleted != 1 {
+		t.Fatalf("SeriesDeleted = %d, want 1", db.Stats().SeriesDeleted)
+	}
+}
+
+// TestCompactionInvalidatesCachedBlocks targets the same hazard through
+// compaction: the merged block reuses its first source's path, so a
+// path-keyed cache would serve the old 128-sample reconstruction for a
+// 512-sample block.
+func TestCompactionInvalidatesCachedBlocks(t *testing.T) {
+	const chunkLen, chunks = 128, 8
+	opt := lifecycleOptions()
+	db, _ := trickleStore(t, t.TempDir(), opt, chunkLen, chunks)
+	defer db.Close()
+	want, err := db.Query("s", 0, chunkLen*chunks) // warms every block's cache entry
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Maintain(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Query("s", 0, chunkLen*chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d changed after compaction with a warm cache", i)
+		}
+	}
+}
+
+func TestRollupMaterializationAndTierQuery(t *testing.T) {
+	opt := lifecycleOptions()
+	opt.CacheBlocks = -1 // every read goes to disk: the deletion proof below is airtight
+	opt.Rollups = []RollupSpec{{Step: 24}}
+	dir := t.TempDir()
+	db, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const total = 24 * 512 // month-scale: 24 full raw blocks
+	if err := db.Append("cpu", sensorData(total, 7)...); err != nil {
+		t.Fatal(err)
+	}
+	// Raw answers, computed before any rollup exists.
+	rawByFn := map[AggFunc][]float64{}
+	for _, f := range []AggFunc{series.AggMean, series.AggSum, series.AggMin, series.AggMax} {
+		out, err := db.QueryAgg("cpu", 0, total, 24, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rawByFn[f] = out
+	}
+	if err := db.Maintain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Stats().RollupSamples; got != 4*total/24 {
+		t.Fatalf("RollupSamples = %d, want %d", got, 4*total/24)
+	}
+	names := db.Series()
+	for _, f := range []AggFunc{series.AggMean, series.AggSum, series.AggMin, series.AggMax} {
+		rn := rollupName("cpu", f, 24)
+		found := false
+		for _, n := range names {
+			found = found || n == rn
+		}
+		if !found {
+			t.Fatalf("rollup series %q not materialized (have %v)", rn, names)
+		}
+	}
+	// Tier-step queries are bit-identical to the raw computation: the
+	// materialization ran the exact same accumulator pass.
+	for f, want := range rawByFn {
+		got, err := db.QueryAgg("cpu", 0, total, 24, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d windows, want %d", f, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v window %d: rollup answer %v, raw %v", f, i, got[i], want[i])
+			}
+		}
+	}
+	// Coarser multiples of the tier step compose from rollup samples;
+	// composition reorders float additions, so compare with tolerance.
+	rawWide, _, err := db.windowAggs("cpu", 0, total, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := db.QueryAgg("cpu", 0, total, 48, series.AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range rawWide {
+		if diff := math.Abs(wide[i] - a.Eval(series.AggMean)); diff > 1e-9 {
+			t.Fatalf("wide window %d: rollup %v vs raw %v", i, wide[i], a.Eval(series.AggMean))
+		}
+	}
+	// The deletion proof: with every raw block file gone, tier-aligned
+	// queries still answer in full (they touch no raw block), while a
+	// non-aligned step — which must fall back to raw — fails.
+	matches, err := filepath.Glob(filepath.Join(db.seriesDir("cpu"), "*.blk"))
+	if err != nil || len(matches) != 24 {
+		t.Fatalf("raw block files = %d (%v), want 24", len(matches), err)
+	}
+	for _, m := range matches {
+		if err := os.Remove(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := db.QueryAgg("cpu", 0, total, 24, series.AggMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range rawByFn[series.AggMin] {
+		if got[i] != want {
+			t.Fatalf("window %d after raw deletion: %v, want %v", i, got[i], want)
+		}
+	}
+	if _, err := db.QueryAgg("cpu", 0, total, 23, series.AggMin); err == nil {
+		t.Fatal("non-tier-aligned step answered without raw blocks — it must read them")
+	}
+}
+
+// TestRollupAnswersTrimmedHistory pins the retention/rollup contract: a
+// tier-aligned QueryAgg over the full original range keeps answering every
+// window — bit-identically — after retention deletes the raw blocks
+// beneath it. Materialization runs before trimming (and retainAge caps the
+// raw horizon at rollup coverage), so this must never regress to the
+// clamped raw answer.
+func TestRollupAnswersTrimmedHistory(t *testing.T) {
+	opt := lifecycleOptions()
+	opt.Rollups = []RollupSpec{{Step: 24, Aggs: []AggFunc{series.AggMean}}}
+	opt.Retention = 2048
+	db, err := Open(t.TempDir(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const total = 24 * 512 // tier-aligned series end
+	if err := db.Append("cpu", sensorData(total, 11)...); err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.QueryAgg("cpu", 0, total, 24, series.AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Maintain(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := db.SeriesStats("cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantBase := total - opt.Retention; s.FirstIndex != wantBase {
+		t.Fatalf("retention left FirstIndex=%d, want %d", s.FirstIndex, wantBase)
+	}
+	got, err := db.QueryAgg("cpu", 0, total, 24, series.AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("full-range tier query returned %d windows, want %d (trimmed history not tier-served)", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("window %d after trim: %v, want %v", i, got[i], want[i])
+		}
+	}
+	// A step no tier divides still answers from the retained raw suffix
+	// (clamped, re-anchored at the base) rather than erroring.
+	if _, err := db.QueryAgg("cpu", 0, total, 23, series.AggMean); err != nil {
+		t.Fatalf("clamped raw fallback: %v", err)
+	}
+}
+
+// TestRollupTierTouchesNoRawBlock proves the pushdown with a counting
+// codec: a month-scale tier-aligned QueryAgg decodes exactly one block —
+// the rollup series' own — instead of the 24 raw blocks.
+func TestRollupTierTouchesNoRawBlock(t *testing.T) {
+	opt := lifecycleOptions()
+	opt.CacheBlocks = -1
+	opt.Rollups = []RollupSpec{{Step: 24, Aggs: []AggFunc{series.AggMean}}}
+	dir := t.TempDir()
+	db, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 24 * 512
+	if err := db.Append("cpu", sensorData(total, 8)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Maintain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cc := &countingCodec{inner: codec.NewCAMEO(opt.Compression)}
+	opt.Codec = cc
+	db, err = Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if out, err := db.QueryAgg("cpu", 0, total, 24, series.AggMean); err != nil || len(out) != total/24 {
+		t.Fatalf("tier query: %d windows, err %v", len(out), err)
+	}
+	// The rollup series' own blocks are lossless (Gorilla), so the counting
+	// CAMEO codec sees zero decodes of any kind: not one raw block touched.
+	touched := cc.fullDecodes.Load() + cc.rangeCalls.Load() + cc.aggCalls.Load()
+	if touched != 0 {
+		t.Fatalf("tier-aligned QueryAgg touched %d raw blocks, want 0", touched)
+	}
+	cc.fullDecodes.Store(0)
+	cc.aggCalls.Store(0)
+	cc.rangeCalls.Store(0)
+	if _, err := db.QueryAgg("cpu", 0, total, 23, series.AggMean); err != nil {
+		t.Fatal(err)
+	}
+	touched = cc.fullDecodes.Load() + cc.rangeCalls.Load() + cc.aggCalls.Load()
+	if touched < 24 {
+		t.Fatalf("non-aligned QueryAgg touched %d blocks, want all 24 raw blocks", touched)
+	}
+}
+
+// mergeOnDisk performs the file-level half of a compaction by hand: merge
+// the first k blocks' payloads and write the result over the first block's
+// path, leaving the superseded source files in place — exactly the state a
+// crash after the atomic rename but before the source deletes leaves.
+func mergeOnDisk(t *testing.T, sdir string, k int) {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(sdir, "*.blk"))
+	if err != nil || len(matches) < k {
+		t.Fatalf("blocks = %d (%v), want at least %d", len(matches), err, k)
+	}
+	var payloads [][]byte
+	var ns []int
+	var c codec.Codec
+	for _, m := range matches[:k] {
+		data, err := os.ReadFile(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hdr, off, err := codec.ParseBlockHeader(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c == nil {
+			if c, err = codec.ByID(hdr.CodecID); err != nil {
+				t.Fatal(err)
+			}
+		}
+		payloads = append(payloads, data[off:])
+		ns = append(ns, hdr.N)
+	}
+	merged, err := codec.MergeBlocks(c, payloads, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(matches[0], merged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashMidCompactionRecovers reopens from both halves of a torn
+// compaction — before the atomic publish (stray .tmp merge file) and
+// after it (merged block live, superseded sources still on disk) — and
+// asserts the store serves exactly the pre-operation sample set in the
+// first case and the identical reconstruction in the second.
+func TestCrashMidCompactionRecovers(t *testing.T) {
+	const chunkLen, chunks = 128, 4
+	opt := lifecycleOptions()
+	dir := t.TempDir()
+	db, _ := trickleStore(t, dir, opt, chunkLen, chunks)
+	want, err := db.Query("s", 0, chunkLen*chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sdir := filepath.Join(dir, "s")
+
+	// Crash before the rename: only a temp file of the merge exists.
+	tmp := filepath.Join(sdir, "000000000000.blk.tmp")
+	if err := os.WriteFile(tmp, []byte("torn merge"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err = Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := db.Query("s", 0, chunkLen*chunks); err != nil {
+		t.Fatal(err)
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("pre-publish crash: sample %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+	if _, err := os.Stat(tmp); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("stale merge temp file survived recovery")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash after the rename: the merged block covers its sources, whose
+	// files are still on disk. Recovery must drop them as superseded, not
+	// double-count or discard the suffix.
+	mergeOnDisk(t, sdir, 3)
+	db, err = Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	got, err := db.Query("s", 0, chunkLen*chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("post-publish crash: %d samples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("post-publish crash: sample %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	s, err := db.SeriesStats("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Blocks != 2 { // merged(0..383) + untouched block 384..511
+		t.Fatalf("recovered to %d blocks, want 2", s.Blocks)
+	}
+}
+
+// TestCrashMidRetentionRecovers reopens from both halves of a torn trim:
+// trim base recorded with no file yet deleted, and trim base recorded with
+// only some of the doomed files deleted. Both must recover to exactly the
+// post-trim sample set.
+func TestCrashMidRetentionRecovers(t *testing.T) {
+	const chunkLen, chunks = 128, 4
+	opt := lifecycleOptions()
+	for _, deleteHalf := range []bool{false, true} {
+		dir := t.TempDir()
+		db, _ := trickleStore(t, dir, opt, chunkLen, chunks)
+		full, err := db.Query("s", 0, chunkLen*chunks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		sdir := filepath.Join(dir, "s")
+		base := 2 * chunkLen // trim the first two blocks
+		if err := os.WriteFile(filepath.Join(sdir, trimFile), []byte("256"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if deleteHalf { // one of the two doomed blocks already gone
+			if err := os.Remove(filepath.Join(sdir, "000000000000.blk")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		db, err = Open(dir, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := db.SeriesStats("s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.FirstIndex != base || s.Samples != chunkLen*chunks-base {
+			t.Fatalf("deleteHalf=%v: FirstIndex=%d Samples=%d, want %d/%d", deleteHalf, s.FirstIndex, s.Samples, base, chunkLen*chunks-base)
+		}
+		got, err := db.Query("s", 0, chunkLen*chunks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != chunkLen*chunks-base {
+			t.Fatalf("deleteHalf=%v: %d samples, want %d", deleteHalf, len(got), chunkLen*chunks-base)
+		}
+		for i := range got {
+			if got[i] != full[base+i] {
+				t.Fatalf("deleteHalf=%v: sample %d mismatch", deleteHalf, i)
+			}
+		}
+		// The doomed files are gone either way.
+		for _, name := range []string{"000000000000.blk", "000000000128.blk"} {
+			if _, err := os.Stat(filepath.Join(sdir, name)); !errors.Is(err, fs.ErrNotExist) {
+				t.Fatalf("deleteHalf=%v: trimmed block %s survived recovery", deleteHalf, name)
+			}
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPlantedTombstoneCompletesDeletion(t *testing.T) {
+	opt := lifecycleOptions()
+	dir := t.TempDir()
+	db, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Append("doomed", sensorData(600, 3)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sdir := filepath.Join(dir, "doomed")
+	if err := os.WriteFile(filepath.Join(sdir, tombstoneFile), []byte("deleting"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err = Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Query("doomed", 0, 600); !errors.Is(err, ErrUnknownSeries) {
+		t.Fatalf("tombstoned series resurrected: err = %v", err)
+	}
+	if _, err := os.Stat(sdir); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("tombstoned series directory survived recovery")
+	}
+}
+
+// TestFlushReportsEverySeriesError is the errors.Join regression: when two
+// series both fail to flush, the error must name both, not just the first.
+func TestFlushReportsEverySeriesError(t *testing.T) {
+	opt := lifecycleOptions()
+	dir := t.TempDir()
+	db, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for _, name := range []string{"alpha", "beta"} {
+		if err := db.Append(name, sensorData(200, 4)...); err != nil {
+			t.Fatal(err)
+		}
+		// Replace the series directory with a file so the tail write fails.
+		sdir := filepath.Join(dir, name)
+		if err := os.RemoveAll(sdir); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(sdir, []byte("not a dir"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = db.Flush()
+	if err == nil {
+		t.Fatal("Flush succeeded with both series directories broken")
+	}
+	for _, name := range []string{`series "alpha"`, `series "beta"`} {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("Flush error hides %s: %v", name, err)
+		}
+	}
+	// Clear the faults so Close's flush can drain cleanly.
+	for _, name := range []string{"alpha", "beta"} {
+		sdir := filepath.Join(dir, name)
+		if err := os.Remove(sdir); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(sdir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRollupSpecValidation(t *testing.T) {
+	base := lifecycleOptions()
+	for _, tc := range []struct {
+		name  string
+		specs []RollupSpec
+	}{
+		{"step below 2", []RollupSpec{{Step: 1}}},
+		{"duplicate step", []RollupSpec{{Step: 24}, {Step: 24}}},
+		{"negative retention", []RollupSpec{{Step: 24, Retention: -1}}},
+		{"bad agg", []RollupSpec{{Step: 24, Aggs: []AggFunc{AggFunc(42)}}}},
+	} {
+		opt := base
+		opt.Rollups = tc.specs
+		if _, err := Open(t.TempDir(), opt); err == nil {
+			t.Fatalf("%s: Open accepted invalid rollup spec", tc.name)
+		}
+	}
+	opt := base
+	opt.Rollups = []RollupSpec{{Step: 6}, {Step: 144}, {Step: 24}}
+	if err := opt.withDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{144, 24, 6} { // sorted coarsest-first
+		if opt.Rollups[i].Step != want {
+			t.Fatalf("spec %d step = %d, want %d", i, opt.Rollups[i].Step, want)
+		}
+		if len(opt.Rollups[i].Aggs) != 4 {
+			t.Fatalf("spec %d did not get the default agg set", i)
+		}
+	}
+}
+
+func TestParseRollupName(t *testing.T) {
+	base, f, step, ok := parseRollupName("cpu@mean:24")
+	if !ok || base != "cpu" || f != series.AggMean || step != 24 {
+		t.Fatalf("parse = %q/%v/%d/%v", base, f, step, ok)
+	}
+	if base, _, _, ok := parseRollupName("a@b@max:6"); !ok || base != "a@b" {
+		t.Fatalf("nested '@': base = %q, ok = %v", base, ok)
+	}
+	for _, name := range []string{"cpu", "cpu@mean", "cpu@median:24", "cpu@mean:x", "cpu@mean:1", "@mean:24x"} {
+		if _, _, _, ok := parseRollupName(name); ok {
+			t.Fatalf("%q parsed as a rollup name", name)
+		}
+	}
+}
+
+func TestPlanCompaction(t *testing.T) {
+	mk := func(start, n int, id uint8) blockMeta { return blockMeta{start: start, n: n, codecID: id} }
+	groups := planCompaction([]blockMeta{
+		mk(0, 128, 1), mk(128, 128, 1), mk(256, 128, 1), mk(384, 128, 1), // one full group
+		mk(512, 512, 1),                    // full block: breaks the run
+		mk(1024, 128, 1),                   // codec changes after this one: it groups with nothing
+		mk(1152, 128, 2), mk(1280, 200, 2), // same codec, 328 ≤ 512: a pair
+		mk(1480, 200, 2), mk(1680, 200, 2), // 328+200 > 512 splits before 1480; this pair fits
+	}, 0.5, 512)
+	if len(groups) != 3 {
+		t.Fatalf("planned %d groups, want 3: %+v", len(groups), groups)
+	}
+	if groups[0].n != 512 || len(groups[0].blocks) != 4 || groups[0].blocks[0].start != 0 {
+		t.Fatalf("group 0 = %+v", groups[0])
+	}
+	if groups[1].n != 328 || len(groups[1].blocks) != 2 || groups[1].blocks[0].start != 1152 {
+		t.Fatalf("group 1 = %+v", groups[1])
+	}
+	if groups[2].n != 400 || len(groups[2].blocks) != 2 || groups[2].blocks[0].start != 1480 {
+		t.Fatalf("group 2 = %+v", groups[2])
+	}
+}
+
+// TestLifecycleSoak runs trickle ingest, a fast background lifecycle loop
+// (compaction + retention + rollups), and concurrent readers together —
+// the -race CI job's integration check that the locking protocol holds up
+// under fire.
+func TestLifecycleSoak(t *testing.T) {
+	opt := lifecycleOptions()
+	opt.Workers = 2
+	opt.Retention = 2048
+	opt.Rollups = []RollupSpec{{Step: 24, Aggs: []AggFunc{series.AggMean}}}
+	opt.LifecycleInterval = 2 * time.Millisecond
+	db, err := Open(t.TempDir(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := sensorData(40*128, 11)
+	stop := make(chan struct{})
+	var readerErr atomic.Value
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Readers race trims and deletes; vanished samples may
+				// surface as ENOENT or an unknown series, never as wrong
+				// data or a crash.
+				if _, err := db.Query("s", 0, len(xs)); err != nil && !errors.Is(err, ErrUnknownSeries) && !errors.Is(err, fs.ErrNotExist) {
+					readerErr.Store(err)
+					return
+				}
+				if _, err := db.QueryAgg("s", 0, len(xs), 24, series.AggMean); err != nil && !errors.Is(err, ErrUnknownSeries) && !errors.Is(err, fs.ErrNotExist) {
+					readerErr.Store(err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 40; i++ {
+		if err := db.Append("s", xs[i*128:(i+1)*128]...); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if err := readerErr.Load(); err != nil {
+		t.Fatalf("reader: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen and run one more pass: whatever state the loop left behind
+	// must be recoverable and maintainable.
+	db, err = Open(db.dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Maintain(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := db.SeriesStats("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Samples > opt.Retention+opt.BlockSize {
+		t.Fatalf("retention left %d samples, budget %d", s.Samples, opt.Retention)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

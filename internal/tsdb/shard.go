@@ -22,10 +22,16 @@ type blockMeta struct {
 	start   int // first sample index
 	n       int // samples covered
 	path    string
-	bytes   int64 // encoded size on disk
-	codecID uint8 // codec that wrote the block (from its header)
-	hdrOff  int   // payload offset past the block header (0 for legacy blocks)
+	bytes   int64  // encoded size on disk
+	codecID uint8  // codec that wrote the block (from its header)
+	hdrOff  int    // payload offset past the block header (0 for legacy blocks)
+	gen     uint64 // store-unique revision, part of the cache identity
 }
+
+// key is the block's decoded-cache identity. The generation keeps a
+// recycled path (compaction rewrite, delete + re-ingest) from aliasing a
+// stale cached reconstruction.
+func (m blockMeta) key() cacheKey { return cacheKey{path: m.path, gen: m.gen} }
 
 // pendingBlock is a block that has been cut from the tail but whose
 // compression has not yet completed. Queries overlapping it wait on done;
@@ -47,7 +53,8 @@ type seriesState struct {
 	pending    map[int]*pendingBlock // cut blocks still compressing, by start
 	tail       []float64             // samples not yet cut into a block
 	tailStamps []int                 // start stamps of on-disk tail files
-	assigned   int                   // samples cut into blocks (durable + pending)
+	base       int                   // first retained sample index (older ones trimmed by retention)
+	assigned   int                   // samples cut into blocks (durable + pending), counted from 0
 	total      int                   // assigned + len(tail)
 	flushing   int                   // active Flushes; while > 0, Append defers async cuts
 }
@@ -67,12 +74,13 @@ func (st *seriesState) addTailStamp(start int) {
 	st.tailStamps = append(st.tailStamps, start)
 }
 
-// durableFrontier is the end of the contiguous durable block prefix: every
-// sample below it survives a crash. Out-of-order worker completions can
-// leave durable blocks beyond a hole; those don't extend the frontier
-// (recovery discards them).
+// durableFrontier is the end of the contiguous durable block prefix
+// (anchored at the retention base): every sample between base and it
+// survives a crash. Out-of-order worker completions can leave durable
+// blocks beyond a hole; those don't extend the frontier (recovery
+// discards them).
 func (st *seriesState) durableFrontier() int {
-	f := 0
+	f := st.base
 	for _, b := range st.blocks {
 		if b.start != f {
 			break
@@ -169,7 +177,7 @@ func (db *DB) Append(name string, values ...float64) error {
 			st.insertBlock(meta)
 			st.assigned += meta.n
 			st.tail = append(st.tail[:0], st.tail[db.opt.BlockSize:]...)
-			sh.cache.put(meta.path, recon)
+			sh.cache.put(meta.key(), recon)
 			continue
 		}
 		cut = append(cut, db.cutBlockLocked(st))

@@ -25,13 +25,15 @@ type ServerOptions = server.Options
 // NewHandler builds the HTTP handler serving a Store — the same service
 // cmd/cameod runs, as an http.Handler embedders mount in their own mux:
 //
-//	POST /api/v1/write      batched ingest ("series value" / "series ts
-//	                        value" lines, or a JSON {"series":[...]} batch)
-//	GET  /api/v1/query      raw range streamed as NDJSON or CSV straight
-//	                        off a Store cursor (never materialized)
-//	GET  /api/v1/query_agg  downsampled windows via QueryAgg pushdown
-//	GET  /api/v1/series     sorted series listing
-//	GET  /healthz, /statusz liveness and engine/server counters
+//	POST   /api/v1/write      batched ingest ("series value" / "series ts
+//	                          value" lines, or a JSON {"series":[...]} batch)
+//	GET    /api/v1/query      raw range streamed as NDJSON or CSV straight
+//	                          off a Store cursor (never materialized)
+//	GET    /api/v1/query_agg  downsampled windows via QueryAgg pushdown
+//	GET    /api/v1/series     sorted series listing
+//	DELETE /api/v1/series     drop one series and its rollup tiers (204;
+//	                          404 for unknown names)
+//	GET    /healthz, /statusz liveness and engine/server counters
 //
 // The handler never closes the store; its lifecycle stays with the
 // caller. Responses encode floats in shortest round-trip form, so parsed

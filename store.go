@@ -43,6 +43,16 @@ import (
 //     segment forms without materializing samples at all.
 //   - Series() returns the stored names in lexicographically sorted
 //     order — a documented guarantee, stable across reopens.
+//
+// Long-running stores manage their own disk budget through background
+// lifecycle jobs (see the lifecycle knobs in StoreOptions): compaction
+// merges the under-filled blocks trickle ingest leaves behind into full
+// ones with bit-identical reconstructions, retention trims each series to
+// an age and the store to a byte budget, and rollup tiers materialize
+// downsampled aggregates that QueryAgg answers from transparently. The
+// jobs run on the same bounded worker pool as ingest compression when
+// LifecycleInterval is set, or on demand via Maintain(); DeleteSeries
+// removes one series (and its rollup tiers) atomically and durably.
 type Store = tsdb.DB
 
 // StoreCursor streams one query range chunk by chunk (see Store.Cursor):
@@ -71,7 +81,30 @@ type StoreCursor = tsdb.Cursor
 //     caches (a single series always lives in one shard, so budget
 //     Shards x its working set for hot-series scans); 0 picks 128,
 //     negative disables caching.
+//   - Retention: per-series age budget in samples; maintenance trims each
+//     series to at most this many trailing samples (0 keeps everything).
+//   - RetainBytes: store-wide compressed-byte budget; maintenance deletes
+//     oldest blocks of the largest series first until under it (0 = no cap).
+//   - CompactMinFill: blocks holding less than this fraction of BlockSize
+//     are compaction candidates (0 picks 0.5; negative disables
+//     compaction). Merged reconstructions are bit-identical to the
+//     originals'.
+//   - Rollups: pre-aggregated tiers (RollupSpec per step) materialized as
+//     ordinary series named "<name>@<agg>:<step>" and stored losslessly;
+//     QueryAgg answers tier-aligned queries from the coarsest satisfying
+//     tier without touching raw blocks.
+//   - LifecycleInterval: period of the background maintenance pass
+//     (compaction, rollups, retention); 0 disables it — call
+//     Store.Maintain explicitly instead.
 type StoreOptions = tsdb.Options
+
+// RollupSpec declares one pre-aggregated tier in StoreOptions.Rollups: a
+// window width in samples (Step, at least 2), the aggregate functions to
+// materialize (default mean/sum/min/max), and an optional per-tier
+// Retention in rollup samples. Tiers are stored as ordinary series named
+// "<base>@<agg>:<step>" under a lossless codec, so tier-served answers
+// equal the aggregates of the raw reconstruction exactly.
+type RollupSpec = tsdb.RollupSpec
 
 // StoreStats summarizes one stored series (see Store.SeriesStats).
 type StoreStats = tsdb.Stats
@@ -79,8 +112,10 @@ type StoreStats = tsdb.Stats
 // StoreTotals aggregates engine-level counters — blocks/bytes written,
 // per-shard cache hits/misses/single-flight waits, read-path pushdowns
 // (RangeDecodes: cold partial decodes that skipped full reconstruction;
-// AggPushdowns: blocks aggregated without materializing samples), and the
-// compression queue backlog (see Store.Stats).
+// AggPushdowns: blocks aggregated without materializing samples), the
+// compression queue backlog, and the lifecycle totals (maintenance passes,
+// blocks compacted, rollup samples materialized, blocks/bytes trimmed by
+// retention, series deleted) — see Store.Stats.
 type StoreTotals = tsdb.DBStats
 
 // ErrUnknownSeries is returned by Store queries for absent series names.
