@@ -2,10 +2,12 @@
 // benchmarks in-process (via testing.Benchmark, with allocation counting
 // always on, as with -benchmem) and writes a machine-readable JSON artifact.
 // CI invokes it on every run and uploads the result, and perf PRs commit a
-// before/after snapshot (BENCH_PR3.json through BENCH_PR6.json) so the
+// before/after snapshot (BENCH_PR3.json through BENCH_PR7.json) so the
 // performance trajectory of the hot paths — impact evaluation, block
 // compression, store ingest, materializing and streaming queries, aggregate
-// pushdown, storage lifecycle (compaction throughput, rollup-tier vs raw
+// pushdown, checkpointed cold bit-stream reads (store/*-bitstream-* and
+// store/agg-rollup-cold, each paired with a sidecar-less -replay baseline),
+// storage lifecycle (compaction throughput, rollup-tier vs raw
 // aggregate queries, post-retention reads), and the HTTP serving path
 // (server/ingest-*, server/query-*, measured with concurrent clients
 // against an httptest server) — is tracked from PR 3 onward.
@@ -187,6 +189,21 @@ func benchmarks() []struct {
 		}},
 		{"store/query-cold-post-retention", func(b *testing.B) {
 			benchStoreQueryPostRetention(b)
+		}},
+		{"store/query-cold-bitstream-512", func(b *testing.B) {
+			benchStoreQueryBitstream(b, 512, 0) // checkpointed seeks (default k=128)
+		}},
+		{"store/query-cold-bitstream-512-replay", func(b *testing.B) {
+			benchStoreQueryBitstream(b, 512, -1) // sidecar-less: full-block replay
+		}},
+		{"store/query-cold-bitstream-4k", func(b *testing.B) {
+			benchStoreQueryBitstream(b, 4096, 0)
+		}},
+		{"store/agg-rollup-cold", func(b *testing.B) {
+			benchStoreAggRollupCold(b, 0) // tier blocks seek via their sidecars
+		}},
+		{"store/agg-rollup-cold-replay", func(b *testing.B) {
+			benchStoreAggRollupCold(b, -1) // sidecar-less tier: dense fold
 		}},
 		{"server/ingest-lines", func(b *testing.B) {
 			benchServerIngest(b, false)
@@ -481,6 +498,103 @@ func benchStoreQueryPostRetention(b *testing.B) {
 	}
 }
 
+// benchStoreQueryBitstream mirrors store/query-cold on a gorilla-coded
+// store with 4096-sample blocks: random rangeLen-sample reads, cache off,
+// so every read decodes compressed bit stream. With checkpoints (the
+// default, k=128) a cold block decodes O(overlap + k) samples via its
+// sidecar; ckptInterval -1 writes sidecar-less v1 blocks and every read
+// replays whole blocks from the front — the before/after pair for the
+// checkpointed seek path.
+func benchStoreQueryBitstream(b *testing.B, rangeLen, ckptInterval int) {
+	const nSeries, perSeries = 8, 16384
+	opt := storeOptions(16, 0, -1)
+	opt.Codec = cameo.CodecGorilla()
+	opt.BlockSize = 4096
+	opt.CheckpointInterval = ckptInterval
+	store, err := cameo.OpenStoreOptions(b.TempDir(), opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for s := 0; s < nSeries; s++ {
+		if err := store.Append(fmt.Sprintf("series-%02d", s), benchSeries(perSeries, 48, 0.5)...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := store.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	var seed atomic.Int64
+	b.SetBytes(int64(rangeLen * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		for pb.Next() {
+			s := rng.Intn(nSeries)
+			from := rng.Intn(perSeries - rangeLen)
+			if _, err := store.Query(fmt.Sprintf("series-%02d", s), from, from+rangeLen); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if st := store.Stats(); (ckptInterval >= 0) != (st.CheckpointSeeks > 0) {
+		b.Fatalf("checkpoint path mismatch (interval %d): %d seeks", ckptInterval, st.CheckpointSeeks)
+	}
+	if err := store.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchStoreAggRollupCold measures dashboard zoom-in on a materialized
+// rollup tier with the cache off: random 8192-sample windows aggregated
+// at step 64 are answered by the Step-8 tier, whose gorilla blocks are
+// re-read cold on every op. With checkpoints the tier read seeks to just
+// the queried windows; ckptInterval -1 leaves the tier sidecar-less and
+// each overlapped tier block replays densely from the front.
+func benchStoreAggRollupCold(b *testing.B, ckptInterval int) {
+	const perSeries = 32 * 2048
+	const rangeLen, step = 8192, 64
+	opt := storeOptions(1, -1, -1)
+	opt.CheckpointInterval = ckptInterval
+	opt.Rollups = []cameo.RollupSpec{{Step: 8}}
+	store, err := cameo.OpenStoreOptions(b.TempDir(), opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := store.Append("s", benchSeries(perSeries, 48, 0.5)...); err != nil {
+		b.Fatal(err)
+	}
+	if err := store.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if err := store.Maintain(); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.SetBytes(rangeLen * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := rng.Intn((perSeries-rangeLen)/step+1) * step
+		vals, err := store.QueryAgg("s", from, from+rangeLen, step, cameo.AggMean)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(vals) != rangeLen/step {
+			b.Fatalf("QueryAgg yielded %d windows", len(vals))
+		}
+	}
+	b.StopTimer()
+	if st := store.Stats(); (ckptInterval >= 0) != (st.CheckpointSeeks > 0) {
+		b.Fatalf("checkpoint path mismatch (interval %d): %d seeks", ckptInterval, st.CheckpointSeeks)
+	}
+	if err := store.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 func storeOptions(shards, workers, cacheBlocks int) cameo.StoreOptions {
 	return cameo.StoreOptions{
 		Compression: cameo.Options{Lags: 24, Epsilon: 0.05},
@@ -660,7 +774,7 @@ func benchStoreAgg(b *testing.B, c cameo.Codec) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR6.json", "output file (- for stdout)")
+	out := flag.String("out", "BENCH_PR7.json", "output file (- for stdout)")
 	label := flag.String("label", "current", "label recorded in the artifact")
 	benchtime := flag.String("benchtime", "1s", "per-benchmark duration or iteration count (Nx)")
 	benchFilter := flag.String("bench", "", "run only benchmarks whose name matches this regexp")

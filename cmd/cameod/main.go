@@ -61,6 +61,7 @@ func main() {
 		shards   = flag.Int("shards", 0, "series lock domains (0 = default 16)")
 		workers  = flag.Int("workers", 0, "compression workers (0 = GOMAXPROCS, negative = synchronous)")
 		cache    = flag.Int("cache", 0, "decoded-block cache capacity in blocks (0 = default 128, negative = off)")
+		ckptIv   = flag.Int("checkpoint-interval", 0, "checkpoint spacing in samples for bit-stream codec sidecars (0 = codec default 128, negative = off)")
 		maxReq   = flag.Int64("max-request-bytes", 0, "per-request body cap in bytes (0 = default 8 MiB)")
 		maxInfl  = flag.Int64("max-inflight-bytes", 0, "total in-flight ingest bytes before 429 (0 = default 64 MiB)")
 		ingestTO = flag.Duration("ingest-timeout", 0, "write body read bound, keeps slow uploads from pinning the ingest budget (0 = default 1m)")
@@ -83,7 +84,7 @@ func main() {
 		rollups:        *rollups,
 		interval:       *maintainIv,
 	}
-	storeOpt, err := buildStoreOptions(*codec, *lags, *eps, *block, *shards, *workers, *cache, lc)
+	storeOpt, err := buildStoreOptions(*codec, *lags, *eps, *block, *shards, *workers, *cache, *ckptIv, lc)
 	if err != nil {
 		log.Fatalf("cameod: %v", err)
 	}
@@ -141,19 +142,22 @@ type lifecycleFlags struct {
 // buildStoreOptions maps the daemon flags onto StoreOptions: the cameo
 // codec takes its compression knobs from -lags/-eps, every other codec
 // uses its registry defaults (nil Codec selects cameo so that path keeps
-// the store's own option validation), and the lifecycle flags ride
+// the store's own option validation), -checkpoint-interval sets the
+// bit-stream checkpoint spacing (meaningful for gorilla/chimp/elf and the
+// rollup tiers any codec's store writes), and the lifecycle flags ride
 // through verbatim (-rollups parses via parseRollups).
-func buildStoreOptions(codecName string, lags int, eps float64, block, shards, workers, cache int, lc lifecycleFlags) (cameo.StoreOptions, error) {
+func buildStoreOptions(codecName string, lags int, eps float64, block, shards, workers, cache, ckptInterval int, lc lifecycleFlags) (cameo.StoreOptions, error) {
 	opt := cameo.StoreOptions{
-		Compression:       cameo.Options{Lags: lags, Epsilon: eps},
-		BlockSize:         block,
-		Shards:            shards,
-		Workers:           workers,
-		CacheBlocks:       cache,
-		Retention:         lc.retention,
-		RetainBytes:       lc.retainBytes,
-		CompactMinFill:    lc.compactMinFill,
-		LifecycleInterval: lc.interval,
+		Compression:        cameo.Options{Lags: lags, Epsilon: eps},
+		BlockSize:          block,
+		Shards:             shards,
+		Workers:            workers,
+		CacheBlocks:        cache,
+		CheckpointInterval: ckptInterval,
+		Retention:          lc.retention,
+		RetainBytes:        lc.retainBytes,
+		CompactMinFill:     lc.compactMinFill,
+		LifecycleInterval:  lc.interval,
 	}
 	if codecName != "cameo" {
 		c, err := cameo.CodecByName(codecName)

@@ -12,7 +12,7 @@ import (
 // resolve from the registry, unknown names fail with the available set in
 // the message, and the lifecycle flags land verbatim.
 func TestBuildStoreOptions(t *testing.T) {
-	opt, err := buildStoreOptions("cameo", 24, 0.01, 4096, 4, 2, 64, lifecycleFlags{})
+	opt, err := buildStoreOptions("cameo", 24, 0.01, 4096, 4, 2, 64, 0, lifecycleFlags{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,15 +26,18 @@ func TestBuildStoreOptions(t *testing.T) {
 		t.Fatalf("zero lifecycle flags should map to a disabled lifecycle: %+v", opt)
 	}
 
-	opt, err = buildStoreOptions("gorilla", 24, 0.01, 1024, 0, 0, 0, lifecycleFlags{})
+	opt, err = buildStoreOptions("gorilla", 24, 0.01, 1024, 0, 0, 0, 32, lifecycleFlags{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if opt.Codec == nil || opt.Codec.Name() != "gorilla" {
 		t.Fatalf("gorilla codec not resolved: %+v", opt.Codec)
 	}
+	if opt.CheckpointInterval != 32 {
+		t.Fatalf("-checkpoint-interval not mapped: %+v", opt)
+	}
 
-	if _, err := buildStoreOptions("zstd", 24, 0.01, 1024, 0, 0, 0, lifecycleFlags{}); err == nil {
+	if _, err := buildStoreOptions("zstd", 24, 0.01, 1024, 0, 0, 0, 0, lifecycleFlags{}); err == nil {
 		t.Fatal("unknown codec accepted")
 	}
 
@@ -45,7 +48,7 @@ func TestBuildStoreOptions(t *testing.T) {
 		rollups:        "24, 1440/8760",
 		interval:       time.Minute,
 	}
-	opt, err = buildStoreOptions("cameo", 24, 0.01, 4096, 0, 0, 0, lc)
+	opt, err = buildStoreOptions("cameo", 24, 0.01, 4096, 0, 0, 0, 0, lc)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,14 +27,18 @@ type BlockHeader = codec.BlockHeader
 // required).
 func CodecCAMEO(opt Options) Codec { return codec.NewCAMEO(core.Options(opt)) }
 
-// CodecGorilla returns the lossless Facebook Gorilla XOR codec.
+// CodecGorilla returns the lossless Facebook Gorilla XOR codec. Like all
+// bit-stream codecs it writes a checkpoint sidecar (one mark every
+// StoreOptions.CheckpointInterval samples, default 128) so partial block
+// reads seek instead of replaying the whole block.
 func CodecGorilla() Codec { return codec.Gorilla{} }
 
-// CodecChimp returns the lossless Chimp XOR codec.
+// CodecChimp returns the lossless Chimp XOR codec (checkpointed like
+// CodecGorilla).
 func CodecChimp() Codec { return codec.Chimp{} }
 
 // CodecELF returns the lossless Elf erase-based XOR codec (strongest on
-// short-decimal sensor readings).
+// short-decimal sensor readings; checkpointed like CodecGorilla).
 func CodecELF() Codec { return codec.Elf{} }
 
 // CodecPMC returns the Poor Man's Compression codec: piecewise-constant,
@@ -89,34 +93,43 @@ type RangeAgg = codec.RangeAgg
 
 // parseBlockPayload is the shared preamble of the block range/aggregate
 // helpers: parse the self-describing header, resolve the codec, clamp the
-// requested bounds to the block. A clamped-empty range reports lo == hi.
-func parseBlockPayload(data []byte, lo, hi int) (Codec, BlockHeader, []byte, int, int, error) {
-	h, off, err := codec.ParseBlockHeader(data)
+// requested bounds to the block, and split off the checkpoint sidecar
+// when the block carries one (nil otherwise). A clamped-empty range
+// reports lo == hi.
+func parseBlockPayload(data []byte, lo, hi int) (Codec, BlockHeader, []byte, []byte, int, int, error) {
+	h, sidecar, payload, err := codec.SplitBlock(data)
 	if err != nil {
-		return nil, BlockHeader{}, nil, 0, 0, err
+		return nil, BlockHeader{}, nil, nil, 0, 0, err
 	}
 	c, err := codec.ByID(h.CodecID)
 	if err != nil {
-		return nil, h, nil, 0, 0, err
+		return nil, h, nil, nil, 0, 0, err
 	}
 	lo = max(lo, 0)
 	hi = min(hi, h.N)
 	if lo > hi {
 		lo = hi
 	}
-	return c, h, data[off:], lo, hi, nil
+	return c, h, sidecar, payload, lo, hi, nil
 }
 
 // DecodeBlockRange decodes only samples [lo, hi) of a self-describing
 // block (bounds clamped to the block). The segment codecs (PMC, Swing,
-// Sim-Piece) and CAMEO evaluate just the pieces spanning the range —
-// random access straight out of the compressed form; the bit-stream
-// lossless codecs fall back to a full decode and slice. The values are
-// bit-identical to DecodeBlock(data)[lo:hi].
+// Sim-Piece) and CAMEO evaluate just the pieces spanning the range, and
+// the bit-stream lossless codecs (gorilla, chimp, elf) seek through their
+// checkpoint sidecar and replay at most a checkpoint interval of extra
+// samples — random access straight out of the compressed form either way.
+// Checkpoint-less bit-stream blocks (written with checkpoints disabled,
+// or by older builds) replay from the block front up to hi. The values
+// are bit-identical to DecodeBlock(data)[lo:hi].
 func DecodeBlockRange(data []byte, lo, hi int) ([]float64, BlockHeader, error) {
-	c, h, payload, lo, hi, err := parseBlockPayload(data, lo, hi)
+	c, h, sidecar, payload, lo, hi, err := parseBlockPayload(data, lo, hi)
 	if err != nil || lo >= hi {
 		return nil, h, err
+	}
+	if cd, ok := c.(codec.CheckpointDecoder); ok {
+		xs, _, err := cd.DecodeRangeCheckpointed(payload, sidecar, h.N, lo, hi, nil)
+		return xs, h, err
 	}
 	xs, err := codec.DecodeRange(c, payload, h.N, lo, hi, nil)
 	return xs, h, err
@@ -128,12 +141,15 @@ func DecodeBlockRange(data []byte, lo, hi int) ([]float64, BlockHeader, error) {
 // downsampling shape of a dashboard query. For the segment codecs and
 // CAMEO the whole grid is computed in ONE pass over the compressed piece
 // stream (codec.AggDecoder.DecodeWindowAggs) with no samples
-// materialized; other codecs decode the range once and fold it.
+// materialized; the bit-stream codecs fold each window in one
+// seek-assisted pass over the compressed stream, likewise without
+// materializing the range; other codecs decode the range once and fold
+// it.
 func DecodeBlockWindowAggs(data []byte, lo, hi, step int) ([]RangeAgg, BlockHeader, error) {
 	if step < 1 {
 		return nil, BlockHeader{}, fmt.Errorf("cameo: window step must be at least 1, got %d", step)
 	}
-	c, h, payload, lo, hi, err := parseBlockPayload(data, lo, hi)
+	c, h, sidecar, payload, lo, hi, err := parseBlockPayload(data, lo, hi)
 	if err != nil || lo >= hi {
 		return nil, h, err
 	}
@@ -143,6 +159,12 @@ func DecodeBlockWindowAggs(data []byte, lo, hi, step int) ([]RangeAgg, BlockHead
 	}
 	if ad, ok := c.(codec.AggDecoder); ok {
 		if err := ad.DecodeWindowAggs(payload, h.N, lo, hi, lo, step, aggs); err != nil {
+			return nil, h, err
+		}
+		return aggs, h, nil
+	}
+	if cd, ok := c.(codec.CheckpointDecoder); ok {
+		if _, err := cd.DecodeWindowAggsCheckpointed(payload, sidecar, h.N, lo, hi, lo, step, aggs); err != nil {
 			return nil, h, err
 		}
 		return aggs, h, nil
@@ -159,15 +181,25 @@ func DecodeBlockWindowAggs(data []byte, lo, hi, step int) ([]RangeAgg, BlockHead
 
 // DecodeBlockAgg aggregates samples [lo, hi) of a self-describing block
 // (bounds clamped). For the segment codecs and CAMEO the result is
-// computed from the compressed piece parameters alone — no samples are
-// materialized; other codecs decode the range first.
+// computed from the compressed piece parameters alone, and the bit-stream
+// codecs fold a single seek-assisted pass — no samples are materialized
+// either way; other codecs decode the range first.
 func DecodeBlockAgg(data []byte, lo, hi int) (RangeAgg, BlockHeader, error) {
-	c, h, payload, lo, hi, err := parseBlockPayload(data, lo, hi)
+	c, h, sidecar, payload, lo, hi, err := parseBlockPayload(data, lo, hi)
 	if err != nil {
 		return RangeAgg{}, h, err
 	}
 	if lo >= hi {
 		return codec.NewRangeAgg(), h, nil
+	}
+	if cd, ok := c.(codec.CheckpointDecoder); ok {
+		if _, isAgg := c.(codec.AggDecoder); !isAgg {
+			aggs := []RangeAgg{codec.NewRangeAgg()}
+			if _, err := cd.DecodeWindowAggsCheckpointed(payload, sidecar, h.N, lo, hi, lo, hi-lo, aggs); err != nil {
+				return RangeAgg{}, h, err
+			}
+			return aggs[0], h, nil
+		}
 	}
 	agg, err := codec.DecodeRangeAgg(c, payload, h.N, lo, hi)
 	return agg, h, err

@@ -9,22 +9,40 @@ import (
 // Versioned on-disk block format. Every block the tsdb engine persists is
 //
 //	magic 0xC0 0xDC | format version (1 byte) | codec ID (1 byte) |
-//	uvarint sample count | codec payload
+//	uvarint sample count | codec payload                       (version 1)
+//
+//	magic 0xC0 0xDC | format version (1 byte) | codec ID (1 byte) |
+//	uvarint sample count | uvarint sidecar length |
+//	checkpoint sidecar | codec payload                         (version 2)
 //
 // The header is what makes codecs pluggable per block: a store can mix
 // blocks written under different codecs (e.g. after switching Options.Codec
-// between opens) and every block remains self-describing. Blocks from the
-// pre-header engine carry no header — they are raw CAMEO irregular-series
-// encodings, recognized by their own "CAM1" magic — and stay readable; the
-// tsdb layer handles that fallback, keyed on ErrNotBlockFormat.
+// between opens) and every block remains self-describing. Version 2 adds a
+// random-access sidecar section between header and payload — the bit-stream
+// codecs store periodic checkpoint marks there so partial reads can seek —
+// and is written only when a codec actually produces one; blocks without a
+// sidecar stay byte-identical to version 1, and version 1 blocks parse
+// exactly as before (SidecarLen 0). Blocks from the pre-header engine carry
+// no header — they are raw CAMEO irregular-series encodings, recognized by
+// their own "CAM1" magic — and stay readable; the tsdb layer handles that
+// fallback, keyed on ErrNotBlockFormat.
 const (
 	blockMagic0 = 0xC0
 	blockMagic1 = 0xDC
 
-	// BlockFormatVersion is the current header version. Decoders accept
-	// only versions they know; bumping it is how an incompatible layout
-	// change keeps old builds from misreading new stores.
-	BlockFormatVersion = 1
+	// BlockFormatVersion is the newest header version written and the
+	// highest one decoders accept; bumping it is how an incompatible
+	// layout change keeps old builds from misreading new stores.
+	BlockFormatVersion = 2
+
+	// blockVersionPlain is the sidecar-less layout; blocks whose codec
+	// emits no sidecar are still written under it, byte-identical to
+	// pre-version-2 builds.
+	blockVersionPlain = 1
+
+	// blockVersionSidecar adds the uvarint-length-prefixed sidecar
+	// section between header and payload.
+	blockVersionSidecar = 2
 
 	// MaxBlockSamples caps the per-block sample count a header may claim
 	// (2^27 samples = 1 GiB decoded). Far above any real block size, it
@@ -32,17 +50,23 @@ const (
 	// before payload validation gets a chance to fail.
 	MaxBlockSamples = 1 << 27
 
+	// MaxSidecarBytes caps the sidecar length a header may claim, in the
+	// same spirit as MaxBlockSamples.
+	MaxSidecarBytes = 1 << 26
+
 	// MaxHeaderLen is the largest encoded header: magic + version + codec
-	// ID + a maximal uvarint. Reading this many bytes of a block file is
-	// always enough to parse its header.
-	MaxHeaderLen = 4 + binary.MaxVarintLen64
+	// ID + two maximal uvarints. Reading this many bytes of a block file
+	// is always enough to parse its header (not its sidecar, whose length
+	// the parsed header then reports).
+	MaxHeaderLen = 4 + 2*binary.MaxVarintLen64
 )
 
 // BlockHeader is the parsed fixed part of a block file.
 type BlockHeader struct {
-	Version uint8
-	CodecID uint8
-	N       int // dense sample count of the payload
+	Version    uint8
+	CodecID    uint8
+	N          int // dense sample count of the payload
+	SidecarLen int // bytes of checkpoint sidecar between header and payload
 }
 
 // ErrNotBlockFormat is returned by ParseBlockHeader when the data does not
@@ -54,31 +78,62 @@ var ErrNotBlockFormat = errors.New("codec: not in block format")
 // payloads that do not decode to the promised sample count.
 var ErrBadBlock = errors.New("codec: malformed block")
 
-// appendHeader prepends the versioned block header to a codec payload.
+// appendHeader prepends the version-1 (sidecar-less) block header to a
+// codec payload.
 func appendHeader(c Codec, n int, payload []byte) []byte {
 	hdr := make([]byte, 0, MaxHeaderLen+len(payload))
-	hdr = append(hdr, blockMagic0, blockMagic1, BlockFormatVersion, c.ID())
+	hdr = append(hdr, blockMagic0, blockMagic1, blockVersionPlain, c.ID())
 	hdr = binary.AppendUvarint(hdr, uint64(n))
 	return append(hdr, payload...)
 }
 
-// EncodeBlock compresses xs with c and prepends the versioned block header.
+// appendHeaderSidecar prepends the block header to a payload and its
+// checkpoint sidecar, choosing the leanest layout: an empty sidecar writes
+// a version-1 block (byte-identical to pre-sidecar builds), a non-empty one
+// writes version 2.
+func appendHeaderSidecar(c Codec, n int, sidecar, payload []byte) []byte {
+	if len(sidecar) == 0 {
+		return appendHeader(c, n, payload)
+	}
+	hdr := make([]byte, 0, MaxHeaderLen+len(sidecar)+len(payload))
+	hdr = append(hdr, blockMagic0, blockMagic1, blockVersionSidecar, c.ID())
+	hdr = binary.AppendUvarint(hdr, uint64(n))
+	hdr = binary.AppendUvarint(hdr, uint64(len(sidecar)))
+	hdr = append(hdr, sidecar...)
+	return append(hdr, payload...)
+}
+
+// encodePayload compresses xs, returning the payload plus the checkpoint
+// sidecar for codecs that emit one (nil for the rest).
+func encodePayload(c Codec, xs []float64) (payload, sidecar []byte, err error) {
+	if ce, ok := c.(CheckpointEncoder); ok {
+		return ce.EncodeCheckpointed(xs)
+	}
+	payload, err = c.Encode(xs)
+	return payload, nil, err
+}
+
+// EncodeBlock compresses xs with c and prepends the versioned block header
+// (including the checkpoint sidecar for codecs that emit one).
 func EncodeBlock(c Codec, xs []float64) ([]byte, error) {
 	if len(xs) > MaxBlockSamples {
 		return nil, fmt.Errorf("%w: %d samples exceeds the %d-sample block cap", ErrBadBlock, len(xs), MaxBlockSamples)
 	}
-	payload, err := c.Encode(xs)
+	payload, sidecar, err := encodePayload(c, xs)
 	if err != nil {
 		return nil, err
 	}
-	return appendHeader(c, len(xs), payload), nil
+	return appendHeaderSidecar(c, len(xs), sidecar, payload), nil
 }
 
 // ParseBlockHeader parses the header of a block file, returning it and the
-// offset at which the codec payload begins. Data not starting with the
-// block magic yields ErrNotBlockFormat; recognized-but-invalid headers
-// (unknown version, reserved codec ID, absurd sample count, truncation)
-// yield ErrBadBlock.
+// offset at which the codec payload begins (past the sidecar, for version 2
+// blocks). Data not starting with the block magic yields ErrNotBlockFormat;
+// recognized-but-invalid headers (unknown version, reserved codec ID,
+// absurd sample count or sidecar length, truncation) yield ErrBadBlock.
+// Parsing is prefix-tolerant: it needs only the first MaxHeaderLen bytes,
+// so the returned offset may exceed len(data) when a version-2 prefix is
+// parsed without its sidecar — SplitBlock does the full-buffer validation.
 func ParseBlockHeader(data []byte) (BlockHeader, int, error) {
 	if len(data) < 2 || data[0] != blockMagic0 || data[1] != blockMagic1 {
 		return BlockHeader{}, 0, ErrNotBlockFormat
@@ -101,7 +156,38 @@ func ParseBlockHeader(data []byte) (BlockHeader, int, error) {
 		return BlockHeader{}, 0, fmt.Errorf("%w: sample count %d exceeds the %d-sample block cap", ErrBadBlock, n, MaxBlockSamples)
 	}
 	h.N = int(n)
-	return h, 4 + k, nil
+	off := 4 + k
+	if h.Version >= blockVersionSidecar {
+		sc, k2 := binary.Uvarint(data[off:])
+		if k2 <= 0 {
+			return BlockHeader{}, 0, fmt.Errorf("%w: bad sidecar length varint", ErrBadBlock)
+		}
+		if sc > MaxSidecarBytes {
+			return BlockHeader{}, 0, fmt.Errorf("%w: sidecar length %d exceeds the %d-byte cap", ErrBadBlock, sc, MaxSidecarBytes)
+		}
+		h.SidecarLen = int(sc)
+		off += k2 + h.SidecarLen
+	}
+	return h, off, nil
+}
+
+// SplitBlock parses a complete block file into its header, checkpoint
+// sidecar (nil for version-1 blocks), and codec payload, validating that
+// the buffer actually contains the sidecar the header claims. Readers that
+// hold the whole file should use it instead of ParseBlockHeader + slicing.
+func SplitBlock(data []byte) (BlockHeader, []byte, []byte, error) {
+	h, off, err := ParseBlockHeader(data)
+	if err != nil {
+		return BlockHeader{}, nil, nil, err
+	}
+	if off > len(data) {
+		return BlockHeader{}, nil, nil, fmt.Errorf("%w: truncated sidecar (%d of %d bytes)", ErrBadBlock, len(data)-(off-h.SidecarLen), h.SidecarLen)
+	}
+	var sidecar []byte
+	if h.SidecarLen > 0 {
+		sidecar = data[off-h.SidecarLen : off]
+	}
+	return h, sidecar, data[off:], nil
 }
 
 // IsBlockFormat reports whether data begins with the block-format magic —
@@ -115,7 +201,7 @@ func IsBlockFormat(data []byte) bool {
 // DecodeBlock parses a block file and decodes its payload with the codec
 // registered for the header's ID.
 func DecodeBlock(data []byte) ([]float64, BlockHeader, error) {
-	h, off, err := ParseBlockHeader(data)
+	h, _, payload, err := SplitBlock(data)
 	if err != nil {
 		return nil, BlockHeader{}, err
 	}
@@ -123,7 +209,7 @@ func DecodeBlock(data []byte) ([]float64, BlockHeader, error) {
 	if err != nil {
 		return nil, h, err
 	}
-	xs, err := c.Decode(data[off:], h.N)
+	xs, err := c.Decode(payload, h.N)
 	if err != nil {
 		return nil, h, err
 	}
@@ -158,11 +244,11 @@ func EncodeBlockRecon(c Codec, xs []float64) (data []byte, hdrOff int, recon []f
 		data = appendHeader(c, len(xs), payload)
 		return data, len(data) - len(payload), recon, nil
 	}
-	payload, err := c.Encode(xs)
+	payload, sidecar, err := encodePayload(c, xs)
 	if err != nil {
 		return nil, 0, nil, err
 	}
-	data = appendHeader(c, len(xs), payload)
+	data = appendHeaderSidecar(c, len(xs), sidecar, payload)
 	hdrOff = len(data) - len(payload)
 	if !c.Lossy() {
 		return data, hdrOff, append([]float64(nil), xs...), nil

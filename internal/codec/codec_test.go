@@ -89,10 +89,20 @@ func TestEveryCodecRoundTripsThroughBlocks(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: ParseBlockHeader: %v", c.Name(), err)
 		}
-		if h.Version != BlockFormatVersion || h.CodecID != c.ID() || h.N != len(xs) {
-			t.Fatalf("%s: header %+v", c.Name(), h)
+		// Codecs that emit a checkpoint sidecar (the bit-stream family, on a
+		// block larger than the default interval) write version 2; the rest
+		// stay on the byte-identical version-1 layout.
+		wantVer := uint8(blockVersionPlain)
+		if _, ok := c.(CheckpointEncoder); ok {
+			wantVer = blockVersionSidecar
 		}
-		if off <= 4 || off > MaxHeaderLen {
+		if h.Version != wantVer || h.CodecID != c.ID() || h.N != len(xs) {
+			t.Fatalf("%s: header %+v, want version %d", c.Name(), h, wantVer)
+		}
+		if (h.SidecarLen > 0) != (wantVer == blockVersionSidecar) {
+			t.Fatalf("%s: sidecar length %d under version %d", c.Name(), h.SidecarLen, h.Version)
+		}
+		if off <= 4 || off > MaxHeaderLen+h.SidecarLen {
 			t.Fatalf("%s: payload offset %d", c.Name(), off)
 		}
 		got, gotHdr, err := DecodeBlock(data)

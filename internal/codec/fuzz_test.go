@@ -24,11 +24,15 @@ func fuzzSeed(f *testing.F, c Codec) {
 }
 
 // FuzzParseBlockHeader asserts header parsing never panics and that a
-// parse-accepted header keeps its promises (offset within data bounds or
-// equal to a truncation-detectable position, sane N).
+// parse-accepted header keeps its promises: sane N and sidecar length, the
+// header fields themselves inside the buffer (ParseBlockHeader is prefix-
+// tolerant, so a version-2 offset may point past a buffer that lacks the
+// claimed sidecar — SplitBlock must then refuse instead of slicing wild).
 func FuzzParseBlockHeader(f *testing.F) {
 	fuzzSeed(f, Gorilla{})
+	fuzzSeed(f, Gorilla{Interval: 2}) // sidecar-bearing version-2 seeds
 	f.Add([]byte{blockMagic0, blockMagic1, 1, 1, 0x80})
+	f.Add([]byte{blockMagic0, blockMagic1, 2, 2, 0x08, 0x7F})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		h, off, err := ParseBlockHeader(data)
 		if err != nil {
@@ -37,11 +41,22 @@ func FuzzParseBlockHeader(f *testing.F) {
 		if h.N < 0 || h.N > MaxBlockSamples {
 			t.Fatalf("accepted absurd N %d", h.N)
 		}
-		if off < 5 || off > len(data) {
-			t.Fatalf("payload offset %d outside data of %d bytes", off, len(data))
+		if h.SidecarLen < 0 || h.SidecarLen > MaxSidecarBytes {
+			t.Fatalf("accepted absurd sidecar length %d", h.SidecarLen)
 		}
-		if h.CodecID == 0 || h.Version == 0 || h.Version > BlockFormatVersion {
-			t.Fatalf("accepted invalid header %+v", h)
+		if off < 5 || off-h.SidecarLen > len(data) {
+			t.Fatalf("header end %d outside data of %d bytes", off-h.SidecarLen, len(data))
+		}
+		sh, sidecar, payload, err := SplitBlock(data)
+		if err != nil {
+			if off <= len(data) {
+				t.Fatalf("SplitBlock refused a fully present block: %v", err)
+			}
+			return
+		}
+		if sh != h || len(sidecar) != h.SidecarLen || len(payload) != len(data)-off {
+			t.Fatalf("SplitBlock %+v (%d sidecar, %d payload) disagrees with ParseBlockHeader %+v (off %d)",
+				sh, len(sidecar), len(payload), h, off)
 		}
 	})
 }

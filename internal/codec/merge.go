@@ -67,29 +67,34 @@ func MergeBlocks(c Codec, payloads [][]byte, ns []int) ([]byte, error) {
 	if total > MaxBlockSamples {
 		return nil, fmt.Errorf("%w: merged block of %d samples exceeds the %d-sample cap", ErrBadBlock, total, MaxBlockSamples)
 	}
-	payload, err := mergePayloads(c, payloads, ns, total)
+	payload, sidecar, err := mergePayloads(c, payloads, ns, total)
 	if err != nil {
 		return nil, err
 	}
-	return appendHeader(c, total, payload), nil
+	return appendHeaderSidecar(c, total, sidecar, payload), nil
 }
 
-func mergePayloads(c Codec, payloads [][]byte, ns []int, total int) ([]byte, error) {
+// mergePayloads merges the source payloads and, for checkpoint-emitting
+// codecs, regenerates the checkpoint sidecar for the merged block (the
+// source sidecars describe bit offsets that no longer hold after a
+// re-encode, so they are rebuilt from scratch, never spliced).
+func mergePayloads(c Codec, payloads [][]byte, ns []int, total int) ([]byte, []byte, error) {
 	if bm, ok := c.(BlockMerger); ok {
-		return bm.MergePayloads(payloads, ns)
+		payload, err := bm.MergePayloads(payloads, ns)
+		return payload, nil, err
 	}
 	if c.Lossy() {
-		return nil, fmt.Errorf("%w: %q", ErrCannotMerge, c.Name())
+		return nil, nil, fmt.Errorf("%w: %q", ErrCannotMerge, c.Name())
 	}
 	xs := make([]float64, 0, total)
 	for i, p := range payloads {
 		dense, err := c.Decode(p, ns[i])
 		if err != nil {
-			return nil, fmt.Errorf("merging block %d: %w", i, err)
+			return nil, nil, fmt.Errorf("merging block %d: %w", i, err)
 		}
 		xs = append(xs, dense...)
 	}
-	return c.Encode(xs)
+	return encodePayload(c, xs)
 }
 
 // MergePayloads concatenates CAMEO retained-point sets, normalizing each

@@ -13,9 +13,15 @@ import (
 // the block can be evaluated without reconstructing the rest, and simple
 // aggregates (sum/min/max/count) over a range follow from the piece
 // parameters without materializing samples at all. The bit-stream lossless
-// codecs have neither property — the helpers below fall back to a full
-// decode for them, so callers can use one code path for every codec and
-// still get the partial-decode win where the format allows it.
+// codecs (Gorilla, Chimp, Elf) get random access a different way: their
+// encoders emit a checkpoint sidecar (bit offset + decoder state every k
+// samples, stored in the version-2 block section) that lets a partial read
+// seek to the last checkpoint before the range and replay O(overlap + k)
+// samples instead of the whole block. Those sidecar-consuming decodes use
+// the Checkpoint* interfaces below, which take the payload and sidecar
+// separately; checkpoint-less blocks fall back to a full decode, so callers
+// can use one code path for every codec and still get the partial-decode
+// win where the format allows it.
 
 // RangeDecoder is an optional Codec capability: decoding only samples
 // [lo, hi) of a block. DecodeRange and the tsdb cursor consult it.
@@ -43,6 +49,60 @@ type AggDecoder interface {
 	// overwrites, so one grid can span blocks). anchor <= lo aligns the
 	// grid across blocks; aggs must hold every window touching [lo, hi).
 	DecodeWindowAggs(data []byte, n, lo, hi, anchor, step int, aggs []RangeAgg) error
+}
+
+// DefaultCheckpointInterval is the checkpoint spacing (in samples) the
+// bit-stream codecs use when none is configured: every 128 samples costs
+// ~11-20 sidecar bytes per mark (well under 2% of a typical XOR stream)
+// and bounds a cold partial read's replay overhead at 127 samples.
+const DefaultCheckpointInterval = 128
+
+// CheckpointEncoder is an optional Codec capability: encoding a block
+// together with a checkpoint sidecar that EncodeBlock stores in the
+// version-2 sidecar section. A nil sidecar (checkpointing disabled, or a
+// block too small to earn a mark) downgrades the block to the version-1
+// layout. The payload must be byte-identical to Encode's.
+type CheckpointEncoder interface {
+	EncodeCheckpointed(xs []float64) (payload, sidecar []byte, err error)
+}
+
+// CheckpointDecoder is an optional Codec capability: serving partial reads
+// of a block by seeking through its checkpoint sidecar. Both methods accept
+// a nil sidecar (degrading to a front-to-hi replay — still cheaper than a
+// full decode) and return the number of stream bits actually traversed, the
+// observability currency behind DB.Stats.CheckpointBytes and the
+// O(overlap + k) cost tests.
+type CheckpointDecoder interface {
+	// DecodeRangeCheckpointed appends the decoded samples [lo, hi) to dst.
+	// The appended values must be bit-identical to Decode(payload, n)[lo:hi].
+	DecodeRangeCheckpointed(payload, sidecar []byte, n, lo, hi int, dst []float64) ([]float64, int, error)
+
+	// DecodeWindowAggsCheckpointed folds samples [lo, hi) into consecutive
+	// step-sample windows without materializing the block, with the same
+	// grid contract as AggDecoder.DecodeWindowAggs.
+	DecodeWindowAggsCheckpointed(payload, sidecar []byte, n, lo, hi, anchor, step int, aggs []RangeAgg) (int, error)
+}
+
+// CheckpointConfigurable is an optional Codec capability: returning a copy
+// of the codec with a different checkpoint interval. ConfigureCheckpointInterval
+// consults it so option plumbing does not need to know codec types.
+type CheckpointConfigurable interface {
+	// WithCheckpointInterval returns the codec with checkpoint spacing k:
+	// positive = every k samples, negative = disabled, 0 = codec default.
+	WithCheckpointInterval(k int) Codec
+}
+
+// ConfigureCheckpointInterval returns c reconfigured to checkpoint spacing
+// k where the codec supports it, and c unchanged otherwise (or when k is 0,
+// which means "keep the codec's current setting").
+func ConfigureCheckpointInterval(c Codec, k int) Codec {
+	if k == 0 {
+		return c
+	}
+	if cc, ok := c.(CheckpointConfigurable); ok {
+		return cc.WithCheckpointInterval(k)
+	}
+	return c
 }
 
 // RangeAgg summarizes a sample range: the aggregates a codec can push down

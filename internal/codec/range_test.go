@@ -80,15 +80,25 @@ func TestDecodeRangeMatchesDecode(t *testing.T) {
 }
 
 // TestSegmentCodecsAreRangeDecoders pins the capability set: the segment
-// codecs and CAMEO decode ranges and aggregates natively; the bit-stream
-// lossless codecs rely on the fallback.
+// codecs and CAMEO decode ranges and aggregates natively from the payload
+// alone (RangeDecoder/AggDecoder); the bit-stream lossless codecs cannot —
+// their payload cannot seek — but serve partial reads through the
+// checkpoint-sidecar interfaces instead.
 func TestSegmentCodecsAreRangeDecoders(t *testing.T) {
 	for _, c := range rangeCodecs() {
 		_, rd := c.(RangeDecoder)
 		_, ad := c.(AggDecoder)
+		_, ce := c.(CheckpointEncoder)
+		_, cd := c.(CheckpointDecoder)
+		_, cc := c.(CheckpointConfigurable)
 		wantNative := c.Lossy() // exactly the segment/line codecs here
 		if rd != wantNative || ad != wantNative {
 			t.Errorf("%s: RangeDecoder=%v AggDecoder=%v, want both %v", c.Name(), rd, ad, wantNative)
+		}
+		wantCkpt := !c.Lossy() // exactly the bit-stream codecs here
+		if ce != wantCkpt || cd != wantCkpt || cc != wantCkpt {
+			t.Errorf("%s: CheckpointEncoder=%v CheckpointDecoder=%v CheckpointConfigurable=%v, want all %v",
+				c.Name(), ce, cd, cc, wantCkpt)
 		}
 	}
 }

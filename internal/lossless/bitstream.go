@@ -65,6 +65,18 @@ type BitReader struct {
 // NewBitReader wraps data.
 func NewBitReader(data []byte) *BitReader { return &BitReader{data: data, left: 8} }
 
+// NewBitReaderAt wraps data with the cursor positioned at an absolute bit
+// offset, as recorded by a checkpoint mark. Offsets at or beyond the end of
+// data are legal: the first read reports ErrShortStream rather than
+// panicking, which is the failure mode wanted for corrupt sidecars.
+func NewBitReaderAt(data []byte, bit int) *BitReader {
+	r := &BitReader{data: data, pos: bit >> 3, left: 8 - uint(bit&7)}
+	return r
+}
+
+// BitPos returns the absolute bit offset of the next unread bit.
+func (r *BitReader) BitPos() int { return r.pos*8 + int(8-r.left) }
+
 // ReadBit returns the next bit.
 func (r *BitReader) ReadBit() (uint64, error) {
 	if r.pos >= len(r.data) {

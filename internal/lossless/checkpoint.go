@@ -1,0 +1,194 @@
+package lossless
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrBadCheckpoints is returned when a checkpoint sidecar fails validation
+// against the block it claims to describe.
+var ErrBadCheckpoints = errors.New("lossless: malformed checkpoint sidecar")
+
+// maxCheckpointBit bounds any absolute bit offset a sidecar may claim, far
+// above what a real block can produce (MaxBlockSamples * 64 bits plus slack)
+// but low enough that offset arithmetic cannot overflow int.
+const maxCheckpointBit = 1 << 40
+
+// Checkpoint is one random-access mark into an XOR bit stream: the absolute
+// bit offset of a sample boundary plus the complete decoder state at that
+// point, so decoding can resume there without replaying the prefix.
+//
+// Mark j of a Checkpoints with interval k describes sample (j+1)*k: Bit is
+// the offset of that sample's first bit, and Prev/Leading/Trailing are the
+// XOR-chain state after decoding sample (j+1)*k - 1 (for Elf, the state of
+// the stored — possibly mantissa-erased — value chain). Chimp has no
+// trailing window; its marks carry Trailing == -1.
+type Checkpoint struct {
+	Bit      int
+	Prev     uint64
+	Leading  int8
+	Trailing int8
+}
+
+// Checkpoints is the sidecar a checkpointed encoder emits alongside the bit
+// stream: one mark every Interval samples (at samples k, 2k, ... < n).
+type Checkpoints struct {
+	Interval int
+	Marks    []Checkpoint
+}
+
+// newCheckpoints returns an empty recorder for the given interval, or nil
+// when checkpointing is disabled (interval <= 0).
+func newCheckpoints(interval int) *Checkpoints {
+	if interval <= 0 {
+		return nil
+	}
+	return &Checkpoints{Interval: interval}
+}
+
+// mark records the state for decoding sample i if i sits on a checkpoint
+// boundary. Safe to call on a nil recorder; encoders call it at the top of
+// every iteration, before any of sample i's bits are written.
+func (c *Checkpoints) mark(i, bit int, prev uint64, leading, trailing int) {
+	if c == nil || i == 0 || i%c.Interval != 0 {
+		return
+	}
+	c.Marks = append(c.Marks, Checkpoint{Bit: bit, Prev: prev, Leading: int8(leading), Trailing: int8(trailing)})
+}
+
+// finish returns the recorder, or nil when it holds no marks (blocks no
+// larger than the interval gain nothing from a sidecar).
+func (c *Checkpoints) finish() *Checkpoints {
+	if c == nil || len(c.Marks) == 0 {
+		return nil
+	}
+	return c
+}
+
+// AppendBinary serializes the sidecar: uvarint interval, uvarint mark count,
+// then per mark a uvarint bit-offset delta, the 8-byte little-endian prev
+// bits, and the leading/trailing counts biased by +1 into single bytes.
+func (c *Checkpoints) AppendBinary(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(c.Interval))
+	dst = binary.AppendUvarint(dst, uint64(len(c.Marks)))
+	prevBit := 0
+	for _, m := range c.Marks {
+		dst = binary.AppendUvarint(dst, uint64(m.Bit-prevBit))
+		prevBit = m.Bit
+		dst = binary.LittleEndian.AppendUint64(dst, m.Prev)
+		dst = append(dst, byte(m.Leading+1), byte(m.Trailing+1))
+	}
+	return dst
+}
+
+// ParseCheckpoints decodes and validates a sidecar against the sample count
+// n of the block it accompanies. Validation is strict — the mark count must
+// be exactly (n-1)/interval, offsets must strictly increase within bounds,
+// state counts must fit a 64-bit word, and no trailing bytes may remain —
+// so a hostile sidecar is rejected up front instead of steering the bit
+// reader somewhere surprising.
+func ParseCheckpoints(data []byte, n int) (*Checkpoints, error) {
+	interval, k := binary.Uvarint(data)
+	if k <= 0 || interval == 0 || interval > maxCheckpointBit {
+		return nil, fmt.Errorf("%w: bad interval", ErrBadCheckpoints)
+	}
+	data = data[k:]
+	count, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: bad mark count", ErrBadCheckpoints)
+	}
+	data = data[k:]
+	if n < 0 || uint64(count) != uint64((n-1)/int(interval)) {
+		return nil, fmt.Errorf("%w: %d marks for n=%d, interval=%d", ErrBadCheckpoints, count, n, interval)
+	}
+	// Each mark occupies at least 11 sidecar bytes; cap the allocation hint
+	// accordingly so a hostile count cannot commit memory up front.
+	ck := &Checkpoints{Interval: int(interval), Marks: make([]Checkpoint, 0, min(int(count), len(data)/11))}
+	bit := 0
+	for j := uint64(0); j < count; j++ {
+		delta, k := binary.Uvarint(data)
+		if k <= 0 || delta == 0 || delta > maxCheckpointBit {
+			return nil, fmt.Errorf("%w: bad bit delta", ErrBadCheckpoints)
+		}
+		data = data[k:]
+		if len(data) < 10 {
+			return nil, fmt.Errorf("%w: truncated mark", ErrBadCheckpoints)
+		}
+		bit += int(delta)
+		if bit > maxCheckpointBit {
+			return nil, fmt.Errorf("%w: bit offset out of range", ErrBadCheckpoints)
+		}
+		prev := binary.LittleEndian.Uint64(data)
+		lead, trail := data[8], data[9]
+		data = data[10:]
+		if lead > 65 || trail > 65 {
+			return nil, fmt.Errorf("%w: state count out of range", ErrBadCheckpoints)
+		}
+		ck.Marks = append(ck.Marks, Checkpoint{Bit: bit, Prev: prev, Leading: int8(int(lead) - 1), Trailing: int8(int(trail) - 1)})
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadCheckpoints, len(data))
+	}
+	return ck, nil
+}
+
+// xorState is the complete resumable decoder state shared by the XOR-family
+// codecs: the previous stored value's bits and the current leading/trailing
+// significant-bit window (-1 = no window yet; Chimp ignores trailing).
+type xorState struct {
+	prev     uint64
+	leading  int
+	trailing int
+}
+
+func freshXORState() xorState { return xorState{leading: -1, trailing: -1} }
+
+func (c *Checkpoint) state() xorState {
+	return xorState{prev: c.Prev, leading: int(c.Leading), trailing: int(c.Trailing)}
+}
+
+// DecompressRange decodes samples [lo, hi) of an n-sample stream, seeking
+// via the sidecar to the last checkpoint at or before lo and replaying only
+// the (lo - checkpoint) prefix before emitting — O(overlap + interval)
+// work instead of O(n). A nil ck degrades to a front-to-lo replay. The
+// return value is the number of stream bits traversed (seek-adjusted), the
+// currency of the O(overlap + k) cost contract.
+func DecompressRange(method string, data []byte, n int, ck *Checkpoints, lo, hi int, emit func(float64)) (int, error) {
+	if lo < 0 || hi < lo || hi > n {
+		return 0, fmt.Errorf("lossless: range [%d, %d) out of [0, %d)", lo, hi, n)
+	}
+	start := 0
+	st := freshXORState()
+	r := NewBitReader(data)
+	if ck != nil && ck.Interval > 0 && len(ck.Marks) > 0 {
+		if m := min(lo/ck.Interval-1, len(ck.Marks)-1); m >= 0 {
+			start = (m + 1) * ck.Interval
+			st = ck.Marks[m].state()
+			r = NewBitReaderAt(data, ck.Marks[m].Bit)
+		}
+	}
+	startBit := r.BitPos()
+	idx := start
+	cb := func(v float64) {
+		if idx >= lo {
+			emit(v)
+		}
+		idx++
+	}
+	var err error
+	switch method {
+	case "gorilla":
+		err = gorillaDecodeFrom(r, &st, start, hi, cb)
+	case "chimp":
+		err = chimpDecodeFrom(r, &st, start, hi, cb)
+	case "elf":
+		err = elfDecodeFrom(r, &st, start, hi, cb)
+	default:
+		return 0, fmt.Errorf("lossless: unknown method %q", method)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return r.BitPos() - startBit, nil
+}

@@ -1,0 +1,316 @@
+package lossless
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// methods drives the per-codec subtests below over the whole XOR family.
+var methods = []struct {
+	name   string
+	plain  func([]float64) *Encoded
+	ckpted func([]float64, int) (*Encoded, *Checkpoints)
+}{
+	{"gorilla", Gorilla, GorillaCheckpointed},
+	{"chimp", Chimp, ChimpCheckpointed},
+	{"elf", Elf, ElfCheckpointed},
+}
+
+// hostileSeries are the float patterns most likely to break decoder-state
+// checkpointing: NaN payloads, infinities, signed zeros, denormals, and
+// constant runs (whose 1-bit repeats give the XOR state nothing to resync
+// on).
+func hostileSeries() [][]float64 {
+	denormal := math.Float64frombits(1)
+	constant := make([]float64, 400)
+	for i := range constant {
+		constant[i] = -7.125
+	}
+	mixed := make([]float64, 500)
+	rng := rand.New(rand.NewSource(7))
+	v := 20.0
+	for i := range mixed {
+		switch i % 97 {
+		case 13:
+			mixed[i] = math.NaN()
+		case 29:
+			mixed[i] = math.Inf(1)
+		case 31:
+			mixed[i] = math.Inf(-1)
+		case 47:
+			mixed[i] = denormal
+		case 53:
+			mixed[i] = math.Copysign(0, -1)
+		default:
+			v += math.Round(rng.NormFloat64()*4) / 4
+			mixed[i] = v
+		}
+	}
+	walk := make([]float64, 777)
+	w := 0.0
+	for i := range walk {
+		w += rng.NormFloat64()
+		walk[i] = w
+	}
+	return [][]float64{
+		nil,
+		{1.5},
+		{math.NaN(), math.NaN(), math.NaN()},
+		constant,
+		mixed,
+		walk,
+	}
+}
+
+// TestCheckpointedBitStreamUnchanged pins the compatibility contract: the
+// checkpoint interval only adds or removes the sidecar, never a single bit
+// of the compressed stream.
+func TestCheckpointedBitStreamUnchanged(t *testing.T) {
+	for _, m := range methods {
+		for _, xs := range hostileSeries() {
+			plain := m.plain(xs)
+			for _, k := range []int{0, 1, 7, 64, 1000} {
+				enc, ck := m.ckpted(xs, k)
+				if enc.Bits != plain.Bits || string(enc.Data) != string(plain.Data) {
+					t.Fatalf("%s: interval %d changed the bit stream", m.name, k)
+				}
+				if k <= 0 || len(xs) <= k {
+					if ck != nil {
+						t.Fatalf("%s: interval %d over %d samples emitted %d marks", m.name, k, len(xs), len(ck.Marks))
+					}
+				} else if want := (len(xs) - 1) / k; ck == nil || len(ck.Marks) != want {
+					t.Fatalf("%s: interval %d over %d samples: marks %v, want %d", m.name, k, len(xs), ck, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCheckpointsBinaryRoundTrip round-trips the sidecar serialization and
+// rejects trailing garbage and truncation.
+func TestCheckpointsBinaryRoundTrip(t *testing.T) {
+	xs := hostileSeries()[4]
+	for _, m := range methods {
+		_, ck := m.ckpted(xs, 32)
+		if ck == nil {
+			t.Fatalf("%s: no checkpoints for %d samples at interval 32", m.name, len(xs))
+		}
+		bin := ck.AppendBinary(nil)
+		got, err := ParseCheckpoints(bin, len(xs))
+		if err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		if got.Interval != ck.Interval || len(got.Marks) != len(ck.Marks) {
+			t.Fatalf("%s: parsed %+v, want %+v", m.name, got, ck)
+		}
+		for i := range ck.Marks {
+			if got.Marks[i] != ck.Marks[i] {
+				t.Fatalf("%s: mark %d: %+v != %+v", m.name, i, got.Marks[i], ck.Marks[i])
+			}
+		}
+		if _, err := ParseCheckpoints(append(bin, 0), len(xs)); err == nil {
+			t.Fatalf("%s: trailing byte accepted", m.name)
+		}
+		if _, err := ParseCheckpoints(bin[:len(bin)-1], len(xs)); err == nil {
+			t.Fatalf("%s: truncated sidecar accepted", m.name)
+		}
+		if _, err := ParseCheckpoints(bin, len(xs)+32); err == nil {
+			t.Fatalf("%s: mark-count mismatch accepted", m.name)
+		}
+	}
+}
+
+// TestDecompressRangeMatchesFullDecode is the core differential: every
+// (lo, hi) window decoded through the checkpoints must be bit-identical to
+// full-decode-then-slice, for every codec and every hostile series.
+func TestDecompressRangeMatchesFullDecode(t *testing.T) {
+	for _, m := range methods {
+		for _, xs := range hostileSeries() {
+			want, err := m.plain(xs).Decompress()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{1, 16, 128} {
+				enc, ck := m.ckpted(xs, k)
+				n := len(xs)
+				for _, r := range [][2]int{{0, n}, {0, min(1, n)}, {n / 3, 2 * n / 3}, {max(0, n-5), n}, {n / 2, n / 2}} {
+					lo, hi := r[0], r[1]
+					var got []float64
+					if _, err := DecompressRange(enc.Method, enc.Data, n, ck, lo, hi, func(v float64) {
+						got = append(got, v)
+					}); err != nil {
+						t.Fatalf("%s k=%d [%d,%d): %v", m.name, k, lo, hi, err)
+					}
+					if len(got) != hi-lo {
+						t.Fatalf("%s k=%d [%d,%d): %d values", m.name, k, lo, hi, len(got))
+					}
+					for i, v := range got {
+						if math.Float64bits(v) != math.Float64bits(want[lo+i]) {
+							t.Fatalf("%s k=%d [%d,%d): value %d differs: %v != %v", m.name, k, lo, hi, lo+i, v, want[lo+i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDecompressRangeStreamBitsExact proves the O(overlap + k) bound
+// arithmetically on a constant series, where Gorilla spends exactly 64
+// bits on sample 0 and 1 bit on every repeat: a checkpointed read of
+// [lo, hi) must traverse exactly hi - floor(lo/k)*k bits — the overlap
+// plus at most one checkpoint interval of replay — while the same read
+// without a sidecar replays the whole prefix.
+func TestDecompressRangeStreamBitsExact(t *testing.T) {
+	const n, k = 4096, 128
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 42.5
+	}
+	enc, ck := GorillaCheckpointed(xs, k)
+	lo, hi := 4000, 4032
+	bits, err := DecompressRange("gorilla", enc.Data, n, ck, lo, hi, func(float64) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := lo / k * k // the checkpointed resume point
+	if want := hi - start; bits != want {
+		t.Fatalf("checkpointed read traversed %d bits, want exactly %d (overlap %d + replay %d)",
+			bits, want, hi-lo, lo-start)
+	}
+	cold, err := DecompressRange("gorilla", enc.Data, n, nil, lo, hi, func(float64) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 64 + hi - 1; cold != want {
+		t.Fatalf("sidecar-less read traversed %d bits, want the whole %d-bit prefix", cold, want)
+	}
+	if bits*10 > cold {
+		t.Fatalf("checkpointing saved too little: %d vs %d bits", bits, cold)
+	}
+}
+
+// TestDecompressRangeStreamBitsBounded proves the bound on realistic data
+// for the whole family: the traversed bits of a late small window must not
+// exceed the stream size of overlap + k samples at the series' worst
+// per-sample cost (64 bits + per-codec control overhead < 80).
+func TestDecompressRangeStreamBitsBounded(t *testing.T) {
+	const n, k = 4096, 128
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, n)
+	v := 0.0
+	for i := range xs {
+		v += rng.NormFloat64()
+		xs[i] = v
+	}
+	for _, m := range methods {
+		enc, ck := m.ckpted(xs, k)
+		lo, hi := n-40, n-8
+		bits, err := DecompressRange(enc.Method, enc.Data, n, ck, lo, hi, func(float64) {})
+		if err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		maxSamples := (hi - lo) + k // overlap plus at most one interval of replay
+		if bound := maxSamples * 80; bits > bound {
+			t.Fatalf("%s: traversed %d bits for %d+%d samples, above the %d-bit O(overlap+k) bound",
+				m.name, bits, hi-lo, k, bound)
+		}
+		if bits >= enc.Bits/2 {
+			t.Fatalf("%s: tail read traversed %d of %d stream bits — checkpoint seek not engaged", m.name, bits, enc.Bits)
+		}
+	}
+}
+
+// TestParseCheckpointsRejectsHostileSidecars drives the parser with
+// corrupted images: absurd intervals, bit offsets, state bytes, and
+// allocation-bomb mark counts must error, never panic or over-allocate.
+func TestParseCheckpointsRejectsHostileSidecars(t *testing.T) {
+	for _, bad := range [][]byte{
+		{0},                                      // interval 0
+		{200, 200, 200, 200, 200, 200, 1},        // giant interval varint
+		{1, 255, 255, 255, 255, 1},               // mark-count bomb with no mark bytes
+		{1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},  // zero bit delta
+		{1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 99, 0}, // leading byte out of range
+	} {
+		if ck, err := ParseCheckpoints(bad, 1<<20); err == nil {
+			t.Fatalf("accepted %v as %+v", bad, ck)
+		}
+	}
+}
+
+// FuzzCheckpointRangeDifferential fuzzes the tentpole invariant across all
+// three codecs: any series (arbitrary bit patterns included), any
+// interval, any window — the checkpointed range decode must match
+// full-decode-then-slice bit-for-bit, and never read past O(overlap + k)
+// samples' worth of stream.
+func FuzzCheckpointRangeDifferential(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, uint8(1), uint16(0), uint16(3))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, uint8(2), uint16(1), uint16(2))
+	f.Fuzz(func(t *testing.T, raw []byte, k uint8, lo16, hi16 uint16) {
+		if len(raw) > 8*512 {
+			raw = raw[:8*512]
+		}
+		xs := make([]float64, len(raw)/8)
+		for i := range xs {
+			var u uint64
+			for j := 0; j < 8; j++ {
+				u = u<<8 | uint64(raw[i*8+j])
+			}
+			xs[i] = math.Float64frombits(u)
+		}
+		n := len(xs)
+		lo, hi := int(lo16)%(n+1), int(hi16)%(n+1)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		interval := int(k)
+		for _, m := range methods {
+			want, err := m.plain(xs).Decompress()
+			if err != nil {
+				t.Fatalf("%s: encode/decode failed: %v", m.name, err)
+			}
+			enc, ck := m.ckpted(xs, interval)
+			var got []float64
+			if _, err := DecompressRange(enc.Method, enc.Data, n, ck, lo, hi, func(v float64) {
+				got = append(got, v)
+			}); err != nil {
+				t.Fatalf("%s k=%d [%d,%d): %v", m.name, interval, lo, hi, err)
+			}
+			if len(got) != hi-lo {
+				t.Fatalf("%s: %d values for [%d,%d)", m.name, len(got), lo, hi)
+			}
+			for i, v := range got {
+				if math.Float64bits(v) != math.Float64bits(want[lo+i]) {
+					t.Fatalf("%s k=%d: sample %d: %x != %x", m.name, interval, lo+i, math.Float64bits(v), math.Float64bits(want[lo+i]))
+				}
+			}
+		}
+	})
+}
+
+// FuzzParseCheckpoints hammers the sidecar parser with arbitrary bytes: it
+// must reject or parse, never panic, and an accepted sidecar must seek
+// without corrupting a valid stream's range decode (errors are fine — the
+// state may be nonsense — but silent wrong values are not checkable here,
+// so this fuzzer only pins memory safety and error discipline).
+func FuzzParseCheckpoints(f *testing.F) {
+	_, ck := GorillaCheckpointed(hostileSeries()[5], 64)
+	f.Add(ck.AppendBinary(nil), 777)
+	f.Add([]byte{1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, 2)
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		if n < 0 || n > 1<<20 {
+			return
+		}
+		ck, err := ParseCheckpoints(data, n)
+		if err != nil {
+			return
+		}
+		if ck == nil || ck.Interval < 1 {
+			t.Fatalf("accepted sidecar parsed to %+v", ck)
+		}
+		if len(ck.Marks) != (n-1)/ck.Interval {
+			t.Fatalf("accepted %d marks for n=%d interval=%d", len(ck.Marks), n, ck.Interval)
+		}
+	})
+}

@@ -34,10 +34,21 @@ func init() {
 // only the center bits (01), and full-tail encodings that either reuse (10)
 // or replace (11) the 3-bit leading-zero class.
 func Chimp(xs []float64) *Encoded {
+	e, _ := ChimpCheckpointed(xs, 0)
+	return e
+}
+
+// ChimpCheckpointed is Chimp plus a checkpoint sidecar (see
+// GorillaCheckpointed). Chimp tracks no trailing window, so its marks carry
+// Trailing == -1. The bit stream is identical to Chimp's regardless of
+// interval.
+func ChimpCheckpointed(xs []float64, interval int) (*Encoded, *Checkpoints) {
+	ck := newCheckpoints(interval)
 	w := NewBitWriter()
 	var prev uint64
 	prevLeading := -1
 	for i, x := range xs {
+		ck.mark(i, w.Bits(), prev, prevLeading, -1)
 		cur := math.Float64bits(x)
 		if i == 0 {
 			w.WriteBits(cur, 64)
@@ -73,31 +84,41 @@ func Chimp(xs []float64) *Encoded {
 			prevLeading = leading
 		}
 	}
-	return &Encoded{Method: "chimp", N: len(xs), Bits: w.Bits(), Data: w.Bytes()}
+	return &Encoded{Method: "chimp", N: len(xs), Bits: w.Bits(), Data: w.Bytes()}, ck.finish()
 }
 
 // chimpDecode reverses Chimp.
 func chimpDecode(data []byte, n int) ([]float64, error) {
 	r := NewBitReader(data)
 	// Cap the allocation hint: n comes from an untrusted header, and the
-	// payload-exhaustion checks below should fire before 8*n bytes are
-	// committed to a corrupt claim.
+	// payload-exhaustion checks in the stepper should fire before 8*n bytes
+	// are committed to a corrupt claim.
 	out := make([]float64, 0, min(n, 1<<16))
-	var prev uint64
-	prevLeading := -1
-	for i := 0; i < n; i++ {
+	st := freshXORState()
+	if err := chimpDecodeFrom(r, &st, 0, n, func(v float64) { out = append(out, v) }); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// chimpDecodeFrom decodes samples [start, hi) of a Chimp stream, with r
+// positioned at sample start's first bit and st holding the decoder state
+// after sample start-1 (st.trailing is unused). A corrupt st.leading of -1
+// on the reuse path asks ReadBits for 65 bits, which errors cleanly.
+func chimpDecodeFrom(r *BitReader, st *xorState, start, hi int, emit func(float64)) error {
+	for i := start; i < hi; i++ {
 		if i == 0 {
 			v, err := r.ReadBits(64)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			prev = v
-			out = append(out, math.Float64frombits(v))
+			st.prev = v
+			emit(math.Float64frombits(v))
 			continue
 		}
 		flag, err := r.ReadBits(2)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var xor uint64
 		switch flag {
@@ -106,41 +127,41 @@ func chimpDecode(data []byte, n int) ([]float64, error) {
 		case 0b01:
 			code, err := r.ReadBits(3)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			leading := chimpLeadingValue[code]
 			sig, err := r.ReadBits(6)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			trailing := 64 - leading - int(sig)
 			v, err := r.ReadBits(uint(sig))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			xor = v << uint(trailing)
-			prevLeading = leading
+			st.leading = leading
 		case 0b10:
-			v, err := r.ReadBits(uint(64 - prevLeading))
+			v, err := r.ReadBits(uint(64 - st.leading))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			xor = v
 		default: // 0b11
 			code, err := r.ReadBits(3)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			leading := chimpLeadingValue[code]
 			v, err := r.ReadBits(uint(64 - leading))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			xor = v
-			prevLeading = leading
+			st.leading = leading
 		}
-		prev ^= xor
-		out = append(out, math.Float64frombits(prev))
+		st.prev ^= xor
+		emit(math.Float64frombits(st.prev))
 	}
-	return out, nil
+	return nil
 }

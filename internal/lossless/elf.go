@@ -20,10 +20,21 @@ import (
 // then the Gorilla XOR coding of the (possibly erased) value against the
 // previous stored value.
 func Elf(xs []float64) *Encoded {
+	e, _ := ElfCheckpointed(xs, 0)
+	return e
+}
+
+// ElfCheckpointed is Elf plus a checkpoint sidecar (see
+// GorillaCheckpointed). Marks capture the stored-value XOR chain — the
+// state before decimal restoration — since that is what the bit reader
+// resumes. The bit stream is identical to Elf's regardless of interval.
+func ElfCheckpointed(xs []float64, interval int) (*Encoded, *Checkpoints) {
+	ck := newCheckpoints(interval)
 	w := NewBitWriter()
 	var prev uint64
 	prevLeading, prevTrailing := -1, -1
 	for i, x := range xs {
+		ck.mark(i, w.Bits(), prev, prevLeading, prevTrailing)
 		stored, alpha, erased := elfErase(x)
 		if erased {
 			w.WriteBit(1)
@@ -62,28 +73,37 @@ func Elf(xs []float64) *Encoded {
 			prevLeading, prevTrailing = leading, trailing
 		}
 	}
-	return &Encoded{Method: "elf", N: len(xs), Bits: w.Bits(), Data: w.Bytes()}
+	return &Encoded{Method: "elf", N: len(xs), Bits: w.Bits(), Data: w.Bytes()}, ck.finish()
 }
 
 // elfDecode reverses Elf.
 func elfDecode(data []byte, n int) ([]float64, error) {
 	r := NewBitReader(data)
 	// Cap the allocation hint: n comes from an untrusted header, and the
-	// payload-exhaustion checks below should fire before 8*n bytes are
-	// committed to a corrupt claim.
+	// payload-exhaustion checks in the stepper should fire before 8*n bytes
+	// are committed to a corrupt claim.
 	out := make([]float64, 0, min(n, 1<<16))
-	var prev uint64
-	prevLeading, prevTrailing := -1, -1
-	for i := 0; i < n; i++ {
+	st := freshXORState()
+	if err := elfDecodeFrom(r, &st, 0, n, func(v float64) { out = append(out, v) }); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// elfDecodeFrom decodes samples [start, hi) of an Elf stream, with r
+// positioned at sample start's flag bit and st holding the stored-value XOR
+// chain state after sample start-1 (fresh state when start is 0).
+func elfDecodeFrom(r *BitReader, st *xorState, start, hi int, emit func(float64)) error {
+	for i := start; i < hi; i++ {
 		flag, err := r.ReadBit()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		alpha := 0
 		if flag == 1 {
 			a, err := r.ReadBits(5)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			alpha = int(a) + 1
 		}
@@ -91,63 +111,63 @@ func elfDecode(data []byte, n int) ([]float64, error) {
 		if i == 0 {
 			cur, err = r.ReadBits(64)
 			if err != nil {
-				return nil, err
+				return err
 			}
 		} else {
 			b, err := r.ReadBit()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if b == 0 {
-				cur = prev
+				cur = st.prev
 			} else {
 				ctl, err := r.ReadBit()
 				if err != nil {
-					return nil, err
+					return err
 				}
 				var xor uint64
 				if ctl == 0 {
-					if prevLeading < 0 {
-						return nil, ErrShortStream
+					if st.leading < 0 {
+						return ErrShortStream
 					}
-					sig := 64 - prevLeading - prevTrailing
+					sig := 64 - st.leading - st.trailing
 					v, err := r.ReadBits(uint(sig))
 					if err != nil {
-						return nil, err
+						return err
 					}
-					xor = v << uint(prevTrailing)
+					xor = v << uint(st.trailing)
 				} else {
 					lead, err := r.ReadBits(5)
 					if err != nil {
-						return nil, err
+						return err
 					}
 					sigM1, err := r.ReadBits(6)
 					if err != nil {
-						return nil, err
+						return err
 					}
 					sig := int(sigM1) + 1
 					trail := 64 - int(lead) - sig
 					if trail < 0 {
-						return nil, ErrShortStream
+						return ErrShortStream
 					}
 					v, err := r.ReadBits(uint(sig))
 					if err != nil {
-						return nil, err
+						return err
 					}
 					xor = v << uint(trail)
-					prevLeading, prevTrailing = int(lead), trail
+					st.leading, st.trailing = int(lead), trail
 				}
-				cur = prev ^ xor
+				cur = st.prev ^ xor
 			}
 		}
-		prev = cur
+		st.prev = cur
 		v := math.Float64frombits(cur)
 		if flag == 1 {
 			v = elfRestore(v, alpha)
 		}
-		out = append(out, v)
+		emit(v)
 	}
-	return out, nil
+	return nil
 }
 
 // elfErase finds the most trailing mantissa bits of x that can be zeroed

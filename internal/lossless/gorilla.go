@@ -11,10 +11,22 @@ import (
 // inside the previous leading/trailing-zero window ('10'), or a new window
 // ('11' + 5-bit leading count + 6-bit length + bits).
 func Gorilla(xs []float64) *Encoded {
+	e, _ := GorillaCheckpointed(xs, 0)
+	return e
+}
+
+// GorillaCheckpointed is Gorilla plus a checkpoint sidecar: every interval
+// samples it records the bit offset and decoder state so DecompressRange
+// can seek instead of replaying the stream. interval <= 0 disables
+// checkpointing; the returned sidecar is nil when it would hold no marks.
+// The bit stream is identical to Gorilla's regardless of interval.
+func GorillaCheckpointed(xs []float64, interval int) (*Encoded, *Checkpoints) {
+	ck := newCheckpoints(interval)
 	w := NewBitWriter()
 	var prev uint64
 	prevLeading, prevTrailing := -1, -1 // -1: no valid window yet
 	for i, x := range xs {
+		ck.mark(i, w.Bits(), prev, prevLeading, prevTrailing)
 		cur := math.Float64bits(x)
 		if i == 0 {
 			w.WriteBits(cur, 64)
@@ -48,68 +60,79 @@ func Gorilla(xs []float64) *Encoded {
 			prevLeading, prevTrailing = leading, trailing
 		}
 	}
-	return &Encoded{Method: "gorilla", N: len(xs), Bits: w.Bits(), Data: w.Bytes()}
+	return &Encoded{Method: "gorilla", N: len(xs), Bits: w.Bits(), Data: w.Bytes()}, ck.finish()
 }
 
 // gorillaDecode reverses Gorilla.
 func gorillaDecode(data []byte, n int) ([]float64, error) {
 	r := NewBitReader(data)
 	// Cap the allocation hint: n comes from an untrusted header, and the
-	// payload-exhaustion checks below should fire before 8*n bytes are
-	// committed to a corrupt claim.
+	// payload-exhaustion checks in the stepper should fire before 8*n bytes
+	// are committed to a corrupt claim.
 	out := make([]float64, 0, min(n, 1<<16))
-	var prev uint64
-	prevLeading, prevTrailing := -1, -1
-	for i := 0; i < n; i++ {
+	st := freshXORState()
+	if err := gorillaDecodeFrom(r, &st, 0, n, func(v float64) { out = append(out, v) }); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// gorillaDecodeFrom decodes samples [start, hi) of a Gorilla stream, with r
+// positioned at sample start's first bit and st holding the decoder state
+// after sample start-1 (fresh state when start is 0). Corrupt state — e.g.
+// from a hostile sidecar — fails ReadBits' width check rather than
+// panicking.
+func gorillaDecodeFrom(r *BitReader, st *xorState, start, hi int, emit func(float64)) error {
+	for i := start; i < hi; i++ {
 		if i == 0 {
 			v, err := r.ReadBits(64)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			prev = v
-			out = append(out, math.Float64frombits(v))
+			st.prev = v
+			emit(math.Float64frombits(v))
 			continue
 		}
 		b, err := r.ReadBit()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if b == 0 {
-			out = append(out, math.Float64frombits(prev))
+			emit(math.Float64frombits(st.prev))
 			continue
 		}
 		ctl, err := r.ReadBit()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var xor uint64
 		if ctl == 0 {
-			sig := 64 - prevLeading - prevTrailing
+			sig := 64 - st.leading - st.trailing
 			v, err := r.ReadBits(uint(sig))
 			if err != nil {
-				return nil, err
+				return err
 			}
-			xor = v << uint(prevTrailing)
+			xor = v << uint(st.trailing)
 		} else {
 			lead, err := r.ReadBits(5)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			sigM1, err := r.ReadBits(6)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			sig := int(sigM1) + 1
 			trail := 64 - int(lead) - sig
 			v, err := r.ReadBits(uint(sig))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			xor = v << uint(trail)
-			prevLeading, prevTrailing = int(lead), trail
+			st.leading, st.trailing = int(lead), trail
 		}
-		prev ^= xor
-		out = append(out, math.Float64frombits(prev))
+		st.prev ^= xor
+		emit(math.Float64frombits(st.prev))
 	}
-	return out, nil
+	return nil
 }

@@ -232,7 +232,7 @@ func (db *DB) readReplacedBlock(old blockMeta, lo, hi int) ([]float64, error) {
 		return nil, err
 	}
 	defer release()
-	hdr, off, err := codec.ParseBlockHeader(data)
+	hdr, _, payload, err := codec.SplitBlock(data)
 	if err != nil {
 		return nil, err
 	}
@@ -243,7 +243,7 @@ func (db *DB) readReplacedBlock(old blockMeta, lo, hi int) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	dense, err := c.Decode(data[off:], hdr.N)
+	dense, err := c.Decode(payload, hdr.N)
 	if err != nil {
 		return nil, err
 	}
@@ -271,8 +271,11 @@ func (db *DB) pendingDense(sh *shard, name string, s cursorSeg) ([]float64, erro
 // block whose overlap is partial and whose codec decodes ranges natively
 // is range-decoded into the caller's pooled buffer and deliberately NOT
 // cached (a partial reconstruction must never stand in for the block).
-// Everything else — full overlaps, and the bit-stream codecs that cannot
-// seek — takes the full decode-and-cache path.
+// Bit-stream blocks carrying a checkpoint sidecar take the analogous
+// checkpointed path: seek to the last checkpoint at or below lo, replay
+// at most CheckpointInterval extra samples, and decode only the overlap.
+// Everything else — full overlaps, and sidecar-less bit-stream blocks —
+// takes the full decode-and-cache path.
 func (db *DB) blockRange(sh *shard, meta blockMeta, lo, hi int, buf *[]float64) ([]float64, error) {
 	if hi-lo < meta.n {
 		if dense, ok := sh.cache.get(meta.key()); ok {
@@ -282,8 +285,10 @@ func (db *DB) blockRange(sh *shard, meta blockMeta, lo, hi int, buf *[]float64) 
 		if err != nil {
 			return nil, fmt.Errorf("tsdb: block %s: %w", meta.path, err)
 		}
-		if rd, ok := c.(codec.RangeDecoder); ok {
-			payload, release, err := db.openBlockPayload(meta)
+		rd, native := c.(codec.RangeDecoder)
+		cd, ckpt := c.(codec.CheckpointDecoder)
+		if native || ckpt {
+			payload, sidecar, release, err := db.openBlockPayload(meta)
 			if err != nil {
 				return nil, err
 			}
@@ -291,7 +296,26 @@ func (db *DB) blockRange(sh *shard, meta blockMeta, lo, hi int, buf *[]float64) 
 			if *buf == nil {
 				*buf = db.getBlockBuf()
 			}
-			out, err := rd.DecodeRange(payload, meta.n, lo, hi, (*buf)[:0])
+			var out []float64
+			switch {
+			case native:
+				out, err = rd.DecodeRange(payload, meta.n, lo, hi, (*buf)[:0])
+			case len(sidecar) > 0:
+				var bits int
+				out, bits, err = cd.DecodeRangeCheckpointed(payload, sidecar, meta.n, lo, hi, (*buf)[:0])
+				if err == nil {
+					db.checkpointSeeks.Add(1)
+					db.checkpointBytes.Add(uint64(bits+7) / 8)
+				}
+			default:
+				// A version-1 block without a sidecar: a partial decode would
+				// replay from the front every time, so decode once and cache.
+				dense, err := db.readBlock(sh.cache, meta)
+				if err != nil {
+					return nil, err
+				}
+				return dense[lo:hi], nil
+			}
 			if err != nil {
 				return nil, fmt.Errorf("tsdb: block %s: %w", meta.path, err)
 			}
@@ -339,9 +363,11 @@ func (db *DB) QueryInto(name string, from, to int, dst []float64) ([]float64, er
 // the shape a dashboard asks for. For cold durable blocks whose codec
 // implements codec.AggDecoder (the segment codecs and CAMEO), the
 // aggregates are computed straight from the compressed segment forms
-// without materializing any samples; other blocks — cache-resident,
-// in-flight, or bit-stream-coded — fall back to the cursor's chunk
-// resolution and are folded densely.
+// without materializing any samples; cold bit-stream blocks with a
+// checkpoint sidecar (codec.CheckpointDecoder) likewise fold their
+// windows in one seek-assisted pass over the compressed stream. Other
+// blocks — cache-resident, in-flight, or sidecar-less bit-stream — fall
+// back to the cursor's chunk resolution and are folded densely.
 func (db *DB) QueryAgg(name string, from, to, step int, f AggFunc) ([]float64, error) {
 	if step < 1 {
 		return nil, fmt.Errorf("tsdb: QueryAgg step must be at least 1, got %d", step)
@@ -417,10 +443,13 @@ func (db *DB) windowAggs(name string, from, to, step int) ([]codec.RangeAgg, int
 // aggPushdown folds the window aggregates of one durable block's overlap
 // [lo, hi) straight from the compressed payload — one DecodeWindowAggs
 // call parses the piece stream once and fills every touched window, so no
-// samples are materialized. It declines (false, nil) when the block's
-// reconstruction is already cached — folding the resident samples is
-// cheaper than re-parsing the payload — or when the codec cannot
-// aggregate natively.
+// samples are materialized. Bit-stream blocks carrying a checkpoint
+// sidecar aggregate through the checkpointed decoder instead: seek to the
+// last checkpoint before lo, then fold each decoded sample into its
+// window without materializing the range. It declines (false, nil) when
+// the block's reconstruction is already cached — folding the resident
+// samples is cheaper than re-parsing the payload — or when the codec can
+// neither aggregate natively nor seek.
 func (db *DB) aggPushdown(sh *shard, meta blockMeta, from, step, lo, hi int, accs []codec.RangeAgg) (bool, error) {
 	if sh.cache.contains(meta.key()) {
 		return false, nil
@@ -429,11 +458,12 @@ func (db *DB) aggPushdown(sh *shard, meta blockMeta, from, step, lo, hi int, acc
 	if err != nil {
 		return false, fmt.Errorf("tsdb: block %s: %w", meta.path, err)
 	}
-	ad, ok := c.(codec.AggDecoder)
-	if !ok {
+	ad, native := c.(codec.AggDecoder)
+	cd, ckpt := c.(codec.CheckpointDecoder)
+	if !native && !ckpt {
 		return false, nil
 	}
-	payload, release, err := db.openBlockPayload(meta)
+	payload, sidecar, release, err := db.openBlockPayload(meta)
 	if err != nil {
 		if isStaleBlock(err) {
 			// Compaction moved the block out from under us; decline so the
@@ -447,8 +477,23 @@ func (db *DB) aggPushdown(sh *shard, meta blockMeta, from, step, lo, hi int, acc
 	// into the block's coordinate space along with the overlap bounds.
 	w0 := (lo - from) / step
 	wEnd := (hi - 1 - from) / step
-	err = ad.DecodeWindowAggs(payload, meta.n,
-		lo-meta.start, hi-meta.start, from-meta.start, step, accs[w0:wEnd+1])
+	switch {
+	case native:
+		err = ad.DecodeWindowAggs(payload, meta.n,
+			lo-meta.start, hi-meta.start, from-meta.start, step, accs[w0:wEnd+1])
+	case len(sidecar) > 0:
+		var bits int
+		bits, err = cd.DecodeWindowAggsCheckpointed(payload, sidecar, meta.n,
+			lo-meta.start, hi-meta.start, from-meta.start, step, accs[w0:wEnd+1])
+		if err == nil {
+			db.checkpointSeeks.Add(1)
+			db.checkpointBytes.Add(uint64(bits+7) / 8)
+		}
+	default:
+		// Sidecar-less version-1 bit-stream block: replaying it from the
+		// front per QueryAgg would repeat work the dense path caches.
+		return false, nil
+	}
 	if err != nil {
 		return false, fmt.Errorf("tsdb: block %s: %w", meta.path, err)
 	}

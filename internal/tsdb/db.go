@@ -17,7 +17,9 @@
 // On disk the layout is one directory per series, one compressed block
 // file per BlockSize samples, plus an optional verbatim tail. Block files
 // carry a small versioned header (magic, format version, codec ID, sample
-// count), so a store may mix blocks written under different codecs and
+// count, and — for bit-stream codecs — a checkpoint sidecar that lets cold
+// partial reads seek instead of replaying the whole block), so a store may
+// mix blocks written under different codecs and
 // every block stays self-describing; headerless blocks written by the
 // pre-codec engine are still recognized (by their CAM1 payload magic) and
 // decoded as CAMEO. Every file is written with an fsynced atomic rename
@@ -97,6 +99,19 @@ type Options struct {
 	// should budget CacheBlocks at Shards times its working set (budgets
 	// below Shards round up to one block per shard).
 	CacheBlocks int
+	// CheckpointInterval is the checkpoint spacing, in samples, that the
+	// bit-stream codecs (gorilla, chimp, elf) record in each block's
+	// sidecar so cold partial reads can seek instead of replaying the
+	// whole block: 0 picks the codec default
+	// (codec.DefaultCheckpointInterval, 128), a positive value
+	// checkpoints every that many samples, and a negative value disables
+	// checkpoints entirely (blocks stay on the version-1 layout). Smaller
+	// intervals cut the replay work of a cold point read (O(overlap + k)
+	// samples) at ~11 sidecar bytes per checkpoint; the compressed bit
+	// stream itself is identical under every setting, so blocks written
+	// under different intervals coexist and replay bit-identically. The
+	// knob is ignored by codecs without checkpoint support.
+	CheckpointInterval int
 
 	// Retention, when positive, bounds every raw series to roughly its
 	// newest Retention samples: each Maintain pass deletes the whole
@@ -154,6 +169,7 @@ func (o *Options) withDefaults() error {
 		}
 		o.Codec = codec.NewCAMEO(o.Compression)
 	}
+	o.Codec = codec.ConfigureCheckpointInterval(o.Codec, o.CheckpointInterval)
 	if o.BlockSize < o.minBlock() {
 		return fmt.Errorf("tsdb: BlockSize %d below codec %q's minimum %d", o.BlockSize, o.Codec.Name(), o.minBlock())
 	}
@@ -240,8 +256,16 @@ type DB struct {
 
 	blocksWritten atomic.Uint64
 	bytesWritten  atomic.Uint64
-	rangeDecodes  atomic.Uint64 // cold partial decodes served via codec.RangeDecoder
-	aggPushdowns  atomic.Uint64 // blocks aggregated via codec.AggDecoder without materializing
+	rangeDecodes  atomic.Uint64 // cold partial decodes that skipped the full-block reconstruction (native or checkpointed)
+	aggPushdowns  atomic.Uint64 // blocks aggregated straight from the compressed form without materializing
+
+	// Checkpoint-sidecar observability: seeks counts cold reads of
+	// bit-stream blocks served through the checkpoint sidecar (range and
+	// window-aggregate decodes alike); bytes accumulates the compressed
+	// stream bytes those reads actually traversed (the O(overlap + k)
+	// guarantee, measurable).
+	checkpointSeeks atomic.Uint64
+	checkpointBytes atomic.Uint64
 
 	// gen issues store-unique block revisions: every blockMeta carries one,
 	// and the decoded-block cache keys on (path, gen), so a path recycled by
@@ -885,32 +909,34 @@ func (db *DB) currentBlockFor(sh *shard, name string, idx int) (blockMeta, bool)
 
 // openBlockPayload is the shared preamble of every cold-block read: it
 // reads the block file into a pooled buffer and returns the codec payload
-// past the header. The caller must invoke release once the payload is no
-// longer referenced (codecs decode into fresh or caller-owned buffers, so
-// releasing after decode is safe). The header is re-parsed and checked
+// past the header, plus the checkpoint sidecar when the block carries one
+// (nil otherwise). The caller must invoke release once neither slice is
+// referenced any longer (codecs decode into fresh or caller-owned buffers,
+// so releasing after decode is safe). The header is re-parsed and checked
 // against the snapshotted meta: block files are named by start index, so
 // a compaction can republish this path with a merged block of different
 // geometry — decoding the new payload under the old geometry must fail
 // loudly (errStaleBlock) and trigger re-resolution, never misread.
-func (db *DB) openBlockPayload(meta blockMeta) (payload []byte, release func(), err error) {
+func (db *DB) openBlockPayload(meta blockMeta) (payload, sidecar []byte, release func(), err error) {
 	data, release, err := db.readFilePooled(meta.path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	h, off, perr := codec.ParseBlockHeader(data)
+	h, sidecar, payload, perr := codec.SplitBlock(data)
 	switch {
 	case perr == nil:
-		if off != meta.hdrOff || h.N != meta.n || h.CodecID != meta.codecID {
+		if len(data)-len(payload) != meta.hdrOff || h.N != meta.n || h.CodecID != meta.codecID {
 			release()
-			return nil, nil, fmt.Errorf("%w: %s", errStaleBlock, meta.path)
+			return nil, nil, nil, fmt.Errorf("%w: %s", errStaleBlock, meta.path)
 		}
 	case errors.Is(perr, codec.ErrNotBlockFormat) && meta.hdrOff == 0:
 		// Legacy headerless CAMEO block, still as indexed.
+		payload, sidecar = data, nil
 	default:
 		release()
-		return nil, nil, fmt.Errorf("tsdb: block %s: %w", meta.path, perr)
+		return nil, nil, nil, fmt.Errorf("tsdb: block %s: %w", meta.path, perr)
 	}
-	return data[meta.hdrOff:], release, nil
+	return payload, sidecar, release, nil
 }
 
 // readBlock returns the decoded reconstruction of a durable block, serving
@@ -923,7 +949,7 @@ func (db *DB) readBlock(cache *blockCache, meta blockMeta) ([]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("tsdb: block %s: %w", meta.path, err)
 		}
-		payload, release, err := db.openBlockPayload(meta)
+		payload, _, release, err := db.openBlockPayload(meta)
 		if err != nil {
 			return nil, err
 		}
@@ -974,10 +1000,14 @@ type DBStats struct {
 	CacheHits     uint64 // decoded-block cache hits, summed across shard caches
 	CacheMisses   uint64 // decoded-block cache misses (single-flight leaders), summed
 	CacheWaits    uint64 // cold queries that waited on another query's in-flight decode instead of redundantly loading (single-flight followers)
-	RangeDecodes  uint64 // cold partial-range decodes pushed down to the codec (no full-block reconstruction)
+	RangeDecodes  uint64 // cold partial-range decodes pushed down to the codec (no full-block reconstruction; all codecs, native or checkpointed)
 	AggPushdowns  uint64 // blocks answered by QueryAgg straight from the compressed form (no samples materialized)
-	Queued        int    // compressions waiting in the worker queue
-	Inflight      int    // compressions currently executing
+
+	// Checkpoint-sidecar effectiveness for the bit-stream codecs.
+	CheckpointSeeks uint64 // cold bit-stream block reads served via the checkpoint sidecar (range + aggregate)
+	CheckpointBytes uint64 // compressed stream bytes those reads traversed (lower = seeks paying off)
+	Queued          int    // compressions waiting in the worker queue
+	Inflight        int    // compressions currently executing
 
 	// Lifecycle counters (all zero unless compaction/retention/rollups are
 	// configured or Maintain is called explicitly).
@@ -999,6 +1029,8 @@ func (db *DB) Stats() DBStats {
 		BytesWritten:    db.bytesWritten.Load(),
 		RangeDecodes:    db.rangeDecodes.Load(),
 		AggPushdowns:    db.aggPushdowns.Load(),
+		CheckpointSeeks: db.checkpointSeeks.Load(),
+		CheckpointBytes: db.checkpointBytes.Load(),
 		LifecyclePasses: db.lifecyclePasses.Load(),
 		LifecycleErrors: db.lifecycleErrors.Load(),
 		CompactionRuns:  db.compactionRuns.Load(),

@@ -111,7 +111,9 @@ func (o *Options) normalizeRollups() error {
 func (db *DB) codecForSeries(name string) codec.Codec {
 	if len(db.opt.Rollups) > 0 {
 		if _, _, _, ok := parseRollupName(name); ok {
-			return codec.Gorilla{}
+			// Tier blocks inherit the store's checkpoint spacing so
+			// tier-served aggregate reads seek like raw-series reads do.
+			return codec.Gorilla{Interval: db.opt.CheckpointInterval}
 		}
 	}
 	return db.opt.Codec

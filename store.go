@@ -21,10 +21,12 @@ import (
 // CodecChimp, CodecELF) make the store an exact-replay archive at a lower
 // compression ratio, and the pointwise-lossy segment codecs (CodecPMC,
 // CodecSwing, CodecSimPiece) bound per-value error instead. Every block
-// file carries a self-describing header (magic, format version 1, codec
-// ID, sample count), so a store may mix blocks written under different
-// codecs across reopens, and stores written by the pre-header engine
-// remain fully readable (their headerless blocks decode as CAMEO).
+// file carries a self-describing header (magic, format version, codec
+// ID, sample count, and — for the bit-stream codecs — a checkpoint
+// sidecar enabling random access), so a store may mix blocks written
+// under different codecs and format versions across reopens, and stores
+// written by the pre-header engine remain fully readable (their
+// headerless blocks decode as CAMEO).
 //
 // The read path is a streaming cursor architecture with pushdown:
 //
@@ -34,13 +36,16 @@ import (
 //   - Cursor(name, from, to) streams the range chunk by chunk without
 //     materializing it: cache-resident blocks are yielded as sub-slices
 //     with no copy, cold blocks of the segment codecs and CAMEO decode
-//     only the overlapping samples (codec range pushdown), and blocks
-//     still compressing are waited for only when reached.
+//     only the overlapping samples (codec range pushdown), cold
+//     bit-stream blocks seek via their checkpoint sidecar and decode
+//     O(overlap + CheckpointInterval) samples, and blocks still
+//     compressing are waited for only when reached.
 //   - QueryAgg(name, from, to, step, f) answers downsampled aggregate
 //     queries (one value per step-sample window, f one of AggMean,
 //     AggSum, AggMax, AggMin): for cold blocks of the segment codecs and
 //     CAMEO the sums/extrema are computed straight from the compressed
-//     segment forms without materializing samples at all.
+//     segment forms without materializing samples at all, and cold
+//     bit-stream blocks fold their windows in one seek-assisted pass.
 //   - Series() returns the stored names in lexicographically sorted
 //     order — a documented guarantee, stable across reopens.
 //
@@ -81,6 +86,14 @@ type StoreCursor = tsdb.Cursor
 //     caches (a single series always lives in one shard, so budget
 //     Shards x its working set for hot-series scans); 0 picks 128,
 //     negative disables caching.
+//   - CheckpointInterval: checkpoint spacing, in samples, recorded in the
+//     sidecar of every bit-stream-coded block (gorilla, chimp, elf) so a
+//     cold partial read seeks to the nearest checkpoint instead of
+//     replaying the block front: 0 picks the codec default of 128,
+//     negative disables checkpoints (version-1 blocks, no sidecar).
+//     Smaller intervals cut cold point-read latency at ~11 sidecar bytes
+//     per checkpoint; the compressed bit stream is identical under every
+//     setting, so mixed-interval stores replay bit-identically.
 //   - Retention: per-series age budget in samples; maintenance trims each
 //     series to at most this many trailing samples (0 keeps everything).
 //   - RetainBytes: store-wide compressed-byte budget; maintenance deletes
@@ -112,7 +125,9 @@ type StoreStats = tsdb.Stats
 // StoreTotals aggregates engine-level counters — blocks/bytes written,
 // per-shard cache hits/misses/single-flight waits, read-path pushdowns
 // (RangeDecodes: cold partial decodes that skipped full reconstruction;
-// AggPushdowns: blocks aggregated without materializing samples), the
+// AggPushdowns: blocks aggregated without materializing samples;
+// CheckpointSeeks/CheckpointBytes: cold bit-stream reads served via the
+// checkpoint sidecar and the compressed bytes they traversed), the
 // compression queue backlog, and the lifecycle totals (maintenance passes,
 // blocks compacted, rollup samples materialized, blocks/bytes trimmed by
 // retention, series deleted) — see Store.Stats.
