@@ -2,9 +2,11 @@
 // benchmarks in-process (via testing.Benchmark, with allocation counting
 // always on, as with -benchmem) and writes a machine-readable JSON artifact.
 // CI invokes it on every run and uploads the result, and perf PRs commit a
-// before/after snapshot (BENCH_PR3.json through BENCH_PR7.json) so the
+// before/after snapshot (BENCH_PR3.json through BENCH_PR8.json) so the
 // performance trajectory of the hot paths — impact evaluation, block
-// compression, store ingest, materializing and streaming queries, aggregate
+// compression, store ingest (including the append-latency percentile pair
+// store/append-latency-batch-sync vs store/append-latency-streaming, which
+// times every call individually), materializing and streaming queries, aggregate
 // pushdown, checkpointed cold bit-stream reads (store/*-bitstream-* and
 // store/agg-rollup-cold, each paired with a sidecar-less -replay baseline),
 // storage lifecycle (compaction throughput, rollup-tier vs raw
@@ -32,10 +34,12 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	cameo "repro"
 	"repro/internal/acf"
@@ -48,6 +52,14 @@ type result struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+
+	// Per-op latency percentiles and the blocks' compression ratio,
+	// reported only by the store/append-latency-* pair (exact per-call
+	// timings, not bucketed; see benchStoreAppendLatency).
+	P50NsPerOp float64 `json:"p50_ns_per_op,omitempty"`
+	P99NsPerOp float64 `json:"p99_ns_per_op,omitempty"`
+	MaxNsPerOp float64 `json:"max_ns_per_op,omitempty"`
+	Ratio      float64 `json:"compression_ratio,omitempty"`
 }
 
 type run struct {
@@ -159,6 +171,12 @@ func benchmarks() []struct {
 		}},
 		{"store/append-single-sync", func(b *testing.B) {
 			benchStoreAppend(b, 1, -1)
+		}},
+		{"store/append-latency-batch-sync", func(b *testing.B) {
+			benchStoreAppendLatency(b, false) // block cut compresses inline: the tail-latency spike
+		}},
+		{"store/append-latency-streaming", func(b *testing.B) {
+			benchStoreAppendLatency(b, true) // compression amortized across appends
 		}},
 		{"store/query-cached", func(b *testing.B) {
 			benchStoreQuery(b, 256)
@@ -605,6 +623,65 @@ func storeOptions(shards, workers, cacheBlocks int) cameo.StoreOptions {
 	}
 }
 
+// benchStoreAppendLatency measures the per-call latency distribution of
+// Append under steady 64-sample-chunk ingest on one series — the PR 8
+// acceptance pair. Every op is timed individually and the sorted set is
+// reported as p50/p99/max metrics: with 2048-sample blocks a cut lands on
+// 1 in 32 appends, so the block-cut cost sits squarely inside the p99. The
+// batch-sync run compresses each cut inline (the spike the streaming mode
+// amortizes); the streaming run spreads the same work across the appends
+// feeding the block, so its p99 must sit far below the batch one while the
+// blocks themselves stay byte-identical (the ratio metric pins that).
+func benchStoreAppendLatency(b *testing.B, streaming bool) {
+	const chunkLen = 64
+	chunk := benchSeries(chunkLen, 48, 0.5)
+	opt := storeOptions(1, -1, -1)
+	if streaming {
+		opt.Streaming = true
+		opt.Workers = 0 // persists ride the pool; compression rides the appends
+		// The cap must exceed the steady-state compression work one chunk's
+		// arrival brings (~block cost / 32 here), or every cut arrives
+		// before its block finishes and the forced residue lands back in
+		// the tail. 5ms covers it with margin on a single-core runner while
+		// staying far under the batch cut spike.
+		opt.MaxAppendLatency = 5 * time.Millisecond
+	}
+	store, err := cameo.OpenStoreOptions(b.TempDir(), opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	durs := make([]time.Duration, 0, b.N)
+	b.SetBytes(chunkLen * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if err := store.Append("s", chunk...); err != nil {
+			b.Fatal(err)
+		}
+		durs = append(durs, time.Since(t0))
+	}
+	b.StopTimer()
+	if err := store.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	pct := func(q float64) float64 {
+		return float64(durs[min(int(q*float64(len(durs))), len(durs)-1)].Nanoseconds())
+	}
+	b.ReportMetric(pct(0.50), "p50-ns/op")
+	b.ReportMetric(pct(0.99), "p99-ns/op")
+	b.ReportMetric(float64(durs[len(durs)-1].Nanoseconds()), "max-ns/op")
+	if st := store.Stats(); st.BytesWritten > 0 {
+		// Ratio over the block-covered samples (the tail is not on disk).
+		blockSamples := b.N * chunkLen / 2048 * 2048
+		b.ReportMetric(float64(blockSamples*8)/float64(st.BytesWritten), "ratio")
+	}
+	if err := store.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 func benchStoreAppend(b *testing.B, shards, workers int) {
 	chunk := benchSeries(512, 48, 0.5)
 	store, err := cameo.OpenStoreOptions(b.TempDir(), storeOptions(shards, workers, -1))
@@ -774,7 +851,7 @@ func benchStoreAgg(b *testing.B, c cameo.Codec) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR7.json", "output file (- for stdout)")
+	out := flag.String("out", "BENCH_PR8.json", "output file (- for stdout)")
 	label := flag.String("label", "current", "label recorded in the artifact")
 	benchtime := flag.String("benchtime", "1s", "per-benchmark duration or iteration count (Nx)")
 	benchFilter := flag.String("bench", "", "run only benchmarks whose name matches this regexp")
@@ -831,6 +908,10 @@ func main() {
 		} else if res.Bytes > 0 && res.T > 0 {
 			entry.MBPerSec = (float64(res.Bytes) * float64(res.N) / 1e6) / res.T.Seconds()
 		}
+		entry.P50NsPerOp = res.Extra["p50-ns/op"]
+		entry.P99NsPerOp = res.Extra["p99-ns/op"]
+		entry.MaxNsPerOp = res.Extra["max-ns/op"]
+		entry.Ratio = res.Extra["ratio"]
 		r.Results = append(r.Results, entry)
 		fmt.Fprintf(os.Stderr, "%-32s %10d ops  %14.1f ns/op  %8d B/op  %6d allocs/op\n",
 			bm.name, entry.Iterations, entry.NsPerOp, entry.BytesPerOp, entry.AllocsPerOp)

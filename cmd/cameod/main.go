@@ -62,6 +62,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "compression workers (0 = GOMAXPROCS, negative = synchronous)")
 		cache    = flag.Int("cache", 0, "decoded-block cache capacity in blocks (0 = default 128, negative = off)")
 		ckptIv   = flag.Int("checkpoint-interval", 0, "checkpoint spacing in samples for bit-stream codec sidecars (0 = codec default 128, negative = off)")
+		streamIn = flag.Bool("streaming", false, "amortize block compression across appends (bounded ingest tail latency; cameo codec only)")
+		maxAppLt = flag.Duration("max-append-latency", 0, "per-append compression work cap in streaming mode (0 = default 1ms)")
 		maxReq   = flag.Int64("max-request-bytes", 0, "per-request body cap in bytes (0 = default 8 MiB)")
 		maxInfl  = flag.Int64("max-inflight-bytes", 0, "total in-flight ingest bytes before 429 (0 = default 64 MiB)")
 		ingestTO = flag.Duration("ingest-timeout", 0, "write body read bound, keeps slow uploads from pinning the ingest budget (0 = default 1m)")
@@ -84,7 +86,7 @@ func main() {
 		rollups:        *rollups,
 		interval:       *maintainIv,
 	}
-	storeOpt, err := buildStoreOptions(*codec, *lags, *eps, *block, *shards, *workers, *cache, *ckptIv, lc)
+	storeOpt, err := buildStoreOptions(*codec, *lags, *eps, *block, *shards, *workers, *cache, *ckptIv, ingestFlags{*streamIn, *maxAppLt}, lc)
 	if err != nil {
 		log.Fatalf("cameod: %v", err)
 	}
@@ -129,6 +131,12 @@ func main() {
 		t.Series, t.Samples, t.DiskBytes)
 }
 
+// ingestFlags groups the streaming-ingest knobs.
+type ingestFlags struct {
+	streaming        bool
+	maxAppendLatency time.Duration
+}
+
 // lifecycleFlags groups the storage-lifecycle knobs so buildStoreOptions
 // keeps a readable signature.
 type lifecycleFlags struct {
@@ -144,9 +152,11 @@ type lifecycleFlags struct {
 // uses its registry defaults (nil Codec selects cameo so that path keeps
 // the store's own option validation), -checkpoint-interval sets the
 // bit-stream checkpoint spacing (meaningful for gorilla/chimp/elf and the
-// rollup tiers any codec's store writes), and the lifecycle flags ride
-// through verbatim (-rollups parses via parseRollups).
-func buildStoreOptions(codecName string, lags int, eps float64, block, shards, workers, cache, ckptInterval int, lc lifecycleFlags) (cameo.StoreOptions, error) {
+// rollup tiers any codec's store writes), -streaming/-max-append-latency
+// select amortized ingest (the store validates codec capability on open),
+// and the lifecycle flags ride through verbatim (-rollups parses via
+// parseRollups).
+func buildStoreOptions(codecName string, lags int, eps float64, block, shards, workers, cache, ckptInterval int, in ingestFlags, lc lifecycleFlags) (cameo.StoreOptions, error) {
 	opt := cameo.StoreOptions{
 		Compression:        cameo.Options{Lags: lags, Epsilon: eps},
 		BlockSize:          block,
@@ -154,6 +164,8 @@ func buildStoreOptions(codecName string, lags int, eps float64, block, shards, w
 		Workers:            workers,
 		CacheBlocks:        cache,
 		CheckpointInterval: ckptInterval,
+		Streaming:          in.streaming,
+		MaxAppendLatency:   in.maxAppendLatency,
 		Retention:          lc.retention,
 		RetainBytes:        lc.retainBytes,
 		CompactMinFill:     lc.compactMinFill,

@@ -12,7 +12,7 @@ import (
 // resolve from the registry, unknown names fail with the available set in
 // the message, and the lifecycle flags land verbatim.
 func TestBuildStoreOptions(t *testing.T) {
-	opt, err := buildStoreOptions("cameo", 24, 0.01, 4096, 4, 2, 64, 0, lifecycleFlags{})
+	opt, err := buildStoreOptions("cameo", 24, 0.01, 4096, 4, 2, 64, 0, ingestFlags{}, lifecycleFlags{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +26,7 @@ func TestBuildStoreOptions(t *testing.T) {
 		t.Fatalf("zero lifecycle flags should map to a disabled lifecycle: %+v", opt)
 	}
 
-	opt, err = buildStoreOptions("gorilla", 24, 0.01, 1024, 0, 0, 0, 32, lifecycleFlags{})
+	opt, err = buildStoreOptions("gorilla", 24, 0.01, 1024, 0, 0, 0, 32, ingestFlags{}, lifecycleFlags{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestBuildStoreOptions(t *testing.T) {
 		t.Fatalf("-checkpoint-interval not mapped: %+v", opt)
 	}
 
-	if _, err := buildStoreOptions("zstd", 24, 0.01, 1024, 0, 0, 0, 0, lifecycleFlags{}); err == nil {
+	if _, err := buildStoreOptions("zstd", 24, 0.01, 1024, 0, 0, 0, 0, ingestFlags{}, lifecycleFlags{}); err == nil {
 		t.Fatal("unknown codec accepted")
 	}
 
@@ -48,7 +48,7 @@ func TestBuildStoreOptions(t *testing.T) {
 		rollups:        "24, 1440/8760",
 		interval:       time.Minute,
 	}
-	opt, err = buildStoreOptions("cameo", 24, 0.01, 4096, 0, 0, 0, 0, lc)
+	opt, err = buildStoreOptions("cameo", 24, 0.01, 4096, 0, 0, 0, 0, ingestFlags{}, lc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,6 +68,33 @@ func TestBuildStoreOptions(t *testing.T) {
 		t.Fatalf("mapped options do not open a store: %v", err)
 	}
 	store.Close()
+
+	// -streaming/-max-append-latency map onto the streaming-ingest knobs,
+	// and the mapped options open a streaming store.
+	opt, err = buildStoreOptions("cameo", 24, 0.01, 4096, 0, 0, 0, 0,
+		ingestFlags{streaming: true, maxAppendLatency: 250 * time.Microsecond}, lifecycleFlags{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.Streaming || opt.MaxAppendLatency != 250*time.Microsecond {
+		t.Fatalf("streaming knobs not mapped: %+v", opt)
+	}
+	store, err = cameo.OpenStoreOptions(t.TempDir(), opt)
+	if err != nil {
+		t.Fatalf("mapped streaming options do not open a store: %v", err)
+	}
+	store.Close()
+
+	// -streaming with a codec that has no streaming encode path is the
+	// engine's error to report, surfaced at open.
+	opt, err = buildStoreOptions("gorilla", 24, 0.01, 1024, 0, 0, 0, 0,
+		ingestFlags{streaming: true}, lifecycleFlags{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cameo.OpenStoreOptions(t.TempDir(), opt); err == nil {
+		t.Fatal("streaming store opened under a non-streaming codec")
+	}
 }
 
 func TestParseRollupsRejectsGarbage(t *testing.T) {

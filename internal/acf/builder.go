@@ -1,0 +1,123 @@
+package acf
+
+// Builder accumulates the dense lag-1..L aggregates of a series one sample
+// at a time, in the exact floating-point operation order of the batch
+// direct extractor (newAggregatesDirect): the running total/total2 and each
+// per-lag cross-product sum grow in ascending sample order, and the prefix
+// sums are snapshotted as the first L samples arrive. The suffix sums —
+// which the batch extractor walks backwards from the end — are deferred to
+// finalize time, where the same backwards loop runs over the (by then
+// known) series tail. The result is bit-identical to NewAggregates on the
+// same samples, which is what lets the streaming CAMEO engine spread the
+// O(n*L) extraction across point arrivals without perturbing a single
+// downstream impact evaluation.
+//
+// Cost is O(L) per sample; a Builder is reusable via Reset and performs no
+// allocation after construction (finalize allocates the one Aggregates the
+// batch path would have allocated anyway).
+type Builder struct {
+	// L is the dense lag depth the builder accumulates for.
+	L int
+
+	k      int     // samples consumed so far
+	total  float64 // running sum of xs[0..k)
+	total2 float64 // running sum of squares
+
+	sxx []float64 // sxx[l-1] = sum_{t} xs[t]*xs[t+l], t ascending
+
+	// Prefix snapshots: pref[l] = xs[0]+...+xs[l-1] accumulated in the
+	// batch extractor's chain order (pref[l] = pref[l-1] + xs[l-1]).
+	pref  []float64
+	pref2 []float64
+
+	ring []float64 // last L samples, ring[j%L] = xs[j]
+}
+
+// NewBuilder returns a builder for dense lags 1..L (L >= 1).
+func NewBuilder(L int) *Builder {
+	if L < 1 {
+		panic("acf: Builder needs L >= 1")
+	}
+	return &Builder{
+		L:     L,
+		sxx:   make([]float64, L),
+		pref:  make([]float64, L+1),
+		pref2: make([]float64, L+1),
+		ring:  make([]float64, L),
+	}
+}
+
+// Reset re-arms the builder for a new series.
+func (b *Builder) Reset() {
+	b.k = 0
+	b.total, b.total2 = 0, 0
+	for i := range b.sxx {
+		b.sxx[i] = 0
+	}
+	// pref/ring entries are overwritten before they are read.
+}
+
+// Len reports how many samples have been consumed.
+func (b *Builder) Len() int { return b.k }
+
+// Append consumes the next samples of the series, in order.
+func (b *Builder) Append(xs ...float64) {
+	L := b.L
+	for _, x := range xs {
+		k := b.k
+		b.total += x
+		b.total2 += x * x
+		if k < L {
+			b.pref[k+1] = b.pref[k] + x
+			b.pref2[k+1] = b.pref2[k] + x*x
+		}
+		m := L
+		if k < m {
+			m = k
+		}
+		for l := 1; l <= m; l++ {
+			b.sxx[l-1] += b.ring[(k-l)%L] * x
+		}
+		b.ring[k%L] = x
+		b.k = k + 1
+	}
+}
+
+// finalize materializes the aggregates. xs must be the full series the
+// builder consumed (len(xs) == Len()); only its last L samples are read,
+// for the backwards suffix accumulation the batch extractor performs.
+func (b *Builder) finalize(xs []float64) *Aggregates {
+	n := len(xs)
+	if n != b.k {
+		panic("acf: Builder.finalize: series length does not match samples consumed")
+	}
+	a := newAggregatesShell(n, b.L, nil)
+	var suffix, suffix2 float64
+	for l := 1; l <= b.L; l++ {
+		if l >= n {
+			// Fewer than one pair: all aggregates stay zero.
+			break
+		}
+		i := l - 1
+		suffix += xs[n-l]
+		suffix2 += xs[n-l] * xs[n-l]
+		a.sx[i] = b.total - suffix
+		a.sx2[i] = b.total2 - suffix2
+		a.sxl[i] = b.total - b.pref[l]
+		a.sx2l[i] = b.total2 - b.pref2[l]
+		a.sxx[i] = b.sxx[i]
+	}
+	return a
+}
+
+// NewDirectTrackerFromBuilder returns a direct tracker whose aggregates
+// come from the incrementally accumulated builder sums, or nil when the
+// batch constructor would not take the direct extraction path for this
+// shape (FFT-worthy n/L combinations) — callers must then fall back to
+// NewDirectTracker on the full series for bit-identical results.
+func NewDirectTrackerFromBuilder(b *Builder, xs []float64) *DirectTracker {
+	if b == nil || b.Len() != len(xs) || fftWorthIt(len(xs), b.L) {
+		return nil
+	}
+	return &DirectTracker{agg: b.finalize(xs)}
+}

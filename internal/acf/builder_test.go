@@ -1,0 +1,93 @@
+package acf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func builderSeries(n int, r *rand.Rand) []float64 {
+	xs := make([]float64, n)
+	phase := r.Float64() * 2 * math.Pi
+	for i := range xs {
+		xs[i] = math.Sin(2*math.Pi*float64(i)/48+phase) + 0.3*r.NormFloat64()
+	}
+	return xs
+}
+
+// TestBuilderMatchesBatchBitExact feeds series through the incremental
+// builder in various chunkings and demands every aggregate equals the
+// batch direct extractor bit-for-bit — the invariant the streaming CAMEO
+// engine's differential guarantees rest on.
+func TestBuilderMatchesBatchBitExact(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for _, n := range []int{0, 1, 2, 5, 24, 25, 100, 501, 2048} {
+		for _, L := range []int{1, 3, 24, 48, 200} {
+			xs := builderSeries(n, r)
+			want := NewAggregates(xs, L)
+			for _, chunk := range []int{1, 7, 64, n + 1} {
+				b := NewBuilder(L)
+				b.Append(xs[:min(chunk, n)]...) // exercise Reset on reuse below
+				b.Reset()
+				for i := 0; i < n; i += chunk {
+					b.Append(xs[i:min(i+chunk, n)]...)
+				}
+				if b.Len() != n {
+					t.Fatalf("n=%d L=%d chunk=%d: Len=%d", n, L, chunk, b.Len())
+				}
+				got := b.finalize(xs)
+				if got.N != want.N || got.L != want.L {
+					t.Fatalf("n=%d L=%d chunk=%d: shape (%d,%d) want (%d,%d)",
+						n, L, chunk, got.N, got.L, want.N, want.L)
+				}
+				for i := 0; i < len(want.sxx); i++ {
+					if got.sx[i] != want.sx[i] || got.sx2[i] != want.sx2[i] ||
+						got.sxl[i] != want.sxl[i] || got.sx2l[i] != want.sx2l[i] ||
+						got.sxx[i] != want.sxx[i] {
+						t.Fatalf("n=%d L=%d chunk=%d lag=%d: aggregates differ: got (%v %v %v %v %v) want (%v %v %v %v %v)",
+							n, L, chunk, i+1,
+							got.sx[i], got.sx2[i], got.sxl[i], got.sx2l[i], got.sxx[i],
+							want.sx[i], want.sx2[i], want.sxl[i], want.sx2l[i], want.sxx[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDirectTrackerFromBuilder checks the constructor's fallback gate: nil
+// on FFT-worthy shapes or length mismatch, a tracker with a bit-identical
+// ACF otherwise.
+func TestDirectTrackerFromBuilder(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	xs := builderSeries(512, r)
+
+	b := NewBuilder(24)
+	b.Append(xs...)
+	tr := NewDirectTrackerFromBuilder(b, xs)
+	if tr == nil {
+		t.Fatal("direct shape (n=512, L=24): want a tracker, got nil")
+	}
+	want := NewDirectTracker(xs, 24).ACF()
+	got := tr.ACF()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ACF[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// FFT-worthy: n=512 needs effLags >= 32*log2(512) = 288.
+	bf := NewBuilder(300)
+	bf.Append(xs...)
+	if tr := NewDirectTrackerFromBuilder(bf, xs); tr != nil {
+		t.Fatal("FFT-worthy shape (n=512, L=300): want nil fallback")
+	}
+
+	// Length mismatch.
+	if tr := NewDirectTrackerFromBuilder(b, xs[:511]); tr != nil {
+		t.Fatal("length mismatch: want nil")
+	}
+	if tr := NewDirectTrackerFromBuilder(nil, xs); tr != nil {
+		t.Fatal("nil builder: want nil")
+	}
+}

@@ -83,6 +83,34 @@ func (c *CAMEO) EncodeWithRecon(xs []float64) ([]byte, []float64, error) {
 	return res.Compressed.Encode(), res.Compressed.Decompress(), nil
 }
 
+// NewBlockStream returns an incremental encode session backed by a
+// core.StreamEngine: the session compresses one block at a time in bounded
+// work steps, producing exactly the points (and therefore exactly the
+// payload bytes) batch Encode would.
+func (c *CAMEO) NewBlockStream() (BlockStream, error) {
+	se, err := core.NewStreamEngine(c.Opt)
+	if err != nil {
+		return nil, fmt.Errorf("codec: cameo needs compression options (use NewCAMEO): %w", err)
+	}
+	return &cameoStream{se: se}, nil
+}
+
+// cameoStream adapts core.StreamEngine to the BlockStream interface.
+type cameoStream struct {
+	se *core.StreamEngine
+}
+
+func (s *cameoStream) Begin(xs []float64) error       { return s.se.Begin(xs) }
+func (s *cameoStream) Advance(budget int) (int, bool) { return s.se.Advance(budget) }
+func (s *cameoStream) Close()                         { s.se.Close() }
+func (s *cameoStream) Payload() ([]byte, []float64, error) {
+	res := s.se.Result()
+	if res == nil {
+		return nil, nil, fmt.Errorf("codec: cameo stream: block not finished")
+	}
+	return res.Compressed.Encode(), res.Compressed.Decompress(), nil
+}
+
 // Decode parses the irregular-series encoding and reconstructs the dense
 // block by linear interpolation. The sample count is validated against the
 // block cap and the payload's own header before the dense reconstruction

@@ -1,0 +1,55 @@
+package codec
+
+import "fmt"
+
+// StreamEncoder is an optional Codec capability: codecs that can spread a
+// block's compression across small bounded work steps implement it, which
+// is what the tsdb streaming ingest mode (Options.Streaming) paces append
+// latency with. Blocks produced through a stream are byte-identical to the
+// batch Encode path, so every existing reader decodes them unchanged.
+type StreamEncoder interface {
+	Codec
+	// NewBlockStream returns a fresh stream session. Sessions are
+	// single-goroutine and reusable across blocks (one block in flight at
+	// a time); callers own their lifecycle and must Close them.
+	NewBlockStream() (BlockStream, error)
+}
+
+// BlockStream incrementally compresses one block at a time. The protocol
+// is Begin → Advance (repeatedly, until done) → Payload, then Begin again
+// for the next block. A work unit is codec-defined but roughly constant
+// cost (for CAMEO: one ACF-impact evaluation), so callers can convert a
+// latency budget into a unit budget with a running ns/unit estimate.
+type BlockStream interface {
+	// Begin starts a new block over xs. The stream copies what it needs;
+	// xs is not retained.
+	Begin(xs []float64) error
+	// Advance performs up to budget work units, reporting units actually
+	// used and whether the block is finished. At least one unit of
+	// progress is made per call on an unfinished block.
+	Advance(budget int) (used int, done bool)
+	// Payload returns the finished block's codec payload and dense
+	// reconstruction. It fails if the block is not finished.
+	Payload() (payload []byte, recon []float64, err error)
+	// Close releases session resources; the stream must not be used after.
+	Close()
+}
+
+// EncodeStreamBlock wraps a finished stream's payload in the versioned
+// block header, exactly as EncodeBlockRecon would for the same samples:
+// streamed blocks are self-describing and byte-identical to batch-encoded
+// ones. n is the dense sample count of the block the stream compressed.
+// (Streaming codecs emit plain payloads, never checkpoint sidecars — the
+// only StreamEncoder, CAMEO, is a ReconEncoder, which batch-encodes
+// sidecar-less too.)
+func EncodeStreamBlock(c Codec, bs BlockStream, n int) (data []byte, hdrOff int, recon []float64, err error) {
+	if n > MaxBlockSamples {
+		return nil, 0, nil, fmt.Errorf("%w: %d samples exceeds the %d-sample block cap", ErrBadBlock, n, MaxBlockSamples)
+	}
+	payload, recon, err := bs.Payload()
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	data = appendHeader(c, n, payload)
+	return data, len(data) - len(payload), recon, nil
+}

@@ -34,7 +34,18 @@ type stopConditions struct {
 	epsilon     float64 // 0 = unbounded deviation (Definition 3)
 	targetRatio float64 // 0 = no ratio stop
 	maxRemovals int     // 0 = unlimited
+	maxUnits    int     // 0 = unlimited; work-unit budget (impact evaluations)
 }
+
+// runStop reports why run returned.
+type runStop int
+
+const (
+	runDone   runStop = iota // heap exhausted: every interior point removed
+	runBound                 // least-impact candidate violates epsilon (terminal)
+	runRatio                 // target compression ratio reached (terminal)
+	runBudget                // maxRemovals/maxUnits exhausted (resumable)
+)
 
 // evalCtx is per-goroutine scratch for impact evaluation. After warm-up a
 // context is allocation-free: every buffer an evaluation needs lives here or
@@ -78,6 +89,12 @@ type engine struct {
 	sub    []int
 	subPos []int
 
+	// Tracker shape derived from opt by resetPre, consumed by buildTracker
+	// (and by StreamEngine, which substitutes an incrementally built
+	// tracker when the shape allows it).
+	trackLags   int   // dense tracker depth
+	compactLags []int // non-nil: compact StatACF subset tracker
+
 	// fastMAE marks the default configuration (ACF statistic, no subset,
 	// MAE measure): the acf kernel then accumulates the deviation against
 	// base while evaluating, and impact reads it via Scratch.DevSum instead
@@ -118,7 +135,22 @@ func newEngine(xs []float64, opt Options) *engine {
 // internal buffer whose capacity suffices. opt must stay structurally
 // identical across resets of one engine (same Lags/Statistic/LagSubset/
 // AggWindow/Threads), which Compressor guarantees by construction.
+//
+// It is split into four stages so StreamEngine can spread the set-up cost
+// across point arrivals: resetPre -> installTracker -> initImpacts ->
+// armHeap. Composing them here keeps the batch path bit-identical to the
+// streaming one (same operations in the same order).
 func (e *engine) reset(xs []float64, opt Options) {
+	e.resetPre(xs, opt)
+	e.installTracker(e.buildTracker(e.orig))
+	e.initImpacts(0, len(e.points))
+	e.armHeap()
+}
+
+// resetPre performs the tracker-independent part of reset: copies the
+// input, re-arms pointer/flag buffers, derives the tracker shape
+// (trackLags/compactLags) and builds the interior point list. O(n).
+func (e *engine) resetPre(xs []float64, opt Options) {
 	n := len(xs)
 	e.opt = opt
 	e.n = n
@@ -134,33 +166,67 @@ func (e *engine) reset(xs []float64, opt Options) {
 		e.hops = defaultBlockHops(n)
 	}
 
-	trackLags := opt.Lags
-	var compact []int
+	e.trackLags = opt.Lags
+	e.compactLags = nil
 	e.sub, e.subPos = nil, nil
 	if len(opt.LagSubset) > 0 {
 		e.sub = opt.LagSubset
 		if opt.Statistic == StatACF {
-			compact = uniqueSortedLags(opt.LagSubset)
-			e.subPos = subsetPositions(opt.LagSubset, compact)
+			e.compactLags = uniqueSortedLags(opt.LagSubset)
+			e.subPos = subsetPositions(opt.LagSubset, e.compactLags)
 		} else {
 			// PACF truncates at the largest selected lag (§5.5): the
 			// Durbin-Levinson recursion only ever reads the ACF prefix.
-			trackLags = maxLag(opt.LagSubset)
+			e.trackLags = maxLag(opt.LagSubset)
 		}
 	}
-	switch {
-	case opt.AggWindow >= 2 && compact != nil:
-		e.tracker = acf.NewWindowTrackerLags(xs, opt.AggWindow, opt.AggFunc, compact)
-	case opt.AggWindow >= 2:
-		e.tracker = acf.NewWindowTracker(xs, opt.AggWindow, opt.AggFunc, trackLags)
-	case compact != nil:
-		e.tracker = acf.NewDirectTrackerLags(xs, compact)
-	default:
-		e.tracker = acf.NewDirectTracker(xs, trackLags)
+
+	for i := 0; i < n; i++ {
+		e.left[i] = int32(i - 1)
+		e.right[i] = int32(i + 1)
+		e.removed[i] = false
 	}
 
+	// Interior point list for the initial heap build; first and last
+	// points never enter the heap (their impact is infinite). points[i] =
+	// i+1, so the positional key slice keys[1:n-1] doubles as the
+	// by-point-id layout the heap indexes into.
+	if cap(e.points) < n {
+		e.points = make([]int32, 0, n)
+	}
+	e.points = e.points[:0]
+	for i := 1; i < n-1; i++ {
+		e.points = append(e.points, int32(i))
+	}
+	if n > 0 {
+		e.keys[0] = 0
+		e.keys[n-1] = 0
+	}
+}
+
+// buildTracker constructs the ACF tracker for the shape resetPre derived.
+// O(n*L) (or O(n log n) on FFT-worthy shapes).
+func (e *engine) buildTracker(xs []float64) acf.Tracker {
+	switch {
+	case e.opt.AggWindow >= 2 && e.compactLags != nil:
+		return acf.NewWindowTrackerLags(xs, e.opt.AggWindow, e.opt.AggFunc, e.compactLags)
+	case e.opt.AggWindow >= 2:
+		return acf.NewWindowTracker(xs, e.opt.AggWindow, e.opt.AggFunc, e.trackLags)
+	case e.compactLags != nil:
+		return acf.NewDirectTrackerLags(xs, e.compactLags)
+	default:
+		return acf.NewDirectTracker(xs, e.trackLags)
+	}
+}
+
+// installTracker adopts tr as the engine's tracker and derives everything
+// downstream of it: eval contexts (created once per engine), the base
+// feature vector, and the fastMAE kernel mode.
+func (e *engine) installTracker(tr acf.Tracker) {
+	e.tracker = tr
+
 	if e.ctxs == nil {
-		threads := opt.Threads
+		threads := e.opt.Threads
 		if threads < 1 {
 			threads = 1
 		}
@@ -173,45 +239,33 @@ func (e *engine) reset(xs []float64, opt Options) {
 		}
 	}
 
-	for i := 0; i < n; i++ {
-		e.left[i] = int32(i - 1)
-		e.right[i] = int32(i + 1)
-		e.removed[i] = false
-	}
-
 	e.acfBuf = grow(e.acfBuf, e.tracker.Lags())
 	e.tracker.ACFInto(e.acfBuf)
 	e.base = append(e.base[:0], e.feature(e.acfBuf, e.ctxs[0])...)
-	e.fastMAE = opt.Statistic == StatACF && len(opt.LagSubset) == 0 && opt.Measure == stats.MeasureMAE
+	e.fastMAE = e.opt.Statistic == StatACF && len(e.opt.LagSubset) == 0 && e.opt.Measure == stats.MeasureMAE
 	if e.fastMAE {
 		for _, ctx := range e.ctxs {
 			ctx.sc.SetBase(e.base)
 		}
 	}
+}
 
-	// Initial impacts for all interior points (Alg. 2), computed in
-	// parallel chunks when Threads > 1; first and last points never enter
-	// the heap (their impact is infinite). points[i] = i+1, so the
-	// positional key slice keys[1:n-1] doubles as the by-point-id layout
-	// the heap indexes into.
-	if cap(e.points) < n {
-		e.points = make([]int32, 0, n)
+// initImpacts computes the Alg. 2 initial impacts for the interior points
+// in positions [lo, hi) of the point list, in parallel chunks when
+// Threads > 1. Callable in slices: impacts of distinct points are
+// independent, so chunked calls produce the same keys as one full call.
+func (e *engine) initImpacts(lo, hi int) {
+	if hi > lo {
+		e.impactInto(e.points[lo:hi], e.keys[1+lo:1+hi])
 	}
-	e.points = e.points[:0]
-	for i := 1; i < n-1; i++ {
-		e.points = append(e.points, int32(i))
-	}
-	if n > 0 {
-		e.keys[0] = 0
-		e.keys[n-1] = 0
-	}
-	if len(e.points) > 0 {
-		e.impactInto(e.points, e.keys[1:n-1])
-	}
+}
+
+// armHeap heapifies the computed initial impacts.
+func (e *engine) armHeap() {
 	if e.heap == nil {
-		e.heap = pheap.New(n, e.points, e.keys[:n])
+		e.heap = pheap.New(e.n, e.points, e.keys[:e.n])
 	} else {
-		e.heap.Reset(n, e.points, e.keys[:n])
+		e.heap.Reset(e.n, e.points, e.keys[:e.n])
 	}
 }
 
@@ -351,16 +405,24 @@ func (e *engine) impact(p int32, ctx *evalCtx) float64 {
 }
 
 // run removes points until a stop condition fires. It may be called again
-// with looser conditions to resume.
-func (e *engine) run(stop stopConditions) {
+// with looser conditions to resume; a runBudget return resumes exactly
+// where it left off (the budgeted call performs the same operations in the
+// same order as an unbudgeted one, so resumed runs are bit-identical to
+// batch runs). Returns why it stopped and the number of work units spent —
+// one unit per impact evaluation, the currency StreamEngine paces by.
+func (e *engine) run(stop stopConditions) (runStop, int) {
 	alive := e.n - e.removedCnt
 	removedThisCall := 0
+	units := 0
 	for e.heap.Len() > 0 {
 		if stop.targetRatio > 0 && float64(e.n) >= stop.targetRatio*float64(alive) {
-			return
+			return runRatio, units
 		}
 		if stop.maxRemovals > 0 && removedThisCall >= stop.maxRemovals {
-			return
+			return runBudget, units
+		}
+		if stop.maxUnits > 0 && units >= stop.maxUnits {
+			return runBudget, units
 		}
 		p, key := e.heap.Pop()
 		e.iterations++
@@ -371,6 +433,7 @@ func (e *engine) run(stop stopConditions) {
 		// one instead (lazy revalidation; converges because keys become
 		// exact on re-push and state does not change between pops).
 		exact := e.impact(p, e.ctxs[0])
+		units++
 		if !e.opt.NoRevalidate && e.heap.Len() > 0 && exact > e.heap.PeekKey() && exact > key {
 			e.heap.Push(p, exact)
 			continue
@@ -379,12 +442,14 @@ func (e *engine) run(stop stopConditions) {
 			// Even the least-impact candidate violates the bound: stop
 			// (Alg. 1). Re-insert so a resumed run can reconsider it.
 			e.heap.Push(p, exact)
-			return
+			return runBound, units
 		}
 		e.remove(p, exact)
+		units += len(e.neigh)
 		alive--
 		removedThisCall++
 	}
+	return runDone, units
 }
 
 // remove commits the removal of p: updates aggregates, reconstruction

@@ -334,8 +334,11 @@ func TestOperationalEndpoints(t *testing.T) {
 	}
 	var snap struct {
 		Store struct {
-			Series  int
-			Samples int
+			Series    int
+			Samples   int
+			Appends   uint64
+			AppendP99 int64
+			AppendMax int64
 		} `json:"store"`
 		Server struct {
 			QueryRequests  uint64 `json:"query_requests"`
@@ -349,6 +352,10 @@ func TestOperationalEndpoints(t *testing.T) {
 	}
 	if snap.Store.Series != 2 || snap.Store.Samples != 1300 {
 		t.Fatalf("statusz store: %+v", snap.Store)
+	}
+	// The append-latency histogram rides the DB.Stats passthrough.
+	if snap.Store.Appends == 0 || snap.Store.AppendMax == 0 || snap.Store.AppendP99 > snap.Store.AppendMax {
+		t.Fatalf("statusz append-latency summary: %+v", snap.Store)
 	}
 	if snap.Server.QueryRequests != 1 || snap.Server.AggRequests != 1 {
 		t.Fatalf("statusz server: %+v", snap.Server)

@@ -254,6 +254,16 @@ func (db *DB) readReplacedBlock(old blockMeta, lo, hi int) ([]float64, error) {
 // reconstruction, re-resolving against the durable index when the async
 // compression failed but a concurrent Flush has since repaired it.
 func (db *DB) pendingDense(sh *shard, name string, s cursorSeg) ([]float64, error) {
+	if db.opt.Streaming {
+		// A streaming block completes at arrival pace; a reader must not
+		// wait on future appends, so finish it on this goroutine.
+		sh.mu.RLock()
+		st := sh.series[name]
+		sh.mu.RUnlock()
+		if st != nil {
+			db.forceFinishStream(sh, name, st)
+		}
+	}
 	<-s.pending.done
 	if s.pending.err == nil {
 		return s.pending.recon, nil

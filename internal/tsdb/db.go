@@ -113,6 +113,25 @@ type Options struct {
 	// knob is ignored by codecs without checkpoint support.
 	CheckpointInterval int
 
+	// Streaming, when true, spreads each block's compression across the
+	// appends that feed it (amortized ingest) instead of paying the whole
+	// cost when a block cuts: every Append performs a small, latency-capped
+	// slice of the in-progress block's compression on its own goroutine,
+	// paced to finish slightly ahead of the next cut. Blocks written this
+	// way are byte-identical to batch-compressed ones (the streaming engine
+	// is a deterministic time-slicing of the batch algorithm), so every
+	// reader and every recovery path treats them identically. Requires a
+	// codec with a streaming encode path (CAMEO); readers that reach a
+	// still-streaming block, and Sync/Flush, finish it on their own
+	// goroutine rather than waiting for future appends.
+	Streaming bool
+	// MaxAppendLatency caps the compression work a single Append performs
+	// in streaming mode: the paced work slice stops at this wall-clock
+	// budget, deferring the remainder to later appends (or to the forced
+	// finish at the next cut, when arrival outruns pacing). Default 1ms.
+	// Ignored unless Streaming is set.
+	MaxAppendLatency time.Duration
+
 	// Retention, when positive, bounds every raw series to roughly its
 	// newest Retention samples: each Maintain pass deletes the whole
 	// durable blocks lying entirely below the horizon (total appended
@@ -170,6 +189,17 @@ func (o *Options) withDefaults() error {
 		o.Codec = codec.NewCAMEO(o.Compression)
 	}
 	o.Codec = codec.ConfigureCheckpointInterval(o.Codec, o.CheckpointInterval)
+	if o.MaxAppendLatency < 0 {
+		return fmt.Errorf("tsdb: MaxAppendLatency must be non-negative, got %v", o.MaxAppendLatency)
+	}
+	if o.Streaming {
+		if _, ok := o.Codec.(codec.StreamEncoder); !ok {
+			return fmt.Errorf("tsdb: Streaming requires a codec with a streaming encode path, %q has none", o.Codec.Name())
+		}
+		if o.MaxAppendLatency == 0 {
+			o.MaxAppendLatency = time.Millisecond
+		}
+	}
 	if o.BlockSize < o.minBlock() {
 		return fmt.Errorf("tsdb: BlockSize %d below codec %q's minimum %d", o.BlockSize, o.Codec.Name(), o.minBlock())
 	}
@@ -258,6 +288,14 @@ type DB struct {
 	bytesWritten  atomic.Uint64
 	rangeDecodes  atomic.Uint64 // cold partial decodes that skipped the full-block reconstruction (native or checkpointed)
 	aggPushdowns  atomic.Uint64 // blocks aggregated straight from the compressed form without materializing
+
+	// Ingest-latency observability: every Append records its wall time in
+	// the allocation-free histogram; streaming mode additionally counts
+	// blocks compressed incrementally and streams force-finished (by a
+	// reader, Sync/Flush, or a cut outrunning the pacing).
+	appendLatency latencyHist
+	streamBlocks  atomic.Uint64
+	streamForced  atomic.Uint64
 
 	// Checkpoint-sidecar observability: seeks counts cold reads of
 	// bit-stream blocks served through the checkpoint sidecar (range and
@@ -424,7 +462,7 @@ func (db *DB) seriesDir(name string) string {
 // frontier (the tail was cut into a block after the last Flush) are
 // discarded rather than replayed as duplicate samples.
 func (db *DB) loadSeries(name string) (*seriesState, error) {
-	st := newSeriesState()
+	st := db.newSeriesState()
 	sdir := db.seriesDir(name)
 	entries, err := os.ReadDir(sdir)
 	if err != nil {
@@ -581,19 +619,37 @@ func (db *DB) buildBlock(name string, start int, block []float64) (blockMeta, []
 	if err != nil {
 		return blockMeta{}, nil, err
 	}
-	path := filepath.Join(db.seriesDir(name), fmt.Sprintf("%012d.blk", start))
-	if err := atomicWrite(path, data); err != nil {
+	meta, err := db.writeBlockData(name, start, data, hdrOff, c.ID())
+	if err != nil {
 		return blockMeta{}, nil, err
 	}
-	db.blocksWritten.Add(1)
-	db.bytesWritten.Add(uint64(len(data)))
-	meta := blockMeta{start: start, n: len(block), path: path, bytes: int64(len(data)), codecID: c.ID(), hdrOff: hdrOff, gen: db.nextGen()}
+	meta.n = len(block)
 	return meta, recon, nil
 }
 
+// writeBlockData atomically persists an already-encoded block and accounts
+// it, returning its metadata (sample count left for the caller to fill —
+// buildBlock and the streaming seal both know it without re-parsing the
+// header). Shared by the batch path (buildBlock) and the streaming seal,
+// whose encode happened incrementally on the append path.
+func (db *DB) writeBlockData(name string, start int, data []byte, hdrOff int, codecID uint8) (blockMeta, error) {
+	path := filepath.Join(db.seriesDir(name), fmt.Sprintf("%012d.blk", start))
+	if err := atomicWrite(path, data); err != nil {
+		return blockMeta{}, err
+	}
+	db.blocksWritten.Add(1)
+	db.bytesWritten.Add(uint64(len(data)))
+	return blockMeta{start: start, path: path, bytes: int64(len(data)), codecID: codecID, hdrOff: hdrOff, gen: db.nextGen()}, nil
+}
+
 // Sync blocks until every queued block compression has been persisted and
-// returns the first asynchronous worker error, if any.
+// returns the first asynchronous worker error, if any. In streaming mode
+// it first finishes every in-progress streaming block on the calling
+// goroutine (their completion otherwise rides on future appends).
 func (db *DB) Sync() error {
+	if db.opt.Streaming {
+		db.finishAllStreams()
+	}
 	if db.pool != nil {
 		db.pool.drain()
 	}
@@ -662,6 +718,12 @@ func (db *DB) flushSeries(sh *shard, name string) error {
 		}
 		if len(inflight) > 0 {
 			sh.mu.Unlock()
+			if db.opt.Streaming {
+				// A streaming block completes at arrival pace; with ingest
+				// paused (or this flush deferring cuts) that could be never.
+				// Finish it here so the waits below are bounded.
+				db.forceFinishStream(sh, name, st)
+			}
 			for _, done := range inflight {
 				<-done
 			}
@@ -1009,6 +1071,18 @@ type DBStats struct {
 	Queued          int    // compressions waiting in the worker queue
 	Inflight        int    // compressions currently executing
 
+	// Append-latency histogram (every Append, all modes; log-spaced
+	// buckets, so P50/P99 are conservative upper bounds accurate to within
+	// 2x; AppendMax is exact).
+	Appends   uint64        // Append calls observed
+	AppendP50 time.Duration // median Append wall time
+	AppendP99 time.Duration // 99th-percentile Append wall time
+	AppendMax time.Duration // worst Append wall time since Open
+
+	// Streaming-ingest counters (zero unless Options.Streaming).
+	StreamBlocks uint64 // blocks compressed incrementally on the append path
+	StreamForced uint64 // streaming blocks force-finished (reader, Sync/Flush, or a cut outrunning the pacing)
+
 	// Lifecycle counters (all zero unless compaction/retention/rollups are
 	// configured or Maintain is called explicitly).
 	LifecyclePasses uint64 // completed Maintain passes
@@ -1039,7 +1113,12 @@ func (db *DB) Stats() DBStats {
 		TrimmedBlocks:   db.trimmedBlocks.Load(),
 		TrimmedBytes:    db.trimmedBytes.Load(),
 		SeriesDeleted:   db.seriesDeleted.Load(),
+		StreamBlocks:    db.streamBlocks.Load(),
+		StreamForced:    db.streamForced.Load(),
 	}
+	lat := db.appendLatency.snapshot()
+	s.Appends = lat.count
+	s.AppendP50, s.AppendP99, s.AppendMax = lat.p50, lat.p99, lat.max
 	for _, sh := range db.shards {
 		sh.mu.RLock()
 		for _, st := range sh.series {
@@ -1102,6 +1181,9 @@ func (db *DB) Close() error {
 	if db.pool != nil {
 		db.pool.stop()
 		db.pool = nil
+	}
+	if db.opt.Streaming {
+		db.closeStreams()
 	}
 	return err
 }

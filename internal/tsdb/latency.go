@@ -1,0 +1,88 @@
+package tsdb
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latencyHist is a fixed-shape log-spaced latency histogram: bucket b
+// counts observations with bits.Len64(ns) == b, i.e. power-of-two latency
+// bands. The record path is two atomic operations and zero allocations, so
+// it can sit on Append without perturbing the latency it measures;
+// percentiles are derived at Stats() time. Quantile estimates report a
+// band's upper bound, so they are conservative (never under-report) and
+// accurate to within 2x, which is the useful resolution for a tail-latency
+// health signal; the maximum is tracked exactly.
+type latencyHist struct {
+	buckets [65]atomic.Uint64 // bits.Len64 of the nanosecond count
+	max     atomic.Uint64     // exact maximum, in ns
+}
+
+// record adds one observation. Safe for concurrent use.
+func (h *latencyHist) record(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.buckets[bits.Len64(ns)].Add(1)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// latencySnapshot is a point-in-time percentile summary.
+type latencySnapshot struct {
+	count    uint64
+	p50, p99 time.Duration
+	max      time.Duration
+}
+
+// snapshot walks the buckets once. Concurrent records may land between
+// bucket loads; the summary is a consistent-enough health signal, not an
+// exact census.
+func (h *latencyHist) snapshot() latencySnapshot {
+	var counts [65]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := latencySnapshot{count: total, max: time.Duration(h.max.Load())}
+	if total == 0 {
+		return s
+	}
+	s.p50 = quantile(&counts, total, 0.50)
+	s.p99 = quantile(&counts, total, 0.99)
+	// A bucket's upper bound can exceed the exact maximum; clamp so the
+	// summary always reads p50 <= p99 <= max.
+	s.p99 = min(s.p99, s.max)
+	s.p50 = min(s.p50, s.p99)
+	return s
+}
+
+// quantile returns the upper bound of the bucket holding the q-quantile
+// observation.
+func quantile(counts *[65]uint64, total uint64, q float64) time.Duration {
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for b, c := range counts {
+		cum += c
+		if cum > rank {
+			if b == 0 {
+				return 0
+			}
+			if b >= 63 {
+				return time.Duration(1<<63 - 1)
+			}
+			return time.Duration(uint64(1)<<b - 1)
+		}
+	}
+	return 0
+}

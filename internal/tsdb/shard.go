@@ -5,6 +5,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 )
 
 // shard is one lock domain of the store. Series names are hashed across
@@ -57,10 +58,15 @@ type seriesState struct {
 	assigned   int                   // samples cut into blocks (durable + pending), counted from 0
 	total      int                   // assigned + len(tail)
 	flushing   int                   // active Flushes; while > 0, Append defers async cuts
+	stream     *streamState          // incremental compression state (Options.Streaming only)
 }
 
-func newSeriesState() *seriesState {
-	return &seriesState{pending: make(map[int]*pendingBlock)}
+func (db *DB) newSeriesState() *seriesState {
+	st := &seriesState{pending: make(map[int]*pendingBlock)}
+	if db.opt.Streaming {
+		st.stream = &streamState{}
+	}
+	return st
 }
 
 // addTailStamp records an on-disk tail file (idempotent: rewriting the
@@ -99,18 +105,27 @@ func (st *seriesState) insertBlock(meta blockMeta) {
 	st.blocks[i] = meta
 }
 
-// cutBlockLocked slices the oldest BlockSize samples off the tail into a
-// new pending block (buffer drawn from the DB's recycle pool) and reserves
-// it with the worker pool (so a racing Sync counts it before the lock is
-// released). The caller holds the shard lock and must submit the block to
-// the pool after releasing it.
-func (db *DB) cutBlockLocked(st *seriesState) *pendingBlock {
+// sliceBlockLocked slices the oldest BlockSize samples off the tail into a
+// new pending block (buffer drawn from the DB's recycle pool) and registers
+// it in the pending set. The caller holds the shard lock.
+func (db *DB) sliceBlockLocked(st *seriesState) *pendingBlock {
 	block := db.getBlockBuf()
 	copy(block, st.tail)
 	st.tail = append(st.tail[:0], st.tail[db.opt.BlockSize:]...)
 	pb := &pendingBlock{start: st.assigned, raw: block, done: make(chan struct{})}
 	st.assigned += len(block)
 	st.pending[pb.start] = pb
+	return pb
+}
+
+// cutBlockLocked is sliceBlockLocked plus a worker-pool reservation (so a
+// racing Sync counts the block before the lock is released). The caller
+// holds the shard lock and must submit the block to the pool after
+// releasing it. Streaming cuts use sliceBlockLocked directly: the
+// appenders themselves do the compression, and the seal reserves the pool
+// only for the final persist step.
+func (db *DB) cutBlockLocked(st *seriesState) *pendingBlock {
+	pb := db.sliceBlockLocked(st)
 	db.pool.reserve()
 	return pb
 }
@@ -129,11 +144,23 @@ func (db *DB) shardFor(name string) *shard {
 // Append adds samples to a series. Completed blocks are cut from the tail
 // and handed to the compression worker pool (or, with Workers < 0,
 // compressed inline); the append itself only buffers and slices, so ingest
-// latency is decoupled from CAMEO's compression cost. After an async block
-// compression fails, Append refuses further writes until a Flush repairs
-// the failed block, so callers find out about the failure before it is
-// buried under acknowledged-but-undurable data.
+// latency is decoupled from CAMEO's compression cost. With
+// Options.Streaming, the append additionally performs a latency-capped
+// slice of the in-progress block's compression (see stream.go), replacing
+// the block-cut cost spike with a bounded per-append contribution. After
+// an async block compression fails, Append refuses further writes until a
+// Flush repairs the failed block, so callers find out about the failure
+// before it is buried under acknowledged-but-undurable data.
+//
+// Every Append records its wall time in the DB.Stats latency histogram.
 func (db *DB) Append(name string, values ...float64) error {
+	start := time.Now()
+	err := db.appendSamples(name, values)
+	db.appendLatency.record(time.Since(start))
+	return err
+}
+
+func (db *DB) appendSamples(name string, values []float64) error {
 	if err := validateSeriesName(name); err != nil {
 		return err
 	}
@@ -148,11 +175,23 @@ func (db *DB) Append(name string, values ...float64) error {
 			sh.mu.Unlock()
 			return err
 		}
-		st = newSeriesState()
+		st = db.newSeriesState()
 		sh.series[name] = st
 	}
 	st.tail = append(st.tail, values...)
 	st.total += len(values)
+	if st.stream != nil {
+		// Streaming mode: cuts and compression happen in streamDrain, off
+		// the shard lock, behind the per-series stream token. Skip the
+		// drain when there is provably nothing to do.
+		needDrain := st.stream.busy() ||
+			(len(st.tail) >= db.opt.BlockSize && st.flushing == 0)
+		sh.mu.Unlock()
+		if needDrain {
+			db.streamDrain(sh, name, st, len(values))
+		}
+		return nil
+	}
 	var cut []*pendingBlock
 	for len(st.tail) >= db.opt.BlockSize {
 		if db.pool != nil && st.flushing > 0 {

@@ -94,6 +94,16 @@ type StoreCursor = tsdb.Cursor
 //     Smaller intervals cut cold point-read latency at ~11 sidecar bytes
 //     per checkpoint; the compressed bit stream is identical under every
 //     setting, so mixed-interval stores replay bit-identically.
+//   - Streaming: spread each block's compression across the appends that
+//     feed it instead of paying the whole cost at block-cut time — every
+//     Append performs a small, latency-capped slice of the in-progress
+//     block's compression, paced to finish just ahead of the next cut.
+//     Blocks written this way are byte-identical to batch-compressed ones,
+//     so readers, recovery, and compaction treat them identically.
+//     Requires a codec with a streaming encode path (CAMEO).
+//   - MaxAppendLatency: wall-clock cap on the compression slice one Append
+//     performs in streaming mode (default 1ms); leftover work defers to
+//     later appends or to the forced finish at the next cut.
 //   - Retention: per-series age budget in samples; maintenance trims each
 //     series to at most this many trailing samples (0 keeps everything).
 //   - RetainBytes: store-wide compressed-byte budget; maintenance deletes
@@ -128,9 +138,14 @@ type StoreStats = tsdb.Stats
 // AggPushdowns: blocks aggregated without materializing samples;
 // CheckpointSeeks/CheckpointBytes: cold bit-stream reads served via the
 // checkpoint sidecar and the compressed bytes they traversed), the
-// compression queue backlog, and the lifecycle totals (maintenance passes,
-// blocks compacted, rollup samples materialized, blocks/bytes trimmed by
-// retention, series deleted) — see Store.Stats.
+// compression queue backlog, the append-latency histogram (Appends,
+// AppendP50/AppendP99/AppendMax — log-spaced buckets, so the percentiles
+// are conservative upper bounds within 2x; the max is exact), the
+// streaming-ingest counters (StreamBlocks: blocks compressed incrementally
+// on the append path; StreamForced: streaming blocks finished by a reader,
+// Sync/Flush, or a cut outrunning the pacing), and the lifecycle totals
+// (maintenance passes, blocks compacted, rollup samples materialized,
+// blocks/bytes trimmed by retention, series deleted) — see Store.Stats.
 type StoreTotals = tsdb.DBStats
 
 // ErrUnknownSeries is returned by Store queries for absent series names.
