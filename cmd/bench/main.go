@@ -2,7 +2,7 @@
 // benchmarks in-process (via testing.Benchmark, with allocation counting
 // always on, as with -benchmem) and writes a machine-readable JSON artifact.
 // CI invokes it on every run and uploads the result, and perf PRs commit a
-// before/after snapshot (BENCH_PR3.json through BENCH_PR8.json) so the
+// before/after snapshot (BENCH_PR3.json through BENCH_PR9.json) so the
 // performance trajectory of the hot paths — impact evaluation, block
 // compression, store ingest (including the append-latency percentile pair
 // store/append-latency-batch-sync vs store/append-latency-streaming, which
@@ -10,16 +10,23 @@
 // pushdown, checkpointed cold bit-stream reads (store/*-bitstream-* and
 // store/agg-rollup-cold, each paired with a sidecar-less -replay baseline),
 // storage lifecycle (compaction throughput, rollup-tier vs raw
-// aggregate queries, post-retention reads), and the HTTP serving path
+// aggregate queries, post-retention reads), the HTTP serving path
 // (server/ingest-*, server/query-*, measured with concurrent clients
-// against an httptest server) — is tracked from PR 3 onward.
+// against an httptest server), and the parallel read path (the
+// store/query-cold-prefetch-{off,on} readahead pair and the
+// server/query-{serial-8,multi-8,multi-64} batch-query trio) — is tracked
+// from PR 3 onward.
 //
 // Usage:
 //
-//	go run ./cmd/bench [-benchtime 1s|Nx] [-label name] [-out bench.json] [-bench regexp]
+//	go run ./cmd/bench [-benchtime 1s|Nx] [-label name] [-out bench.json]
+//	                   [-bench regexp] [-compare old.json]
 //
 // -out "-" writes to stdout; -bench restricts the run to matching
-// benchmark names (handy for re-measuring a noisy pair).
+// benchmark names (handy for re-measuring a noisy pair). -compare diffs
+// the run against a previously committed artifact and warns (exit status
+// unchanged) about benchmarks whose time/op regressed more than 30% —
+// CI's bench-smoke job points it at the latest BENCH_PR*.json.
 package main
 
 import (
@@ -190,6 +197,12 @@ func benchmarks() []struct {
 		{"store/cursor-cold", func(b *testing.B) {
 			benchStoreCursor(b, -1)
 		}},
+		{"store/query-cold-prefetch-off", func(b *testing.B) {
+			benchStoreQueryPrefetch(b, 0) // sequential: each cold block read+decoded inline
+		}},
+		{"store/query-cold-prefetch-on", func(b *testing.B) {
+			benchStoreQueryPrefetch(b, 2) // readahead 2: upcoming blocks decode on the pool
+		}},
 		{"store/agg-pushdown-cold", func(b *testing.B) {
 			benchStoreAgg(b, nil) // CAMEO: windows answered from the segment form
 		}},
@@ -243,6 +256,115 @@ func benchmarks() []struct {
 		{"server/query-agg-cold", func(b *testing.B) {
 			benchServerAgg(b)
 		}},
+		{"server/query-serial-8", func(b *testing.B) {
+			benchServerMultiQuery(b, 8, true) // 8 series as 8 sequential GETs — the baseline
+		}},
+		{"server/query-multi-8", func(b *testing.B) {
+			benchServerMultiQuery(b, 8, false) // same 8 series as one POST batch
+		}},
+		{"server/query-multi-64", func(b *testing.B) {
+			benchServerMultiQuery(b, 64, false)
+		}},
+	}
+}
+
+// benchStoreQueryPrefetch is the readahead acceptance pair: one client
+// scanning a cold 16-block series end to end through a cursor, cache off,
+// with the worker pool available. At ra 0 every block's file read + decode
+// happens inline between chunks; at ra 2 the next blocks resolve on the
+// pool while the caller consumes, so on a multi-core host the scan
+// overlaps I/O+decode with consumption (on one vCPU the pair should tie —
+// prefetch only moves work).
+func benchStoreQueryPrefetch(b *testing.B, ra int) {
+	const perSeries = 16 * 2048
+	opt := storeOptions(1, 0, -1)
+	opt.ReadAhead = ra
+	store, err := cameo.OpenStoreOptions(b.TempDir(), opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := store.Append("s", benchSeries(perSeries, 48, 0.5)...); err != nil {
+		b.Fatal(err)
+	}
+	if err := store.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(perSeries * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur, err := store.Cursor("s", 0, perSeries)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			chunk, ok := cur.Next()
+			if !ok {
+				break
+			}
+			n += len(chunk)
+		}
+		if err := cur.Err(); err != nil {
+			b.Fatal(err)
+		}
+		cur.Close()
+		if n != perSeries {
+			b.Fatalf("cursor yielded %d samples", n)
+		}
+	}
+	b.StopTimer()
+	if err := store.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchServerMultiQuery is the scatter-gather acceptance trio: a
+// dashboard refreshing nSeries panels of 2048 cold samples each, either
+// as sequential single-series GETs (serial, the round-trip-bound
+// baseline) or as one POST /api/v1/query batch that the store fans out
+// worker-pool-wide and streams back as NDJSON sections. The batch form
+// pays one HTTP round-trip instead of nSeries and overlaps the
+// per-series block decodes, so it must come in well under the serial
+// form even on one core.
+func benchServerMultiQuery(b *testing.B, nSeries int, serial bool) {
+	const perSeries, rangeLen = 8192, 2048
+	_, srv := benchHTTPServer(b, -1, nSeries, perSeries)
+	names := make([]string, nSeries)
+	for s := range names {
+		names[s] = fmt.Sprintf("series-%02d", s)
+	}
+	body, err := json.Marshal(map[string]any{"series": names, "from": 0, "to": rangeLen})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(nSeries * rangeLen * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if serial {
+			for _, name := range names {
+				resp, err := http.Get(fmt.Sprintf("%s/api/v1/query?series=%s&from=0&to=%d", srv.URL, name, rangeLen))
+				if err != nil {
+					b.Fatal(err)
+				}
+				n, _ := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || n == 0 {
+					b.Fatalf("query: status %d, %d bytes", resp.StatusCode, n)
+				}
+			}
+			continue
+		}
+		resp, err := http.Post(srv.URL+"/api/v1/query", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, _ := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || n == 0 {
+			b.Fatalf("batch query: status %d, %d bytes", resp.StatusCode, n)
+		}
 	}
 }
 
@@ -851,10 +973,11 @@ func benchStoreAgg(b *testing.B, c cameo.Codec) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR8.json", "output file (- for stdout)")
+	out := flag.String("out", "BENCH_PR9.json", "output file (- for stdout)")
 	label := flag.String("label", "current", "label recorded in the artifact")
 	benchtime := flag.String("benchtime", "1s", "per-benchmark duration or iteration count (Nx)")
 	benchFilter := flag.String("bench", "", "run only benchmarks whose name matches this regexp")
+	compare := flag.String("compare", "", "baseline artifact to diff against; warns on >30% time/op regressions (exit status unchanged)")
 	flag.Parse()
 
 	var filter *regexp.Regexp
@@ -915,6 +1038,25 @@ func main() {
 		r.Results = append(r.Results, entry)
 		fmt.Fprintf(os.Stderr, "%-32s %10d ops  %14.1f ns/op  %8d B/op  %6d allocs/op\n",
 			bm.name, entry.Iterations, entry.NsPerOp, entry.BytesPerOp, entry.AllocsPerOp)
+	}
+
+	if *compare != "" {
+		old, err := loadRun(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench: -compare:", err)
+			os.Exit(1)
+		}
+		warnings := compareRuns(old, r, regressionThreshold)
+		if len(warnings) == 0 {
+			fmt.Fprintf(os.Stderr, "bench: no >%.0f%% time/op regressions vs %s (%s)\n",
+				regressionThreshold*100, *compare, old.Label)
+		}
+		for _, w := range warnings {
+			// Warn-only by design: shared CI runners are noisy enough that a
+			// hard gate would flake, but the line makes a real regression
+			// visible in the job log.
+			fmt.Fprintln(os.Stderr, "bench: REGRESSION", w)
+		}
 	}
 
 	data, err := json.MarshalIndent(r, "", "  ")

@@ -62,6 +62,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "compression workers (0 = GOMAXPROCS, negative = synchronous)")
 		cache    = flag.Int("cache", 0, "decoded-block cache capacity in blocks (0 = default 128, negative = off)")
 		ckptIv   = flag.Int("checkpoint-interval", 0, "checkpoint spacing in samples for bit-stream codec sidecars (0 = codec default 128, negative = off)")
+		readAhd  = flag.Int("readahead", 2, "cursor prefetch depth: cold blocks decoded ahead on the worker pool per query (0 = off, the right setting on single-core hosts)")
+		qFanout  = flag.Int("query-fanout", 0, "concurrent per-series scans per multi-series query (0 = worker-pool width)")
 		streamIn = flag.Bool("streaming", false, "amortize block compression across appends (bounded ingest tail latency; cameo codec only)")
 		maxAppLt = flag.Duration("max-append-latency", 0, "per-append compression work cap in streaming mode (0 = default 1ms)")
 		maxReq   = flag.Int64("max-request-bytes", 0, "per-request body cap in bytes (0 = default 8 MiB)")
@@ -86,7 +88,7 @@ func main() {
 		rollups:        *rollups,
 		interval:       *maintainIv,
 	}
-	storeOpt, err := buildStoreOptions(*codec, *lags, *eps, *block, *shards, *workers, *cache, *ckptIv, ingestFlags{*streamIn, *maxAppLt}, lc)
+	storeOpt, err := buildStoreOptions(*codec, *lags, *eps, *block, *shards, *workers, *cache, *ckptIv, readFlags{*readAhd, *qFanout}, ingestFlags{*streamIn, *maxAppLt}, lc)
 	if err != nil {
 		log.Fatalf("cameod: %v", err)
 	}
@@ -131,6 +133,12 @@ func main() {
 		t.Series, t.Samples, t.DiskBytes)
 }
 
+// readFlags groups the parallel-read knobs.
+type readFlags struct {
+	readAhead   int
+	queryFanout int
+}
+
 // ingestFlags groups the streaming-ingest knobs.
 type ingestFlags struct {
 	streaming        bool
@@ -154,9 +162,17 @@ type lifecycleFlags struct {
 // bit-stream checkpoint spacing (meaningful for gorilla/chimp/elf and the
 // rollup tiers any codec's store writes), -streaming/-max-append-latency
 // select amortized ingest (the store validates codec capability on open),
+// -readahead/-query-fanout tune the parallel read path (rejected here
+// when negative, so a typo'd flag fails fast with a flag-level message),
 // and the lifecycle flags ride through verbatim (-rollups parses via
 // parseRollups).
-func buildStoreOptions(codecName string, lags int, eps float64, block, shards, workers, cache, ckptInterval int, in ingestFlags, lc lifecycleFlags) (cameo.StoreOptions, error) {
+func buildStoreOptions(codecName string, lags int, eps float64, block, shards, workers, cache, ckptInterval int, rf readFlags, in ingestFlags, lc lifecycleFlags) (cameo.StoreOptions, error) {
+	if rf.readAhead < 0 {
+		return cameo.StoreOptions{}, fmt.Errorf("-readahead must be non-negative, got %d", rf.readAhead)
+	}
+	if rf.queryFanout < 0 {
+		return cameo.StoreOptions{}, fmt.Errorf("-query-fanout must be non-negative, got %d", rf.queryFanout)
+	}
 	opt := cameo.StoreOptions{
 		Compression:        cameo.Options{Lags: lags, Epsilon: eps},
 		BlockSize:          block,
@@ -164,6 +180,8 @@ func buildStoreOptions(codecName string, lags int, eps float64, block, shards, w
 		Workers:            workers,
 		CacheBlocks:        cache,
 		CheckpointInterval: ckptInterval,
+		ReadAhead:          rf.readAhead,
+		QueryFanout:        rf.queryFanout,
 		Streaming:          in.streaming,
 		MaxAppendLatency:   in.maxAppendLatency,
 		Retention:          lc.retention,

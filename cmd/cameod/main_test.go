@@ -12,7 +12,7 @@ import (
 // resolve from the registry, unknown names fail with the available set in
 // the message, and the lifecycle flags land verbatim.
 func TestBuildStoreOptions(t *testing.T) {
-	opt, err := buildStoreOptions("cameo", 24, 0.01, 4096, 4, 2, 64, 0, ingestFlags{}, lifecycleFlags{})
+	opt, err := buildStoreOptions("cameo", 24, 0.01, 4096, 4, 2, 64, 0, readFlags{}, ingestFlags{}, lifecycleFlags{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +26,7 @@ func TestBuildStoreOptions(t *testing.T) {
 		t.Fatalf("zero lifecycle flags should map to a disabled lifecycle: %+v", opt)
 	}
 
-	opt, err = buildStoreOptions("gorilla", 24, 0.01, 1024, 0, 0, 0, 32, ingestFlags{}, lifecycleFlags{})
+	opt, err = buildStoreOptions("gorilla", 24, 0.01, 1024, 0, 0, 0, 32, readFlags{}, ingestFlags{}, lifecycleFlags{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestBuildStoreOptions(t *testing.T) {
 		t.Fatalf("-checkpoint-interval not mapped: %+v", opt)
 	}
 
-	if _, err := buildStoreOptions("zstd", 24, 0.01, 1024, 0, 0, 0, 0, ingestFlags{}, lifecycleFlags{}); err == nil {
+	if _, err := buildStoreOptions("zstd", 24, 0.01, 1024, 0, 0, 0, 0, readFlags{}, ingestFlags{}, lifecycleFlags{}); err == nil {
 		t.Fatal("unknown codec accepted")
 	}
 
@@ -48,7 +48,7 @@ func TestBuildStoreOptions(t *testing.T) {
 		rollups:        "24, 1440/8760",
 		interval:       time.Minute,
 	}
-	opt, err = buildStoreOptions("cameo", 24, 0.01, 4096, 0, 0, 0, 0, ingestFlags{}, lc)
+	opt, err = buildStoreOptions("cameo", 24, 0.01, 4096, 0, 0, 0, 0, readFlags{}, ingestFlags{}, lc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestBuildStoreOptions(t *testing.T) {
 	// -streaming/-max-append-latency map onto the streaming-ingest knobs,
 	// and the mapped options open a streaming store.
 	opt, err = buildStoreOptions("cameo", 24, 0.01, 4096, 0, 0, 0, 0,
-		ingestFlags{streaming: true, maxAppendLatency: 250 * time.Microsecond}, lifecycleFlags{})
+		readFlags{}, ingestFlags{streaming: true, maxAppendLatency: 250 * time.Microsecond}, lifecycleFlags{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,10 +85,37 @@ func TestBuildStoreOptions(t *testing.T) {
 	}
 	store.Close()
 
+	// -readahead/-query-fanout map onto the parallel-read knobs, and the
+	// mapped options open a store.
+	opt, err = buildStoreOptions("cameo", 24, 0.01, 4096, 0, 0, 0, 0,
+		readFlags{readAhead: 4, queryFanout: 8}, ingestFlags{}, lifecycleFlags{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.ReadAhead != 4 || opt.QueryFanout != 8 {
+		t.Fatalf("parallel-read knobs not mapped: %+v", opt)
+	}
+	store, err = cameo.OpenStoreOptions(t.TempDir(), opt)
+	if err != nil {
+		t.Fatalf("mapped parallel-read options do not open a store: %v", err)
+	}
+	store.Close()
+
+	// Negative parallel-read knobs are rejected at the flag layer with a
+	// flag-level message, before any store is opened.
+	if _, err := buildStoreOptions("cameo", 24, 0.01, 4096, 0, 0, 0, 0,
+		readFlags{readAhead: -1}, ingestFlags{}, lifecycleFlags{}); err == nil {
+		t.Fatal("negative -readahead accepted")
+	}
+	if _, err := buildStoreOptions("cameo", 24, 0.01, 4096, 0, 0, 0, 0,
+		readFlags{queryFanout: -2}, ingestFlags{}, lifecycleFlags{}); err == nil {
+		t.Fatal("negative -query-fanout accepted")
+	}
+
 	// -streaming with a codec that has no streaming encode path is the
 	// engine's error to report, surfaced at open.
 	opt, err = buildStoreOptions("gorilla", 24, 0.01, 1024, 0, 0, 0, 0,
-		ingestFlags{streaming: true}, lifecycleFlags{})
+		readFlags{}, ingestFlags{streaming: true}, lifecycleFlags{})
 	if err != nil {
 		t.Fatal(err)
 	}

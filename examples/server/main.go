@@ -169,8 +169,56 @@ func main() {
 	fmt.Printf("%d writers x %d batches of %d points ingested over HTTP; all %d samples read back bit-identical\n",
 		writers, batches, batchSize, writers*total)
 
+	// Batch dashboard query: all sensors in one POST, answered as one
+	// NDJSON stream with the sections in request order. Server-side the
+	// per-series scans fan out across the store's worker pool.
+	names := make([]string, writers)
+	namesJSON := make([]string, writers)
+	for w := range writers {
+		names[w] = fmt.Sprintf("sensor/%d", w)
+		namesJSON[w] = fmt.Sprintf("%q", names[w])
+	}
+	resp, err := http.Post(base+"/api/v1/query", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"series":[%s]}`, strings.Join(namesJSON, ","))))
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch := make(map[string][]float64)
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var line struct {
+			Series string    `json:"series"`
+			Values []float64 `json:"values"`
+			Error  string    `json:"error"`
+		}
+		if err := dec.Decode(&line); err != nil {
+			log.Fatal(err)
+		}
+		if line.Error != "" {
+			log.Fatalf("batch section %s: %s", line.Series, line.Error)
+		}
+		batch[line.Series] = append(batch[line.Series], line.Values...)
+	}
+	resp.Body.Close()
+	for _, name := range names {
+		want, err := store.Query(name, 0, total)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got := batch[name]
+		if len(got) != len(want) {
+			log.Fatalf("batch section %s: %d samples, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				log.Fatalf("batch section %s sample %d: %v vs store %v", name, i, got[i], want[i])
+			}
+		}
+	}
+	fmt.Printf("batch POST /api/v1/query returned all %d series in one stream, bit-identical again\n", writers)
+
 	// Downsampled dashboard query: one value per simulated day.
-	resp, err := http.Get(base + "/api/v1/query_agg?series=sensor%2F0&step=96&aggfn=mean")
+	resp, err = http.Get(base + "/api/v1/query_agg?series=sensor%2F0&step=96&aggfn=mean")
 	if err != nil {
 		log.Fatal(err)
 	}

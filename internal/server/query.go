@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync"
 
 	"repro/internal/series"
 )
@@ -15,6 +16,13 @@ import (
 // queryEnd is the default for an omitted "to" parameter: far past any
 // series, so the store's clamp reads to the series end.
 const queryEnd = math.MaxInt / 2
+
+// encodeBufs recycles the per-request encode buffers of the query
+// handlers across requests — each buffer regrows to a block's worth of
+// rendered floats, which is real allocation pressure under a
+// dashboard-style query storm. Pointers, not slices, so Put does not
+// box a fresh header per request.
+var encodeBufs = sync.Pool{New: func() any { b := make([]byte, 0, 16<<10); return &b }}
 
 // intParam parses an optional integer query parameter.
 func intParam(q url.Values, key string, def int) (int, error) {
@@ -135,7 +143,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// chunk start indices must label the samples actually returned.
 	pos := cur.Start()
 	flushed := false // whether any bytes (and so the 200 status) reached the client
-	var line []byte
+	lineBuf := encodeBufs.Get().(*[]byte)
+	line := (*lineBuf)[:0]
+	defer func() { *lineBuf = line[:0]; encodeBufs.Put(lineBuf) }()
 	if format == "csv" {
 		bw.WriteString("index,value\n")
 	}
@@ -247,7 +257,9 @@ func (s *Server) handleQueryAgg(w http.ResponseWriter, r *http.Request) {
 	// round-trip form (and non-finite aggregates of non-finite data do
 	// not abort the marshal).
 	nameJSON, _ := json.Marshal(name)
-	body := make([]byte, 0, 64+16*len(vals))
+	bodyBuf := encodeBufs.Get().(*[]byte)
+	body := (*bodyBuf)[:0]
+	defer func() { *bodyBuf = body[:0]; encodeBufs.Put(bodyBuf) }()
 	body = append(body, `{"series":`...)
 	body = append(body, nameJSON...)
 	body = append(body, `,"step":`...)

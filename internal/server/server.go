@@ -5,7 +5,11 @@
 //
 //	POST   /api/v1/write      batched ingest (newline text or JSON batch)
 //	GET    /api/v1/query      raw range, streamed as NDJSON or CSV chunks
+//	POST   /api/v1/query      batch form: several series in one request,
+//	                          scattered across the store's worker pool and
+//	                          streamed back as per-series NDJSON sections
 //	GET    /api/v1/query_agg  downsampled windows via QueryAgg pushdown
+//	POST   /api/v1/query_agg  batch aggregate form, one NDJSON line per series
 //	GET    /api/v1/series     sorted series listing
 //	DELETE /api/v1/series     drop one series (and its rollup tiers)
 //	GET    /healthz           liveness probe
@@ -102,13 +106,15 @@ type Server struct {
 
 	inflightIngest atomic.Int64 // reserved ingest body bytes currently in flight
 
-	writeRequests  atomic.Uint64
-	pointsIngested atomic.Uint64
-	queryRequests  atomic.Uint64
-	aggRequests    atomic.Uint64
-	throttled      atomic.Uint64 // writes refused with 429 by the in-flight cap
-	queryAborted   atomic.Uint64 // streaming queries cut short by a client write failure
-	seriesDeletes  atomic.Uint64 // series dropped via DELETE /api/v1/series
+	writeRequests      atomic.Uint64
+	pointsIngested     atomic.Uint64
+	queryRequests      atomic.Uint64
+	aggRequests        atomic.Uint64
+	multiQueryRequests atomic.Uint64 // batch POST /api/v1/query requests
+	multiAggRequests   atomic.Uint64 // batch POST /api/v1/query_agg requests
+	throttled          atomic.Uint64 // writes refused with 429 by the in-flight cap
+	queryAborted       atomic.Uint64 // streaming queries cut short by a client write failure
+	seriesDeletes      atomic.Uint64 // series dropped via DELETE /api/v1/series
 }
 
 // NewHandler builds the HTTP handler for a store. The store stays owned
@@ -119,7 +125,9 @@ func NewHandler(db *tsdb.DB, opt Options) http.Handler {
 	s := &Server{db: db, opt: opt, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /api/v1/write", s.handleWrite)
 	s.mux.HandleFunc("GET /api/v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /api/v1/query", s.handleQueryMulti)
 	s.mux.HandleFunc("GET /api/v1/query_agg", s.handleQueryAgg)
+	s.mux.HandleFunc("POST /api/v1/query_agg", s.handleQueryAggMulti)
 	s.mux.HandleFunc("GET /api/v1/series", s.handleSeries)
 	s.mux.HandleFunc("DELETE /api/v1/series", s.handleDeleteSeries)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -194,6 +202,8 @@ type serverCounter struct {
 	PointsIngested      uint64 `json:"points_ingested"`
 	QueryRequests       uint64 `json:"query_requests"`
 	AggRequests         uint64 `json:"agg_requests"`
+	MultiQueryRequests  uint64 `json:"multi_query_requests"`
+	MultiAggRequests    uint64 `json:"multi_agg_requests"`
 	ThrottledWrites     uint64 `json:"throttled_writes"`
 	QueryAborted        uint64 `json:"query_aborted"`
 	SeriesDeletes       uint64 `json:"series_deletes"`
@@ -208,6 +218,8 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			PointsIngested:      s.pointsIngested.Load(),
 			QueryRequests:       s.queryRequests.Load(),
 			AggRequests:         s.aggRequests.Load(),
+			MultiQueryRequests:  s.multiQueryRequests.Load(),
+			MultiAggRequests:    s.multiAggRequests.Load(),
 			ThrottledWrites:     s.throttled.Load(),
 			QueryAborted:        s.queryAborted.Load(),
 			SeriesDeletes:       s.seriesDeletes.Load(),

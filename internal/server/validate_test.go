@@ -49,9 +49,15 @@ func TestQueryParamValidation(t *testing.T) {
 	}
 
 	// Wrong methods are 405 (the mux enforces the method patterns).
+	// POST /api/v1/query is the batch form, so an empty body there is a
+	// 400 (bad JSON), not a 405 — /api/v1/write covers the method check.
 	status, _, _ := httpPost(t, srv.URL+"/api/v1/query?series=s", "text/plain", "")
+	if status != http.StatusBadRequest {
+		t.Fatalf("POST query with empty body: %d, want 400", status)
+	}
+	status, _, _ = httpPost(t, srv.URL+"/api/v1/series", "text/plain", "")
 	if status != http.StatusMethodNotAllowed {
-		t.Fatalf("POST query: %d, want 405", status)
+		t.Fatalf("POST series: %d, want 405", status)
 	}
 	resp, err := http.Get(srv.URL + "/api/v1/write")
 	if err != nil {

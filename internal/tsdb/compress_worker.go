@@ -55,6 +55,19 @@ func (p *workerPool) submit(j compressJob) {
 	p.jobs <- j
 }
 
+// trySubmit hands a reserved job to the pool without blocking. When it
+// returns false (queue full) the caller must undo its reserve with
+// jobDone — the prefetch path uses this so readahead stays opportunistic
+// instead of stalling the reader behind a saturated queue.
+func (p *workerPool) trySubmit(j compressJob) bool {
+	select {
+	case p.jobs <- j:
+		return true
+	default:
+		return false
+	}
+}
+
 func (p *workerPool) run() {
 	defer p.wg.Done()
 	for j := range p.jobs {

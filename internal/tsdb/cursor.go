@@ -14,10 +14,15 @@ import (
 type AggFunc = series.AggFunc
 
 // cursorSeg is one snapshotted block overlapping a query range: durable
-// (meta only) or still compressing (pending non-nil).
+// (meta only), still compressing (pending non-nil), or already resolved
+// to its dense reconstruction (dense non-nil — the multi-series path
+// settles pending blocks up front on the caller's goroutine, because a
+// worker-pool job must never wait on a block whose compression may be
+// queued behind it).
 type cursorSeg struct {
 	meta    blockMeta
 	pending *pendingBlock
+	dense   []float64 // full reconstruction covering [start, start+n), when pre-resolved
 }
 
 // rangeSnapshot is the point-in-time view of a series that a Cursor (or
@@ -126,18 +131,41 @@ type Cursor struct {
 	buf      []float64 // pooled scratch for cold range decodes
 	err      error
 	closed   bool
+
+	// Prefetch pipeline (active when ra > 0 and the DB has a worker
+	// pool): while the caller consumes chunk i, up to ra upcoming durable
+	// segments resolve as pool jobs into their own pooled buffers.
+	ra   int                  // readahead depth; 0 disables prefetch
+	jobs map[int]*prefetchJob // outstanding jobs keyed by segment index
+	held []float64            // consumed job's pooled buffer; the returned
+	// chunk may alias it, so it is released only on the next Next or Close
 }
 
 // Cursor opens a streaming read over samples [from, to) of a series
 // (bounds clamped like Query). The snapshot is taken immediately — the
 // cursor observes the series as of this call — but block resolution is
-// deferred to Next.
+// deferred to Next. When Options.ReadAhead is set and the DB has a worker
+// pool, upcoming cold segments are prefetched on the pool while the
+// caller consumes earlier chunks; the yielded stream is bit-identical to
+// the prefetch-off path.
 func (db *DB) Cursor(name string, from, to int) (*Cursor, error) {
+	return db.cursorWithReadAhead(name, from, to, db.opt.ReadAhead)
+}
+
+// cursorWithReadAhead opens a cursor with an explicit readahead depth,
+// letting tests pit prefetch-on and prefetch-off streams against each
+// other on the same DB regardless of what Options.ReadAhead says.
+func (db *DB) cursorWithReadAhead(name string, from, to, ra int) (*Cursor, error) {
 	snap, err := db.snapshotRange(name, from, to)
 	if err != nil {
 		return nil, err
 	}
-	return &Cursor{db: db, snap: snap}, nil
+	c := &Cursor{db: db, snap: snap}
+	if ra > 0 && db.pool != nil {
+		c.ra = ra
+		c.jobs = make(map[int]*prefetchJob, ra)
+	}
+	return c, nil
 }
 
 // Next returns the next chunk of the reconstruction, or (nil, false) when
@@ -147,12 +175,24 @@ func (c *Cursor) Next() ([]float64, bool) {
 	if c.closed || c.err != nil {
 		return nil, false
 	}
+	c.releaseHeld()
 	for c.idx < len(c.snap.segs) {
-		s := c.snap.segs[c.idx]
+		i := c.idx
+		s := c.snap.segs[i]
 		c.idx++
+		if c.ra > 0 {
+			c.schedulePrefetch()
+		}
 		lo := max(c.snap.from, s.meta.start)
 		hi := min(c.snap.to, s.meta.start+s.meta.n)
-		chunk, err := c.db.segmentRange(c.snap, s, lo, hi, &c.buf)
+		var chunk []float64
+		var err error
+		if j, ok := c.jobs[i]; ok {
+			delete(c.jobs, i)
+			chunk, err = c.consumePrefetch(j, s, lo, hi)
+		} else {
+			chunk, err = c.db.segmentRange(c.snap, s, lo, hi, &c.buf)
+		}
 		if err != nil {
 			c.err = err
 			return nil, false
@@ -160,6 +200,7 @@ func (c *Cursor) Next() ([]float64, bool) {
 		if len(chunk) > 0 {
 			return chunk, true
 		}
+		c.releaseHeld()
 	}
 	if !c.tailDone {
 		c.tailDone = true
@@ -177,17 +218,24 @@ func (c *Cursor) Err() error { return c.err }
 // (the requested from, clamped to the series' retained range).
 func (c *Cursor) Start() int { return c.snap.from }
 
-// Close releases the cursor's pooled decode buffer. The cursor yields no
-// further chunks; previously returned chunks must not be used afterwards.
+// Close releases the cursor's pooled buffers and cancels any outstanding
+// prefetch jobs (still-queued jobs are abandoned before they allocate;
+// running jobs are waited for and their buffers reclaimed), so every
+// pooled buffer is returned no matter how the cursor ended — exhausted,
+// errored mid-stream, or abandoned early. Close is idempotent. The cursor
+// yields no further chunks; previously returned chunks must not be used
+// afterwards.
 func (c *Cursor) Close() {
 	if c.closed {
 		return
 	}
 	c.closed = true
+	c.releaseHeld()
 	if c.buf != nil {
 		c.db.putBlockBuf(c.buf)
 		c.buf = nil
 	}
+	c.cancelPrefetch()
 }
 
 // segmentRange resolves samples [lo, hi) (absolute indices) of one
@@ -196,6 +244,9 @@ func (c *Cursor) Close() {
 // against the live index: the merged replacement reconstructs the old
 // span bit-identically, so the retry serves exactly the same samples.
 func (db *DB) segmentRange(snap *rangeSnapshot, s cursorSeg, lo, hi int, buf *[]float64) ([]float64, error) {
+	if s.dense != nil {
+		return s.dense[lo-s.meta.start : hi-s.meta.start], nil
+	}
 	if s.pending != nil {
 		dense, err := db.pendingDense(snap.sh, snap.name, s)
 		if err != nil {
@@ -379,13 +430,8 @@ func (db *DB) QueryInto(name string, from, to int, dst []float64) ([]float64, er
 // blocks — cache-resident, in-flight, or sidecar-less bit-stream — fall
 // back to the cursor's chunk resolution and are folded densely.
 func (db *DB) QueryAgg(name string, from, to, step int, f AggFunc) ([]float64, error) {
-	if step < 1 {
-		return nil, fmt.Errorf("tsdb: QueryAgg step must be at least 1, got %d", step)
-	}
-	switch f {
-	case series.AggMean, series.AggSum, series.AggMax, series.AggMin:
-	default:
-		return nil, fmt.Errorf("tsdb: unsupported aggregate function %v", f)
+	if err := validateAgg(step, f); err != nil {
+		return nil, err
 	}
 	if out, ok, err := db.rollupAgg(name, from, to, step, f); ok || err != nil {
 		return out, err
@@ -399,6 +445,20 @@ func (db *DB) QueryAgg(name string, from, to, step int, f AggFunc) ([]float64, e
 		out[i] = a.Eval(f)
 	}
 	return out, nil
+}
+
+// validateAgg checks the request-level QueryAgg parameters shared by the
+// single- and multi-series forms.
+func validateAgg(step int, f AggFunc) error {
+	if step < 1 {
+		return fmt.Errorf("tsdb: QueryAgg step must be at least 1, got %d", step)
+	}
+	switch f {
+	case series.AggMean, series.AggSum, series.AggMax, series.AggMin:
+		return nil
+	default:
+		return fmt.Errorf("tsdb: unsupported aggregate function %v", f)
+	}
 }
 
 // windowAggs computes the per-window accumulators of QueryAgg: samples

@@ -113,6 +113,23 @@ type Options struct {
 	// knob is ignored by codecs without checkpoint support.
 	CheckpointInterval int
 
+	// ReadAhead is the cursor prefetch depth: while a query consumes one
+	// chunk, up to ReadAhead upcoming segments of the range are read and
+	// decoded concurrently on the compression worker pool, so a cold
+	// multi-block scan overlaps file reads and decodes with consumption
+	// instead of paying them serially. The streamed samples are
+	// bit-identical to the sequential path's — prefetch only moves work,
+	// never changes it. 0 (the default) disables prefetch, which is the
+	// right setting for single-core hosts where there is no idle CPU to
+	// overlap onto; negative is an error. Ignored when Workers < 0 (no
+	// pool to prefetch on).
+	ReadAhead int
+	// QueryFanout caps the per-call concurrency of the multi-series read
+	// path (QueryMulti, QueryAggMulti, MultiCursor): at most this many
+	// per-series scans run at once per call. 0 picks the worker-pool
+	// width (Workers after defaulting); negative is an error.
+	QueryFanout int
+
 	// Streaming, when true, spreads each block's compression across the
 	// appends that feed it (amortized ingest) instead of paying the whole
 	// cost when a block cuts: every Append performs a small, latency-capped
@@ -181,6 +198,12 @@ func (o *Options) withDefaults() error {
 	}
 	if o.CacheBlocks == 0 {
 		o.CacheBlocks = 128
+	}
+	if o.ReadAhead < 0 {
+		return fmt.Errorf("tsdb: ReadAhead must be non-negative, got %d", o.ReadAhead)
+	}
+	if o.QueryFanout < 0 {
+		return fmt.Errorf("tsdb: QueryFanout must be non-negative, got %d", o.QueryFanout)
 	}
 	if o.Codec == nil {
 		if err := o.Compression.Validate(); err != nil {
@@ -288,6 +311,21 @@ type DB struct {
 	bytesWritten  atomic.Uint64
 	rangeDecodes  atomic.Uint64 // cold partial decodes that skipped the full-block reconstruction (native or checkpointed)
 	aggPushdowns  atomic.Uint64 // blocks aggregated straight from the compressed form without materializing
+
+	// Parallel-read observability: hits are prefetched chunks a cursor
+	// consumed (the overlap paid off), wasted are prefetches that completed
+	// but were thrown away by an early Close or a mid-stream error, and
+	// fanoutQueries counts multi-series scatter-gather calls.
+	prefetchHits   atomic.Uint64
+	prefetchWasted atomic.Uint64
+	fanoutQueries  atomic.Uint64
+
+	// blockBufGets/blockBufPuts audit the pooled-buffer protocol: every
+	// buffer handed out by getBlockBuf must eventually come back through
+	// putBlockBuf (tests assert the balance after Close — a drift is a
+	// pool leak on some read or error path).
+	blockBufGets atomic.Int64
+	blockBufPuts atomic.Int64
 
 	// Ingest-latency observability: every Append records its wall time in
 	// the allocation-free histogram; streaming mode additionally counts
@@ -886,6 +924,7 @@ func (db *DB) durableBlockAt(sh *shard, name string, start int) (blockMeta, bool
 // pending block's raw samples; putBlockBuf recycles one after its block is
 // durable.
 func (db *DB) getBlockBuf() []float64 {
+	db.blockBufGets.Add(1)
 	if v := db.blockBufs.Get(); v != nil {
 		return (*(v.(*[]float64)))[:db.opt.BlockSize]
 	}
@@ -893,10 +932,18 @@ func (db *DB) getBlockBuf() []float64 {
 }
 
 func (db *DB) putBlockBuf(buf []float64) {
+	db.blockBufPuts.Add(1)
 	if cap(buf) < db.opt.BlockSize {
-		return
+		return // undersized stray; counted returned, just not recycled
 	}
 	db.blockBufs.Put(&buf)
+}
+
+// blockBufBalance reports outstanding pooled sample buffers (gets minus
+// puts) — zero once every cursor and pending block has released its
+// buffer. Tests use it to pin the no-leak invariant of the read path.
+func (db *DB) blockBufBalance() int64 {
+	return db.blockBufGets.Load() - db.blockBufPuts.Load()
 }
 
 // readFilePooled reads a whole file into a pooled byte buffer. The caller
@@ -1065,6 +1112,12 @@ type DBStats struct {
 	RangeDecodes  uint64 // cold partial-range decodes pushed down to the codec (no full-block reconstruction; all codecs, native or checkpointed)
 	AggPushdowns  uint64 // blocks answered by QueryAgg straight from the compressed form (no samples materialized)
 
+	// Parallel-read counters (zero unless Options.ReadAhead > 0 or the
+	// multi-series query path is used).
+	PrefetchHits   uint64 // prefetched chunks consumed by a cursor (overlap paid off)
+	PrefetchWasted uint64 // prefetches completed but discarded (early Close or mid-stream error)
+	FanoutQueries  uint64 // multi-series scatter-gather calls (QueryMulti, QueryAggMulti, MultiCursor)
+
 	// Checkpoint-sidecar effectiveness for the bit-stream codecs.
 	CheckpointSeeks uint64 // cold bit-stream block reads served via the checkpoint sidecar (range + aggregate)
 	CheckpointBytes uint64 // compressed stream bytes those reads traversed (lower = seeks paying off)
@@ -1103,6 +1156,9 @@ func (db *DB) Stats() DBStats {
 		BytesWritten:    db.bytesWritten.Load(),
 		RangeDecodes:    db.rangeDecodes.Load(),
 		AggPushdowns:    db.aggPushdowns.Load(),
+		PrefetchHits:    db.prefetchHits.Load(),
+		PrefetchWasted:  db.prefetchWasted.Load(),
+		FanoutQueries:   db.fanoutQueries.Load(),
 		CheckpointSeeks: db.checkpointSeeks.Load(),
 		CheckpointBytes: db.checkpointBytes.Load(),
 		LifecyclePasses: db.lifecyclePasses.Load(),

@@ -1,0 +1,353 @@
+package tsdb
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MultiResult is one series' section of a QueryMulti (or QueryAggMulti)
+// response. Per-series failures — an unknown series, a block that no
+// longer decodes — land in Err rather than failing the whole batch, so a
+// dashboard fanning over 50 series renders the 49 that resolved.
+type MultiResult struct {
+	Name   string
+	Start  int // absolute index of Values[0] (clamped from); 0 for aggregates
+	Values []float64
+	Err    error
+}
+
+// multiChunk is one unit flowing from a section job to the gatherer:
+// either a pooled copy of a cursor chunk or the section's terminal error.
+type multiChunk struct {
+	vals []float64
+	err  error
+}
+
+// multiSection is one series' lane in a MultiCursor. A launched section
+// streams pooled chunk copies through ch (capacity 2, so server-side
+// state stays O(chunk · fanout)); skip tells its job the consumer moved
+// on. Sections that never got a pool slot (saturated queue, or no pool
+// at all) resolve lazily through cur on the gatherer's goroutine instead.
+type multiSection struct {
+	name string
+	snap *rangeSnapshot
+	err  error // construction error: unknown series, pending-block failure
+
+	ch   chan multiChunk // non-nil only while a pool job feeds the section
+	skip chan struct{}
+
+	cur *Cursor // inline fallback, opened on first Next
+}
+
+// MultiCursor streams a multi-series scatter-gather query section by
+// section in the caller's series order: per-series scans run as worker
+// pool jobs up to the fan-out cap, while the caller walks Section /
+// Next like a flattened cursor. Chunks are valid only until the next
+// Next, Section, or Close call. A MultiCursor is not safe for concurrent
+// use; Close releases every pooled buffer and stops outstanding section
+// jobs no matter how far the caller got.
+type MultiCursor struct {
+	db       *DB
+	sections []*multiSection
+	sec      int // current section; -1 before the first Section call
+	launched int // sections whose job launch was attempted
+	fanout   int // concurrent section cap; 0 = inline mode (no pool)
+	held     []float64
+	secErr   error
+	closed   bool
+}
+
+// MultiCursor opens a scatter-gather read of [from, to) over several
+// series. Snapshots are taken series by series on this goroutine — each
+// section observes its series as of this call — and any still-compressing
+// blocks are settled here too, because a pool job must never wait on a
+// block whose compression may be queued behind it. Per-series failures
+// surface through Err on that section; only an inverted range fails the
+// call. Series appear exactly in the given order, duplicates included.
+func (db *DB) MultiCursor(names []string, from, to int) (*MultiCursor, error) {
+	if from > to {
+		return nil, fmt.Errorf("%w: from %d > to %d", ErrInvalidRange, from, to)
+	}
+	db.fanoutQueries.Add(1)
+	m := &MultiCursor{db: db, sec: -1}
+	if db.pool != nil {
+		m.fanout = db.effectiveFanout()
+	}
+	for _, name := range names {
+		s := &multiSection{name: name}
+		snap, err := db.snapshotRange(name, from, to)
+		if err != nil {
+			s.err = err
+			m.sections = append(m.sections, s)
+			continue
+		}
+		for i := range snap.segs {
+			seg := &snap.segs[i]
+			if seg.pending == nil {
+				continue
+			}
+			dense, derr := db.pendingDense(snap.sh, name, *seg)
+			if derr != nil {
+				s.err = derr
+				break
+			}
+			seg.dense = dense
+			seg.pending = nil
+		}
+		s.snap = snap
+		m.sections = append(m.sections, s)
+	}
+	for m.launched < len(m.sections) && m.launched < m.fanout {
+		m.launchSection(m.launched)
+		m.launched++
+	}
+	return m, nil
+}
+
+// effectiveFanout is the per-call concurrency cap of the multi-series
+// read path: QueryFanout, defaulting to the worker-pool width, never
+// below 1.
+func (db *DB) effectiveFanout() int {
+	f := db.opt.QueryFanout
+	if f == 0 {
+		f = db.opt.Workers
+	}
+	return max(f, 1)
+}
+
+// launchSection submits one section's scan to the worker pool. The
+// submit is non-blocking: with the gatherer goroutine also being the
+// consumer of already-running sections, blocking here while workers wait
+// on consumer-paced channel sends would deadlock — so under a saturated
+// queue the section simply resolves inline when the consumer reaches it.
+func (m *MultiCursor) launchSection(i int) {
+	if m.fanout == 0 { // inline mode: no pool to scatter onto
+		return
+	}
+	s := m.sections[i]
+	if s.err != nil {
+		return
+	}
+	db := m.db
+	ch := make(chan multiChunk, 2)
+	skip := make(chan struct{})
+	db.pool.reserve()
+	if !db.pool.trySubmit(compressJob{fn: func() { db.runSectionJob(s.snap, ch, skip) }}) {
+		db.pool.jobDone()
+		return
+	}
+	s.ch, s.skip = ch, skip
+}
+
+// runSectionJob scans one pre-settled snapshot sequentially and streams
+// pooled copies of its chunks. Chunks are copied because the section
+// cursor reuses its decode buffer across Next calls while the gatherer
+// consumes asynchronously. The job holds no locks while blocked on the
+// send; skip unblocks it when the consumer abandons the section. A
+// terminal resolution error is sent as the final chunk.
+func (db *DB) runSectionJob(snap *rangeSnapshot, ch chan multiChunk, skip chan struct{}) {
+	defer close(ch)
+	cur := &Cursor{db: db, snap: snap}
+	defer cur.Close()
+	for {
+		chunk, ok := cur.Next()
+		if !ok {
+			break
+		}
+		buf := append(db.getBlockBuf()[:0], chunk...)
+		select {
+		case ch <- multiChunk{vals: buf}:
+		case <-skip:
+			db.putBlockBuf(buf)
+			return
+		}
+	}
+	if err := cur.Err(); err != nil {
+		select {
+		case ch <- multiChunk{err: err}:
+		case <-skip:
+		}
+	}
+}
+
+// Section advances to the next series' section, discarding whatever
+// remains of the current one, and reports its index (the position in the
+// request's name list). It returns false when every section has been
+// visited. Advancing also tops the launch window up so at most fanout
+// section jobs are in flight.
+func (m *MultiCursor) Section() (int, bool) {
+	if m.closed {
+		return 0, false
+	}
+	if m.sec >= 0 && m.sec < len(m.sections) {
+		m.finishSection(m.sections[m.sec])
+	}
+	m.releaseHeld()
+	m.secErr = nil
+	m.sec++
+	if m.sec >= len(m.sections) {
+		return 0, false
+	}
+	for m.launched < len(m.sections) && m.launched < m.sec+m.fanout {
+		m.launchSection(m.launched)
+		m.launched++
+	}
+	s := m.sections[m.sec]
+	if s.err != nil {
+		m.secErr = s.err
+	}
+	return m.sec, true
+}
+
+// Series returns the current section's series name.
+func (m *MultiCursor) Series() string {
+	return m.sections[m.sec].name
+}
+
+// Start returns the absolute index of the current section's first sample
+// (the requested from, clamped to the series' retained range).
+func (m *MultiCursor) Start() int {
+	if s := m.sections[m.sec]; s.snap != nil {
+		return s.snap.from
+	}
+	return 0
+}
+
+// Next returns the current section's next chunk, or (nil, false) when
+// the section is exhausted or failed (check Err before moving on).
+func (m *MultiCursor) Next() ([]float64, bool) {
+	if m.closed || m.sec < 0 || m.sec >= len(m.sections) || m.secErr != nil {
+		return nil, false
+	}
+	m.releaseHeld()
+	s := m.sections[m.sec]
+	if s.ch != nil {
+		c, ok := <-s.ch
+		if !ok {
+			return nil, false
+		}
+		if c.err != nil {
+			m.secErr = c.err
+			return nil, false
+		}
+		m.held = c.vals
+		return c.vals, true
+	}
+	if s.cur == nil {
+		s.cur = &Cursor{db: m.db, snap: s.snap}
+	}
+	chunk, ok := s.cur.Next()
+	if !ok {
+		m.secErr = s.cur.Err()
+		return nil, false
+	}
+	return chunk, true
+}
+
+// Err returns the current section's terminal error, if any.
+func (m *MultiCursor) Err() error { return m.secErr }
+
+// Close releases every pooled buffer and winds down outstanding section
+// jobs (each is told to stop, then drained so its in-flight buffers come
+// back). Idempotent; safe at any point in the Section/Next walk.
+func (m *MultiCursor) Close() {
+	if m.closed {
+		return
+	}
+	m.closed = true
+	m.releaseHeld()
+	for _, s := range m.sections {
+		m.finishSection(s)
+	}
+}
+
+// finishSection winds down one section: the inline cursor is closed, a
+// still-running job is told to skip and its channel drained with every
+// pooled chunk returned. Safe to call on unlaunched or already-finished
+// sections.
+func (m *MultiCursor) finishSection(s *multiSection) {
+	if s.cur != nil {
+		s.cur.Close()
+		s.cur = nil
+	}
+	if s.ch == nil {
+		return
+	}
+	close(s.skip)
+	for c := range s.ch {
+		if c.vals != nil {
+			m.db.putBlockBuf(c.vals)
+		}
+	}
+	s.ch, s.skip = nil, nil
+}
+
+func (m *MultiCursor) releaseHeld() {
+	if m.held != nil {
+		m.db.putBlockBuf(m.held)
+		m.held = nil
+	}
+}
+
+// QueryMulti answers one query over several series at once, scattering
+// the per-series scans across the worker pool (up to Options.QueryFanout
+// at a time) and gathering the materialized results in the caller's
+// series order. Per-series failures land in the matching result's Err;
+// the call itself fails only on an inverted range.
+func (db *DB) QueryMulti(names []string, from, to int) ([]MultiResult, error) {
+	m, err := db.MultiCursor(names, from, to)
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	out := make([]MultiResult, 0, len(names))
+	for {
+		if _, ok := m.Section(); !ok {
+			break
+		}
+		r := MultiResult{Name: m.Series(), Start: m.Start()}
+		for {
+			chunk, ok := m.Next()
+			if !ok {
+				break
+			}
+			r.Values = append(r.Values, chunk...)
+		}
+		r.Err = m.Err()
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// QueryAggMulti answers one window-aggregate query over several series
+// at once, with at most Options.QueryFanout per-series QueryAgg calls in
+// flight. The scans run on plain goroutines rather than pool jobs
+// deliberately: QueryAgg may wait on a still-compressing block (raw or
+// rollup tier) whose compression job is queued on the pool, and a pool
+// worker waiting for queue progress is a self-deadlock. Results are in
+// the caller's series order with Start always 0; per-series failures
+// land in Err, and only invalid request parameters fail the call.
+func (db *DB) QueryAggMulti(names []string, from, to, step int, f AggFunc) ([]MultiResult, error) {
+	if from > to {
+		return nil, fmt.Errorf("%w: from %d > to %d", ErrInvalidRange, from, to)
+	}
+	if err := validateAgg(step, f); err != nil {
+		return nil, err
+	}
+	db.fanoutQueries.Add(1)
+	out := make([]MultiResult, len(names))
+	sem := make(chan struct{}, db.effectiveFanout())
+	var wg sync.WaitGroup
+	for i, name := range names {
+		out[i].Name = name
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i].Values, out[i].Err = db.QueryAgg(name, from, to, step, f)
+		}(i, name)
+	}
+	wg.Wait()
+	return out, nil
+}

@@ -1,0 +1,378 @@
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/series"
+)
+
+// multiFixture fills three series of deliberately different shapes:
+// several full blocks plus a tail, exactly one block, and tail-only.
+func multiFixture(t *testing.T, db *DB, blockSize int) map[string]int {
+	t.Helper()
+	lens := map[string]int{
+		"s0": 3*blockSize + 100,
+		"s1": blockSize,
+		"s2": 37,
+	}
+	seed := int64(1)
+	for name, n := range lens {
+		if err := db.Append(name, sensorData(n, seed)...); err != nil {
+			t.Fatal(err)
+		}
+		seed++
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return lens
+}
+
+// checkMultiMatchesQuery asserts that a QueryMulti over names (which may
+// include unknown series and duplicates) equals per-series sequential
+// Query calls, bit for bit, in request order.
+func checkMultiMatchesQuery(t *testing.T, db *DB, names []string, from, to int) {
+	t.Helper()
+	res, err := db.QueryMulti(names, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(names) {
+		t.Fatalf("got %d results for %d names", len(res), len(names))
+	}
+	for i, name := range names {
+		r := res[i]
+		if r.Name != name {
+			t.Fatalf("result %d is %q, want %q (order must match the request)", i, r.Name, name)
+		}
+		want, werr := db.Query(name, from, to)
+		if werr != nil {
+			if r.Err == nil || !errors.Is(r.Err, ErrUnknownSeries) != !errors.Is(werr, ErrUnknownSeries) {
+				t.Fatalf("%q: Err = %v, sequential Query errored %v", name, r.Err, werr)
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Fatalf("%q: unexpected section error %v", name, r.Err)
+		}
+		if len(r.Values) != len(want) {
+			t.Fatalf("%q: %d samples, want %d", name, len(r.Values), len(want))
+		}
+		for j := range want {
+			if r.Values[j] != want[j] {
+				t.Fatalf("%q: sample %d = %v, want %v", name, j, r.Values[j], want[j])
+			}
+		}
+	}
+}
+
+// TestQueryMultiMatchesQueryAllCodecs is the fan-out differential: for
+// every codec, warm and cold, a batch query — unknown series and
+// duplicates included — must return exactly what per-series sequential
+// Query calls return, in request order, with the unknown series failing
+// only its own section.
+func TestQueryMultiMatchesQueryAllCodecs(t *testing.T) {
+	for cname, c := range cursorCodecs() {
+		t.Run(cname, func(t *testing.T) {
+			opt := dbOptions()
+			opt.Codec = c
+			dir := t.TempDir()
+			db, err := Open(dir, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			multiFixture(t, db, opt.BlockSize)
+			names := []string{"s1", "nope", "s0", "s1", "s2"}
+			check := func() {
+				t.Helper()
+				checkMultiMatchesQuery(t, db, names, 0, 1<<30)
+				checkMultiMatchesQuery(t, db, names, 100, 2*opt.BlockSize+5)
+			}
+			check() // warm
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if db, err = Open(dir, opt); err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			check() // cold
+
+			res, err := db.QueryMulti(names, 0, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !errors.Is(res[1].Err, ErrUnknownSeries) {
+				t.Fatalf("unknown series Err = %v, want ErrUnknownSeries", res[1].Err)
+			}
+		})
+	}
+}
+
+// TestQueryMultiRequestValidation pins the request-level failure modes:
+// only an inverted range fails the whole call, and an empty name list is
+// an empty (successful) response.
+func TestQueryMultiRequestValidation(t *testing.T) {
+	db, err := Open(t.TempDir(), dbOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.QueryMulti([]string{"s"}, 5, 2); !errors.Is(err, ErrInvalidRange) {
+		t.Fatalf("inverted range: %v, want ErrInvalidRange", err)
+	}
+	res, err := db.QueryMulti(nil, 0, 10)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty name list: %v, %d results", err, len(res))
+	}
+}
+
+// TestQueryMultiPendingBlocks covers sections whose snapshots include
+// still-compressing blocks: the constructor settles them on the caller's
+// goroutine (a section pool job must never wait behind a queued
+// compression job), in both batch and streaming ingest modes. Under
+// streaming mode this is also the deadlock regression: sealing a stream
+// persists via a queued pool job, so a section job waiting on a pending
+// block would wedge the single-worker pool.
+func TestQueryMultiPendingBlocks(t *testing.T) {
+	for _, streaming := range []bool{false, true} {
+		t.Run(fmt.Sprintf("streaming=%v", streaming), func(t *testing.T) {
+			opt := dbOptions()
+			opt.Streaming = streaming
+			db, err := Open(t.TempDir(), opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			names := []string{"p0", "p1", "p2"}
+			for i, name := range names {
+				n := 2*opt.BlockSize + 50*(i+1)
+				if err := db.Append(name, sensorData(n, int64(10+i))...); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// No Flush: block compression may still be queued or in flight.
+			checkMultiMatchesQuery(t, db, names, 0, 1<<30)
+		})
+	}
+}
+
+// TestQueryMultiFanoutModes runs the same batch through every dispatch
+// shape — single-lane fan-out, wide fan-out, and the poolless inline
+// path — and demands identical answers, then checks the FanoutQueries
+// counter ticks per batch call.
+func TestQueryMultiFanoutModes(t *testing.T) {
+	for _, tc := range []struct {
+		name            string
+		workers, fanout int
+	}{
+		{"fanout-1", 0, 1},
+		{"fanout-wide", 0, 8},
+		{"no-pool", -1, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opt := dbOptions()
+			opt.Workers = tc.workers
+			opt.QueryFanout = tc.fanout
+			db, err := Open(t.TempDir(), opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			multiFixture(t, db, opt.BlockSize)
+			before := db.Stats().FanoutQueries
+			checkMultiMatchesQuery(t, db, []string{"s0", "s1", "s2", "s0"}, 0, 1<<30)
+			if got := db.Stats().FanoutQueries; got <= before {
+				t.Fatalf("FanoutQueries = %d, want > %d", got, before)
+			}
+		})
+	}
+}
+
+// TestMultiCursorSectionWalk exercises the streaming surface directly:
+// section order and names, Start clamping, and skipping a section after
+// reading only its first chunk.
+func TestMultiCursorSectionWalk(t *testing.T) {
+	opt := dbOptions()
+	db, err := Open(t.TempDir(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	multiFixture(t, db, opt.BlockSize)
+	names := []string{"s0", "s2", "s1"}
+	m, err := db.MultiCursor(names, 10, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i := 0; ; i++ {
+		idx, ok := m.Section()
+		if !ok {
+			if i != len(names) {
+				t.Fatalf("walked %d sections, want %d", i, len(names))
+			}
+			break
+		}
+		if idx != i || m.Series() != names[i] {
+			t.Fatalf("section %d: idx %d series %q", i, idx, m.Series())
+		}
+		want, err := db.Query(names[i], 10, 1<<30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantStart := 10
+		if len(want) == 0 {
+			// Series shorter than from: nothing to pin about Start.
+			wantStart = m.Start()
+		}
+		if m.Start() != wantStart {
+			t.Fatalf("section %q Start = %d, want %d", names[i], m.Start(), wantStart)
+		}
+		// Read just the first chunk, verify it prefixes the sequential
+		// answer, then abandon the rest of the section.
+		chunk, ok := m.Next()
+		if ok {
+			if len(chunk) > len(want) {
+				t.Fatalf("section %q: chunk longer than full result", names[i])
+			}
+			for j := range chunk {
+				if chunk[j] != want[j] {
+					t.Fatalf("section %q: chunk sample %d = %v, want %v", names[i], j, chunk[j], want[j])
+				}
+			}
+		} else if m.Err() != nil {
+			t.Fatalf("section %q: %v", names[i], m.Err())
+		}
+	}
+}
+
+// TestMultiCursorCloseReturnsBuffers is the fan-out half of the
+// pool-leak regression: abandoning a MultiCursor at any point of the
+// walk — before any Section, mid-section, after skipping sections —
+// must return every pooled chunk copy, and Close must be idempotent.
+func TestMultiCursorCloseReturnsBuffers(t *testing.T) {
+	opt := dbOptions()
+	opt.CacheBlocks = -1
+	db, err := Open(t.TempDir(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	multiFixture(t, db, opt.BlockSize)
+	names := []string{"s0", "s1", "s2", "s0"}
+	db.pool.drain()
+	base := db.blockBufBalance()
+	balanced := func(label string) {
+		t.Helper()
+		db.pool.drain()
+		if got := db.blockBufBalance(); got != base {
+			t.Fatalf("%s: pooled-buffer balance %d, want %d", label, got, base)
+		}
+	}
+
+	m, err := db.MultiCursor(names, 0, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close() // never walked: section jobs already launched must unwind
+	m.Close() // idempotent
+	balanced("unwalked")
+
+	m, err = db.MultiCursor(names, 0, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Section()
+	m.Next() // hold one pooled chunk...
+	m.Close()
+	balanced("mid-section")
+
+	m, err = db.MultiCursor(names, 0, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := m.Section(); !ok {
+			break
+		}
+		// Skip every section without reading it.
+	}
+	m.Close()
+	balanced("skipped-through")
+
+	// Fully consumed for completeness.
+	if _, err := db.QueryMulti(names, 0, 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	balanced("consumed")
+}
+
+// TestQueryAggMultiMatchesQueryAgg checks the batch aggregate against
+// per-series QueryAgg — including over a store with a materialized
+// rollup tier, where QueryAgg serves aligned windows from the tier —
+// plus the unknown-series section error and request-level validation.
+func TestQueryAggMultiMatchesQueryAgg(t *testing.T) {
+	opt := dbOptions()
+	opt.Rollups = []RollupSpec{{Step: 8}}
+	db, err := Open(t.TempDir(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	total := 4 * opt.BlockSize
+	for _, name := range []string{"a0", "a1"} {
+		if err := db.Append(name, sensorData(total, 21)...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Maintain(); err != nil { // materialize the rollup tier
+		t.Fatal(err)
+	}
+	names := []string{"a0", "nope", "a1", "a0"}
+	for _, step := range []int{8, 64, 37} { // tier-aligned and not
+		res, err := db.QueryAggMulti(names, 0, total, step, series.AggMean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, name := range names {
+			r := res[i]
+			if r.Name != name || r.Start != 0 {
+				t.Fatalf("step %d result %d: name %q start %d", step, i, r.Name, r.Start)
+			}
+			if name == "nope" {
+				if !errors.Is(r.Err, ErrUnknownSeries) {
+					t.Fatalf("unknown series Err = %v", r.Err)
+				}
+				continue
+			}
+			want, err := db.QueryAgg(name, 0, total, step, series.AggMean)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(r.Values) != len(want) {
+				t.Fatalf("step %d %q: %d windows, want %d", step, name, len(r.Values), len(want))
+			}
+			for j := range want {
+				if r.Values[j] != want[j] {
+					t.Fatalf("step %d %q: window %d = %v, want %v", step, name, j, r.Values[j], want[j])
+				}
+			}
+		}
+	}
+
+	if _, err := db.QueryAggMulti(names, 9, 3, 8, series.AggMean); !errors.Is(err, ErrInvalidRange) {
+		t.Fatalf("inverted range: %v", err)
+	}
+	if _, err := db.QueryAggMulti(names, 0, total, 0, series.AggMean); err == nil {
+		t.Fatal("step 0 accepted")
+	}
+	if _, err := db.QueryAggMulti(names, 0, total, 8, AggFunc(42)); err == nil {
+		t.Fatal("bogus aggregate function accepted")
+	}
+}

@@ -1,0 +1,120 @@
+package tsdb
+
+import "sync/atomic"
+
+// Prefetch job lifecycle. A job starts queued; exactly one CAS away from
+// queued decides who owns it: the pool worker claims it and resolves the
+// segment, or the cursor abandons it (claim-back in Next when the worker
+// has not started yet, cancellation in Close). An abandoning cursor that
+// wins the CAS knows the worker will do nothing — no buffer to reclaim,
+// no wait. Losing the CAS means the worker is (or was) running, so the
+// cursor waits on done and takes ownership of the job's pooled buffer.
+const (
+	prefetchQueued int32 = iota
+	prefetchClaimed
+	prefetchAbandoned
+)
+
+// prefetchJob is one readahead unit: resolve a durable segment's overlap
+// into a pooled buffer on the worker pool while the cursor's caller is
+// still consuming an earlier chunk. Jobs are only ever scheduled for
+// durable, not-yet-resolved segments — a pool job waiting on a pending
+// block could deadlock the FIFO pool (the block's own compression, or a
+// streaming seal's persist step, may be queued behind it) — so a claimed
+// job always runs to completion without blocking on anything but I/O.
+type prefetchJob struct {
+	state atomic.Int32
+	done  chan struct{}
+	chunk []float64 // resolved overlap; may alias buf or the block cache
+	buf   []float64 // pooled decode buffer, owned by whoever consumes the job
+	err   error
+}
+
+// schedulePrefetch tops the pipeline up to ra outstanding jobs covering
+// the segments just past the one Next is about to resolve. Pending
+// segments are skipped (Next resolves them inline on the caller's
+// goroutine, where waiting is safe) and so are pre-resolved dense ones.
+// When the pool queue is full the segment is simply not prefetched —
+// readahead is opportunistic and never adds backpressure to the read
+// path.
+func (c *Cursor) schedulePrefetch() {
+	for i := c.idx; i < len(c.snap.segs) && i < c.idx+c.ra; i++ {
+		if _, ok := c.jobs[i]; ok {
+			continue
+		}
+		s := c.snap.segs[i]
+		if s.pending != nil || s.dense != nil {
+			continue
+		}
+		j := &prefetchJob{done: make(chan struct{})}
+		lo := max(c.snap.from, s.meta.start)
+		hi := min(c.snap.to, s.meta.start+s.meta.n)
+		db, snap := c.db, c.snap
+		db.pool.reserve()
+		ok := db.pool.trySubmit(compressJob{fn: func() {
+			defer close(j.done)
+			if !j.state.CompareAndSwap(prefetchQueued, prefetchClaimed) {
+				return // claimed back or cancelled before the worker got here
+			}
+			j.chunk, j.err = db.segmentRange(snap, s, lo, hi, &j.buf)
+		}})
+		if !ok {
+			db.pool.jobDone()
+			return // queue full; stop scheduling this round
+		}
+		c.jobs[i] = j
+	}
+}
+
+// consumePrefetch collects the prefetch job for the segment Next is about
+// to yield. A job still queued is claimed back and resolved inline, so a
+// backed-up pool never makes readahead slower than no readahead (it
+// counts as neither hit nor waste — the pool never got to it). A job the
+// worker claimed is waited for; its pooled buffer becomes the cursor's
+// held buffer, released on the next Next or Close, because the returned
+// chunk may alias it.
+func (c *Cursor) consumePrefetch(j *prefetchJob, s cursorSeg, lo, hi int) ([]float64, error) {
+	if j.state.CompareAndSwap(prefetchQueued, prefetchAbandoned) {
+		return c.db.segmentRange(c.snap, s, lo, hi, &c.buf)
+	}
+	<-j.done
+	if j.err != nil {
+		if j.buf != nil {
+			c.db.putBlockBuf(j.buf)
+		}
+		return nil, j.err
+	}
+	c.db.prefetchHits.Add(1)
+	c.held = j.buf
+	return j.chunk, nil
+}
+
+// releaseHeld returns the previously consumed prefetch buffer to the
+// pool. Called at the top of Next and in Close — the chunk the caller
+// just finished with may alias it.
+func (c *Cursor) releaseHeld() {
+	if c.held != nil {
+		c.db.putBlockBuf(c.held)
+		c.held = nil
+	}
+}
+
+// cancelPrefetch abandons every outstanding job: still-queued jobs flip
+// to abandoned before the worker allocates anything, running jobs are
+// waited for and their pooled buffers returned. Each decode that
+// completed but was never consumed counts as wasted readahead.
+func (c *Cursor) cancelPrefetch() {
+	for i, j := range c.jobs {
+		delete(c.jobs, i)
+		if j.state.CompareAndSwap(prefetchQueued, prefetchAbandoned) {
+			continue
+		}
+		<-j.done
+		if j.buf != nil {
+			c.db.putBlockBuf(j.buf)
+		}
+		if j.err == nil {
+			c.db.prefetchWasted.Add(1)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package tsdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestCursorPrefetchMatchesSequentialAllCodecs is the readahead
+// differential: for every codec, warm and cold, at several depths, a
+// prefetch-on cursor must stream exactly the bytes the sequential path
+// streams over a sweep of ranges crossing block boundaries and the tail.
+func TestCursorPrefetchMatchesSequentialAllCodecs(t *testing.T) {
+	for name, c := range cursorCodecs() {
+		t.Run(name, func(t *testing.T) {
+			opt := dbOptions()
+			opt.Codec = c
+			dir := t.TempDir()
+			db, err := Open(dir, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := 6*opt.BlockSize + 100 // 6 durable blocks + verbatim tail
+			if err := db.Append("s", sensorData(total, 5)...); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			ranges := [][2]int{
+				{0, total},
+				{0, 1},
+				{total - 1, total},
+				{opt.BlockSize - 1, 4*opt.BlockSize + 1},
+				{3 * opt.BlockSize, total},
+				{700, 800},
+			}
+			check := func(label string) {
+				t.Helper()
+				for _, ra := range []int{1, 2, 4} {
+					for _, r := range ranges {
+						seq, err := db.cursorWithReadAhead("s", r[0], r[1], 0)
+						if err != nil {
+							t.Fatal(err)
+						}
+						want := collect(t, seq)
+						seq.Close()
+						pf, err := db.cursorWithReadAhead("s", r[0], r[1], ra)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got := collect(t, pf)
+						pf.Close()
+						if len(got) != len(want) {
+							t.Fatalf("%s ra=%d [%d,%d): %d samples, want %d", label, ra, r[0], r[1], len(got), len(want))
+						}
+						for i := range got {
+							if got[i] != want[i] {
+								t.Fatalf("%s ra=%d [%d,%d): sample %d = %v, want %v", label, ra, r[0], r[1], i, got[i], want[i])
+							}
+						}
+					}
+				}
+			}
+			check("warm")
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if db, err = Open(dir, opt); err != nil {
+				t.Fatal(err)
+			}
+			check("cold")
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestCursorPrefetchSoakRacingMaintain is the parallel-read soak: many
+// concurrent cursors at mixed readahead depths scan the same cold series
+// while a ticking Maintain loop compacts the under-filled blocks out
+// from under them (exercising the stale-block retry inside prefetch
+// jobs). Every stream must be bit-identical to the reconstruction taken
+// before the churn started — compaction republishes merged blocks with
+// identical reconstructions, so no interleaving may change a byte.
+// Run under -race in CI.
+func TestCursorPrefetchSoakRacingMaintain(t *testing.T) {
+	opt := dbOptions()
+	opt.CacheBlocks = -1     // every read decodes cold
+	opt.CompactMinFill = 0.9 // all trickle-filled blocks are merge candidates
+	db, err := Open(t.TempDir(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const chunk = 128 // quarter of the 512-sample block: under-filled on purpose
+	total := 0
+	for i := 0; i < 16; i++ {
+		if err := db.Append("s", sensorData(chunk, int64(i+1))...); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		total += chunk
+	}
+	want, err := db.Query("s", 0, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	errc := make(chan error, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		ra := g % 4 // mixed prefetch off/on depths: 0, 1, 2, 3
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cur, err := db.cursorWithReadAhead("s", 0, total, ra)
+				if err != nil {
+					errc <- err
+					return
+				}
+				got := make([]float64, 0, total)
+				for {
+					c, ok := cur.Next()
+					if !ok {
+						break
+					}
+					got = append(got, c...)
+				}
+				err = cur.Err()
+				cur.Close()
+				if err != nil {
+					errc <- fmt.Errorf("ra=%d: %w", ra, err)
+					return
+				}
+				if len(got) != len(want) {
+					errc <- fmt.Errorf("ra=%d: %d samples, want %d", ra, len(got), len(want))
+					return
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						errc <- fmt.Errorf("ra=%d: sample %d = %v, want %v", ra, i, got[i], want[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Churn the block index: each round appends another trickle block and
+	// compacts, replacing blocks the racing cursors have snapshotted.
+	for i := 16; i < 24; i++ {
+		if err := db.Append("s", sensorData(chunk, int64(i+1))...); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Maintain(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// TestCursorCloseReturnsPooledBuffers is the pool-leak regression test:
+// whatever way a prefetching cursor ends — fully consumed, abandoned
+// mid-stream with jobs queued, abandoned with jobs completed, or errored
+// on a corrupt block — the DB's pooled-buffer balance must return to its
+// resting value, and Close must be idempotent.
+func TestCursorCloseReturnsPooledBuffers(t *testing.T) {
+	opt := dbOptions()
+	opt.CacheBlocks = -1 // partial cold reads must draw pooled decode buffers
+	dir := t.TempDir()
+	db, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	total := 6 * opt.BlockSize
+	if err := db.Append("s", sensorData(total, 7)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	db.pool.drain()
+	base := db.blockBufBalance()
+	balanced := func(label string) {
+		t.Helper()
+		db.pool.drain() // outstanding jobs return their buffers via Close already; drain settles compress-side churn
+		if got := db.blockBufBalance(); got != base {
+			t.Fatalf("%s: pooled-buffer balance %d, want %d", label, got, base)
+		}
+	}
+
+	// Fully consumed. The range is offset so the edge blocks decode
+	// partially into pooled buffers.
+	cur, err := db.cursorWithReadAhead("s", 1, total-1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect(t, cur)
+	cur.Close()
+	balanced("consumed")
+
+	// Abandoned immediately: outstanding jobs may be queued or running.
+	cur, err = db.cursorWithReadAhead("s", 1, total-1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.Next()
+	cur.Close()
+	balanced("abandoned-early")
+
+	// Abandoned with every prefetched decode completed (drain forces the
+	// jobs through before Close reclaims them as wasted).
+	cur, err = db.cursorWithReadAhead("s", 1, total-1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.Next()
+	db.pool.drain()
+	cur.Close()
+	cur.Close() // idempotent
+	if _, ok := cur.Next(); ok {
+		t.Fatal("Next yielded a chunk after Close")
+	}
+	balanced("abandoned-completed")
+
+	// Errored mid-stream: a corrupt block file fails resolution (inline or
+	// in a prefetch job); Close must still return every buffer.
+	victim := filepath.Join(dir, "s", fmt.Sprintf("%012d.blk", 2*opt.BlockSize))
+	if err := os.WriteFile(victim, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, ra := range []int{0, 2} {
+		cur, err = db.cursorWithReadAhead("s", 1, total-1, ra)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if _, ok := cur.Next(); !ok {
+				break
+			}
+		}
+		if cur.Err() == nil {
+			t.Fatalf("ra=%d: cursor over corrupt block reported no error", ra)
+		}
+		cur.Close()
+		balanced(fmt.Sprintf("errored-ra%d", ra))
+	}
+}
+
+// TestPrefetchCounters pins the observability: consumed readahead
+// decodes count as hits, completed-but-unconsumed ones as wasted, and
+// neither moves when prefetch is off.
+func TestPrefetchCounters(t *testing.T) {
+	opt := dbOptions()
+	opt.CacheBlocks = -1
+	db, err := Open(t.TempDir(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	total := 6 * opt.BlockSize
+	if err := db.Append("s", sensorData(total, 9)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	cur, err := db.cursorWithReadAhead("s", 0, total, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.Next()      // schedules the next two segments
+	db.pool.drain() // both decodes complete before consumption
+	collect(t, cur)
+	cur.Close()
+	if st := db.Stats(); st.PrefetchHits < 2 {
+		t.Fatalf("PrefetchHits = %d after consuming drained prefetches, want >= 2", st.PrefetchHits)
+	}
+
+	wastedBefore := db.Stats().PrefetchWasted
+	// Settle the queue first: claimed-back jobs from the consuming pass
+	// above leave husk entries the worker has yet to discard, and a full
+	// queue would make the next cursor's scheduling silently no-op.
+	db.pool.drain()
+	cur, err = db.cursorWithReadAhead("s", 0, total, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.Next()
+	db.pool.drain() // the two scheduled decodes complete...
+	cur.Close()     // ...and are thrown away
+	if st := db.Stats(); st.PrefetchWasted < wastedBefore+2 {
+		t.Fatalf("PrefetchWasted = %d, want >= %d", st.PrefetchWasted, wastedBefore+2)
+	}
+
+	before := db.Stats()
+	cur, err = db.cursorWithReadAhead("s", 0, total, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect(t, cur)
+	cur.Close()
+	after := db.Stats()
+	if after.PrefetchHits != before.PrefetchHits || after.PrefetchWasted != before.PrefetchWasted {
+		t.Fatalf("prefetch-off cursor moved the counters: %+v -> %+v", before, after)
+	}
+}

@@ -29,7 +29,12 @@ type ServerOptions = server.Options
 //	                          value" lines, or a JSON {"series":[...]} batch)
 //	GET    /api/v1/query      raw range streamed as NDJSON or CSV straight
 //	                          off a Store cursor (never materialized)
+//	POST   /api/v1/query      batch form ({"series":[...],"from":..,"to":..}):
+//	                          several series in one request, scattered across
+//	                          the store's worker pool and streamed back as
+//	                          per-series NDJSON sections in request order
 //	GET    /api/v1/query_agg  downsampled windows via QueryAgg pushdown
+//	POST   /api/v1/query_agg  batch aggregate form, one NDJSON line per series
 //	GET    /api/v1/series     sorted series listing
 //	DELETE /api/v1/series     drop one series and its rollup tiers (204;
 //	                          404 for unknown names)

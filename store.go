@@ -46,6 +46,13 @@ import (
 //     CAMEO the sums/extrema are computed straight from the compressed
 //     segment forms without materializing samples at all, and cold
 //     bit-stream blocks fold their windows in one seek-assisted pass.
+//   - QueryMulti / QueryAggMulti answer one query over several series at
+//     once: per-series scans scatter across the worker pool (bounded by
+//     QueryFanout) and gather in the caller's series order, each result's
+//     Err carrying that series' failure instead of failing the batch.
+//     MultiCursor is the streaming form. With ReadAhead set, a single
+//     cursor additionally prefetches upcoming cold blocks on the pool
+//     while the caller consumes earlier chunks.
 //   - Series() returns the stored names in lexicographically sorted
 //     order — a documented guarantee, stable across reopens.
 //
@@ -64,6 +71,17 @@ type Store = tsdb.DB
 // Next yields block-sized read-only chunks valid until the next call,
 // Err reports the first resolution error, Close releases pooled buffers.
 type StoreCursor = tsdb.Cursor
+
+// StoreMultiCursor streams a multi-series scatter-gather query section by
+// section in request order (see Store.MultiCursor): Section advances to
+// the next series, Next yields its chunks, Err reports that section's
+// failure, Close stops outstanding work and releases every pooled buffer.
+type StoreMultiCursor = tsdb.MultiCursor
+
+// MultiResult is one series' section of a Store.QueryMulti or
+// Store.QueryAggMulti response; per-series failures land in Err so one
+// bad series never fails the batch.
+type MultiResult = tsdb.MultiResult
 
 // StoreOptions configures a Store:
 //
@@ -86,6 +104,14 @@ type StoreCursor = tsdb.Cursor
 //     caches (a single series always lives in one shard, so budget
 //     Shards x its working set for hot-series scans); 0 picks 128,
 //     negative disables caching.
+//   - ReadAhead: cursor prefetch depth — while a query consumes one chunk,
+//     up to this many upcoming cold blocks read and decode concurrently on
+//     the worker pool into pooled buffers. The streamed samples are
+//     bit-identical to the sequential path's. 0 (default) disables
+//     prefetch, the right setting on single-core hosts; negative errors.
+//   - QueryFanout: per-call concurrency cap of the multi-series read path
+//     (QueryMulti, QueryAggMulti, MultiCursor); 0 picks the worker-pool
+//     width, negative errors.
 //   - CheckpointInterval: checkpoint spacing, in samples, recorded in the
 //     sidecar of every bit-stream-coded block (gorilla, chimp, elf) so a
 //     cold partial read seeks to the nearest checkpoint instead of
@@ -137,8 +163,10 @@ type StoreStats = tsdb.Stats
 // (RangeDecodes: cold partial decodes that skipped full reconstruction;
 // AggPushdowns: blocks aggregated without materializing samples;
 // CheckpointSeeks/CheckpointBytes: cold bit-stream reads served via the
-// checkpoint sidecar and the compressed bytes they traversed), the
-// compression queue backlog, the append-latency histogram (Appends,
+// checkpoint sidecar and the compressed bytes they traversed;
+// PrefetchHits/PrefetchWasted: readahead decodes consumed by the cursor
+// versus completed but discarded; FanoutQueries: multi-series batch
+// calls), the compression queue backlog, the append-latency histogram (Appends,
 // AppendP50/AppendP99/AppendMax — log-spaced buckets, so the percentiles
 // are conservative upper bounds within 2x; the max is exact), the
 // streaming-ingest counters (StreamBlocks: blocks compressed incrementally
