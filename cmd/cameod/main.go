@@ -16,7 +16,9 @@
 //	                          per step-sample window
 //	GET    /api/v1/series     sorted series listing
 //	DELETE /api/v1/series     ?series= — drop one series and its rollup tiers
-//	GET    /healthz, /statusz liveness and engine/server counters
+//	GET    /healthz, /statusz liveness; every metric family as flat JSON
+//	GET    /metrics           Prometheus text exposition, same registry
+//	GET    /debug/traces      ring of recent per-request stage timings
 //
 // Ingest is bounded two ways: -max-request-bytes caps one body (413
 // beyond) and -max-inflight-bytes caps the bytes of all write requests
@@ -27,6 +29,11 @@
 // materializes downsampled tiers that query_agg answers transparently.
 // All of it runs on the background maintenance pass -maintain-interval
 // enables; leave it 0 to keep every sample forever.
+//
+// Observability: -access-log emits one JSON line per request,
+// -slow-query-threshold/-slow-query-sample turn on the sampled
+// slow-query log, and -pprof-addr serves net/http/pprof on a separate
+// listener (keep it loopback-only — profiles leak series names).
 //
 // On SIGINT/SIGTERM the daemon drains in-flight requests (bounded by
 // -drain-timeout), then flushes and closes the store, so acknowledged
@@ -40,6 +47,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -73,6 +81,11 @@ func main() {
 		idle     = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle timeout")
 		drain    = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain bound")
 
+		slowQ     = flag.Duration("slow-query-threshold", 0, "log query requests at or over this wall time as JSON lines (0 = off)")
+		slowN     = flag.Int("slow-query-sample", 1, "log every Nth slow query")
+		accessLog = flag.Bool("access-log", false, "emit one JSON line per request (trace ID, endpoint, status, bytes, duration)")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off; keep it loopback-only)")
+
 		retention  = flag.Int("retention", 0, "per-series age budget in samples, trimmed by maintenance (0 = keep everything)")
 		retainB    = flag.Int64("retain-bytes", 0, "store-wide compressed-byte budget, oldest blocks deleted first (0 = no cap)")
 		minFill    = flag.Float64("compact-min-fill", 0, "compaction threshold as a fraction of -block (0 = default 0.5, negative = off)")
@@ -100,15 +113,26 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("cameod: serving store %q (codec %s, block %d) on %s", *dir, *codec, *block, *addr)
-	err = cameo.Serve(ctx, *addr, store, cameo.ServerOptions{
-		MaxRequestBytes:        *maxReq,
-		MaxInflightIngestBytes: *maxInfl,
-		IngestTimeout:          *ingestTO,
-		ReadHeaderTimeout:      *readHdr,
-		IdleTimeout:            *idle,
-		DrainTimeout:           *drain,
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
+
+	srvOpt, err := buildServerOptions(serverFlags{
+		maxRequestBytes:    *maxReq,
+		maxInflightBytes:   *maxInfl,
+		ingestTimeout:      *ingestTO,
+		readHeaderTimeout:  *readHdr,
+		idleTimeout:        *idle,
+		drainTimeout:       *drain,
+		slowQueryThreshold: *slowQ,
+		slowQuerySample:    *slowN,
+		accessLog:          *accessLog,
 	})
+	if err != nil {
+		log.Fatalf("cameod: %v", err)
+	}
+	log.Printf("cameod: serving store %q (codec %s, block %d) on %s", *dir, *codec, *block, *addr)
+	err = cameo.Serve(ctx, *addr, store, srvOpt)
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		// Still flush+close — acknowledged writes must not ride on a clean
 		// drain — and surface a close failure rather than masking it with
@@ -131,6 +155,60 @@ func main() {
 	}
 	log.Printf("cameod: shut down cleanly (%d series, %d samples, %d B durable)",
 		t.Series, t.Samples, t.DiskBytes)
+}
+
+// serverFlags groups the HTTP-layer knobs so buildServerOptions keeps a
+// readable signature.
+type serverFlags struct {
+	maxRequestBytes    int64
+	maxInflightBytes   int64
+	ingestTimeout      time.Duration
+	readHeaderTimeout  time.Duration
+	idleTimeout        time.Duration
+	drainTimeout       time.Duration
+	slowQueryThreshold time.Duration
+	slowQuerySample    int
+	accessLog          bool
+}
+
+// buildServerOptions maps the daemon's HTTP flags onto ServerOptions.
+// Nonsense knob values are rejected here with a flag-level message
+// rather than being silently replaced by a server default.
+func buildServerOptions(sf serverFlags) (cameo.ServerOptions, error) {
+	if sf.slowQueryThreshold < 0 {
+		return cameo.ServerOptions{}, fmt.Errorf("-slow-query-threshold must be non-negative, got %v", sf.slowQueryThreshold)
+	}
+	if sf.slowQuerySample < 1 {
+		return cameo.ServerOptions{}, fmt.Errorf("-slow-query-sample must be at least 1, got %d", sf.slowQuerySample)
+	}
+	return cameo.ServerOptions{
+		MaxRequestBytes:        sf.maxRequestBytes,
+		MaxInflightIngestBytes: sf.maxInflightBytes,
+		IngestTimeout:          sf.ingestTimeout,
+		ReadHeaderTimeout:      sf.readHeaderTimeout,
+		IdleTimeout:            sf.idleTimeout,
+		DrainTimeout:           sf.drainTimeout,
+		SlowQueryThreshold:     sf.slowQueryThreshold,
+		SlowQuerySample:        sf.slowQuerySample,
+		AccessLog:              sf.accessLog,
+	}, nil
+}
+
+// servePprof exposes net/http/pprof on its own listener, never on the
+// data-plane mux: profiles can reveal series names and timings, so the
+// profiling surface binds separately (loopback in any sane deployment)
+// and only when -pprof-addr asks for it.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Printf("cameod: serving pprof on %s", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("cameod: pprof listener: %v", err)
+	}
 }
 
 // readFlags groups the parallel-read knobs.

@@ -144,3 +144,44 @@ func TestParseRollupsRejectsGarbage(t *testing.T) {
 		t.Fatal("store accepted a step-1 rollup")
 	}
 }
+
+// TestBuildServerOptions pins the flag→ServerOptions mapping for the
+// observability knobs: the slow-query-log and access-log flags land
+// verbatim, and nonsense values fail at the flag layer before a
+// listener ever binds.
+func TestBuildServerOptions(t *testing.T) {
+	opt, err := buildServerOptions(serverFlags{
+		maxRequestBytes:    1 << 20,
+		maxInflightBytes:   8 << 20,
+		ingestTimeout:      30 * time.Second,
+		readHeaderTimeout:  5 * time.Second,
+		idleTimeout:        time.Minute,
+		drainTimeout:       10 * time.Second,
+		slowQueryThreshold: 250 * time.Millisecond,
+		slowQuerySample:    10,
+		accessLog:          true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.MaxRequestBytes != 1<<20 || opt.MaxInflightIngestBytes != 8<<20 ||
+		opt.IngestTimeout != 30*time.Second || opt.ReadHeaderTimeout != 5*time.Second ||
+		opt.IdleTimeout != time.Minute || opt.DrainTimeout != 10*time.Second {
+		t.Fatalf("admission/timeout knobs not mapped: %+v", opt)
+	}
+	if opt.SlowQueryThreshold != 250*time.Millisecond || opt.SlowQuerySample != 10 || !opt.AccessLog {
+		t.Fatalf("observability knobs not mapped: %+v", opt)
+	}
+
+	// The zero flag set maps cleanly (the server applies its defaults).
+	if _, err := buildServerOptions(serverFlags{slowQuerySample: 1}); err != nil {
+		t.Fatalf("default flags rejected: %v", err)
+	}
+
+	if _, err := buildServerOptions(serverFlags{slowQuerySample: 1, slowQueryThreshold: -time.Second}); err == nil {
+		t.Fatal("negative -slow-query-threshold accepted")
+	}
+	if _, err := buildServerOptions(serverFlags{slowQuerySample: 0}); err == nil {
+		t.Fatal("zero -slow-query-sample accepted")
+	}
+}

@@ -240,6 +240,59 @@ func main() {
 	resp.Body.Close()
 	fmt.Printf("\n/statusz:\n%s\n", status)
 
+	// Scrape /metrics twice with traffic in between: the core families
+	// must be present and valid exposition, and the cumulative ones must
+	// be monotonic across scrapes — this is CI's check that the
+	// Prometheus surface actually works end to end.
+	first := scrapeMetrics(base)
+	for _, family := range []string{
+		"cameo_store_append_latency_seconds_count",
+		"cameo_store_samples",
+		`cameo_http_requests_total{endpoint="query",status="2xx"}`,
+		`cameo_http_inflight_requests{endpoint="query"}`,
+	} {
+		if _, ok := first[family]; !ok {
+			log.Fatalf("/metrics missing %s", family)
+		}
+	}
+	hasBucket := false
+	for sample := range first {
+		if strings.HasPrefix(sample, `cameo_http_request_seconds_bucket{endpoint="query",le=`) {
+			hasBucket = true
+			break
+		}
+	}
+	if !hasBucket {
+		log.Fatal("/metrics has no query latency buckets")
+	}
+	resp, err = http.Post(base+"/api/v1/write", "text/plain", strings.NewReader("sensor/0 1.5\n"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	resp, err = http.Get(base + "/api/v1/query?series=sensor%2F0&from=0&to=100")
+	if err != nil {
+		log.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	second := scrapeMetrics(base)
+	for _, family := range []string{
+		"cameo_store_append_latency_seconds_count",
+		"cameo_store_samples",
+		`cameo_http_requests_total{endpoint="query",status="2xx"}`,
+	} {
+		if second[family] < first[family] {
+			log.Fatalf("%s went backwards across scrapes: %v -> %v", family, first[family], second[family])
+		}
+	}
+	if second[`cameo_http_requests_total{endpoint="query",status="2xx"}`] <=
+		first[`cameo_http_requests_total{endpoint="query",status="2xx"}`] {
+		log.Fatal("query request counter did not advance between scrapes")
+	}
+	fmt.Printf("/metrics scraped twice: %d samples, core families present and monotonic\n", len(second))
+
 	// Graceful shutdown: drain HTTP, then flush+close the store — the
 	// same order cmd/cameod uses on SIGTERM.
 	if err := srv.Shutdown(context.Background()); err != nil {
@@ -249,4 +302,41 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("drained and closed cleanly")
+}
+
+// scrapeMetrics fetches /metrics and parses the exposition into a
+// sample-name → value map ("family{labels}" keys), failing the example
+// on a malformed line — the parse is itself the format check.
+func scrapeMetrics(base string) map[string]float64 {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		log.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	samples := make(map[string]float64)
+	for _, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, valStr, ok := strings.Cut(line, " ")
+		if !ok {
+			log.Fatalf("/metrics: malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			log.Fatalf("/metrics: bad value in %q: %v", line, err)
+		}
+		if _, dup := samples[name]; dup {
+			log.Fatalf("/metrics: duplicate sample %q", name)
+		}
+		samples[name] = v
+	}
+	return samples
 }

@@ -122,6 +122,20 @@ func Names() []string {
 	return names
 }
 
+// Registered returns every registered codec, sorted by ID — the stable
+// iteration order observability surfaces (per-codec decode histograms)
+// key their instruments on.
+func Registered() []Codec {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Codec, 0, len(regByID))
+	for _, c := range regByID {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
 // MinBlocker is an optional Codec capability: codecs that cannot encode
 // arbitrarily small blocks (CAMEO needs enough samples to estimate its
 // statistic) report their minimum here. MinBlock consults it.

@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets is the fixed bucket count of Histogram: bucket b holds the
+// observations v with bits.Len64(v) == b, i.e. power-of-two value bands
+// (bucket 0 holds exactly the zero observations).
+const numBuckets = 65
+
+// Histogram is a fixed-shape log-spaced histogram of non-negative integer
+// observations (nanoseconds, bytes — any unit the owner picks and keeps).
+// It is the generalized form of the store's original append-latency
+// histogram: the observe path is three atomic adds plus a CAS loop for the
+// exact maximum, and it never allocates, so it can sit on hot paths
+// without perturbing what it measures. Quantile estimates report a band's
+// upper bound, so they are conservative (never under-report) and accurate
+// to within 2x — the useful resolution for a tail-latency health signal;
+// the maximum is tracked exactly. The zero value is ready to use.
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	sum     atomic.Uint64 // total of all observed values (exposition _sum)
+	max     atomic.Uint64 // exact maximum observed value
+}
+
+// Observe records one observation. Safe for concurrent use; never
+// allocates.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bits.Len64(v)].Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a wall-time observation in nanoseconds,
+// clamping negative durations (clock steps) to zero.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.Observe(ns)
+}
+
+// Reset zeroes the histogram. Concurrent observes may land between the
+// stores, so a reset racing live traffic yields a small, self-consistent
+// remainder rather than an exact zero; callers that need an exact reset
+// must quiesce writers first (tests do).
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
+// Snapshot walks the buckets once. Concurrent observes may land between
+// bucket loads; the result is a consistent-enough health signal, not an
+// exact census.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+		s.Count += s.Buckets[i]
+	}
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram, detached from the
+// live atomics so it can be merged, quantiled, and rendered without
+// racing further observes.
+type HistSnapshot struct {
+	Buckets [numBuckets]uint64
+	Count   uint64 // total observations (sum of Buckets)
+	Sum     uint64 // total of observed values
+	Max     uint64 // exact maximum observed value
+}
+
+// Merge folds another snapshot into s (for aggregating per-shard or
+// per-endpoint histograms into one family).
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+}
+
+// Quantile returns the upper bound of the bucket holding the q-quantile
+// observation (0 for an empty snapshot), clamped to the exact maximum so
+// a quantile never reads above Max.
+func (s HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var cum uint64
+	for b, c := range s.Buckets {
+		cum += c
+		if cum > rank {
+			ub := bucketUpperBound(b)
+			if ub > s.Max {
+				ub = s.Max
+			}
+			return ub
+		}
+	}
+	return s.Max
+}
+
+// Summary returns the conservative (p50, p99, max) triple with the
+// ordering invariant p50 <= p99 <= max enforced even at 0 or 1 samples,
+// where a band's upper bound could otherwise cross the exact maximum.
+func (s HistSnapshot) Summary() (p50, p99, max uint64) {
+	max = s.Max
+	p99 = s.Quantile(0.99)
+	if p99 > max {
+		p99 = max
+	}
+	p50 = s.Quantile(0.50)
+	if p50 > p99 {
+		p50 = p99
+	}
+	return p50, p99, max
+}
+
+// bucketUpperBound is the largest value bucket b can hold: 2^b - 1
+// (bucket 0 holds only zero; the last bucket is unbounded and reports
+// the maximum representable value).
+func bucketUpperBound(b int) uint64 {
+	if b == 0 {
+		return 0
+	}
+	if b >= 64 {
+		return math.MaxUint64
+	}
+	return 1<<uint(b) - 1
+}

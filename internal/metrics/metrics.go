@@ -1,0 +1,50 @@
+// Package metrics is the engine's dependency-free instrumentation layer:
+// atomic counters and gauges, a zero-allocation log-bucket histogram (the
+// generalization of the store's append-latency histogram), and a registry
+// that renders everything registered with it as Prometheus text exposition
+// format — and, from the same gather pass, as a flat JSON document, so an
+// HTTP layer can serve /metrics and a JSON status view that can never
+// disagree with each other.
+//
+// The package deliberately has no dependency beyond the standard library
+// and no background goroutines. Instruments are plain structs embedded in
+// the subsystems they observe; the hot-path operations (Counter.Add,
+// Gauge.Set, Histogram.Observe) are a handful of atomic operations and
+// never allocate, so they can sit on the store's append and query paths
+// without perturbing the latencies they measure. Rendering happens only
+// when a scrape asks for it, via collector functions registered on a
+// Registry.
+package metrics
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing counter. The zero value is ready
+// to use; all methods are safe for concurrent use and allocation-free.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down (in-flight requests, queue
+// depth). The zero value is ready to use; all methods are safe for
+// concurrent use and allocation-free.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Add moves the gauge by delta (negative to decrement).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }

@@ -1,0 +1,236 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramEmpty pins the zero-sample edge: every summary statistic
+// reads zero and the ordering invariant p50 <= p99 <= max holds trivially.
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot: %+v", s)
+	}
+	p50, p99, max := s.Summary()
+	if p50 != 0 || p99 != 0 || max != 0 {
+		t.Fatalf("empty summary: %d %d %d", p50, p99, max)
+	}
+}
+
+// TestHistogramSingleSample pins the one-sample edge: a log bucket's
+// upper bound can exceed the exact maximum, so the summary must clamp to
+// it — p50 == p99 == max == the observed value.
+func TestHistogramSingleSample(t *testing.T) {
+	for _, v := range []uint64{0, 1, 5, 1000, 1<<40 + 7} {
+		var h Histogram
+		h.Observe(v)
+		s := h.Snapshot()
+		if s.Count != 1 || s.Sum != v || s.Max != v {
+			t.Fatalf("Observe(%d): %+v", v, s)
+		}
+		p50, p99, max := s.Summary()
+		if p50 != v || p99 != v || max != v {
+			t.Fatalf("Observe(%d) summary: %d %d %d", v, p50, p99, max)
+		}
+	}
+}
+
+// TestHistogramOrderingInvariant checks p50 <= p99 <= max over skewed
+// shapes where bucket upper bounds would otherwise cross.
+func TestHistogramOrderingInvariant(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(3) // all mass in one low bucket
+	}
+	h.Observe(1 << 30) // one outlier that IS the max
+	p50, p99, max := h.Snapshot().Summary()
+	if !(p50 <= p99 && p99 <= max) {
+		t.Fatalf("ordering violated: p50=%d p99=%d max=%d", p50, p99, max)
+	}
+	if max != 1<<30 {
+		t.Fatalf("max not exact: %d", max)
+	}
+	if p50 > 3 {
+		// Band upper bound for value 3 is 3 (bits.Len64(3)=2, 2^2-1).
+		t.Fatalf("p50 overshoots its band: %d", p50)
+	}
+}
+
+// TestHistogramQuantileConservative: a quantile is the band's upper
+// bound, so it never under-reports the true quantile and stays within 2x.
+func TestHistogramQuantileConservative(t *testing.T) {
+	var h Histogram
+	for v := uint64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	p50 := s.Quantile(0.50)
+	if p50 < 500 {
+		t.Fatalf("p50 under-reports: %d < 500", p50)
+	}
+	if p50 > 1023 { // band [512,1023] holds the true median
+		t.Fatalf("p50 beyond its band: %d", p50)
+	}
+}
+
+// TestHistogramMergeReset pins Merge (counts, sum, max all fold) and
+// Reset (back to the zero state).
+func TestHistogramMergeReset(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 10; i++ {
+		a.Observe(100)
+		b.Observe(10000)
+	}
+	b.Observe(1 << 20)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Count != 21 {
+		t.Fatalf("merged count %d", sa.Count)
+	}
+	if want := uint64(10*100 + 10*10000 + 1<<20); sa.Sum != want {
+		t.Fatalf("merged sum %d, want %d", sa.Sum, want)
+	}
+	if sa.Max != 1<<20 {
+		t.Fatalf("merged max %d", sa.Max)
+	}
+	// Merge must not disturb the source snapshot's ordering invariant.
+	p50, p99, max := sa.Summary()
+	if !(p50 <= p99 && p99 <= max) {
+		t.Fatalf("merged ordering: %d %d %d", p50, p99, max)
+	}
+
+	a.Reset()
+	if s := a.Snapshot(); s.Count != 0 || s.Sum != 0 || s.Max != 0 {
+		t.Fatalf("reset left residue: %+v", s)
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from several
+// goroutines (run under -race in CI) and checks nothing is lost: the
+// bucket walk must account for every observation.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	const goroutines, per = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(uint64(g*per + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("lost observations: %d of %d", s.Count, goroutines*per)
+	}
+	if s.Max != goroutines*per-1 {
+		t.Fatalf("max %d, want %d", s.Max, goroutines*per-1)
+	}
+}
+
+// TestObserveDurationClampsNegative: clock steps must not underflow into
+// the top bucket.
+func TestObserveDurationClampsNegative(t *testing.T) {
+	var h Histogram
+	h.ObserveDuration(-time.Second)
+	s := h.Snapshot()
+	if s.Buckets[0] != 1 || s.Max != 0 {
+		t.Fatalf("negative duration not clamped: %+v", s)
+	}
+}
+
+// TestHotPathZeroAlloc enforces the package invariant the store's hot
+// paths rely on: observing and counting never allocate.
+func TestHotPathZeroAlloc(t *testing.T) {
+	var h Histogram
+	var c Counter
+	var g Gauge
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Observe(12345)
+		h.ObserveDuration(250 * time.Microsecond)
+		c.Inc()
+		c.Add(3)
+		g.Add(1)
+		g.Set(7)
+	}); n != 0 {
+		t.Fatalf("hot-path instruments allocate: %v allocs/op", n)
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("counter %d", c.Value())
+	}
+	var g Gauge
+	g.Add(5)
+	g.Add(-2)
+	if g.Value() != 3 {
+		t.Fatalf("gauge %d", g.Value())
+	}
+	g.Set(-7)
+	if g.Value() != -7 {
+		t.Fatalf("gauge %d", g.Value())
+	}
+}
+
+// TestLabelsEscaping pins the exposition escaping rules for label values.
+func TestLabelsEscaping(t *testing.T) {
+	got := Labels("series", "a\\b\"c\nd")
+	want := `series="a\\b\"c\nd"`
+	if got != want {
+		t.Fatalf("Labels = %s, want %s", got, want)
+	}
+	for _, bad := range [][]string{{"odd"}, {"bad-name", "v"}, {"", "v"}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Labels(%q) did not panic", bad)
+				}
+			}()
+			Labels(bad...)
+		}()
+	}
+}
+
+// TestEmitterConflicts: re-declaring a family under another kind, or
+// duplicating an exact sample, is a wiring bug and must panic rather
+// than render invalid exposition output.
+func TestEmitterConflicts(t *testing.T) {
+	mustPanic := func(name string, fn func(e *Emitter)) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		r := NewRegistry()
+		r.Collect(fn)
+		r.WritePrometheus(&strings.Builder{})
+	}
+	mustPanic("kind conflict", func(e *Emitter) {
+		e.Counter("x_total", "h", 1)
+		e.Gauge("x_total", "h", 2)
+	})
+	mustPanic("duplicate sample", func(e *Emitter) {
+		e.CounterL("x_total", "h", Labels("a", "1"), 1)
+		e.CounterL("x_total", "h", Labels("a", "1"), 2)
+	})
+	mustPanic("scale conflict", func(e *Emitter) {
+		var h Histogram
+		e.HistogramL("x_seconds", "h", Labels("a", "1"), 1e-9, h.Snapshot())
+		e.HistogramL("x_seconds", "h", Labels("a", "2"), 1, h.Snapshot())
+	})
+	mustPanic("invalid name", func(e *Emitter) {
+		e.Counter("1bad", "h", 1)
+	})
+}

@@ -1,0 +1,414 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Kind is the exposition type of a metric family.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Registry gathers metric families from registered collector functions
+// and renders them. Both renderers run the same gather pass over the same
+// collectors, so the Prometheus and JSON views of one registry are always
+// two encodings of identical samples — they cannot drift apart the way
+// independently hand-assembled views can.
+type Registry struct {
+	mu         sync.Mutex
+	collectors []func(*Emitter)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Collect registers a collector: a function called once per render that
+// emits the current value of every family it owns. Collectors run in
+// registration order, and the families they emit appear in emission
+// order, so output is deterministic.
+func (r *Registry) Collect(fn func(*Emitter)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}
+
+// gather runs every collector into a fresh emitter.
+func (r *Registry) gather() *Emitter {
+	r.mu.Lock()
+	collectors := r.collectors
+	r.mu.Unlock()
+	e := &Emitter{fams: make(map[string]*family)}
+	for _, fn := range collectors {
+		fn(e)
+	}
+	return e
+}
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (version 0.0.4): one HELP and one TYPE line per
+// family, label values escaped, histogram families as cumulative
+// _bucket{le=...} series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.gather().writePrometheus(w)
+}
+
+// WriteJSON renders the same gathered families as one flat JSON object:
+// unlabeled counters and gauges as numbers, labeled families as an object
+// keyed by the rendered label set, histograms as {count, sum, p50, p99,
+// max} summaries in the same unit scale the exposition view uses.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	return r.gather().writeJSON(w)
+}
+
+// scalar is one counter or gauge sample; hist is one histogram child.
+type scalar struct {
+	labels string // rendered `k="v",...` pairs; "" when unlabeled
+	value  float64
+}
+
+type histSample struct {
+	labels string
+	snap   HistSnapshot
+}
+
+// family is one gathered metric family.
+type family struct {
+	name, help string
+	kind       Kind
+	scale      float64 // multiplies raw histogram units into exposition units
+	scalars    []scalar
+	hists      []histSample
+}
+
+// Emitter assembles families during one gather pass. Collector functions
+// receive it and emit their current values; conflicting emissions —
+// re-declaring a family under a different kind, or duplicating an exact
+// (family, label set) sample — panic, because they are wiring bugs that
+// would produce invalid exposition output.
+type Emitter struct {
+	order []string
+	fams  map[string]*family
+}
+
+var nameOK = func(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Emitter) familyFor(name, help string, kind Kind, scale float64) *family {
+	f, ok := e.fams[name]
+	if !ok {
+		if !nameOK(name) {
+			panic(fmt.Sprintf("metrics: invalid family name %q", name))
+		}
+		f = &family{name: name, help: help, kind: kind, scale: scale}
+		e.fams[name] = f
+		e.order = append(e.order, name)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("metrics: family %q emitted as both %s and %s", name, f.kind, kind))
+	}
+	return f
+}
+
+func (f *family) checkDup(labels string) {
+	for _, s := range f.scalars {
+		if s.labels == labels {
+			panic(fmt.Sprintf("metrics: duplicate sample %s{%s}", f.name, labels))
+		}
+	}
+	for _, h := range f.hists {
+		if h.labels == labels {
+			panic(fmt.Sprintf("metrics: duplicate sample %s{%s}", f.name, labels))
+		}
+	}
+}
+
+// Labels renders key/value pairs into the canonical label string used by
+// both output formats, escaping values per the exposition format rules
+// (backslash, double quote, newline).
+func Labels(pairs ...string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic("metrics: Labels takes key/value pairs")
+	}
+	var b strings.Builder
+	for i := 0; i < len(pairs); i += 2 {
+		if !nameOK(pairs[i]) {
+			panic(fmt.Sprintf("metrics: invalid label name %q", pairs[i]))
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteString(`="`)
+		escapeLabelValue(&b, pairs[i+1])
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabelValue(b *strings.Builder, v string) {
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+}
+
+// Counter emits an unlabeled counter sample.
+func (e *Emitter) Counter(name, help string, v uint64) {
+	e.CounterL(name, help, "", v)
+}
+
+// CounterL emits a counter sample under a label set rendered by Labels.
+func (e *Emitter) CounterL(name, help, labels string, v uint64) {
+	f := e.familyFor(name, help, KindCounter, 1)
+	f.checkDup(labels)
+	f.scalars = append(f.scalars, scalar{labels: labels, value: float64(v)})
+}
+
+// Gauge emits an unlabeled gauge sample.
+func (e *Emitter) Gauge(name, help string, v float64) {
+	e.GaugeL(name, help, "", v)
+}
+
+// GaugeL emits a gauge sample under a label set rendered by Labels.
+func (e *Emitter) GaugeL(name, help, labels string, v float64) {
+	f := e.familyFor(name, help, KindGauge, 1)
+	f.checkDup(labels)
+	f.scalars = append(f.scalars, scalar{labels: labels, value: v})
+}
+
+// Histogram emits an unlabeled histogram child. scale converts the
+// histogram's raw units into exposition units (1e-9 turns nanosecond
+// observations into the seconds Prometheus conventions expect; 1 keeps
+// byte counts as bytes).
+func (e *Emitter) Histogram(name, help string, scale float64, snap HistSnapshot) {
+	e.HistogramL(name, help, "", scale, snap)
+}
+
+// HistogramL emits a histogram child under a label set rendered by Labels.
+// Every child of one family must use the family's scale (the first one
+// emitted wins; mixing scales within a family would render incomparable
+// buckets, so it panics).
+func (e *Emitter) HistogramL(name, help, labels string, scale float64, snap HistSnapshot) {
+	f := e.familyFor(name, help, KindHistogram, scale)
+	if f.scale != scale {
+		panic(fmt.Sprintf("metrics: family %q emitted with scales %v and %v", name, f.scale, scale))
+	}
+	f.checkDup(labels)
+	f.hists = append(f.hists, histSample{labels: labels, snap: snap})
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func (e *Emitter) writePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, name := range e.order {
+		f := e.fams[name]
+		b.WriteString("# HELP ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		escapeHelp(&b, f.help)
+		b.WriteString("\n# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.kind.String())
+		b.WriteByte('\n')
+		for _, s := range f.scalars {
+			writeSample(&b, f.name, "", s.labels, formatFloat(s.value))
+		}
+		for _, h := range f.hists {
+			writeHist(&b, f.name, h.labels, f.scale, h.snap)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escapeHelp(b *strings.Builder, help string) {
+	for i := 0; i < len(help); i++ {
+		switch help[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(help[i])
+		}
+	}
+}
+
+// writeSample writes one `name[suffix]{labels} value` line.
+func writeSample(b *strings.Builder, name, suffix, labels, value string) {
+	b.WriteString(name)
+	b.WriteString(suffix)
+	if labels != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+// writeHist renders one histogram child: cumulative buckets from the
+// first through the last non-empty band, a terminal +Inf bucket, then
+// _sum and _count. Skipping the empty head and tail keeps a 65-band
+// histogram readable; cumulative semantics make any bucket subset valid
+// exposition.
+func writeHist(b *strings.Builder, name, labels string, scale float64, s HistSnapshot) {
+	lePrefix := labels
+	if lePrefix != "" {
+		lePrefix += ","
+	}
+	first, last := -1, -1
+	for i, c := range s.Buckets {
+		if c > 0 {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	var cum uint64
+	if first >= 0 {
+		for i := first; i <= last; i++ {
+			cum += s.Buckets[i]
+			le := formatFloat(float64(bucketUpperBound(i)) * scale)
+			writeSample(b, name, "_bucket", lePrefix+`le="`+le+`"`, strconv.FormatUint(cum, 10))
+		}
+	}
+	writeSample(b, name, "_bucket", lePrefix+`le="+Inf"`, strconv.FormatUint(s.Count, 10))
+	writeSample(b, name, "_sum", labels, formatFloat(float64(s.Sum)*scale))
+	writeSample(b, name, "_count", labels, strconv.FormatUint(s.Count, 10))
+}
+
+func (e *Emitter) writeJSON(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, name := range e.order {
+		if i > 0 {
+			b.WriteString(",\n")
+		}
+		f := e.fams[name]
+		b.WriteString("  ")
+		b.WriteString(strconv.Quote(f.name))
+		b.WriteString(": ")
+		writeJSONFamily(&b, f)
+	}
+	b.WriteString("\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeJSONFamily renders one family's value: a bare number for an
+// unlabeled scalar, a {count,sum,p50,p99,max} object for an unlabeled
+// histogram, and an object keyed by rendered label set when labeled.
+func writeJSONFamily(b *strings.Builder, f *family) {
+	unlabeled := len(f.scalars)+len(f.hists) == 1 &&
+		(len(f.scalars) == 1 && f.scalars[0].labels == "" ||
+			len(f.hists) == 1 && f.hists[0].labels == "")
+	if unlabeled {
+		if len(f.scalars) == 1 {
+			b.WriteString(jsonNumber(f.scalars[0].value))
+		} else {
+			writeJSONHist(b, f.scale, f.hists[0].snap)
+		}
+		return
+	}
+	b.WriteByte('{')
+	n := 0
+	for _, s := range f.scalars {
+		if n > 0 {
+			b.WriteString(", ")
+		}
+		n++
+		b.WriteString(strconv.Quote(s.labels))
+		b.WriteString(": ")
+		b.WriteString(jsonNumber(s.value))
+	}
+	for _, h := range f.hists {
+		if n > 0 {
+			b.WriteString(", ")
+		}
+		n++
+		b.WriteString(strconv.Quote(h.labels))
+		b.WriteString(": ")
+		writeJSONHist(b, f.scale, h.snap)
+	}
+	b.WriteByte('}')
+}
+
+func writeJSONHist(b *strings.Builder, scale float64, s HistSnapshot) {
+	p50, p99, max := s.Summary()
+	fmt.Fprintf(b, `{"count":%d,"sum":%s,"p50":%s,"p99":%s,"max":%s}`,
+		s.Count,
+		jsonNumber(float64(s.Sum)*scale),
+		jsonNumber(float64(p50)*scale),
+		jsonNumber(float64(p99)*scale),
+		jsonNumber(float64(max)*scale))
+}
+
+// jsonNumber formats a float for JSON (no Inf/NaN can reach here: counter
+// and gauge inputs are finite, and histogram fields are scaled uint64s).
+func jsonNumber(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// SortedLabelKeys returns the rendered label keys of a parsed JSON family
+// object in sorted order — a convenience for tests and tooling that diff
+// the JSON view against the exposition view.
+func SortedLabelKeys(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

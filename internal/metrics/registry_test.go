@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func testRegistry() (*Registry, *Histogram, *Counter, *Gauge) {
+	var h Histogram
+	var c Counter
+	var g Gauge
+	r := NewRegistry()
+	r.Collect(func(e *Emitter) {
+		e.Counter("demo_ops_total", "Operations completed.", c.Value())
+		e.Gauge("demo_inflight", "In-flight operations.", float64(g.Value()))
+		e.Histogram("demo_latency_seconds", "Operation latency.", 1e-9, h.Snapshot())
+		e.CounterL("demo_by_kind_total", "Ops by kind.", Labels("kind", `a"b`), 3)
+		e.CounterL("demo_by_kind_total", "Ops by kind.", Labels("kind", "plain"), 4)
+	})
+	return r, &h, &c, &g
+}
+
+// TestWritePrometheusFormat validates the rendered exposition text line by
+// line: exactly one HELP and one TYPE per family, TYPE before samples,
+// escaped label values, no duplicate family declarations, and cumulative
+// non-decreasing histogram buckets ending in le="+Inf".
+func TestWritePrometheusFormat(t *testing.T) {
+	r, h, c, g := testRegistry()
+	c.Add(10)
+	g.Set(2)
+	h.Observe(1500) // 1.5us
+	h.Observe(3_000_000)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	helpSeen := map[string]bool{}
+	typeSeen := map[string]string{}
+	samples := map[string]bool{}
+	var lastBucket float64
+	var inHist bool
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			name := strings.Fields(line)[2]
+			if helpSeen[name] {
+				t.Fatalf("duplicate HELP for %s", name)
+			}
+			helpSeen[name] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(line)
+			name, kind := fields[2], fields[3]
+			if _, dup := typeSeen[name]; dup {
+				t.Fatalf("duplicate TYPE for %s", name)
+			}
+			if !helpSeen[name] {
+				t.Fatalf("TYPE before HELP for %s", name)
+			}
+			typeSeen[name] = kind
+			inHist = kind == "histogram"
+			lastBucket = -1
+		default:
+			if samples[line] {
+				t.Fatalf("duplicate sample line: %s", line)
+			}
+			samples[line] = true
+			if inHist && strings.Contains(line, "_bucket{") {
+				v, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+				if err != nil {
+					t.Fatalf("bad bucket value in %q: %v", line, err)
+				}
+				if v < lastBucket {
+					t.Fatalf("bucket counts not cumulative: %q after %v", line, lastBucket)
+				}
+				lastBucket = v
+			}
+		}
+	}
+	for _, want := range []string{
+		"# TYPE demo_ops_total counter",
+		"# TYPE demo_inflight gauge",
+		"# TYPE demo_latency_seconds histogram",
+		"demo_ops_total 10",
+		"demo_inflight 2",
+		`demo_by_kind_total{kind="a\"b"} 3`,
+		"demo_latency_seconds_count 2",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, `le="+Inf"`) {
+		t.Fatalf("histogram missing +Inf bucket:\n%s", out)
+	}
+}
+
+// TestJSONMatchesPrometheus pins the no-drift property: the JSON view is
+// the same gather pass, so every scalar value must agree with the
+// exposition text and histogram counts must match _count.
+func TestJSONMatchesPrometheus(t *testing.T) {
+	r, h, c, g := testRegistry()
+	c.Add(42)
+	g.Set(-1)
+	for i := 0; i < 100; i++ {
+		h.Observe(uint64(i) * 1000)
+	}
+
+	var jb strings.Builder
+	if err := r.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(jb.String()), &doc); err != nil {
+		t.Fatalf("JSON view is not valid JSON: %v\n%s", err, jb.String())
+	}
+
+	if v := doc["demo_ops_total"].(float64); v != 42 {
+		t.Fatalf("json counter %v", v)
+	}
+	if v := doc["demo_inflight"].(float64); v != -1 {
+		t.Fatalf("json gauge %v", v)
+	}
+	hist := doc["demo_latency_seconds"].(map[string]any)
+	if v := hist["count"].(float64); v != 100 {
+		t.Fatalf("json hist count %v", v)
+	}
+	byKind := doc["demo_by_kind_total"].(map[string]any)
+	if v := byKind[`kind="plain"`].(float64); v != 4 {
+		t.Fatalf("json labeled counter %v", v)
+	}
+
+	var pb strings.Builder
+	if err := r.WritePrometheus(&pb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"demo_ops_total 42",
+		"demo_inflight -1",
+		"demo_latency_seconds_count 100",
+		`demo_by_kind_total{kind="plain"} 4`,
+	} {
+		if !strings.Contains(pb.String(), want+"\n") {
+			t.Fatalf("views disagree: exposition missing %q\n%s", want, pb.String())
+		}
+	}
+}

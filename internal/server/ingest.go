@@ -51,7 +51,7 @@ type writeResponse struct {
 // store is append-only, so clients should not blindly re-send a batch
 // that failed with a 5xx.
 func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
-	s.writeRequests.Add(1)
+	st := stageTimer{t: traceFrom(r.Context()), name: "admission", at: time.Now()}
 	if r.ContentLength > s.opt.MaxRequestBytes {
 		// Destined for 413 no matter what; saying 429 "retry later" would
 		// have the client re-send a request that can never succeed (and
@@ -89,8 +89,10 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
 		// effort: a transport without deadline support just skips it.
 		_ = http.NewResponseController(w).SetReadDeadline(time.Now().Add(s.opt.IngestTimeout))
 	}
+	st.next("read_body")
 	r.Body = http.MaxBytesReader(w, r.Body, s.opt.MaxRequestBytes)
 	body, err := io.ReadAll(r.Body)
+	s.ingestBytes.Add(uint64(len(body)))
 	if err != nil {
 		if errors.Is(err, os.ErrDeadlineExceeded) {
 			http.Error(w, "reading request body timed out", http.StatusRequestTimeout)
@@ -99,6 +101,7 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
+	st.next("parse")
 	var batches []seriesBatch
 	if isJSONRequest(r) {
 		batches, err = parseJSONBatch(body)
@@ -118,6 +121,7 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	st.next("append")
 	points := 0
 	for _, b := range batches {
 		if err := s.db.Append(b.name, b.values...); err != nil {
@@ -126,6 +130,7 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
 		}
 		points += len(b.values)
 	}
+	st.stop()
 	s.pointsIngested.Add(uint64(points))
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(writeResponse{Series: len(batches), Points: points})

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -167,20 +166,12 @@ func TestIngestBackpressure429(t *testing.T) {
 	// Wait until the handler has reserved the held request's bytes.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		_, status := httpGet(t, srv.URL+"/statusz")
-		var snap struct {
-			Server struct {
-				Inflight int64 `json:"inflight_ingest_bytes"`
-			} `json:"server"`
-		}
-		if err := json.Unmarshal([]byte(status), &snap); err != nil {
-			t.Fatal(err)
-		}
-		if snap.Server.Inflight == int64(len(body)) {
+		inflight := statuszServer(t, srv.URL).num(t, "cameo_http_inflight_ingest_bytes")
+		if inflight == float64(len(body)) {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("held reservation never appeared (inflight %d)", snap.Server.Inflight)
+			t.Fatalf("held reservation never appeared (inflight %v)", inflight)
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
@@ -235,17 +226,8 @@ func TestIngestTimeout408(t *testing.T) {
 	}
 
 	// The reservation was released with the request.
-	_, statusBody := httpGet(t, srv.URL+"/statusz")
-	var snap struct {
-		Server struct {
-			Inflight int64 `json:"inflight_ingest_bytes"`
-		} `json:"server"`
-	}
-	if err := json.Unmarshal([]byte(statusBody), &snap); err != nil {
-		t.Fatal(err)
-	}
-	if snap.Server.Inflight != 0 {
-		t.Fatalf("reservation leaked: %d bytes still in flight", snap.Server.Inflight)
+	if inflight := statuszServer(t, srv.URL).num(t, "cameo_http_inflight_ingest_bytes"); inflight != 0 {
+		t.Fatalf("reservation leaked: %v bytes still in flight", inflight)
 	}
 }
 

@@ -29,20 +29,56 @@ func httpDelete(t *testing.T, url string) (int, string) {
 	return resp.StatusCode, string(body)
 }
 
-// statuszServer fetches /statusz and returns the server-side counters.
-func statuszServer(t *testing.T, base string) serverCounter {
+// statuszView is the parsed flat /statusz object: one key per metric
+// family, numbers for unlabeled scalars, nested objects keyed by
+// rendered label set for labeled families.
+type statuszView map[string]json.RawMessage
+
+// statuszServer fetches /statusz and parses the flat family map.
+func statuszServer(t *testing.T, base string) statuszView {
 	t.Helper()
 	status, body := httpGet(t, base+"/statusz")
 	if status != http.StatusOK {
 		t.Fatalf("statusz: %d", status)
 	}
-	var snap struct {
-		Server serverCounter `json:"server"`
-	}
-	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+	var v statuszView
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
 		t.Fatalf("statusz: %v in %s", err, body)
 	}
-	return snap.Server
+	return v
+}
+
+// num returns an unlabeled scalar family's value.
+func (v statuszView) num(t *testing.T, family string) float64 {
+	t.Helper()
+	raw, ok := v[family]
+	if !ok {
+		t.Fatalf("statusz: family %q absent", family)
+	}
+	var f float64
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatalf("statusz: family %q not a number: %s", family, raw)
+	}
+	return f
+}
+
+// labeled returns one child of a labeled scalar family by its rendered
+// label set (e.g. `endpoint="write",status="2xx"`).
+func (v statuszView) labeled(t *testing.T, family, labels string) float64 {
+	t.Helper()
+	raw, ok := v[family]
+	if !ok {
+		t.Fatalf("statusz: family %q absent", family)
+	}
+	var children map[string]float64
+	if err := json.Unmarshal(raw, &children); err != nil {
+		t.Fatalf("statusz: family %q not a labeled object: %s", family, raw)
+	}
+	f, ok := children[labels]
+	if !ok {
+		t.Fatalf("statusz: family %q has no child {%s}: %s", family, labels, raw)
+	}
+	return f
 }
 
 // TestDeleteSeriesEndpoint covers the admin surface: DELETE drops exactly
@@ -85,8 +121,8 @@ func TestDeleteSeriesEndpoint(t *testing.T) {
 	if status, _ := httpDelete(t, srv.URL+"/api/v1/series?series=drop"); status != http.StatusNotFound {
 		t.Fatalf("double delete: %d, want 404", status)
 	}
-	if c := statuszServer(t, srv.URL); c.SeriesDeletes != 1 {
-		t.Fatalf("series_deletes = %d, want 1", c.SeriesDeletes)
+	if n := statuszServer(t, srv.URL).num(t, "cameo_http_series_deletes_total"); n != 1 {
+		t.Fatalf("series deletes = %v, want 1", n)
 	}
 }
 
@@ -145,8 +181,8 @@ func TestQueryAbortedCounter(t *testing.T) {
 	_, srv := newTestServer(t, nil, Options{}, map[string][]float64{
 		"s": sensorData(1<<18, 3),
 	})
-	if c := statuszServer(t, srv.URL); c.QueryAborted != 0 {
-		t.Fatalf("query_aborted = %d before any abort", c.QueryAborted)
+	if n := statuszServer(t, srv.URL).num(t, "cameo_http_query_aborted_total"); n != 0 {
+		t.Fatalf("query aborted = %v before any abort", n)
 	}
 	resp, err := http.Get(srv.URL + "/api/v1/query?series=s&from=0&to=999999999")
 	if err != nil {
@@ -161,7 +197,7 @@ func TestQueryAbortedCounter(t *testing.T) {
 	// poll statusz until the abort lands.
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		if c := statuszServer(t, srv.URL); c.QueryAborted >= 1 {
+		if n := statuszServer(t, srv.URL).num(t, "cameo_http_query_aborted_total"); n >= 1 {
 			break
 		}
 		if time.Now().After(deadline) {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 )
 
 // multiQueryRequest is the JSON body of the batch query endpoints:
@@ -75,17 +76,19 @@ func (s *Server) decodeMultiRequest(w http.ResponseWriter, r *http.Request) (mul
 // once the batch is admitted the response is a 200 stream, and callers
 // check each section.
 func (s *Server) handleQueryMulti(w http.ResponseWriter, r *http.Request) {
-	s.multiQueryRequests.Add(1)
+	st := stageTimer{t: traceFrom(r.Context()), name: "admission", at: time.Now()}
 	req, ok := s.decodeMultiRequest(w, r)
 	if !ok {
 		return
 	}
+	st.next("cursor_open")
 	m, err := s.db.MultiCursor(req.Series, req.from, req.to)
 	if err != nil {
 		httpError(w, err)
 		return
 	}
 	defer m.Close()
+	st.stop()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	bw := bufio.NewWriterSize(w, 32<<10)
 	flusher, _ := w.(http.Flusher)
@@ -174,7 +177,7 @@ func (s *Server) handleQueryMulti(w http.ResponseWriter, r *http.Request) {
 // Aggregate results are one value per window — already tiny — so each
 // series' line is written whole, like the single-series form.
 func (s *Server) handleQueryAggMulti(w http.ResponseWriter, r *http.Request) {
-	s.multiAggRequests.Add(1)
+	st := stageTimer{t: traceFrom(r.Context()), name: "admission", at: time.Now()}
 	req, ok := s.decodeMultiRequest(w, r)
 	if !ok {
 		return
@@ -188,11 +191,13 @@ func (s *Server) handleQueryAggMulti(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	st.next("resolve")
 	results, err := s.db.QueryAggMulti(req.Series, req.from, req.to, req.Step, f)
 	if err != nil {
 		httpError(w, err)
 		return
 	}
+	st.stop()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	bw := bufio.NewWriterSize(w, 32<<10)
 	lineBuf := encodeBufs.Get().(*[]byte)

@@ -111,8 +111,8 @@ func TestBatchQueryMatchesSingle(t *testing.T) {
 			}
 		}
 	}
-	if c := statuszServer(t, srv.URL); c.MultiQueryRequests != 1 {
-		t.Fatalf("multi_query_requests = %d, want 1", c.MultiQueryRequests)
+	if n := statuszServer(t, srv.URL).labeled(t, "cameo_http_requests_total", `endpoint="query_multi",status="2xx"`); n != 1 {
+		t.Fatalf("query_multi 2xx requests = %v, want 1", n)
 	}
 }
 
@@ -243,8 +243,8 @@ func TestBatchQueryAggMatchesSingle(t *testing.T) {
 			}
 		}
 	}
-	if c := statuszServer(t, srv.URL); c.MultiAggRequests != 1 {
-		t.Fatalf("multi_agg_requests = %d, want 1", c.MultiAggRequests)
+	if n := statuszServer(t, srv.URL).labeled(t, "cameo_http_requests_total", `endpoint="query_agg_multi",status="2xx"`); n != 1 {
+		t.Fatalf("query_agg_multi 2xx requests = %v, want 1", n)
 	}
 }
 

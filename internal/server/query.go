@@ -9,6 +9,7 @@ import (
 	"net/url"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/series"
 )
@@ -108,7 +109,8 @@ func appendJSONFloat(b []byte, v float64) []byte {
 // terminates the body with an {"error":...} line (ndjson) or an
 // "# error: ..." comment row (csv).
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	s.queryRequests.Add(1)
+	tr := traceFrom(r.Context())
+	st := stageTimer{t: tr, name: "admission", at: time.Now()}
 	q := r.URL.Query()
 	name, from, to, err := rangeParams(q)
 	if err != nil {
@@ -123,12 +125,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("parameter \"format\": want ndjson or csv, got %q", format), http.StatusBadRequest)
 		return
 	}
+	st.next("cursor_open")
 	cur, err := s.db.Cursor(name, from, to)
 	if err != nil {
 		httpError(w, err)
 		return
 	}
 	defer cur.Close()
+	st.stop()
 
 	if format == "csv" {
 		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
@@ -150,10 +154,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		bw.WriteString("index,value\n")
 	}
 	for {
+		// resolve covers block lookup/decode inside the cursor; encode_flush
+		// covers rendering plus pushing bytes at the client. Accumulated per
+		// chunk, so the trace splits a slow scan into "storage was slow"
+		// versus "the client (or encoding) was slow".
+		resolveStart := time.Now()
 		chunk, ok := cur.Next()
+		tr.addStage("resolve", time.Since(resolveStart))
 		if !ok {
 			break
 		}
+		encodeStart := time.Now()
 		line = line[:0]
 		if format == "csv" {
 			for i, v := range chunk {
@@ -192,6 +203,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if flusher != nil {
 			flusher.Flush()
 		}
+		tr.addStage("encode_flush", time.Since(encodeStart))
 	}
 	if err := cur.Err(); err != nil {
 		if !flushed {
@@ -222,7 +234,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // samples. The result is one value per step-sample window — already tiny
 // — so unlike /query it is returned as a single JSON document.
 func (s *Server) handleQueryAgg(w http.ResponseWriter, r *http.Request) {
-	s.aggRequests.Add(1)
+	st := stageTimer{t: traceFrom(r.Context()), name: "admission", at: time.Now()}
 	q := r.URL.Query()
 	name, from, to, err := rangeParams(q)
 	if err != nil {
@@ -247,11 +259,13 @@ func (s *Server) handleQueryAgg(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	st.next("resolve")
 	vals, err := s.db.QueryAgg(name, from, to, step, f)
 	if err != nil {
 		httpError(w, err)
 		return
 	}
+	st.stop()
 	w.Header().Set("Content-Type", "application/json")
 	// Hand-encode the float array so values keep their shortest
 	// round-trip form (and non-finite aggregates of non-finite data do

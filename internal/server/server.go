@@ -13,7 +13,9 @@
 //	GET    /api/v1/series     sorted series listing
 //	DELETE /api/v1/series     drop one series (and its rollup tiers)
 //	GET    /healthz           liveness probe
-//	GET    /statusz           engine + server counters as JSON
+//	GET    /statusz           every metric family as one flat JSON object
+//	GET    /metrics           Prometheus text exposition of the same registry
+//	GET    /debug/traces      ring of recent per-request stage timings
 //
 // Ingest groups points per series and issues one DB.Append per series per
 // request, so a 10k-point batch costs a handful of Append calls, not 10k.
@@ -34,17 +36,30 @@
 // is 404, an overlong body is 413, and anything else is a 500. Hostile
 // series names ("", ".", "..", their escaped spellings) are rejected by
 // the store's own validation before any filesystem path is formed.
+//
+// Observability rides a single metrics.Registry shared by /metrics
+// (Prometheus text) and /statusz (JSON) — both render the same gather
+// pass, so the two views cannot disagree. Every route runs inside the
+// instrument middleware: request counts by status class, latency
+// histograms, and in-flight gauges per endpoint, plus a per-request
+// trace (ID from X-Request-Id or freshly issued) whose stage timings
+// land in the /debug/traces ring and, when configured, the access and
+// sampled slow-query logs.
 package server
 
 import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net"
 	"net/http"
+	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/tsdb"
 )
 
@@ -74,6 +89,20 @@ type Options struct {
 	// DrainTimeout bounds the graceful-shutdown drain of in-flight
 	// requests once Serve's context is canceled (default 15s).
 	DrainTimeout time.Duration
+	// SlowQueryThreshold turns on the slow-query log: query-path requests
+	// at or over this wall time emit one JSON line to LogWriter (default
+	// 0 = off).
+	SlowQueryThreshold time.Duration
+	// SlowQuerySample logs every Nth slow query (default 1 = every one),
+	// so a persistent slowdown can't turn the log into its own hot path.
+	SlowQuerySample int
+	// AccessLog emits one JSON line per request to LogWriter (default
+	// off).
+	AccessLog bool
+	// LogWriter receives access and slow-query log lines (default
+	// os.Stderr). Lines are written whole under a mutex, so any io.Writer
+	// works.
+	LogWriter io.Writer
 }
 
 func (o *Options) withDefaults() {
@@ -95,26 +124,35 @@ func (o *Options) withDefaults() {
 	if o.DrainTimeout <= 0 {
 		o.DrainTimeout = 15 * time.Second
 	}
+	if o.SlowQuerySample <= 0 {
+		o.SlowQuerySample = 1
+	}
+	if o.LogWriter == nil {
+		o.LogWriter = os.Stderr
+	}
 }
 
 // Server is the handler state behind NewHandler: the store, the admission
-// accounting, and the request counters /statusz reports.
+// accounting, the metrics registry /metrics and /statusz render, and the
+// trace ring behind /debug/traces.
 type Server struct {
 	db  *tsdb.DB
 	opt Options
 	mux *http.ServeMux
+	reg *metrics.Registry
+
+	endpoints []*endpointMetrics // fixed at NewHandler; the server collector walks it
+	traces    traceRing
+	logMu     sync.Mutex // serializes whole log lines onto opt.LogWriter
+	slowSeen  atomic.Uint64
 
 	inflightIngest atomic.Int64 // reserved ingest body bytes currently in flight
 
-	writeRequests      atomic.Uint64
-	pointsIngested     atomic.Uint64
-	queryRequests      atomic.Uint64
-	aggRequests        atomic.Uint64
-	multiQueryRequests atomic.Uint64 // batch POST /api/v1/query requests
-	multiAggRequests   atomic.Uint64 // batch POST /api/v1/query_agg requests
-	throttled          atomic.Uint64 // writes refused with 429 by the in-flight cap
-	queryAborted       atomic.Uint64 // streaming queries cut short by a client write failure
-	seriesDeletes      atomic.Uint64 // series dropped via DELETE /api/v1/series
+	ingestBytes    metrics.Counter // write request body bytes read
+	pointsIngested atomic.Uint64
+	throttled      atomic.Uint64 // writes refused with 429 by the in-flight cap
+	queryAborted   atomic.Uint64 // streaming queries cut short by a client write failure
+	seriesDeletes  atomic.Uint64 // series dropped via DELETE /api/v1/series
 }
 
 // NewHandler builds the HTTP handler for a store. The store stays owned
@@ -122,16 +160,23 @@ type Server struct {
 // returned handler in their own mux next to their other routes.
 func NewHandler(db *tsdb.DB, opt Options) http.Handler {
 	opt.withDefaults()
-	s := &Server{db: db, opt: opt, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /api/v1/write", s.handleWrite)
-	s.mux.HandleFunc("GET /api/v1/query", s.handleQuery)
-	s.mux.HandleFunc("POST /api/v1/query", s.handleQueryMulti)
-	s.mux.HandleFunc("GET /api/v1/query_agg", s.handleQueryAgg)
-	s.mux.HandleFunc("POST /api/v1/query_agg", s.handleQueryAggMulti)
-	s.mux.HandleFunc("GET /api/v1/series", s.handleSeries)
-	s.mux.HandleFunc("DELETE /api/v1/series", s.handleDeleteSeries)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
+	s := &Server{db: db, opt: opt, mux: http.NewServeMux(), reg: metrics.NewRegistry()}
+	route := func(pattern, endpoint string, isQuery bool, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, s.instrument(newEndpointMetrics(endpoint, isQuery), h))
+	}
+	route("POST /api/v1/write", "write", false, s.handleWrite)
+	route("GET /api/v1/query", "query", true, s.handleQuery)
+	route("POST /api/v1/query", "query_multi", true, s.handleQueryMulti)
+	route("GET /api/v1/query_agg", "query_agg", true, s.handleQueryAgg)
+	route("POST /api/v1/query_agg", "query_agg_multi", true, s.handleQueryAggMulti)
+	route("GET /api/v1/series", "series", false, s.handleSeries)
+	route("DELETE /api/v1/series", "series_delete", false, s.handleDeleteSeries)
+	route("GET /healthz", "healthz", false, s.handleHealthz)
+	route("GET /statusz", "statusz", false, s.handleStatusz)
+	route("GET /metrics", "metrics", false, s.handleMetrics)
+	route("GET /debug/traces", "traces", false, s.handleTraces)
+	db.RegisterMetrics(s.reg)
+	s.registerServerMetrics(s.reg)
 	return s
 }
 
@@ -187,49 +232,6 @@ func (s *Server) handleDeleteSeries(w http.ResponseWriter, r *http.Request) {
 	}
 	s.seriesDeletes.Add(1)
 	w.WriteHeader(http.StatusNoContent)
-}
-
-// statusSnapshot is the /statusz payload: the engine totals DB.Stats
-// reports (RangeDecodes, AggPushdowns, CacheWaits, queue backlog, ...)
-// plus the HTTP layer's own counters.
-type statusSnapshot struct {
-	Store  tsdb.DBStats  `json:"store"`
-	Server serverCounter `json:"server"`
-}
-
-type serverCounter struct {
-	WriteRequests       uint64 `json:"write_requests"`
-	PointsIngested      uint64 `json:"points_ingested"`
-	QueryRequests       uint64 `json:"query_requests"`
-	AggRequests         uint64 `json:"agg_requests"`
-	MultiQueryRequests  uint64 `json:"multi_query_requests"`
-	MultiAggRequests    uint64 `json:"multi_agg_requests"`
-	ThrottledWrites     uint64 `json:"throttled_writes"`
-	QueryAborted        uint64 `json:"query_aborted"`
-	SeriesDeletes       uint64 `json:"series_deletes"`
-	InflightIngestBytes int64  `json:"inflight_ingest_bytes"`
-}
-
-func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
-	snap := statusSnapshot{
-		Store: s.db.Stats(),
-		Server: serverCounter{
-			WriteRequests:       s.writeRequests.Load(),
-			PointsIngested:      s.pointsIngested.Load(),
-			QueryRequests:       s.queryRequests.Load(),
-			AggRequests:         s.aggRequests.Load(),
-			MultiQueryRequests:  s.multiQueryRequests.Load(),
-			MultiAggRequests:    s.multiAggRequests.Load(),
-			ThrottledWrites:     s.throttled.Load(),
-			QueryAborted:        s.queryAborted.Load(),
-			SeriesDeletes:       s.seriesDeletes.Load(),
-			InflightIngestBytes: s.inflightIngest.Load(),
-		},
-	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(snap)
 }
 
 // Serve listens on addr and serves the store until ctx is canceled, then

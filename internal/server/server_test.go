@@ -321,43 +321,38 @@ func TestOperationalEndpoints(t *testing.T) {
 	}
 
 	// Exercise a cold partial query so pushdown counters move, then check
-	// statusz reflects both the engine and the HTTP layer.
+	// statusz reflects both the engine and the HTTP layer through the
+	// shared metrics registry.
 	if _, body := httpGet(t, srv.URL+"/api/v1/query?series=a%2Fone&from=10&to=50"); body == "" {
 		t.Fatal("empty query body")
 	}
 	if status, _ := httpGet(t, srv.URL+"/api/v1/query_agg?series=a%2Fone&step=50"); status != http.StatusOK {
 		t.Fatalf("query_agg: %d", status)
 	}
-	status, body = httpGet(t, srv.URL+"/statusz")
-	if status != http.StatusOK {
-		t.Fatalf("statusz: %d", status)
+	snap := statuszServer(t, srv.URL)
+	if series := snap.num(t, "cameo_store_series"); series != 2 {
+		t.Fatalf("statusz series = %v, want 2", series)
 	}
-	var snap struct {
-		Store struct {
-			Series    int
-			Samples   int
-			Appends   uint64
-			AppendP99 int64
-			AppendMax int64
-		} `json:"store"`
-		Server struct {
-			QueryRequests  uint64 `json:"query_requests"`
-			AggRequests    uint64 `json:"agg_requests"`
-			WriteRequests  uint64 `json:"write_requests"`
-			PointsIngested uint64 `json:"points_ingested"`
-		} `json:"server"`
+	if samples := snap.num(t, "cameo_store_samples"); samples != 1300 {
+		t.Fatalf("statusz samples = %v, want 1300", samples)
 	}
-	if err := json.Unmarshal([]byte(body), &snap); err != nil {
-		t.Fatalf("statusz: %v in %s", err, body)
+	// The append-latency histogram rides the same registry as a summary
+	// object.
+	var appendLat struct {
+		Count uint64  `json:"count"`
+		P99   float64 `json:"p99"`
+		Max   float64 `json:"max"`
 	}
-	if snap.Store.Series != 2 || snap.Store.Samples != 1300 {
-		t.Fatalf("statusz store: %+v", snap.Store)
+	if err := json.Unmarshal(snap["cameo_store_append_latency_seconds"], &appendLat); err != nil {
+		t.Fatalf("statusz append latency: %v", err)
 	}
-	// The append-latency histogram rides the DB.Stats passthrough.
-	if snap.Store.Appends == 0 || snap.Store.AppendMax == 0 || snap.Store.AppendP99 > snap.Store.AppendMax {
-		t.Fatalf("statusz append-latency summary: %+v", snap.Store)
+	if appendLat.Count == 0 || appendLat.Max == 0 || appendLat.P99 > appendLat.Max {
+		t.Fatalf("statusz append-latency summary: %+v", appendLat)
 	}
-	if snap.Server.QueryRequests != 1 || snap.Server.AggRequests != 1 {
-		t.Fatalf("statusz server: %+v", snap.Server)
+	if n := snap.labeled(t, "cameo_http_requests_total", `endpoint="query",status="2xx"`); n != 1 {
+		t.Fatalf("query 2xx requests = %v, want 1", n)
+	}
+	if n := snap.labeled(t, "cameo_http_requests_total", `endpoint="query_agg",status="2xx"`); n != 1 {
+		t.Fatalf("query_agg 2xx requests = %v, want 1", n)
 	}
 }

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// trace is the per-request record behind /debug/traces, the slow-query
+// log, and the access log: a request-scoped ID (honoring an inbound
+// X-Request-Id, so one ID follows a request across proxies), the coarse
+// outcome the middleware fills at completion, and the named stage
+// timings the handlers record along the way (admission, cursor open,
+// per-block resolve, encode/flush for the query path). A trace is
+// written by one handler goroutine; it is only shared once finished.
+type trace struct {
+	ID       string       `json:"trace_id"`
+	Endpoint string       `json:"endpoint"`
+	Target   string       `json:"target"` // method + path + query
+	Status   int          `json:"status"`
+	Bytes    int64        `json:"bytes"` // response body bytes written
+	Start    time.Time    `json:"start"`
+	Duration milliFloat   `json:"duration_ms"`
+	Stages   []traceStage `json:"stages,omitempty"`
+}
+
+type traceStage struct {
+	Name     string     `json:"name"`
+	Duration milliFloat `json:"duration_ms"`
+}
+
+// milliFloat renders a time.Duration as fractional milliseconds in JSON —
+// the unit log pipelines expect — without a float field in the struct.
+type milliFloat time.Duration
+
+func (m milliFloat) MarshalJSON() ([]byte, error) {
+	return json.Marshal(float64(time.Duration(m)) / float64(time.Millisecond))
+}
+
+// addStage accumulates d into the named stage (stages are few, so a
+// linear scan beats a map and allocates only on first use of a name).
+// Safe on a nil trace so handlers can run uninstrumented in tests.
+func (t *trace) addStage(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	for i := range t.Stages {
+		if t.Stages[i].Name == name {
+			t.Stages[i].Duration += milliFloat(d)
+			return
+		}
+	}
+	t.Stages = append(t.Stages, traceStage{Name: name, Duration: milliFloat(d)})
+}
+
+// stageTimer times one stage: stop it (or re-arm with next) at each
+// boundary. now is captured at arm time so a stage's cost includes
+// everything since the previous boundary.
+type stageTimer struct {
+	t    *trace
+	name string
+	at   time.Time
+}
+
+func (st *stageTimer) next(name string) {
+	now := time.Now()
+	st.t.addStage(st.name, now.Sub(st.at))
+	st.name, st.at = name, now
+}
+
+func (st *stageTimer) stop() {
+	st.t.addStage(st.name, time.Since(st.at))
+}
+
+type traceCtxKey struct{}
+
+// traceFrom returns the request's trace, or nil when the handler runs
+// outside the instrument middleware (direct handler tests).
+func traceFrom(ctx context.Context) *trace {
+	t, _ := ctx.Value(traceCtxKey{}).(*trace)
+	return t
+}
+
+// traceIDCounter seeds the fallback ID path when the system randomness
+// source fails (never expected, but an ID must still be unique-ish).
+var traceIDCounter atomic.Uint64
+
+// newTraceID returns a 16-hex-char request ID.
+func newTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		n := traceIDCounter.Add(1)
+		for i := range b {
+			b[i] = byte(n >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// traceRingSize bounds /debug/traces: recent enough to debug "what just
+// happened", small enough to be memory-irrelevant.
+const traceRingSize = 64
+
+// traceRing keeps the most recent finished traces.
+type traceRing struct {
+	mu   sync.Mutex
+	buf  [traceRingSize]*trace
+	next int // buf index the next trace lands in
+	n    int // traces stored, up to traceRingSize
+}
+
+func (r *traceRing) add(t *trace) {
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % traceRingSize
+	if r.n < traceRingSize {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// snapshot returns the stored traces, newest first.
+func (r *traceRing) snapshot() []*trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*trace, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		out = append(out, r.buf[(r.next-i+traceRingSize)%traceRingSize])
+	}
+	return out
+}
+
+// handleTraces serves the ring as a JSON array, newest first.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.traces.snapshot())
+}
+
+// logLine serializes one trace as a single JSON line under the log mutex
+// (concurrent requests must not interleave bytes within a line).
+func (s *Server) logLine(kind string, t *trace) {
+	rec := struct {
+		Kind string `json:"log"`
+		*trace
+	}{Kind: kind, trace: t}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	s.logMu.Lock()
+	s.opt.LogWriter.Write(line)
+	s.logMu.Unlock()
+}
+
+// noteFinished routes one finished trace to the ring and, as configured,
+// the access log (every request) and the sampled slow-query log (query
+// endpoints over the threshold, every SlowQuerySample'th occurrence).
+func (s *Server) noteFinished(t *trace, isQuery bool) {
+	s.traces.add(t)
+	if s.opt.AccessLog {
+		s.logLine("access", t)
+	}
+	if isQuery && s.opt.SlowQueryThreshold > 0 && time.Duration(t.Duration) >= s.opt.SlowQueryThreshold {
+		if n := s.slowSeen.Add(1); (n-1)%uint64(s.opt.SlowQuerySample) == 0 {
+			s.logLine("slow_query", t)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/codec"
 	"repro/internal/series"
@@ -39,6 +41,13 @@ type rangeSnapshot struct {
 	segs      []cursorSeg
 	tail      []float64 // copy of the overlapping tail samples (nil if unreached)
 	tailStart int       // absolute index of tail[0]
+
+	// cold is raised when any segment of this snapshot is resolved off the
+	// compressed file rather than the decoded cache — the bit that routes
+	// the query's wall time into the cold or warm latency histogram.
+	// Atomic because prefetch jobs resolve segments on pool workers
+	// concurrently with the cursor's own goroutine.
+	cold atomic.Bool
 }
 
 // snapshotRange captures the segments of [from, to) under the shard read
@@ -126,7 +135,8 @@ func mergeSegs(a, b []cursorSeg) []cursorSeg {
 type Cursor struct {
 	db       *DB
 	snap     *rangeSnapshot
-	idx      int // next segment to resolve
+	opened   time.Time // set at open; Close observes open→Close wall time
+	idx      int       // next segment to resolve
 	tailDone bool
 	buf      []float64 // pooled scratch for cold range decodes
 	err      error
@@ -160,7 +170,7 @@ func (db *DB) cursorWithReadAhead(name string, from, to, ra int) (*Cursor, error
 	if err != nil {
 		return nil, err
 	}
-	c := &Cursor{db: db, snap: snap}
+	c := &Cursor{db: db, snap: snap, opened: time.Now()}
 	if ra > 0 && db.pool != nil {
 		c.ra = ra
 		c.jobs = make(map[int]*prefetchJob, ra)
@@ -224,12 +234,18 @@ func (c *Cursor) Start() int { return c.snap.from }
 // pooled buffer is returned no matter how the cursor ended — exhausted,
 // errored mid-stream, or abandoned early. Close is idempotent. The cursor
 // yields no further chunks; previously returned chunks must not be used
-// afterwards.
+// afterwards. Close also records the open→Close wall time into the
+// cold/warm query-latency histogram — the cursor is the read primitive
+// every query path (Query, QueryInto, the HTTP streaming handlers,
+// MultiCursor sections) drains, so observing here covers them all once.
 func (c *Cursor) Close() {
 	if c.closed {
 		return
 	}
 	c.closed = true
+	if !c.opened.IsZero() {
+		c.db.observeQuery(c.opened, c.snap.cold.Load())
+	}
 	c.releaseHeld()
 	if c.buf != nil {
 		c.db.putBlockBuf(c.buf)
@@ -248,23 +264,24 @@ func (db *DB) segmentRange(snap *rangeSnapshot, s cursorSeg, lo, hi int, buf *[]
 		return s.dense[lo-s.meta.start : hi-s.meta.start], nil
 	}
 	if s.pending != nil {
-		dense, err := db.pendingDense(snap.sh, snap.name, s)
+		dense, err := db.pendingDense(snap, s)
 		if err != nil {
 			return nil, err
 		}
 		return dense[lo-s.meta.start : hi-s.meta.start], nil
 	}
-	chunk, err := db.blockRange(snap.sh, s.meta, lo-s.meta.start, hi-s.meta.start, buf)
+	chunk, err := db.blockRange(snap, s.meta, lo-s.meta.start, hi-s.meta.start, buf)
 	if isStaleBlock(err) {
 		// The usual case: the swap already published the merged meta.
 		if meta, ok := db.currentBlockFor(snap.sh, snap.name, lo); ok && meta.gen != s.meta.gen && meta.start <= lo && meta.start+meta.n >= hi {
-			return db.blockRange(snap.sh, meta, lo-meta.start, hi-meta.start, buf)
+			return db.blockRange(snap, meta, lo-meta.start, hi-meta.start, buf)
 		}
 		// Rename-before-swap window: the file already holds the merged
 		// block but the index still points at the old meta. The file is
 		// self-describing and the merge starts at the old block's start,
 		// so serve straight from what is on disk.
 		if chunk, rerr := db.readReplacedBlock(s.meta, lo, hi); rerr == nil {
+			snap.cold.Store(true)
 			return chunk, nil
 		}
 	}
@@ -304,7 +321,8 @@ func (db *DB) readReplacedBlock(old blockMeta, lo, hi int) ([]float64, error) {
 // pendingDense waits for one in-flight block and returns its
 // reconstruction, re-resolving against the durable index when the async
 // compression failed but a concurrent Flush has since repaired it.
-func (db *DB) pendingDense(sh *shard, name string, s cursorSeg) ([]float64, error) {
+func (db *DB) pendingDense(snap *rangeSnapshot, s cursorSeg) ([]float64, error) {
+	sh, name := snap.sh, snap.name
 	if db.opt.Streaming {
 		// A streaming block completes at arrival pace; a reader must not
 		// wait on future appends, so finish it on this goroutine.
@@ -322,7 +340,7 @@ func (db *DB) pendingDense(sh *shard, name string, s cursorSeg) ([]float64, erro
 	if meta, repaired := db.durableBlockAt(sh, name, s.meta.start); repaired {
 		// A Flush repaired the failed block after our snapshot; the data is
 		// durable, so serve it instead of the stale error.
-		return db.readBlock(sh.cache, meta)
+		return db.readBlock(sh.cache, meta, &snap.cold)
 	}
 	return nil, fmt.Errorf("tsdb: block at %d: %w", s.meta.start, s.pending.err)
 }
@@ -337,7 +355,8 @@ func (db *DB) pendingDense(sh *shard, name string, s cursorSeg) ([]float64, erro
 // at most CheckpointInterval extra samples, and decode only the overlap.
 // Everything else — full overlaps, and sidecar-less bit-stream blocks —
 // takes the full decode-and-cache path.
-func (db *DB) blockRange(sh *shard, meta blockMeta, lo, hi int, buf *[]float64) ([]float64, error) {
+func (db *DB) blockRange(snap *rangeSnapshot, meta blockMeta, lo, hi int, buf *[]float64) ([]float64, error) {
+	sh := snap.sh
 	if hi-lo < meta.n {
 		if dense, ok := sh.cache.get(meta.key()); ok {
 			return dense[lo:hi], nil
@@ -357,6 +376,8 @@ func (db *DB) blockRange(sh *shard, meta blockMeta, lo, hi int, buf *[]float64) 
 			if *buf == nil {
 				*buf = db.getBlockBuf()
 			}
+			snap.cold.Store(true)
+			start := time.Now()
 			var out []float64
 			switch {
 			case native:
@@ -365,13 +386,12 @@ func (db *DB) blockRange(sh *shard, meta blockMeta, lo, hi int, buf *[]float64) 
 				var bits int
 				out, bits, err = cd.DecodeRangeCheckpointed(payload, sidecar, meta.n, lo, hi, (*buf)[:0])
 				if err == nil {
-					db.checkpointSeeks.Add(1)
-					db.checkpointBytes.Add(uint64(bits+7) / 8)
+					db.noteCheckpointSeek(bits)
 				}
 			default:
 				// A version-1 block without a sidecar: a partial decode would
 				// replay from the front every time, so decode once and cache.
-				dense, err := db.readBlock(sh.cache, meta)
+				dense, err := db.readBlock(sh.cache, meta, &snap.cold)
 				if err != nil {
 					return nil, err
 				}
@@ -380,12 +400,13 @@ func (db *DB) blockRange(sh *shard, meta blockMeta, lo, hi int, buf *[]float64) 
 			if err != nil {
 				return nil, fmt.Errorf("tsdb: block %s: %w", meta.path, err)
 			}
+			db.observeDecode(meta.codecID, start)
 			*buf = out
 			db.rangeDecodes.Add(1)
 			return out, nil
 		}
 	}
-	dense, err := db.readBlock(sh.cache, meta)
+	dense, err := db.readBlock(sh.cache, meta, &snap.cold)
 	if err != nil {
 		return nil, err
 	}
@@ -401,7 +422,7 @@ func (db *DB) QueryInto(name string, from, to int, dst []float64) ([]float64, er
 	if err != nil {
 		return nil, err
 	}
-	defer cur.Close()
+	defer cur.Close() // observes the query-latency histogram
 	if total := cur.snap.to - cur.snap.from; dst == nil && total > 0 {
 		dst = make([]float64, 0, total)
 	}
@@ -434,9 +455,13 @@ func (db *DB) QueryAgg(name string, from, to, step int, f AggFunc) ([]float64, e
 		return nil, err
 	}
 	if out, ok, err := db.rollupAgg(name, from, to, step, f); ok || err != nil {
+		// The rollup path re-enters QueryAgg on the tier series, which
+		// observes its own latency; don't double-count the wrapper.
 		return out, err
 	}
-	accs, _, err := db.windowAggs(name, from, to, step)
+	start := time.Now()
+	accs, _, cold, err := db.windowAggs(name, from, to, step)
+	db.observeQuery(start, cold)
 	if err != nil || accs == nil {
 		return nil, err
 	}
@@ -464,19 +489,21 @@ func validateAgg(step int, f AggFunc) error {
 // windowAggs computes the per-window accumulators of QueryAgg: samples
 // [from, to) cut into step-sized windows anchored at the clamped from
 // (also returned). A nil accumulator slice means the clamped range was
-// empty. Both QueryAgg and rollup materialization build on it — one
-// accumulator pass serves every aggregate function at once.
-func (db *DB) windowAggs(name string, from, to, step int) ([]codec.RangeAgg, int, error) {
+// empty. The cold result reports whether any block was resolved off disk
+// (routing the caller's latency observation). Both QueryAgg and rollup
+// materialization build on it — one accumulator pass serves every
+// aggregate function at once.
+func (db *DB) windowAggs(name string, from, to, step int) (accs []codec.RangeAgg, clampedFrom int, cold bool, err error) {
 	snap, err := db.snapshotRange(name, from, to)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
 	from, to = snap.from, snap.to
 	if from >= to {
-		return nil, from, nil
+		return nil, from, false, nil
 	}
 	nw := (to - from + step - 1) / step
-	accs := make([]codec.RangeAgg, nw)
+	accs = make([]codec.RangeAgg, nw)
 	for i := range accs {
 		accs[i] = codec.NewRangeAgg()
 	}
@@ -490,9 +517,9 @@ func (db *DB) windowAggs(name string, from, to, step int) ([]codec.RangeAgg, int
 		lo := max(from, s.meta.start)
 		hi := min(to, s.meta.start+s.meta.n)
 		if s.pending == nil {
-			handled, err := db.aggPushdown(snap.sh, s.meta, from, step, lo, hi, accs)
+			handled, err := db.aggPushdown(snap, s.meta, from, step, lo, hi, accs)
 			if err != nil {
-				return nil, from, err
+				return nil, from, snap.cold.Load(), err
 			}
 			if handled {
 				continue
@@ -500,14 +527,14 @@ func (db *DB) windowAggs(name string, from, to, step int) ([]codec.RangeAgg, int
 		}
 		chunk, err := db.segmentRange(snap, s, lo, hi, &buf)
 		if err != nil {
-			return nil, from, err
+			return nil, from, snap.cold.Load(), err
 		}
 		foldWindows(accs, from, step, lo, chunk)
 	}
 	if len(snap.tail) > 0 {
 		foldWindows(accs, from, step, snap.tailStart, snap.tail)
 	}
-	return accs, from, nil
+	return accs, from, snap.cold.Load(), nil
 }
 
 // aggPushdown folds the window aggregates of one durable block's overlap
@@ -520,8 +547,8 @@ func (db *DB) windowAggs(name string, from, to, step int) ([]codec.RangeAgg, int
 // the block's reconstruction is already cached — folding the resident
 // samples is cheaper than re-parsing the payload — or when the codec can
 // neither aggregate natively nor seek.
-func (db *DB) aggPushdown(sh *shard, meta blockMeta, from, step, lo, hi int, accs []codec.RangeAgg) (bool, error) {
-	if sh.cache.contains(meta.key()) {
+func (db *DB) aggPushdown(snap *rangeSnapshot, meta blockMeta, from, step, lo, hi int, accs []codec.RangeAgg) (bool, error) {
+	if snap.sh.cache.contains(meta.key()) {
 		return false, nil
 	}
 	c, err := db.codecFor(meta)
@@ -547,6 +574,7 @@ func (db *DB) aggPushdown(sh *shard, meta blockMeta, from, step, lo, hi int, acc
 	// into the block's coordinate space along with the overlap bounds.
 	w0 := (lo - from) / step
 	wEnd := (hi - 1 - from) / step
+	start := time.Now()
 	switch {
 	case native:
 		err = ad.DecodeWindowAggs(payload, meta.n,
@@ -556,8 +584,7 @@ func (db *DB) aggPushdown(sh *shard, meta blockMeta, from, step, lo, hi int, acc
 		bits, err = cd.DecodeWindowAggsCheckpointed(payload, sidecar, meta.n,
 			lo-meta.start, hi-meta.start, from-meta.start, step, accs[w0:wEnd+1])
 		if err == nil {
-			db.checkpointSeeks.Add(1)
-			db.checkpointBytes.Add(uint64(bits+7) / 8)
+			db.noteCheckpointSeek(bits)
 		}
 	default:
 		// Sidecar-less version-1 bit-stream block: replaying it from the
@@ -567,6 +594,8 @@ func (db *DB) aggPushdown(sh *shard, meta blockMeta, from, step, lo, hi int, acc
 	if err != nil {
 		return false, fmt.Errorf("tsdb: block %s: %w", meta.path, err)
 	}
+	snap.cold.Store(true)
+	db.observeDecode(meta.codecID, start)
 	db.aggPushdowns.Add(1)
 	return true, nil
 }

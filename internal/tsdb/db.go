@@ -60,6 +60,7 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/series"
 )
 
@@ -331,9 +332,23 @@ type DB struct {
 	// the allocation-free histogram; streaming mode additionally counts
 	// blocks compressed incrementally and streams force-finished (by a
 	// reader, Sync/Flush, or a cut outrunning the pacing).
-	appendLatency latencyHist
+	appendLatency metrics.Histogram
 	streamBlocks  atomic.Uint64
 	streamForced  atomic.Uint64
+
+	// Read-path latency histograms: whole-query wall time split by whether
+	// the scan touched disk (cold — at least one block was read or decoded
+	// off the compressed file) or was served entirely from the decoded
+	// cache, pending reconstructions, and the tail (warm). decodeHists
+	// times individual cold block decodes per codec, keyed by codec ID
+	// (built at Open, read-only afterwards); ckptSeekBytes distributes the
+	// compressed bytes traversed per checkpoint-assisted read, the per-seek
+	// view of the CheckpointBytes total.
+	queryCold     metrics.Histogram
+	queryWarm     metrics.Histogram
+	ckptSeekBytes metrics.Histogram
+	lifecyclePass metrics.Histogram // Maintain pass wall time
+	decodeHists   map[uint8]*metrics.Histogram
 
 	// Checkpoint-sidecar observability: seeks counts cold reads of
 	// bit-stream blocks served through the checkpoint sidecar (range and
@@ -383,6 +398,10 @@ func Open(dir string, opt Options) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{dir: dir, opt: opt}
+	db.decodeHists = make(map[uint8]*metrics.Histogram)
+	for _, c := range codec.Registered() {
+		db.decodeHists[c.ID()] = &metrics.Histogram{}
+	}
 	db.shards = make([]*shard, opt.Shards)
 	// The decoded-block budget is split evenly across per-shard caches (no
 	// global cache mutex). All blocks of one series live in one shard, so a
@@ -1051,9 +1070,14 @@ func (db *DB) openBlockPayload(meta blockMeta) (payload, sidecar []byte, release
 // readBlock returns the decoded reconstruction of a durable block, serving
 // it from the owning shard's LRU cache when present. Cold misses for the
 // same block are single-flighted through the cache: one goroutine reads
-// and decodes, concurrent queries wait for its result.
-func (db *DB) readBlock(cache *blockCache, meta blockMeta) ([]float64, error) {
+// and decodes, concurrent queries wait for its result. cold, when non-nil,
+// is raised if the loader actually ran (the calling query touched disk
+// rather than the cache).
+func (db *DB) readBlock(cache *blockCache, meta blockMeta, cold *atomic.Bool) ([]float64, error) {
 	return cache.getOrFill(meta.key(), func() ([]float64, error) {
+		if cold != nil {
+			cold.Store(true)
+		}
 		c, err := db.codecFor(meta)
 		if err != nil {
 			return nil, fmt.Errorf("tsdb: block %s: %w", meta.path, err)
@@ -1063,12 +1087,44 @@ func (db *DB) readBlock(cache *blockCache, meta blockMeta) ([]float64, error) {
 			return nil, err
 		}
 		defer release()
+		start := time.Now()
 		dense, err := c.Decode(payload, meta.n)
 		if err != nil {
 			return nil, fmt.Errorf("tsdb: block %s: %w", meta.path, err)
 		}
+		db.observeDecode(meta.codecID, start)
 		return dense, nil
 	})
+}
+
+// observeDecode records one cold block decode into the per-codec decode
+// histogram (a no-op for codec IDs registered after Open — the map is
+// built once so the hot path stays lock-free).
+func (db *DB) observeDecode(codecID uint8, start time.Time) {
+	if h, ok := db.decodeHists[codecID]; ok {
+		h.ObserveDuration(time.Since(start))
+	}
+}
+
+// noteCheckpointSeek accounts one checkpoint-assisted cold read that
+// traversed bits compressed bits: the running totals (CheckpointSeeks,
+// CheckpointBytes) plus the per-seek byte distribution.
+func (db *DB) noteCheckpointSeek(bits int) {
+	b := uint64(bits+7) / 8
+	db.checkpointSeeks.Add(1)
+	db.checkpointBytes.Add(b)
+	db.ckptSeekBytes.Observe(b)
+}
+
+// observeQuery records one whole-query wall time into the cold or warm
+// histogram (cold: the scan read or decoded at least one block off disk).
+func (db *DB) observeQuery(start time.Time, cold bool) {
+	d := time.Since(start)
+	if cold {
+		db.queryCold.ObserveDuration(d)
+	} else {
+		db.queryWarm.ObserveDuration(d)
+	}
 }
 
 // Stats summarizes one series.
@@ -1096,6 +1152,27 @@ func (db *DB) SeriesStats(name string) (Stats, error) {
 		s.DiskBytes += b.bytes
 	}
 	return s, nil
+}
+
+// LatencySummary is a conservative percentile summary of one log-bucket
+// latency histogram: P50/P99 are bucket upper bounds (within 2x of the
+// true quantile, never under-reporting), Max is exact.
+type LatencySummary struct {
+	Count uint64        // observations recorded
+	P50   time.Duration // median, conservative
+	P99   time.Duration // 99th percentile, conservative
+	Max   time.Duration // exact worst case since Open
+}
+
+func summarize(h *metrics.Histogram) LatencySummary {
+	s := h.Snapshot()
+	p50, p99, max := s.Summary()
+	return LatencySummary{
+		Count: s.Count,
+		P50:   time.Duration(p50),
+		P99:   time.Duration(p99),
+		Max:   time.Duration(max),
+	}
 }
 
 // DBStats aggregates engine-level observability counters across all shards.
@@ -1131,6 +1208,17 @@ type DBStats struct {
 	AppendP50 time.Duration // median Append wall time
 	AppendP99 time.Duration // 99th-percentile Append wall time
 	AppendMax time.Duration // worst Append wall time since Open
+
+	// Read-path latency histograms. A Query/QueryInto/QueryAgg call counts
+	// as cold when its scan read or decoded at least one block off the
+	// compressed file, warm when served entirely from the decoded cache,
+	// pending reconstructions, and the tail. DecodeByCodec times individual
+	// cold block decodes, keyed by codec name; only codecs with at least one
+	// observation appear. LifecyclePass times whole Maintain passes.
+	QueryCold     LatencySummary
+	QueryWarm     LatencySummary
+	DecodeByCodec map[string]LatencySummary
+	LifecyclePass LatencySummary
 
 	// Streaming-ingest counters (zero unless Options.Streaming).
 	StreamBlocks uint64 // blocks compressed incrementally on the append path
@@ -1172,9 +1260,22 @@ func (db *DB) Stats() DBStats {
 		StreamBlocks:    db.streamBlocks.Load(),
 		StreamForced:    db.streamForced.Load(),
 	}
-	lat := db.appendLatency.snapshot()
-	s.Appends = lat.count
-	s.AppendP50, s.AppendP99, s.AppendMax = lat.p50, lat.p99, lat.max
+	lat := summarize(&db.appendLatency)
+	s.Appends = lat.Count
+	s.AppendP50, s.AppendP99, s.AppendMax = lat.P50, lat.P99, lat.Max
+	s.QueryCold = summarize(&db.queryCold)
+	s.QueryWarm = summarize(&db.queryWarm)
+	s.LifecyclePass = summarize(&db.lifecyclePass)
+	for _, c := range codec.Registered() {
+		h, ok := db.decodeHists[c.ID()]
+		if !ok || h.Snapshot().Count == 0 {
+			continue
+		}
+		if s.DecodeByCodec == nil {
+			s.DecodeByCodec = make(map[string]LatencySummary)
+		}
+		s.DecodeByCodec[c.Name()] = summarize(h)
+	}
 	for _, sh := range db.shards {
 		sh.mu.RLock()
 		for _, st := range sh.series {

@@ -168,6 +168,8 @@ func parseRollupName(name string) (base string, f AggFunc, step int, ok bool) {
 func (db *DB) Maintain() error {
 	db.lifecycleMu.Lock()
 	defer db.lifecycleMu.Unlock()
+	start := time.Now()
+	defer func() { db.lifecyclePass.ObserveDuration(time.Since(start)) }()
 	var errs []error
 	errs = append(errs, db.compactAll()...)
 	errs = append(errs, db.materializeRollups()...)
@@ -465,7 +467,7 @@ func (db *DB) materializeSeries(sh *shard, name string) error {
 			// the fact); materialization cannot reconstruct them.
 			continue
 		}
-		accs, from, err := db.windowAggs(name, w0*sp.Step, w1*sp.Step, sp.Step)
+		accs, from, _, err := db.windowAggs(name, w0*sp.Step, w1*sp.Step, sp.Step)
 		if err != nil {
 			errs = append(errs, err)
 			continue

@@ -383,7 +383,7 @@ func TestRollupMaterializationAndTierQuery(t *testing.T) {
 	}
 	// Coarser multiples of the tier step compose from rollup samples;
 	// composition reorders float additions, so compare with tolerance.
-	rawWide, _, err := db.windowAggs("cpu", 0, total, 48)
+	rawWide, _, _, err := db.windowAggs("cpu", 0, total, 48)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,126 @@
+package tsdb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestQueryLatencyColdWarmSplit pins the cold/warm classification: the
+// first query over durable blocks decodes off disk (cold), a repeat of
+// the same range is served from the decoded cache (warm), and the decode
+// itself lands in the per-codec histogram.
+func TestQueryLatencyColdWarmSplit(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, dbOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := sensorData(2048, 1)
+	if err := w.Append("cpu", xs...); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen so the decoded-block cache starts empty: writers cache each
+	// block's reconstruction as they persist it, which would make the
+	// first query warm on a freshly written store.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(dir, dbOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Query("cpu", 0, 1024); err != nil { // cold: decodes blocks
+		t.Fatal(err)
+	}
+	if _, err := db.Query("cpu", 0, 1024); err != nil { // warm: cache-resident
+		t.Fatal(err)
+	}
+	s := db.Stats()
+	if s.QueryCold.Count == 0 {
+		t.Fatalf("no cold query observed: %+v", s.QueryCold)
+	}
+	if s.QueryWarm.Count == 0 {
+		t.Fatalf("no warm query observed: %+v", s.QueryWarm)
+	}
+	if len(s.DecodeByCodec) == 0 {
+		t.Fatal("no per-codec decode observed")
+	}
+	if d, ok := s.DecodeByCodec["cameo"]; !ok || d.Count == 0 {
+		t.Fatalf("cameo decode histogram empty: %+v", s.DecodeByCodec)
+	}
+	if s.QueryCold.P50 > s.QueryCold.P99 || s.QueryCold.P99 > s.QueryCold.Max {
+		t.Fatalf("cold summary ordering: %+v", s.QueryCold)
+	}
+
+	if err := db.Maintain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Stats().LifecyclePass.Count; got == 0 {
+		t.Fatal("Maintain pass not observed")
+	}
+}
+
+// TestRegisterMetricsCoversStats renders the registry both ways and pins
+// the exposition against a direct DB.Stats read: every counter family
+// must carry the exact value Stats reports, and the append histogram's
+// _count must equal Stats().Appends.
+func TestRegisterMetricsCoversStats(t *testing.T) {
+	db, err := Open(t.TempDir(), dbOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Append("cpu", sensorData(1500, 2)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query("cpu", 0, 1500); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := metrics.NewRegistry()
+	db.RegisterMetrics(reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	s := db.Stats()
+
+	pin := func(format string, args ...any) {
+		t.Helper()
+		line := fmt.Sprintf(format, args...)
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("exposition missing %q\n%s", line, out)
+		}
+	}
+	pin("cameo_store_series %d", s.Series)
+	pin("cameo_store_samples %d", s.Samples)
+	pin("cameo_store_blocks_written_total %d", s.BlocksWritten)
+	pin("cameo_store_bytes_written_total %d", s.BytesWritten)
+	pin("cameo_store_disk_bytes %d", s.DiskBytes)
+	pin("cameo_store_cache_hits_total %d", s.CacheHits)
+	pin("cameo_store_cache_misses_total %d", s.CacheMisses)
+	pin("cameo_store_append_latency_seconds_count %d", s.Appends)
+	pin(`cameo_store_query_latency_seconds_count{cache="cold"} %d`, s.QueryCold.Count)
+	pin(`cameo_store_query_latency_seconds_count{cache="warm"} %d`, s.QueryWarm.Count)
+	if d, ok := s.DecodeByCodec["cameo"]; ok {
+		pin(`cameo_store_block_decode_seconds_count{codec="cameo"} %d`, d.Count)
+	}
+
+	var jb strings.Builder
+	if err := reg.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"cameo_store_samples"`, `"cameo_store_append_latency_seconds"`} {
+		if !strings.Contains(jb.String(), key) {
+			t.Fatalf("JSON view missing %s:\n%s", key, jb.String())
+		}
+	}
+}

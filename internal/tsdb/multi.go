@@ -3,6 +3,7 @@ package tsdb
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // MultiResult is one series' section of a QueryMulti (or QueryAggMulti)
@@ -86,7 +87,7 @@ func (db *DB) MultiCursor(names []string, from, to int) (*MultiCursor, error) {
 			if seg.pending == nil {
 				continue
 			}
-			dense, derr := db.pendingDense(snap.sh, name, *seg)
+			dense, derr := db.pendingDense(snap, *seg)
 			if derr != nil {
 				s.err = derr
 				break
@@ -147,7 +148,7 @@ func (m *MultiCursor) launchSection(i int) {
 // terminal resolution error is sent as the final chunk.
 func (db *DB) runSectionJob(snap *rangeSnapshot, ch chan multiChunk, skip chan struct{}) {
 	defer close(ch)
-	cur := &Cursor{db: db, snap: snap}
+	cur := &Cursor{db: db, snap: snap, opened: time.Now()}
 	defer cur.Close()
 	for {
 		chunk, ok := cur.Next()
@@ -234,7 +235,7 @@ func (m *MultiCursor) Next() ([]float64, bool) {
 		return c.vals, true
 	}
 	if s.cur == nil {
-		s.cur = &Cursor{db: m.db, snap: s.snap}
+		s.cur = &Cursor{db: m.db, snap: s.snap, opened: time.Now()}
 	}
 	chunk, ok := s.cur.Next()
 	if !ok {

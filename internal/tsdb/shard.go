@@ -156,7 +156,7 @@ func (db *DB) shardFor(name string) *shard {
 func (db *DB) Append(name string, values ...float64) error {
 	start := time.Now()
 	err := db.appendSamples(name, values)
-	db.appendLatency.record(time.Since(start))
+	db.appendLatency.ObserveDuration(time.Since(start))
 	return err
 }
 

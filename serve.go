@@ -20,6 +20,11 @@ import (
 //   - ReadHeaderTimeout / IdleTimeout: connection hygiene for Serve.
 //   - DrainTimeout: bound on the graceful drain when Serve's context is
 //     canceled (15s).
+//   - SlowQueryThreshold / SlowQuerySample: the sampled slow-query log —
+//     query requests at or over the threshold emit one JSON line to
+//     LogWriter, every Nth occurrence (off by default).
+//   - AccessLog / LogWriter: one structured JSON line per request (off),
+//     written to LogWriter (os.Stderr by default).
 type ServerOptions = server.Options
 
 // NewHandler builds the HTTP handler serving a Store — the same service
@@ -38,7 +43,9 @@ type ServerOptions = server.Options
 //	GET    /api/v1/series     sorted series listing
 //	DELETE /api/v1/series     drop one series and its rollup tiers (204;
 //	                          404 for unknown names)
-//	GET    /healthz, /statusz liveness and engine/server counters
+//	GET    /healthz, /statusz liveness; every metric family as flat JSON
+//	GET    /metrics           Prometheus text exposition, same registry
+//	GET    /debug/traces      ring of recent per-request stage timings
 //
 // The handler never closes the store; its lifecycle stays with the
 // caller. Responses encode floats in shortest round-trip form, so parsed
